@@ -1,0 +1,156 @@
+// Ablation micro-benchmarks for the design choices DESIGN.md calls out,
+// using google-benchmark:
+//   * hypertable chunk duration (range aggregate latency)
+//   * chunk-level aggregate cache on/off
+//   * HGQL predicate pushdown on/off (Q8-style pattern + predicate query)
+//   * DTW band width
+//   * FastRP embedding dimensionality
+
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+
+#include "analytics/embedding.h"
+#include "query/executor.h"
+#include "query/parser.h"
+#include "storage/polyglot.h"
+#include "ts/distance.h"
+#include "ts/hypertable.h"
+#include "workloads/bike_sharing.h"
+
+namespace hygraph {
+namespace {
+
+// ---- hypertable chunk duration ---------------------------------------------
+
+void BM_HypertableAggregate_ChunkMinutes(benchmark::State& state) {
+  ts::HypertableOptions options;
+  options.chunk_duration = state.range(0) * kMinute;
+  ts::HypertableStore store(options);
+  const SeriesId id = store.Create("s");
+  for (int i = 0; i < 20000; ++i) {
+    (void)store.Insert(id, static_cast<Timestamp>(i) * kMinute,
+                       std::sin(i * 0.001));
+  }
+  const Interval range{100 * kMinute, 19000 * kMinute};
+  for (auto _ : state) {
+    auto sum = store.Aggregate(id, range, ts::AggKind::kSum);
+    benchmark::DoNotOptimize(sum);
+  }
+}
+BENCHMARK(BM_HypertableAggregate_ChunkMinutes)
+    ->Arg(60)      // 1 h chunks
+    ->Arg(360)     // 6 h
+    ->Arg(1440)    // 1 day
+    ->Arg(10080);  // 1 week
+
+// ---- aggregate cache on/off -------------------------------------------------
+
+void BM_HypertableAggregate_Cache(benchmark::State& state) {
+  ts::HypertableOptions options;
+  options.chunk_duration = kDay;
+  options.enable_chunk_cache = state.range(0) != 0;
+  ts::HypertableStore store(options);
+  const SeriesId id = store.Create("s");
+  for (int i = 0; i < 20000; ++i) {
+    (void)store.Insert(id, static_cast<Timestamp>(i) * kMinute,
+                       std::sin(i * 0.001));
+  }
+  for (auto _ : state) {
+    auto sum = store.Aggregate(id, Interval::All(), ts::AggKind::kStdDev);
+    benchmark::DoNotOptimize(sum);
+  }
+}
+BENCHMARK(BM_HypertableAggregate_Cache)->Arg(0)->Arg(1);
+
+// ---- HGQL predicate pushdown -------------------------------------------------
+
+struct QueryWorld {
+  storage::PolyglotStore store;
+  query::Plan with_pushdown;
+  query::Plan without_pushdown;
+};
+
+QueryWorld* BuildQueryWorld() {
+  auto* world = new QueryWorld();
+  workloads::BikeSharingConfig config;
+  config.stations = 120;
+  config.districts = 12;
+  config.days = 2;
+  config.sample_interval = kHour;
+  auto dataset = workloads::GenerateBikeSharing(config);
+  (void)workloads::LoadIntoBackend(*dataset, &world->store);
+  const std::string text =
+      "MATCH (a:Station)-[:TRIP]->(b:Station) "
+      "WHERE a.district = 3 AND b.capacity > 30 "
+      "RETURN a.name, b.name";
+  auto ast = query::Parse(text);
+  query::PlannerOptions on;
+  query::PlannerOptions off;
+  off.enable_pushdown = false;
+  world->with_pushdown = std::move(*query::CompileQuery(*ast, on));
+  world->without_pushdown = std::move(*query::CompileQuery(*ast, off));
+  return world;
+}
+
+void BM_QueryPushdown(benchmark::State& state) {
+  static QueryWorld* world = BuildQueryWorld();
+  const query::Plan& plan =
+      state.range(0) != 0 ? world->with_pushdown : world->without_pushdown;
+  for (auto _ : state) {
+    auto result = query::ExecutePlan(world->store, plan);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_QueryPushdown)->Arg(0)->Arg(1);
+
+// ---- DTW band ---------------------------------------------------------------
+
+void BM_DtwBand(benchmark::State& state) {
+  std::vector<double> a;
+  std::vector<double> b;
+  for (int i = 0; i < 1000; ++i) {
+    a.push_back(std::sin(i * 0.05));
+    b.push_back(std::sin((i - 7) * 0.05));
+  }
+  const size_t band = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    auto d = ts::DtwDistance(a, b, band);
+    benchmark::DoNotOptimize(d);
+  }
+}
+BENCHMARK(BM_DtwBand)->Arg(5)->Arg(20)->Arg(100)->Arg(1000);
+
+// ---- FastRP dimensions --------------------------------------------------------
+
+void BM_FastRpDimensions(benchmark::State& state) {
+  static graph::PropertyGraph* g = [] {
+    auto* graph = new graph::PropertyGraph();
+    workloads::BikeSharingConfig config;
+    config.stations = 200;
+    config.days = 1;
+    config.sample_interval = kDay;  // series irrelevant here
+    auto dataset = workloads::GenerateBikeSharing(config);
+    std::vector<graph::VertexId> ids;
+    for (const auto& s : dataset->stations) {
+      ids.push_back(graph->AddVertex({"Station"},
+                                     {{"district", Value(s.district)}}));
+    }
+    for (const auto& t : dataset->trips) {
+      (void)graph->AddEdge(ids[t.src], ids[t.dst], "TRIP", {});
+    }
+    return graph;
+  }();
+  analytics::FastRpOptions options;
+  options.dimensions = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    auto embeddings = analytics::FastRp(*g, options);
+    benchmark::DoNotOptimize(embeddings);
+  }
+}
+BENCHMARK(BM_FastRpDimensions)->Arg(16)->Arg(32)->Arg(64)->Arg(128);
+
+}  // namespace
+}  // namespace hygraph
+
+BENCHMARK_MAIN();

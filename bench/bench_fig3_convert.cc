@@ -1,0 +1,186 @@
+// Figure 3: the data-model lattice and its arrows. Each numbered arrow of
+// the figure maps to an executable operation in this library; this bench
+// runs them all on one generated world and reports timings and result
+// sizes, plus the R1 losslessness checks for the <X>ToHyGraph /
+// HyGraphTo<X> round trips.
+//
+//   (1) LG ops          label-only pattern matching
+//   (2) LPG ops         property pattern matching
+//   (3) TPG ops         snapshot retrieval + temporal pattern matching
+//   (4) data-series ops downsampling
+//   (5) TS ops          aggregation / anomaly detection
+//   (6) TS -> graph     similarity graph over series
+//   (7) LPG -> series   metricEvolution (degree over time)
+//   (8) TS as props     series properties on LPG vertices
+//   (9) ops using both  correlation-constrained reachability
+//   (10) HyGraph ops    hybrid pattern matching on the unified instance
+
+#include <cstdio>
+
+#include "analytics/corr_reach.h"
+#include "analytics/hybrid_match.h"
+#include "bench_util.h"
+#include "core/convert.h"
+#include "graph/pattern.h"
+#include "temporal/metric_evolution.h"
+#include "temporal/snapshot.h"
+#include "ts/anomaly.h"
+#include "ts/downsample.h"
+#include "workloads/bike_sharing.h"
+
+int main() {
+  using namespace hygraph;
+
+  workloads::BikeSharingConfig config;
+  config.stations = 60;
+  config.districts = 6;
+  config.days = 7;
+  config.sample_interval = 15 * kMinute;
+  auto dataset = workloads::GenerateBikeSharing(config);
+  if (!dataset.ok()) return 1;
+  auto hg = workloads::ToHyGraph(*dataset);
+  if (!hg.ok()) return 1;
+
+  bench::PrintHeader("Figure 3: every arrow as an executable operation");
+  auto row = [](const char* arrow, const char* op, double ms, size_t out) {
+    std::printf("%-5s %-44s %9.2f ms  -> %zu\n", arrow, op, ms, out);
+  };
+
+  // (1) LG: structure-only matching.
+  {
+    graph::Pattern p;
+    p.AddVertex("a", "Station");
+    p.AddVertex("b", "Station");
+    p.AddEdge("a", "b", "TRIP");
+    size_t n = 0;
+    const double ms = bench::TimeMs(
+        [&] { n = graph::MatchPattern(hg->structure(), p)->size(); });
+    row("(1)", "LG subgraph matching (labels only)", ms, n);
+  }
+  // (2) LPG: property-constrained matching.
+  {
+    graph::Pattern p;
+    p.AddVertex("a", "Station",
+                {{"district", graph::CmpOp::kEq, Value(2)}});
+    p.AddVertex("b", "Station");
+    p.AddEdge("a", "b", "TRIP");
+    size_t n = 0;
+    const double ms = bench::TimeMs(
+        [&] { n = graph::MatchPattern(hg->structure(), p)->size(); });
+    row("(2)", "LPG pattern matching (property predicates)", ms, n);
+  }
+  // (3) TPG: snapshot + event axis.
+  {
+    size_t n = 0;
+    const double ms = bench::TimeMs([&] {
+      n = temporal::TakeSnapshot(hg->tpg(), dataset->start() + kDay)
+              .graph.VertexCount();
+    });
+    row("(3)", "TPG snapshot retrieval", ms, n);
+  }
+  // (4) data series: downsampling.
+  {
+    size_t n = 0;
+    const double ms = bench::TimeMs([&] {
+      n = ts::DownsampleLttb(dataset->stations[0].bikes, 100)->size();
+    });
+    row("(4)", "series downsampling (LTTB)", ms, n);
+  }
+  // (5) TS: anomaly detection.
+  {
+    size_t n = 0;
+    const double ms = bench::TimeMs([&] {
+      n = ts::DetectSlidingWindow(dataset->stations[0].bikes, 48, 3.5)
+              ->size();
+    });
+    row("(5)", "series anomaly detection", ms, n);
+  }
+  // (6) TS -> graph: similarity graph.
+  {
+    std::vector<ts::Series> series;
+    for (size_t i = 0; i < 30; ++i) {
+      series.push_back(dataset->stations[i].bikes);
+    }
+    core::SimilarityGraphOptions options;
+    options.threshold = 0.85;
+    size_t n = 0;
+    const double ms = bench::TimeMs([&] {
+      n = core::SeriesSimilarityGraph(series, options)->EdgeCount();
+    });
+    row("(6)", "series -> similarity graph (edges)", ms, n);
+  }
+  // (7) LPG -> series: metricEvolution.
+  {
+    temporal::TemporalPropertyGraph tpg = *core::ToTemporalGraph(*hg);
+    std::vector<Timestamp> times;
+    for (int i = 0; i < 24; ++i) {
+      times.push_back(dataset->start() + i * 6 * kHour);
+    }
+    size_t n = 0;
+    const double ms = bench::TimeMs([&] {
+      n = temporal::AllDegreeEvolutions(tpg, times)->size();
+    });
+    row("(7)", "metricEvolution (degree series per vertex)", ms, n);
+  }
+  // (8) TS as properties: series-property access on the LPG.
+  {
+    size_t n = 0;
+    const double ms = bench::TimeMs([&] {
+      for (graph::VertexId v :
+           hg->structure().VerticesWithLabel("Station")) {
+        auto series = hg->GetVertexSeriesProperty(v, "history");
+        if (series.ok()) n += (*series)->size();
+      }
+    });
+    row("(8)", "series-as-property access (total samples)", ms, n);
+  }
+  // (9) ops using both models: correlation reachability.
+  {
+    analytics::CorrReachOptions options;
+    options.min_correlation = 0.7;
+    size_t n = 0;
+    const graph::VertexId source =
+        hg->structure().VerticesWithLabel("Station")[0];
+    const double ms = bench::TimeMs([&] {
+      n = analytics::CorrelationReachability(*hg, source, options)->size();
+    });
+    row("(9)", "correlation-constrained reachability", ms, n);
+  }
+  // (10) HyGraph ops: hybrid pattern matching.
+  {
+    analytics::HybridPatternQuery q;
+    q.structure.AddVertex("a", "Station");
+    q.structure.AddVertex("b", "Station");
+    q.structure.AddEdge("a", "b", "TRIP");
+    analytics::SeriesShapeConstraint c;
+    c.var = "a";
+    c.series_key = "history";
+    c.shape = {0.1, 0.4, 0.8, 0.4, 0.1};
+    c.max_distance = 2.0;
+    q.constraints.push_back(c);
+    size_t n = 0;
+    const double ms = bench::TimeMs(
+        [&] { n = analytics::MatchHybridPattern(*hg, q)->size(); });
+    row("(10)", "hybrid pattern matching on HyGraph", ms, n);
+  }
+
+  // R1 losslessness checks for the conversion interfaces.
+  bench::PrintHeader("R1: round-trip losslessness");
+  {
+    auto tpg = core::ToTemporalGraph(*hg);
+    auto back = core::FromTemporalGraph(*tpg);
+    const bool structure_ok = back->VertexCount() == hg->VertexCount() &&
+                              back->EdgeCount() == hg->EdgeCount();
+    std::printf("HyGraph -> TPG -> HyGraph: %s (%zu vertices, %zu edges)\n",
+                structure_ok ? "LOSSLESS" : "LOSSY (bug!)",
+                back->VertexCount(), back->EdgeCount());
+    const auto collection = core::ToSeriesCollection(*hg);
+    auto from_series = core::FromSeriesCollection(collection);
+    std::printf("HyGraph -> series collection: %zu series extracted\n",
+                collection.size());
+    std::printf("series collection -> HyGraph: %zu TS vertices\n",
+                from_series->TsVertices().size());
+    if (!structure_ok) return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,94 @@
+// Requirements R3 (timeliness) and R4 (scalability) from Section 2:
+// ingestion throughput and query latency as the workload grows, for both
+// storage architectures. Expected shape: polyglot query latency grows
+// roughly linearly with the number of stations and stays flat as series
+// lengthen (chunk pruning + aggregate cache); the all-in-graph architecture
+// grows superlinearly on aggregate queries because every query rescans
+// ever-larger property maps.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "query/executor.h"
+#include "storage/all_in_graph.h"
+#include "storage/polyglot.h"
+#include "workloads/bike_sharing.h"
+
+namespace hygraph {
+namespace {
+
+struct Measurement {
+  double load_ms = 0;
+  double q_topk_ms = 0;   // per-station aggregate + top-k (Q4 shape)
+  double q_point_ms = 0;  // single-station range aggregate (Q2 shape)
+};
+
+template <typename Store>
+Measurement Measure(const workloads::BikeSharingDataset& dataset) {
+  Store store;
+  Measurement m;
+  m.load_ms = bench::TimeMs(
+      [&] { (void)workloads::LoadIntoBackend(dataset, &store); });
+  const std::string t0 = std::to_string(dataset.start());
+  const std::string t1 = std::to_string(dataset.end());
+  const std::string topk =
+      "MATCH (s:Station) RETURN s.name AS n, ts_avg(s.bikes, " + t0 + ", " +
+      t1 + ") AS a ORDER BY a DESC, n LIMIT 10";
+  const std::string point =
+      "MATCH (s:Station {name: 'S1'}) RETURN ts_avg(s.bikes, " + t0 + ", " +
+      t1 + ")";
+  m.q_topk_ms =
+      bench::Repeat(3, [&] { (void)query::Execute(store, topk); }).mean();
+  m.q_point_ms =
+      bench::Repeat(5, [&] { (void)query::Execute(store, point); }).mean();
+  return m;
+}
+
+}  // namespace
+}  // namespace hygraph
+
+int main() {
+  using namespace hygraph;
+
+  bench::PrintHeader("R3/R4: scaling in station count (7 days @ 10 min)");
+  std::printf("%9s | %26s | %26s | %26s\n", "stations",
+              "load ms (red/green)", "top-k ms (red/green)",
+              "point ms (red/green)");
+  std::printf("%s\n", std::string(97, '-').c_str());
+  for (size_t stations : {25, 50, 100, 200}) {
+    workloads::BikeSharingConfig config;
+    config.stations = stations;
+    config.districts = 5;
+    config.days = 7;
+    config.sample_interval = 10 * kMinute;
+    config.seed = 77;
+    auto dataset = workloads::GenerateBikeSharing(config);
+    if (!dataset.ok()) return 1;
+    const Measurement red = Measure<storage::AllInGraphStore>(*dataset);
+    const Measurement green = Measure<storage::PolyglotStore>(*dataset);
+    std::printf("%9zu | %11.0f / %11.0f | %11.2f / %11.2f | %11.3f / %11.3f\n",
+                stations, red.load_ms, green.load_ms, red.q_topk_ms,
+                green.q_topk_ms, red.q_point_ms, green.q_point_ms);
+  }
+
+  bench::PrintHeader("R3/R4: scaling in series length (50 stations)");
+  std::printf("%16s | %26s | %26s\n", "samples/station",
+              "load ms (red/green)", "top-k ms (red/green)");
+  std::printf("%s\n", std::string(74, '-').c_str());
+  for (size_t days : {2, 4, 8, 16}) {
+    workloads::BikeSharingConfig config;
+    config.stations = 50;
+    config.districts = 5;
+    config.days = days;
+    config.sample_interval = 10 * kMinute;
+    config.seed = 78;
+    auto dataset = workloads::GenerateBikeSharing(config);
+    if (!dataset.ok()) return 1;
+    const Measurement red = Measure<storage::AllInGraphStore>(*dataset);
+    const Measurement green = Measure<storage::PolyglotStore>(*dataset);
+    std::printf("%16zu | %11.0f / %11.0f | %11.2f / %11.2f\n",
+                dataset->samples_per_station(), red.load_ms, green.load_ms,
+                red.q_topk_ms, green.q_topk_ms);
+  }
+  return 0;
+}

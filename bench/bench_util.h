@@ -1,0 +1,41 @@
+#ifndef HYGRAPH_BENCH_BENCH_UTIL_H_
+#define HYGRAPH_BENCH_BENCH_UTIL_H_
+
+#include <chrono>
+#include <cstdio>
+#include <functional>
+#include <string>
+
+#include "common/stats.h"
+
+namespace hygraph::bench {
+
+/// Wall-clock time of one invocation, in milliseconds.
+template <typename Fn>
+double TimeMs(Fn&& fn) {
+  const auto start = std::chrono::steady_clock::now();
+  fn();
+  const auto end = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::milli>(end - start).count();
+}
+
+/// Runs `fn` once as warmup and then `repetitions` timed times; returns the
+/// per-run statistics (mean response time, CV, ...).
+template <typename Fn>
+RunningStats Repeat(size_t repetitions, Fn&& fn) {
+  fn();  // warmup
+  RunningStats stats;
+  for (size_t i = 0; i < repetitions; ++i) {
+    stats.Add(TimeMs(fn));
+  }
+  return stats;
+}
+
+/// Prints a section header mirroring the paper's table/figure captions.
+inline void PrintHeader(const std::string& title) {
+  std::printf("\n=== %s ===\n", title.c_str());
+}
+
+}  // namespace hygraph::bench
+
+#endif  // HYGRAPH_BENCH_BENCH_UTIL_H_

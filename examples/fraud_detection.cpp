@@ -1,0 +1,99 @@
+// The running example (Sections 3 and 5): credit-card fraud detection the
+// graph-only way, the time-series-only way, and the HyGraph way. Generates
+// a world with planted ring fraudsters plus the paper's two decoy families
+// ("User 3"-style heavy spenders and benign burst shoppers), runs all
+// three detectors, and shows how the hybrid pipeline resolves the decoys.
+//
+//   run: ./build/examples/fraud_detection [users] [fraud_rate]
+
+#include <cstdio>
+#include <cstdlib>
+#include <set>
+
+#include "analytics/fraud.h"
+#include "workloads/fraud_workload.h"
+
+using namespace hygraph;
+
+namespace {
+
+void PrintVerdict(const core::HyGraph& hg, const char* title,
+                  const analytics::FraudVerdict& verdict) {
+  const auto metrics = *analytics::EvaluateVerdict(hg, verdict);
+  std::printf("%-12s flags %3zu users | precision %.3f  recall %.3f  F1 %.3f\n",
+              title, verdict.flagged_users.size(), metrics.precision(),
+              metrics.recall(), metrics.f1());
+}
+
+std::string RoleOf(const core::HyGraph& hg, graph::VertexId user) {
+  auto role = hg.GetVertexProperty(user, "gt_role");
+  return role.ok() ? role->ToString() : "?";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  workloads::FraudConfig config;
+  config.users = argc > 1 ? static_cast<size_t>(std::atoi(argv[1])) : 250;
+  config.fraud_rate = argc > 2 ? std::atof(argv[2]) : 0.06;
+  config.merchants = 30;
+  config.merchant_clusters = 5;
+  config.days = 7;
+
+  std::printf("== Credit-card fraud: graph-only vs ts-only vs HyGraph ==\n");
+  std::printf("world: %zu users, %zu merchants, %zu days, %.0f%% ring fraud\n\n",
+              config.users, config.merchants, config.days,
+              config.fraud_rate * 100);
+
+  auto hg = workloads::GenerateFraudHyGraph(config);
+  if (!hg.ok()) {
+    std::fprintf(stderr, "generate: %s\n", hg.status().ToString().c_str());
+    return 1;
+  }
+
+  auto graph_verdict = *analytics::DetectFraudGraphOnly(*hg);
+  auto ts_verdict = *analytics::DetectFraudTsOnly(*hg);
+  core::HyGraph annotated = *hg;
+  auto hybrid_verdict =
+      *analytics::DetectFraudHybrid(annotated, {}, &annotated);
+
+  PrintVerdict(*hg, "graph-only", graph_verdict);
+  PrintVerdict(*hg, "ts-only", ts_verdict);
+  PrintVerdict(*hg, "hybrid", hybrid_verdict);
+
+  // Show the decoys each single-model path falls for — and that the hybrid
+  // path does not.
+  const std::set<graph::VertexId> hybrid_set(
+      hybrid_verdict.flagged_users.begin(),
+      hybrid_verdict.flagged_users.end());
+  std::printf("\nfalse positives resolved by the hybrid pipeline:\n");
+  size_t shown = 0;
+  auto show_decoys = [&](const analytics::FraudVerdict& verdict,
+                         const char* path) {
+    for (graph::VertexId u : verdict.flagged_users) {
+      auto fraud = hg->GetVertexProperty(u, "gt_fraud");
+      if (fraud.ok() && !fraud->AsBool() && !hybrid_set.count(u) &&
+          shown < 8) {
+        std::printf("  %-10s flagged %s (%s) -- benign, hybrid cleared it\n",
+                    path,
+                    hg->GetVertexProperty(u, "name")->ToString().c_str(),
+                    RoleOf(*hg, u).c_str());
+        ++shown;
+      }
+    }
+  };
+  show_decoys(graph_verdict, "graph-only");
+  show_decoys(ts_verdict, "ts-only");
+  if (shown == 0) std::printf("  (none in this world)\n");
+
+  // The annotated instance carries the result as a first-class subgraph.
+  const auto subgraphs = annotated.SubgraphIds();
+  if (!subgraphs.empty()) {
+    auto members = annotated.SubgraphAt(subgraphs[0], config.start_time);
+    std::printf("\nannotated HyGraph: subgraph 'Suspicious' holds %zu users; "
+                "validate: %s\n",
+                members->vertices.size(),
+                annotated.Validate().ToString().c_str());
+  }
+  return 0;
+}

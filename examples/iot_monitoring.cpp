@@ -1,0 +1,179 @@
+// The IoT / smart-manufacturing use case (Section 2): "thousands of time
+// series structurally connected" — devices whose physical/logical topology
+// matters as much as their telemetry. Builds a sensor network as a HyGraph
+// (sensors are TS vertices, racks and gateways PG vertices), then runs the
+// hybrid toolkit: community-contextual anomaly detection, correlation
+// reachability from a failing sensor, hybrid pattern matching for a failure
+// signature, and GraphRAG-style retrieval of similar devices.
+//
+//   run: ./build/examples/iot_monitoring [racks] [sensors_per_rack]
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "analytics/corr_reach.h"
+#include "analytics/detection.h"
+#include "analytics/hybrid_match.h"
+#include "analytics/rag.h"
+#include "common/rng.h"
+#include "core/hygraph.h"
+#include "ts/aggregate.h"
+
+using namespace hygraph;
+
+namespace {
+
+// 48h of temperature telemetry at 30-min sampling; rack-specific load
+// phase; optionally a thermal-runaway ramp in the last 12 hours.
+ts::MultiSeries Telemetry(Rng* rng, double rack_phase, bool runaway) {
+  ts::MultiSeries ms("temp", {"celsius"});
+  const Timestamp t0 = 1700000000000;
+  for (int i = 0; i < 96; ++i) {
+    double value = 45.0 + 6.0 * std::sin(i * 2.0 * 3.14159 / 48.0 +
+                                         rack_phase) +
+                   rng->NextGaussian() * 0.4;
+    if (runaway && i >= 72) {
+      value += static_cast<double>(i - 72) * 1.5;  // ramp to ~80C
+    }
+    (void)ms.AppendRow(t0 + static_cast<Duration>(i) * 30 * kMinute,
+                       {value});
+  }
+  return ms;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const size_t racks = argc > 1 ? static_cast<size_t>(std::atoi(argv[1])) : 6;
+  const size_t per_rack =
+      argc > 2 ? static_cast<size_t>(std::atoi(argv[2])) : 8;
+
+  std::printf("== IoT monitoring on HyGraph ==\n");
+  std::printf("plant: %zu racks x %zu sensors, 48h @ 30min telemetry\n\n",
+              racks, per_rack);
+
+  Rng rng(2027);
+  core::HyGraph hg;
+  const graph::VertexId gateway =
+      *hg.AddPgVertex({"Gateway"}, {{"name", Value("GW0")}});
+  std::vector<graph::VertexId> sensors;
+  graph::VertexId runaway_sensor = graph::kInvalidVertexId;
+  for (size_t r = 0; r < racks; ++r) {
+    const graph::VertexId rack = *hg.AddPgVertex(
+        {"Rack"}, {{"name", Value("R" + std::to_string(r))}});
+    (void)*hg.AddPgEdge(gateway, rack, "FEEDS", {});
+    const double phase = 0.7 * static_cast<double>(r);
+    // Rack-level aggregate telemetry as a series property, so
+    // correlation-constrained traversal can flow sensor -> rack -> sensor.
+    {
+      Rng rack_rng(5000 + r);
+      (void)*hg.SetVertexSeriesProperty(rack, "history",
+                                        Telemetry(&rack_rng, phase, false));
+    }
+    for (size_t s = 0; s < per_rack; ++s) {
+      const bool runaway = (r == 2 && s == 3);  // plant one failure
+      auto sensor = *hg.AddTsVertex({"Sensor"},
+                                    Telemetry(&rng, phase, runaway));
+      (void)hg.SetVertexProperty(
+          sensor, "name",
+          Value("R" + std::to_string(r) + ".S" + std::to_string(s)));
+      (void)*hg.AddPgEdge(rack, sensor, "HOSTS", {});
+      sensors.push_back(sensor);
+      if (runaway) runaway_sensor = sensor;
+    }
+  }
+  std::printf("model: %zu vertices, %zu edges; validate: %s\n\n",
+              hg.VertexCount(), hg.EdgeCount(),
+              hg.Validate().ToString().c_str());
+
+  // 1. Community-contextual anomaly detection (Table 2, row D): the
+  //    runaway sensor must stand out against ITS rack, not the plant.
+  analytics::ContextualDetectionOptions detect;
+  detect.threshold = 2.2;
+  detect.statistic = analytics::ContextualDetectionOptions::Statistic::kMax;
+  auto anomalies = analytics::DetectContextualAnomalies(hg, detect);
+  if (anomalies.ok()) {
+    std::printf("contextual anomalies (vs own community):\n");
+    for (const auto& anomaly : anomalies->anomalies) {
+      std::printf("  %-8s z=%+.1f (max %.1fC vs community mean %.1fC)%s\n",
+                  hg.GetVertexProperty(anomaly.vertex, "name")
+                      ->ToString()
+                      .c_str(),
+                  anomaly.z_score, anomaly.statistic, anomaly.community_mean,
+                  anomaly.vertex == runaway_sensor ? "  <-- planted" : "");
+    }
+  }
+
+  // 2. Hybrid pattern match (row Q1) composed with a level filter: the
+  //    shape constraint finds sustained rises (which healthy diurnal
+  //    telemetry also contains — z-normalized shapes are level-blind), so
+  //    the runaway signature additionally demands the absolute temperature
+  //    actually left the safe envelope.
+  analytics::HybridPatternQuery signature;
+  signature.structure.AddVertex("r", "Rack");
+  signature.structure.AddVertex("s", "Sensor");
+  signature.structure.AddEdge("r", "s", "HOSTS");
+  analytics::SeriesShapeConstraint ramp;
+  ramp.var = "s";
+  ramp.shape = {0, 3, 6, 9, 12, 15, 18, 21};  // steady climb
+  ramp.max_distance = 1.0;
+  signature.constraints.push_back(ramp);
+  auto matches = analytics::MatchHybridPattern(hg, signature);
+  if (matches.ok()) {
+    size_t shape_only = matches->size();
+    size_t confirmed = 0;
+    std::printf("\nrunaway signature (structure + shape + level):\n");
+    for (const auto& match : *matches) {
+      const graph::VertexId sensor = match.match.vertices.at("s");
+      const ts::Series temp = (*hg.VertexSeries(sensor))->VariableByIndex(0);
+      auto peak = ts::Aggregate(temp, temp.TimeSpan(), ts::AggKind::kMax);
+      if (!peak.ok() || *peak < 70.0) continue;  // level filter
+      ++confirmed;
+      std::printf("  rack %s hosts %s: rise at offset %zu, peak %.1fC%s\n",
+                  hg.GetVertexProperty(match.match.vertices.at("r"), "name")
+                      ->ToString()
+                      .c_str(),
+                  hg.GetVertexProperty(sensor, "name")->ToString().c_str(),
+                  match.shape_hits[0].offset, *peak,
+                  sensor == runaway_sensor ? "  <-- planted" : "");
+    }
+    std::printf("  (%zu sensors matched the shape alone; %zu also broke "
+                "the 70C envelope)\n",
+                shape_only, confirmed);
+  }
+
+  // 3. Correlation reachability (row Q3) from the failing sensor: which
+  //    devices share its thermal regime through the topology?
+  if (runaway_sensor != graph::kInvalidVertexId) {
+    analytics::CorrReachOptions reach;
+    reach.min_correlation = 0.5;
+    reach.max_depth = 4;
+    auto reached =
+        analytics::CorrelationReachability(hg, runaway_sensor, reach);
+    if (reached.ok()) {
+      std::printf("\nthermally coupled devices reachable from the failing "
+                  "sensor: %zu\n",
+                  reached->size() - 1);
+    }
+  }
+
+  // 4. GraphRAG retrieval (Section 6): devices behaving like the failing
+  //    one, rendered as LLM-ready context.
+  analytics::RagOptions rag;
+  rag.top_k = 2;
+  auto retriever = analytics::HyGraphRetriever::Build(&hg, rag);
+  if (retriever.ok() && runaway_sensor != graph::kInvalidVertexId) {
+    auto contexts = retriever->RetrieveSimilarTo(runaway_sensor);
+    if (contexts.ok()) {
+      std::printf("\nGraphRAG: context for devices most similar to the "
+                  "failing sensor:\n");
+      for (const auto& context : *contexts) {
+        std::printf("--- score %.3f ---\n%s\n", context.score,
+                    context.text.c_str());
+      }
+    }
+  }
+  return 0;
+}

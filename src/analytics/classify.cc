@@ -1,0 +1,97 @@
+#include "analytics/classify.h"
+
+#include <algorithm>
+#include <map>
+
+namespace hygraph::analytics {
+
+Result<int> KnnClassifier::Predict(const Embedding& features) const {
+  if (examples_.empty()) {
+    return Status::FailedPrecondition("classifier has no training data");
+  }
+  // Partial sort of the k nearest by distance.
+  std::vector<std::pair<double, int>> by_distance;
+  by_distance.reserve(examples_.size());
+  for (const LabeledExample& ex : examples_) {
+    by_distance.emplace_back(EmbeddingDistance(features, ex.features),
+                             ex.label);
+  }
+  const size_t k = std::min(k_, by_distance.size());
+  std::partial_sort(by_distance.begin(),
+                    by_distance.begin() + static_cast<ptrdiff_t>(k),
+                    by_distance.end());
+  std::map<int, size_t> votes;
+  for (size_t i = 0; i < k; ++i) ++votes[by_distance[i].second];
+  int best_label = votes.begin()->first;
+  size_t best_count = 0;
+  for (const auto& [label, count] : votes) {
+    if (count > best_count) {
+      best_count = count;
+      best_label = label;
+    }
+  }
+  return best_label;
+}
+
+double ClassificationMetrics::precision() const {
+  const size_t denom = true_positives + false_positives;
+  return denom == 0 ? 0.0
+                    : static_cast<double>(true_positives) /
+                          static_cast<double>(denom);
+}
+
+double ClassificationMetrics::recall() const {
+  const size_t denom = true_positives + false_negatives;
+  return denom == 0 ? 0.0
+                    : static_cast<double>(true_positives) /
+                          static_cast<double>(denom);
+}
+
+double ClassificationMetrics::f1() const {
+  const double p = precision();
+  const double r = recall();
+  return (p + r) == 0.0 ? 0.0 : 2.0 * p * r / (p + r);
+}
+
+double ClassificationMetrics::accuracy() const {
+  const size_t total =
+      true_positives + false_positives + true_negatives + false_negatives;
+  return total == 0 ? 0.0
+                    : static_cast<double>(true_positives + true_negatives) /
+                          static_cast<double>(total);
+}
+
+void AddOutcome(ClassificationMetrics* metrics, bool actual, bool predicted) {
+  if (actual && predicted) {
+    ++metrics->true_positives;
+  } else if (!actual && predicted) {
+    ++metrics->false_positives;
+  } else if (actual && !predicted) {
+    ++metrics->false_negatives;
+  } else {
+    ++metrics->true_negatives;
+  }
+}
+
+Result<ClassificationMetrics> LeaveOneOutEvaluate(
+    const std::vector<LabeledExample>& examples, size_t k) {
+  if (examples.size() < 2) {
+    return Status::InvalidArgument("need at least 2 examples");
+  }
+  ClassificationMetrics metrics;
+  for (size_t held_out = 0; held_out < examples.size(); ++held_out) {
+    std::vector<LabeledExample> train;
+    train.reserve(examples.size() - 1);
+    for (size_t i = 0; i < examples.size(); ++i) {
+      if (i != held_out) train.push_back(examples[i]);
+    }
+    KnnClassifier knn(k);
+    knn.Train(std::move(train));
+    auto predicted = knn.Predict(examples[held_out].features);
+    if (!predicted.ok()) return predicted.status();
+    AddOutcome(&metrics, examples[held_out].label == 1, *predicted == 1);
+  }
+  return metrics;
+}
+
+}  // namespace hygraph::analytics

@@ -1,0 +1,66 @@
+#ifndef HYGRAPH_ANALYTICS_CLASSIFY_H_
+#define HYGRAPH_ANALYTICS_CLASSIFY_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "analytics/embedding.h"
+
+namespace hygraph::analytics {
+
+/// Classification on hybrid features — Table 2 row C1: "employing trend
+/// analysis for graph-based classification" / "labels, edge/vertex
+/// features". A small exact kNN classifier over embedding vectors; the
+/// interesting part is the feature space (structural, temporal, or hybrid
+/// embeddings from embedding.h), which the Table-2 bench compares.
+
+struct LabeledExample {
+  Embedding features;
+  int label = 0;
+};
+
+/// k-nearest-neighbor classifier (Euclidean, majority vote, ties broken by
+/// the smaller label).
+class KnnClassifier {
+ public:
+  explicit KnnClassifier(size_t k = 5) : k_(k == 0 ? 1 : k) {}
+
+  void Train(std::vector<LabeledExample> examples) {
+    examples_ = std::move(examples);
+  }
+  size_t training_size() const { return examples_.size(); }
+
+  /// Predicted label; error when untrained.
+  Result<int> Predict(const Embedding& features) const;
+
+ private:
+  size_t k_;
+  std::vector<LabeledExample> examples_;
+};
+
+/// Binary-classification quality metrics (positive label = 1).
+struct ClassificationMetrics {
+  size_t true_positives = 0;
+  size_t false_positives = 0;
+  size_t true_negatives = 0;
+  size_t false_negatives = 0;
+
+  double precision() const;
+  double recall() const;
+  double f1() const;
+  double accuracy() const;
+};
+
+/// Accumulates one (actual, predicted) pair into the metrics.
+void AddOutcome(ClassificationMetrics* metrics, bool actual, bool predicted);
+
+/// Leave-one-out cross-validation of kNN over a labeled set; labels are
+/// treated as binary with positive = 1.
+Result<ClassificationMetrics> LeaveOneOutEvaluate(
+    const std::vector<LabeledExample>& examples, size_t k);
+
+}  // namespace hygraph::analytics
+
+#endif  // HYGRAPH_ANALYTICS_CLASSIFY_H_

@@ -1,0 +1,161 @@
+#include "analytics/cluster.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/rng.h"
+
+namespace hygraph::analytics {
+
+Result<ClusteringResult> KMedoids(const EmbeddingMap& embeddings,
+                                  const ClusterOptions& options) {
+  if (options.k == 0) return Status::InvalidArgument("k must be >= 1");
+  if (embeddings.size() < options.k) {
+    return Status::InvalidArgument("fewer points than clusters");
+  }
+  // Deterministic point order.
+  std::vector<graph::VertexId> ids;
+  ids.reserve(embeddings.size());
+  for (const auto& [v, _] : embeddings) ids.push_back(v);
+  std::sort(ids.begin(), ids.end());
+  const size_t n = ids.size();
+
+  auto dist = [&](size_t a, size_t b) {
+    return EmbeddingDistance(embeddings.at(ids[a]), embeddings.at(ids[b]));
+  };
+
+  // Initialize medoids by a k-means++-like greedy spread.
+  Rng rng(options.seed);
+  std::vector<size_t> medoids;
+  medoids.push_back(rng.NextBounded(n));
+  while (medoids.size() < options.k) {
+    size_t best = 0;
+    double best_d = -1.0;
+    for (size_t i = 0; i < n; ++i) {
+      double nearest = std::numeric_limits<double>::infinity();
+      for (size_t m : medoids) nearest = std::min(nearest, dist(i, m));
+      if (nearest > best_d) {
+        best_d = nearest;
+        best = i;
+      }
+    }
+    medoids.push_back(best);
+  }
+
+  std::vector<size_t> assignment(n, 0);
+  auto assign_all = [&]() {
+    for (size_t i = 0; i < n; ++i) {
+      size_t best = 0;
+      double best_d = std::numeric_limits<double>::infinity();
+      for (size_t c = 0; c < medoids.size(); ++c) {
+        const double d = dist(i, medoids[c]);
+        if (d < best_d) {
+          best_d = d;
+          best = c;
+        }
+      }
+      assignment[i] = best;
+    }
+  };
+  auto total_cost = [&]() {
+    double cost = 0.0;
+    for (size_t i = 0; i < n; ++i) cost += dist(i, medoids[assignment[i]]);
+    return cost;
+  };
+
+  assign_all();
+  double cost = total_cost();
+  for (size_t iter = 0; iter < options.max_iterations; ++iter) {
+    bool improved = false;
+    // For each cluster, try the in-cluster point minimizing summed distance.
+    for (size_t c = 0; c < medoids.size(); ++c) {
+      size_t best_medoid = medoids[c];
+      double best_sum = std::numeric_limits<double>::infinity();
+      for (size_t i = 0; i < n; ++i) {
+        if (assignment[i] != c) continue;
+        double sum = 0.0;
+        for (size_t j = 0; j < n; ++j) {
+          if (assignment[j] == c) sum += dist(i, j);
+        }
+        if (sum < best_sum) {
+          best_sum = sum;
+          best_medoid = i;
+        }
+      }
+      if (best_medoid != medoids[c]) {
+        medoids[c] = best_medoid;
+        improved = true;
+      }
+    }
+    if (!improved) break;
+    assign_all();
+    const double new_cost = total_cost();
+    if (new_cost >= cost) break;
+    cost = new_cost;
+  }
+
+  ClusteringResult result;
+  for (size_t i = 0; i < n; ++i) result.assignment[ids[i]] = assignment[i];
+  for (size_t m : medoids) result.medoids.push_back(ids[m]);
+  result.silhouette = Silhouette(embeddings, result.assignment);
+  return result;
+}
+
+Result<ClusteringResult> HybridCluster(const core::HyGraph& hg,
+                                       const ClusterOptions& options,
+                                       double structure_weight,
+                                       const std::string& series_property) {
+  TemporalEmbeddingOptions temporal;
+  temporal.series_property = series_property;
+  auto embeddings =
+      HybridEmbeddings(hg, FastRpOptions{}, temporal, structure_weight);
+  if (!embeddings.ok()) return embeddings.status();
+  return KMedoids(*embeddings, options);
+}
+
+double Silhouette(
+    const EmbeddingMap& embeddings,
+    const std::unordered_map<graph::VertexId, size_t>& assignment) {
+  std::vector<graph::VertexId> ids;
+  for (const auto& [v, _] : embeddings) {
+    if (assignment.count(v)) ids.push_back(v);
+  }
+  std::sort(ids.begin(), ids.end());
+  const size_t n = ids.size();
+  if (n < 2) return 0.0;
+  size_t cluster_count = 0;
+  for (graph::VertexId v : ids) {
+    cluster_count = std::max(cluster_count, assignment.at(v) + 1);
+  }
+  if (cluster_count < 2) return 0.0;
+
+  double total = 0.0;
+  size_t counted = 0;
+  for (size_t i = 0; i < n; ++i) {
+    const size_t own = assignment.at(ids[i]);
+    std::vector<double> sum(cluster_count, 0.0);
+    std::vector<size_t> count(cluster_count, 0);
+    for (size_t j = 0; j < n; ++j) {
+      if (i == j) continue;
+      const size_t cj = assignment.at(ids[j]);
+      sum[cj] += EmbeddingDistance(embeddings.at(ids[i]),
+                                   embeddings.at(ids[j]));
+      ++count[cj];
+    }
+    if (count[own] == 0) continue;  // singleton cluster: silhouette 0
+    const double a = sum[own] / static_cast<double>(count[own]);
+    double b = std::numeric_limits<double>::infinity();
+    for (size_t c = 0; c < cluster_count; ++c) {
+      if (c == own || count[c] == 0) continue;
+      b = std::min(b, sum[c] / static_cast<double>(count[c]));
+    }
+    if (!std::isfinite(b)) continue;
+    const double s = (b - a) / std::max(a, b);
+    total += s;
+    ++counted;
+  }
+  return counted == 0 ? 0.0 : total / static_cast<double>(counted);
+}
+
+}  // namespace hygraph::analytics

@@ -1,0 +1,52 @@
+#ifndef HYGRAPH_ANALYTICS_CLUSTER_H_
+#define HYGRAPH_ANALYTICS_CLUSTER_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "analytics/embedding.h"
+#include "core/hygraph.h"
+
+namespace hygraph::analytics {
+
+/// Hybrid clustering — Table 2 row C2: "methods that utilize features from
+/// time series for clustering based on the graph structure". Vertices are
+/// clustered in the hybrid embedding space (structure x temporal), so
+/// entities group together only when they are both topologically and
+/// behaviourally similar — the paper's credit-card clusters.
+
+struct ClusterOptions {
+  size_t k = 4;                ///< number of clusters
+  size_t max_iterations = 50;  ///< k-medoids refinement rounds
+  uint64_t seed = 7;           ///< medoid initialization seed
+};
+
+struct ClusteringResult {
+  /// vertex → cluster index in [0, k).
+  std::unordered_map<graph::VertexId, size_t> assignment;
+  /// Medoid vertex of each cluster.
+  std::vector<graph::VertexId> medoids;
+  /// Mean silhouette over all points in [-1, 1]; higher = better separated.
+  double silhouette = 0.0;
+};
+
+/// k-medoids (PAM-style greedy swaps) over precomputed embeddings.
+Result<ClusteringResult> KMedoids(const EmbeddingMap& embeddings,
+                                  const ClusterOptions& options = {});
+
+/// Convenience: hybrid embeddings + k-medoids in one call.
+Result<ClusteringResult> HybridCluster(const core::HyGraph& hg,
+                                       const ClusterOptions& options = {},
+                                       double structure_weight = 0.5,
+                                       const std::string& series_property =
+                                           "history");
+
+/// Mean silhouette coefficient of an assignment under Euclidean embedding
+/// distance (exposed for tests and the ablation bench).
+double Silhouette(const EmbeddingMap& embeddings,
+                  const std::unordered_map<graph::VertexId, size_t>& assignment);
+
+}  // namespace hygraph::analytics
+
+#endif  // HYGRAPH_ANALYTICS_CLUSTER_H_

@@ -1,0 +1,79 @@
+#include "analytics/corr_reach.h"
+
+#include <deque>
+#include <unordered_set>
+
+#include "ts/correlate.h"
+
+namespace hygraph::analytics {
+
+namespace {
+
+Result<ts::Series> VertexSignal(const core::HyGraph& hg, graph::VertexId v,
+                                const std::string& series_property) {
+  if (hg.IsTsVertex(v)) {
+    return (*hg.VertexSeries(v))->VariableByIndex(0);
+  }
+  auto prop = hg.GetVertexSeriesProperty(v, series_property);
+  if (!prop.ok()) return prop.status();
+  return (*prop)->VariableByIndex(0);
+}
+
+}  // namespace
+
+Result<std::vector<CorrReachHit>> CorrelationReachability(
+    const core::HyGraph& hg, graph::VertexId source,
+    const CorrReachOptions& options) {
+  if (!hg.structure().HasVertex(source)) {
+    return Status::NotFound("no vertex with id " + std::to_string(source));
+  }
+  if (options.min_correlation < -1.0 || options.min_correlation > 1.0) {
+    return Status::InvalidArgument("min_correlation must be in [-1, 1]");
+  }
+  // Cache each vertex's signal; vertices without one block traversal.
+  std::unordered_map<graph::VertexId, ts::Series> signals;
+  auto signal_of = [&](graph::VertexId v) -> const ts::Series* {
+    auto it = signals.find(v);
+    if (it != signals.end()) return it->second.empty() ? nullptr : &it->second;
+    auto series = VertexSignal(hg, v, options.series_property);
+    auto [pos, _] =
+        signals.emplace(v, series.ok() ? std::move(*series) : ts::Series());
+    return pos->second.empty() ? nullptr : &pos->second;
+  };
+
+  std::vector<CorrReachHit> out;
+  std::unordered_set<graph::VertexId> seen{source};
+  std::deque<CorrReachHit> frontier{{source, 0, 1.0}};
+  while (!frontier.empty()) {
+    const CorrReachHit cur = frontier.front();
+    frontier.pop_front();
+    out.push_back(cur);
+    if (cur.depth >= options.max_depth) continue;
+    const ts::Series* cur_signal = signal_of(cur.vertex);
+    if (cur_signal == nullptr) continue;
+    auto consider = [&](graph::EdgeId eid, bool outgoing) {
+      const graph::Edge& e = **hg.structure().GetEdge(eid);
+      if (!options.edge_label.empty() && e.label != options.edge_label) {
+        return;
+      }
+      const graph::VertexId nb = outgoing ? e.dst : e.src;
+      if (seen.count(nb)) return;
+      const ts::Series* nb_signal = signal_of(nb);
+      if (nb_signal == nullptr) return;
+      auto corr = ts::Correlation(*cur_signal, *nb_signal,
+                                  options.min_overlap);
+      if (!corr.ok() || *corr < options.min_correlation) return;
+      seen.insert(nb);
+      frontier.push_back({nb, cur.depth + 1, *corr});
+    };
+    for (graph::EdgeId eid : hg.structure().OutEdges(cur.vertex)) {
+      consider(eid, true);
+    }
+    for (graph::EdgeId eid : hg.structure().InEdges(cur.vertex)) {
+      consider(eid, false);
+    }
+  }
+  return out;
+}
+
+}  // namespace hygraph::analytics

@@ -1,0 +1,46 @@
+#ifndef HYGRAPH_ANALYTICS_CORR_REACH_H_
+#define HYGRAPH_ANALYTICS_CORR_REACH_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "core/hygraph.h"
+
+namespace hygraph::analytics {
+
+/// Correlation-constrained reachability — roadmap operator (Q3): "measures
+/// the correlation between time-series data of vertices to enhance
+/// reachability analysis, aiding in identifying entities with similar
+/// temporal patterns". A vertex u is corr-reachable from s when there is a
+/// path s = v0, v1, ..., vk = u such that every hop (vi, vi+1) is a graph
+/// edge AND corr(series(vi), series(vi+1)) >= min_correlation.
+struct CorrReachOptions {
+  double min_correlation = 0.7;
+  /// Series source for PG vertices (TS vertices use their own series).
+  std::string series_property = "history";
+  /// Restrict traversal to edges with this label (empty = all).
+  std::string edge_label;
+  size_t max_depth = ~size_t{0};
+  /// Minimum aligned samples for a correlation to count.
+  size_t min_overlap = 4;
+};
+
+/// One reached vertex with its discovery depth and the correlation of the
+/// hop that reached it.
+struct CorrReachHit {
+  graph::VertexId vertex = graph::kInvalidVertexId;
+  size_t depth = 0;
+  double hop_correlation = 1.0;
+};
+
+/// BFS from `source` following only correlation-satisfying hops (edges are
+/// traversed in both directions). The source itself is included at depth 0.
+Result<std::vector<CorrReachHit>> CorrelationReachability(
+    const core::HyGraph& hg, graph::VertexId source,
+    const CorrReachOptions& options = {});
+
+}  // namespace hygraph::analytics
+
+#endif  // HYGRAPH_ANALYTICS_CORR_REACH_H_

@@ -1,0 +1,101 @@
+#include "analytics/detection.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/stats.h"
+#include "ts/series.h"
+
+namespace hygraph::analytics {
+
+namespace {
+
+Result<ts::Series> VertexSignal(const core::HyGraph& hg, graph::VertexId v,
+                                const std::string& series_property) {
+  if (hg.IsTsVertex(v)) {
+    return (*hg.VertexSeries(v))->VariableByIndex(0);
+  }
+  auto prop = hg.GetVertexSeriesProperty(v, series_property);
+  if (!prop.ok()) return prop.status();
+  return (*prop)->VariableByIndex(0);
+}
+
+double SeriesStatistic(const ts::Series& series,
+                       ContextualDetectionOptions::Statistic statistic) {
+  const std::vector<double> values = series.Values();
+  switch (statistic) {
+    case ContextualDetectionOptions::Statistic::kMean:
+      return Mean(values);
+    case ContextualDetectionOptions::Statistic::kMax:
+      return values.empty() ? 0.0
+                            : *std::max_element(values.begin(), values.end());
+    case ContextualDetectionOptions::Statistic::kStdDev:
+      return StdDev(values);
+  }
+  return 0.0;
+}
+
+}  // namespace
+
+Result<ContextualDetectionResult> DetectContextualAnomalies(
+    const core::HyGraph& hg, const ContextualDetectionOptions& options) {
+  if (options.threshold <= 0.0) {
+    return Status::InvalidArgument("threshold must be positive");
+  }
+  ContextualDetectionResult result;
+  auto communities = graph::Louvain(hg.structure());
+  if (!communities.ok()) return communities.status();
+  result.communities = std::move(*communities);
+
+  // Per-vertex statistic (vertices without a series are skipped).
+  std::unordered_map<graph::VertexId, double> statistic;
+  for (graph::VertexId v : hg.structure().VertexIds()) {
+    auto series = VertexSignal(hg, v, options.series_property);
+    if (!series.ok() || series->empty()) continue;
+    statistic[v] = SeriesStatistic(*series, options.statistic);
+  }
+  if (statistic.empty()) {
+    return Status::FailedPrecondition(
+        "no vertex has a usable series for detection");
+  }
+
+  // Community value pools (plus the global pool for tiny communities).
+  std::unordered_map<size_t, std::vector<double>> pools;
+  std::vector<double> global_pool;
+  for (const auto& [v, x] : statistic) {
+    auto community = result.communities.find(v);
+    if (community == result.communities.end()) continue;
+    pools[community->second].push_back(x);
+    global_pool.push_back(x);
+  }
+  const double global_mean = Mean(global_pool);
+  const double global_sd = StdDev(global_pool);
+
+  for (const auto& [v, x] : statistic) {
+    auto community = result.communities.find(v);
+    if (community == result.communities.end()) continue;
+    const std::vector<double>& pool = pools[community->second];
+    double mean;
+    double sd;
+    if (pool.size() >= options.min_community_size) {
+      mean = Mean(pool);
+      sd = StdDev(pool);
+    } else {
+      mean = global_mean;
+      sd = global_sd;
+    }
+    if (sd < 1e-12) continue;
+    const double z = (x - mean) / sd;
+    if (std::abs(z) >= options.threshold) {
+      result.anomalies.push_back(
+          ContextualAnomaly{v, community->second, x, mean, z});
+    }
+  }
+  std::sort(result.anomalies.begin(), result.anomalies.end(),
+            [](const ContextualAnomaly& a, const ContextualAnomaly& b) {
+              return std::abs(a.z_score) > std::abs(b.z_score);
+            });
+  return result;
+}
+
+}  // namespace hygraph::analytics

@@ -1,0 +1,52 @@
+#ifndef HYGRAPH_ANALYTICS_DETECTION_H_
+#define HYGRAPH_ANALYTICS_DETECTION_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "core/hygraph.h"
+#include "graph/community.h"
+
+namespace hygraph::analytics {
+
+/// Community-contextual anomaly detection — Table 2 row D: "HyGRAPH
+/// exploits such a duality to enrich anomaly detection with contextual data
+/// from graph communities". Instead of judging each vertex's series against
+/// the global population (which flags every member of a legitimately busy
+/// community), a vertex is anomalous when its behaviour deviates from the
+/// distribution of *its own community*.
+
+struct ContextualDetectionOptions {
+  /// Series source for PG vertices (TS vertices use their own series).
+  std::string series_property = "history";
+  /// How many community standard deviations away counts as anomalous.
+  double threshold = 3.0;
+  /// Statistic of each vertex's series compared within the community.
+  enum class Statistic { kMean, kMax, kStdDev } statistic = Statistic::kMean;
+  /// Communities smaller than this fall back to the global distribution.
+  size_t min_community_size = 4;
+};
+
+struct ContextualAnomaly {
+  graph::VertexId vertex = graph::kInvalidVertexId;
+  size_t community = 0;
+  double statistic = 0.0;        ///< this vertex's value of the statistic
+  double community_mean = 0.0;
+  double z_score = 0.0;          ///< deviation in community stddevs
+};
+
+struct ContextualDetectionResult {
+  graph::CommunityAssignment communities;
+  std::vector<ContextualAnomaly> anomalies;  ///< sorted by |z| descending
+};
+
+/// Runs Louvain on the structure, computes each vertex's series statistic,
+/// and flags vertices deviating from their community's distribution.
+Result<ContextualDetectionResult> DetectContextualAnomalies(
+    const core::HyGraph& hg, const ContextualDetectionOptions& options = {});
+
+}  // namespace hygraph::analytics
+
+#endif  // HYGRAPH_ANALYTICS_DETECTION_H_

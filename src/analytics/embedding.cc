@@ -1,0 +1,196 @@
+#include "analytics/embedding.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.h"
+#include "common/stats.h"
+#include "ts/features.h"
+
+namespace hygraph::analytics {
+
+Result<EmbeddingMap> FastRp(const graph::PropertyGraph& graph,
+                            const FastRpOptions& options) {
+  if (options.dimensions == 0) {
+    return Status::InvalidArgument("dimensions must be >= 1");
+  }
+  if (options.iterations == 0) {
+    return Status::InvalidArgument("iterations must be >= 1");
+  }
+  std::vector<double> weights = options.weights;
+  if (weights.empty()) {
+    for (size_t i = 1; i <= options.iterations; ++i) {
+      weights.push_back(1.0 / static_cast<double>(i));
+    }
+  }
+  if (weights.size() != options.iterations) {
+    return Status::InvalidArgument("weights must match iterations");
+  }
+
+  const std::vector<graph::VertexId> ids = graph.VertexIds();
+  const size_t d = options.dimensions;
+
+  // Very sparse random projection (Achlioptas): entries in
+  // {-sqrt(s), 0, +sqrt(s)} with P = {1/2s, 1-1/s, 1/2s}, s = 3. Seeded per
+  // vertex so the embedding is independent of vertex iteration order.
+  EmbeddingMap current;
+  const double s = 3.0;
+  const double scale = std::sqrt(s);
+  for (graph::VertexId v : ids) {
+    Rng rng(options.seed * 0x9e3779b97f4a7c15ULL + v + 1);
+    Embedding row(d, 0.0);
+    for (size_t k = 0; k < d; ++k) {
+      const double u = rng.NextDouble();
+      if (u < 1.0 / (2.0 * s)) {
+        row[k] = scale;
+      } else if (u < 1.0 / s) {
+        row[k] = -scale;
+      }
+    }
+    current[v] = std::move(row);
+  }
+
+  auto l2_normalize = [](Embedding* e) {
+    double norm = 0.0;
+    for (double x : *e) norm += x * x;
+    norm = std::sqrt(norm);
+    if (norm > 1e-12) {
+      for (double& x : *e) x /= norm;
+    }
+  };
+
+  EmbeddingMap result;
+  for (graph::VertexId v : ids) result[v] = Embedding(d, 0.0);
+
+  for (size_t iter = 0; iter < options.iterations; ++iter) {
+    // One propagation step: average neighbor embeddings (undirected view).
+    EmbeddingMap next;
+    for (graph::VertexId v : ids) {
+      Embedding acc(d, 0.0);
+      const std::vector<graph::VertexId> nbs = graph.Neighbors(v);
+      for (graph::VertexId nb : nbs) {
+        const Embedding& nb_embedding = current[nb];
+        for (size_t k = 0; k < d; ++k) acc[k] += nb_embedding[k];
+      }
+      if (!nbs.empty()) {
+        for (double& x : acc) x /= static_cast<double>(nbs.size());
+      }
+      l2_normalize(&acc);
+      next[v] = std::move(acc);
+    }
+    current = std::move(next);
+    for (graph::VertexId v : ids) {
+      for (size_t k = 0; k < d; ++k) {
+        result[v][k] += weights[iter] * current[v][k];
+      }
+    }
+  }
+  for (graph::VertexId v : ids) l2_normalize(&result[v]);
+  return result;
+}
+
+Result<EmbeddingMap> TemporalEmbeddings(
+    const core::HyGraph& hg, const TemporalEmbeddingOptions& options) {
+  // Collect raw feature vectors.
+  EmbeddingMap raw;
+  for (graph::VertexId v : hg.structure().VertexIds()) {
+    ts::Series series;
+    if (hg.IsTsVertex(v)) {
+      series = (*hg.VertexSeries(v))->VariableByIndex(0);
+    } else {
+      auto prop = hg.GetVertexSeriesProperty(v, options.series_property);
+      if (!prop.ok()) continue;  // no temporal signal on this vertex
+      series = (*prop)->VariableByIndex(0);
+    }
+    auto features = ts::ComputeFeatures(series);
+    if (!features.ok()) continue;  // too short to featurize
+    raw[v] = features->ToVector();
+  }
+  if (raw.empty()) {
+    return Status::FailedPrecondition(
+        "no vertex has a usable series for temporal embedding");
+  }
+  // Z-normalize per dimension across the population so no single feature
+  // dominates distances.
+  const size_t d = ts::SeriesFeatures::kDimension;
+  std::vector<double> mean(d, 0.0);
+  std::vector<double> sd(d, 0.0);
+  for (const auto& [_, e] : raw) {
+    for (size_t k = 0; k < d; ++k) mean[k] += e[k];
+  }
+  for (double& m : mean) m /= static_cast<double>(raw.size());
+  for (const auto& [_, e] : raw) {
+    for (size_t k = 0; k < d; ++k) {
+      sd[k] += (e[k] - mean[k]) * (e[k] - mean[k]);
+    }
+  }
+  for (double& x : sd) {
+    x = std::sqrt(x / static_cast<double>(raw.size()));
+  }
+  for (auto& [_, e] : raw) {
+    for (size_t k = 0; k < d; ++k) {
+      // Relative threshold: a dimension that is constant across the
+      // population up to floating-point noise must not be z-amplified
+      // into a full-weight random direction.
+      const bool informative = sd[k] > 1e-9 * (1.0 + std::abs(mean[k]));
+      e[k] = informative ? (e[k] - mean[k]) / sd[k] : 0.0;
+    }
+  }
+  return raw;
+}
+
+Result<EmbeddingMap> HybridEmbeddings(const core::HyGraph& hg,
+                                      const FastRpOptions& structural,
+                                      const TemporalEmbeddingOptions& temporal,
+                                      double structure_weight) {
+  if (structure_weight < 0.0 || structure_weight > 1.0) {
+    return Status::InvalidArgument("structure_weight must be in [0, 1]");
+  }
+  auto structure = FastRp(hg.structure(), structural);
+  if (!structure.ok()) return structure.status();
+  auto time_part = TemporalEmbeddings(hg, temporal);
+  if (!time_part.ok()) return time_part.status();
+  EmbeddingMap out;
+  for (const auto& [v, se] : *structure) {
+    auto te = time_part->find(v);
+    if (te == time_part->end()) continue;
+    Embedding combined;
+    combined.reserve(se.size() + te->second.size());
+    for (double x : se) combined.push_back(structure_weight * x);
+    for (double x : te->second) {
+      combined.push_back((1.0 - structure_weight) * x);
+    }
+    out[v] = std::move(combined);
+  }
+  if (out.empty()) {
+    return Status::FailedPrecondition(
+        "no vertex has both structural and temporal embeddings");
+  }
+  return out;
+}
+
+double CosineSimilarity(const Embedding& a, const Embedding& b) {
+  const size_t n = std::min(a.size(), b.size());
+  double dot = 0.0;
+  double na = 0.0;
+  double nb = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    dot += a[i] * b[i];
+    na += a[i] * a[i];
+    nb += b[i] * b[i];
+  }
+  if (na < 1e-20 || nb < 1e-20) return 0.0;
+  return dot / std::sqrt(na * nb);
+}
+
+double EmbeddingDistance(const Embedding& a, const Embedding& b) {
+  const size_t n = std::min(a.size(), b.size());
+  double acc = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    const double d = a[i] - b[i];
+    acc += d * d;
+  }
+  return std::sqrt(acc);
+}
+
+}  // namespace hygraph::analytics

@@ -1,0 +1,54 @@
+#ifndef HYGRAPH_ANALYTICS_EMBEDDING_H_
+#define HYGRAPH_ANALYTICS_EMBEDDING_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "core/hygraph.h"
+#include "graph/property_graph.h"
+
+namespace hygraph::analytics {
+
+using Embedding = std::vector<double>;
+using EmbeddingMap = std::unordered_map<graph::VertexId, Embedding>;
+
+/// FastRP-style structural embedding [23]: very sparse random projection of
+/// the adjacency structure, iterated and combined across hop depths.
+struct FastRpOptions {
+  size_t dimensions = 32;
+  size_t iterations = 3;           ///< hop depths combined
+  std::vector<double> weights;     ///< per-iteration weights; defaults 1/i
+  uint64_t seed = 42;
+};
+Result<EmbeddingMap> FastRp(const graph::PropertyGraph& graph,
+                            const FastRpOptions& options = {});
+
+/// Temporal embedding of a HyGraph vertex: the statistical feature vector
+/// of its series (TS vertices use δ; PG vertices use the named series
+/// property), z-normalized per dimension across the population.
+struct TemporalEmbeddingOptions {
+  /// Series property key consulted for PG vertices (TS vertices always use
+  /// their own series, first variable).
+  std::string series_property = "history";
+};
+Result<EmbeddingMap> TemporalEmbeddings(
+    const core::HyGraph& hg, const TemporalEmbeddingOptions& options = {});
+
+/// Hybrid embedding (Table 2 row E): concatenation of the structural and
+/// temporal embeddings, with the structural part scaled by
+/// `structure_weight` and the temporal part by (1 - structure_weight).
+/// Vertices missing either part are skipped.
+Result<EmbeddingMap> HybridEmbeddings(const core::HyGraph& hg,
+                                      const FastRpOptions& structural,
+                                      const TemporalEmbeddingOptions& temporal,
+                                      double structure_weight = 0.5);
+
+/// Cosine similarity of two embeddings (0 when degenerate).
+double CosineSimilarity(const Embedding& a, const Embedding& b);
+/// Euclidean distance between two embeddings (must be equal length).
+double EmbeddingDistance(const Embedding& a, const Embedding& b);
+
+}  // namespace hygraph::analytics
+
+#endif  // HYGRAPH_ANALYTICS_EMBEDDING_H_

@@ -1,0 +1,264 @@
+#include "analytics/fraud.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "ts/anomaly.h"
+#include "ts/correlate.h"
+
+namespace hygraph::analytics {
+
+namespace {
+
+// One high-amount transaction event gathered from a card's TX edges.
+struct TxEvent {
+  Timestamp t = 0;
+  graph::VertexId merchant = graph::kInvalidVertexId;
+  double amount = 0.0;
+};
+
+Result<double> NumericProperty(const core::HyGraph& hg, graph::VertexId v,
+                               const std::string& key) {
+  auto value = hg.GetVertexProperty(v, key);
+  if (!value.ok()) return value.status();
+  return value->ToDouble();
+}
+
+// Cards used by a user (out-edges labeled USES).
+std::vector<graph::VertexId> CardsOf(const core::HyGraph& hg,
+                                     graph::VertexId user) {
+  std::vector<graph::VertexId> cards;
+  for (graph::EdgeId e : hg.structure().OutEdges(user)) {
+    const graph::Edge& edge = **hg.structure().GetEdge(e);
+    if (edge.label == "USES") cards.push_back(edge.dst);
+  }
+  return cards;
+}
+
+// Owner of a card (in-edge labeled USES), if any.
+Result<graph::VertexId> OwnerOf(const core::HyGraph& hg,
+                                graph::VertexId card) {
+  for (graph::EdgeId e : hg.structure().InEdges(card)) {
+    const graph::Edge& edge = **hg.structure().GetEdge(e);
+    if (edge.label == "USES") return edge.src;
+  }
+  return Status::NotFound("card " + std::to_string(card) + " has no owner");
+}
+
+// All transactions above the amount threshold on one card.
+Result<std::vector<TxEvent>> HighValueTransactions(
+    const core::HyGraph& hg, graph::VertexId card, double amount_threshold) {
+  std::vector<TxEvent> events;
+  for (graph::EdgeId e : hg.structure().OutEdges(card)) {
+    const graph::Edge& edge = **hg.structure().GetEdge(e);
+    if (edge.label != "TX" || !hg.IsTsEdge(e)) continue;
+    const ts::MultiSeries& series = **hg.EdgeSeries(e);
+    auto amount_idx = series.VariableIndex("amount");
+    if (!amount_idx.ok()) return amount_idx.status();
+    for (size_t row = 0; row < series.size(); ++row) {
+      const double amount = series.at(row, *amount_idx);
+      if (amount > amount_threshold) {
+        events.push_back(TxEvent{series.times()[row], edge.dst, amount});
+      }
+    }
+  }
+  std::sort(events.begin(), events.end(),
+            [](const TxEvent& a, const TxEvent& b) { return a.t < b.t; });
+  return events;
+}
+
+// True when >= min_merchants distinct merchants appear within one time
+// window of `window` ms and all pairwise merchant distances are < radius.
+Result<bool> HasBurstToNearbyMerchants(const core::HyGraph& hg,
+                                       const std::vector<TxEvent>& events,
+                                       const GraphDetectorOptions& options) {
+  if (events.size() < options.min_merchants) return false;
+  // Cache merchant coordinates.
+  std::unordered_map<graph::VertexId, std::pair<double, double>> loc;
+  for (const TxEvent& ev : events) {
+    if (loc.count(ev.merchant)) continue;
+    auto x = NumericProperty(hg, ev.merchant, "x");
+    if (!x.ok()) return x.status();
+    auto y = NumericProperty(hg, ev.merchant, "y");
+    if (!y.ok()) return y.status();
+    loc[ev.merchant] = {*x, *y};
+  }
+  auto near = [&](graph::VertexId a, graph::VertexId b) {
+    const auto [ax, ay] = loc[a];
+    const auto [bx, by] = loc[b];
+    const double dx = ax - bx;
+    const double dy = ay - by;
+    return std::sqrt(dx * dx + dy * dy) < options.radius;
+  };
+  // Slide a time window over the sorted events; within a window, count the
+  // largest clique-ish set of mutually-near merchants greedily (merchant
+  // counts are tiny, so the quadratic check is fine).
+  size_t lo = 0;
+  for (size_t hi = 0; hi < events.size(); ++hi) {
+    while (events[hi].t - events[lo].t > options.window) ++lo;
+    std::set<graph::VertexId> merchants;
+    for (size_t i = lo; i <= hi; ++i) merchants.insert(events[i].merchant);
+    if (merchants.size() < options.min_merchants) continue;
+    for (graph::VertexId anchor : merchants) {
+      size_t near_count = 0;
+      for (graph::VertexId other : merchants) {
+        if (near(anchor, other)) ++near_count;
+      }
+      if (near_count >= options.min_merchants) return true;
+    }
+  }
+  return false;
+}
+
+FraudVerdict ToVerdict(std::set<graph::VertexId> flagged) {
+  FraudVerdict verdict;
+  verdict.flagged_users.assign(flagged.begin(), flagged.end());
+  return verdict;
+}
+
+// First difference of a series. Balance *levels* are random walks, whose
+// correlations are spurious (unit roots); balance *changes* only correlate
+// when events (crashes, sprees) coincide in time — the signal the
+// similarity evidence is actually after.
+ts::Series Differenced(const ts::Series& series) {
+  ts::Series out(series.name() + "_diff");
+  for (size_t i = 1; i < series.size(); ++i) {
+    (void)out.Append(series.at(i).t,
+                     series.at(i).value - series.at(i - 1).value);
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<FraudVerdict> DetectFraudGraphOnly(const core::HyGraph& hg,
+                                          const GraphDetectorOptions& options) {
+  std::set<graph::VertexId> flagged;
+  for (graph::VertexId user : hg.structure().VerticesWithLabel("User")) {
+    for (graph::VertexId card : CardsOf(hg, user)) {
+      auto events =
+          HighValueTransactions(hg, card, options.amount_threshold);
+      if (!events.ok()) return events.status();
+      auto burst = HasBurstToNearbyMerchants(hg, *events, options);
+      if (!burst.ok()) return burst.status();
+      if (*burst) {
+        flagged.insert(user);
+        break;
+      }
+    }
+  }
+  return ToVerdict(std::move(flagged));
+}
+
+Result<FraudVerdict> DetectFraudTsOnly(const core::HyGraph& hg,
+                                       const TsDetectorOptions& options) {
+  std::set<graph::VertexId> flagged;
+  for (graph::VertexId card : hg.structure().VerticesWithLabel("CreditCard")) {
+    if (!hg.IsTsVertex(card)) continue;
+    auto balance = (*hg.VertexSeries(card))->Variable("balance");
+    if (!balance.ok()) return balance.status();
+    auto anomalies = ts::DetectSlidingWindow(*balance, options.window_samples,
+                                             options.threshold);
+    if (!anomalies.ok()) return anomalies.status();
+    if (anomalies->empty()) continue;
+    auto owner = OwnerOf(hg, card);
+    if (owner.ok()) flagged.insert(*owner);
+  }
+  return ToVerdict(std::move(flagged));
+}
+
+Result<FraudVerdict> DetectFraudHybrid(const core::HyGraph& hg,
+                                       const HybridDetectorOptions& options,
+                                       core::HyGraph* annotate) {
+  auto graph_verdict = DetectFraudGraphOnly(hg, options.graph);
+  if (!graph_verdict.ok()) return graph_verdict.status();
+  auto ts_verdict = DetectFraudTsOnly(hg, options.ts);
+  if (!ts_verdict.ok()) return ts_verdict.status();
+  const std::unordered_set<graph::VertexId> by_graph(
+      graph_verdict->flagged_users.begin(),
+      graph_verdict->flagged_users.end());
+  const std::unordered_set<graph::VertexId> by_ts(
+      ts_verdict->flagged_users.begin(), ts_verdict->flagged_users.end());
+
+  // Core rule: both signals agree -> fraud. This resolves the paper's
+  // "User 3" (TS-only heavy spender) and the naive graph path's burst
+  // shoppers.
+  std::set<graph::VertexId> flagged;
+  for (graph::VertexId user : by_graph) {
+    if (by_ts.count(user)) flagged.insert(user);
+  }
+
+  // Similarity evidence: a user flagged by only one detector is promoted
+  // when one of their cards behaves like a card of a both-signal fraudster
+  // (the running example's credit-card similarity TS edges).
+  if (options.use_similarity_evidence) {
+    // Balance series per card of the confirmed fraudsters.
+    std::vector<ts::Series> fraud_balances;
+    for (graph::VertexId user : flagged) {
+      for (graph::VertexId card : CardsOf(hg, user)) {
+        if (!hg.IsTsVertex(card)) continue;
+        auto balance = (*hg.VertexSeries(card))->Variable("balance");
+        if (balance.ok()) fraud_balances.push_back(Differenced(*balance));
+      }
+    }
+    std::set<graph::VertexId> singles;
+    for (graph::VertexId user : by_graph) {
+      if (!flagged.count(user)) singles.insert(user);
+    }
+    for (graph::VertexId user : by_ts) {
+      if (!flagged.count(user)) singles.insert(user);
+    }
+    for (graph::VertexId user : singles) {
+      bool similar = false;
+      for (graph::VertexId card : CardsOf(hg, user)) {
+        if (!hg.IsTsVertex(card)) continue;
+        auto balance = (*hg.VertexSeries(card))->Variable("balance");
+        if (!balance.ok()) continue;
+        const ts::Series changes = Differenced(*balance);
+        for (const ts::Series& other : fraud_balances) {
+          auto corr = ts::Correlation(changes, other);
+          if (corr.ok() && *corr >= options.card_similarity) {
+            similar = true;
+            break;
+          }
+        }
+        if (similar) break;
+      }
+      if (similar) flagged.insert(user);
+    }
+  }
+
+  if (annotate != nullptr) {
+    auto subgraph = annotate->CreateSubgraph({"Suspicious"}, {});
+    if (!subgraph.ok()) return subgraph.status();
+    for (graph::VertexId user : flagged) {
+      HYGRAPH_RETURN_IF_ERROR(
+          annotate->SetVertexProperty(user, "suspicious", Value(true)));
+      HYGRAPH_RETURN_IF_ERROR(annotate->AddToSubgraph(
+          *subgraph, core::ElementRef::OfVertex(user), Interval::All()));
+    }
+  }
+  return ToVerdict(std::move(flagged));
+}
+
+Result<ClassificationMetrics> EvaluateVerdict(const core::HyGraph& hg,
+                                              const FraudVerdict& verdict) {
+  const std::unordered_set<graph::VertexId> flagged(
+      verdict.flagged_users.begin(), verdict.flagged_users.end());
+  ClassificationMetrics metrics;
+  for (graph::VertexId user : hg.structure().VerticesWithLabel("User")) {
+    auto gt = hg.GetVertexProperty(user, "gt_fraud");
+    if (!gt.ok() || !gt->is_bool()) {
+      return Status::FailedPrecondition(
+          "user " + std::to_string(user) +
+          " lacks the boolean ground-truth property 'gt_fraud'");
+    }
+    AddOutcome(&metrics, gt->AsBool(), flagged.count(user) > 0);
+  }
+  return metrics;
+}
+
+}  // namespace hygraph::analytics

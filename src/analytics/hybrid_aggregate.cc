@@ -1,0 +1,98 @@
+#include "analytics/hybrid_aggregate.h"
+
+#include <map>
+
+#include "ts/downsample.h"
+
+namespace hygraph::analytics {
+
+namespace {
+
+// Member series lookup mirroring the hybrid-match convention.
+Result<ts::Series> MemberSeries(const core::HyGraph& hg, graph::VertexId v,
+                                const std::string& series_property) {
+  if (hg.IsTsVertex(v)) {
+    return (*hg.VertexSeries(v))->VariableByIndex(0);
+  }
+  auto prop = hg.GetVertexSeriesProperty(v, series_property);
+  if (!prop.ok()) return prop.status();
+  return (*prop)->VariableByIndex(0);
+}
+
+}  // namespace
+
+Result<HybridAggregateResult> HybridAggregate(
+    const core::HyGraph& hg, const HybridAggregateOptions& options) {
+  if (options.group_key.empty()) {
+    return Status::InvalidArgument("group_key must be set");
+  }
+  if (options.granularity <= 0) {
+    return Status::InvalidArgument("granularity must be positive");
+  }
+  // 1. Structural grouping via the graph substrate.
+  graph::GroupingSpec spec;
+  spec.vertex_group_key = options.group_key;
+  auto grouped = graph::GroupBy(hg.structure(), spec);
+  if (!grouped.ok()) return grouped.status();
+
+  // 2. Resample every member series to the target granularity and merge
+  //    per super-vertex, bucket by bucket.
+  struct BucketAgg {
+    ts::AggState state;
+  };
+  // super-vertex (in grouped.summary ids) -> bucket start -> merge state
+  std::unordered_map<graph::VertexId, std::map<Timestamp, BucketAgg>> merged;
+  for (const auto& [member, super] : grouped->vertex_to_super) {
+    auto series = MemberSeries(hg, member, options.series_property);
+    if (!series.ok()) continue;  // members without series contribute nothing
+    auto resampled = ts::WindowAggregate(*series, series->TimeSpan(),
+                                         options.granularity,
+                                         options.resample);
+    if (!resampled.ok()) return resampled.status();
+    for (const ts::Sample& s : resampled->samples()) {
+      // Align buckets on the global granularity grid so different members'
+      // windows coincide.
+      const Timestamp bucket =
+          (s.t / options.granularity) * options.granularity;
+      merged[super][bucket].state.Add(ts::Sample{bucket, s.value});
+    }
+  }
+
+  // 3. Emit the summary HyGraph: each super-vertex becomes a TS vertex
+  //    carrying the merged series; grouped edges become PG edges.
+  HybridAggregateResult result;
+  std::unordered_map<graph::VertexId, graph::VertexId> super_remap;
+  for (graph::VertexId super : grouped->summary.VertexIds()) {
+    const graph::Vertex& sv = **grouped->summary.GetVertex(super);
+    ts::MultiSeries ms("group_" + std::to_string(super),
+                       {ts::AggKindName(options.merge)});
+    auto buckets = merged.find(super);
+    if (buckets != merged.end()) {
+      for (const auto& [bucket, agg] : buckets->second) {
+        auto value = agg.state.Finalize(options.merge);
+        if (!value.ok()) return value.status();
+        HYGRAPH_RETURN_IF_ERROR(ms.AppendRow(bucket, {*value}));
+      }
+    }
+    auto added = result.summary.AddTsVertex(sv.labels, std::move(ms));
+    if (!added.ok()) return added.status();
+    for (const auto& [key, value] : sv.properties) {
+      HYGRAPH_RETURN_IF_ERROR(
+          result.summary.SetVertexProperty(*added, key, value));
+    }
+    super_remap[super] = *added;
+  }
+  for (graph::EdgeId e : grouped->summary.EdgeIds()) {
+    const graph::Edge& edge = **grouped->summary.GetEdge(e);
+    auto added = result.summary.AddPgEdge(super_remap.at(edge.src),
+                                          super_remap.at(edge.dst),
+                                          edge.label, edge.properties);
+    if (!added.ok()) return added.status();
+  }
+  for (const auto& [member, super] : grouped->vertex_to_super) {
+    result.vertex_to_super[member] = super_remap.at(super);
+  }
+  return result;
+}
+
+}  // namespace hygraph::analytics

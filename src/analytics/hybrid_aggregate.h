@@ -1,0 +1,46 @@
+#ifndef HYGRAPH_ANALYTICS_HYBRID_AGGREGATE_H_
+#define HYGRAPH_ANALYTICS_HYBRID_AGGREGATE_H_
+
+#include <string>
+#include <unordered_map>
+
+#include "common/status.h"
+#include "core/hygraph.h"
+#include "graph/aggregate.h"
+#include "ts/aggregate.h"
+
+namespace hygraph::analytics {
+
+/// Hybrid aggregation — roadmap operator (Q2): "summarizes and aggregates
+/// graph elements and adjusts the frequency of associated time series to a
+/// user-defined granularity". Structure collapses Gradoop-style into
+/// super-vertices/super-edges; member series are resampled to `granularity`
+/// and merged per group into one super-series.
+struct HybridAggregateOptions {
+  /// Vertex property that defines the groups (e.g. "district").
+  std::string group_key;
+  /// Where each member vertex's series comes from: the element's own series
+  /// for TS vertices, else this series-property key.
+  std::string series_property = "history";
+  /// Target sampling granularity for the merged series.
+  Duration granularity = kHour;
+  /// Within-bucket aggregate when resampling each member series.
+  ts::AggKind resample = ts::AggKind::kAvg;
+  /// Cross-member merge at each bucket (sum for volumes, avg for levels).
+  ts::AggKind merge = ts::AggKind::kAvg;
+};
+
+/// Result: the summary HyGraph. Super-vertices are TS vertices whose series
+/// is the merged, downsampled group series; super-edges are PG edges
+/// carrying the collapsed edge count.
+struct HybridAggregateResult {
+  core::HyGraph summary;
+  std::unordered_map<graph::VertexId, graph::VertexId> vertex_to_super;
+};
+
+Result<HybridAggregateResult> HybridAggregate(
+    const core::HyGraph& hg, const HybridAggregateOptions& options);
+
+}  // namespace hygraph::analytics
+
+#endif  // HYGRAPH_ANALYTICS_HYBRID_AGGREGATE_H_

@@ -1,0 +1,67 @@
+#include "analytics/hybrid_match.h"
+
+namespace hygraph::analytics {
+
+namespace {
+
+// Resolves the series a constraint refers to for the bound element.
+Result<ts::Series> ConstraintSeries(const core::HyGraph& hg,
+                                    const SeriesShapeConstraint& constraint,
+                                    graph::VertexId v) {
+  if (hg.IsTsVertex(v)) {
+    return (*hg.VertexSeries(v))->VariableByIndex(0);
+  }
+  auto prop = hg.GetVertexSeriesProperty(v, constraint.series_key);
+  if (!prop.ok()) return prop.status();
+  return (*prop)->VariableByIndex(0);
+}
+
+}  // namespace
+
+Result<std::vector<HybridMatch>> MatchHybridPattern(
+    const core::HyGraph& hg, const HybridPatternQuery& query) {
+  for (const SeriesShapeConstraint& c : query.constraints) {
+    if (c.shape.size() < 2) {
+      return Status::InvalidArgument(
+          "shape constraint on '" + c.var + "' needs >= 2 points");
+    }
+  }
+  // Structural candidates first; temporal filtering second. The matcher
+  // cannot apply the limit because a structural match may fail a shape
+  // constraint.
+  auto candidates = graph::MatchPattern(hg.structure(), query.structure);
+  if (!candidates.ok()) return candidates.status();
+
+  std::vector<HybridMatch> out;
+  for (auto& match : *candidates) {
+    HybridMatch hybrid;
+    bool keep = true;
+    for (const SeriesShapeConstraint& constraint : query.constraints) {
+      auto bound = match.vertices.find(constraint.var);
+      if (bound == match.vertices.end()) {
+        return Status::InvalidArgument("constraint variable '" +
+                                       constraint.var +
+                                       "' is not a pattern vertex variable");
+      }
+      auto series = ConstraintSeries(hg, constraint, bound->second);
+      if (!series.ok() || series->size() < constraint.shape.size()) {
+        keep = false;
+        break;
+      }
+      auto hits = ts::MatchSubsequence(*series, constraint.shape, 1);
+      if (!hits.ok() || hits->empty() ||
+          hits->front().distance > constraint.max_distance) {
+        keep = false;
+        break;
+      }
+      hybrid.shape_hits.push_back(hits->front());
+    }
+    if (!keep) continue;
+    hybrid.match = std::move(match);
+    out.push_back(std::move(hybrid));
+    if (query.limit != 0 && out.size() >= query.limit) break;
+  }
+  return out;
+}
+
+}  // namespace hygraph::analytics

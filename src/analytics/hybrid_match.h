@@ -1,0 +1,49 @@
+#ifndef HYGRAPH_ANALYTICS_HYBRID_MATCH_H_
+#define HYGRAPH_ANALYTICS_HYBRID_MATCH_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/hygraph.h"
+#include "graph/pattern.h"
+#include "ts/subsequence.h"
+
+namespace hygraph::analytics {
+
+/// Hybrid pattern matching — the paper's roadmap operator (Q1): "matches
+/// specific temporal patterns with corresponding structural patterns".
+/// A match must simultaneously embed the structural pattern AND have, on a
+/// designated variable's series, a subsequence close to a query shape.
+
+/// One temporal constraint: the series of pattern variable `var` must
+/// contain a subsequence whose z-normalized distance to `shape` is at most
+/// `max_distance`. For TS vertices/edges the element's own series (first
+/// variable) is used; for PG elements the series property `series_key`.
+struct SeriesShapeConstraint {
+  std::string var;
+  std::string series_key;          ///< used for PG elements only
+  std::vector<double> shape;       ///< the query subsequence
+  double max_distance = 1.0;
+};
+
+struct HybridPatternQuery {
+  graph::Pattern structure;
+  std::vector<SeriesShapeConstraint> constraints;
+  size_t limit = 0;  ///< 0 = unlimited
+};
+
+/// A hybrid match: the structural embedding plus, per constraint, the best
+/// subsequence hit that satisfied it.
+struct HybridMatch {
+  graph::PatternMatch match;
+  std::vector<ts::SubsequenceMatch> shape_hits;  ///< parallel to constraints
+};
+
+/// Enumerates hybrid matches over a HyGraph instance.
+Result<std::vector<HybridMatch>> MatchHybridPattern(
+    const core::HyGraph& hg, const HybridPatternQuery& query);
+
+}  // namespace hygraph::analytics
+
+#endif  // HYGRAPH_ANALYTICS_HYBRID_MATCH_H_

@@ -1,0 +1,203 @@
+#include "analytics/link_prediction.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/rng.h"
+#include "graph/traversal.h"
+#include "ts/correlate.h"
+
+namespace hygraph::analytics {
+
+namespace {
+
+std::vector<graph::VertexId> UndirectedNeighbors(
+    const graph::PropertyGraph& graph, graph::VertexId v) {
+  std::vector<graph::VertexId> nbs = graph.Neighbors(v);
+  std::sort(nbs.begin(), nbs.end());
+  nbs.erase(std::unique(nbs.begin(), nbs.end()), nbs.end());
+  nbs.erase(std::remove(nbs.begin(), nbs.end(), v), nbs.end());
+  return nbs;
+}
+
+Result<ts::Series> VertexSignal(const core::HyGraph& hg, graph::VertexId v,
+                                const std::string& series_property) {
+  if (hg.IsTsVertex(v)) {
+    return (*hg.VertexSeries(v))->VariableByIndex(0);
+  }
+  auto prop = hg.GetVertexSeriesProperty(v, series_property);
+  if (!prop.ok()) return prop.status();
+  return (*prop)->VariableByIndex(0);
+}
+
+}  // namespace
+
+double ScorePair(const graph::PropertyGraph& graph, graph::VertexId u,
+                 graph::VertexId v, StructuralScore score) {
+  const auto nu = UndirectedNeighbors(graph, u);
+  const auto nv = UndirectedNeighbors(graph, v);
+  std::vector<graph::VertexId> common;
+  std::set_intersection(nu.begin(), nu.end(), nv.begin(), nv.end(),
+                        std::back_inserter(common));
+  switch (score) {
+    case StructuralScore::kCommonNeighbors:
+      return static_cast<double>(common.size());
+    case StructuralScore::kJaccard: {
+      std::vector<graph::VertexId> all;
+      std::set_union(nu.begin(), nu.end(), nv.begin(), nv.end(),
+                     std::back_inserter(all));
+      return all.empty() ? 0.0
+                         : static_cast<double>(common.size()) /
+                               static_cast<double>(all.size());
+    }
+    case StructuralScore::kAdamicAdar: {
+      double acc = 0.0;
+      for (graph::VertexId w : common) {
+        const size_t degree = UndirectedNeighbors(graph, w).size();
+        if (degree > 1) acc += 1.0 / std::log(static_cast<double>(degree));
+      }
+      return acc;
+    }
+    case StructuralScore::kPreferentialAttachment:
+      return static_cast<double>(nu.size()) * static_cast<double>(nv.size());
+  }
+  return 0.0;
+}
+
+Result<std::vector<PredictedLink>> PredictLinks(
+    const core::HyGraph& hg, const LinkPredictionOptions& options) {
+  if (options.structure_weight < 0.0 || options.structure_weight > 1.0) {
+    return Status::InvalidArgument("structure_weight must be in [0, 1]");
+  }
+  const graph::PropertyGraph& g = hg.structure();
+
+  // Candidate pairs: non-adjacent vertices within candidate_hops.
+  std::set<std::pair<graph::VertexId, graph::VertexId>> candidates;
+  graph::TraversalOptions bfs_options;
+  bfs_options.direction = graph::TraversalDirection::kBoth;
+  bfs_options.max_depth = options.candidate_hops;
+  for (graph::VertexId u : g.VertexIds()) {
+    const auto direct = UndirectedNeighbors(g, u);
+    const std::unordered_set<graph::VertexId> adjacent(direct.begin(),
+                                                       direct.end());
+    auto visits = graph::Bfs(g, u, bfs_options);
+    if (!visits.ok()) return visits.status();
+    for (const graph::BfsVisit& visit : *visits) {
+      if (visit.vertex == u || visit.depth < 2) continue;
+      if (adjacent.count(visit.vertex)) continue;
+      const auto pair = std::minmax(u, visit.vertex);
+      candidates.insert({pair.first, pair.second});
+    }
+  }
+  if (candidates.empty()) return std::vector<PredictedLink>{};
+
+  // Structural scores, then min-max normalization over candidates.
+  std::vector<PredictedLink> scored;
+  double lo = 0.0;
+  double hi = 0.0;
+  bool first = true;
+  for (const auto& [u, v] : candidates) {
+    PredictedLink link;
+    link.u = u;
+    link.v = v;
+    link.structural = ScorePair(g, u, v, options.structural);
+    if (first) {
+      lo = hi = link.structural;
+      first = false;
+    } else {
+      lo = std::min(lo, link.structural);
+      hi = std::max(hi, link.structural);
+    }
+    scored.push_back(link);
+  }
+  const double range = hi - lo;
+  for (PredictedLink& link : scored) {
+    link.structural = range > 1e-12 ? (link.structural - lo) / range
+                                    : (link.structural > 0 ? 1.0 : 0.0);
+  }
+
+  // Temporal part: correlation of the endpoints' series mapped to [0, 1];
+  // pairs without comparable series get a neutral 0.5.
+  std::unordered_map<graph::VertexId, ts::Series> signals;
+  auto signal_of = [&](graph::VertexId v) -> const ts::Series* {
+    auto it = signals.find(v);
+    if (it == signals.end()) {
+      auto series = VertexSignal(hg, v, options.series_property);
+      it = signals.emplace(v, series.ok() ? std::move(*series) : ts::Series())
+               .first;
+    }
+    return it->second.empty() ? nullptr : &it->second;
+  };
+  for (PredictedLink& link : scored) {
+    const ts::Series* a = signal_of(link.u);
+    const ts::Series* b = signal_of(link.v);
+    double temporal = 0.5;
+    if (a != nullptr && b != nullptr) {
+      auto corr = ts::Correlation(*a, *b, options.min_overlap);
+      if (corr.ok()) temporal = (*corr + 1.0) / 2.0;
+    }
+    link.temporal = temporal;
+    link.score = options.structure_weight * link.structural +
+                 (1.0 - options.structure_weight) * link.temporal;
+  }
+  std::sort(scored.begin(), scored.end(),
+            [](const PredictedLink& a, const PredictedLink& b) {
+              if (a.score != b.score) return a.score > b.score;
+              if (a.u != b.u) return a.u < b.u;
+              return a.v < b.v;
+            });
+  if (scored.size() > options.top_k) scored.resize(options.top_k);
+  return scored;
+}
+
+Result<LinkPredictionEvaluation> EvaluateLinkPrediction(
+    const core::HyGraph& hg, double holdout_fraction, uint64_t seed,
+    const LinkPredictionOptions& options) {
+  if (holdout_fraction <= 0.0 || holdout_fraction >= 1.0) {
+    return Status::InvalidArgument("holdout_fraction must be in (0, 1)");
+  }
+  // Rebuild a copy of the instance without the held-out edges. Only PG
+  // edges are eligible (TS edges carry series we would have to split).
+  Rng rng(seed);
+  std::set<std::pair<graph::VertexId, graph::VertexId>> held_out;
+  core::HyGraph pruned = hg;
+  std::vector<graph::EdgeId> removable;
+  for (graph::EdgeId e : hg.PgEdges()) {
+    if (rng.NextBernoulli(holdout_fraction)) removable.push_back(e);
+  }
+  for (graph::EdgeId e : removable) {
+    const graph::Edge& edge = **hg.structure().GetEdge(e);
+    const auto pair = std::minmax(edge.src, edge.dst);
+    held_out.insert({pair.first, pair.second});
+    HYGRAPH_RETURN_IF_ERROR(
+        pruned.mutable_tpg()->mutable_graph()->RemoveEdge(e));
+  }
+  if (held_out.empty()) {
+    return Status::FailedPrecondition("no edges were held out; raise the "
+                                      "fraction or use a denser graph");
+  }
+
+  LinkPredictionOptions hybrid = options;
+  hybrid.top_k = std::max(options.top_k, held_out.size());
+  auto hybrid_links = PredictLinks(pruned, hybrid);
+  if (!hybrid_links.ok()) return hybrid_links.status();
+  LinkPredictionOptions structural_only = hybrid;
+  structural_only.structure_weight = 1.0;
+  auto structural_links = PredictLinks(pruned, structural_only);
+  if (!structural_links.ok()) return structural_links.status();
+
+  LinkPredictionEvaluation eval;
+  eval.held_out = held_out.size();
+  for (const PredictedLink& link : *hybrid_links) {
+    if (held_out.count({link.u, link.v})) ++eval.hybrid_hits;
+  }
+  for (const PredictedLink& link : *structural_links) {
+    if (held_out.count({link.u, link.v})) ++eval.structural_hits;
+  }
+  return eval;
+}
+
+}  // namespace hygraph::analytics

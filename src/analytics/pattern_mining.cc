@@ -1,0 +1,122 @@
+#include "analytics/pattern_mining.h"
+
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+
+#include "ts/features.h"
+#include "ts/segmentation.h"
+
+namespace hygraph::analytics {
+
+namespace {
+
+// First label of a vertex, or "_" when unlabeled.
+std::string LabelOf(const core::HyGraph& hg, graph::VertexId v) {
+  const graph::Vertex& vertex = **hg.structure().GetVertex(v);
+  return vertex.labels.empty() ? "_" : vertex.labels.front();
+}
+
+// Trend slope (per day) of a vertex's series, if it has a usable one.
+Result<double> TrendOf(const core::HyGraph& hg, graph::VertexId v,
+                       const std::string& series_property) {
+  ts::Series series;
+  if (hg.IsTsVertex(v)) {
+    series = (*hg.VertexSeries(v))->VariableByIndex(0);
+  } else {
+    auto prop = hg.GetVertexSeriesProperty(v, series_property);
+    if (!prop.ok()) return prop.status();
+    series = (*prop)->VariableByIndex(0);
+  }
+  if (series.size() < 2) {
+    return Status::FailedPrecondition("series too short");
+  }
+  const ts::Segment fit = ts::FitSegment(series, 0, series.size());
+  return fit.slope * static_cast<double>(kDay);
+}
+
+struct PatternStats {
+  size_t support = 0;
+  double trend_sum = 0.0;
+  size_t trend_samples = 0;
+};
+
+}  // namespace
+
+Result<std::vector<FrequentPattern>> MineFrequentPatterns(
+    const core::HyGraph& hg, const MiningOptions& options) {
+  if (options.min_support == 0) {
+    return Status::InvalidArgument("min_support must be >= 1");
+  }
+  const graph::PropertyGraph& g = hg.structure();
+
+  // Memoized per-vertex trend.
+  std::unordered_map<graph::VertexId, std::pair<bool, double>> trends;
+  auto trend_of = [&](graph::VertexId v) -> std::pair<bool, double> {
+    auto it = trends.find(v);
+    if (it != trends.end()) return it->second;
+    auto t = TrendOf(hg, v, options.series_property);
+    auto entry = t.ok() ? std::make_pair(true, *t) : std::make_pair(false, 0.0);
+    trends.emplace(v, entry);
+    return entry;
+  };
+
+  std::map<std::string, PatternStats> patterns;
+  auto record = [&](const std::string& shape,
+                    std::initializer_list<graph::VertexId> vertices) {
+    PatternStats& stats = patterns[shape];
+    ++stats.support;
+    for (graph::VertexId v : vertices) {
+      auto [has, slope] = trend_of(v);
+      if (has) {
+        stats.trend_sum += slope;
+        ++stats.trend_samples;
+      }
+    }
+  };
+
+  // One-hop patterns.
+  for (graph::EdgeId e : g.EdgeIds()) {
+    const graph::Edge& edge = **g.GetEdge(e);
+    const std::string shape = LabelOf(hg, edge.src) + "-[" + edge.label +
+                              "]->" + LabelOf(hg, edge.dst);
+    record(shape, {edge.src, edge.dst});
+  }
+  // Two-hop chains.
+  if (options.include_chains) {
+    for (graph::EdgeId e1 : g.EdgeIds()) {
+      const graph::Edge& first = **g.GetEdge(e1);
+      for (graph::EdgeId e2 : g.OutEdges(first.dst)) {
+        const graph::Edge& second = **g.GetEdge(e2);
+        if (second.dst == first.src) continue;  // skip trivial back-and-forth
+        const std::string shape = LabelOf(hg, first.src) + "-[" + first.label +
+                                  "]->" + LabelOf(hg, first.dst) + "-[" +
+                                  second.label + "]->" +
+                                  LabelOf(hg, second.dst);
+        record(shape, {first.src, first.dst, second.dst});
+      }
+    }
+  }
+
+  std::vector<FrequentPattern> out;
+  for (const auto& [shape, stats] : patterns) {
+    if (stats.support < options.min_support) continue;
+    FrequentPattern fp;
+    fp.shape = shape;
+    fp.support = stats.support;
+    fp.trend_samples = stats.trend_samples;
+    fp.mean_trend = stats.trend_samples > 0
+                        ? stats.trend_sum /
+                              static_cast<double>(stats.trend_samples)
+                        : 0.0;
+    out.push_back(std::move(fp));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const FrequentPattern& a, const FrequentPattern& b) {
+              if (a.support != b.support) return a.support > b.support;
+              return a.shape < b.shape;
+            });
+  return out;
+}
+
+}  // namespace hygraph::analytics

@@ -1,0 +1,47 @@
+#ifndef HYGRAPH_ANALYTICS_PATTERN_MINING_H_
+#define HYGRAPH_ANALYTICS_PATTERN_MINING_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/hygraph.h"
+
+namespace hygraph::analytics {
+
+/// Hybrid pattern mining — Table 2 row PM: "identifying recurring
+/// subgraphs ... and integrating time-series data to analyze trends in
+/// sub-structures featuring common vertex types". Mines frequent typed
+/// one- and two-hop patterns (label triples src-[edge]->dst and chains),
+/// then annotates each frequent pattern with the average trend slope of the
+/// participating vertices' series.
+
+struct MiningOptions {
+  /// Minimum occurrence count for a pattern to be reported.
+  size_t min_support = 2;
+  /// Mine two-hop chain patterns a-[x]->b-[y]->c in addition to edges.
+  bool include_chains = true;
+  /// Series source for trend annotation on PG vertices.
+  std::string series_property = "history";
+};
+
+/// A frequent typed pattern.
+struct FrequentPattern {
+  /// Human-readable shape, e.g. "User-[TX]->Merchant" or
+  /// "User-[USES]->Card-[TX]->Merchant".
+  std::string shape;
+  size_t support = 0;
+  /// Mean least-squares trend slope (value units per day) of the series of
+  /// vertices occurring in the pattern's embeddings; 0 when none had one.
+  double mean_trend = 0.0;
+  /// How many embedding vertices contributed a series to mean_trend.
+  size_t trend_samples = 0;
+};
+
+/// Mines frequent patterns, most frequent first.
+Result<std::vector<FrequentPattern>> MineFrequentPatterns(
+    const core::HyGraph& hg, const MiningOptions& options = {});
+
+}  // namespace hygraph::analytics
+
+#endif  // HYGRAPH_ANALYTICS_PATTERN_MINING_H_

@@ -1,0 +1,185 @@
+#include "analytics/rag.h"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <unordered_set>
+
+#include "common/stats.h"
+
+namespace hygraph::analytics {
+
+Status VectorIndex::Add(graph::VertexId v, Embedding embedding) {
+  if (embedding.empty()) {
+    return Status::InvalidArgument("embedding is empty");
+  }
+  if (dimension_ == 0) {
+    dimension_ = embedding.size();
+  } else if (embedding.size() != dimension_) {
+    return Status::InvalidArgument(
+        "embedding dimension " + std::to_string(embedding.size()) +
+        " != index dimension " + std::to_string(dimension_));
+  }
+  for (auto& [existing, e] : entries_) {
+    if (existing == v) {
+      e = std::move(embedding);
+      return Status::OK();
+    }
+  }
+  entries_.emplace_back(v, std::move(embedding));
+  return Status::OK();
+}
+
+Status VectorIndex::AddAll(const EmbeddingMap& embeddings) {
+  // Deterministic insertion order.
+  std::vector<graph::VertexId> ids;
+  ids.reserve(embeddings.size());
+  for (const auto& [v, _] : embeddings) ids.push_back(v);
+  std::sort(ids.begin(), ids.end());
+  for (graph::VertexId v : ids) {
+    HYGRAPH_RETURN_IF_ERROR(Add(v, embeddings.at(v)));
+  }
+  return Status::OK();
+}
+
+Result<std::vector<VectorIndex::Hit>> VectorIndex::Search(
+    const Embedding& query, size_t k) const {
+  if (entries_.empty()) {
+    return Status::FailedPrecondition("index is empty");
+  }
+  if (query.size() != dimension_) {
+    return Status::InvalidArgument("query dimension mismatch");
+  }
+  std::vector<Hit> hits;
+  hits.reserve(entries_.size());
+  for (const auto& [v, e] : entries_) {
+    const double score = metric_ == Metric::kCosine
+                             ? CosineSimilarity(query, e)
+                             : -EmbeddingDistance(query, e);
+    hits.push_back(Hit{v, score});
+  }
+  std::sort(hits.begin(), hits.end(), [](const Hit& a, const Hit& b) {
+    if (a.score != b.score) return a.score > b.score;
+    return a.vertex < b.vertex;
+  });
+  if (hits.size() > k) hits.resize(k);
+  return hits;
+}
+
+std::string DescribeVertex(const core::HyGraph& hg, graph::VertexId v) {
+  auto vertex = hg.structure().GetVertex(v);
+  if (!vertex.ok()) return "(unknown vertex)";
+  std::string out = "(";
+  for (size_t i = 0; i < (*vertex)->labels.size(); ++i) {
+    if (i > 0) out += ":";
+    out += (*vertex)->labels[i];
+  }
+  out += " #" + std::to_string(v) + ")";
+  for (const auto& [key, value] : (*vertex)->properties) {
+    if (value.is_series_ref()) {
+      auto series = hg.LookupSeries(value.AsSeriesId());
+      if (series.ok()) {
+        out += " " + key + "=<series:" +
+               std::to_string((*series)->size()) + " pts>";
+      }
+      continue;
+    }
+    out += " " + key + "=" + value.ToString();
+  }
+  if (hg.IsTsVertex(v)) {
+    const ts::MultiSeries& series = **hg.VertexSeries(v);
+    out += " series[" + std::to_string(series.size()) + " pts";
+    if (!series.empty() && series.variable_count() > 0) {
+      std::vector<double> values;
+      values.reserve(series.size());
+      for (size_t r = 0; r < series.size(); ++r) {
+        values.push_back(series.at(r, 0));
+      }
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), ", mean %.2f, last %.2f",
+                    Mean(values), values.back());
+      out += buf;
+    }
+    out += "]";
+  }
+  return out;
+}
+
+Result<HyGraphRetriever> HyGraphRetriever::Build(const core::HyGraph* hg,
+                                                 const RagOptions& options) {
+  if (hg == nullptr) {
+    return Status::InvalidArgument("hg must not be null");
+  }
+  HyGraphRetriever retriever(hg, options);
+  TemporalEmbeddingOptions temporal;
+  temporal.series_property = options.series_property;
+  auto embeddings = HybridEmbeddings(*hg, FastRpOptions{}, temporal,
+                                     options.structure_weight);
+  if (!embeddings.ok()) return embeddings.status();
+  retriever.embeddings_ = std::move(*embeddings);
+  retriever.index_ = VectorIndex(options.metric);
+  HYGRAPH_RETURN_IF_ERROR(retriever.index_.AddAll(retriever.embeddings_));
+  return retriever;
+}
+
+Result<RetrievedContext> HyGraphRetriever::AssembleContext(
+    graph::VertexId anchor, double score) const {
+  RetrievedContext context;
+  context.anchor = anchor;
+  context.score = score;
+  // BFS neighborhood up to options_.hops (undirected view).
+  std::unordered_set<graph::VertexId> seen{anchor};
+  std::deque<std::pair<graph::VertexId, size_t>> frontier{{anchor, 0}};
+  while (!frontier.empty()) {
+    auto [v, depth] = frontier.front();
+    frontier.pop_front();
+    context.neighborhood.push_back(v);
+    if (depth >= options_.hops) continue;
+    for (graph::VertexId nb : hg_->structure().Neighbors(v)) {
+      if (seen.insert(nb).second) frontier.push_back({nb, depth + 1});
+    }
+  }
+  std::sort(context.neighborhood.begin() + 1, context.neighborhood.end());
+  context.text = "anchor: " + DescribeVertex(*hg_, anchor);
+  for (size_t i = 1; i < context.neighborhood.size(); ++i) {
+    context.text +=
+        "\n  near: " + DescribeVertex(*hg_, context.neighborhood[i]);
+  }
+  return context;
+}
+
+Result<std::vector<RetrievedContext>> HyGraphRetriever::Retrieve(
+    const Embedding& query) const {
+  auto hits = index_.Search(query, options_.top_k);
+  if (!hits.ok()) return hits.status();
+  std::vector<RetrievedContext> out;
+  for (const VectorIndex::Hit& hit : *hits) {
+    auto context = AssembleContext(hit.vertex, hit.score);
+    if (!context.ok()) return context.status();
+    out.push_back(std::move(*context));
+  }
+  return out;
+}
+
+Result<std::vector<RetrievedContext>> HyGraphRetriever::RetrieveSimilarTo(
+    graph::VertexId v) const {
+  auto it = embeddings_.find(v);
+  if (it == embeddings_.end()) {
+    return Status::NotFound("vertex " + std::to_string(v) +
+                            " has no hybrid embedding");
+  }
+  // Retrieve top_k + 1 and drop the query vertex itself.
+  auto hits = index_.Search(it->second, options_.top_k + 1);
+  if (!hits.ok()) return hits.status();
+  std::vector<RetrievedContext> out;
+  for (const VectorIndex::Hit& hit : *hits) {
+    if (hit.vertex == v) continue;
+    if (out.size() >= options_.top_k) break;
+    auto context = AssembleContext(hit.vertex, hit.score);
+    if (!context.ok()) return context.status();
+    out.push_back(std::move(*context));
+  }
+  return out;
+}
+
+}  // namespace hygraph::analytics

@@ -1,0 +1,111 @@
+#ifndef HYGRAPH_ANALYTICS_RAG_H_
+#define HYGRAPH_ANALYTICS_RAG_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "analytics/embedding.h"
+#include "core/hygraph.h"
+
+namespace hygraph::analytics {
+
+/// HyGraph-RAG (Section 6, "Graph Retrieval-Augmented Generation"): the
+/// paper's three-step plan is (1) a query API with vector similarity
+/// search, (2) nodes augmented with embeddings that capture both
+/// evolutionary graph and time-series features, and (3) retrieval that
+/// returns relevant nodes either directly as knowledge or as entry points
+/// for subsequent traversal. This module implements all three over the
+/// hybrid embeddings of embedding.h.
+
+/// A brute-force-exact vector index over vertex embeddings with optional
+/// cosine or Euclidean ranking. Exact search keeps retrieval deterministic;
+/// the index still centralizes normalization and top-k plumbing.
+class VectorIndex {
+ public:
+  enum class Metric : uint8_t { kCosine, kEuclidean };
+
+  explicit VectorIndex(Metric metric = Metric::kCosine) : metric_(metric) {}
+
+  /// Adds (or replaces) a vertex's embedding. All embeddings must share
+  /// one dimensionality; the first insert fixes it.
+  Status Add(graph::VertexId v, Embedding embedding);
+
+  /// Builds the index from a whole embedding map.
+  Status AddAll(const EmbeddingMap& embeddings);
+
+  size_t size() const { return entries_.size(); }
+  size_t dimension() const { return dimension_; }
+
+  struct Hit {
+    graph::VertexId vertex = graph::kInvalidVertexId;
+    double score = 0.0;  ///< higher = more similar (cosine) / closer (-dist)
+  };
+
+  /// Top-k most similar entries to `query`, best first. Deterministic
+  /// tie-break by vertex id.
+  Result<std::vector<Hit>> Search(const Embedding& query, size_t k) const;
+
+ private:
+  Metric metric_;
+  size_t dimension_ = 0;
+  std::vector<std::pair<graph::VertexId, Embedding>> entries_;
+};
+
+/// One retrieved context unit: an anchor vertex plus its graph
+/// neighborhood and a textual rendering an LLM (or a test) can consume.
+struct RetrievedContext {
+  graph::VertexId anchor = graph::kInvalidVertexId;
+  double score = 0.0;
+  std::vector<graph::VertexId> neighborhood;  ///< anchor + <=hops BFS ring
+  std::string text;                           ///< rendered facts
+};
+
+struct RagOptions {
+  size_t top_k = 3;          ///< anchors retrieved per query
+  size_t hops = 1;           ///< neighborhood radius around each anchor
+  double structure_weight = 0.5;
+  std::string series_property = "history";
+  VectorIndex::Metric metric = VectorIndex::Metric::kCosine;
+};
+
+/// End-to-end retriever: builds hybrid embeddings for the instance once,
+/// indexes them, and answers queries.
+class HyGraphRetriever {
+ public:
+  /// Builds the retriever; fails when no vertex yields a hybrid embedding.
+  static Result<HyGraphRetriever> Build(const core::HyGraph* hg,
+                                        const RagOptions& options = {});
+
+  /// Retrieves context for a query embedding (dimension must match the
+  /// hybrid embedding dimension).
+  Result<std::vector<RetrievedContext>> Retrieve(const Embedding& query) const;
+
+  /// Retrieves context "by example": uses an existing vertex's embedding
+  /// as the query — the paper's "starting point for subsequent queries".
+  Result<std::vector<RetrievedContext>> RetrieveSimilarTo(
+      graph::VertexId v) const;
+
+  const VectorIndex& index() const { return index_; }
+  const EmbeddingMap& embeddings() const { return embeddings_; }
+
+ private:
+  HyGraphRetriever(const core::HyGraph* hg, RagOptions options)
+      : hg_(hg), options_(std::move(options)) {}
+
+  Result<RetrievedContext> AssembleContext(graph::VertexId anchor,
+                                           double score) const;
+
+  const core::HyGraph* hg_ = nullptr;
+  RagOptions options_;
+  EmbeddingMap embeddings_;
+  VectorIndex index_;
+};
+
+/// Renders a vertex (labels, static properties, series summary) as one
+/// line of context text; exposed for tests.
+std::string DescribeVertex(const core::HyGraph& hg, graph::VertexId v);
+
+}  // namespace hygraph::analytics
+
+#endif  // HYGRAPH_ANALYTICS_RAG_H_

@@ -1,0 +1,27 @@
+#include "analytics/seg_snapshot.h"
+
+namespace hygraph::analytics {
+
+Result<std::vector<RegimeSnapshot>> SegmentationSnapshots(
+    const core::HyGraph& hg, const ts::Series& driver,
+    const SegSnapshotOptions& options) {
+  if (driver.empty()) {
+    return Status::InvalidArgument("driver series is empty");
+  }
+  auto segments =
+      ts::SegmentTopDown(driver, options.max_error, options.max_segments);
+  if (!segments.ok()) return segments.status();
+  std::vector<RegimeSnapshot> out;
+  out.reserve(segments->size());
+  for (const ts::Segment& segment : *segments) {
+    const Timestamp mid =
+        segment.start_time + (segment.end_time - segment.start_time) / 2;
+    RegimeSnapshot regime;
+    regime.segment = segment;
+    regime.snapshot = temporal::TakeSnapshot(hg.tpg(), mid);
+    out.push_back(std::move(regime));
+  }
+  return out;
+}
+
+}  // namespace hygraph::analytics

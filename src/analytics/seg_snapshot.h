@@ -1,0 +1,41 @@
+#ifndef HYGRAPH_ANALYTICS_SEG_SNAPSHOT_H_
+#define HYGRAPH_ANALYTICS_SEG_SNAPSHOT_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "core/hygraph.h"
+#include "temporal/snapshot.h"
+#include "ts/segmentation.h"
+#include "ts/series.h"
+
+namespace hygraph::analytics {
+
+/// Segmentation-driven snapshots — roadmap operator (Q4): "creates graph
+/// snapshots at significant time intervals identified through time series
+/// segmentation, allowing a detailed analysis of graph evolution".
+
+struct SegSnapshotOptions {
+  /// Piecewise-linear error budget for the driver segmentation.
+  double max_error = 1.0;
+  /// Upper bound on segments (and thus snapshots + 1).
+  size_t max_segments = 16;
+};
+
+/// One significant regime of the driver series with the graph state at its
+/// midpoint.
+struct RegimeSnapshot {
+  ts::Segment segment;          ///< the driver regime
+  temporal::Snapshot snapshot;  ///< graph state at the regime midpoint
+};
+
+/// Segments `driver` (any series — typically a global activity metric from
+/// metricEvolution) and materializes one snapshot of the HyGraph's TPG per
+/// regime, taken at the regime's temporal midpoint.
+Result<std::vector<RegimeSnapshot>> SegmentationSnapshots(
+    const core::HyGraph& hg, const ts::Series& driver,
+    const SegSnapshotOptions& options = {});
+
+}  // namespace hygraph::analytics
+
+#endif  // HYGRAPH_ANALYTICS_SEG_SNAPSHOT_H_

@@ -1,0 +1,104 @@
+#ifndef HYGRAPH_COMMON_RNG_H_
+#define HYGRAPH_COMMON_RNG_H_
+
+#include <cmath>
+#include <cstdint>
+
+namespace hygraph {
+
+/// Deterministic, seedable pseudo-random generator (splitmix64 core).
+/// All workload generators and randomized algorithms in the library use this
+/// so that tests and benchmarks are exactly reproducible across runs and
+/// platforms (std::mt19937 distributions are not portable across stdlibs).
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : state_(seed) {}
+
+  /// Next raw 64-bit value.
+  uint64_t Next() {
+    uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// Uniform integer in [0, bound); bound must be > 0.
+  uint64_t NextBounded(uint64_t bound) { return Next() % bound; }
+
+  /// Uniform integer in [lo, hi] inclusive; requires lo <= hi.
+  int64_t NextInRange(int64_t lo, int64_t hi) {
+    return lo + static_cast<int64_t>(
+                    NextBounded(static_cast<uint64_t>(hi - lo) + 1));
+  }
+
+  /// Uniform double in [lo, hi).
+  double NextDoubleInRange(double lo, double hi) {
+    return lo + NextDouble() * (hi - lo);
+  }
+
+  /// Standard normal via Box–Muller.
+  double NextGaussian() {
+    double u1 = NextDouble();
+    double u2 = NextDouble();
+    if (u1 < 1e-300) u1 = 1e-300;
+    return std::sqrt(-2.0 * std::log(u1)) * std::cos(6.283185307179586 * u2);
+  }
+
+  /// Bernoulli trial with success probability p.
+  bool NextBernoulli(double p) { return NextDouble() < p; }
+
+  /// Exponentially distributed value with the given mean.
+  double NextExponential(double mean) {
+    double u = NextDouble();
+    if (u < 1e-300) u = 1e-300;
+    return -mean * std::log(u);
+  }
+
+  /// Poisson-distributed count (Knuth's method; fine for small means).
+  int NextPoisson(double mean) {
+    const double limit = std::exp(-mean);
+    double product = NextDouble();
+    int count = 0;
+    while (product > limit) {
+      product *= NextDouble();
+      ++count;
+    }
+    return count;
+  }
+
+  /// Zipf-distributed rank in [0, n) with skew s (rejection-free inverse CDF
+  /// over a precomputed-free harmonic approximation; adequate for workload
+  /// generation).
+  uint64_t NextZipf(uint64_t n, double s);
+
+ private:
+  uint64_t state_;
+};
+
+inline uint64_t Rng::NextZipf(uint64_t n, double s) {
+  // Inverse-transform sampling against the generalized harmonic CDF,
+  // approximated with the integral of x^-s. Exact enough for generating
+  // skewed access patterns.
+  if (n <= 1) return 0;
+  const double u = NextDouble();
+  if (s == 1.0) {
+    const double h = std::log(static_cast<double>(n));
+    const double x = std::exp(u * h);
+    uint64_t r = static_cast<uint64_t>(x) - 1;
+    return r >= n ? n - 1 : r;
+  }
+  const double one_minus_s = 1.0 - s;
+  const double h = (std::pow(static_cast<double>(n), one_minus_s) - 1.0);
+  const double x = std::pow(u * h + 1.0, 1.0 / one_minus_s);
+  uint64_t r = static_cast<uint64_t>(x) - 1;
+  return r >= n ? n - 1 : r;
+}
+
+}  // namespace hygraph
+
+#endif  // HYGRAPH_COMMON_RNG_H_

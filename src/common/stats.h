@@ -1,0 +1,50 @@
+#ifndef HYGRAPH_COMMON_STATS_H_
+#define HYGRAPH_COMMON_STATS_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace hygraph {
+
+/// Streaming mean/variance accumulator (Welford's algorithm). Used by both
+/// the TS aggregation kernels and the benchmark harness (Table 1 reports
+/// mean response time and coefficient of variation).
+class RunningStats {
+ public:
+  void Add(double x);
+
+  size_t count() const { return count_; }
+  double mean() const { return count_ > 0 ? mean_ : 0.0; }
+  /// Sample variance (n-1 denominator); 0 when fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  /// Coefficient of variation in percent: 100 * stddev / mean.
+  double cv_percent() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+  double sum() const { return sum_; }
+
+ private:
+  size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Arithmetic mean; 0 for an empty vector.
+double Mean(const std::vector<double>& xs);
+/// Sample standard deviation (n-1); 0 when fewer than two elements.
+double StdDev(const std::vector<double>& xs);
+/// Linear-interpolated quantile, q in [0,1]; 0 for an empty vector.
+double Quantile(std::vector<double> xs, double q);
+/// Median (50th percentile).
+double Median(std::vector<double> xs);
+/// Pearson correlation of two equal-length vectors; 0 if degenerate.
+double PearsonCorrelation(const std::vector<double>& xs,
+                          const std::vector<double>& ys);
+
+}  // namespace hygraph
+
+#endif  // HYGRAPH_COMMON_STATS_H_

@@ -1,0 +1,70 @@
+#ifndef HYGRAPH_COMMON_TIME_H_
+#define HYGRAPH_COMMON_TIME_H_
+
+#include <cstdint>
+#include <limits>
+#include <string>
+
+namespace hygraph {
+
+/// Milliseconds since the Unix epoch. All temporal data in HyGraph — series
+/// sample times, entity validity intervals, snapshot times — uses this axis.
+using Timestamp = int64_t;
+
+/// A span of time in milliseconds.
+using Duration = int64_t;
+
+/// Sentinel for "the end of time" — used as the open end of validity
+/// intervals (the paper initializes t_end to max(T)).
+inline constexpr Timestamp kMaxTimestamp =
+    std::numeric_limits<Timestamp>::max();
+/// Sentinel for "the beginning of time".
+inline constexpr Timestamp kMinTimestamp =
+    std::numeric_limits<Timestamp>::min();
+
+inline constexpr Duration kMillisecond = 1;
+inline constexpr Duration kSecond = 1000 * kMillisecond;
+inline constexpr Duration kMinute = 60 * kSecond;
+inline constexpr Duration kHour = 60 * kMinute;
+inline constexpr Duration kDay = 24 * kHour;
+
+/// A half-open time interval [start, end). The paper's validity function
+/// ρ : (V_pg ∪ E_pg ∪ S) → T × T returns such intervals; kMaxTimestamp as
+/// `end` means "currently valid".
+struct Interval {
+  Timestamp start = kMinTimestamp;
+  Timestamp end = kMaxTimestamp;
+
+  /// The interval covering the whole time axis.
+  static Interval All() { return Interval{kMinTimestamp, kMaxTimestamp}; }
+  /// The degenerate interval containing a single instant.
+  static Interval At(Timestamp t) { return Interval{t, t + 1}; }
+
+  bool Contains(Timestamp t) const { return t >= start && t < end; }
+  bool ContainsInterval(const Interval& other) const {
+    return other.start >= start && other.end <= end;
+  }
+  bool Overlaps(const Interval& other) const {
+    return start < other.end && other.start < end;
+  }
+  /// Intersection; empty() is true if the two intervals are disjoint.
+  Interval Intersect(const Interval& other) const;
+
+  bool empty() const { return end <= start; }
+  /// Length in milliseconds; 0 for empty intervals. Saturates instead of
+  /// overflowing for the All() interval.
+  Duration length() const;
+
+  bool operator==(const Interval& other) const = default;
+
+  /// Renders as "[start, end)" with sentinels shown as -inf / +inf.
+  std::string ToString() const;
+};
+
+/// Formats a timestamp as an ISO-8601-like UTC string
+/// ("2024-03-01T12:30:05.250"); sentinels render as "-inf"/"+inf".
+std::string FormatTimestamp(Timestamp t);
+
+}  // namespace hygraph
+
+#endif  // HYGRAPH_COMMON_TIME_H_

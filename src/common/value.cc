@@ -1,0 +1,95 @@
+#include "common/value.h"
+
+#include <cmath>
+
+namespace hygraph {
+
+const char* ValueTypeName(ValueType type) {
+  switch (type) {
+    case ValueType::kNull:
+      return "null";
+    case ValueType::kBool:
+      return "bool";
+    case ValueType::kInt:
+      return "int";
+    case ValueType::kDouble:
+      return "double";
+    case ValueType::kString:
+      return "string";
+    case ValueType::kSeriesRef:
+      return "series_ref";
+  }
+  return "unknown";
+}
+
+ValueType Value::type() const {
+  return static_cast<ValueType>(rep_.index());
+}
+
+Result<double> Value::ToDouble() const {
+  if (is_int()) return static_cast<double>(AsInt());
+  if (is_double()) return AsDouble();
+  return Status::InvalidArgument(std::string("value of type ") +
+                                 ValueTypeName(type()) +
+                                 " is not numeric");
+}
+
+bool Value::operator==(const Value& other) const {
+  if (is_numeric() && other.is_numeric()) {
+    return ToDouble().value() == other.ToDouble().value();
+  }
+  return rep_ == other.rep_;
+}
+
+int Value::Compare(const Value& other) const {
+  if (is_numeric() && other.is_numeric()) {
+    const double a = ToDouble().value();
+    const double b = other.ToDouble().value();
+    if (a < b) return -1;
+    if (a > b) return 1;
+    return 0;
+  }
+  if (type() != other.type()) {
+    return static_cast<int>(type()) < static_cast<int>(other.type()) ? -1 : 1;
+  }
+  switch (type()) {
+    case ValueType::kNull:
+      return 0;
+    case ValueType::kBool:
+      return static_cast<int>(AsBool()) - static_cast<int>(other.AsBool());
+    case ValueType::kString:
+      return AsString().compare(other.AsString());
+    case ValueType::kSeriesRef: {
+      const SeriesId a = AsSeriesId();
+      const SeriesId b = other.AsSeriesId();
+      return a < b ? -1 : (a > b ? 1 : 0);
+    }
+    default:
+      return 0;  // numeric cases handled above
+  }
+}
+
+std::string Value::ToString() const {
+  switch (type()) {
+    case ValueType::kNull:
+      return "null";
+    case ValueType::kBool:
+      return AsBool() ? "true" : "false";
+    case ValueType::kInt:
+      return std::to_string(AsInt());
+    case ValueType::kDouble: {
+      double d = AsDouble();
+      if (d == std::floor(d) && std::abs(d) < 1e15) {
+        return std::to_string(static_cast<int64_t>(d)) + ".0";
+      }
+      return std::to_string(d);
+    }
+    case ValueType::kString:
+      return AsString();
+    case ValueType::kSeriesRef:
+      return "ts#" + std::to_string(AsSeriesId());
+  }
+  return "?";
+}
+
+}  // namespace hygraph

@@ -1,0 +1,101 @@
+#ifndef HYGRAPH_COMMON_VALUE_H_
+#define HYGRAPH_COMMON_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+#include "common/status.h"
+
+namespace hygraph {
+
+/// Identifier of a time series stored in a series store (TS in the HGM
+/// tuple). Properties of kind N_TS hold such an id rather than an inline
+/// scalar — the paper's "time-series property values".
+using SeriesId = uint64_t;
+inline constexpr SeriesId kInvalidSeriesId = ~SeriesId{0};
+
+/// Discriminates the alternatives a Value can hold.
+enum class ValueType : uint8_t {
+  kNull = 0,
+  kBool,
+  kInt,
+  kDouble,
+  kString,
+  kSeriesRef,  ///< reference into a series store (N_TS property values)
+};
+
+const char* ValueTypeName(ValueType type);
+
+/// A dynamically-typed property value. The HGM property assignment
+/// φ : (V_pg ∪ E_pg ∪ S) × K → N maps keys to values drawn from
+/// N = N_σ ∪ N_TS: static scalars (null/bool/int/double/string) or a
+/// reference to a time series (SeriesRef).
+class Value {
+ public:
+  /// Constructs a null value.
+  Value() : rep_(std::monostate{}) {}
+  Value(bool b) : rep_(b) {}                  // NOLINT(runtime/explicit)
+  Value(int64_t i) : rep_(i) {}               // NOLINT(runtime/explicit)
+  Value(int i) : rep_(int64_t{i}) {}          // NOLINT(runtime/explicit)
+  Value(double d) : rep_(d) {}                // NOLINT(runtime/explicit)
+  Value(std::string s) : rep_(std::move(s)) {}  // NOLINT(runtime/explicit)
+  Value(const char* s) : rep_(std::string(s)) {}  // NOLINT(runtime/explicit)
+
+  /// Constructs a series-reference value (distinct from the int overload so
+  /// that N_σ and N_TS stay disjoint, as the model requires).
+  static Value SeriesRef(SeriesId id) {
+    Value v;
+    v.rep_ = SeriesRefRep{id};
+    return v;
+  }
+
+  Value(const Value&) = default;
+  Value& operator=(const Value&) = default;
+  Value(Value&&) = default;
+  Value& operator=(Value&&) = default;
+
+  ValueType type() const;
+  bool is_null() const { return type() == ValueType::kNull; }
+  bool is_bool() const { return type() == ValueType::kBool; }
+  bool is_int() const { return type() == ValueType::kInt; }
+  bool is_double() const { return type() == ValueType::kDouble; }
+  bool is_string() const { return type() == ValueType::kString; }
+  bool is_series_ref() const { return type() == ValueType::kSeriesRef; }
+  /// True for kInt or kDouble.
+  bool is_numeric() const { return is_int() || is_double(); }
+
+  /// Unchecked accessors; calling the wrong one is a programming error.
+  bool AsBool() const { return std::get<bool>(rep_); }
+  int64_t AsInt() const { return std::get<int64_t>(rep_); }
+  double AsDouble() const { return std::get<double>(rep_); }
+  const std::string& AsString() const { return std::get<std::string>(rep_); }
+  SeriesId AsSeriesId() const { return std::get<SeriesRefRep>(rep_).id; }
+
+  /// Numeric widening: kInt and kDouble both convert; anything else fails.
+  Result<double> ToDouble() const;
+
+  /// Structural equality. Int and double compare equal when numerically
+  /// equal (so `WHERE x = 3` matches 3.0).
+  bool operator==(const Value& other) const;
+  bool operator!=(const Value& other) const { return !(*this == other); }
+
+  /// Three-way comparison for ORDER BY / range predicates. Values of
+  /// incomparable types order by type tag (stable but arbitrary); numerics
+  /// compare numerically across int/double.
+  int Compare(const Value& other) const;
+
+  std::string ToString() const;
+
+ private:
+  struct SeriesRefRep {
+    SeriesId id;
+    bool operator==(const SeriesRefRep&) const = default;
+  };
+  std::variant<std::monostate, bool, int64_t, double, std::string, SeriesRefRep>
+      rep_;
+};
+
+}  // namespace hygraph
+
+#endif  // HYGRAPH_COMMON_VALUE_H_

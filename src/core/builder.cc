@@ -1,0 +1,113 @@
+#include "core/builder.h"
+
+namespace hygraph::core {
+
+void HyGraphBuilder::Fail(const Status& status) {
+  if (first_error_.ok()) first_error_ = status;
+}
+
+HyGraphBuilder& HyGraphBuilder::PgVertex(const std::string& name,
+                                         std::vector<std::string> labels,
+                                         PropertyMap properties,
+                                         Interval validity) {
+  if (!first_error_.ok()) return *this;
+  if (names_.count(name)) {
+    Fail(Status::AlreadyExists("duplicate vertex name '" + name + "'"));
+    return *this;
+  }
+  auto v = hg_.AddPgVertex(std::move(labels), std::move(properties), validity);
+  if (!v.ok()) {
+    Fail(v.status());
+    return *this;
+  }
+  names_[name] = *v;
+  return *this;
+}
+
+HyGraphBuilder& HyGraphBuilder::TsVertex(const std::string& name,
+                                         std::vector<std::string> labels,
+                                         ts::MultiSeries series) {
+  if (!first_error_.ok()) return *this;
+  if (names_.count(name)) {
+    Fail(Status::AlreadyExists("duplicate vertex name '" + name + "'"));
+    return *this;
+  }
+  auto v = hg_.AddTsVertex(std::move(labels), std::move(series));
+  if (!v.ok()) {
+    Fail(v.status());
+    return *this;
+  }
+  names_[name] = *v;
+  return *this;
+}
+
+HyGraphBuilder& HyGraphBuilder::PgEdge(const std::string& src,
+                                       const std::string& dst,
+                                       std::string label,
+                                       PropertyMap properties,
+                                       Interval validity) {
+  if (!first_error_.ok()) return *this;
+  auto s = IdOf(src);
+  auto d = IdOf(dst);
+  if (!s.ok()) {
+    Fail(s.status());
+    return *this;
+  }
+  if (!d.ok()) {
+    Fail(d.status());
+    return *this;
+  }
+  auto e = hg_.AddPgEdge(*s, *d, std::move(label), std::move(properties),
+                         validity);
+  if (!e.ok()) Fail(e.status());
+  return *this;
+}
+
+HyGraphBuilder& HyGraphBuilder::TsEdge(const std::string& src,
+                                       const std::string& dst,
+                                       std::string label,
+                                       ts::MultiSeries series) {
+  if (!first_error_.ok()) return *this;
+  auto s = IdOf(src);
+  auto d = IdOf(dst);
+  if (!s.ok()) {
+    Fail(s.status());
+    return *this;
+  }
+  if (!d.ok()) {
+    Fail(d.status());
+    return *this;
+  }
+  auto e = hg_.AddTsEdge(*s, *d, std::move(label), std::move(series));
+  if (!e.ok()) Fail(e.status());
+  return *this;
+}
+
+HyGraphBuilder& HyGraphBuilder::VertexSeriesProperty(const std::string& name,
+                                                     const std::string& key,
+                                                     ts::MultiSeries series) {
+  if (!first_error_.ok()) return *this;
+  auto v = IdOf(name);
+  if (!v.ok()) {
+    Fail(v.status());
+    return *this;
+  }
+  auto id = hg_.SetVertexSeriesProperty(*v, key, std::move(series));
+  if (!id.ok()) Fail(id.status());
+  return *this;
+}
+
+Result<VertexId> HyGraphBuilder::IdOf(const std::string& name) const {
+  auto it = names_.find(name);
+  if (it == names_.end()) {
+    return Status::NotFound("no vertex named '" + name + "'");
+  }
+  return it->second;
+}
+
+Result<HyGraph> HyGraphBuilder::Build() {
+  if (!first_error_.ok()) return first_error_;
+  return std::move(hg_);
+}
+
+}  // namespace hygraph::core

@@ -1,0 +1,68 @@
+#ifndef HYGRAPH_CORE_BUILDER_H_
+#define HYGRAPH_CORE_BUILDER_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "core/hygraph.h"
+
+namespace hygraph::core {
+
+/// Fluent construction helper for HyGraph instances. Vertices are named so
+/// edges can reference them by string; errors are collected and surfaced at
+/// Build() so construction code stays linear:
+///
+///   HyGraphBuilder b;
+///   b.PgVertex("alice", {"User"}, {{"name", Value("Alice")}})
+///    .TsVertex("card1", {"CreditCard"}, balance_series)
+///    .PgEdge("alice", "card1", "USES")
+///    .TsEdge("card1", "merchant", "TX", tx_series);
+///   Result<HyGraph> hg = b.Build();
+class HyGraphBuilder {
+ public:
+  HyGraphBuilder() = default;
+
+  HyGraphBuilder(const HyGraphBuilder&) = delete;
+  HyGraphBuilder& operator=(const HyGraphBuilder&) = delete;
+
+  HyGraphBuilder& PgVertex(const std::string& name,
+                           std::vector<std::string> labels,
+                           PropertyMap properties = {},
+                           Interval validity = Interval::All());
+
+  HyGraphBuilder& TsVertex(const std::string& name,
+                           std::vector<std::string> labels,
+                           ts::MultiSeries series);
+
+  HyGraphBuilder& PgEdge(const std::string& src, const std::string& dst,
+                         std::string label, PropertyMap properties = {},
+                         Interval validity = Interval::All());
+
+  HyGraphBuilder& TsEdge(const std::string& src, const std::string& dst,
+                         std::string label, ts::MultiSeries series);
+
+  /// Attaches a time series as a property of a named vertex.
+  HyGraphBuilder& VertexSeriesProperty(const std::string& name,
+                                       const std::string& key,
+                                       ts::MultiSeries series);
+
+  /// The id a named vertex received (valid before Build()).
+  Result<VertexId> IdOf(const std::string& name) const;
+
+  /// Returns the built instance, or the first accumulated error. The
+  /// builder is left in a moved-from state on success.
+  Result<HyGraph> Build();
+
+ private:
+  void Fail(const Status& status);
+
+  HyGraph hg_;
+  std::unordered_map<std::string, VertexId> names_;
+  Status first_error_;
+};
+
+}  // namespace hygraph::core
+
+#endif  // HYGRAPH_CORE_BUILDER_H_

@@ -1,0 +1,189 @@
+#include "core/convert.h"
+
+#include <algorithm>
+
+#include "ts/correlate.h"
+
+namespace hygraph::core {
+
+namespace {
+
+// Extraction to plain graph models drops series-valued properties: the
+// target model has nowhere to put them, and a raw SeriesRef would dangle.
+graph::PropertyMap StripSeriesRefs(const graph::PropertyMap& props) {
+  graph::PropertyMap out;
+  for (const auto& [key, value] : props) {
+    if (!value.is_series_ref()) out.emplace(key, value);
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<HyGraph> FromPropertyGraph(const graph::PropertyGraph& lpg) {
+  HyGraph hg;
+  std::unordered_map<VertexId, VertexId> remap;
+  for (VertexId v : lpg.VertexIds()) {
+    const graph::Vertex& vertex = **lpg.GetVertex(v);
+    auto added = hg.AddPgVertex(vertex.labels, vertex.properties);
+    if (!added.ok()) return added.status();
+    remap[v] = *added;
+  }
+  for (EdgeId e : lpg.EdgeIds()) {
+    const graph::Edge& edge = **lpg.GetEdge(e);
+    auto added = hg.AddPgEdge(remap.at(edge.src), remap.at(edge.dst),
+                              edge.label, edge.properties);
+    if (!added.ok()) return added.status();
+  }
+  return hg;
+}
+
+Result<HyGraph> FromTemporalGraph(
+    const temporal::TemporalPropertyGraph& tpg) {
+  HyGraph hg;
+  std::unordered_map<VertexId, VertexId> remap;
+  for (VertexId v : tpg.graph().VertexIds()) {
+    const graph::Vertex& vertex = **tpg.graph().GetVertex(v);
+    auto validity = tpg.VertexValidity(v);
+    if (!validity.ok()) return validity.status();
+    auto added = hg.AddPgVertex(vertex.labels, vertex.properties, *validity);
+    if (!added.ok()) return added.status();
+    remap[v] = *added;
+  }
+  for (EdgeId e : tpg.graph().EdgeIds()) {
+    const graph::Edge& edge = **tpg.graph().GetEdge(e);
+    auto validity = tpg.EdgeValidity(e);
+    if (!validity.ok()) return validity.status();
+    auto added = hg.AddPgEdge(remap.at(edge.src), remap.at(edge.dst),
+                              edge.label, edge.properties, *validity);
+    if (!added.ok()) return added.status();
+  }
+  return hg;
+}
+
+Result<HyGraph> FromSeriesCollection(std::vector<ts::MultiSeries> collection,
+                                     const std::string& label) {
+  HyGraph hg;
+  for (ts::MultiSeries& ms : collection) {
+    auto added = hg.AddTsVertex({label}, std::move(ms));
+    if (!added.ok()) return added.status();
+  }
+  return hg;
+}
+
+Result<graph::PropertyGraph> ToPropertyGraph(
+    const HyGraph& hg, Timestamp t,
+    std::unordered_map<VertexId, VertexId>* id_map) {
+  graph::PropertyGraph out;
+  std::unordered_map<VertexId, VertexId> remap;
+  for (VertexId v : hg.structure().VertexIds()) {
+    if (!hg.tpg().VertexValidAt(v, t)) continue;
+    const graph::Vertex& vertex = **hg.structure().GetVertex(v);
+    remap[v] = out.AddVertex(vertex.labels,
+                             StripSeriesRefs(vertex.properties));
+  }
+  for (EdgeId e : hg.structure().EdgeIds()) {
+    if (!hg.tpg().EdgeValidAt(e, t)) continue;
+    const graph::Edge& edge = **hg.structure().GetEdge(e);
+    auto src = remap.find(edge.src);
+    auto dst = remap.find(edge.dst);
+    if (src == remap.end() || dst == remap.end()) continue;
+    auto added = out.AddEdge(src->second, dst->second, edge.label,
+                             StripSeriesRefs(edge.properties));
+    if (!added.ok()) return added.status();
+  }
+  if (id_map != nullptr) *id_map = std::move(remap);
+  return out;
+}
+
+Result<temporal::TemporalPropertyGraph> ToTemporalGraph(const HyGraph& hg) {
+  temporal::TemporalPropertyGraph out;
+  std::unordered_map<VertexId, VertexId> remap;
+  for (VertexId v : hg.structure().VertexIds()) {
+    const graph::Vertex& vertex = **hg.structure().GetVertex(v);
+    auto validity = hg.VertexValidity(v);
+    if (!validity.ok()) return validity.status();
+    auto added = out.AddVertex(vertex.labels,
+                               StripSeriesRefs(vertex.properties), *validity);
+    if (!added.ok()) return added.status();
+    remap[v] = *added;
+  }
+  for (EdgeId e : hg.structure().EdgeIds()) {
+    const graph::Edge& edge = **hg.structure().GetEdge(e);
+    auto validity = hg.EdgeValidity(e);
+    if (!validity.ok()) return validity.status();
+    auto added = out.AddEdge(remap.at(edge.src), remap.at(edge.dst),
+                             edge.label, StripSeriesRefs(edge.properties),
+                             *validity);
+    if (!added.ok()) return added.status();
+  }
+  return out;
+}
+
+std::vector<ts::MultiSeries> ToSeriesCollection(const HyGraph& hg) {
+  std::vector<ts::MultiSeries> out;
+  for (VertexId v : hg.TsVertices()) {
+    out.push_back(**hg.VertexSeries(v));
+  }
+  for (EdgeId e : hg.TsEdges()) {
+    out.push_back(**hg.EdgeSeries(e));
+  }
+  // Pooled series properties, in id order.
+  for (SeriesId id = 0;; ++id) {
+    auto series = hg.LookupSeries(id);
+    if (!series.ok()) break;  // ids are dense from 0
+    out.push_back(**series);
+  }
+  return out;
+}
+
+Result<HyGraph> SeriesSimilarityGraph(const std::vector<ts::Series>& series,
+                                      const SimilarityGraphOptions& options) {
+  if (options.threshold < 0.0 || options.threshold > 1.0) {
+    return Status::InvalidArgument("threshold must be in [0, 1]");
+  }
+  HyGraph hg;
+  std::vector<VertexId> vertex_of;
+  vertex_of.reserve(series.size());
+  for (const ts::Series& s : series) {
+    // Wrap the univariate series as a single-variable MultiSeries.
+    ts::MultiSeries ms(s.name(), {"value"});
+    for (const ts::Sample& sample : s.samples()) {
+      HYGRAPH_RETURN_IF_ERROR(ms.AppendRow(sample.t, {sample.value}));
+    }
+    auto v = hg.AddTsVertex({options.vertex_label}, std::move(ms));
+    if (!v.ok()) return v.status();
+    HYGRAPH_RETURN_IF_ERROR(hg.SetVertexProperty(*v, "name", s.name()));
+    vertex_of.push_back(*v);
+  }
+  for (size_t i = 0; i < series.size(); ++i) {
+    for (size_t j = i + 1; j < series.size(); ++j) {
+      auto corr =
+          ts::Correlation(series[i], series[j], options.min_overlap);
+      if (!corr.ok()) continue;
+      if (std::abs(*corr) < options.threshold) continue;
+      if (options.sliding_window > 0) {
+        auto sliding = ts::SlidingCorrelation(
+            series[i], series[j], options.sliding_window,
+            options.sliding_window, options.min_overlap);
+        if (!sliding.ok()) return sliding.status();
+        ts::MultiSeries ms(series[i].name() + "~" + series[j].name(),
+                           {"correlation"});
+        for (const ts::Sample& sample : sliding->samples()) {
+          HYGRAPH_RETURN_IF_ERROR(ms.AppendRow(sample.t, {sample.value}));
+        }
+        auto e = hg.AddTsEdge(vertex_of[i], vertex_of[j], options.edge_label,
+                              std::move(ms));
+        if (!e.ok()) return e.status();
+        HYGRAPH_RETURN_IF_ERROR(hg.SetEdgeProperty(*e, "correlation", *corr));
+      } else {
+        auto e = hg.AddPgEdge(vertex_of[i], vertex_of[j], options.edge_label,
+                              {{"correlation", Value(*corr)}});
+        if (!e.ok()) return e.status();
+      }
+    }
+  }
+  return hg;
+}
+
+}  // namespace hygraph::core

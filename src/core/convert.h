@@ -1,0 +1,80 @@
+#ifndef HYGRAPH_CORE_CONVERT_H_
+#define HYGRAPH_CORE_CONVERT_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/hygraph.h"
+#include "graph/property_graph.h"
+#include "temporal/temporal_graph.h"
+#include "ts/multiseries.h"
+#include "ts/series.h"
+
+namespace hygraph::core {
+
+/// The <X>ToHyGraph and HyGraphTo<X> interfaces (Section 5 of the paper;
+/// arrows (6)-(10) of Figure 3). Imports must be lossless (R1): converting
+/// an LPG / TPG / series collection into a HyGraph and extracting it again
+/// round-trips all structure, labels, properties and samples.
+
+// ---- <X>ToHyGraph ----------------------------------------------------------
+
+/// LPG → HyGraph: every vertex/edge becomes a PG element valid over All().
+Result<HyGraph> FromPropertyGraph(const graph::PropertyGraph& lpg);
+
+/// TPG → HyGraph: PG elements with their validity intervals preserved.
+Result<HyGraph> FromTemporalGraph(const temporal::TemporalPropertyGraph& tpg);
+
+/// Series collection → HyGraph: each series becomes a TS vertex labeled
+/// `label` (arrow (6) without edges).
+Result<HyGraph> FromSeriesCollection(std::vector<ts::MultiSeries> collection,
+                                     const std::string& label = "TimeSeries");
+
+// ---- HyGraphTo<X> ----------------------------------------------------------
+
+/// HyGraph → LPG snapshot at instant `t`: PG elements valid at t keep their
+/// labels and properties; TS elements (always valid) are included with
+/// their labels. Series-valued properties (N_TS) are dropped — a plain LPG
+/// cannot hold them; extraction to a narrower model is lossy exactly in
+/// the dimension that model lacks. Vertex ids are remapped densely; the
+/// mapping is returned through `id_map` when non-null.
+Result<graph::PropertyGraph> ToPropertyGraph(
+    const HyGraph& hg, Timestamp t,
+    std::unordered_map<VertexId, VertexId>* id_map = nullptr);
+
+/// HyGraph → TPG copy of the structural layer (validity preserved);
+/// series-valued properties are dropped, as for ToPropertyGraph.
+Result<temporal::TemporalPropertyGraph> ToTemporalGraph(const HyGraph& hg);
+
+/// HyGraph → series collection: the series of every TS vertex/edge (δ)
+/// followed by every pooled series property, in id order.
+std::vector<ts::MultiSeries> ToSeriesCollection(const HyGraph& hg);
+
+// ---- series → graph (arrow (6)) --------------------------------------------
+
+/// Options for SeriesSimilarityGraph.
+struct SimilarityGraphOptions {
+  /// Absolute Pearson correlation at or above which two series get an edge.
+  double threshold = 0.8;
+  /// Label given to the created TS vertices.
+  std::string vertex_label = "TimeSeries";
+  /// Label given to similarity edges.
+  std::string edge_label = "SIMILAR_TO";
+  /// When > 0, similarity edges are TS edges carrying the sliding-window
+  /// correlation series (window width in ms, stepped by the same width);
+  /// when 0, edges are PG edges with a static "correlation" property.
+  Duration sliding_window = 0;
+  size_t min_overlap = 4;  ///< minimum aligned samples per correlation
+};
+
+/// Builds a HyGraph whose vertices are the given series and whose edges
+/// connect series with |corr| >= threshold — the paper's "time series
+/// connected by edges based on their similarity" [33], with the
+/// time-varying similarity stored on TS edges as in the running example.
+Result<HyGraph> SeriesSimilarityGraph(const std::vector<ts::Series>& series,
+                                      const SimilarityGraphOptions& options = {});
+
+}  // namespace hygraph::core
+
+#endif  // HYGRAPH_CORE_CONVERT_H_

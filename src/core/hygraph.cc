@@ -1,0 +1,382 @@
+#include "core/hygraph.h"
+
+#include <algorithm>
+
+namespace hygraph::core {
+
+namespace {
+
+Status NotTsElement(const char* what, uint64_t id) {
+  return Status::FailedPrecondition(std::string(what) + " " +
+                                    std::to_string(id) +
+                                    " is not a time-series element");
+}
+
+Status NoSuchSubgraph(SubgraphId s) {
+  return Status::NotFound("no subgraph with id " + std::to_string(s));
+}
+
+}  // namespace
+
+Result<VertexId> HyGraph::AddPgVertex(std::vector<std::string> labels,
+                                      PropertyMap properties,
+                                      Interval validity) {
+  for (const auto& [key, value] : properties) {
+    if (value.is_series_ref()) {
+      return Status::InvalidArgument(
+          "property '" + key +
+          "' holds a raw SeriesRef; use SetVertexSeriesProperty");
+    }
+  }
+  auto v = tpg_.AddVertex(std::move(labels), std::move(properties), validity);
+  if (!v.ok()) return v.status();
+  vertex_kind_[*v] = ElementKind::kPg;
+  return *v;
+}
+
+Result<VertexId> HyGraph::AddTsVertex(std::vector<std::string> labels,
+                                      ts::MultiSeries series) {
+  auto v = tpg_.AddVertex(std::move(labels), {}, Interval::All());
+  if (!v.ok()) return v.status();
+  vertex_kind_[*v] = ElementKind::kTs;
+  vertex_series_.emplace(*v, std::move(series));
+  return *v;
+}
+
+Result<EdgeId> HyGraph::AddPgEdge(VertexId src, VertexId dst,
+                                  std::string label, PropertyMap properties,
+                                  Interval validity) {
+  for (const auto& [key, value] : properties) {
+    if (value.is_series_ref()) {
+      return Status::InvalidArgument(
+          "property '" + key +
+          "' holds a raw SeriesRef; use SetEdgeSeriesProperty");
+    }
+  }
+  auto e = tpg_.AddEdge(src, dst, std::move(label), std::move(properties),
+                        validity);
+  if (!e.ok()) return e.status();
+  edge_kind_[*e] = ElementKind::kPg;
+  return *e;
+}
+
+Result<EdgeId> HyGraph::AddTsEdge(VertexId src, VertexId dst,
+                                  std::string label, ts::MultiSeries series) {
+  // TS elements carry no ρ of their own, but the structural layer still
+  // requires edge validity to fit the endpoints — clamp to their
+  // intersection ("always valid, as far as the endpoints allow").
+  auto src_validity = tpg_.VertexValidity(src);
+  if (!src_validity.ok()) return src_validity.status();
+  auto dst_validity = tpg_.VertexValidity(dst);
+  if (!dst_validity.ok()) return dst_validity.status();
+  const Interval validity = src_validity->Intersect(*dst_validity);
+  if (validity.empty()) {
+    return Status::FailedPrecondition(
+        "endpoints' validity intervals do not overlap");
+  }
+  auto e = tpg_.AddEdge(src, dst, std::move(label), {}, validity);
+  if (!e.ok()) return e.status();
+  edge_kind_[*e] = ElementKind::kTs;
+  edge_series_.emplace(*e, std::move(series));
+  return *e;
+}
+
+ElementKind HyGraph::VertexKind(VertexId v) const {
+  auto it = vertex_kind_.find(v);
+  return it == vertex_kind_.end() ? ElementKind::kPg : it->second;
+}
+
+ElementKind HyGraph::EdgeKind(EdgeId e) const {
+  auto it = edge_kind_.find(e);
+  return it == edge_kind_.end() ? ElementKind::kPg : it->second;
+}
+
+Result<const ts::MultiSeries*> HyGraph::VertexSeries(VertexId v) const {
+  auto it = vertex_series_.find(v);
+  if (it == vertex_series_.end()) return Status(NotTsElement("vertex", v));
+  return &it->second;
+}
+
+Result<const ts::MultiSeries*> HyGraph::EdgeSeries(EdgeId e) const {
+  auto it = edge_series_.find(e);
+  if (it == edge_series_.end()) return Status(NotTsElement("edge", e));
+  return &it->second;
+}
+
+Status HyGraph::AppendToVertexSeries(VertexId v, Timestamp t,
+                                     const std::vector<double>& row) {
+  auto it = vertex_series_.find(v);
+  if (it == vertex_series_.end()) return NotTsElement("vertex", v);
+  return it->second.AppendRow(t, row);
+}
+
+Status HyGraph::AppendToEdgeSeries(EdgeId e, Timestamp t,
+                                   const std::vector<double>& row) {
+  auto it = edge_series_.find(e);
+  if (it == edge_series_.end()) return NotTsElement("edge", e);
+  return it->second.AppendRow(t, row);
+}
+
+Result<size_t> HyGraph::RetainVertexSeries(VertexId v, const Interval& keep) {
+  auto it = vertex_series_.find(v);
+  if (it == vertex_series_.end()) return Status(NotTsElement("vertex", v));
+  return it->second.Retain(keep);
+}
+
+Result<size_t> HyGraph::RetainEdgeSeries(EdgeId e, const Interval& keep) {
+  auto it = edge_series_.find(e);
+  if (it == edge_series_.end()) return Status(NotTsElement("edge", e));
+  return it->second.Retain(keep);
+}
+
+std::vector<VertexId> HyGraph::PgVertices() const {
+  std::vector<VertexId> out;
+  for (VertexId v : structure().VertexIds()) {
+    if (VertexKind(v) == ElementKind::kPg) out.push_back(v);
+  }
+  return out;
+}
+
+std::vector<VertexId> HyGraph::TsVertices() const {
+  std::vector<VertexId> out;
+  for (VertexId v : structure().VertexIds()) {
+    if (VertexKind(v) == ElementKind::kTs) out.push_back(v);
+  }
+  return out;
+}
+
+std::vector<EdgeId> HyGraph::PgEdges() const {
+  std::vector<EdgeId> out;
+  for (EdgeId e : structure().EdgeIds()) {
+    if (EdgeKind(e) == ElementKind::kPg) out.push_back(e);
+  }
+  return out;
+}
+
+std::vector<EdgeId> HyGraph::TsEdges() const {
+  std::vector<EdgeId> out;
+  for (EdgeId e : structure().EdgeIds()) {
+    if (EdgeKind(e) == ElementKind::kTs) out.push_back(e);
+  }
+  return out;
+}
+
+Status HyGraph::SetVertexProperty(VertexId v, const std::string& key,
+                                  Value value) {
+  if (value.is_series_ref()) {
+    return Status::InvalidArgument(
+        "use SetVertexSeriesProperty to attach series values");
+  }
+  return tpg_.mutable_graph()->SetVertexProperty(v, key, std::move(value));
+}
+
+Status HyGraph::SetEdgeProperty(EdgeId e, const std::string& key,
+                                Value value) {
+  if (value.is_series_ref()) {
+    return Status::InvalidArgument(
+        "use SetEdgeSeriesProperty to attach series values");
+  }
+  return tpg_.mutable_graph()->SetEdgeProperty(e, key, std::move(value));
+}
+
+SeriesId HyGraph::PoolSeries(ts::MultiSeries series) {
+  const SeriesId id = next_series_id_++;
+  series_pool_.emplace(id, std::move(series));
+  return id;
+}
+
+Result<SeriesId> HyGraph::SetVertexSeriesProperty(VertexId v,
+                                                  const std::string& key,
+                                                  ts::MultiSeries series) {
+  if (!structure().HasVertex(v)) {
+    return Status::NotFound("no vertex with id " + std::to_string(v));
+  }
+  const SeriesId id = PoolSeries(std::move(series));
+  HYGRAPH_RETURN_IF_ERROR(
+      tpg_.mutable_graph()->SetVertexProperty(v, key, Value::SeriesRef(id)));
+  return id;
+}
+
+Result<SeriesId> HyGraph::SetEdgeSeriesProperty(EdgeId e,
+                                                const std::string& key,
+                                                ts::MultiSeries series) {
+  if (!structure().HasEdge(e)) {
+    return Status::NotFound("no edge with id " + std::to_string(e));
+  }
+  const SeriesId id = PoolSeries(std::move(series));
+  HYGRAPH_RETURN_IF_ERROR(
+      tpg_.mutable_graph()->SetEdgeProperty(e, key, Value::SeriesRef(id)));
+  return id;
+}
+
+Result<Value> HyGraph::GetVertexProperty(VertexId v,
+                                         const std::string& key) const {
+  return structure().GetVertexProperty(v, key);
+}
+
+Result<Value> HyGraph::GetEdgeProperty(EdgeId e,
+                                       const std::string& key) const {
+  return structure().GetEdgeProperty(e, key);
+}
+
+Result<const ts::MultiSeries*> HyGraph::GetVertexSeriesProperty(
+    VertexId v, const std::string& key) const {
+  auto value = structure().GetVertexProperty(v, key);
+  if (!value.ok()) return value.status();
+  if (!value->is_series_ref()) {
+    return Status::FailedPrecondition("property '" + key +
+                                      "' is not a series property");
+  }
+  return LookupSeries(value->AsSeriesId());
+}
+
+Result<const ts::MultiSeries*> HyGraph::GetEdgeSeriesProperty(
+    EdgeId e, const std::string& key) const {
+  auto value = structure().GetEdgeProperty(e, key);
+  if (!value.ok()) return value.status();
+  if (!value->is_series_ref()) {
+    return Status::FailedPrecondition("property '" + key +
+                                      "' is not a series property");
+  }
+  return LookupSeries(value->AsSeriesId());
+}
+
+Result<const ts::MultiSeries*> HyGraph::LookupSeries(SeriesId id) const {
+  auto it = series_pool_.find(id);
+  if (it == series_pool_.end()) {
+    return Status::NotFound("no pooled series with id " + std::to_string(id));
+  }
+  return &it->second;
+}
+
+Result<SubgraphId> HyGraph::CreateSubgraph(std::vector<std::string> labels,
+                                           PropertyMap properties,
+                                           Interval validity) {
+  if (validity.empty()) {
+    return Status::InvalidArgument("subgraph validity interval is empty");
+  }
+  const SubgraphId id = next_subgraph_id_++;
+  Subgraph sg;
+  sg.id = id;
+  sg.labels = std::move(labels);
+  sg.properties = std::move(properties);
+  sg.validity = validity;
+  subgraphs_.emplace(id, std::move(sg));
+  return id;
+}
+
+Result<Interval> HyGraph::ElementValidity(const ElementRef& ref) const {
+  if (ref.kind == ElementRef::Kind::kVertex) {
+    return tpg_.VertexValidity(ref.id);
+  }
+  return tpg_.EdgeValidity(ref.id);
+}
+
+Status HyGraph::AddToSubgraph(SubgraphId s, ElementRef element,
+                              Interval membership) {
+  auto it = subgraphs_.find(s);
+  if (it == subgraphs_.end()) return NoSuchSubgraph(s);
+  if (membership.empty()) {
+    return Status::InvalidArgument("membership interval is empty");
+  }
+  if (!it->second.validity.ContainsInterval(membership)) {
+    return Status::FailedPrecondition(
+        "membership " + membership.ToString() +
+        " exceeds subgraph validity " + it->second.validity.ToString());
+  }
+  auto element_validity = ElementValidity(element);
+  if (!element_validity.ok()) return element_validity.status();
+  if (!element_validity->ContainsInterval(membership)) {
+    return Status::FailedPrecondition(
+        "membership " + membership.ToString() +
+        " exceeds element validity " + element_validity->ToString());
+  }
+  it->second.members.push_back(Subgraph::Member{element, membership});
+  return Status::OK();
+}
+
+Result<HyGraph::SubgraphMembers> HyGraph::SubgraphAt(SubgraphId s,
+                                                     Timestamp t) const {
+  auto it = subgraphs_.find(s);
+  if (it == subgraphs_.end()) return Status(NoSuchSubgraph(s));
+  SubgraphMembers members;
+  if (!it->second.validity.Contains(t)) return members;  // γ empty outside ρ
+  for (const Subgraph::Member& m : it->second.members) {
+    if (!m.membership.Contains(t)) continue;
+    if (m.element.kind == ElementRef::Kind::kVertex) {
+      members.vertices.push_back(m.element.id);
+    } else {
+      members.edges.push_back(m.element.id);
+    }
+  }
+  std::sort(members.vertices.begin(), members.vertices.end());
+  members.vertices.erase(
+      std::unique(members.vertices.begin(), members.vertices.end()),
+      members.vertices.end());
+  std::sort(members.edges.begin(), members.edges.end());
+  members.edges.erase(
+      std::unique(members.edges.begin(), members.edges.end()),
+      members.edges.end());
+  return members;
+}
+
+Result<Interval> HyGraph::SubgraphValidity(SubgraphId s) const {
+  auto it = subgraphs_.find(s);
+  if (it == subgraphs_.end()) return Status(NoSuchSubgraph(s));
+  return it->second.validity;
+}
+
+Result<const std::vector<std::string>*> HyGraph::SubgraphLabels(
+    SubgraphId s) const {
+  auto it = subgraphs_.find(s);
+  if (it == subgraphs_.end()) return Status(NoSuchSubgraph(s));
+  return &it->second.labels;
+}
+
+Status HyGraph::SetSubgraphProperty(SubgraphId s, const std::string& key,
+                                    Value value) {
+  auto it = subgraphs_.find(s);
+  if (it == subgraphs_.end()) return NoSuchSubgraph(s);
+  it->second.properties[key] = std::move(value);
+  return Status::OK();
+}
+
+Result<Value> HyGraph::GetSubgraphProperty(SubgraphId s,
+                                           const std::string& key) const {
+  auto it = subgraphs_.find(s);
+  if (it == subgraphs_.end()) return Status(NoSuchSubgraph(s));
+  auto prop = it->second.properties.find(key);
+  if (prop == it->second.properties.end()) {
+    return Status::NotFound("subgraph " + std::to_string(s) +
+                            " has no property '" + key + "'");
+  }
+  return prop->second;
+}
+
+const PropertyMap& HyGraph::SubgraphProperties(SubgraphId s) const {
+  static const PropertyMap* kEmpty = new PropertyMap();
+  auto it = subgraphs_.find(s);
+  return it == subgraphs_.end() ? *kEmpty : it->second.properties;
+}
+
+std::vector<HyGraph::SubgraphMemberRecord> HyGraph::SubgraphMemberRecords(
+    SubgraphId s) const {
+  std::vector<SubgraphMemberRecord> out;
+  auto it = subgraphs_.find(s);
+  if (it == subgraphs_.end()) return out;
+  out.reserve(it->second.members.size());
+  for (const Subgraph::Member& m : it->second.members) {
+    out.push_back(SubgraphMemberRecord{m.element, m.membership});
+  }
+  return out;
+}
+
+std::vector<SubgraphId> HyGraph::SubgraphIds() const {
+  std::vector<SubgraphId> ids;
+  ids.reserve(subgraphs_.size());
+  for (const auto& [id, _] : subgraphs_) ids.push_back(id);
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+}  // namespace hygraph::core

@@ -1,0 +1,242 @@
+#ifndef HYGRAPH_CORE_HYGRAPH_H_
+#define HYGRAPH_CORE_HYGRAPH_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "common/time.h"
+#include "common/value.h"
+#include "temporal/temporal_graph.h"
+#include "ts/multiseries.h"
+#include "ts/series.h"
+
+namespace hygraph::core {
+
+using graph::EdgeId;
+using graph::PropertyMap;
+using graph::VertexId;
+using temporal::TemporalPropertyGraph;
+
+/// Whether a HyGraph element is a property-graph element (V_pg / E_pg) or a
+/// time-series element (V_ts / E_ts) — the paper's first-class split.
+enum class ElementKind : uint8_t { kPg, kTs };
+
+/// Identifier of a logical subgraph (S in the HGM tuple).
+using SubgraphId = uint64_t;
+inline constexpr SubgraphId kInvalidSubgraphId = ~SubgraphId{0};
+
+/// A reference to a vertex or an edge (used by subgraph membership).
+struct ElementRef {
+  enum class Kind : uint8_t { kVertex, kEdge } kind = Kind::kVertex;
+  uint64_t id = 0;
+
+  static ElementRef OfVertex(VertexId v) { return {Kind::kVertex, v}; }
+  static ElementRef OfEdge(EdgeId e) { return {Kind::kEdge, e}; }
+  bool operator==(const ElementRef&) const = default;
+};
+
+/// The HyGraph Model (HGM) instance — the paper's central contribution:
+///
+///   HG = (V, E, S, TS, η, γ, λ, φ, ρ, δ)
+///
+/// * V = V_pg ∪ V_ts and E = E_pg ∪ E_ts: vertices/edges are either
+///   property-graph elements or first-class time-series elements
+///   (ElementKind). Structure (η), labels (λ) and validity (ρ) live in an
+///   embedded TemporalPropertyGraph.
+/// * δ maps every TS vertex/edge to a (multivariate) time series; a TS
+///   element *is* its series. The paper defines ρ only over
+///   (V_pg ∪ E_pg ∪ S), so TS elements carry no validity of their own —
+///   structurally they are treated as always valid, and their temporal
+///   extent is the series' time span.
+/// * φ maps PG elements (and subgraphs) × keys to values from
+///   N = N_σ ∪ N_TS: static scalars, or references into the instance's
+///   series pool (time-series property values).
+/// * S is a set of logical subgraphs with labels, properties, validity, and
+///   time-dependent membership γ(s, t) ⊆ P(V) × P(E).
+///
+/// All mutators preserve the R2 consistency invariants; Validate() (in
+/// validate.cc) re-checks them from scratch.
+class HyGraph {
+ public:
+  HyGraph() = default;
+
+  HyGraph(const HyGraph&) = default;
+  HyGraph& operator=(const HyGraph&) = default;
+  HyGraph(HyGraph&&) = default;
+  HyGraph& operator=(HyGraph&&) = default;
+
+  // -- vertices and edges (V, E, η, λ, ρ, δ) --------------------------------
+
+  /// Adds a property-graph vertex valid over `validity`.
+  Result<VertexId> AddPgVertex(std::vector<std::string> labels,
+                               PropertyMap properties,
+                               Interval validity = Interval::All());
+
+  /// Adds a time-series vertex: the entity *is* the series (δ). TS
+  /// elements carry no ρ, so structurally the vertex is always valid.
+  Result<VertexId> AddTsVertex(std::vector<std::string> labels,
+                               ts::MultiSeries series);
+
+  /// Adds a property-graph edge; fails unless validity fits both endpoints.
+  Result<EdgeId> AddPgEdge(VertexId src, VertexId dst, std::string label,
+                           PropertyMap properties,
+                           Interval validity = Interval::All());
+
+  /// Adds a time-series edge, e.g. a transaction-flow or similarity edge
+  /// whose weight evolves over time.
+  Result<EdgeId> AddTsEdge(VertexId src, VertexId dst, std::string label,
+                           ts::MultiSeries series);
+
+  ElementKind VertexKind(VertexId v) const;
+  ElementKind EdgeKind(EdgeId e) const;
+  bool IsTsVertex(VertexId v) const { return VertexKind(v) == ElementKind::kTs; }
+  bool IsTsEdge(EdgeId e) const { return EdgeKind(e) == ElementKind::kTs; }
+
+  /// δ: the series of a TS vertex / edge. Error for PG elements.
+  Result<const ts::MultiSeries*> VertexSeries(VertexId v) const;
+  Result<const ts::MultiSeries*> EdgeSeries(EdgeId e) const;
+  /// Appends one observation row to a TS element's series (the timestamp
+  /// must be strictly after the series' last row).
+  Status AppendToVertexSeries(VertexId v, Timestamp t,
+                              const std::vector<double>& row);
+  Status AppendToEdgeSeries(EdgeId e, Timestamp t,
+                            const std::vector<double>& row);
+
+  /// Drops series rows outside `keep` from a TS element — the R3 staleness
+  /// eviction path. Returns the number of rows removed.
+  Result<size_t> RetainVertexSeries(VertexId v, const Interval& keep);
+  Result<size_t> RetainEdgeSeries(EdgeId e, const Interval& keep);
+
+  std::vector<VertexId> PgVertices() const;
+  std::vector<VertexId> TsVertices() const;
+  std::vector<EdgeId> PgEdges() const;
+  std::vector<EdgeId> TsEdges() const;
+
+  // -- properties (φ, N_σ ∪ N_TS) -------------------------------------------
+
+  /// Sets a static property (N_σ). SeriesRef values are rejected — use
+  /// SetVertexSeriesProperty so the reference stays consistent with the
+  /// series pool.
+  Status SetVertexProperty(VertexId v, const std::string& key, Value value);
+  Status SetEdgeProperty(EdgeId e, const std::string& key, Value value);
+
+  /// Attaches a time series as a property value (N_TS): the series goes
+  /// into the instance's pool and the property holds a SeriesRef to it.
+  Result<SeriesId> SetVertexSeriesProperty(VertexId v, const std::string& key,
+                                           ts::MultiSeries series);
+  Result<SeriesId> SetEdgeSeriesProperty(EdgeId e, const std::string& key,
+                                         ts::MultiSeries series);
+
+  Result<Value> GetVertexProperty(VertexId v, const std::string& key) const;
+  Result<Value> GetEdgeProperty(EdgeId e, const std::string& key) const;
+
+  /// Resolves a property that holds a SeriesRef to the pooled series.
+  Result<const ts::MultiSeries*> GetVertexSeriesProperty(
+      VertexId v, const std::string& key) const;
+  Result<const ts::MultiSeries*> GetEdgeSeriesProperty(
+      EdgeId e, const std::string& key) const;
+
+  /// Direct lookup into the series pool (TS).
+  Result<const ts::MultiSeries*> LookupSeries(SeriesId id) const;
+  size_t SeriesPoolSize() const { return series_pool_.size(); }
+
+  // -- subgraphs (S, γ) ------------------------------------------------------
+
+  Result<SubgraphId> CreateSubgraph(std::vector<std::string> labels,
+                                    PropertyMap properties,
+                                    Interval validity = Interval::All());
+
+  /// Adds an element to a subgraph over `membership`; the interval must be
+  /// contained in both the subgraph's validity and the element's validity.
+  Status AddToSubgraph(SubgraphId s, ElementRef element, Interval membership);
+
+  /// γ(s, t): members of subgraph s at instant t.
+  struct SubgraphMembers {
+    std::vector<VertexId> vertices;
+    std::vector<EdgeId> edges;
+  };
+  Result<SubgraphMembers> SubgraphAt(SubgraphId s, Timestamp t) const;
+
+  Result<Interval> SubgraphValidity(SubgraphId s) const;
+  Result<const std::vector<std::string>*> SubgraphLabels(SubgraphId s) const;
+
+  /// All properties of a subgraph (φ restricted to S); an empty map for
+  /// unknown ids.
+  const PropertyMap& SubgraphProperties(SubgraphId s) const;
+
+  /// Raw membership records (element, interval) of a subgraph — the data
+  /// behind γ, used by serialization and introspection.
+  struct SubgraphMemberRecord {
+    ElementRef element;
+    Interval membership;
+  };
+  std::vector<SubgraphMemberRecord> SubgraphMemberRecords(SubgraphId s) const;
+  Status SetSubgraphProperty(SubgraphId s, const std::string& key,
+                             Value value);
+  Result<Value> GetSubgraphProperty(SubgraphId s,
+                                    const std::string& key) const;
+  std::vector<SubgraphId> SubgraphIds() const;
+
+  // -- structure access -------------------------------------------------------
+
+  /// The embedded TPG: adjacency, labels, validity, snapshots, pattern
+  /// matching all operate through this view.
+  const TemporalPropertyGraph& tpg() const { return tpg_; }
+  const graph::PropertyGraph& structure() const { return tpg_.graph(); }
+
+  /// Expert escape hatch: direct mutable access to the embedded TPG.
+  /// Mutations through it bypass the model's kind/series bookkeeping — run
+  /// Validate() afterwards. Exists for bulk imports and failure-injection
+  /// tests.
+  TemporalPropertyGraph* mutable_tpg() { return &tpg_; }
+
+  size_t VertexCount() const { return tpg_.VertexCount(); }
+  size_t EdgeCount() const { return tpg_.EdgeCount(); }
+
+  /// Element validity (ρ). The model leaves TS elements outside ρ's
+  /// domain: TS vertices report All(), TS edges report the intersection of
+  /// their endpoints' validity (the structural layer's containment rule).
+  Result<Interval> VertexValidity(VertexId v) const {
+    return tpg_.VertexValidity(v);
+  }
+  Result<Interval> EdgeValidity(EdgeId e) const {
+    return tpg_.EdgeValidity(e);
+  }
+
+  /// Full R2 consistency check (implemented in validate.cc): TPG temporal
+  /// integrity, series chronology, subgraph membership containment, series
+  /// reference resolution, kind bookkeeping.
+  Status Validate() const;
+
+ private:
+  struct Subgraph {
+    SubgraphId id = kInvalidSubgraphId;
+    std::vector<std::string> labels;
+    PropertyMap properties;
+    Interval validity;
+    struct Member {
+      ElementRef element;
+      Interval membership;
+    };
+    std::vector<Member> members;
+  };
+
+  Result<Interval> ElementValidity(const ElementRef& ref) const;
+  SeriesId PoolSeries(ts::MultiSeries series);
+
+  TemporalPropertyGraph tpg_;
+  std::unordered_map<VertexId, ElementKind> vertex_kind_;
+  std::unordered_map<EdgeId, ElementKind> edge_kind_;
+  std::unordered_map<VertexId, ts::MultiSeries> vertex_series_;  // δ for V_ts
+  std::unordered_map<EdgeId, ts::MultiSeries> edge_series_;      // δ for E_ts
+  std::unordered_map<SeriesId, ts::MultiSeries> series_pool_;    // TS (N_TS)
+  SeriesId next_series_id_ = 0;
+  std::unordered_map<SubgraphId, Subgraph> subgraphs_;
+  SubgraphId next_subgraph_id_ = 0;
+};
+
+}  // namespace hygraph::core
+
+#endif  // HYGRAPH_CORE_HYGRAPH_H_

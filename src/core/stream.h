@@ -1,0 +1,124 @@
+#ifndef HYGRAPH_CORE_STREAM_H_
+#define HYGRAPH_CORE_STREAM_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "core/hygraph.h"
+
+namespace hygraph::core {
+
+/// Streaming ingestion for requirement R3 (timeliness): "the HyGRAPH model
+/// must be designed for replacing stale data without compromising the
+/// structure's integrity, even for high ingestion. Moreover, structural
+/// updates must satisfy the velocity requirements of time-sensitive
+/// scenarios."
+///
+/// A StreamProcessor applies a totally-ordered stream of UpdateEvents to a
+/// live HyGraph instance. Producers address entities by *external string
+/// ids* (device serials, account numbers); the processor owns the mapping
+/// to internal ids. Event timestamps must be non-decreasing (the stream's
+/// watermark); stale-data eviction runs on the watermark so old samples
+/// age out without ever breaking chronological or temporal integrity.
+
+/// One timestamped update.
+struct UpdateEvent {
+  enum class Kind : uint8_t {
+    kAddPgVertex,        ///< id, labels, properties; valid from `at`
+    kAddTsVertex,        ///< id, labels, variables
+    kAddPgEdge,          ///< id, src, dst, label, properties; valid from `at`
+    kAddTsEdge,          ///< id, src, dst, label, variables
+    kAppendVertexSample, ///< id, row (arity = the TS vertex's variables)
+    kAppendEdgeSample,   ///< id (edge id), row
+    kSetVertexProperty,  ///< id, key, value
+    kExpireVertex,       ///< id; validity ends at `at`
+    kExpireEdge,         ///< id (edge id); validity ends at `at`
+  };
+
+  Kind kind = Kind::kAddPgVertex;
+  Timestamp at = 0;
+  std::string id;    ///< external id of the affected vertex or edge
+  std::string src;   ///< external vertex id (edge creation)
+  std::string dst;   ///< external vertex id (edge creation)
+  std::string label;
+  std::vector<std::string> labels;
+  graph::PropertyMap properties;
+  std::vector<std::string> variables;
+  std::vector<double> row;
+  std::string key;
+  Value value;
+
+  // Convenience constructors for the common events.
+  static UpdateEvent AddPgVertex(Timestamp at, std::string id,
+                                 std::vector<std::string> labels,
+                                 graph::PropertyMap properties = {});
+  static UpdateEvent AddTsVertex(Timestamp at, std::string id,
+                                 std::vector<std::string> labels,
+                                 std::vector<std::string> variables);
+  static UpdateEvent AddPgEdge(Timestamp at, std::string id, std::string src,
+                               std::string dst, std::string label,
+                               graph::PropertyMap properties = {});
+  static UpdateEvent AddTsEdge(Timestamp at, std::string id, std::string src,
+                               std::string dst, std::string label,
+                               std::vector<std::string> variables);
+  static UpdateEvent Sample(Timestamp at, std::string vertex_id,
+                            std::vector<double> row);
+  static UpdateEvent EdgeSample(Timestamp at, std::string edge_id,
+                                std::vector<double> row);
+  static UpdateEvent ExpireVertex(Timestamp at, std::string id);
+};
+
+struct StreamOptions {
+  /// Keep only samples newer than watermark - retention; 0 disables
+  /// eviction.
+  Duration retention = 0;
+  /// Eviction sweeps run at most once per this period of stream time.
+  Duration eviction_period = kHour;
+};
+
+struct StreamStats {
+  size_t events_applied = 0;
+  size_t samples_appended = 0;
+  size_t samples_evicted = 0;
+  size_t elements_expired = 0;
+  Timestamp watermark = kMinTimestamp;
+};
+
+/// Applies events in order; rejects watermark regressions and malformed
+/// events without mutating the instance.
+class StreamProcessor {
+ public:
+  StreamProcessor(HyGraph* hg, StreamOptions options = {});
+
+  StreamProcessor(const StreamProcessor&) = delete;
+  StreamProcessor& operator=(const StreamProcessor&) = delete;
+
+  /// Applies one event. The event's `at` must be >= the current watermark.
+  Status Apply(const UpdateEvent& event);
+
+  /// Applies a batch, stopping at the first error.
+  Status ApplyAll(const std::vector<UpdateEvent>& events);
+
+  const StreamStats& stats() const { return stats_; }
+
+  /// Internal id of an externally-named vertex / edge.
+  Result<graph::VertexId> ResolveVertex(const std::string& id) const;
+  Result<graph::EdgeId> ResolveEdge(const std::string& id) const;
+
+ private:
+  Status ApplyImpl(const UpdateEvent& event);
+  void MaybeEvict();
+
+  HyGraph* hg_;
+  StreamOptions options_;
+  StreamStats stats_;
+  std::unordered_map<std::string, graph::VertexId> vertices_;
+  std::unordered_map<std::string, graph::EdgeId> edges_;
+  Timestamp last_eviction_ = kMinTimestamp;
+};
+
+}  // namespace hygraph::core
+
+#endif  // HYGRAPH_CORE_STREAM_H_

@@ -1,0 +1,111 @@
+#include "core/hygraph.h"
+
+namespace hygraph::core {
+
+// Re-checks every R2 consistency invariant from scratch. The mutators keep
+// these invariants incrementally; this full pass exists for tests,
+// failure-injection coverage, and as a guard after bulk imports that used
+// mutable_graph() directly.
+Status HyGraph::Validate() const {
+  // 1. Temporal integrity of the structural layer: edge validity contained
+  //    in endpoint validity, every element has a validity interval.
+  HYGRAPH_RETURN_IF_ERROR(tpg_.ValidateIntegrity());
+
+  // 2. Kind bookkeeping: every live vertex/edge has a kind; every TS
+  //    element has a series (δ is total on V_ts ∪ E_ts) and every series
+  //    entry belongs to a TS element.
+  for (VertexId v : structure().VertexIds()) {
+    auto it = vertex_kind_.find(v);
+    if (it == vertex_kind_.end()) {
+      return Status::Corruption("vertex " + std::to_string(v) +
+                                " has no element kind");
+    }
+    const bool has_series = vertex_series_.count(v) > 0;
+    if ((it->second == ElementKind::kTs) != has_series) {
+      return Status::Corruption("vertex " + std::to_string(v) +
+                                ": kind and series presence disagree");
+    }
+  }
+  for (EdgeId e : structure().EdgeIds()) {
+    auto it = edge_kind_.find(e);
+    if (it == edge_kind_.end()) {
+      return Status::Corruption("edge " + std::to_string(e) +
+                                " has no element kind");
+    }
+    const bool has_series = edge_series_.count(e) > 0;
+    if ((it->second == ElementKind::kTs) != has_series) {
+      return Status::Corruption("edge " + std::to_string(e) +
+                                ": kind and series presence disagree");
+    }
+  }
+
+  // 3. Chronological integrity of every series (R2): strictly increasing
+  //    time axes. MultiSeries enforces this on mutation; re-verify in case
+  //    of direct manipulation.
+  auto check_series = [](const ts::MultiSeries& ms,
+                         const std::string& where) -> Status {
+    const auto& times = ms.times();
+    for (size_t i = 1; i < times.size(); ++i) {
+      if (times[i] <= times[i - 1]) {
+        return Status::Corruption("series of " + where +
+                                  " violates chronological order");
+      }
+    }
+    return Status::OK();
+  };
+  for (const auto& [v, ms] : vertex_series_) {
+    HYGRAPH_RETURN_IF_ERROR(check_series(ms, "vertex " + std::to_string(v)));
+  }
+  for (const auto& [e, ms] : edge_series_) {
+    HYGRAPH_RETURN_IF_ERROR(check_series(ms, "edge " + std::to_string(e)));
+  }
+  for (const auto& [id, ms] : series_pool_) {
+    HYGRAPH_RETURN_IF_ERROR(
+        check_series(ms, "pooled series " + std::to_string(id)));
+  }
+
+  // 4. Every SeriesRef property resolves into the pool.
+  auto check_props = [this](const PropertyMap& props,
+                            const std::string& where) -> Status {
+    for (const auto& [key, value] : props) {
+      if (value.is_series_ref() && !series_pool_.count(value.AsSeriesId())) {
+        return Status::Corruption(where + " property '" + key +
+                                  "' references a missing series");
+      }
+    }
+    return Status::OK();
+  };
+  for (VertexId v : structure().VertexIds()) {
+    HYGRAPH_RETURN_IF_ERROR(check_props((*structure().GetVertex(v))->properties,
+                                        "vertex " + std::to_string(v)));
+  }
+  for (EdgeId e : structure().EdgeIds()) {
+    HYGRAPH_RETURN_IF_ERROR(check_props((*structure().GetEdge(e))->properties,
+                                        "edge " + std::to_string(e)));
+  }
+
+  // 5. Subgraphs: membership intervals contained in both the subgraph's
+  //    validity and the member element's validity; members must exist.
+  for (const auto& [id, sg] : subgraphs_) {
+    HYGRAPH_RETURN_IF_ERROR(
+        check_props(sg.properties, "subgraph " + std::to_string(id)));
+    for (const Subgraph::Member& m : sg.members) {
+      if (!sg.validity.ContainsInterval(m.membership)) {
+        return Status::Corruption("subgraph " + std::to_string(id) +
+                                  " membership exceeds subgraph validity");
+      }
+      auto element_validity = ElementValidity(m.element);
+      if (!element_validity.ok()) {
+        return Status::Corruption("subgraph " + std::to_string(id) +
+                                  " references a missing element");
+      }
+      if (!element_validity->ContainsInterval(m.membership)) {
+        return Status::Corruption("subgraph " + std::to_string(id) +
+                                  " membership exceeds element validity");
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace hygraph::core

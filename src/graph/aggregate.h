@@ -1,0 +1,54 @@
+#ifndef HYGRAPH_GRAPH_AGGREGATE_H_
+#define HYGRAPH_GRAPH_AGGREGATE_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "graph/property_graph.h"
+
+namespace hygraph::graph {
+
+/// Graph grouping / summarization (Table 2 row Q2, "Graph aggregation
+/// [90]"), Gradoop-style: vertices are grouped by a key, all vertices in a
+/// group collapse into a super-vertex, and all edges between groups collapse
+/// into super-edges annotated with aggregates.
+
+/// Specification of the grouping.
+struct GroupingSpec {
+  /// Vertices with the same value of this property form one group. Vertices
+  /// missing the key group under a null key.
+  std::string vertex_group_key;
+  /// Super-vertices receive a "count" property; these numeric vertex
+  /// property keys additionally get per-group "sum_<key>" properties.
+  std::vector<std::string> vertex_agg_keys;
+  /// Super-edges receive a "count" property; these numeric edge property
+  /// keys additionally get "sum_<key>" properties.
+  std::vector<std::string> edge_agg_keys;
+};
+
+/// Result of a grouping: the summary graph plus the vertex → super-vertex
+/// mapping.
+struct GroupedGraph {
+  PropertyGraph summary;
+  std::unordered_map<VertexId, VertexId> vertex_to_super;
+};
+
+/// Groups `graph` by `spec`. Super-vertices carry the grouping value under
+/// the original key, a label "Group", and aggregates; super-edges carry
+/// label "GroupEdge" and aggregates over the collapsed edges.
+Result<GroupedGraph> GroupBy(const PropertyGraph& graph,
+                             const GroupingSpec& spec);
+
+/// Groups vertices by an externally computed assignment (e.g. community
+/// detection output) rather than a stored property. `assignment` must cover
+/// every vertex.
+Result<GroupedGraph> GroupByAssignment(
+    const PropertyGraph& graph,
+    const std::unordered_map<VertexId, size_t>& assignment,
+    const GroupingSpec& spec);
+
+}  // namespace hygraph::graph
+
+#endif  // HYGRAPH_GRAPH_AGGREGATE_H_

@@ -1,0 +1,137 @@
+#include "graph/algorithms.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+namespace hygraph::graph {
+
+Result<std::unordered_map<VertexId, double>> PageRank(
+    const PropertyGraph& graph, const PageRankOptions& options) {
+  if (options.damping <= 0.0 || options.damping >= 1.0) {
+    return Status::InvalidArgument("damping must be in (0, 1)");
+  }
+  const std::vector<VertexId> ids = graph.VertexIds();
+  const size_t n = ids.size();
+  std::unordered_map<VertexId, double> rank;
+  if (n == 0) return rank;
+  const double uniform = 1.0 / static_cast<double>(n);
+  for (VertexId v : ids) rank[v] = uniform;
+
+  for (size_t iter = 0; iter < options.max_iterations; ++iter) {
+    std::unordered_map<VertexId, double> next;
+    next.reserve(n);
+    double dangling = 0.0;
+    for (VertexId v : ids) {
+      if (graph.OutDegree(v) == 0) dangling += rank[v];
+    }
+    for (VertexId v : ids) {
+      next[v] = (1.0 - options.damping) * uniform +
+                options.damping * dangling * uniform;
+    }
+    for (VertexId v : ids) {
+      const size_t out_degree = graph.OutDegree(v);
+      if (out_degree == 0) continue;
+      const double share =
+          options.damping * rank[v] / static_cast<double>(out_degree);
+      for (EdgeId eid : graph.OutEdges(v)) {
+        next[(*graph.GetEdge(eid))->dst] += share;
+      }
+    }
+    double delta = 0.0;
+    for (VertexId v : ids) delta += std::abs(next[v] - rank[v]);
+    rank = std::move(next);
+    if (delta < options.tolerance) break;
+  }
+  return rank;
+}
+
+std::unordered_map<VertexId, VertexId> ConnectedComponents(
+    const PropertyGraph& graph) {
+  std::unordered_map<VertexId, VertexId> component;
+  const std::vector<VertexId> ids = graph.VertexIds();  // increasing order
+  for (VertexId root : ids) {
+    if (component.count(root)) continue;
+    // BFS over undirected adjacency; root is the smallest id by iteration
+    // order, so it labels the component.
+    std::vector<VertexId> frontier{root};
+    component[root] = root;
+    while (!frontier.empty()) {
+      const VertexId v = frontier.back();
+      frontier.pop_back();
+      for (VertexId nb : graph.Neighbors(v)) {
+        if (!component.count(nb)) {
+          component[nb] = root;
+          frontier.push_back(nb);
+        }
+      }
+    }
+  }
+  return component;
+}
+
+namespace {
+
+// Undirected de-duplicated neighbor sets for triangle counting.
+std::unordered_map<VertexId, std::vector<VertexId>> UndirectedAdjacency(
+    const PropertyGraph& graph) {
+  std::unordered_map<VertexId, std::vector<VertexId>> adj;
+  for (VertexId v : graph.VertexIds()) {
+    std::vector<VertexId> nbs = graph.Neighbors(v);
+    std::sort(nbs.begin(), nbs.end());
+    nbs.erase(std::unique(nbs.begin(), nbs.end()), nbs.end());
+    nbs.erase(std::remove(nbs.begin(), nbs.end(), v), nbs.end());
+    adj[v] = std::move(nbs);
+  }
+  return adj;
+}
+
+}  // namespace
+
+size_t CountTriangles(const PropertyGraph& graph) {
+  const auto adj = UndirectedAdjacency(graph);
+  size_t triangles = 0;
+  // Count each triangle once via the ordered rule u < v < w.
+  for (const auto& [u, nbs] : adj) {
+    for (VertexId v : nbs) {
+      if (v <= u) continue;
+      const auto& nv = adj.at(v);
+      // Intersect nbs(u) ∩ nbs(v), keeping only w > v.
+      size_t i = 0;
+      size_t j = 0;
+      while (i < nbs.size() && j < nv.size()) {
+        if (nbs[i] < nv[j]) {
+          ++i;
+        } else if (nbs[i] > nv[j]) {
+          ++j;
+        } else {
+          if (nbs[i] > v) ++triangles;
+          ++i;
+          ++j;
+        }
+      }
+    }
+  }
+  return triangles;
+}
+
+double GlobalClusteringCoefficient(const PropertyGraph& graph) {
+  const auto adj = UndirectedAdjacency(graph);
+  size_t triplets = 0;
+  for (const auto& [v, nbs] : adj) {
+    const size_t d = nbs.size();
+    triplets += d * (d - 1) / 2;
+  }
+  if (triplets == 0) return 0.0;
+  return 3.0 * static_cast<double>(CountTriangles(graph)) /
+         static_cast<double>(triplets);
+}
+
+std::unordered_map<size_t, size_t> DegreeHistogram(
+    const PropertyGraph& graph) {
+  std::unordered_map<size_t, size_t> hist;
+  for (VertexId v : graph.VertexIds()) ++hist[graph.Degree(v)];
+  return hist;
+}
+
+}  // namespace hygraph::graph

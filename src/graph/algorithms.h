@@ -1,0 +1,42 @@
+#ifndef HYGRAPH_GRAPH_ALGORITHMS_H_
+#define HYGRAPH_GRAPH_ALGORITHMS_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "graph/property_graph.h"
+
+namespace hygraph::graph {
+
+/// PageRank options.
+struct PageRankOptions {
+  double damping = 0.85;
+  size_t max_iterations = 50;
+  double tolerance = 1e-8;  ///< L1 convergence threshold
+};
+
+/// PageRank over the directed graph; dangling mass is redistributed
+/// uniformly. Returns vertex → rank (ranks sum to ~1).
+Result<std::unordered_map<VertexId, double>> PageRank(
+    const PropertyGraph& graph, const PageRankOptions& options = {});
+
+/// Weakly connected components: vertex → component id, where the id is the
+/// smallest vertex id in the component.
+std::unordered_map<VertexId, VertexId> ConnectedComponents(
+    const PropertyGraph& graph);
+
+/// Number of distinct triangles treating edges as undirected (parallel
+/// edges and self-loops ignored).
+size_t CountTriangles(const PropertyGraph& graph);
+
+/// Global clustering coefficient = 3 * triangles / open-or-closed triplets.
+double GlobalClusteringCoefficient(const PropertyGraph& graph);
+
+/// Degree distribution snapshot: degree → number of vertices (total degree,
+/// in + out).
+std::unordered_map<size_t, size_t> DegreeHistogram(const PropertyGraph& graph);
+
+}  // namespace hygraph::graph
+
+#endif  // HYGRAPH_GRAPH_ALGORITHMS_H_

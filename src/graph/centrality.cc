@@ -1,0 +1,140 @@
+#include "graph/centrality.h"
+
+#include <algorithm>
+#include <deque>
+#include <vector>
+
+namespace hygraph::graph {
+
+namespace {
+
+// De-duplicated undirected adjacency without self-loops.
+std::unordered_map<VertexId, std::vector<VertexId>> UndirectedAdjacency(
+    const PropertyGraph& graph) {
+  std::unordered_map<VertexId, std::vector<VertexId>> adj;
+  for (VertexId v : graph.VertexIds()) {
+    std::vector<VertexId> nbs = graph.Neighbors(v);
+    std::sort(nbs.begin(), nbs.end());
+    nbs.erase(std::unique(nbs.begin(), nbs.end()), nbs.end());
+    nbs.erase(std::remove(nbs.begin(), nbs.end(), v), nbs.end());
+    adj[v] = std::move(nbs);
+  }
+  return adj;
+}
+
+}  // namespace
+
+std::unordered_map<VertexId, double> BetweennessCentrality(
+    const PropertyGraph& graph) {
+  const auto adj = UndirectedAdjacency(graph);
+  const std::vector<VertexId> ids = graph.VertexIds();
+  std::unordered_map<VertexId, double> centrality;
+  for (VertexId v : ids) centrality[v] = 0.0;
+
+  // Brandes: one BFS per source with path counting, then dependency
+  // accumulation in reverse BFS order.
+  for (VertexId source : ids) {
+    std::vector<VertexId> order;
+    std::unordered_map<VertexId, std::vector<VertexId>> predecessors;
+    std::unordered_map<VertexId, double> sigma;
+    std::unordered_map<VertexId, int64_t> dist;
+    sigma[source] = 1.0;
+    dist[source] = 0;
+    std::deque<VertexId> queue{source};
+    while (!queue.empty()) {
+      const VertexId v = queue.front();
+      queue.pop_front();
+      order.push_back(v);
+      for (VertexId w : adj.at(v)) {
+        auto it = dist.find(w);
+        if (it == dist.end()) {
+          dist[w] = dist[v] + 1;
+          queue.push_back(w);
+          it = dist.find(w);
+        }
+        if (it->second == dist[v] + 1) {
+          sigma[w] += sigma[v];
+          predecessors[w].push_back(v);
+        }
+      }
+    }
+    std::unordered_map<VertexId, double> delta;
+    for (auto it = order.rbegin(); it != order.rend(); ++it) {
+      const VertexId w = *it;
+      for (VertexId v : predecessors[w]) {
+        delta[v] += sigma[v] / sigma[w] * (1.0 + delta[w]);
+      }
+      if (w != source) centrality[w] += delta[w];
+    }
+  }
+  // Each undirected pair was counted from both endpoints.
+  for (auto& [_, c] : centrality) c /= 2.0;
+  return centrality;
+}
+
+std::unordered_map<VertexId, double> ClosenessCentrality(
+    const PropertyGraph& graph) {
+  const auto adj = UndirectedAdjacency(graph);
+  std::unordered_map<VertexId, double> closeness;
+  for (const auto& [source, _] : adj) {
+    std::unordered_map<VertexId, int64_t> dist;
+    dist[source] = 0;
+    std::deque<VertexId> queue{source};
+    int64_t total = 0;
+    size_t reached = 0;
+    while (!queue.empty()) {
+      const VertexId v = queue.front();
+      queue.pop_front();
+      total += dist[v];
+      if (v != source) ++reached;
+      for (VertexId w : adj.at(v)) {
+        if (!dist.count(w)) {
+          dist[w] = dist[v] + 1;
+          queue.push_back(w);
+        }
+      }
+    }
+    closeness[source] =
+        total > 0 ? static_cast<double>(reached) / static_cast<double>(total)
+                  : 0.0;
+  }
+  return closeness;
+}
+
+std::unordered_map<VertexId, size_t> CoreNumbers(const PropertyGraph& graph) {
+  auto adj = UndirectedAdjacency(graph);
+  std::unordered_map<VertexId, size_t> degree;
+  std::unordered_map<VertexId, size_t> core;
+  // Peeling: repeatedly remove the minimum-degree vertex; its core number
+  // is the running maximum of the degrees at removal time.
+  std::vector<VertexId> remaining;
+  for (const auto& [v, nbs] : adj) {
+    degree[v] = nbs.size();
+    remaining.push_back(v);
+  }
+  std::sort(remaining.begin(), remaining.end());
+  std::unordered_map<VertexId, bool> removed;
+  size_t current_core = 0;
+  while (!remaining.empty()) {
+    // Find the live vertex of minimum degree (ties by id; sizes are small
+    // enough that the simple O(n²) peel is fine and fully deterministic).
+    size_t best_index = remaining.size();
+    for (size_t i = 0; i < remaining.size(); ++i) {
+      if (best_index == remaining.size() ||
+          degree[remaining[i]] < degree[remaining[best_index]]) {
+        best_index = i;
+      }
+    }
+    const VertexId v = remaining[best_index];
+    remaining.erase(remaining.begin() + static_cast<ptrdiff_t>(best_index));
+    current_core = std::max(current_core, degree[v]);
+    core[v] = current_core;
+    removed[v] = true;
+    for (VertexId w : adj.at(v)) {
+      if (!removed[w] && degree[w] > 0) --degree[w];
+    }
+  }
+  return core;
+}
+
+}  // namespace hygraph::graph

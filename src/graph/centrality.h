@@ -1,0 +1,32 @@
+#ifndef HYGRAPH_GRAPH_CENTRALITY_H_
+#define HYGRAPH_GRAPH_CENTRALITY_H_
+
+#include <unordered_map>
+
+#include "common/status.h"
+#include "graph/property_graph.h"
+
+namespace hygraph::graph {
+
+/// Centrality and decomposition extras used by the analytics layer and the
+/// examples (entity importance in fraud rings, hub stations).
+
+/// Exact betweenness centrality (Brandes' algorithm) over the undirected
+/// unweighted view. O(V·E); fine for the library's target scales.
+std::unordered_map<VertexId, double> BetweennessCentrality(
+    const PropertyGraph& graph);
+
+/// Closeness centrality: (n-1) / Σ d(v, u) over v's connected component
+/// (harmonic with respect to unreachable vertices being skipped). 0 for
+/// isolated vertices.
+std::unordered_map<VertexId, double> ClosenessCentrality(
+    const PropertyGraph& graph);
+
+/// k-core decomposition: the core number of every vertex (the largest k
+/// such that the vertex belongs to a maximal subgraph of minimum degree k),
+/// computed by the peeling algorithm on the undirected view.
+std::unordered_map<VertexId, size_t> CoreNumbers(const PropertyGraph& graph);
+
+}  // namespace hygraph::graph
+
+#endif  // HYGRAPH_GRAPH_CENTRALITY_H_

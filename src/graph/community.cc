@@ -1,0 +1,194 @@
+#include "graph/community.h"
+
+#include <algorithm>
+#include <map>
+
+namespace hygraph::graph {
+
+namespace {
+
+double EdgeWeight(const PropertyGraph& graph, EdgeId eid,
+                  const std::string& weight_property) {
+  if (weight_property.empty()) return 1.0;
+  auto value = graph.GetEdgeProperty(eid, weight_property);
+  if (!value.ok()) return 1.0;
+  auto w = value->ToDouble();
+  return w.ok() ? *w : 1.0;
+}
+
+// Undirected weighted adjacency: vertex -> (neighbor -> summed weight).
+// Self-loops contribute their full weight to the diagonal.
+std::unordered_map<VertexId, std::unordered_map<VertexId, double>>
+WeightedAdjacency(const PropertyGraph& graph,
+                  const std::string& weight_property) {
+  std::unordered_map<VertexId, std::unordered_map<VertexId, double>> adj;
+  for (VertexId v : graph.VertexIds()) adj[v];  // ensure isolated vertices
+  for (EdgeId eid : graph.EdgeIds()) {
+    const Edge& e = **graph.GetEdge(eid);
+    const double w = EdgeWeight(graph, eid, weight_property);
+    adj[e.src][e.dst] += w;
+    if (e.src != e.dst) adj[e.dst][e.src] += w;
+  }
+  return adj;
+}
+
+}  // namespace
+
+double Modularity(const PropertyGraph& graph,
+                  const CommunityAssignment& assignment,
+                  const std::string& weight_property) {
+  const auto adj = WeightedAdjacency(graph, weight_property);
+  double two_m = 0.0;
+  std::unordered_map<VertexId, double> strength;
+  for (const auto& [v, nbs] : adj) {
+    double s = 0.0;
+    for (const auto& [nb, w] : nbs) s += w;
+    strength[v] = s;
+    two_m += s;
+  }
+  if (two_m <= 0.0) return 0.0;
+  // Community-sum form: Q = Σ_c [ in_c / 2m − (tot_c / 2m)² ], where in_c
+  // sums A_ij over ordered intra-community pairs and tot_c sums strengths.
+  // (The pairwise form must subtract k_i·k_j for *all* same-community
+  // pairs, not only adjacent ones.)
+  std::unordered_map<size_t, double> in_weight;
+  std::unordered_map<size_t, double> total_strength;
+  for (const auto& [v, nbs] : adj) {
+    auto cv = assignment.find(v);
+    if (cv == assignment.end()) continue;
+    total_strength[cv->second] += strength[v];
+    for (const auto& [nb, w] : nbs) {
+      auto cn = assignment.find(nb);
+      if (cn != assignment.end() && cv->second == cn->second) {
+        in_weight[cv->second] += w;
+      }
+    }
+  }
+  double q = 0.0;
+  for (const auto& [c, tot] : total_strength) {
+    const double frac = tot / two_m;
+    q += in_weight[c] / two_m - frac * frac;
+  }
+  return q;
+}
+
+Result<CommunityAssignment> LabelPropagation(const PropertyGraph& graph,
+                                             size_t max_iterations) {
+  if (max_iterations == 0) {
+    return Status::InvalidArgument("max_iterations must be >= 1");
+  }
+  CommunityAssignment labels;
+  std::vector<VertexId> ids = graph.VertexIds();
+  for (size_t i = 0; i < ids.size(); ++i) labels[ids[i]] = i;
+  // Sweep in decreasing id order: with the smallest-label tie-break below,
+  // each dense region consolidates onto its local minimum label before a
+  // bridge vertex is evaluated, so single bridge edges cannot flood one
+  // community's label into the next (which increasing order would allow
+  // during the all-singleton first sweep).
+  std::reverse(ids.begin(), ids.end());
+  for (size_t iter = 0; iter < max_iterations; ++iter) {
+    bool changed = false;
+    for (VertexId v : ids) {
+      // Most frequent neighbor label; ties -> smallest label.
+      std::map<size_t, size_t> freq;
+      for (VertexId nb : graph.Neighbors(v)) ++freq[labels[nb]];
+      if (freq.empty()) continue;
+      size_t best_label = labels[v];
+      size_t best_count = 0;
+      for (const auto& [label, count] : freq) {
+        if (count > best_count) {
+          best_count = count;
+          best_label = label;
+        }
+      }
+      if (freq.count(labels[v]) && freq[labels[v]] == best_count) {
+        continue;  // current label is already (one of) the best
+      }
+      if (best_label != labels[v]) {
+        labels[v] = best_label;
+        changed = true;
+      }
+    }
+    if (!changed) break;
+  }
+  return Renumber(labels);
+}
+
+Result<CommunityAssignment> Louvain(const PropertyGraph& graph,
+                                    const LouvainOptions& options) {
+  if (options.max_passes == 0) {
+    return Status::InvalidArgument("max_passes must be >= 1");
+  }
+  const auto adj = WeightedAdjacency(graph, options.weight_property);
+  const std::vector<VertexId> ids = graph.VertexIds();
+
+  std::unordered_map<VertexId, double> strength;
+  double two_m = 0.0;
+  for (const auto& [v, nbs] : adj) {
+    double s = 0.0;
+    for (const auto& [nb, w] : nbs) s += w;
+    strength[v] = s;
+    two_m += s;
+  }
+  CommunityAssignment community;
+  for (size_t i = 0; i < ids.size(); ++i) community[ids[i]] = i;
+  if (two_m <= 0.0) return Renumber(community);
+
+  // Total strength per community.
+  std::unordered_map<size_t, double> community_strength;
+  for (VertexId v : ids) community_strength[community[v]] += strength[v];
+
+  for (size_t pass = 0; pass < options.max_passes; ++pass) {
+    bool moved = false;
+    for (VertexId v : ids) {
+      const size_t current = community[v];
+      // Weight from v to each adjacent community.
+      std::map<size_t, double> to_community;
+      for (const auto& [nb, w] : adj.at(v)) {
+        if (nb == v) continue;
+        to_community[community[nb]] += w;
+      }
+      // Remove v from its community for the gain computation.
+      community_strength[current] -= strength[v];
+      const double base = to_community.count(current)
+                              ? to_community[current]
+                              : 0.0;
+      const double base_gain =
+          base - community_strength[current] * strength[v] / two_m;
+      size_t best = current;
+      double best_gain = base_gain;
+      for (const auto& [cand, w] : to_community) {
+        if (cand == current) continue;
+        const double gain =
+            w - community_strength[cand] * strength[v] / two_m;
+        if (gain > best_gain + options.min_gain) {
+          best_gain = gain;
+          best = cand;
+        }
+      }
+      community[v] = best;
+      community_strength[best] += strength[v];
+      if (best != current) moved = true;
+    }
+    if (!moved) break;
+  }
+  return Renumber(community);
+}
+
+CommunityAssignment Renumber(const CommunityAssignment& assignment) {
+  // Deterministic order: increasing vertex id.
+  std::vector<VertexId> ids;
+  ids.reserve(assignment.size());
+  for (const auto& [v, _] : assignment) ids.push_back(v);
+  std::sort(ids.begin(), ids.end());
+  std::unordered_map<size_t, size_t> remap;
+  CommunityAssignment out;
+  for (VertexId v : ids) {
+    const size_t old_id = assignment.at(v);
+    auto [it, inserted] = remap.emplace(old_id, remap.size());
+    out[v] = it->second;
+  }
+  return out;
+}
+
+}  // namespace hygraph::graph

@@ -1,0 +1,44 @@
+#ifndef HYGRAPH_GRAPH_COMMUNITY_H_
+#define HYGRAPH_GRAPH_COMMUNITY_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "graph/property_graph.h"
+
+namespace hygraph::graph {
+
+/// A community assignment: vertex → community id (ids are dense from 0).
+using CommunityAssignment = std::unordered_map<VertexId, size_t>;
+
+/// Newman modularity of an assignment over the undirected weighted view of
+/// the graph (weight from `weight_property`, default 1 per edge).
+double Modularity(const PropertyGraph& graph,
+                  const CommunityAssignment& assignment,
+                  const std::string& weight_property = "");
+
+/// Label propagation (Table 2 row D, "Communities [34]"): every vertex
+/// adopts the most frequent label among its neighbors until stable (ties
+/// broken by the smallest label; deterministic sweep order by vertex id).
+Result<CommunityAssignment> LabelPropagation(const PropertyGraph& graph,
+                                             size_t max_iterations = 100);
+
+/// One-level Louvain: greedy modularity optimization moving vertices
+/// between communities until no move improves modularity, followed by
+/// community renumbering. Deterministic sweep order.
+struct LouvainOptions {
+  size_t max_passes = 10;
+  double min_gain = 1e-9;
+  std::string weight_property;  ///< empty = unit weights
+};
+Result<CommunityAssignment> Louvain(const PropertyGraph& graph,
+                                    const LouvainOptions& options = {});
+
+/// Renumbers community ids densely from 0 in order of first appearance by
+/// increasing vertex id; exposed for testing.
+CommunityAssignment Renumber(const CommunityAssignment& assignment);
+
+}  // namespace hygraph::graph
+
+#endif  // HYGRAPH_GRAPH_COMMUNITY_H_

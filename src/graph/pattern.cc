@@ -1,0 +1,271 @@
+#include "graph/pattern.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace hygraph::graph {
+
+bool EvalCmp(const Value& lhs, CmpOp op, const Value& rhs) {
+  const int c = lhs.Compare(rhs);
+  switch (op) {
+    case CmpOp::kEq:
+      return lhs == rhs;
+    case CmpOp::kNe:
+      return !(lhs == rhs);
+    case CmpOp::kLt:
+      return c < 0;
+    case CmpOp::kLe:
+      return c <= 0;
+    case CmpOp::kGt:
+      return c > 0;
+    case CmpOp::kGe:
+      return c >= 0;
+  }
+  return false;
+}
+
+bool PropertyPredicate::Matches(const PropertyMap& props) const {
+  auto it = props.find(key);
+  if (it == props.end()) return false;
+  return EvalCmp(it->second, op, value);
+}
+
+Pattern& Pattern::AddVertex(std::string var, std::string label,
+                            std::vector<PropertyPredicate> preds) {
+  vertices.push_back(
+      VertexPattern{std::move(var), std::move(label), std::move(preds)});
+  return *this;
+}
+
+Pattern& Pattern::AddEdge(std::string src_var, std::string dst_var,
+                          std::string label, Direction direction,
+                          std::vector<PropertyPredicate> preds) {
+  edges.push_back(EdgePattern{std::move(src_var), std::move(dst_var),
+                              std::move(label), direction, std::move(preds)});
+  return *this;
+}
+
+namespace {
+
+// Backtracking state for MatchPattern.
+class Matcher {
+ public:
+  Matcher(const PropertyGraph& graph, const Pattern& pattern,
+          const MatchOptions& options)
+      : graph_(graph), pattern_(pattern), options_(options) {}
+
+  Status Run(std::vector<PatternMatch>* out) {
+    out_ = out;
+    const size_t n = pattern_.vertices.size();
+    for (size_t i = 0; i < n; ++i) {
+      const std::string& var = pattern_.vertices[i].var;
+      if (var_index_.count(var)) {
+        return Status::InvalidArgument("duplicate pattern variable '" + var +
+                                       "'");
+      }
+      var_index_[var] = i;
+    }
+    for (const EdgePattern& ep : pattern_.edges) {
+      if (!var_index_.count(ep.src_var) || !var_index_.count(ep.dst_var)) {
+        return Status::InvalidArgument(
+            "edge pattern references unknown variable");
+      }
+    }
+    binding_.assign(n, kInvalidVertexId);
+    order_ = ComputeOrder();
+    Extend(0);
+    return Status::OK();
+  }
+
+ private:
+  // Greedy variable order: start from the most selective variable (smallest
+  // label-index candidate set), then repeatedly pick an unbound variable
+  // adjacent to a bound one (cheapest candidate generation), breaking ties
+  // by selectivity.
+  std::vector<size_t> ComputeOrder() const {
+    const size_t n = pattern_.vertices.size();
+    std::vector<size_t> order;
+    std::vector<bool> placed(n, false);
+    auto selectivity = [&](size_t i) -> size_t {
+      const VertexPattern& vp = pattern_.vertices[i];
+      if (vp.label.empty()) return graph_.VertexCount();
+      return graph_.VerticesWithLabel(vp.label).size();
+    };
+    auto adjacent_to_placed = [&](size_t i) {
+      for (const EdgePattern& ep : pattern_.edges) {
+        const size_t a = var_index_.at(ep.src_var);
+        const size_t b = var_index_.at(ep.dst_var);
+        if ((a == i && placed[b]) || (b == i && placed[a])) return true;
+      }
+      return false;
+    };
+    while (order.size() < n) {
+      size_t best = n;
+      size_t best_sel = std::numeric_limits<size_t>::max();
+      bool best_adj = false;
+      for (size_t i = 0; i < n; ++i) {
+        if (placed[i]) continue;
+        const bool adj = !order.empty() && adjacent_to_placed(i);
+        const size_t sel = selectivity(i);
+        if (best == n || (adj && !best_adj) ||
+            (adj == best_adj && sel < best_sel)) {
+          best = i;
+          best_sel = sel;
+          best_adj = adj;
+        }
+      }
+      placed[best] = true;
+      order.push_back(best);
+    }
+    return order;
+  }
+
+  bool VertexSatisfies(size_t pattern_idx, VertexId v) const {
+    const VertexPattern& vp = pattern_.vertices[pattern_idx];
+    auto vertex = graph_.GetVertex(v);
+    if (!vertex.ok()) return false;
+    if (!vp.label.empty() && !(*vertex)->HasLabel(vp.label)) return false;
+    for (const PropertyPredicate& pred : vp.predicates) {
+      if (!pred.Matches((*vertex)->properties)) return false;
+    }
+    return true;
+  }
+
+  // Candidate vertices for pattern variable `idx` given current bindings:
+  // intersect adjacency constraints from edges to bound variables, or fall
+  // back to label index / full scan.
+  std::vector<VertexId> Candidates(size_t idx) const {
+    // Find an edge pattern connecting idx to a bound variable.
+    for (const EdgePattern& ep : pattern_.edges) {
+      const size_t a = var_index_.at(ep.src_var);
+      const size_t b = var_index_.at(ep.dst_var);
+      if (a == idx && binding_[b] != kInvalidVertexId) {
+        // idx --ep--> bound(b): candidates reached against edge direction.
+        return NeighborsVia(binding_[b], ep, /*toward_src=*/true);
+      }
+      if (b == idx && binding_[a] != kInvalidVertexId) {
+        return NeighborsVia(binding_[a], ep, /*toward_src=*/false);
+      }
+    }
+    const VertexPattern& vp = pattern_.vertices[idx];
+    if (!vp.label.empty()) return graph_.VerticesWithLabel(vp.label);
+    return graph_.VertexIds();
+  }
+
+  // Vertices adjacent to `bound` along edges compatible with `ep`.
+  // toward_src: we seek the src endpoint (bound is the dst binding).
+  std::vector<VertexId> NeighborsVia(VertexId bound, const EdgePattern& ep,
+                                     bool toward_src) const {
+    std::vector<VertexId> out;
+    auto consider = [&](EdgeId eid, bool edge_out_of_bound) {
+      const Edge& e = **graph_.GetEdge(eid);
+      if (!ep.label.empty() && e.label != ep.label) return;
+      const VertexId other = edge_out_of_bound ? e.dst : e.src;
+      switch (ep.direction) {
+        case Direction::kOut:
+          // Pattern edge flows src -> dst.
+          if (toward_src && edge_out_of_bound) return;   // need edge into bound
+          if (!toward_src && !edge_out_of_bound) return; // need edge out of bound
+          break;
+        case Direction::kIn:
+          if (toward_src && !edge_out_of_bound) return;
+          if (!toward_src && edge_out_of_bound) return;
+          break;
+        case Direction::kAny:
+          break;
+      }
+      out.push_back(other);
+    };
+    for (EdgeId eid : graph_.OutEdges(bound)) consider(eid, true);
+    for (EdgeId eid : graph_.InEdges(bound)) consider(eid, false);
+    std::sort(out.begin(), out.end());
+    out.erase(std::unique(out.begin(), out.end()), out.end());
+    return out;
+  }
+
+  // After all vertex variables are bound, pick concrete edges for every
+  // EdgePattern such that edges are pairwise distinct.
+  bool AssignEdges(size_t edge_idx, std::vector<EdgeId>* chosen) {
+    if (edge_idx == pattern_.edges.size()) return true;
+    const EdgePattern& ep = pattern_.edges[edge_idx];
+    const VertexId s = binding_[var_index_.at(ep.src_var)];
+    const VertexId d = binding_[var_index_.at(ep.dst_var)];
+    auto try_edge = [&](EdgeId eid, VertexId from, VertexId to) -> bool {
+      const Edge& e = **graph_.GetEdge(eid);
+      if (e.src != from || e.dst != to) return false;
+      if (!ep.label.empty() && e.label != ep.label) return false;
+      for (const PropertyPredicate& pred : ep.predicates) {
+        if (!pred.Matches(e.properties)) return false;
+      }
+      if (std::find(chosen->begin(), chosen->end(), eid) != chosen->end()) {
+        return false;
+      }
+      chosen->push_back(eid);
+      if (AssignEdges(edge_idx + 1, chosen)) return true;
+      chosen->pop_back();
+      return false;
+    };
+    if (ep.direction == Direction::kOut || ep.direction == Direction::kAny) {
+      for (EdgeId eid : graph_.OutEdges(s)) {
+        if (try_edge(eid, s, d)) return true;
+      }
+    }
+    if (ep.direction == Direction::kIn || ep.direction == Direction::kAny) {
+      for (EdgeId eid : graph_.OutEdges(d)) {
+        if (try_edge(eid, d, s)) return true;
+      }
+    }
+    return false;
+  }
+
+  void Extend(size_t depth) {
+    if (options_.limit != 0 && out_->size() >= options_.limit) return;
+    if (depth == order_.size()) {
+      std::vector<EdgeId> chosen;
+      if (!AssignEdges(0, &chosen)) return;
+      PatternMatch match;
+      for (const auto& [var, idx] : var_index_) {
+        match.vertices[var] = binding_[idx];
+      }
+      match.edges = std::move(chosen);
+      out_->push_back(std::move(match));
+      return;
+    }
+    const size_t idx = order_[depth];
+    for (VertexId v : Candidates(idx)) {
+      if (options_.injective_vertices &&
+          std::find(binding_.begin(), binding_.end(), v) != binding_.end()) {
+        continue;
+      }
+      if (!VertexSatisfies(idx, v)) continue;
+      binding_[idx] = v;
+      Extend(depth + 1);
+      binding_[idx] = kInvalidVertexId;
+      if (options_.limit != 0 && out_->size() >= options_.limit) return;
+    }
+  }
+
+  const PropertyGraph& graph_;
+  const Pattern& pattern_;
+  const MatchOptions& options_;
+  std::map<std::string, size_t> var_index_;
+  std::vector<VertexId> binding_;
+  std::vector<size_t> order_;
+  std::vector<PatternMatch>* out_ = nullptr;
+};
+
+}  // namespace
+
+Result<std::vector<PatternMatch>> MatchPattern(const PropertyGraph& graph,
+                                               const Pattern& pattern,
+                                               const MatchOptions& options) {
+  if (pattern.vertices.empty()) {
+    return Status::InvalidArgument("pattern has no vertices");
+  }
+  std::vector<PatternMatch> out;
+  Matcher matcher(graph, pattern, options);
+  HYGRAPH_RETURN_IF_ERROR(matcher.Run(&out));
+  return out;
+}
+
+}  // namespace hygraph::graph

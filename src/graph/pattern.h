@@ -1,0 +1,93 @@
+#ifndef HYGRAPH_GRAPH_PATTERN_H_
+#define HYGRAPH_GRAPH_PATTERN_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/value.h"
+#include "graph/property_graph.h"
+
+namespace hygraph::graph {
+
+/// Comparison operators for property predicates.
+enum class CmpOp : uint8_t { kEq, kNe, kLt, kLe, kGt, kGe };
+
+/// Evaluates `lhs op rhs` using Value::Compare semantics.
+bool EvalCmp(const Value& lhs, CmpOp op, const Value& rhs);
+
+/// A predicate `property(key) op value` on a vertex or edge.
+struct PropertyPredicate {
+  std::string key;
+  CmpOp op = CmpOp::kEq;
+  Value value;
+
+  /// True when `props` contains `key` and the comparison holds. Missing
+  /// keys never match (three-valued logic collapsed to false).
+  bool Matches(const PropertyMap& props) const;
+};
+
+/// A pattern vertex: a variable name, an optional label constraint, and
+/// property predicates.
+struct VertexPattern {
+  std::string var;
+  std::string label;  ///< empty = any label
+  std::vector<PropertyPredicate> predicates;
+};
+
+/// Edge direction relative to (src_var, dst_var).
+enum class Direction : uint8_t { kOut, kIn, kAny };
+
+/// A pattern edge between two pattern variables.
+struct EdgePattern {
+  std::string src_var;
+  std::string dst_var;
+  std::string label;  ///< empty = any label
+  Direction direction = Direction::kOut;
+  std::vector<PropertyPredicate> predicates;
+};
+
+/// A conjunctive graph pattern (the MATCH clause of Listing 1): all vertex
+/// and edge constraints must hold simultaneously.
+struct Pattern {
+  std::vector<VertexPattern> vertices;
+  std::vector<EdgePattern> edges;
+
+  /// Convenience builders.
+  Pattern& AddVertex(std::string var, std::string label = "",
+                     std::vector<PropertyPredicate> preds = {});
+  Pattern& AddEdge(std::string src_var, std::string dst_var,
+                   std::string label = "",
+                   Direction direction = Direction::kOut,
+                   std::vector<PropertyPredicate> preds = {});
+};
+
+/// One embedding of a pattern: variable → vertex, plus the matched edge per
+/// EdgePattern (parallel to Pattern::edges).
+struct PatternMatch {
+  std::map<std::string, VertexId> vertices;
+  std::vector<EdgeId> edges;
+};
+
+/// Options for the matcher.
+struct MatchOptions {
+  size_t limit = 0;  ///< 0 = unlimited
+  /// Distinct pattern variables must bind distinct graph vertices
+  /// (homomorphism vs isomorphism switch; default isomorphic, matching
+  /// Cypher's practical expectation for fraud-style queries).
+  bool injective_vertices = true;
+};
+
+/// Enumerates embeddings of `pattern` in `graph` by backtracking search.
+/// Variables are ordered greedily: label-indexed candidate counts seed the
+/// first choice, and subsequent variables prefer those adjacent to already
+/// bound ones so candidates come from adjacency lists instead of scans.
+/// Matched edges are pairwise distinct within one embedding.
+Result<std::vector<PatternMatch>> MatchPattern(const PropertyGraph& graph,
+                                               const Pattern& pattern,
+                                               const MatchOptions& options = {});
+
+}  // namespace hygraph::graph
+
+#endif  // HYGRAPH_GRAPH_PATTERN_H_

@@ -1,0 +1,288 @@
+#include "graph/property_graph.h"
+
+#include <algorithm>
+
+namespace hygraph::graph {
+
+namespace {
+
+const std::vector<EdgeId>& EmptyEdgeList() {
+  static const std::vector<EdgeId>* kEmpty = new std::vector<EdgeId>();
+  return *kEmpty;
+}
+
+Status NoSuchVertex(VertexId v) {
+  return Status::NotFound("no vertex with id " + std::to_string(v));
+}
+
+Status NoSuchEdge(EdgeId e) {
+  return Status::NotFound("no edge with id " + std::to_string(e));
+}
+
+}  // namespace
+
+bool Vertex::HasLabel(const std::string& label) const {
+  return std::find(labels.begin(), labels.end(), label) != labels.end();
+}
+
+VertexId PropertyGraph::AddVertex(std::vector<std::string> labels,
+                                  PropertyMap properties) {
+  const VertexId id = vertices_.size();
+  VertexSlot slot;
+  slot.vertex.id = id;
+  slot.vertex.labels = std::move(labels);
+  slot.vertex.properties = std::move(properties);
+  slot.live = true;
+  for (const std::string& label : slot.vertex.labels) {
+    label_index_[label].push_back(id);
+  }
+  for (const auto& [key, value] : slot.vertex.properties) {
+    IndexInsert(id, key, value);
+  }
+  vertices_.push_back(std::move(slot));
+  ++live_vertices_;
+  return id;
+}
+
+Result<EdgeId> PropertyGraph::AddEdge(VertexId src, VertexId dst,
+                                      std::string label,
+                                      PropertyMap properties) {
+  if (!HasVertex(src)) return Status(NoSuchVertex(src));
+  if (!HasVertex(dst)) return Status(NoSuchVertex(dst));
+  const EdgeId id = edges_.size();
+  EdgeSlot slot;
+  slot.edge.id = id;
+  slot.edge.src = src;
+  slot.edge.dst = dst;
+  slot.edge.label = std::move(label);
+  slot.edge.properties = std::move(properties);
+  slot.live = true;
+  edges_.push_back(std::move(slot));
+  vertices_[src].out.push_back(id);
+  vertices_[dst].in.push_back(id);
+  ++live_edges_;
+  return id;
+}
+
+Status PropertyGraph::RemoveEdge(EdgeId e) {
+  if (!HasEdge(e)) return NoSuchEdge(e);
+  EdgeSlot& slot = edges_[e];
+  auto& out = vertices_[slot.edge.src].out;
+  out.erase(std::remove(out.begin(), out.end(), e), out.end());
+  auto& in = vertices_[slot.edge.dst].in;
+  in.erase(std::remove(in.begin(), in.end(), e), in.end());
+  slot.live = false;
+  slot.edge.properties.clear();
+  --live_edges_;
+  return Status::OK();
+}
+
+Status PropertyGraph::RemoveVertex(VertexId v) {
+  if (!HasVertex(v)) return NoSuchVertex(v);
+  VertexSlot& slot = vertices_[v];
+  // Copy: RemoveEdge mutates the adjacency lists we are iterating.
+  const std::vector<EdgeId> out = slot.out;
+  for (EdgeId e : out) (void)RemoveEdge(e);
+  const std::vector<EdgeId> in = slot.in;
+  for (EdgeId e : in) (void)RemoveEdge(e);
+  for (const std::string& label : slot.vertex.labels) {
+    auto it = label_index_.find(label);
+    if (it != label_index_.end()) {
+      auto& ids = it->second;
+      ids.erase(std::remove(ids.begin(), ids.end(), v), ids.end());
+    }
+  }
+  for (const auto& [key, value] : slot.vertex.properties) {
+    IndexErase(v, key, value);
+  }
+  slot.live = false;
+  slot.vertex.properties.clear();
+  --live_vertices_;
+  return Status::OK();
+}
+
+Status PropertyGraph::SetVertexProperty(VertexId v, const std::string& key,
+                                        Value value) {
+  if (!HasVertex(v)) return NoSuchVertex(v);
+  PropertyMap& props = vertices_[v].vertex.properties;
+  auto it = props.find(key);
+  if (it != props.end()) {
+    IndexErase(v, key, it->second);
+    it->second = std::move(value);
+    IndexInsert(v, key, it->second);
+  } else {
+    auto [pos, _] = props.emplace(key, std::move(value));
+    IndexInsert(v, key, pos->second);
+  }
+  return Status::OK();
+}
+
+Status PropertyGraph::SetEdgeProperty(EdgeId e, const std::string& key,
+                                      Value value) {
+  if (!HasEdge(e)) return NoSuchEdge(e);
+  edges_[e].edge.properties[key] = std::move(value);
+  return Status::OK();
+}
+
+bool PropertyGraph::HasVertex(VertexId v) const {
+  return v < vertices_.size() && vertices_[v].live;
+}
+
+bool PropertyGraph::HasEdge(EdgeId e) const {
+  return e < edges_.size() && edges_[e].live;
+}
+
+Result<const Vertex*> PropertyGraph::GetVertex(VertexId v) const {
+  if (!HasVertex(v)) return Status(NoSuchVertex(v));
+  return &vertices_[v].vertex;
+}
+
+Result<const Edge*> PropertyGraph::GetEdge(EdgeId e) const {
+  if (!HasEdge(e)) return Status(NoSuchEdge(e));
+  return &edges_[e].edge;
+}
+
+Result<Value> PropertyGraph::GetVertexProperty(VertexId v,
+                                               const std::string& key) const {
+  if (!HasVertex(v)) return Status(NoSuchVertex(v));
+  const PropertyMap& props = vertices_[v].vertex.properties;
+  auto it = props.find(key);
+  if (it == props.end()) {
+    return Status::NotFound("vertex " + std::to_string(v) +
+                            " has no property '" + key + "'");
+  }
+  return it->second;
+}
+
+Result<Value> PropertyGraph::GetEdgeProperty(EdgeId e,
+                                             const std::string& key) const {
+  if (!HasEdge(e)) return Status(NoSuchEdge(e));
+  const PropertyMap& props = edges_[e].edge.properties;
+  auto it = props.find(key);
+  if (it == props.end()) {
+    return Status::NotFound("edge " + std::to_string(e) +
+                            " has no property '" + key + "'");
+  }
+  return it->second;
+}
+
+std::vector<VertexId> PropertyGraph::VertexIds() const {
+  std::vector<VertexId> ids;
+  ids.reserve(live_vertices_);
+  for (VertexId v = 0; v < vertices_.size(); ++v) {
+    if (vertices_[v].live) ids.push_back(v);
+  }
+  return ids;
+}
+
+std::vector<EdgeId> PropertyGraph::EdgeIds() const {
+  std::vector<EdgeId> ids;
+  ids.reserve(live_edges_);
+  for (EdgeId e = 0; e < edges_.size(); ++e) {
+    if (edges_[e].live) ids.push_back(e);
+  }
+  return ids;
+}
+
+const std::vector<EdgeId>& PropertyGraph::OutEdges(VertexId v) const {
+  if (!HasVertex(v)) return EmptyEdgeList();
+  return vertices_[v].out;
+}
+
+const std::vector<EdgeId>& PropertyGraph::InEdges(VertexId v) const {
+  if (!HasVertex(v)) return EmptyEdgeList();
+  return vertices_[v].in;
+}
+
+std::vector<VertexId> PropertyGraph::OutNeighbors(VertexId v) const {
+  std::vector<VertexId> out;
+  for (EdgeId e : OutEdges(v)) out.push_back(edges_[e].edge.dst);
+  return out;
+}
+
+std::vector<VertexId> PropertyGraph::InNeighbors(VertexId v) const {
+  std::vector<VertexId> out;
+  for (EdgeId e : InEdges(v)) out.push_back(edges_[e].edge.src);
+  return out;
+}
+
+std::vector<VertexId> PropertyGraph::Neighbors(VertexId v) const {
+  std::vector<VertexId> out = OutNeighbors(v);
+  const std::vector<VertexId> in = InNeighbors(v);
+  out.insert(out.end(), in.begin(), in.end());
+  return out;
+}
+
+std::vector<VertexId> PropertyGraph::VerticesWithLabel(
+    const std::string& label) const {
+  auto it = label_index_.find(label);
+  if (it == label_index_.end()) return {};
+  std::vector<VertexId> out;
+  out.reserve(it->second.size());
+  for (VertexId v : it->second) {
+    if (HasVertex(v)) out.push_back(v);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+void PropertyGraph::CreateVertexPropertyIndex(const std::string& key) {
+  PropertyIndex index;
+  for (VertexId v = 0; v < vertices_.size(); ++v) {
+    if (!vertices_[v].live) continue;
+    auto it = vertices_[v].vertex.properties.find(key);
+    if (it != vertices_[v].vertex.properties.end()) {
+      index[it->second].push_back(v);
+    }
+  }
+  property_indexes_[key] = std::move(index);
+}
+
+bool PropertyGraph::HasVertexPropertyIndex(const std::string& key) const {
+  return property_indexes_.count(key) > 0;
+}
+
+std::vector<VertexId> PropertyGraph::FindVertices(const std::string& key,
+                                                  const Value& value) const {
+  auto idx = property_indexes_.find(key);
+  if (idx != property_indexes_.end()) {
+    auto it = idx->second.find(value);
+    if (it == idx->second.end()) return {};
+    std::vector<VertexId> out;
+    out.reserve(it->second.size());
+    for (VertexId v : it->second) {
+      if (HasVertex(v)) out.push_back(v);
+    }
+    std::sort(out.begin(), out.end());
+    return out;
+  }
+  std::vector<VertexId> out;
+  for (VertexId v = 0; v < vertices_.size(); ++v) {
+    if (!vertices_[v].live) continue;
+    auto it = vertices_[v].vertex.properties.find(key);
+    if (it != vertices_[v].vertex.properties.end() && it->second == value) {
+      out.push_back(v);
+    }
+  }
+  return out;
+}
+
+void PropertyGraph::IndexInsert(VertexId v, const std::string& key,
+                                const Value& value) {
+  auto idx = property_indexes_.find(key);
+  if (idx == property_indexes_.end()) return;
+  idx->second[value].push_back(v);
+}
+
+void PropertyGraph::IndexErase(VertexId v, const std::string& key,
+                               const Value& value) {
+  auto idx = property_indexes_.find(key);
+  if (idx == property_indexes_.end()) return;
+  auto it = idx->second.find(value);
+  if (it == idx->second.end()) return;
+  auto& ids = it->second;
+  ids.erase(std::remove(ids.begin(), ids.end(), v), ids.end());
+  if (ids.empty()) idx->second.erase(it);
+}
+
+}  // namespace hygraph::graph

@@ -1,0 +1,149 @@
+#ifndef HYGRAPH_GRAPH_PROPERTY_GRAPH_H_
+#define HYGRAPH_GRAPH_PROPERTY_GRAPH_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "common/value.h"
+
+namespace hygraph::graph {
+
+using VertexId = uint64_t;
+using EdgeId = uint64_t;
+inline constexpr VertexId kInvalidVertexId = ~VertexId{0};
+inline constexpr EdgeId kInvalidEdgeId = ~EdgeId{0};
+
+/// Properties are a deterministic (sorted) key → Value map; deterministic
+/// iteration keeps query results and tests stable.
+using PropertyMap = std::map<std::string, Value>;
+
+/// A labeled property-graph vertex.
+struct Vertex {
+  VertexId id = kInvalidVertexId;
+  std::vector<std::string> labels;
+  PropertyMap properties;
+
+  bool HasLabel(const std::string& label) const;
+  bool operator==(const Vertex&) const = default;
+};
+
+/// A directed, labeled property-graph edge.
+struct Edge {
+  EdgeId id = kInvalidEdgeId;
+  VertexId src = kInvalidVertexId;
+  VertexId dst = kInvalidVertexId;
+  std::string label;
+  PropertyMap properties;
+
+  bool operator==(const Edge&) const = default;
+};
+
+/// An in-memory labeled property graph (LPG [6]): directed multigraph with
+/// labels and key→value properties on vertices and edges. This is the
+/// structural substrate under the temporal layer, the HyGraph model, and the
+/// all-in-graph storage engine.
+///
+/// Ids are dense and never reused; removal tombstones the slot. Adjacency is
+/// maintained incrementally (out-/in-edge lists per vertex). A label index
+/// accelerates label scans; optional property indexes accelerate equality
+/// lookups (value-ordered, so range scans would also be possible).
+class PropertyGraph {
+ public:
+  PropertyGraph() = default;
+
+  PropertyGraph(const PropertyGraph&) = default;
+  PropertyGraph& operator=(const PropertyGraph&) = default;
+  PropertyGraph(PropertyGraph&&) = default;
+  PropertyGraph& operator=(PropertyGraph&&) = default;
+
+  // -- mutation ------------------------------------------------------------
+
+  VertexId AddVertex(std::vector<std::string> labels, PropertyMap properties);
+  Result<EdgeId> AddEdge(VertexId src, VertexId dst, std::string label,
+                         PropertyMap properties);
+  Status RemoveVertex(VertexId v);  ///< also removes incident edges
+  Status RemoveEdge(EdgeId e);
+
+  Status SetVertexProperty(VertexId v, const std::string& key, Value value);
+  Status SetEdgeProperty(EdgeId e, const std::string& key, Value value);
+
+  // -- lookup --------------------------------------------------------------
+
+  bool HasVertex(VertexId v) const;
+  bool HasEdge(EdgeId e) const;
+  Result<const Vertex*> GetVertex(VertexId v) const;
+  Result<const Edge*> GetEdge(EdgeId e) const;
+  /// Property value, or NotFound if the entity or key is absent.
+  Result<Value> GetVertexProperty(VertexId v, const std::string& key) const;
+  Result<Value> GetEdgeProperty(EdgeId e, const std::string& key) const;
+
+  size_t VertexCount() const { return live_vertices_; }
+  size_t EdgeCount() const { return live_edges_; }
+
+  /// All live vertex / edge ids in increasing order.
+  std::vector<VertexId> VertexIds() const;
+  std::vector<EdgeId> EdgeIds() const;
+
+  /// Outgoing / incoming edge ids of v (empty for unknown vertices).
+  const std::vector<EdgeId>& OutEdges(VertexId v) const;
+  const std::vector<EdgeId>& InEdges(VertexId v) const;
+  size_t OutDegree(VertexId v) const { return OutEdges(v).size(); }
+  size_t InDegree(VertexId v) const { return InEdges(v).size(); }
+  size_t Degree(VertexId v) const { return OutDegree(v) + InDegree(v); }
+
+  /// Out-neighbors / in-neighbors / all neighbors (with multiplicity).
+  std::vector<VertexId> OutNeighbors(VertexId v) const;
+  std::vector<VertexId> InNeighbors(VertexId v) const;
+  std::vector<VertexId> Neighbors(VertexId v) const;
+
+  /// Vertices carrying `label`, increasing id order (uses the label index).
+  std::vector<VertexId> VerticesWithLabel(const std::string& label) const;
+
+  // -- property index ------------------------------------------------------
+
+  /// Creates (or refreshes) an equality index on a vertex property key.
+  void CreateVertexPropertyIndex(const std::string& key);
+  bool HasVertexPropertyIndex(const std::string& key) const;
+
+  /// Vertices whose property `key` equals `value`; uses the index when one
+  /// exists, otherwise falls back to a full scan.
+  std::vector<VertexId> FindVertices(const std::string& key,
+                                     const Value& value) const;
+
+ private:
+  struct VertexSlot {
+    Vertex vertex;
+    std::vector<EdgeId> out;
+    std::vector<EdgeId> in;
+    bool live = false;
+  };
+  struct EdgeSlot {
+    Edge edge;
+    bool live = false;
+  };
+
+  struct ValueLess {
+    bool operator()(const Value& a, const Value& b) const {
+      return a.Compare(b) < 0;
+    }
+  };
+  using PropertyIndex = std::map<Value, std::vector<VertexId>, ValueLess>;
+
+  void IndexInsert(VertexId v, const std::string& key, const Value& value);
+  void IndexErase(VertexId v, const std::string& key, const Value& value);
+
+  std::vector<VertexSlot> vertices_;
+  std::vector<EdgeSlot> edges_;
+  size_t live_vertices_ = 0;
+  size_t live_edges_ = 0;
+  std::unordered_map<std::string, std::vector<VertexId>> label_index_;
+  std::unordered_map<std::string, PropertyIndex> property_indexes_;
+};
+
+}  // namespace hygraph::graph
+
+#endif  // HYGRAPH_GRAPH_PROPERTY_GRAPH_H_

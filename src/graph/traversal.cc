@@ -1,0 +1,196 @@
+#include "graph/traversal.h"
+
+#include <algorithm>
+#include <deque>
+#include <queue>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace hygraph::graph {
+
+namespace {
+
+// Invokes fn(edge_id, neighbor) for each edge incident to v that the
+// options allow.
+template <typename Fn>
+void ForEachNeighbor(const PropertyGraph& graph, VertexId v,
+                     const TraversalOptions& options, Fn fn) {
+  auto visit_list = [&](const std::vector<EdgeId>& edges, bool outgoing) {
+    for (EdgeId eid : edges) {
+      const Edge& e = **graph.GetEdge(eid);
+      if (!options.edge_label.empty() && e.label != options.edge_label) {
+        continue;
+      }
+      fn(eid, outgoing ? e.dst : e.src);
+    }
+  };
+  if (options.direction == TraversalDirection::kOut ||
+      options.direction == TraversalDirection::kBoth) {
+    visit_list(graph.OutEdges(v), true);
+  }
+  if (options.direction == TraversalDirection::kIn ||
+      options.direction == TraversalDirection::kBoth) {
+    visit_list(graph.InEdges(v), false);
+  }
+}
+
+Status RequireVertex(const PropertyGraph& graph, VertexId v) {
+  if (!graph.HasVertex(v)) {
+    return Status::NotFound("no vertex with id " + std::to_string(v));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<std::vector<BfsVisit>> Bfs(const PropertyGraph& graph, VertexId source,
+                                  const TraversalOptions& options) {
+  HYGRAPH_RETURN_IF_ERROR(RequireVertex(graph, source));
+  std::vector<BfsVisit> out;
+  std::unordered_set<VertexId> seen{source};
+  std::deque<BfsVisit> frontier{{source, 0}};
+  while (!frontier.empty()) {
+    const BfsVisit cur = frontier.front();
+    frontier.pop_front();
+    out.push_back(cur);
+    if (cur.depth >= options.max_depth) continue;
+    ForEachNeighbor(graph, cur.vertex, options,
+                    [&](EdgeId, VertexId nb) {
+                      if (seen.insert(nb).second) {
+                        frontier.push_back({nb, cur.depth + 1});
+                      }
+                    });
+  }
+  return out;
+}
+
+Result<std::vector<VertexId>> DfsPreorder(const PropertyGraph& graph,
+                                          VertexId source,
+                                          const TraversalOptions& options) {
+  HYGRAPH_RETURN_IF_ERROR(RequireVertex(graph, source));
+  std::vector<VertexId> out;
+  std::unordered_set<VertexId> seen;
+  // Explicit stack of (vertex, depth); neighbors pushed in reverse so the
+  // first neighbor is explored first.
+  std::vector<std::pair<VertexId, size_t>> stack{{source, 0}};
+  while (!stack.empty()) {
+    auto [v, depth] = stack.back();
+    stack.pop_back();
+    if (!seen.insert(v).second) continue;
+    out.push_back(v);
+    if (depth >= options.max_depth) continue;
+    std::vector<VertexId> nbs;
+    ForEachNeighbor(graph, v, options,
+                    [&](EdgeId, VertexId nb) { nbs.push_back(nb); });
+    for (auto it = nbs.rbegin(); it != nbs.rend(); ++it) {
+      if (!seen.count(*it)) stack.push_back({*it, depth + 1});
+    }
+  }
+  return out;
+}
+
+Result<bool> IsReachable(const PropertyGraph& graph, VertexId source,
+                         VertexId target, const TraversalOptions& options) {
+  HYGRAPH_RETURN_IF_ERROR(RequireVertex(graph, source));
+  HYGRAPH_RETURN_IF_ERROR(RequireVertex(graph, target));
+  if (source == target) return true;
+  auto visits = Bfs(graph, source, options);
+  if (!visits.ok()) return visits.status();
+  for (const BfsVisit& visit : *visits) {
+    if (visit.vertex == target) return true;
+  }
+  return false;
+}
+
+Result<std::vector<VertexId>> KHopNeighbors(const PropertyGraph& graph,
+                                            VertexId source, size_t k,
+                                            const TraversalOptions& options) {
+  TraversalOptions bounded = options;
+  bounded.max_depth = k;
+  auto visits = Bfs(graph, source, bounded);
+  if (!visits.ok()) return visits.status();
+  std::vector<VertexId> out;
+  for (const BfsVisit& visit : *visits) {
+    if (visit.depth == k) out.push_back(visit.vertex);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+Result<ShortestPath> FindShortestPath(const PropertyGraph& graph,
+                                      VertexId source, VertexId target,
+                                      const std::string& weight_property,
+                                      const TraversalOptions& options) {
+  HYGRAPH_RETURN_IF_ERROR(RequireVertex(graph, source));
+  HYGRAPH_RETURN_IF_ERROR(RequireVertex(graph, target));
+
+  auto edge_weight = [&](EdgeId eid) -> Result<double> {
+    if (weight_property.empty()) return 1.0;
+    auto value = graph.GetEdgeProperty(eid, weight_property);
+    if (!value.ok()) return 1.0;  // missing weight defaults to 1
+    auto w = value->ToDouble();
+    if (!w.ok()) return w.status();
+    if (*w < 0) {
+      return Status::InvalidArgument("negative edge weight on edge " +
+                                     std::to_string(eid));
+    }
+    return *w;
+  };
+
+  struct QueueEntry {
+    double dist;
+    VertexId vertex;
+    bool operator>(const QueueEntry& other) const {
+      return dist > other.dist;
+    }
+  };
+  std::priority_queue<QueueEntry, std::vector<QueueEntry>,
+                      std::greater<QueueEntry>>
+      queue;
+  std::unordered_map<VertexId, double> dist;
+  std::unordered_map<VertexId, std::pair<VertexId, EdgeId>> parent;
+  dist[source] = 0.0;
+  queue.push({0.0, source});
+  Status failure = Status::OK();
+  while (!queue.empty()) {
+    const QueueEntry top = queue.top();
+    queue.pop();
+    if (top.dist > dist[top.vertex]) continue;  // stale entry
+    if (top.vertex == target) break;
+    ForEachNeighbor(graph, top.vertex, options, [&](EdgeId eid, VertexId nb) {
+      if (!failure.ok()) return;
+      auto w = edge_weight(eid);
+      if (!w.ok()) {
+        failure = w.status();
+        return;
+      }
+      const double nd = top.dist + *w;
+      auto it = dist.find(nb);
+      if (it == dist.end() || nd < it->second) {
+        dist[nb] = nd;
+        parent[nb] = {top.vertex, eid};
+        queue.push({nd, nb});
+      }
+    });
+    if (!failure.ok()) return failure;
+  }
+  if (!dist.count(target)) {
+    return Status::NotFound("no path from " + std::to_string(source) +
+                            " to " + std::to_string(target));
+  }
+  ShortestPath path;
+  path.total_weight = dist[target];
+  VertexId cur = target;
+  while (cur != source) {
+    const auto [prev, via] = parent.at(cur);
+    path.vertices.push_back(cur);
+    path.edges.push_back(via);
+    cur = prev;
+  }
+  path.vertices.push_back(source);
+  std::reverse(path.vertices.begin(), path.vertices.end());
+  std::reverse(path.edges.begin(), path.edges.end());
+  return path;
+}
+
+}  // namespace hygraph::graph

@@ -1,0 +1,64 @@
+#ifndef HYGRAPH_GRAPH_TRAVERSAL_H_
+#define HYGRAPH_GRAPH_TRAVERSAL_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "graph/property_graph.h"
+
+namespace hygraph::graph {
+
+/// Edge-direction policy for traversals.
+enum class TraversalDirection : uint8_t { kOut, kIn, kBoth };
+
+/// Options shared by the traversal primitives.
+struct TraversalOptions {
+  TraversalDirection direction = TraversalDirection::kOut;
+  /// Only follow edges with this label (empty = all).
+  std::string edge_label;
+  /// Stop expanding past this depth (0 = only the source itself).
+  size_t max_depth = ~size_t{0};
+};
+
+/// Breadth-first search from `source`; returns (vertex, depth) pairs in
+/// visit order, including the source at depth 0.
+struct BfsVisit {
+  VertexId vertex = kInvalidVertexId;
+  size_t depth = 0;
+};
+Result<std::vector<BfsVisit>> Bfs(const PropertyGraph& graph, VertexId source,
+                                  const TraversalOptions& options = {});
+
+/// Depth-first preorder from `source`.
+Result<std::vector<VertexId>> DfsPreorder(const PropertyGraph& graph,
+                                          VertexId source,
+                                          const TraversalOptions& options = {});
+
+/// True when `target` is reachable from `source` under the options
+/// (Table 2 row Q3, "Reachability [11]").
+Result<bool> IsReachable(const PropertyGraph& graph, VertexId source,
+                         VertexId target, const TraversalOptions& options = {});
+
+/// Vertices at exactly `k` hops (minimum distance k) from the source.
+Result<std::vector<VertexId>> KHopNeighbors(const PropertyGraph& graph,
+                                            VertexId source, size_t k,
+                                            const TraversalOptions& options = {});
+
+/// Weighted shortest path (Dijkstra). Edge weight is read from
+/// `weight_property` (must be numeric and non-negative); missing property
+/// means weight 1.
+struct ShortestPath {
+  std::vector<VertexId> vertices;  ///< source ... target
+  std::vector<EdgeId> edges;       ///< parallel to hops
+  double total_weight = 0.0;
+};
+Result<ShortestPath> FindShortestPath(const PropertyGraph& graph,
+                                      VertexId source, VertexId target,
+                                      const std::string& weight_property = "",
+                                      const TraversalOptions& options = {});
+
+}  // namespace hygraph::graph
+
+#endif  // HYGRAPH_GRAPH_TRAVERSAL_H_

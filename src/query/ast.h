@@ -1,0 +1,134 @@
+#ifndef HYGRAPH_QUERY_AST_H_
+#define HYGRAPH_QUERY_AST_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/value.h"
+
+namespace hygraph::query {
+
+/// HGQL — the small declarative query language of this library. One query:
+///
+///   MATCH (s:Station {district: 3})-[t:TRIP]->(d:Station)
+///   WHERE ts_avg(s.bikes, 0, 86400000) > 5 AND d.capacity >= 20
+///   RETURN s.name AS src, d.name AS dst, ts_avg(d.bikes, 0, 86400000) AS a
+///   ORDER BY a DESC
+///   LIMIT 10
+///
+/// The AST below mirrors that shape. Expressions are a small tree of
+/// literals, property references, comparisons, boolean connectives,
+/// arithmetic, and function calls (the ts_* family plus scalar helpers).
+
+// ---- expressions -----------------------------------------------------------
+
+enum class BinaryOp : uint8_t {
+  kAnd,
+  kOr,
+  kEq,
+  kNe,
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kAdd,
+  kSub,
+  kMul,
+  kDiv,
+};
+
+const char* BinaryOpName(BinaryOp op);
+
+enum class UnaryOp : uint8_t { kNot, kNeg };
+
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+struct Expr {
+  enum class Kind : uint8_t {
+    kLiteral,      ///< constant Value
+    kPropertyRef,  ///< var.key
+    kVariable,     ///< bare variable (used by ORDER BY aliases)
+    kBinary,
+    kUnary,
+    kCall,
+  };
+
+  Kind kind = Kind::kLiteral;
+
+  // kLiteral
+  Value literal;
+  // kPropertyRef
+  std::string var;
+  std::string key;
+  // kVariable: reuses `var`
+  // kBinary / kUnary
+  BinaryOp binary_op = BinaryOp::kAnd;
+  UnaryOp unary_op = UnaryOp::kNot;
+  ExprPtr lhs;
+  ExprPtr rhs;  // null for unary
+  // kCall
+  std::string call_name;
+  std::vector<ExprPtr> args;
+
+  static ExprPtr Literal(Value v);
+  static ExprPtr PropertyRef(std::string var, std::string key);
+  static ExprPtr Variable(std::string var);
+  static ExprPtr Binary(BinaryOp op, ExprPtr lhs, ExprPtr rhs);
+  static ExprPtr Unary(UnaryOp op, ExprPtr operand);
+  static ExprPtr Call(std::string name, std::vector<ExprPtr> args);
+
+  /// Deep copy.
+  ExprPtr Clone() const;
+  /// Round-trippable rendering for diagnostics.
+  std::string ToString() const;
+};
+
+// ---- MATCH patterns ----------------------------------------------------------
+
+/// A node element of a path pattern: (var:Label {key: literal, ...}).
+struct NodeAst {
+  std::string var;    ///< may be empty (anonymous)
+  std::string label;  ///< may be empty
+  std::vector<std::pair<std::string, Value>> properties;
+};
+
+/// An edge element: -[var:LABEL]-> / <-[...]- / -[...]-.
+struct EdgeAst {
+  std::string var;
+  std::string label;
+  std::vector<std::pair<std::string, Value>> properties;
+  enum class Dir : uint8_t { kRight, kLeft, kUndirected } dir = Dir::kRight;
+};
+
+/// One path: node (edge node)*.
+struct PathAst {
+  std::vector<NodeAst> nodes;
+  std::vector<EdgeAst> edges;  ///< edges.size() == nodes.size() - 1
+};
+
+// ---- query ------------------------------------------------------------------
+
+struct ReturnItem {
+  ExprPtr expr;
+  std::string alias;  ///< defaults to expr->ToString() when empty
+};
+
+struct OrderItem {
+  ExprPtr expr;  ///< usually a kVariable referencing a RETURN alias
+  bool descending = false;
+};
+
+struct QueryAst {
+  std::vector<PathAst> paths;  ///< comma-separated MATCH patterns
+  ExprPtr where;               ///< null when absent
+  bool distinct = false;       ///< RETURN DISTINCT
+  std::vector<ReturnItem> returns;
+  std::vector<OrderItem> order_by;
+  size_t limit = 0;  ///< 0 = no limit
+};
+
+}  // namespace hygraph::query
+
+#endif  // HYGRAPH_QUERY_AST_H_

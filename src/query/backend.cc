@@ -1,0 +1,43 @@
+#include "query/backend.h"
+
+namespace hygraph::query {
+
+QueryBackend::~QueryBackend() = default;
+
+Result<double> QueryBackend::VertexSeriesAggregate(graph::VertexId v,
+                                                   const std::string& key,
+                                                   const Interval& interval,
+                                                   ts::AggKind kind) const {
+  auto series = VertexSeriesRange(v, key, interval);
+  if (!series.ok()) return series.status();
+  return ts::Aggregate(*series, Interval::All(), kind);
+}
+
+Result<double> QueryBackend::EdgeSeriesAggregate(graph::EdgeId e,
+                                                 const std::string& key,
+                                                 const Interval& interval,
+                                                 ts::AggKind kind) const {
+  auto series = EdgeSeriesRange(e, key, interval);
+  if (!series.ok()) return series.status();
+  return ts::Aggregate(*series, Interval::All(), kind);
+}
+
+Result<ts::Series> QueryBackend::VertexSeriesWindowAggregate(
+    graph::VertexId v, const std::string& key, const Interval& interval,
+    Duration width, ts::AggKind kind) const {
+  auto series = VertexSeriesRange(v, key, interval);
+  if (!series.ok()) return series.status();
+  return ts::WindowAggregate(*series, interval.Intersect(series->TimeSpan()),
+                             width, kind);
+}
+
+Result<ts::Series> QueryBackend::EdgeSeriesWindowAggregate(
+    graph::EdgeId e, const std::string& key, const Interval& interval,
+    Duration width, ts::AggKind kind) const {
+  auto series = EdgeSeriesRange(e, key, interval);
+  if (!series.ok()) return series.status();
+  return ts::WindowAggregate(*series, interval.Intersect(series->TimeSpan()),
+                             width, kind);
+}
+
+}  // namespace hygraph::query

@@ -1,0 +1,91 @@
+#ifndef HYGRAPH_QUERY_BACKEND_H_
+#define HYGRAPH_QUERY_BACKEND_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/time.h"
+#include "graph/property_graph.h"
+#include "ts/aggregate.h"
+#include "ts/series.h"
+
+namespace hygraph::query {
+
+/// The storage abstraction HGQL executes against. Both architectures of
+/// Figure 1 implement it:
+///
+///   * AllInGraphStore (red path)  — series samples live inside the graph's
+///     property maps; every series operation degenerates to a property scan.
+///   * PolyglotStore   (green path) — series live in a chunked hypertable
+///     keyed by (entity, property); series operations prune to chunks.
+///
+/// The interface is deliberately narrow: topology for structural matching,
+/// plus range-scan and range-aggregate on a named series of a vertex or
+/// edge. The executor never sees which architecture it runs on — that is
+/// the paper's "users interact with hybrid data as if stored in a single
+/// system".
+class QueryBackend {
+ public:
+  virtual ~QueryBackend();
+
+  /// Human-readable engine name for benchmark output ("all-in-graph",
+  /// "polyglot").
+  virtual std::string name() const = 0;
+
+  /// The structural graph used for label scans, adjacency, and pattern
+  /// matching. Static (non-series) properties are readable directly from
+  /// the returned graph.
+  virtual const graph::PropertyGraph& topology() const = 0;
+
+  // -- ingestion --------------------------------------------------------------
+
+  /// Mutable access to the structural graph for loading vertices, edges,
+  /// labels, and static properties. Series samples must go through the
+  /// Append*Sample methods so each engine stores them its own way.
+  virtual graph::PropertyGraph* mutable_topology() = 0;
+
+  /// Appends one sample to the series stored under (vertex, key).
+  /// Creates the series on first use.
+  virtual Status AppendVertexSample(graph::VertexId v, const std::string& key,
+                                    Timestamp t, double value) = 0;
+  /// Appends one sample to the series stored under (edge, key).
+  virtual Status AppendEdgeSample(graph::EdgeId e, const std::string& key,
+                                  Timestamp t, double value) = 0;
+
+  // -- series access ------------------------------------------------------------
+
+  /// Materializes the samples of (vertex, key) inside `interval`.
+  virtual Result<ts::Series> VertexSeriesRange(
+      graph::VertexId v, const std::string& key,
+      const Interval& interval) const = 0;
+  virtual Result<ts::Series> EdgeSeriesRange(
+      graph::EdgeId e, const std::string& key,
+      const Interval& interval) const = 0;
+
+  /// Range aggregate over (vertex, key). The default implementation
+  /// materializes the range and folds it; engines with native aggregation
+  /// (the hypertable) override this.
+  virtual Result<double> VertexSeriesAggregate(graph::VertexId v,
+                                               const std::string& key,
+                                               const Interval& interval,
+                                               ts::AggKind kind) const;
+  virtual Result<double> EdgeSeriesAggregate(graph::EdgeId e,
+                                             const std::string& key,
+                                             const Interval& interval,
+                                             ts::AggKind kind) const;
+
+  /// Tumbling-window aggregate series over (vertex, key): one sample per
+  /// non-empty window of `width` ms. Default materializes then windows;
+  /// the hypertable overrides with its native single-pass time_bucket.
+  virtual Result<ts::Series> VertexSeriesWindowAggregate(
+      graph::VertexId v, const std::string& key, const Interval& interval,
+      Duration width, ts::AggKind kind) const;
+  virtual Result<ts::Series> EdgeSeriesWindowAggregate(
+      graph::EdgeId e, const std::string& key, const Interval& interval,
+      Duration width, ts::AggKind kind) const;
+};
+
+}  // namespace hygraph::query
+
+#endif  // HYGRAPH_QUERY_BACKEND_H_

@@ -1,0 +1,158 @@
+#include "query/executor.h"
+
+#include <algorithm>
+#include <numeric>
+#include <set>
+
+#include "query/functions.h"
+#include "query/parser.h"
+
+namespace hygraph::query {
+
+Result<Value> QueryResult::At(size_t row, const std::string& column) const {
+  if (row >= rows.size()) {
+    return Status::OutOfRange("row " + std::to_string(row) + " out of range");
+  }
+  for (size_t c = 0; c < columns.size(); ++c) {
+    if (columns[c] == column) return rows[row][c];
+  }
+  return Status::NotFound("no column named '" + column + "'");
+}
+
+std::string QueryResult::ToString(size_t max_rows) const {
+  std::string out;
+  for (size_t c = 0; c < columns.size(); ++c) {
+    if (c > 0) out += "\t";
+    out += columns[c];
+  }
+  out += "\n";
+  const size_t shown = std::min(max_rows, rows.size());
+  for (size_t r = 0; r < shown; ++r) {
+    for (size_t c = 0; c < rows[r].size(); ++c) {
+      if (c > 0) out += "\t";
+      out += rows[r][c].ToString();
+    }
+    out += "\n";
+  }
+  if (shown < rows.size()) {
+    out += "... (" + std::to_string(rows.size() - shown) + " more rows)\n";
+  }
+  return out;
+}
+
+Result<QueryResult> Execute(const QueryBackend& backend,
+                            const std::string& query_text,
+                            const PlannerOptions& options) {
+  auto ast = Parse(query_text);
+  if (!ast.ok()) return ast.status();
+  auto plan = CompileQuery(*ast, options);
+  if (!plan.ok()) return plan.status();
+  return ExecutePlan(backend, *plan);
+}
+
+Result<QueryResult> ExecutePlan(const QueryBackend& backend,
+                                const Plan& plan) {
+  QueryResult result;
+  for (const ReturnItem& item : plan.returns) {
+    result.columns.push_back(item.alias);
+  }
+
+  // Only short-circuit on the limit during matching when no post-match
+  // work can change which rows survive.
+  graph::MatchOptions match_options;
+  const bool can_limit_early = plan.order_by.empty() &&
+                               plan.residual_where == nullptr &&
+                               !plan.distinct;
+  if (can_limit_early) match_options.limit = plan.limit;
+
+  auto matches =
+      graph::MatchPattern(backend.topology(), plan.pattern, match_options);
+  if (!matches.ok()) return matches.status();
+
+  Evaluator evaluator(&backend);
+
+  // Sort keys per row (evaluated against bindings + return aliases).
+  struct PendingRow {
+    std::vector<Value> cells;
+    std::vector<Value> sort_keys;
+  };
+  std::vector<PendingRow> pending;
+
+  for (const graph::PatternMatch& match : *matches) {
+    Bindings bindings;
+    for (const auto& [var, vertex] : match.vertices) {
+      bindings[var] = Binding{false, vertex};
+    }
+    for (const auto& [var, edge_idx] : plan.edge_vars) {
+      bindings[var] = Binding{true, match.edges[edge_idx]};
+    }
+    if (plan.residual_where) {
+      auto keep = evaluator.EvalPredicate(*plan.residual_where, bindings);
+      if (!keep.ok()) return keep.status();
+      if (!*keep) continue;
+    }
+    PendingRow row;
+    std::map<std::string, Value> aliases;
+    for (const ReturnItem& item : plan.returns) {
+      auto value = evaluator.Eval(*item.expr, bindings);
+      if (!value.ok()) return value.status();
+      aliases[item.alias] = *value;
+      row.cells.push_back(std::move(*value));
+    }
+    for (const OrderItem& item : plan.order_by) {
+      auto key = evaluator.Eval(*item.expr, bindings, &aliases);
+      if (!key.ok()) return key.status();
+      row.sort_keys.push_back(std::move(*key));
+    }
+    pending.push_back(std::move(row));
+    if (can_limit_early && plan.limit != 0 && pending.size() >= plan.limit) {
+      break;
+    }
+  }
+
+  if (plan.distinct) {
+    // Keep the first occurrence of each projected row (DISTINCT applies to
+    // the RETURN columns, before ordering).
+    auto row_less = [](const std::vector<Value>& a,
+                       const std::vector<Value>& b) {
+      for (size_t i = 0; i < std::min(a.size(), b.size()); ++i) {
+        const int c = a[i].Compare(b[i]);
+        if (c != 0) return c < 0;
+      }
+      return a.size() < b.size();
+    };
+    std::set<std::vector<Value>, decltype(row_less)> seen(row_less);
+    std::vector<PendingRow> unique;
+    unique.reserve(pending.size());
+    for (PendingRow& row : pending) {
+      if (seen.insert(row.cells).second) unique.push_back(std::move(row));
+    }
+    pending = std::move(unique);
+  }
+
+  if (!plan.order_by.empty()) {
+    std::vector<size_t> order(pending.size());
+    std::iota(order.begin(), order.end(), 0);
+    std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+      for (size_t k = 0; k < plan.order_by.size(); ++k) {
+        const int c = pending[a].sort_keys[k].Compare(pending[b].sort_keys[k]);
+        if (c != 0) return plan.order_by[k].descending ? c > 0 : c < 0;
+      }
+      return false;
+    });
+    std::vector<PendingRow> sorted;
+    sorted.reserve(pending.size());
+    for (size_t i : order) sorted.push_back(std::move(pending[i]));
+    pending = std::move(sorted);
+  }
+
+  const size_t keep =
+      plan.limit == 0 ? pending.size() : std::min(plan.limit, pending.size());
+  result.rows.reserve(keep);
+  for (size_t i = 0; i < keep; ++i) {
+    result.rows.push_back(std::move(pending[i].cells));
+  }
+  return result;
+}
+
+}  // namespace hygraph::query

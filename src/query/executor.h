@@ -1,0 +1,36 @@
+#ifndef HYGRAPH_QUERY_EXECUTOR_H_
+#define HYGRAPH_QUERY_EXECUTOR_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/value.h"
+#include "query/backend.h"
+#include "query/planner.h"
+
+namespace hygraph::query {
+
+/// A query result: column names plus rows of Values.
+struct QueryResult {
+  std::vector<std::string> columns;
+  std::vector<std::vector<Value>> rows;
+
+  size_t row_count() const { return rows.size(); }
+  /// Value at (row, column-name); error on unknown column or row index.
+  Result<Value> At(size_t row, const std::string& column) const;
+  /// Tab-separated rendering with a header line (for examples/benches).
+  std::string ToString(size_t max_rows = 20) const;
+};
+
+/// Compiles and runs an HGQL query text against a backend.
+Result<QueryResult> Execute(const QueryBackend& backend,
+                            const std::string& query_text,
+                            const PlannerOptions& options = {});
+
+/// Runs an already-compiled plan (benchmarks compile once, execute many).
+Result<QueryResult> ExecutePlan(const QueryBackend& backend, const Plan& plan);
+
+}  // namespace hygraph::query
+
+#endif  // HYGRAPH_QUERY_EXECUTOR_H_

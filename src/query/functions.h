@@ -1,0 +1,74 @@
+#ifndef HYGRAPH_QUERY_FUNCTIONS_H_
+#define HYGRAPH_QUERY_FUNCTIONS_H_
+
+#include <map>
+#include <string>
+
+#include "common/status.h"
+#include "common/value.h"
+#include "query/ast.h"
+#include "query/backend.h"
+
+namespace hygraph::query {
+
+/// What a pattern variable is bound to during evaluation of one row.
+struct Binding {
+  bool is_edge = false;
+  uint64_t id = 0;  ///< VertexId or EdgeId
+};
+using Bindings = std::map<std::string, Binding>;
+
+/// Evaluates HGQL expressions against a QueryBackend and one row's
+/// variable bindings.
+///
+/// Scalar semantics: missing properties evaluate to null; comparisons with
+/// null are false (except `= null` / `<> null`); arithmetic with null is
+/// null. Numeric arithmetic widens int to double when mixed.
+///
+/// Supported functions:
+///   ts_avg|ts_sum|ts_min|ts_max|ts_count|ts_stddev|ts_first|ts_last
+///       (x.key, t_start, t_end)        range aggregate over a series
+///   ts_corr(a.key, b.key, t_start, t_end)
+///       Pearson correlation of two series over a range
+///   ts_window_agg(x.key, t_start, t_end, width_ms, 'inner', 'outer')
+///       tumbling-window aggregate `inner`, reduced across windows by
+///       `outer` (e.g. daily-average peak = ('avg', 'max'))
+///   ts_slope(x.key, t_start, t_end)
+///       least-squares trend slope in value-units per day
+///   ts_anomaly_count(x.key, t_start, t_end, z_threshold)
+///       sliding-window anomaly count (24-sample trailing window)
+///   ts_sax(x.key, t_start, t_end, segments, alphabet)
+///       SAX word of the range as a string (symbolic shape)
+///   degree(v) | in_degree(v) | out_degree(v)   structural degree
+///   id(x)                                      bound element id
+///   abs(x), coalesce(a, b)                     scalar helpers
+class Evaluator {
+ public:
+  explicit Evaluator(const QueryBackend* backend) : backend_(backend) {}
+
+  /// Evaluates `expr` under `bindings`. `aliases` (optional) resolves bare
+  /// variables that are not pattern bindings — used for ORDER BY on RETURN
+  /// aliases.
+  Result<Value> Eval(const Expr& expr, const Bindings& bindings,
+                     const std::map<std::string, Value>* aliases = nullptr) const;
+
+  /// Evaluates to a boolean for WHERE: null/missing → false.
+  Result<bool> EvalPredicate(const Expr& expr, const Bindings& bindings) const;
+
+ private:
+  Result<Value> EvalCall(const Expr& expr, const Bindings& bindings,
+                         const std::map<std::string, Value>* aliases) const;
+  Result<double> SeriesAggregateArg(const Expr& prop_ref,
+                                    const Bindings& bindings,
+                                    const Interval& interval,
+                                    ts::AggKind kind) const;
+  Result<ts::Series> SeriesRangeArg(const Expr& prop_ref,
+                                    const Bindings& bindings,
+                                    const Interval& interval) const;
+
+  const QueryBackend* backend_;
+};
+
+}  // namespace hygraph::query
+
+#endif  // HYGRAPH_QUERY_FUNCTIONS_H_

@@ -1,0 +1,207 @@
+#include "query/lexer.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <unordered_set>
+
+#include "common/strings.h"
+
+namespace hygraph::query {
+
+namespace {
+
+bool IsKeyword(const std::string& upper) {
+  static const std::unordered_set<std::string>* kKeywords =
+      new std::unordered_set<std::string>{
+          "MATCH", "WHERE", "RETURN", "ORDER", "BY",   "LIMIT", "AS",
+          "AND",   "OR",    "NOT",    "ASC",   "DESC", "TRUE",  "FALSE",
+          "NULL",  "DISTINCT"};
+  return kKeywords->count(upper) > 0;
+}
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+}  // namespace
+
+Result<std::vector<Token>> Tokenize(const std::string& text) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  const size_t n = text.size();
+  auto push = [&](TokenKind kind, std::string tok_text, size_t pos) {
+    Token t;
+    t.kind = kind;
+    t.text = std::move(tok_text);
+    t.position = pos;
+    tokens.push_back(std::move(t));
+  };
+  while (i < n) {
+    const char c = text[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    const size_t start = i;
+    if (IsIdentStart(c)) {
+      size_t j = i;
+      while (j < n && IsIdentChar(text[j])) ++j;
+      std::string word = text.substr(i, j - i);
+      std::string upper = word;
+      for (char& ch : upper) {
+        ch = static_cast<char>(std::toupper(static_cast<unsigned char>(ch)));
+      }
+      if (IsKeyword(upper)) {
+        push(TokenKind::kKeyword, upper, start);
+      } else {
+        push(TokenKind::kIdent, std::move(word), start);
+      }
+      i = j;
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      size_t j = i;
+      bool has_dot = false;
+      while (j < n && (std::isdigit(static_cast<unsigned char>(text[j])) ||
+                       (text[j] == '.' && !has_dot && j + 1 < n &&
+                        std::isdigit(static_cast<unsigned char>(text[j + 1]))))) {
+        if (text[j] == '.') has_dot = true;
+        ++j;
+      }
+      const std::string num = text.substr(i, j - i);
+      Token t;
+      t.position = start;
+      t.text = num;
+      if (has_dot) {
+        t.kind = TokenKind::kDouble;
+        t.double_value = std::strtod(num.c_str(), nullptr);
+      } else {
+        t.kind = TokenKind::kInt;
+        t.int_value = std::strtoll(num.c_str(), nullptr, 10);
+      }
+      tokens.push_back(std::move(t));
+      i = j;
+      continue;
+    }
+    if (c == '\'' || c == '"') {
+      const char quote = c;
+      size_t j = i + 1;
+      std::string content;
+      while (j < n && text[j] != quote) {
+        content.push_back(text[j]);
+        ++j;
+      }
+      if (j >= n) {
+        return Status::InvalidArgument(
+            "unterminated string literal at offset " + std::to_string(start));
+      }
+      push(TokenKind::kString, std::move(content), start);
+      i = j + 1;
+      continue;
+    }
+    auto two = [&](char next) { return i + 1 < n && text[i + 1] == next; };
+    switch (c) {
+      case '(':
+        push(TokenKind::kLParen, "(", start);
+        ++i;
+        break;
+      case ')':
+        push(TokenKind::kRParen, ")", start);
+        ++i;
+        break;
+      case '[':
+        push(TokenKind::kLBracket, "[", start);
+        ++i;
+        break;
+      case ']':
+        push(TokenKind::kRBracket, "]", start);
+        ++i;
+        break;
+      case '{':
+        push(TokenKind::kLBrace, "{", start);
+        ++i;
+        break;
+      case '}':
+        push(TokenKind::kRBrace, "}", start);
+        ++i;
+        break;
+      case ':':
+        push(TokenKind::kColon, ":", start);
+        ++i;
+        break;
+      case ',':
+        push(TokenKind::kComma, ",", start);
+        ++i;
+        break;
+      case '.':
+        push(TokenKind::kDot, ".", start);
+        ++i;
+        break;
+      case '=':
+        push(TokenKind::kEq, "=", start);
+        ++i;
+        break;
+      case '+':
+        push(TokenKind::kPlus, "+", start);
+        ++i;
+        break;
+      case '*':
+        push(TokenKind::kStar, "*", start);
+        ++i;
+        break;
+      case '/':
+        push(TokenKind::kSlash, "/", start);
+        ++i;
+        break;
+      case '-':
+        if (two('>')) {
+          push(TokenKind::kArrowRight, "->", start);
+          i += 2;
+        } else if (two('[')) {
+          // '-[' begins an edge; emit the minus, parser handles kLBracket.
+          push(TokenKind::kMinus, "-", start);
+          ++i;
+        } else {
+          push(TokenKind::kMinus, "-", start);
+          ++i;
+        }
+        break;
+      case '<':
+        if (two('>')) {
+          push(TokenKind::kNe, "<>", start);
+          i += 2;
+        } else if (two('=')) {
+          push(TokenKind::kLe, "<=", start);
+          i += 2;
+        } else if (two('-')) {
+          push(TokenKind::kArrowLeft, "<-", start);
+          i += 2;
+        } else {
+          push(TokenKind::kLt, "<", start);
+          ++i;
+        }
+        break;
+      case '>':
+        if (two('=')) {
+          push(TokenKind::kGe, ">=", start);
+          i += 2;
+        } else {
+          push(TokenKind::kGt, ">", start);
+          ++i;
+        }
+        break;
+      default:
+        return Status::InvalidArgument("unexpected character '" +
+                                       std::string(1, c) + "' at offset " +
+                                       std::to_string(start));
+    }
+  }
+  push(TokenKind::kEnd, "", n);
+  return tokens;
+}
+
+}  // namespace hygraph::query

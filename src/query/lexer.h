@@ -1,0 +1,58 @@
+#ifndef HYGRAPH_QUERY_LEXER_H_
+#define HYGRAPH_QUERY_LEXER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace hygraph::query {
+
+/// Token kinds of HGQL. Keywords are case-insensitive; identifiers keep
+/// their case.
+enum class TokenKind : uint8_t {
+  kEnd,
+  kIdent,       // station_name, s, ts_avg
+  kKeyword,     // MATCH WHERE RETURN ORDER BY LIMIT AS AND OR NOT ASC DESC
+                // TRUE FALSE NULL
+  kInt,         // 42
+  kDouble,      // 3.5
+  kString,      // 'text' or "text"
+  kLParen,      // (
+  kRParen,      // )
+  kLBracket,    // [
+  kRBracket,    // ]
+  kLBrace,      // {
+  kRBrace,      // }
+  kColon,       // :
+  kComma,       // ,
+  kDot,         // .
+  kEq,          // =
+  kNe,          // <>
+  kLt,          // <
+  kLe,          // <=
+  kGt,          // >
+  kGe,          // >=
+  kPlus,        // +
+  kMinus,       // -
+  kStar,        // *
+  kSlash,       // /
+  kArrowRight,  // ->
+  kArrowLeft,   // <-
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;      ///< raw text (uppercased for keywords)
+  int64_t int_value = 0;
+  double double_value = 0.0;
+  size_t position = 0;   ///< byte offset for error messages
+};
+
+/// Tokenizes an HGQL query. Fails on unterminated strings or unexpected
+/// characters, reporting the byte offset.
+Result<std::vector<Token>> Tokenize(const std::string& text);
+
+}  // namespace hygraph::query
+
+#endif  // HYGRAPH_QUERY_LEXER_H_

@@ -1,0 +1,474 @@
+#include "query/parser.h"
+
+#include <utility>
+
+#include "query/lexer.h"
+
+namespace hygraph::query {
+
+namespace {
+
+/// Recursive-descent parser over the token stream. Expression precedence
+/// (loosest to tightest): OR, AND, NOT, comparison, additive,
+/// multiplicative, unary minus, primary.
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<QueryAst> ParseQuery() {
+    QueryAst query;
+    HYGRAPH_RETURN_IF_ERROR(ExpectKeyword("MATCH"));
+    while (true) {
+      auto path = ParsePath();
+      if (!path.ok()) return path.status();
+      query.paths.push_back(std::move(*path));
+      if (!AcceptKind(TokenKind::kComma)) break;
+    }
+    if (AcceptKeyword("WHERE")) {
+      auto where = ParseExpr();
+      if (!where.ok()) return where.status();
+      query.where = std::move(*where);
+    }
+    HYGRAPH_RETURN_IF_ERROR(ExpectKeyword("RETURN"));
+    query.distinct = AcceptKeyword("DISTINCT");
+    while (true) {
+      auto item = ParseExpr();
+      if (!item.ok()) return item.status();
+      ReturnItem ri;
+      ri.expr = std::move(*item);
+      if (AcceptKeyword("AS")) {
+        auto alias = ExpectIdent();
+        if (!alias.ok()) return alias.status();
+        ri.alias = *alias;
+      } else {
+        ri.alias = ri.expr->ToString();
+      }
+      query.returns.push_back(std::move(ri));
+      if (!AcceptKind(TokenKind::kComma)) break;
+    }
+    if (AcceptKeyword("ORDER")) {
+      HYGRAPH_RETURN_IF_ERROR(ExpectKeyword("BY"));
+      while (true) {
+        auto expr = ParseExpr();
+        if (!expr.ok()) return expr.status();
+        OrderItem oi;
+        oi.expr = std::move(*expr);
+        if (AcceptKeyword("DESC")) {
+          oi.descending = true;
+        } else {
+          AcceptKeyword("ASC");
+        }
+        query.order_by.push_back(std::move(oi));
+        if (!AcceptKind(TokenKind::kComma)) break;
+      }
+    }
+    if (AcceptKeyword("LIMIT")) {
+      if (Peek().kind != TokenKind::kInt) {
+        return Fail("LIMIT expects an integer");
+      }
+      query.limit = static_cast<size_t>(Peek().int_value);
+      Advance();
+    }
+    if (Peek().kind != TokenKind::kEnd) {
+      return Fail("unexpected trailing input '" + Peek().text + "'");
+    }
+    return query;
+  }
+
+  Result<ExprPtr> ParseExprOnly() {
+    auto expr = ParseExpr();
+    if (!expr.ok()) return expr.status();
+    if (Peek().kind != TokenKind::kEnd) {
+      return Status(Fail("unexpected trailing input '" + Peek().text + "'"));
+    }
+    return std::move(*expr);
+  }
+
+ private:
+  const Token& Peek(size_t ahead = 0) const {
+    const size_t i = pos_ + ahead;
+    return i < tokens_.size() ? tokens_[i] : tokens_.back();
+  }
+  void Advance() {
+    if (pos_ + 1 < tokens_.size()) ++pos_;
+  }
+  bool AcceptKind(TokenKind kind) {
+    if (Peek().kind != kind) return false;
+    Advance();
+    return true;
+  }
+  bool AcceptKeyword(const std::string& kw) {
+    if (Peek().kind != TokenKind::kKeyword || Peek().text != kw) return false;
+    Advance();
+    return true;
+  }
+  Status ExpectKeyword(const std::string& kw) {
+    if (!AcceptKeyword(kw)) {
+      return Fail("expected keyword " + kw + ", found '" + Peek().text + "'");
+    }
+    return Status::OK();
+  }
+  Status ExpectKind(TokenKind kind, const char* what) {
+    if (!AcceptKind(kind)) {
+      return Fail(std::string("expected ") + what + ", found '" +
+                  Peek().text + "'");
+    }
+    return Status::OK();
+  }
+  Result<std::string> ExpectIdent() {
+    if (Peek().kind != TokenKind::kIdent) {
+      return Status(Fail("expected identifier, found '" + Peek().text + "'"));
+    }
+    std::string out = Peek().text;
+    Advance();
+    return out;
+  }
+  Status Fail(const std::string& msg) const {
+    return Status::InvalidArgument(msg + " (offset " +
+                                   std::to_string(Peek().position) + ")");
+  }
+
+  // ---- patterns -------------------------------------------------------------
+
+  Result<Value> ParseLiteralValue() {
+    const Token& t = Peek();
+    switch (t.kind) {
+      case TokenKind::kInt: {
+        Value v(t.int_value);
+        Advance();
+        return v;
+      }
+      case TokenKind::kDouble: {
+        Value v(t.double_value);
+        Advance();
+        return v;
+      }
+      case TokenKind::kString: {
+        Value v(t.text);
+        Advance();
+        return v;
+      }
+      case TokenKind::kMinus: {
+        Advance();
+        auto inner = ParseLiteralValue();
+        if (!inner.ok()) return inner.status();
+        if (inner->is_int()) return Value(-inner->AsInt());
+        if (inner->is_double()) return Value(-inner->AsDouble());
+        return Status(Fail("cannot negate non-numeric literal"));
+      }
+      case TokenKind::kKeyword:
+        if (t.text == "TRUE") {
+          Advance();
+          return Value(true);
+        }
+        if (t.text == "FALSE") {
+          Advance();
+          return Value(false);
+        }
+        if (t.text == "NULL") {
+          Advance();
+          return Value();
+        }
+        [[fallthrough]];
+      default:
+        return Status(Fail("expected literal, found '" + t.text + "'"));
+    }
+  }
+
+  Result<std::vector<std::pair<std::string, Value>>> ParsePropertyMap() {
+    std::vector<std::pair<std::string, Value>> props;
+    if (!AcceptKind(TokenKind::kLBrace)) return props;
+    while (true) {
+      auto key = ExpectIdent();
+      if (!key.ok()) return key.status();
+      HYGRAPH_RETURN_IF_ERROR(ExpectKind(TokenKind::kColon, "':'"));
+      auto value = ParseLiteralValue();
+      if (!value.ok()) return value.status();
+      props.emplace_back(*key, std::move(*value));
+      if (!AcceptKind(TokenKind::kComma)) break;
+    }
+    HYGRAPH_RETURN_IF_ERROR(ExpectKind(TokenKind::kRBrace, "'}'"));
+    return props;
+  }
+
+  Result<NodeAst> ParseNode() {
+    HYGRAPH_RETURN_IF_ERROR(ExpectKind(TokenKind::kLParen, "'('"));
+    NodeAst node;
+    if (Peek().kind == TokenKind::kIdent) {
+      node.var = Peek().text;
+      Advance();
+    }
+    if (AcceptKind(TokenKind::kColon)) {
+      auto label = ExpectIdent();
+      if (!label.ok()) return label.status();
+      node.label = *label;
+    }
+    auto props = ParsePropertyMap();
+    if (!props.ok()) return props.status();
+    node.properties = std::move(*props);
+    HYGRAPH_RETURN_IF_ERROR(ExpectKind(TokenKind::kRParen, "')'"));
+    return node;
+  }
+
+  // Parses the edge part between two nodes; entry token is '-' or '<-'.
+  Result<EdgeAst> ParseEdge() {
+    EdgeAst edge;
+    bool left_arrow = false;
+    if (AcceptKind(TokenKind::kArrowLeft)) {
+      left_arrow = true;
+    } else {
+      HYGRAPH_RETURN_IF_ERROR(ExpectKind(TokenKind::kMinus, "'-'"));
+    }
+    if (AcceptKind(TokenKind::kLBracket)) {
+      if (Peek().kind == TokenKind::kIdent) {
+        edge.var = Peek().text;
+        Advance();
+      }
+      if (AcceptKind(TokenKind::kColon)) {
+        auto label = ExpectIdent();
+        if (!label.ok()) return label.status();
+        edge.label = *label;
+      }
+      auto props = ParsePropertyMap();
+      if (!props.ok()) return props.status();
+      edge.properties = std::move(*props);
+      HYGRAPH_RETURN_IF_ERROR(ExpectKind(TokenKind::kRBracket, "']'"));
+    }
+    if (left_arrow) {
+      edge.dir = EdgeAst::Dir::kLeft;
+      HYGRAPH_RETURN_IF_ERROR(ExpectKind(TokenKind::kMinus, "'-'"));
+    } else if (AcceptKind(TokenKind::kArrowRight)) {
+      edge.dir = EdgeAst::Dir::kRight;
+    } else if (AcceptKind(TokenKind::kMinus)) {
+      edge.dir = EdgeAst::Dir::kUndirected;
+    } else {
+      return Status(Fail("expected '->' or '-' after edge"));
+    }
+    return edge;
+  }
+
+  Result<PathAst> ParsePath() {
+    PathAst path;
+    auto first = ParseNode();
+    if (!first.ok()) return first.status();
+    path.nodes.push_back(std::move(*first));
+    while (Peek().kind == TokenKind::kMinus ||
+           Peek().kind == TokenKind::kArrowLeft) {
+      auto edge = ParseEdge();
+      if (!edge.ok()) return edge.status();
+      auto node = ParseNode();
+      if (!node.ok()) return node.status();
+      path.edges.push_back(std::move(*edge));
+      path.nodes.push_back(std::move(*node));
+    }
+    return path;
+  }
+
+  // ---- expressions ------------------------------------------------------------
+
+  Result<ExprPtr> ParseExpr() { return ParseOr(); }
+
+  Result<ExprPtr> ParseOr() {
+    auto lhs = ParseAnd();
+    if (!lhs.ok()) return lhs;
+    while (AcceptKeyword("OR")) {
+      auto rhs = ParseAnd();
+      if (!rhs.ok()) return rhs;
+      lhs = Expr::Binary(BinaryOp::kOr, std::move(*lhs), std::move(*rhs));
+    }
+    return lhs;
+  }
+
+  Result<ExprPtr> ParseAnd() {
+    auto lhs = ParseNot();
+    if (!lhs.ok()) return lhs;
+    while (AcceptKeyword("AND")) {
+      auto rhs = ParseNot();
+      if (!rhs.ok()) return rhs;
+      lhs = Expr::Binary(BinaryOp::kAnd, std::move(*lhs), std::move(*rhs));
+    }
+    return lhs;
+  }
+
+  Result<ExprPtr> ParseNot() {
+    if (AcceptKeyword("NOT")) {
+      auto operand = ParseNot();
+      if (!operand.ok()) return operand;
+      return Expr::Unary(UnaryOp::kNot, std::move(*operand));
+    }
+    return ParseComparison();
+  }
+
+  Result<ExprPtr> ParseComparison() {
+    auto lhs = ParseAdditive();
+    if (!lhs.ok()) return lhs;
+    BinaryOp op;
+    bool negate_rhs = false;
+    switch (Peek().kind) {
+      case TokenKind::kEq:
+        op = BinaryOp::kEq;
+        break;
+      case TokenKind::kNe:
+        op = BinaryOp::kNe;
+        break;
+      case TokenKind::kLt:
+        op = BinaryOp::kLt;
+        break;
+      case TokenKind::kLe:
+        op = BinaryOp::kLe;
+        break;
+      case TokenKind::kGt:
+        op = BinaryOp::kGt;
+        break;
+      case TokenKind::kGe:
+        op = BinaryOp::kGe;
+        break;
+      case TokenKind::kArrowLeft:
+        // "x < -1" lexes as ArrowLeft; reinterpret as '<' + unary minus.
+        op = BinaryOp::kLt;
+        negate_rhs = true;
+        break;
+      default:
+        return lhs;
+    }
+    Advance();
+    auto rhs = ParseAdditive();
+    if (!rhs.ok()) return rhs;
+    ExprPtr right = std::move(*rhs);
+    if (negate_rhs) right = Expr::Unary(UnaryOp::kNeg, std::move(right));
+    return Expr::Binary(op, std::move(*lhs), std::move(right));
+  }
+
+  Result<ExprPtr> ParseAdditive() {
+    auto lhs = ParseMultiplicative();
+    if (!lhs.ok()) return lhs;
+    while (true) {
+      BinaryOp op;
+      if (Peek().kind == TokenKind::kPlus) {
+        op = BinaryOp::kAdd;
+      } else if (Peek().kind == TokenKind::kMinus) {
+        op = BinaryOp::kSub;
+      } else {
+        return lhs;
+      }
+      Advance();
+      auto rhs = ParseMultiplicative();
+      if (!rhs.ok()) return rhs;
+      lhs = Expr::Binary(op, std::move(*lhs), std::move(*rhs));
+    }
+  }
+
+  Result<ExprPtr> ParseMultiplicative() {
+    auto lhs = ParseUnary();
+    if (!lhs.ok()) return lhs;
+    while (true) {
+      BinaryOp op;
+      if (Peek().kind == TokenKind::kStar) {
+        op = BinaryOp::kMul;
+      } else if (Peek().kind == TokenKind::kSlash) {
+        op = BinaryOp::kDiv;
+      } else {
+        return lhs;
+      }
+      Advance();
+      auto rhs = ParseUnary();
+      if (!rhs.ok()) return rhs;
+      lhs = Expr::Binary(op, std::move(*lhs), std::move(*rhs));
+    }
+  }
+
+  Result<ExprPtr> ParseUnary() {
+    if (AcceptKind(TokenKind::kMinus)) {
+      auto operand = ParseUnary();
+      if (!operand.ok()) return operand;
+      return Expr::Unary(UnaryOp::kNeg, std::move(*operand));
+    }
+    return ParsePrimary();
+  }
+
+  Result<ExprPtr> ParsePrimary() {
+    const Token& t = Peek();
+    switch (t.kind) {
+      case TokenKind::kInt: {
+        Advance();
+        return Expr::Literal(Value(t.int_value));
+      }
+      case TokenKind::kDouble: {
+        Advance();
+        return Expr::Literal(Value(t.double_value));
+      }
+      case TokenKind::kString: {
+        Advance();
+        return Expr::Literal(Value(t.text));
+      }
+      case TokenKind::kKeyword:
+        if (t.text == "TRUE") {
+          Advance();
+          return Expr::Literal(Value(true));
+        }
+        if (t.text == "FALSE") {
+          Advance();
+          return Expr::Literal(Value(false));
+        }
+        if (t.text == "NULL") {
+          Advance();
+          return Expr::Literal(Value());
+        }
+        return Status(Fail("unexpected keyword '" + t.text + "'"));
+      case TokenKind::kLParen: {
+        Advance();
+        auto inner = ParseExpr();
+        if (!inner.ok()) return inner;
+        HYGRAPH_RETURN_IF_ERROR(ExpectKind(TokenKind::kRParen, "')'"));
+        return inner;
+      }
+      case TokenKind::kIdent: {
+        const std::string name = t.text;
+        Advance();
+        if (AcceptKind(TokenKind::kLParen)) {
+          // Function call.
+          std::vector<ExprPtr> args;
+          if (Peek().kind != TokenKind::kRParen) {
+            while (true) {
+              auto arg = ParseExpr();
+              if (!arg.ok()) return arg;
+              args.push_back(std::move(*arg));
+              if (!AcceptKind(TokenKind::kComma)) break;
+            }
+          }
+          HYGRAPH_RETURN_IF_ERROR(ExpectKind(TokenKind::kRParen, "')'"));
+          return Expr::Call(name, std::move(args));
+        }
+        if (AcceptKind(TokenKind::kDot)) {
+          auto key = ExpectIdent();
+          if (!key.ok()) return key.status();
+          return Expr::PropertyRef(name, *key);
+        }
+        return Expr::Variable(name);
+      }
+      default:
+        return Status(Fail("unexpected token '" + t.text + "'"));
+    }
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<QueryAst> Parse(const std::string& text) {
+  auto tokens = Tokenize(text);
+  if (!tokens.ok()) return tokens.status();
+  Parser parser(std::move(*tokens));
+  return parser.ParseQuery();
+}
+
+Result<ExprPtr> ParseExpression(const std::string& text) {
+  auto tokens = Tokenize(text);
+  if (!tokens.ok()) return tokens.status();
+  Parser parser(std::move(*tokens));
+  return parser.ParseExprOnly();
+}
+
+}  // namespace hygraph::query

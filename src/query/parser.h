@@ -1,0 +1,28 @@
+#ifndef HYGRAPH_QUERY_PARSER_H_
+#define HYGRAPH_QUERY_PARSER_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "query/ast.h"
+
+namespace hygraph::query {
+
+/// Parses an HGQL query:
+///
+///   MATCH <path> (, <path>)*
+///   [WHERE <expr>]
+///   RETURN <expr> [AS alias] (, ...)*
+///   [ORDER BY <expr> [ASC|DESC] (, ...)*]
+///   [LIMIT <int>]
+///
+/// Paths are node (edge node)* with nodes `(var:Label {k: lit})` and edges
+/// `-[var:LABEL {k: lit}]->`, `<-[...]-`, or `-[...]-`.
+Result<QueryAst> Parse(const std::string& text);
+
+/// Parses just an expression (used by tests and the analytics layer).
+Result<ExprPtr> ParseExpression(const std::string& text);
+
+}  // namespace hygraph::query
+
+#endif  // HYGRAPH_QUERY_PARSER_H_

@@ -1,0 +1,48 @@
+#ifndef HYGRAPH_QUERY_PLANNER_H_
+#define HYGRAPH_QUERY_PLANNER_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "graph/pattern.h"
+#include "query/ast.h"
+
+namespace hygraph::query {
+
+/// A logical plan compiled from a QueryAst:
+///
+///   * the structural pattern handed to the subgraph matcher (node labels,
+///     inline property maps, and pushed-down WHERE conjuncts become pattern
+///     predicates);
+///   * the residual WHERE expression (everything that could not be pushed
+///     down, e.g. ts_* calls and multi-variable comparisons);
+///   * projection / ordering / limit.
+struct Plan {
+  graph::Pattern pattern;
+  /// Edge variable → index into pattern.edges (only named edges).
+  std::map<std::string, size_t> edge_vars;
+  ExprPtr residual_where;  ///< null when everything was pushed down
+  bool distinct = false;   ///< de-duplicate projected rows
+  std::vector<ReturnItem> returns;
+  std::vector<OrderItem> order_by;
+  size_t limit = 0;
+
+  /// Diagnostic rendering (pattern variables, pushed predicates, residual).
+  std::string ToString() const;
+};
+
+/// Compiles an AST into a Plan. Performs predicate pushdown: top-level AND
+/// conjuncts of the form `var.key <cmp> literal` move into the matching
+/// vertex/edge pattern so the matcher prunes candidates early (this is the
+/// Q8-style optimization the ablation bench toggles).
+struct PlannerOptions {
+  bool enable_pushdown = true;
+};
+Result<Plan> CompileQuery(const QueryAst& ast,
+                          const PlannerOptions& options = {});
+
+}  // namespace hygraph::query
+
+#endif  // HYGRAPH_QUERY_PLANNER_H_

@@ -1,0 +1,94 @@
+#include "storage/all_in_graph.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+namespace hygraph::storage {
+
+namespace {
+constexpr char kPrefix[] = "__ts__";
+// The sign-offset value spans the full uint64 range, whose decimal form
+// needs up to 20 digits.
+constexpr size_t kTimestampDigits = 20;
+}  // namespace
+
+std::string AllInGraphStore::EncodeSampleKey(const std::string& key,
+                                             Timestamp t) {
+  char digits[kTimestampDigits + 1];
+  // Negative timestamps are offset so the textual form stays fixed-width;
+  // generators use the Unix epoch onwards, so this is a corner-case guard.
+  unsigned long long shifted =
+      static_cast<unsigned long long>(t) + (1ULL << 63);
+  std::snprintf(digits, sizeof(digits), "%020llu", shifted);
+  return std::string(kPrefix) + key + "__" + digits;
+}
+
+bool AllInGraphStore::DecodeSampleKey(const std::string& property_key,
+                                      const std::string& key, Timestamp* t) {
+  const std::string expected = std::string(kPrefix) + key + "__";
+  if (property_key.size() != expected.size() + kTimestampDigits) return false;
+  if (property_key.compare(0, expected.size(), expected) != 0) return false;
+  const char* digits = property_key.c_str() + expected.size();
+  char* end = nullptr;
+  const unsigned long long shifted = std::strtoull(digits, &end, 10);
+  if (end != digits + kTimestampDigits) return false;
+  *t = static_cast<Timestamp>(shifted - (1ULL << 63));
+  return true;
+}
+
+Status AllInGraphStore::AppendVertexSample(graph::VertexId v,
+                                           const std::string& key,
+                                           Timestamp t, double value) {
+  return graph_.SetVertexProperty(v, EncodeSampleKey(key, t), Value(value));
+}
+
+Status AllInGraphStore::AppendEdgeSample(graph::EdgeId e,
+                                         const std::string& key, Timestamp t,
+                                         double value) {
+  return graph_.SetEdgeProperty(e, EncodeSampleKey(key, t), Value(value));
+}
+
+Result<ts::Series> AllInGraphStore::ScanProperties(
+    const graph::PropertyMap& props, const std::string& key,
+    const Interval& interval) const {
+  // The generic-property-store access path: enumerate every property of the
+  // entity, match the prefix textually, parse the timestamp, filter. No
+  // index, no ordering assumption — this is what Table 1 measures.
+  std::vector<ts::Sample> samples;
+  for (const auto& [property_key, value] : props) {
+    Timestamp t = 0;
+    if (!DecodeSampleKey(property_key, key, &t)) continue;
+    if (!interval.Contains(t)) continue;
+    auto d = value.ToDouble();
+    if (!d.ok()) {
+      return Status::Corruption("sample property '" + property_key +
+                                "' is not numeric");
+    }
+    samples.push_back(ts::Sample{t, *d});
+  }
+  std::sort(samples.begin(), samples.end(),
+            [](const ts::Sample& a, const ts::Sample& b) { return a.t < b.t; });
+  ts::Series out(key);
+  for (const ts::Sample& s : samples) {
+    HYGRAPH_RETURN_IF_ERROR(out.Append(s.t, s.value));
+  }
+  return out;
+}
+
+Result<ts::Series> AllInGraphStore::VertexSeriesRange(
+    graph::VertexId v, const std::string& key,
+    const Interval& interval) const {
+  auto vertex = graph_.GetVertex(v);
+  if (!vertex.ok()) return vertex.status();
+  return ScanProperties((*vertex)->properties, key, interval);
+}
+
+Result<ts::Series> AllInGraphStore::EdgeSeriesRange(
+    graph::EdgeId e, const std::string& key, const Interval& interval) const {
+  auto edge = graph_.GetEdge(e);
+  if (!edge.ok()) return edge.status();
+  return ScanProperties((*edge)->properties, key, interval);
+}
+
+}  // namespace hygraph::storage

@@ -1,0 +1,67 @@
+#ifndef HYGRAPH_STORAGE_ALL_IN_GRAPH_H_
+#define HYGRAPH_STORAGE_ALL_IN_GRAPH_H_
+
+#include <string>
+
+#include "query/backend.h"
+
+namespace hygraph::storage {
+
+/// The "All-in-graph Storage" architecture of Figure 1 (the red path) —
+/// a simulation of the paper's Neo4j configuration, where "each timestamp
+/// and its corresponding value are stored as separate properties" of the
+/// owning vertex or edge.
+///
+/// A sample (key, t, v) becomes the property entry
+///
+///   "__ts__<key>__<zero-padded t>" -> v
+///
+/// in the entity's ordinary property map. Because the property map is a
+/// generic key→value dictionary, every series read must enumerate the
+/// entity's *entire* property map, string-match the prefix, and parse the
+/// timestamp out of each key — exactly the access pattern that makes the
+/// paper's Neo4j baseline collapse on aggregation-heavy queries (Table 1,
+/// Q4–Q8) and that inflates write amplification (one property write per
+/// sample into an ever-growing map).
+///
+/// The store intentionally does NOT exploit the lexicographic ordering of
+/// the zero-padded encoding: a generic property store has no schema
+/// knowledge that this key family encodes a time axis. This mirrors how the
+/// paper's Neo4j queries had to "manually handle time series data stored as
+/// properties".
+class AllInGraphStore final : public query::QueryBackend {
+ public:
+  AllInGraphStore() = default;
+
+  std::string name() const override { return "all-in-graph"; }
+  const graph::PropertyGraph& topology() const override { return graph_; }
+  graph::PropertyGraph* mutable_topology() override { return &graph_; }
+
+  Status AppendVertexSample(graph::VertexId v, const std::string& key,
+                            Timestamp t, double value) override;
+  Status AppendEdgeSample(graph::EdgeId e, const std::string& key,
+                          Timestamp t, double value) override;
+
+  Result<ts::Series> VertexSeriesRange(graph::VertexId v,
+                                       const std::string& key,
+                                       const Interval& interval) const override;
+  Result<ts::Series> EdgeSeriesRange(graph::EdgeId e, const std::string& key,
+                                     const Interval& interval) const override;
+
+  /// Encodes / decodes the property-key representation of one sample
+  /// (exposed for tests).
+  static std::string EncodeSampleKey(const std::string& key, Timestamp t);
+  static bool DecodeSampleKey(const std::string& property_key,
+                              const std::string& key, Timestamp* t);
+
+ private:
+  Result<ts::Series> ScanProperties(const graph::PropertyMap& props,
+                                    const std::string& key,
+                                    const Interval& interval) const;
+
+  graph::PropertyGraph graph_;
+};
+
+}  // namespace hygraph::storage
+
+#endif  // HYGRAPH_STORAGE_ALL_IN_GRAPH_H_

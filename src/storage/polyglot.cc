@@ -1,0 +1,107 @@
+#include "storage/polyglot.h"
+
+namespace hygraph::storage {
+
+Result<SeriesId> PolyglotStore::Resolve(const SeriesMap& map, uint64_t id,
+                                        const std::string& key) const {
+  auto it = map.find(EntityKey{id, key});
+  if (it == map.end()) {
+    return Status::NotFound("no series '" + key + "' on entity " +
+                            std::to_string(id));
+  }
+  return it->second;
+}
+
+SeriesId PolyglotStore::ResolveOrCreate(SeriesMap* map, uint64_t id,
+                                        const std::string& key,
+                                        const char* scope) {
+  auto it = map->find(EntityKey{id, key});
+  if (it != map->end()) return it->second;
+  const SeriesId sid =
+      series_.Create(std::string(scope) + std::to_string(id) + "." + key);
+  map->emplace(EntityKey{id, key}, sid);
+  return sid;
+}
+
+Status PolyglotStore::AppendVertexSample(graph::VertexId v,
+                                         const std::string& key, Timestamp t,
+                                         double value) {
+  if (!graph_.HasVertex(v)) {
+    return Status::NotFound("no vertex with id " + std::to_string(v));
+  }
+  const SeriesId sid = ResolveOrCreate(&vertex_series_, v, key, "v");
+  return series_.Insert(sid, t, value);
+}
+
+Status PolyglotStore::AppendEdgeSample(graph::EdgeId e, const std::string& key,
+                                       Timestamp t, double value) {
+  if (!graph_.HasEdge(e)) {
+    return Status::NotFound("no edge with id " + std::to_string(e));
+  }
+  const SeriesId sid = ResolveOrCreate(&edge_series_, e, key, "e");
+  return series_.Insert(sid, t, value);
+}
+
+namespace {
+
+// An entity without a series under `key` behaves like an entity with an
+// empty series, matching AllInGraphStore (whose generic property scan
+// cannot distinguish the two). Aggregates over nothing fold the same way
+// as AggState::Finalize on an empty range.
+Result<double> EmptyAggregate(ts::AggKind kind) {
+  if (kind == ts::AggKind::kCount) return 0.0;
+  return Status::NotFound("aggregate over empty range");
+}
+
+}  // namespace
+
+Result<ts::Series> PolyglotStore::VertexSeriesRange(
+    graph::VertexId v, const std::string& key,
+    const Interval& interval) const {
+  auto sid = Resolve(vertex_series_, v, key);
+  if (!sid.ok()) return ts::Series(key);
+  return series_.Materialize(*sid, interval);
+}
+
+Result<ts::Series> PolyglotStore::EdgeSeriesRange(
+    graph::EdgeId e, const std::string& key, const Interval& interval) const {
+  auto sid = Resolve(edge_series_, e, key);
+  if (!sid.ok()) return ts::Series(key);
+  return series_.Materialize(*sid, interval);
+}
+
+Result<double> PolyglotStore::VertexSeriesAggregate(graph::VertexId v,
+                                                    const std::string& key,
+                                                    const Interval& interval,
+                                                    ts::AggKind kind) const {
+  auto sid = Resolve(vertex_series_, v, key);
+  if (!sid.ok()) return EmptyAggregate(kind);
+  return series_.Aggregate(*sid, interval, kind);
+}
+
+Result<double> PolyglotStore::EdgeSeriesAggregate(graph::EdgeId e,
+                                                  const std::string& key,
+                                                  const Interval& interval,
+                                                  ts::AggKind kind) const {
+  auto sid = Resolve(edge_series_, e, key);
+  if (!sid.ok()) return EmptyAggregate(kind);
+  return series_.Aggregate(*sid, interval, kind);
+}
+
+Result<ts::Series> PolyglotStore::VertexSeriesWindowAggregate(
+    graph::VertexId v, const std::string& key, const Interval& interval,
+    Duration width, ts::AggKind kind) const {
+  auto sid = Resolve(vertex_series_, v, key);
+  if (!sid.ok()) return ts::Series(key);
+  return series_.WindowAggregate(*sid, interval, width, kind);
+}
+
+Result<ts::Series> PolyglotStore::EdgeSeriesWindowAggregate(
+    graph::EdgeId e, const std::string& key, const Interval& interval,
+    Duration width, ts::AggKind kind) const {
+  auto sid = Resolve(edge_series_, e, key);
+  if (!sid.ok()) return ts::Series(key);
+  return series_.WindowAggregate(*sid, interval, width, kind);
+}
+
+}  // namespace hygraph::storage

@@ -1,0 +1,94 @@
+#ifndef HYGRAPH_STORAGE_POLYGLOT_H_
+#define HYGRAPH_STORAGE_POLYGLOT_H_
+
+#include <string>
+#include <unordered_map>
+
+#include "query/backend.h"
+#include "ts/hypertable.h"
+
+namespace hygraph::storage {
+
+/// The "Polyglot persistence" architecture of Figure 1 (the green path) —
+/// a simulation of the paper's TimeTravelDB prototype (Neo4j +
+/// TimescaleDB): topology, labels and static properties live in a property
+/// graph; every series lives in a chunked hypertable, joined to its owning
+/// vertex/edge by an internal (entity, key) → SeriesId mapping.
+///
+/// Series reads prune to the chunks overlapping the requested range, and
+/// range aggregates combine cached per-chunk partials — which is why this
+/// engine wins Table 1's aggregation-heavy queries by orders of magnitude.
+/// The small per-query cost of resolving the cross-store mapping is the
+/// polyglot glue overhead that makes TTDB slightly *slower* than Neo4j on
+/// the trivial Q1.
+class PolyglotStore final : public query::QueryBackend {
+ public:
+  explicit PolyglotStore(ts::HypertableOptions ts_options = {})
+      : series_(ts_options) {}
+
+  std::string name() const override { return "polyglot"; }
+  const graph::PropertyGraph& topology() const override { return graph_; }
+  graph::PropertyGraph* mutable_topology() override { return &graph_; }
+
+  Status AppendVertexSample(graph::VertexId v, const std::string& key,
+                            Timestamp t, double value) override;
+  Status AppendEdgeSample(graph::EdgeId e, const std::string& key,
+                          Timestamp t, double value) override;
+
+  Result<ts::Series> VertexSeriesRange(graph::VertexId v,
+                                       const std::string& key,
+                                       const Interval& interval) const override;
+  Result<ts::Series> EdgeSeriesRange(graph::EdgeId e, const std::string& key,
+                                     const Interval& interval) const override;
+
+  /// Native aggregation: answered by the hypertable's chunk-pruned,
+  /// cache-assisted aggregate instead of materializing the range.
+  Result<double> VertexSeriesAggregate(graph::VertexId v,
+                                       const std::string& key,
+                                       const Interval& interval,
+                                       ts::AggKind kind) const override;
+  Result<double> EdgeSeriesAggregate(graph::EdgeId e, const std::string& key,
+                                     const Interval& interval,
+                                     ts::AggKind kind) const override;
+
+  /// Native tumbling windows: the hypertable's single-pass time_bucket,
+  /// chunk-cache assisted when windows align with chunks.
+  Result<ts::Series> VertexSeriesWindowAggregate(
+      graph::VertexId v, const std::string& key, const Interval& interval,
+      Duration width, ts::AggKind kind) const override;
+  Result<ts::Series> EdgeSeriesWindowAggregate(
+      graph::EdgeId e, const std::string& key, const Interval& interval,
+      Duration width, ts::AggKind kind) const override;
+
+  /// The underlying time-series store (work counters for tests/benches).
+  const ts::HypertableStore& series_store() const { return series_; }
+  ts::HypertableStore* mutable_series_store() { return &series_; }
+
+ private:
+  struct EntityKey {
+    uint64_t id;
+    std::string key;
+    bool operator==(const EntityKey&) const = default;
+  };
+  struct EntityKeyHash {
+    size_t operator()(const EntityKey& k) const {
+      return std::hash<uint64_t>()(k.id) * 1315423911u ^
+             std::hash<std::string>()(k.key);
+    }
+  };
+  using SeriesMap = std::unordered_map<EntityKey, SeriesId, EntityKeyHash>;
+
+  Result<SeriesId> Resolve(const SeriesMap& map, uint64_t id,
+                           const std::string& key) const;
+  SeriesId ResolveOrCreate(SeriesMap* map, uint64_t id,
+                           const std::string& key, const char* scope);
+
+  graph::PropertyGraph graph_;
+  ts::HypertableStore series_;
+  SeriesMap vertex_series_;
+  SeriesMap edge_series_;
+};
+
+}  // namespace hygraph::storage
+
+#endif  // HYGRAPH_STORAGE_POLYGLOT_H_

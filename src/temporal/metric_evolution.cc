@@ -1,0 +1,98 @@
+#include "temporal/metric_evolution.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "graph/algorithms.h"
+#include "temporal/snapshot.h"
+
+namespace hygraph::temporal {
+
+std::vector<Timestamp> SampleTimes(const TemporalPropertyGraph& tpg,
+                                   size_t max_points) {
+  std::vector<Timestamp> events = tpg.EventTimestamps();
+  if (max_points == 0 || events.size() <= max_points) return events;
+  // Uniformly subsample the event list, always keeping first and last.
+  std::vector<Timestamp> out;
+  out.reserve(max_points);
+  const double stride = static_cast<double>(events.size() - 1) /
+                        static_cast<double>(max_points - 1);
+  for (size_t i = 0; i < max_points; ++i) {
+    out.push_back(events[static_cast<size_t>(i * stride + 0.5)]);
+  }
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+namespace {
+
+Status RequireIncreasing(const std::vector<Timestamp>& times) {
+  for (size_t i = 1; i < times.size(); ++i) {
+    if (times[i] <= times[i - 1]) {
+      return Status::InvalidArgument(
+          "sample times must be strictly increasing");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<ts::Series> DegreeEvolution(const TemporalPropertyGraph& tpg,
+                                   VertexId v,
+                                   const std::vector<Timestamp>& times) {
+  if (!tpg.graph().HasVertex(v)) {
+    return Status::NotFound("no vertex with id " + std::to_string(v));
+  }
+  HYGRAPH_RETURN_IF_ERROR(RequireIncreasing(times));
+  ts::Series out("degree_v" + std::to_string(v));
+  for (Timestamp t : times) {
+    HYGRAPH_RETURN_IF_ERROR(
+        out.Append(t, static_cast<double>(tpg.DegreeAt(v, t))));
+  }
+  return out;
+}
+
+Result<std::unordered_map<VertexId, ts::Series>> AllDegreeEvolutions(
+    const TemporalPropertyGraph& tpg, const std::vector<Timestamp>& times) {
+  HYGRAPH_RETURN_IF_ERROR(RequireIncreasing(times));
+  std::unordered_map<VertexId, ts::Series> out;
+  for (VertexId v : tpg.graph().VertexIds()) {
+    auto series = DegreeEvolution(tpg, v, times);
+    if (!series.ok()) return series.status();
+    out.emplace(v, std::move(*series));
+  }
+  return out;
+}
+
+Result<GraphSizeEvolution> SizeEvolution(const TemporalPropertyGraph& tpg,
+                                         const std::vector<Timestamp>& times) {
+  HYGRAPH_RETURN_IF_ERROR(RequireIncreasing(times));
+  GraphSizeEvolution evolution;
+  evolution.vertex_count.set_name("vertex_count");
+  evolution.edge_count.set_name("edge_count");
+  for (Timestamp t : times) {
+    HYGRAPH_RETURN_IF_ERROR(evolution.vertex_count.Append(
+        t, static_cast<double>(tpg.VerticesAt(t).size())));
+    HYGRAPH_RETURN_IF_ERROR(evolution.edge_count.Append(
+        t, static_cast<double>(tpg.EdgesAt(t).size())));
+  }
+  return evolution;
+}
+
+Result<ts::Series> ComponentCountEvolution(
+    const TemporalPropertyGraph& tpg, const std::vector<Timestamp>& times) {
+  HYGRAPH_RETURN_IF_ERROR(RequireIncreasing(times));
+  ts::Series out("component_count");
+  for (Timestamp t : times) {
+    const Snapshot snap = TakeSnapshot(tpg, t);
+    const auto components = graph::ConnectedComponents(snap.graph);
+    std::unordered_set<VertexId> roots;
+    for (const auto& [_, root] : components) roots.insert(root);
+    HYGRAPH_RETURN_IF_ERROR(
+        out.Append(t, static_cast<double>(roots.size())));
+  }
+  return out;
+}
+
+}  // namespace hygraph::temporal

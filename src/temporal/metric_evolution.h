@@ -1,0 +1,49 @@
+#ifndef HYGRAPH_TEMPORAL_METRIC_EVOLUTION_H_
+#define HYGRAPH_TEMPORAL_METRIC_EVOLUTION_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "common/time.h"
+#include "temporal/temporal_graph.h"
+#include "ts/series.h"
+
+namespace hygraph::temporal {
+
+/// The paper's *metricEvolution* operator [63]: evaluates a graph metric at
+/// a sequence of instants and returns the evolution as time series — the
+/// canonical HyGraphTo<TS> transformation (arrow 7 in Figure 3) that turns
+/// structure into series, which can then be stored back as time-series
+/// properties of the corresponding vertices.
+
+/// Sampling instants: explicit, or derived from the TPG's own structural
+/// event timestamps.
+std::vector<Timestamp> SampleTimes(const TemporalPropertyGraph& tpg,
+                                   size_t max_points);
+
+/// Degree-over-time for one vertex, evaluated at `times`.
+Result<ts::Series> DegreeEvolution(const TemporalPropertyGraph& tpg,
+                                   VertexId v,
+                                   const std::vector<Timestamp>& times);
+
+/// Degree-over-time for every vertex of the TPG.
+Result<std::unordered_map<VertexId, ts::Series>> AllDegreeEvolutions(
+    const TemporalPropertyGraph& tpg, const std::vector<Timestamp>& times);
+
+/// |V(t)| and |E(t)| over time.
+struct GraphSizeEvolution {
+  ts::Series vertex_count;
+  ts::Series edge_count;
+};
+Result<GraphSizeEvolution> SizeEvolution(const TemporalPropertyGraph& tpg,
+                                         const std::vector<Timestamp>& times);
+
+/// Number of weakly connected components over time (each instant is a
+/// snapshot + component count; O(times * (V+E))).
+Result<ts::Series> ComponentCountEvolution(
+    const TemporalPropertyGraph& tpg, const std::vector<Timestamp>& times);
+
+}  // namespace hygraph::temporal
+
+#endif  // HYGRAPH_TEMPORAL_METRIC_EVOLUTION_H_

@@ -1,0 +1,49 @@
+#include "temporal/snapshot.h"
+
+#include <algorithm>
+
+namespace hygraph::temporal {
+
+Snapshot TakeSnapshot(const TemporalPropertyGraph& tpg, Timestamp t) {
+  Snapshot snap;
+  snap.at = t;
+  for (VertexId v : tpg.VerticesAt(t)) {
+    const Vertex& vertex = **tpg.graph().GetVertex(v);
+    const VertexId mapped =
+        snap.graph.AddVertex(vertex.labels, vertex.properties);
+    snap.tpg_to_snapshot[v] = mapped;
+    snap.snapshot_to_tpg[mapped] = v;
+  }
+  for (EdgeId e : tpg.EdgesAt(t)) {
+    const Edge& edge = **tpg.graph().GetEdge(e);
+    auto src = snap.tpg_to_snapshot.find(edge.src);
+    auto dst = snap.tpg_to_snapshot.find(edge.dst);
+    if (src == snap.tpg_to_snapshot.end() ||
+        dst == snap.tpg_to_snapshot.end()) {
+      continue;  // endpoint invalid at t; integrity normally prevents this
+    }
+    (void)snap.graph.AddEdge(src->second, dst->second, edge.label,
+                             edge.properties);
+  }
+  return snap;
+}
+
+SnapshotDiff DiffSnapshots(const TemporalPropertyGraph& tpg, Timestamp t1,
+                           Timestamp t2) {
+  SnapshotDiff diff;
+  for (VertexId v : tpg.graph().VertexIds()) {
+    const bool before = tpg.VertexValidAt(v, t1);
+    const bool after = tpg.VertexValidAt(v, t2);
+    if (!before && after) diff.added_vertices.push_back(v);
+    if (before && !after) diff.removed_vertices.push_back(v);
+  }
+  for (EdgeId e : tpg.graph().EdgeIds()) {
+    const bool before = tpg.EdgeValidAt(e, t1);
+    const bool after = tpg.EdgeValidAt(e, t2);
+    if (!before && after) diff.added_edges.push_back(e);
+    if (before && !after) diff.removed_edges.push_back(e);
+  }
+  return diff;
+}
+
+}  // namespace hygraph::temporal

@@ -1,0 +1,44 @@
+#ifndef HYGRAPH_TEMPORAL_SNAPSHOT_H_
+#define HYGRAPH_TEMPORAL_SNAPSHOT_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "common/time.h"
+#include "temporal/temporal_graph.h"
+
+namespace hygraph::temporal {
+
+/// A materialized snapshot of a TPG at one instant ("Snapshot [45]" in
+/// Table 2): a plain LPG plus the id mapping back to the TPG.
+struct Snapshot {
+  Timestamp at = 0;
+  PropertyGraph graph;
+  std::unordered_map<VertexId, VertexId> tpg_to_snapshot;  ///< vertex ids
+  std::unordered_map<VertexId, VertexId> snapshot_to_tpg;  ///< vertex ids
+};
+
+/// Materializes the graph state valid at instant `t`.
+Snapshot TakeSnapshot(const TemporalPropertyGraph& tpg, Timestamp t);
+
+/// Structural difference between two instants of a TPG, in TPG ids.
+struct SnapshotDiff {
+  std::vector<VertexId> added_vertices;
+  std::vector<VertexId> removed_vertices;
+  std::vector<EdgeId> added_edges;
+  std::vector<EdgeId> removed_edges;
+
+  bool empty() const {
+    return added_vertices.empty() && removed_vertices.empty() &&
+           added_edges.empty() && removed_edges.empty();
+  }
+};
+
+/// Elements valid at `t2` but not `t1` (added) and vice versa (removed).
+SnapshotDiff DiffSnapshots(const TemporalPropertyGraph& tpg, Timestamp t1,
+                           Timestamp t2);
+
+}  // namespace hygraph::temporal
+
+#endif  // HYGRAPH_TEMPORAL_SNAPSHOT_H_

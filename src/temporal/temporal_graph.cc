@@ -1,0 +1,184 @@
+#include "temporal/temporal_graph.h"
+
+#include <algorithm>
+
+namespace hygraph::temporal {
+
+Result<VertexId> TemporalPropertyGraph::AddVertex(
+    std::vector<std::string> labels, PropertyMap properties,
+    Interval validity) {
+  if (validity.empty()) {
+    return Status::InvalidArgument("vertex validity interval is empty");
+  }
+  const VertexId v =
+      graph_.AddVertex(std::move(labels), std::move(properties));
+  vertex_validity_[v] = validity;
+  return v;
+}
+
+Result<EdgeId> TemporalPropertyGraph::AddEdge(VertexId src, VertexId dst,
+                                              std::string label,
+                                              PropertyMap properties,
+                                              Interval validity) {
+  if (validity.empty()) {
+    return Status::InvalidArgument("edge validity interval is empty");
+  }
+  auto src_validity = VertexValidity(src);
+  if (!src_validity.ok()) return src_validity.status();
+  auto dst_validity = VertexValidity(dst);
+  if (!dst_validity.ok()) return dst_validity.status();
+  if (!src_validity->ContainsInterval(validity) ||
+      !dst_validity->ContainsInterval(validity)) {
+    return Status::FailedPrecondition(
+        "edge validity " + validity.ToString() +
+        " is not contained in both endpoint validities (temporal "
+        "integrity, R2)");
+  }
+  auto e = graph_.AddEdge(src, dst, std::move(label), std::move(properties));
+  if (!e.ok()) return e.status();
+  edge_validity_[*e] = validity;
+  return *e;
+}
+
+Status TemporalPropertyGraph::ExpireVertex(VertexId v, Timestamp t) {
+  auto it = vertex_validity_.find(v);
+  if (it == vertex_validity_.end()) {
+    return Status::NotFound("no vertex with id " + std::to_string(v));
+  }
+  if (!it->second.Contains(t)) {
+    return Status::InvalidArgument(
+        "expiry time " + FormatTimestamp(t) + " outside current validity " +
+        it->second.ToString());
+  }
+  // First close incident edges that would outlive the vertex.
+  auto close_edges = [&](const std::vector<EdgeId>& edges) -> Status {
+    for (EdgeId e : edges) {
+      auto ev = edge_validity_.find(e);
+      if (ev == edge_validity_.end()) continue;
+      if (ev->second.end > t) {
+        if (ev->second.start >= t) {
+          return Status::Internal(
+              "edge valid wholly after vertex expiry; integrity violated");
+        }
+        ev->second.end = t;
+      }
+    }
+    return Status::OK();
+  };
+  HYGRAPH_RETURN_IF_ERROR(close_edges(graph_.OutEdges(v)));
+  HYGRAPH_RETURN_IF_ERROR(close_edges(graph_.InEdges(v)));
+  it->second.end = t;
+  return Status::OK();
+}
+
+Status TemporalPropertyGraph::ExpireEdge(EdgeId e, Timestamp t) {
+  auto it = edge_validity_.find(e);
+  if (it == edge_validity_.end()) {
+    return Status::NotFound("no edge with id " + std::to_string(e));
+  }
+  if (!it->second.Contains(t)) {
+    return Status::InvalidArgument(
+        "expiry time " + FormatTimestamp(t) + " outside current validity " +
+        it->second.ToString());
+  }
+  it->second.end = t;
+  return Status::OK();
+}
+
+Result<Interval> TemporalPropertyGraph::VertexValidity(VertexId v) const {
+  auto it = vertex_validity_.find(v);
+  if (it == vertex_validity_.end()) {
+    return Status::NotFound("no vertex with id " + std::to_string(v));
+  }
+  return it->second;
+}
+
+Result<Interval> TemporalPropertyGraph::EdgeValidity(EdgeId e) const {
+  auto it = edge_validity_.find(e);
+  if (it == edge_validity_.end()) {
+    return Status::NotFound("no edge with id " + std::to_string(e));
+  }
+  return it->second;
+}
+
+bool TemporalPropertyGraph::VertexValidAt(VertexId v, Timestamp t) const {
+  auto it = vertex_validity_.find(v);
+  return it != vertex_validity_.end() && it->second.Contains(t);
+}
+
+bool TemporalPropertyGraph::EdgeValidAt(EdgeId e, Timestamp t) const {
+  auto it = edge_validity_.find(e);
+  return it != edge_validity_.end() && it->second.Contains(t);
+}
+
+std::vector<VertexId> TemporalPropertyGraph::VerticesAt(Timestamp t) const {
+  std::vector<VertexId> out;
+  for (VertexId v : graph_.VertexIds()) {
+    if (VertexValidAt(v, t)) out.push_back(v);
+  }
+  return out;
+}
+
+std::vector<EdgeId> TemporalPropertyGraph::EdgesAt(Timestamp t) const {
+  std::vector<EdgeId> out;
+  for (EdgeId e : graph_.EdgeIds()) {
+    if (EdgeValidAt(e, t)) out.push_back(e);
+  }
+  return out;
+}
+
+size_t TemporalPropertyGraph::DegreeAt(VertexId v, Timestamp t) const {
+  if (!VertexValidAt(v, t)) return 0;
+  size_t degree = 0;
+  for (EdgeId e : graph_.OutEdges(v)) {
+    if (EdgeValidAt(e, t)) ++degree;
+  }
+  for (EdgeId e : graph_.InEdges(v)) {
+    if (EdgeValidAt(e, t)) ++degree;
+  }
+  return degree;
+}
+
+std::vector<Timestamp> TemporalPropertyGraph::EventTimestamps() const {
+  std::vector<Timestamp> times;
+  auto add = [&](const Interval& interval) {
+    if (interval.start != kMinTimestamp) times.push_back(interval.start);
+    if (interval.end != kMaxTimestamp) times.push_back(interval.end);
+  };
+  for (const auto& [_, interval] : vertex_validity_) add(interval);
+  for (const auto& [_, interval] : edge_validity_) add(interval);
+  std::sort(times.begin(), times.end());
+  times.erase(std::unique(times.begin(), times.end()), times.end());
+  return times;
+}
+
+Status TemporalPropertyGraph::ValidateIntegrity() const {
+  for (EdgeId e : graph_.EdgeIds()) {
+    auto ev = EdgeValidity(e);
+    if (!ev.ok()) {
+      return Status::Corruption("edge " + std::to_string(e) +
+                                " has no validity interval");
+    }
+    const Edge& edge = **graph_.GetEdge(e);
+    auto sv = VertexValidity(edge.src);
+    auto dv = VertexValidity(edge.dst);
+    if (!sv.ok() || !dv.ok()) {
+      return Status::Corruption("edge " + std::to_string(e) +
+                                " endpoint lacks validity");
+    }
+    if (!sv->ContainsInterval(*ev) || !dv->ContainsInterval(*ev)) {
+      return Status::Corruption(
+          "edge " + std::to_string(e) +
+          " validity exceeds an endpoint's validity (temporal integrity)");
+    }
+  }
+  for (VertexId v : graph_.VertexIds()) {
+    if (!vertex_validity_.count(v)) {
+      return Status::Corruption("vertex " + std::to_string(v) +
+                                " has no validity interval");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace hygraph::temporal

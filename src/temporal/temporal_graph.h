@@ -1,0 +1,91 @@
+#ifndef HYGRAPH_TEMPORAL_TEMPORAL_GRAPH_H_
+#define HYGRAPH_TEMPORAL_TEMPORAL_GRAPH_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "common/time.h"
+#include "graph/property_graph.h"
+
+namespace hygraph::temporal {
+
+using graph::Edge;
+using graph::EdgeId;
+using graph::PropertyGraph;
+using graph::PropertyMap;
+using graph::Vertex;
+using graph::VertexId;
+
+/// A temporal property graph (TPG [65]): an LPG where every vertex and edge
+/// carries a validity interval ρ(o) = [t_start, t_end) with t_end
+/// initialized to max(T) ("currently valid"). The structural part is an
+/// embedded PropertyGraph; this class layers validity bookkeeping and
+/// temporal-integrity checks (R2) on top:
+///
+///   * an edge's validity must be contained in the validity of both of its
+///     endpoints (an edge cannot outlive its vertices);
+///   * shrinking a vertex's validity is rejected while incident edges would
+///     stick out of the new interval.
+class TemporalPropertyGraph {
+ public:
+  TemporalPropertyGraph() = default;
+
+  /// Adds a vertex valid over `validity`.
+  Result<VertexId> AddVertex(std::vector<std::string> labels,
+                             PropertyMap properties, Interval validity);
+
+  /// Adds an edge valid over `validity`; fails unless the interval is
+  /// contained in both endpoints' validity.
+  Result<EdgeId> AddEdge(VertexId src, VertexId dst, std::string label,
+                         PropertyMap properties, Interval validity);
+
+  /// Ends a vertex's validity at `t` (t must lie inside the current
+  /// interval); incident edges still valid at `t` are ended too, keeping
+  /// temporal integrity.
+  Status ExpireVertex(VertexId v, Timestamp t);
+
+  /// Ends an edge's validity at `t`.
+  Status ExpireEdge(EdgeId e, Timestamp t);
+
+  Result<Interval> VertexValidity(VertexId v) const;
+  Result<Interval> EdgeValidity(EdgeId e) const;
+
+  bool VertexValidAt(VertexId v, Timestamp t) const;
+  bool EdgeValidAt(EdgeId e, Timestamp t) const;
+
+  /// Live vertex/edge ids valid at instant `t`, increasing order.
+  std::vector<VertexId> VerticesAt(Timestamp t) const;
+  std::vector<EdgeId> EdgesAt(Timestamp t) const;
+
+  /// Degree of v counting only edges valid at `t`.
+  size_t DegreeAt(VertexId v, Timestamp t) const;
+
+  /// Every distinct timestamp where the graph's structure changes (validity
+  /// starts and finite ends), sorted. These are the natural sampling points
+  /// for metric evolution.
+  std::vector<Timestamp> EventTimestamps() const;
+
+  /// Checks all temporal-integrity invariants from scratch; OK when every
+  /// edge's validity is contained in its endpoints' validity. Mutators keep
+  /// this invariant, so a failure indicates direct mutation of graph().
+  Status ValidateIntegrity() const;
+
+  /// The structural graph (labels, properties, adjacency). Mutating it
+  /// directly bypasses validity bookkeeping — use the TPG mutators.
+  const PropertyGraph& graph() const { return graph_; }
+  PropertyGraph* mutable_graph() { return &graph_; }
+
+  size_t VertexCount() const { return graph_.VertexCount(); }
+  size_t EdgeCount() const { return graph_.EdgeCount(); }
+
+ private:
+  PropertyGraph graph_;
+  std::unordered_map<VertexId, Interval> vertex_validity_;
+  std::unordered_map<EdgeId, Interval> edge_validity_;
+};
+
+}  // namespace hygraph::temporal
+
+#endif  // HYGRAPH_TEMPORAL_TEMPORAL_GRAPH_H_

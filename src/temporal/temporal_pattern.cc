@@ -1,0 +1,68 @@
+#include "temporal/temporal_pattern.h"
+
+#include <algorithm>
+
+namespace hygraph::temporal {
+
+Result<std::vector<TemporalMatch>> MatchTemporalPattern(
+    const TemporalPropertyGraph& tpg, const TemporalPattern& pattern,
+    const graph::MatchOptions& options) {
+  if (!pattern.edge_windows.empty() &&
+      pattern.edge_windows.size() != pattern.structure.edges.size()) {
+    return Status::InvalidArgument(
+        "edge_windows must be empty or parallel to structure.edges");
+  }
+  // Structural candidates first (temporal filters are cheap afterwards).
+  // Matching runs unlimited and the limit is applied post-filter, since a
+  // structural match may fail the temporal constraints.
+  graph::MatchOptions structural = options;
+  structural.limit = 0;
+  auto candidates =
+      graph::MatchPattern(tpg.graph(), pattern.structure, structural);
+  if (!candidates.ok()) return candidates.status();
+
+  std::vector<TemporalMatch> out;
+  for (auto& match : *candidates) {
+    bool keep = true;
+    Interval joint = Interval::All();
+    std::vector<Timestamp> starts;
+    starts.reserve(match.edges.size());
+    for (size_t i = 0; i < match.edges.size() && keep; ++i) {
+      auto validity = tpg.EdgeValidity(match.edges[i]);
+      if (!validity.ok()) {
+        keep = false;
+        break;
+      }
+      if (!pattern.edge_windows.empty() &&
+          !validity->Overlaps(pattern.edge_windows[i])) {
+        keep = false;
+        break;
+      }
+      joint = joint.Intersect(*validity);
+      starts.push_back(validity->start);
+    }
+    if (!keep) continue;
+    for (const auto& [var, v] : match.vertices) {
+      auto validity = tpg.VertexValidity(v);
+      if (!validity.ok()) {
+        keep = false;
+        break;
+      }
+      joint = joint.Intersect(*validity);
+    }
+    if (!keep) continue;
+    if (pattern.max_edge_span > 0 && starts.size() > 1) {
+      const auto [lo, hi] = std::minmax_element(starts.begin(), starts.end());
+      if (*hi - *lo > pattern.max_edge_span) continue;
+    }
+    if (pattern.require_monotone_edges &&
+        !std::is_sorted(starts.begin(), starts.end())) {
+      continue;
+    }
+    out.push_back(TemporalMatch{std::move(match), joint});
+    if (options.limit != 0 && out.size() >= options.limit) break;
+  }
+  return out;
+}
+
+}  // namespace hygraph::temporal

@@ -1,0 +1,48 @@
+#ifndef HYGRAPH_TEMPORAL_TEMPORAL_PATTERN_H_
+#define HYGRAPH_TEMPORAL_TEMPORAL_PATTERN_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "common/time.h"
+#include "graph/pattern.h"
+#include "temporal/temporal_graph.h"
+
+namespace hygraph::temporal {
+
+/// Temporal pattern matching over a TPG ("temporal pattern matching [87]"):
+/// a structural pattern plus time constraints on the matched edges'
+/// validity intervals.
+struct TemporalPattern {
+  /// The structural pattern (variables, labels, property predicates).
+  graph::Pattern structure;
+  /// Per-edge window (parallel to structure.edges; missing entries mean
+  /// unconstrained): the matched edge's validity must overlap the window.
+  std::vector<Interval> edge_windows;
+  /// When > 0: the validity start times of all matched edges must fit in a
+  /// window of at most this many milliseconds (the Listing-1 constraint
+  /// "all transactions within one hour").
+  Duration max_edge_span = 0;
+  /// When true, the matched edges' validity start times must be
+  /// non-decreasing in pattern-edge order (temporal paths [87]).
+  bool require_monotone_edges = false;
+};
+
+/// One temporal match: the structural embedding plus the instant range in
+/// which every matched element is simultaneously valid (may be empty when
+/// only the span constraint was requested).
+struct TemporalMatch {
+  graph::PatternMatch match;
+  Interval validity;  ///< intersection of matched elements' validity
+};
+
+/// Enumerates matches of `pattern` whose vertices/edges satisfy all the
+/// temporal constraints. Vertices must be valid over the intersection of
+/// their incident matched edges' validity.
+Result<std::vector<TemporalMatch>> MatchTemporalPattern(
+    const TemporalPropertyGraph& tpg, const TemporalPattern& pattern,
+    const graph::MatchOptions& options = {});
+
+}  // namespace hygraph::temporal
+
+#endif  // HYGRAPH_TEMPORAL_TEMPORAL_PATTERN_H_

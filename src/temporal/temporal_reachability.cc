@@ -1,0 +1,144 @@
+#include "temporal/temporal_reachability.h"
+
+#include <algorithm>
+#include <queue>
+
+namespace hygraph::temporal {
+
+namespace {
+
+struct State {
+  Timestamp arrival;
+  graph::VertexId vertex;
+  size_t hops;
+  bool operator>(const State& other) const {
+    return arrival > other.arrival;
+  }
+};
+
+struct SearchOutput {
+  std::unordered_map<graph::VertexId, Timestamp> arrival;
+  std::unordered_map<graph::VertexId, size_t> hops;
+  std::unordered_map<graph::VertexId,
+                     std::pair<graph::VertexId, graph::EdgeId>>
+      parent;
+  std::unordered_map<graph::VertexId, Timestamp> traversal_time;
+};
+
+Result<SearchOutput> Run(const TemporalPropertyGraph& tpg,
+                         graph::VertexId source,
+                         const TemporalPathOptions& options) {
+  if (!tpg.graph().HasVertex(source)) {
+    return Status::NotFound("no vertex with id " + std::to_string(source));
+  }
+  if (options.window.empty()) {
+    return Status::InvalidArgument("window is empty");
+  }
+  SearchOutput out;
+  // Dijkstra-style label correcting on earliest arrival: arrival times only
+  // improve, and edges can be traversed at max(arrival + dwell,
+  // validity.start) when that instant is inside validity ∩ window.
+  std::priority_queue<State, std::vector<State>, std::greater<State>> queue;
+  out.arrival[source] = options.window.start;
+  out.hops[source] = 0;
+  queue.push(State{options.window.start, source, 0});
+  while (!queue.empty()) {
+    const State top = queue.top();
+    queue.pop();
+    auto best = out.arrival.find(top.vertex);
+    if (best != out.arrival.end() && top.arrival > best->second) {
+      continue;  // stale
+    }
+    for (graph::EdgeId eid : tpg.graph().OutEdges(top.vertex)) {
+      const graph::Edge& edge = **tpg.graph().GetEdge(eid);
+      if (!options.edge_label.empty() && edge.label != options.edge_label) {
+        continue;
+      }
+      auto validity = tpg.EdgeValidity(eid);
+      if (!validity.ok()) continue;
+      const Interval usable = validity->Intersect(options.window);
+      if (usable.empty()) continue;
+      // Earliest instant this edge can be taken: dwell applies between
+      // consecutive hops, not before the first departure.
+      Timestamp depart = top.arrival;
+      if (top.hops > 0) depart += options.min_dwell;
+      const Timestamp traverse = std::max(depart, usable.start);
+      if (!usable.Contains(traverse)) continue;
+      auto existing = out.arrival.find(edge.dst);
+      if (existing == out.arrival.end() || traverse < existing->second) {
+        out.arrival[edge.dst] = traverse;
+        out.hops[edge.dst] = top.hops + 1;
+        out.parent[edge.dst] = {top.vertex, eid};
+        out.traversal_time[edge.dst] = traverse;
+        queue.push(State{traverse, edge.dst, top.hops + 1});
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<std::vector<EarliestArrival>> EarliestArrivalTimes(
+    const TemporalPropertyGraph& tpg, graph::VertexId source,
+    const TemporalPathOptions& options) {
+  auto search = Run(tpg, source, options);
+  if (!search.ok()) return search.status();
+  std::vector<EarliestArrival> out;
+  out.reserve(search->arrival.size());
+  for (const auto& [v, t] : search->arrival) {
+    out.push_back(EarliestArrival{v, t, search->hops[v]});
+  }
+  std::sort(out.begin(), out.end(),
+            [](const EarliestArrival& a, const EarliestArrival& b) {
+              if (a.arrival != b.arrival) return a.arrival < b.arrival;
+              return a.vertex < b.vertex;
+            });
+  return out;
+}
+
+Result<bool> IsTemporallyReachable(const TemporalPropertyGraph& tpg,
+                                   graph::VertexId source,
+                                   graph::VertexId target,
+                                   const TemporalPathOptions& options) {
+  if (!tpg.graph().HasVertex(target)) {
+    return Status::NotFound("no vertex with id " + std::to_string(target));
+  }
+  auto search = Run(tpg, source, options);
+  if (!search.ok()) return search.status();
+  return search->arrival.count(target) > 0;
+}
+
+Result<TemporalPath> EarliestArrivalPath(const TemporalPropertyGraph& tpg,
+                                         graph::VertexId source,
+                                         graph::VertexId target,
+                                         const TemporalPathOptions& options) {
+  if (!tpg.graph().HasVertex(target)) {
+    return Status::NotFound("no vertex with id " + std::to_string(target));
+  }
+  auto search = Run(tpg, source, options);
+  if (!search.ok()) return search.status();
+  if (!search->arrival.count(target)) {
+    return Status::NotFound("no time-respecting path from " +
+                            std::to_string(source) + " to " +
+                            std::to_string(target));
+  }
+  TemporalPath path;
+  path.arrival = search->arrival[target];
+  graph::VertexId cur = target;
+  while (cur != source) {
+    auto parent = search->parent.find(cur);
+    if (parent == search->parent.end()) break;  // reached the source
+    path.vertices.push_back(cur);
+    path.edges.push_back(parent->second.second);
+    path.traversal_times.push_back(search->traversal_time[cur]);
+    cur = parent->second.first;
+  }
+  path.vertices.push_back(source);
+  std::reverse(path.vertices.begin(), path.vertices.end());
+  std::reverse(path.edges.begin(), path.edges.end());
+  std::reverse(path.traversal_times.begin(), path.traversal_times.end());
+  return path;
+}
+
+}  // namespace hygraph::temporal

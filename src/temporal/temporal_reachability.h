@@ -1,0 +1,66 @@
+#ifndef HYGRAPH_TEMPORAL_TEMPORAL_REACHABILITY_H_
+#define HYGRAPH_TEMPORAL_TEMPORAL_REACHABILITY_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "common/time.h"
+#include "temporal/temporal_graph.h"
+
+namespace hygraph::temporal {
+
+/// Time-respecting path problems on a TPG ("Path Problems in Temporal
+/// Graphs" [87], cited by the paper's Figure 3 as a TPG operation).
+///
+/// A temporal path is a sequence of edges e_1, ..., e_k such that each
+/// consecutive pair can be traversed in order: the traversal instant of
+/// e_{i+1} is not before the traversal instant of e_i plus a per-hop
+/// dwell time. An edge can be traversed at any instant in its validity
+/// interval.
+
+struct TemporalPathOptions {
+  /// Only consider traversal instants inside this window.
+  Interval window = Interval::All();
+  /// Minimum time spent at a vertex between consecutive hops (ms).
+  Duration min_dwell = 0;
+  /// Restrict to edges with this label (empty = all).
+  std::string edge_label;
+};
+
+/// One reached vertex with its earliest arrival instant.
+struct EarliestArrival {
+  graph::VertexId vertex = graph::kInvalidVertexId;
+  Timestamp arrival = kMaxTimestamp;
+  size_t hops = 0;
+};
+
+/// Computes earliest-arrival times from `source` (departing no earlier than
+/// options.window.start) to every temporally reachable vertex, following
+/// edges forward (src -> dst). The source arrives at window.start with 0
+/// hops. Runs a label-correcting search over (vertex, arrival) states.
+Result<std::vector<EarliestArrival>> EarliestArrivalTimes(
+    const TemporalPropertyGraph& tpg, graph::VertexId source,
+    const TemporalPathOptions& options = {});
+
+/// True when `target` is reachable from `source` by a time-respecting path
+/// within the window.
+Result<bool> IsTemporallyReachable(const TemporalPropertyGraph& tpg,
+                                   graph::VertexId source,
+                                   graph::VertexId target,
+                                   const TemporalPathOptions& options = {});
+
+/// The actual earliest-arrival path (vertices and edges), or NotFound.
+struct TemporalPath {
+  std::vector<graph::VertexId> vertices;  ///< source ... target
+  std::vector<graph::EdgeId> edges;
+  std::vector<Timestamp> traversal_times;  ///< instant each edge was taken
+  Timestamp arrival = kMaxTimestamp;
+};
+Result<TemporalPath> EarliestArrivalPath(
+    const TemporalPropertyGraph& tpg, graph::VertexId source,
+    graph::VertexId target, const TemporalPathOptions& options = {});
+
+}  // namespace hygraph::temporal
+
+#endif  // HYGRAPH_TEMPORAL_TEMPORAL_REACHABILITY_H_

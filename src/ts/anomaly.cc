@@ -1,0 +1,116 @@
+#include "ts/anomaly.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/stats.h"
+#include "ts/motif.h"
+
+namespace hygraph::ts {
+
+Result<std::vector<Anomaly>> DetectZScore(const Series& series,
+                                          double threshold) {
+  if (threshold <= 0) {
+    return Status::InvalidArgument("threshold must be positive");
+  }
+  std::vector<Anomaly> out;
+  if (series.size() < 3) return out;
+  const std::vector<double> values = series.Values();
+  const double m = Mean(values);
+  const double sd = StdDev(values);
+  if (sd < 1e-12) return out;
+  for (size_t i = 0; i < series.size(); ++i) {
+    const double z = std::abs(series.at(i).value - m) / sd;
+    if (z >= threshold) {
+      out.push_back(Anomaly{i, series.at(i).t, series.at(i).value, z});
+    }
+  }
+  return out;
+}
+
+Result<std::vector<Anomaly>> DetectIqr(const Series& series, double k) {
+  if (k < 0) return Status::InvalidArgument("k must be non-negative");
+  std::vector<Anomaly> out;
+  if (series.size() < 4) return out;
+  const std::vector<double> values = series.Values();
+  const double q1 = Quantile(values, 0.25);
+  const double q3 = Quantile(values, 0.75);
+  const double iqr = q3 - q1;
+  const double lo = q1 - k * iqr;
+  const double hi = q3 + k * iqr;
+  for (size_t i = 0; i < series.size(); ++i) {
+    const double v = series.at(i).value;
+    if (v < lo || v > hi) {
+      const double dist = v < lo ? lo - v : v - hi;
+      const double score = iqr > 1e-12 ? dist / iqr : dist;
+      out.push_back(Anomaly{i, series.at(i).t, v, score});
+    }
+  }
+  return out;
+}
+
+Result<std::vector<Anomaly>> DetectSlidingWindow(const Series& series,
+                                                 size_t window,
+                                                 double threshold) {
+  if (window < 2) {
+    return Status::InvalidArgument("window must be >= 2");
+  }
+  if (threshold <= 0) {
+    return Status::InvalidArgument("threshold must be positive");
+  }
+  std::vector<Anomaly> out;
+  if (series.size() <= window) return out;
+  // Rolling sums over the trailing window.
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (size_t i = 0; i < window; ++i) {
+    sum += series.at(i).value;
+    sum_sq += series.at(i).value * series.at(i).value;
+  }
+  const double dw = static_cast<double>(window);
+  for (size_t i = window; i < series.size(); ++i) {
+    const double mean = sum / dw;
+    const double var = std::max(0.0, sum_sq / dw - mean * mean);
+    const double sd = std::sqrt(var);
+    const double v = series.at(i).value;
+    if (sd > 1e-12) {
+      const double z = std::abs(v - mean) / sd;
+      if (z >= threshold) {
+        out.push_back(Anomaly{i, series.at(i).t, v, z});
+      }
+    }
+    sum += v - series.at(i - window).value;
+    sum_sq += v * v -
+              series.at(i - window).value * series.at(i - window).value;
+  }
+  return out;
+}
+
+Result<std::vector<Anomaly>> DetectDiscords(const Series& series, size_t m,
+                                            size_t top_k) {
+  auto profile = MatrixProfile(series, m);
+  if (!profile.ok()) return profile.status();
+  // A discord is the subsequence with the *largest* nearest-neighbor
+  // distance. Take top_k maxima with trivial-match exclusion.
+  std::vector<char> blocked(profile->distances.size(), 0);
+  std::vector<Anomaly> out;
+  while (out.size() < top_k) {
+    size_t best = profile->distances.size();
+    for (size_t i = 0; i < profile->distances.size(); ++i) {
+      if (blocked[i]) continue;
+      if (best == profile->distances.size() ||
+          profile->distances[i] > profile->distances[best]) {
+        best = i;
+      }
+    }
+    if (best == profile->distances.size()) break;
+    out.push_back(Anomaly{best, series.at(best).t, profile->distances[best],
+                          profile->distances[best]});
+    const size_t lo = best >= m ? best - m + 1 : 0;
+    const size_t hi = std::min(profile->distances.size(), best + m);
+    for (size_t i = lo; i < hi; ++i) blocked[i] = 1;
+  }
+  return out;
+}
+
+}  // namespace hygraph::ts

@@ -1,0 +1,45 @@
+#ifndef HYGRAPH_TS_ANOMALY_H_
+#define HYGRAPH_TS_ANOMALY_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "common/time.h"
+#include "ts/series.h"
+
+namespace hygraph::ts {
+
+/// One detected anomaly.
+struct Anomaly {
+  size_t index = 0;      ///< sample (or subsequence start) index
+  Timestamp t = 0;
+  double value = 0.0;    ///< offending value (or discord distance)
+  double score = 0.0;    ///< detector-specific severity, larger = worse
+};
+
+/// Point anomalies by global z-score: samples with |x - mean| / std >=
+/// threshold. The "distance-based outlier detection" of the paper's
+/// time-series-only fraud path (Listing 2).
+Result<std::vector<Anomaly>> DetectZScore(const Series& series,
+                                          double threshold);
+
+/// Point anomalies by the IQR fence: x < Q1 - k*IQR or x > Q3 + k*IQR.
+Result<std::vector<Anomaly>> DetectIqr(const Series& series, double k = 1.5);
+
+/// Contextual anomalies by sliding window: a sample is anomalous when it
+/// deviates by >= threshold local standard deviations from the mean of the
+/// preceding `window` samples. Catches bursts that a global z-score misses
+/// on non-stationary series.
+Result<std::vector<Anomaly>> DetectSlidingWindow(const Series& series,
+                                                 size_t window,
+                                                 double threshold);
+
+/// Subsequence anomalies (discords) via the matrix-profile-lite kernel: the
+/// top_k subsequences of length m whose nearest non-overlapping neighbor is
+/// farthest. `score`/`value` hold the discord distance.
+Result<std::vector<Anomaly>> DetectDiscords(const Series& series, size_t m,
+                                            size_t top_k);
+
+}  // namespace hygraph::ts
+
+#endif  // HYGRAPH_TS_ANOMALY_H_

@@ -1,0 +1,86 @@
+#include "ts/distance.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/stats.h"
+
+namespace hygraph::ts {
+
+Result<double> EuclideanDistance(const std::vector<double>& a,
+                                 const std::vector<double>& b) {
+  if (a.size() != b.size()) {
+    return Status::InvalidArgument("Euclidean distance: length mismatch");
+  }
+  double acc = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    acc += d * d;
+  }
+  return std::sqrt(acc);
+}
+
+void ZNormalize(std::vector<double>* xs) {
+  if (xs->size() < 2) {
+    for (double& x : *xs) x = 0.0;
+    return;
+  }
+  const double m = Mean(*xs);
+  double var = 0.0;
+  for (double x : *xs) var += (x - m) * (x - m);
+  var /= static_cast<double>(xs->size());
+  const double sd = std::sqrt(var);
+  if (sd < 1e-12) {
+    for (double& x : *xs) x = 0.0;
+    return;
+  }
+  for (double& x : *xs) x = (x - m) / sd;
+}
+
+Result<double> ZNormalizedDistance(std::vector<double> a,
+                                   std::vector<double> b) {
+  ZNormalize(&a);
+  ZNormalize(&b);
+  return EuclideanDistance(a, b);
+}
+
+Result<double> DtwDistance(const std::vector<double>& a,
+                           const std::vector<double>& b, size_t band) {
+  const size_t n = a.size();
+  const size_t m = b.size();
+  if (n == 0 || m == 0) {
+    return Status::InvalidArgument("DTW: empty input");
+  }
+  // The band must at least cover the length difference or no path exists.
+  const size_t min_band = n > m ? n - m : m - n;
+  const size_t w = std::max(band, min_band);
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  // Rolling two-row DP over the (n+1) x (m+1) cost matrix.
+  std::vector<double> prev(m + 1, kInf);
+  std::vector<double> curr(m + 1, kInf);
+  prev[0] = 0.0;
+  for (size_t i = 1; i <= n; ++i) {
+    std::fill(curr.begin(), curr.end(), kInf);
+    const size_t jlo = (i > w) ? i - w : 1;
+    const size_t jhi = std::min(m, i + w);
+    for (size_t j = jlo; j <= jhi; ++j) {
+      const double d = a[i - 1] - b[j - 1];
+      const double cost = d * d;
+      const double best =
+          std::min({prev[j], curr[j - 1], prev[j - 1]});
+      curr[j] = cost + best;
+    }
+    std::swap(prev, curr);
+  }
+  if (prev[m] == kInf) {
+    return Status::Internal("DTW: band produced no admissible path");
+  }
+  return std::sqrt(prev[m]);
+}
+
+Result<double> DtwDistance(const Series& a, const Series& b, size_t band) {
+  return DtwDistance(a.Values(), b.Values(), band);
+}
+
+}  // namespace hygraph::ts

@@ -1,0 +1,39 @@
+#ifndef HYGRAPH_TS_DISTANCE_H_
+#define HYGRAPH_TS_DISTANCE_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/status.h"
+#include "ts/series.h"
+
+namespace hygraph::ts {
+
+/// Distance functions over value sequences — the primitives behind
+/// subsequence matching (Table 2 rows Q1/E) and hybrid clustering (C2).
+
+/// Euclidean distance between equal-length vectors.
+Result<double> EuclideanDistance(const std::vector<double>& a,
+                                 const std::vector<double>& b);
+
+/// Z-normalizes a vector in place (mean 0, stddev 1). A constant vector
+/// becomes all zeros.
+void ZNormalize(std::vector<double>* xs);
+
+/// Euclidean distance after z-normalizing both inputs (UCR convention).
+Result<double> ZNormalizedDistance(std::vector<double> a,
+                                   std::vector<double> b);
+
+/// Dynamic time warping with a Sakoe–Chiba band of half-width `band`
+/// (band >= max(|a|,|b|) degenerates to full DTW; band 0 forces the
+/// diagonal). Returns the square root of the accumulated squared cost.
+Result<double> DtwDistance(const std::vector<double>& a,
+                           const std::vector<double>& b, size_t band);
+
+/// DTW over the values of two series (timestamps ignored — DTW exists to
+/// absorb temporal misalignment).
+Result<double> DtwDistance(const Series& a, const Series& b, size_t band);
+
+}  // namespace hygraph::ts
+
+#endif  // HYGRAPH_TS_DISTANCE_H_

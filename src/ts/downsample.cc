@@ -1,0 +1,99 @@
+#include "ts/downsample.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "ts/aggregate.h"
+
+namespace hygraph::ts {
+
+Result<Series> DownsampleAverage(const Series& series, Duration bucket) {
+  return WindowAggregate(series, series.TimeSpan(), bucket, AggKind::kAvg);
+}
+
+Result<Series> DownsampleMinMax(const Series& series, Duration bucket) {
+  if (bucket <= 0) {
+    return Status::InvalidArgument("bucket width must be positive");
+  }
+  Series out(series.name() + "_minmax");
+  if (series.empty()) return out;
+  const Interval span = series.TimeSpan();
+  size_t i = 0;
+  for (Timestamp w = span.start; w < span.end; w += bucket) {
+    const Timestamp wend = w + bucket;
+    size_t min_i = i;
+    size_t max_i = i;
+    bool any = false;
+    while (i < series.size() && series.at(i).t < wend) {
+      if (!any || series.at(i).value < series.at(min_i).value) min_i = i;
+      if (!any || series.at(i).value > series.at(max_i).value) max_i = i;
+      any = true;
+      ++i;
+    }
+    if (!any) continue;
+    const size_t a = std::min(min_i, max_i);
+    const size_t b = std::max(min_i, max_i);
+    (void)out.Append(series.at(a).t, series.at(a).value);
+    if (b != a) (void)out.Append(series.at(b).t, series.at(b).value);
+  }
+  return out;
+}
+
+Result<Series> DownsampleLttb(const Series& series, size_t target_points) {
+  if (target_points < 2) {
+    return Status::InvalidArgument("LTTB requires target_points >= 2");
+  }
+  if (series.size() <= target_points) return series;
+  Series out(series.name() + "_lttb");
+  const size_t n = series.size();
+  const double bucket_size =
+      static_cast<double>(n - 2) / static_cast<double>(target_points - 2);
+  // Always keep the first point.
+  (void)out.Append(series.front().t, series.front().value);
+  size_t prev_selected = 0;
+  for (size_t b = 0; b < target_points - 2; ++b) {
+    // Current bucket [lo, hi).
+    const size_t lo =
+        1 + static_cast<size_t>(std::floor(static_cast<double>(b) * bucket_size));
+    const size_t hi = std::min<size_t>(
+        1 + static_cast<size_t>(
+                std::floor(static_cast<double>(b + 1) * bucket_size)),
+        n - 1);
+    // Average of the *next* bucket is the third triangle vertex.
+    const size_t nlo = hi;
+    const size_t nhi = std::min<size_t>(
+        1 + static_cast<size_t>(
+                std::floor(static_cast<double>(b + 2) * bucket_size)),
+        n - 1);
+    double avg_t = 0.0;
+    double avg_v = 0.0;
+    const size_t ncount = (nhi > nlo) ? (nhi - nlo) : 1;
+    for (size_t i = nlo; i < std::max(nhi, nlo + 1) && i < n; ++i) {
+      avg_t += static_cast<double>(series.at(i).t);
+      avg_v += series.at(i).value;
+    }
+    avg_t /= static_cast<double>(ncount);
+    avg_v /= static_cast<double>(ncount);
+
+    const double pt = static_cast<double>(series.at(prev_selected).t);
+    const double pv = series.at(prev_selected).value;
+    double best_area = -1.0;
+    size_t best_i = lo;
+    for (size_t i = lo; i < std::max(hi, lo + 1) && i < n - 1; ++i) {
+      const double area = std::abs(
+          (pt - avg_t) * (series.at(i).value - pv) -
+          (pt - static_cast<double>(series.at(i).t)) * (avg_v - pv));
+      if (area > best_area) {
+        best_area = area;
+        best_i = i;
+      }
+    }
+    (void)out.Append(series.at(best_i).t, series.at(best_i).value);
+    prev_selected = best_i;
+  }
+  // Always keep the last point.
+  (void)out.Append(series.back().t, series.back().value);
+  return out;
+}
+
+}  // namespace hygraph::ts

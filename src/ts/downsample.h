@@ -1,0 +1,32 @@
+#ifndef HYGRAPH_TS_DOWNSAMPLE_H_
+#define HYGRAPH_TS_DOWNSAMPLE_H_
+
+#include "common/status.h"
+#include "common/time.h"
+#include "ts/series.h"
+
+namespace hygraph::ts {
+
+/// Downsampling operators (Table 2, row Q2 "Downsampling [48]"). All reduce
+/// a series to a user-defined granularity while preserving its shape to
+/// varying degrees.
+
+/// Bucket-average downsampling: tumbling windows of `bucket` ms, one output
+/// sample per non-empty bucket holding the bucket mean, stamped at the
+/// bucket start.
+Result<Series> DownsampleAverage(const Series& series, Duration bucket);
+
+/// Min-max downsampling: per bucket emits the minimum and maximum samples
+/// (at their original timestamps), preserving extremes for plotting and
+/// anomaly-preserving summaries.
+Result<Series> DownsampleMinMax(const Series& series, Duration bucket);
+
+/// Largest-Triangle-Three-Buckets (Steinarsson): selects `target_points`
+/// samples maximizing the area of triangles between adjacent buckets;
+/// the standard shape-preserving downsampler. Returns the input unchanged
+/// when it is already small enough. Requires target_points >= 2.
+Result<Series> DownsampleLttb(const Series& series, size_t target_points);
+
+}  // namespace hygraph::ts
+
+#endif  // HYGRAPH_TS_DOWNSAMPLE_H_

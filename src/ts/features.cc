@@ -1,0 +1,97 @@
+#include "ts/features.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/stats.h"
+#include "ts/segmentation.h"
+
+namespace hygraph::ts {
+
+std::vector<double> SeriesFeatures::ToVector() const {
+  return {mean,     stddev, min,  max,  median,        iqr,       skewness,
+          kurtosis, trend_slope, acf1, acf2, crossing_rate, spikiness, energy};
+}
+
+std::vector<std::string> SeriesFeatures::Names() {
+  return {"mean",     "stddev",      "min",           "max",
+          "median",   "iqr",         "skewness",      "kurtosis",
+          "trend_slope", "acf1",     "acf2",          "crossing_rate",
+          "spikiness",   "energy"};
+}
+
+double Autocorrelation(const std::vector<double>& values, size_t lag) {
+  const size_t n = values.size();
+  if (n <= lag + 1) return 0.0;
+  const double m = Mean(values);
+  double denom = 0.0;
+  for (double v : values) denom += (v - m) * (v - m);
+  if (denom < 1e-12) return 0.0;
+  double num = 0.0;
+  for (size_t i = 0; i + lag < n; ++i) {
+    num += (values[i] - m) * (values[i + lag] - m);
+  }
+  return num / denom;
+}
+
+Result<SeriesFeatures> ComputeFeatures(const Series& series) {
+  if (series.size() < 4) {
+    return Status::InvalidArgument(
+        "ComputeFeatures requires at least 4 samples");
+  }
+  const std::vector<double> values = series.Values();
+  const size_t n = values.size();
+  SeriesFeatures f;
+  f.mean = Mean(values);
+  f.stddev = StdDev(values);
+  f.min = *std::min_element(values.begin(), values.end());
+  f.max = *std::max_element(values.begin(), values.end());
+  f.median = Median(values);
+  f.iqr = Quantile(values, 0.75) - Quantile(values, 0.25);
+
+  // Central moments for skewness / kurtosis.
+  double m2 = 0.0;
+  double m3 = 0.0;
+  double m4 = 0.0;
+  for (double v : values) {
+    const double d = v - f.mean;
+    m2 += d * d;
+    m3 += d * d * d;
+    m4 += d * d * d * d;
+  }
+  const double dn = static_cast<double>(n);
+  m2 /= dn;
+  m3 /= dn;
+  m4 /= dn;
+  if (m2 > 1e-12) {
+    f.skewness = m3 / std::pow(m2, 1.5);
+    f.kurtosis = m4 / (m2 * m2) - 3.0;
+  }
+
+  // Trend: least-squares slope scaled to value-units per day.
+  const Segment fit = FitSegment(series, 0, series.size());
+  f.trend_slope = fit.slope * static_cast<double>(kDay);
+
+  f.acf1 = Autocorrelation(values, 1);
+  f.acf2 = Autocorrelation(values, 2);
+
+  size_t crossings = 0;
+  for (size_t i = 1; i < n; ++i) {
+    if ((values[i - 1] - f.mean) * (values[i] - f.mean) < 0) ++crossings;
+  }
+  f.crossing_rate = static_cast<double>(crossings) / static_cast<double>(n - 1);
+
+  if (f.stddev > 1e-12) {
+    double worst = 0.0;
+    for (double v : values) {
+      worst = std::max(worst, std::abs(v - f.mean) / f.stddev);
+    }
+    f.spikiness = worst;
+  }
+  double energy = 0.0;
+  for (double v : values) energy += v * v;
+  f.energy = energy / dn;
+  return f;
+}
+
+}  // namespace hygraph::ts

@@ -1,0 +1,46 @@
+#ifndef HYGRAPH_TS_FEATURES_H_
+#define HYGRAPH_TS_FEATURES_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "ts/series.h"
+
+namespace hygraph::ts {
+
+/// A fixed-length statistical feature vector summarizing a series — the
+/// "temporal FAT / trends" features the paper's Table 2 cites for
+/// classification (C1) and the temporal half of hybrid embeddings (E).
+struct SeriesFeatures {
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double median = 0.0;
+  double iqr = 0.0;
+  double skewness = 0.0;
+  double kurtosis = 0.0;      ///< excess kurtosis
+  double trend_slope = 0.0;   ///< least-squares slope per day
+  double acf1 = 0.0;          ///< lag-1 autocorrelation
+  double acf2 = 0.0;          ///< lag-2 autocorrelation
+  double crossing_rate = 0.0; ///< fraction of consecutive pairs crossing the mean
+  double spikiness = 0.0;     ///< max |z-score| over the series
+  double energy = 0.0;        ///< mean squared value
+
+  /// Dense vector form (stable order, kDimension entries).
+  static constexpr size_t kDimension = 14;
+  std::vector<double> ToVector() const;
+  /// Human-readable names aligned with ToVector() order.
+  static std::vector<std::string> Names();
+};
+
+/// Computes the feature vector; requires at least 4 samples.
+Result<SeriesFeatures> ComputeFeatures(const Series& series);
+
+/// Lag-k autocorrelation of a value vector; 0 when degenerate.
+double Autocorrelation(const std::vector<double>& values, size_t lag);
+
+}  // namespace hygraph::ts
+
+#endif  // HYGRAPH_TS_FEATURES_H_

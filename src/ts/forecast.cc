@@ -1,0 +1,81 @@
+#include "ts/forecast.h"
+
+#include <cmath>
+
+#include "ts/correlate.h"
+
+namespace hygraph::ts {
+
+Result<Series> EwmaSmooth(const Series& series, double alpha) {
+  if (alpha <= 0.0 || alpha > 1.0) {
+    return Status::InvalidArgument("alpha must be in (0, 1]");
+  }
+  Series out(series.name() + "_ewma");
+  double level = 0.0;
+  for (size_t i = 0; i < series.size(); ++i) {
+    const Sample& s = series.at(i);
+    level = (i == 0) ? s.value : alpha * s.value + (1.0 - alpha) * level;
+    (void)out.Append(s.t, level);
+  }
+  return out;
+}
+
+Result<Series> HoltForecast(const Series& series, double alpha, double beta,
+                            size_t horizon, Duration step) {
+  if (alpha <= 0.0 || alpha > 1.0 || beta <= 0.0 || beta > 1.0) {
+    return Status::InvalidArgument("alpha/beta must be in (0, 1]");
+  }
+  if (series.size() < 2) {
+    return Status::InvalidArgument("Holt forecast needs >= 2 samples");
+  }
+  if (step <= 0) return Status::InvalidArgument("step must be positive");
+  double level = series.at(0).value;
+  double trend = series.at(1).value - series.at(0).value;
+  for (size_t i = 1; i < series.size(); ++i) {
+    const double prev_level = level;
+    level = alpha * series.at(i).value + (1.0 - alpha) * (level + trend);
+    trend = beta * (level - prev_level) + (1.0 - beta) * trend;
+  }
+  Series out(series.name() + "_holt");
+  const Timestamp last = series.back().t;
+  for (size_t h = 1; h <= horizon; ++h) {
+    (void)out.Append(last + static_cast<Duration>(h) * step,
+                     level + static_cast<double>(h) * trend);
+  }
+  return out;
+}
+
+Result<Series> SeasonalNaiveForecast(const Series& series, size_t season,
+                                     size_t horizon, Duration step) {
+  if (season == 0) return Status::InvalidArgument("season must be >= 1");
+  if (series.size() < season) {
+    return Status::InvalidArgument("series shorter than one season");
+  }
+  if (step <= 0) return Status::InvalidArgument("step must be positive");
+  Series out(series.name() + "_snaive");
+  const Timestamp last = series.back().t;
+  const size_t n = series.size();
+  for (size_t h = 1; h <= horizon; ++h) {
+    // Index of the observation one (or more) whole seasons before t+h.
+    const size_t back = ((h - 1) % season) + 1;
+    const size_t idx = n - season + back - 1;
+    (void)out.Append(last + static_cast<Duration>(h) * step,
+                     series.at(idx).value);
+  }
+  return out;
+}
+
+Result<double> MeanAbsoluteError(const Series& actual,
+                                 const Series& forecast) {
+  std::vector<double> va;
+  std::vector<double> vf;
+  AlignOnTimestamps(actual, forecast, &va, &vf);
+  if (va.empty()) {
+    return Status::FailedPrecondition("MAE: no aligned samples");
+  }
+  double acc = 0.0;
+  for (size_t i = 0; i < va.size(); ++i) acc += std::abs(va[i] - vf[i]);
+  return acc / static_cast<double>(va.size());
+}
+
+}  // namespace hygraph::ts

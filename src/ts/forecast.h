@@ -1,0 +1,33 @@
+#ifndef HYGRAPH_TS_FORECAST_H_
+#define HYGRAPH_TS_FORECAST_H_
+
+#include "common/status.h"
+#include "common/time.h"
+#include "ts/series.h"
+
+namespace hygraph::ts {
+
+/// Forecasting primitives supporting the paper's "predictive tasks"
+/// (micromobility demand prediction in the intro's use cases).
+
+/// Exponentially weighted moving average smoothing; alpha in (0, 1].
+Result<Series> EwmaSmooth(const Series& series, double alpha);
+
+/// Holt's linear-trend double exponential smoothing, forecasting `horizon`
+/// future points spaced `step` ms after the last observation.
+/// alpha/beta in (0, 1].
+Result<Series> HoltForecast(const Series& series, double alpha, double beta,
+                            size_t horizon, Duration step);
+
+/// Seasonal-naive forecast: value at t+h equals the observation one season
+/// (`season` samples) earlier. Requires size >= season.
+Result<Series> SeasonalNaiveForecast(const Series& series, size_t season,
+                                     size_t horizon, Duration step);
+
+/// Mean absolute error between a forecast and the actual series on their
+/// aligned timestamps.
+Result<double> MeanAbsoluteError(const Series& actual, const Series& forecast);
+
+}  // namespace hygraph::ts
+
+#endif  // HYGRAPH_TS_FORECAST_H_

@@ -1,0 +1,271 @@
+#include "ts/hypertable.h"
+
+#include <algorithm>
+
+namespace hygraph::ts {
+
+namespace {
+
+Status NoSuchSeries(SeriesId id) {
+  return Status::NotFound("no series with id " + std::to_string(id));
+}
+
+}  // namespace
+
+HypertableStore::HypertableStore(HypertableOptions options)
+    : options_(options) {
+  if (options_.chunk_duration <= 0) options_.chunk_duration = kDay;
+}
+
+SeriesId HypertableStore::Create(std::string name) {
+  const SeriesId id = next_id_++;
+  series_.emplace(id, StoredSeries{std::move(name), {}});
+  return id;
+}
+
+Timestamp HypertableStore::ChunkStartFor(Timestamp t) const {
+  const Duration d = options_.chunk_duration;
+  Timestamp q = t / d;
+  if (t < 0 && t % d != 0) --q;  // floor division for negative times
+  return q * d;
+}
+
+HypertableStore::Chunk& HypertableStore::ChunkFor(StoredSeries& s,
+                                                  Timestamp t) {
+  const Timestamp start = ChunkStartFor(t);
+  auto it = std::lower_bound(
+      s.chunks.begin(), s.chunks.end(), start,
+      [](const Chunk& c, Timestamp st) { return c.start < st; });
+  if (it != s.chunks.end() && it->start == start) return *it;
+  it = s.chunks.insert(it, Chunk{});
+  it->start = start;
+  return *it;
+}
+
+const AggState& HypertableStore::ChunkAggregate(const Chunk& chunk) {
+  if (chunk.agg_dirty) {
+    chunk.agg = AggState{};
+    for (const Sample& s : chunk.samples) chunk.agg.Add(s);
+    chunk.agg_dirty = false;
+  }
+  return chunk.agg;
+}
+
+Status HypertableStore::Insert(SeriesId id, Timestamp t, double value) {
+  auto it = series_.find(id);
+  if (it == series_.end()) return NoSuchSeries(id);
+  Chunk& chunk = ChunkFor(it->second, t);
+  auto pos = std::lower_bound(
+      chunk.samples.begin(), chunk.samples.end(), t,
+      [](const Sample& s, Timestamp ts) { return s.t < ts; });
+  if (pos != chunk.samples.end() && pos->t == t) {
+    pos->value = value;
+  } else {
+    chunk.samples.insert(pos, Sample{t, value});
+  }
+  chunk.agg_dirty = true;
+  return Status::OK();
+}
+
+Status HypertableStore::InsertSeries(SeriesId id, const Series& series) {
+  auto it = series_.find(id);
+  if (it == series_.end()) return NoSuchSeries(id);
+  for (const Sample& s : series.samples()) {
+    HYGRAPH_RETURN_IF_ERROR(Insert(id, s.t, s.value));
+  }
+  return Status::OK();
+}
+
+Result<size_t> HypertableStore::Retain(SeriesId id, const Interval& keep) {
+  auto it = series_.find(id);
+  if (it == series_.end()) return Status(NoSuchSeries(id));
+  size_t removed = 0;
+  auto& chunks = it->second.chunks;
+  std::vector<Chunk> kept;
+  kept.reserve(chunks.size());
+  for (Chunk& chunk : chunks) {
+    const Interval chunk_span{chunk.start,
+                              chunk.start + options_.chunk_duration};
+    if (!chunk_span.Overlaps(keep)) {
+      removed += chunk.samples.size();
+      continue;  // drop the whole chunk
+    }
+    if (keep.ContainsInterval(chunk_span)) {
+      kept.push_back(std::move(chunk));
+      continue;  // fully inside, untouched
+    }
+    const size_t before = chunk.samples.size();
+    std::erase_if(chunk.samples,
+                  [&keep](const Sample& s) { return !keep.Contains(s.t); });
+    removed += before - chunk.samples.size();
+    chunk.agg_dirty = true;
+    if (!chunk.samples.empty()) kept.push_back(std::move(chunk));
+  }
+  chunks = std::move(kept);
+  return removed;
+}
+
+Result<size_t> HypertableStore::SampleCount(SeriesId id) const {
+  auto it = series_.find(id);
+  if (it == series_.end()) return Status(NoSuchSeries(id));
+  size_t n = 0;
+  for (const Chunk& c : it->second.chunks) n += c.samples.size();
+  return n;
+}
+
+Result<std::vector<Sample>> HypertableStore::Scan(
+    SeriesId id, const Interval& interval) const {
+  auto it = series_.find(id);
+  if (it == series_.end()) return Status(NoSuchSeries(id));
+  std::vector<Sample> out;
+  stats_.chunks_total += it->second.chunks.size();
+  for (const Chunk& chunk : it->second.chunks) {
+    const Interval chunk_span{chunk.start,
+                              chunk.start + options_.chunk_duration};
+    if (!chunk_span.Overlaps(interval)) continue;
+    ++stats_.chunks_scanned;
+    auto lo = std::lower_bound(
+        chunk.samples.begin(), chunk.samples.end(), interval.start,
+        [](const Sample& s, Timestamp t) { return s.t < t; });
+    auto hi = std::lower_bound(
+        lo, chunk.samples.end(), interval.end,
+        [](const Sample& s, Timestamp t) { return s.t < t; });
+    stats_.samples_scanned += static_cast<size_t>(hi - lo);
+    out.insert(out.end(), lo, hi);
+  }
+  return out;
+}
+
+Result<Series> HypertableStore::Materialize(SeriesId id,
+                                            const Interval& interval) const {
+  auto samples = Scan(id, interval);
+  if (!samples.ok()) return samples.status();
+  auto name = Name(id);
+  Series s(name.ok() ? *name : "ts#" + std::to_string(id));
+  for (const Sample& sample : *samples) {
+    HYGRAPH_RETURN_IF_ERROR(s.Append(sample.t, sample.value));
+  }
+  return s;
+}
+
+Result<double> HypertableStore::Aggregate(SeriesId id,
+                                          const Interval& interval,
+                                          AggKind kind) const {
+  auto it = series_.find(id);
+  if (it == series_.end()) return Status(NoSuchSeries(id));
+  AggState total;
+  stats_.chunks_total += it->second.chunks.size();
+  for (const Chunk& chunk : it->second.chunks) {
+    const Interval chunk_span{chunk.start,
+                              chunk.start + options_.chunk_duration};
+    if (!chunk_span.Overlaps(interval)) continue;
+    if (options_.enable_chunk_cache &&
+        interval.ContainsInterval(chunk_span)) {
+      total.Merge(ChunkAggregate(chunk));
+      ++stats_.chunks_from_cache;
+      continue;
+    }
+    ++stats_.chunks_scanned;
+    for (const Sample& s : chunk.samples) {
+      if (interval.Contains(s.t)) {
+        total.Add(s);
+        ++stats_.samples_scanned;
+      }
+    }
+  }
+  return total.Finalize(kind);
+}
+
+Result<Series> HypertableStore::WindowAggregate(SeriesId id,
+                                                const Interval& interval,
+                                                Duration width,
+                                                AggKind kind) const {
+  if (width <= 0) {
+    return Status::InvalidArgument("window width must be positive");
+  }
+  auto it = series_.find(id);
+  if (it == series_.end()) return Status(NoSuchSeries(id));
+  auto name = Name(id);
+  Series out(name.ok() ? *name + "_" + AggKindName(kind)
+                       : std::string(AggKindName(kind)));
+  // Clamp the sweep to the data actually present.
+  Timestamp data_start = kMaxTimestamp;
+  Timestamp data_end = kMinTimestamp;
+  for (const Chunk& chunk : it->second.chunks) {
+    if (chunk.samples.empty()) continue;
+    data_start = std::min(data_start, chunk.samples.front().t);
+    data_end = std::max(data_end, chunk.samples.back().t + 1);
+  }
+  const Interval span = interval.Intersect(Interval{data_start, data_end});
+  if (span.empty()) return out;
+  // Grid anchored at interval.start (matching ts::WindowAggregate).
+  const Timestamp anchor =
+      interval.start == kMinTimestamp ? span.start : interval.start;
+
+  auto bucket_of = [&](Timestamp t) { return (t - anchor) / width; };
+  int64_t current_bucket = -1;
+  AggState state;
+  auto flush = [&]() -> Status {
+    if (current_bucket < 0 || state.count == 0) return Status::OK();
+    auto value = state.Finalize(kind);
+    if (!value.ok()) return value.status();
+    return out.Append(anchor + current_bucket * width, *value);
+  };
+
+  stats_.chunks_total += it->second.chunks.size();
+  for (const Chunk& chunk : it->second.chunks) {
+    const Interval chunk_span{chunk.start,
+                              chunk.start + options_.chunk_duration};
+    if (!chunk_span.Overlaps(span) || chunk.samples.empty()) continue;
+    // Fast path: the chunk lies entirely within one bucket that also lies
+    // inside the requested interval — its cached partial stands in for all
+    // of its samples (classic continuous-aggregate reuse when width is a
+    // multiple of the chunk duration and grids align).
+    const Timestamp first_t = chunk.samples.front().t;
+    const Timestamp last_t = chunk.samples.back().t;
+    if (options_.enable_chunk_cache && span.Contains(first_t) &&
+        span.Contains(last_t) && bucket_of(first_t) == bucket_of(last_t)) {
+      const int64_t bucket = bucket_of(first_t);
+      if (bucket != current_bucket) {
+        HYGRAPH_RETURN_IF_ERROR(flush());
+        current_bucket = bucket;
+        state = AggState{};
+      }
+      state.Merge(ChunkAggregate(chunk));
+      ++stats_.chunks_from_cache;
+      continue;
+    }
+    ++stats_.chunks_scanned;
+    for (const Sample& s : chunk.samples) {
+      if (!span.Contains(s.t)) continue;
+      ++stats_.samples_scanned;
+      const int64_t bucket = bucket_of(s.t);
+      if (bucket != current_bucket) {
+        HYGRAPH_RETURN_IF_ERROR(flush());
+        current_bucket = bucket;
+        state = AggState{};
+      }
+      state.Add(s);
+    }
+  }
+  HYGRAPH_RETURN_IF_ERROR(flush());
+  return out;
+}
+
+Result<std::string> HypertableStore::Name(SeriesId id) const {
+  auto it = series_.find(id);
+  if (it == series_.end()) return Status(NoSuchSeries(id));
+  return it->second.name;
+}
+
+std::vector<SeriesId> HypertableStore::Ids() const {
+  std::vector<SeriesId> ids;
+  ids.reserve(series_.size());
+  for (const auto& [id, _] : series_) ids.push_back(id);
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+void HypertableStore::ResetStats() { stats_ = HypertableStats{}; }
+
+}  // namespace hygraph::ts

@@ -1,0 +1,111 @@
+#include "ts/motif.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace hygraph::ts {
+
+Result<MatrixProfileResult> MatrixProfile(const Series& series, size_t m) {
+  if (m < 2) {
+    return Status::InvalidArgument("subsequence length must be >= 2");
+  }
+  if (series.size() < 2 * m) {
+    return Status::InvalidArgument(
+        "series must have at least 2*m samples for a matrix profile");
+  }
+  const std::vector<double> values = series.Values();
+  const size_t n = values.size();
+  const size_t count = n - m + 1;
+
+  // Precompute per-offset mean and stddev with rolling sums.
+  std::vector<double> means(count);
+  std::vector<double> stds(count);
+  {
+    double sum = 0.0;
+    double sum_sq = 0.0;
+    for (size_t i = 0; i < m; ++i) {
+      sum += values[i];
+      sum_sq += values[i] * values[i];
+    }
+    const double dm = static_cast<double>(m);
+    for (size_t off = 0; off < count; ++off) {
+      if (off > 0) {
+        sum += values[off + m - 1] - values[off - 1];
+        sum_sq += values[off + m - 1] * values[off + m - 1] -
+                  values[off - 1] * values[off - 1];
+      }
+      means[off] = sum / dm;
+      const double var = std::max(0.0, sum_sq / dm - means[off] * means[off]);
+      stds[off] = std::sqrt(var);
+    }
+  }
+
+  auto znorm_dist = [&](size_t a, size_t b) {
+    double acc = 0.0;
+    const double sa = stds[a] < 1e-12 ? 0.0 : 1.0 / stds[a];
+    const double sb = stds[b] < 1e-12 ? 0.0 : 1.0 / stds[b];
+    for (size_t i = 0; i < m; ++i) {
+      const double za = (values[a + i] - means[a]) * sa;
+      const double zb = (values[b + i] - means[b]) * sb;
+      const double d = za - zb;
+      acc += d * d;
+    }
+    return std::sqrt(acc);
+  };
+
+  MatrixProfileResult result;
+  result.m = m;
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  result.distances.assign(count, kInf);
+  result.indices.assign(count, 0);
+  const size_t exclusion = m / 2 == 0 ? 1 : m / 2;
+  for (size_t i = 0; i < count; ++i) {
+    for (size_t j = i + exclusion + 1; j < count; ++j) {
+      const double d = znorm_dist(i, j);
+      if (d < result.distances[i]) {
+        result.distances[i] = d;
+        result.indices[i] = j;
+      }
+      if (d < result.distances[j]) {
+        result.distances[j] = d;
+        result.indices[j] = i;
+      }
+    }
+  }
+  return result;
+}
+
+Result<std::vector<Motif>> FindMotifs(const Series& series, size_t m,
+                                      size_t top_k) {
+  auto profile = MatrixProfile(series, m);
+  if (!profile.ok()) return profile.status();
+  std::vector<char> blocked(profile->distances.size(), 0);
+  std::vector<Motif> motifs;
+  auto block_around = [&](size_t center) {
+    const size_t lo = center >= m ? center - m + 1 : 0;
+    const size_t hi = std::min(blocked.size(), center + m);
+    for (size_t i = lo; i < hi; ++i) blocked[i] = 1;
+  };
+  while (motifs.size() < top_k) {
+    size_t best = profile->distances.size();
+    for (size_t i = 0; i < profile->distances.size(); ++i) {
+      if (blocked[i] || blocked[profile->indices[i]]) continue;
+      if (best == profile->distances.size() ||
+          profile->distances[i] < profile->distances[best]) {
+        best = i;
+      }
+    }
+    if (best == profile->distances.size()) break;
+    const size_t partner = profile->indices[best];
+    motifs.push_back(Motif{std::min(best, partner), std::max(best, partner),
+                           series.at(std::min(best, partner)).t,
+                           series.at(std::max(best, partner)).t,
+                           profile->distances[best]});
+    block_around(best);
+    block_around(partner);
+  }
+  return motifs;
+}
+
+}  // namespace hygraph::ts

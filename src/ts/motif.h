@@ -1,0 +1,42 @@
+#ifndef HYGRAPH_TS_MOTIF_H_
+#define HYGRAPH_TS_MOTIF_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "common/time.h"
+#include "ts/series.h"
+
+namespace hygraph::ts {
+
+/// Nearest-neighbor profile of all length-m subsequences of a series
+/// ("matrix profile lite": exact O(n^2 * m) computation with trivial-match
+/// exclusion; no FFT/STOMP optimizations — deterministic and dependency-free).
+struct MatrixProfileResult {
+  size_t m = 0;                     ///< subsequence length
+  std::vector<double> distances;    ///< d(i) = z-norm ED to nearest neighbor
+  std::vector<size_t> indices;      ///< index of that nearest neighbor
+};
+
+/// Computes the matrix profile with subsequence length m (requires
+/// series.size() >= 2*m).
+Result<MatrixProfileResult> MatrixProfile(const Series& series, size_t m);
+
+/// A motif: a pair of mutually-similar subsequences (Table 2, row PM
+/// "Sequence, Motif [32]").
+struct Motif {
+  size_t first = 0;    ///< start index of the first occurrence
+  size_t second = 0;   ///< start index of its nearest neighbor
+  Timestamp first_time = 0;
+  Timestamp second_time = 0;
+  double distance = 0.0;
+};
+
+/// The top_k lowest-distance motif pairs of length m, best first, with
+/// trivial-match exclusion around selected occurrences.
+Result<std::vector<Motif>> FindMotifs(const Series& series, size_t m,
+                                      size_t top_k);
+
+}  // namespace hygraph::ts
+
+#endif  // HYGRAPH_TS_MOTIF_H_

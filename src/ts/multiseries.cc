@@ -1,0 +1,111 @@
+#include "ts/multiseries.h"
+
+#include <algorithm>
+
+namespace hygraph::ts {
+
+MultiSeries::MultiSeries(std::string name, std::vector<std::string> variables)
+    : name_(std::move(name)),
+      variables_(std::move(variables)),
+      columns_(variables_.size()) {}
+
+Result<MultiSeries> MultiSeries::FromColumns(
+    std::string name, std::vector<Timestamp> times,
+    std::vector<std::string> variables,
+    std::vector<std::vector<double>> columns) {
+  if (variables.size() != columns.size()) {
+    return Status::InvalidArgument(
+        "FromColumns: variables and columns differ in count");
+  }
+  for (const auto& col : columns) {
+    if (col.size() != times.size()) {
+      return Status::InvalidArgument(
+          "FromColumns: column length differs from time axis length");
+    }
+  }
+  for (size_t i = 1; i < times.size(); ++i) {
+    if (times[i] <= times[i - 1]) {
+      return Status::InvalidArgument(
+          "FromColumns: time axis not strictly increasing");
+    }
+  }
+  MultiSeries ms(std::move(name), std::move(variables));
+  ms.times_ = std::move(times);
+  ms.columns_ = std::move(columns);
+  return ms;
+}
+
+Result<size_t> MultiSeries::VariableIndex(const std::string& variable) const {
+  for (size_t i = 0; i < variables_.size(); ++i) {
+    if (variables_[i] == variable) return i;
+  }
+  return Status::NotFound("no variable named '" + variable + "'");
+}
+
+Status MultiSeries::AppendRow(Timestamp t, const std::vector<double>& row) {
+  if (row.size() != variables_.size()) {
+    return Status::InvalidArgument("AppendRow: row arity " +
+                                   std::to_string(row.size()) +
+                                   " != variable count " +
+                                   std::to_string(variables_.size()));
+  }
+  if (!times_.empty() && t <= times_.back()) {
+    return Status::InvalidArgument("AppendRow: timestamp not increasing");
+  }
+  times_.push_back(t);
+  for (size_t i = 0; i < row.size(); ++i) columns_[i].push_back(row[i]);
+  return Status::OK();
+}
+
+Result<Series> MultiSeries::Variable(const std::string& variable) const {
+  auto idx = VariableIndex(variable);
+  if (!idx.ok()) return idx.status();
+  return VariableByIndex(*idx);
+}
+
+Series MultiSeries::VariableByIndex(size_t var_idx) const {
+  Series s(name_.empty() ? variables_[var_idx]
+                         : name_ + "." + variables_[var_idx]);
+  for (size_t i = 0; i < times_.size(); ++i) {
+    // Time axis is strictly increasing by construction, so Append succeeds.
+    (void)s.Append(times_[i], columns_[var_idx][i]);
+  }
+  return s;
+}
+
+MultiSeries MultiSeries::Slice(const Interval& interval) const {
+  MultiSeries out(name_, variables_);
+  auto lo = std::lower_bound(times_.begin(), times_.end(), interval.start);
+  auto hi = std::lower_bound(lo, times_.end(), interval.end);
+  const size_t b = static_cast<size_t>(lo - times_.begin());
+  const size_t e = static_cast<size_t>(hi - times_.begin());
+  out.times_.assign(times_.begin() + static_cast<ptrdiff_t>(b),
+                    times_.begin() + static_cast<ptrdiff_t>(e));
+  for (size_t v = 0; v < columns_.size(); ++v) {
+    out.columns_[v].assign(columns_[v].begin() + static_cast<ptrdiff_t>(b),
+                           columns_[v].begin() + static_cast<ptrdiff_t>(e));
+  }
+  return out;
+}
+
+size_t MultiSeries::Retain(const Interval& keep) {
+  const size_t before = times_.size();
+  auto lo = std::lower_bound(times_.begin(), times_.end(), keep.start);
+  auto hi = std::lower_bound(lo, times_.end(), keep.end);
+  const size_t b = static_cast<size_t>(lo - times_.begin());
+  const size_t e = static_cast<size_t>(hi - times_.begin());
+  times_.erase(times_.begin() + static_cast<ptrdiff_t>(e), times_.end());
+  times_.erase(times_.begin(), times_.begin() + static_cast<ptrdiff_t>(b));
+  for (auto& column : columns_) {
+    column.erase(column.begin() + static_cast<ptrdiff_t>(e), column.end());
+    column.erase(column.begin(), column.begin() + static_cast<ptrdiff_t>(b));
+  }
+  return before - times_.size();
+}
+
+Interval MultiSeries::TimeSpan() const {
+  if (times_.empty()) return Interval{0, 0};
+  return Interval{times_.front(), times_.back() + 1};
+}
+
+}  // namespace hygraph::ts

@@ -1,0 +1,76 @@
+#ifndef HYGRAPH_TS_MULTISERIES_H_
+#define HYGRAPH_TS_MULTISERIES_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/time.h"
+#include "ts/series.h"
+
+namespace hygraph::ts {
+
+/// A multivariate time series: the paper's ts = {(t_1, y_1), ..., (t_n, y_n)}
+/// where each y is a tuple (val_1, ..., val_k) of variable values observed at
+/// the same instant. Stored column-major over a shared, strictly increasing
+/// time axis.
+class MultiSeries {
+ public:
+  MultiSeries() = default;
+  /// Creates an empty multivariate series with named variables.
+  MultiSeries(std::string name, std::vector<std::string> variables);
+
+  static Result<MultiSeries> FromColumns(std::string name,
+                                         std::vector<Timestamp> times,
+                                         std::vector<std::string> variables,
+                                         std::vector<std::vector<double>> columns);
+
+  const std::string& name() const { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+
+  size_t size() const { return times_.size(); }
+  bool empty() const { return times_.empty(); }
+  size_t variable_count() const { return variables_.size(); }
+  const std::vector<std::string>& variables() const { return variables_; }
+  const std::vector<Timestamp>& times() const { return times_; }
+
+  /// Index of a variable by name, or error.
+  Result<size_t> VariableIndex(const std::string& variable) const;
+
+  /// Appends one observation row; `row` must have variable_count() entries
+  /// and `t` must be strictly after the last timestamp.
+  Status AppendRow(Timestamp t, const std::vector<double>& row);
+
+  /// Value of variable `var_idx` at row `row_idx` (unchecked).
+  double at(size_t row_idx, size_t var_idx) const {
+    return columns_[var_idx][row_idx];
+  }
+
+  /// Extracts one variable as a univariate Series (copy).
+  Result<Series> Variable(const std::string& variable) const;
+  Series VariableByIndex(size_t var_idx) const;
+
+  /// Rows whose timestamps fall inside `interval`, as a new MultiSeries.
+  MultiSeries Slice(const Interval& interval) const;
+
+  /// Drops all rows outside `keep` in place (R3 staleness eviction);
+  /// returns the number of rows removed.
+  size_t Retain(const Interval& keep);
+
+  Interval TimeSpan() const;
+
+  bool operator==(const MultiSeries& other) const {
+    return times_ == other.times_ && variables_ == other.variables_ &&
+           columns_ == other.columns_;
+  }
+
+ private:
+  std::string name_;
+  std::vector<std::string> variables_;
+  std::vector<Timestamp> times_;
+  std::vector<std::vector<double>> columns_;  // columns_[var][row]
+};
+
+}  // namespace hygraph::ts
+
+#endif  // HYGRAPH_TS_MULTISERIES_H_

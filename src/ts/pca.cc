@@ -1,0 +1,142 @@
+#include "ts/pca.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace hygraph::ts {
+
+Status JacobiEigen(std::vector<std::vector<double>> a,
+                   std::vector<double>* eigenvalues,
+                   std::vector<std::vector<double>>* eigenvectors) {
+  const size_t n = a.size();
+  for (const auto& row : a) {
+    if (row.size() != n) {
+      return Status::InvalidArgument("JacobiEigen: matrix not square");
+    }
+  }
+  // v starts as identity and accumulates rotations.
+  std::vector<std::vector<double>> v(n, std::vector<double>(n, 0.0));
+  for (size_t i = 0; i < n; ++i) v[i][i] = 1.0;
+
+  constexpr int kMaxSweeps = 100;
+  for (int sweep = 0; sweep < kMaxSweeps; ++sweep) {
+    double off = 0.0;
+    for (size_t p = 0; p < n; ++p) {
+      for (size_t q = p + 1; q < n; ++q) off += a[p][q] * a[p][q];
+    }
+    if (off < 1e-20) break;
+    for (size_t p = 0; p < n; ++p) {
+      for (size_t q = p + 1; q < n; ++q) {
+        if (std::abs(a[p][q]) < 1e-15) continue;
+        const double theta = (a[q][q] - a[p][p]) / (2.0 * a[p][q]);
+        const double t = (theta >= 0 ? 1.0 : -1.0) /
+                         (std::abs(theta) + std::sqrt(theta * theta + 1.0));
+        const double c = 1.0 / std::sqrt(t * t + 1.0);
+        const double s = t * c;
+        for (size_t k = 0; k < n; ++k) {
+          const double akp = a[k][p];
+          const double akq = a[k][q];
+          a[k][p] = c * akp - s * akq;
+          a[k][q] = s * akp + c * akq;
+        }
+        for (size_t k = 0; k < n; ++k) {
+          const double apk = a[p][k];
+          const double aqk = a[q][k];
+          a[p][k] = c * apk - s * aqk;
+          a[q][k] = s * apk + c * aqk;
+        }
+        for (size_t k = 0; k < n; ++k) {
+          const double vkp = v[k][p];
+          const double vkq = v[k][q];
+          v[k][p] = c * vkp - s * vkq;
+          v[k][q] = s * vkp + c * vkq;
+        }
+      }
+    }
+  }
+  // Sort by eigenvalue, decreasing.
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&](size_t x, size_t y) { return a[x][x] > a[y][y]; });
+  eigenvalues->assign(n, 0.0);
+  eigenvectors->assign(n, std::vector<double>(n, 0.0));
+  for (size_t i = 0; i < n; ++i) {
+    (*eigenvalues)[i] = a[order[i]][order[i]];
+    for (size_t k = 0; k < n; ++k) {
+      (*eigenvectors)[i][k] = v[k][order[i]];
+    }
+  }
+  return Status::OK();
+}
+
+Result<PcaResult> ComputePca(const MultiSeries& ms) {
+  const size_t rows = ms.size();
+  const size_t cols = ms.variable_count();
+  if (rows < 2 || cols < 1) {
+    return Status::InvalidArgument("PCA requires >= 2 rows and >= 1 variable");
+  }
+  // Column means.
+  std::vector<double> mean(cols, 0.0);
+  for (size_t r = 0; r < rows; ++r) {
+    for (size_t c = 0; c < cols; ++c) mean[c] += ms.at(r, c);
+  }
+  for (double& m : mean) m /= static_cast<double>(rows);
+  // Covariance matrix.
+  std::vector<std::vector<double>> cov(cols, std::vector<double>(cols, 0.0));
+  for (size_t r = 0; r < rows; ++r) {
+    for (size_t i = 0; i < cols; ++i) {
+      const double di = ms.at(r, i) - mean[i];
+      for (size_t j = i; j < cols; ++j) {
+        cov[i][j] += di * (ms.at(r, j) - mean[j]);
+      }
+    }
+  }
+  const double denom = static_cast<double>(rows - 1);
+  for (size_t i = 0; i < cols; ++i) {
+    for (size_t j = i; j < cols; ++j) {
+      cov[i][j] /= denom;
+      cov[j][i] = cov[i][j];
+    }
+  }
+  PcaResult result;
+  HYGRAPH_RETURN_IF_ERROR(
+      JacobiEigen(std::move(cov), &result.eigenvalues, &result.components));
+  return result;
+}
+
+Result<double> PcaSimilarity(const MultiSeries& a, const MultiSeries& b,
+                             size_t k) {
+  if (a.variable_count() != b.variable_count()) {
+    return Status::InvalidArgument(
+        "PcaSimilarity: variable counts differ");
+  }
+  auto pa = ComputePca(a);
+  if (!pa.ok()) return pa.status();
+  auto pb = ComputePca(b);
+  if (!pb.ok()) return pb.status();
+  const size_t kk =
+      std::min({k, pa->components.size(), pb->components.size()});
+  if (kk == 0) return Status::InvalidArgument("PcaSimilarity: k must be >= 1");
+  // Variance-weighted sum of squared cosines between principal axes
+  // (Yang & Shahabi's S_PCA with eigenvalue weighting).
+  double weight_total = 0.0;
+  double acc = 0.0;
+  for (size_t i = 0; i < kk; ++i) {
+    for (size_t j = 0; j < kk; ++j) {
+      double dot = 0.0;
+      for (size_t d = 0; d < a.variable_count(); ++d) {
+        dot += pa->components[i][d] * pb->components[j][d];
+      }
+      const double w = std::max(0.0, pa->eigenvalues[i]) *
+                       std::max(0.0, pb->eigenvalues[j]);
+      acc += w * dot * dot;
+      weight_total += w;
+    }
+  }
+  if (weight_total < 1e-20) return 0.0;
+  return acc / weight_total;
+}
+
+}  // namespace hygraph::ts

@@ -1,0 +1,39 @@
+#ifndef HYGRAPH_TS_PCA_H_
+#define HYGRAPH_TS_PCA_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "ts/multiseries.h"
+
+namespace hygraph::ts {
+
+/// Principal component analysis of a multivariate series (observations =
+/// rows, variables = columns), computed by Jacobi eigendecomposition of the
+/// covariance matrix. Small variable counts (k <= ~64) are the target.
+struct PcaResult {
+  /// Eigenvalues in decreasing order (variance explained per component).
+  std::vector<double> eigenvalues;
+  /// Row i = i-th principal axis (unit vector over the variables).
+  std::vector<std::vector<double>> components;
+};
+
+/// Runs PCA on the variables of `ms`; requires >= 2 rows and >= 1 variable.
+Result<PcaResult> ComputePca(const MultiSeries& ms);
+
+/// Yang–Shahabi PCA similarity between two multivariate series: the sum of
+/// squared cosines between the first `k` principal axes of each, weighted by
+/// explained variance and normalized to [0, 1]. 1 means the series span the
+/// same dominant subspace.
+Result<double> PcaSimilarity(const MultiSeries& a, const MultiSeries& b,
+                             size_t k);
+
+/// Symmetric Jacobi eigendecomposition (exposed for reuse and tests):
+/// fills eigenvalues (decreasing) and matching unit eigenvectors (rows).
+Status JacobiEigen(std::vector<std::vector<double>> matrix,
+                   std::vector<double>* eigenvalues,
+                   std::vector<std::vector<double>>* eigenvectors);
+
+}  // namespace hygraph::ts
+
+#endif  // HYGRAPH_TS_PCA_H_

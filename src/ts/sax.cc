@@ -1,0 +1,191 @@
+#include "ts/sax.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "ts/distance.h"
+
+namespace hygraph::ts {
+
+namespace {
+
+// Breakpoints dividing N(0,1) into `alphabet` equiprobable regions,
+// computed via the inverse normal CDF (Acklam's rational approximation —
+// plenty for quantization).
+double InverseNormalCdf(double p) {
+  static const double a[] = {-3.969683028665376e+01, 2.209460984245205e+02,
+                             -2.759285104469687e+02, 1.383577518672690e+02,
+                             -3.066479806614716e+01, 2.506628277459239e+00};
+  static const double b[] = {-5.447609879822406e+01, 1.615858368580409e+02,
+                             -1.556989798598866e+02, 6.680131188771972e+01,
+                             -1.328068155288572e+01};
+  static const double c[] = {-7.784894002430293e-03, -3.223964580411365e-01,
+                             -2.400758277161838e+00, -2.549732539343734e+00,
+                             4.374664141464968e+00,  2.938163982698783e+00};
+  static const double d[] = {7.784695709041462e-03, 3.224671290700398e-01,
+                             2.445134137142996e+00, 3.754408661907416e+00};
+  const double plow = 0.02425;
+  if (p < plow) {
+    const double q = std::sqrt(-2 * std::log(p));
+    return (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q +
+            c[5]) /
+           ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1);
+  }
+  if (p > 1 - plow) {
+    const double q = std::sqrt(-2 * std::log(1 - p));
+    return -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q +
+             c[5]) /
+           ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1);
+  }
+  const double q = p - 0.5;
+  const double r = q * q;
+  return (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r +
+          a[5]) *
+         q /
+         (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1);
+}
+
+Result<std::vector<double>> Breakpoints(size_t alphabet) {
+  if (alphabet < 2 || alphabet > 16) {
+    return Status::InvalidArgument("alphabet must be in [2, 16]");
+  }
+  std::vector<double> points;
+  for (size_t i = 1; i < alphabet; ++i) {
+    points.push_back(InverseNormalCdf(static_cast<double>(i) /
+                                      static_cast<double>(alphabet)));
+  }
+  return points;
+}
+
+char Quantize(double value, const std::vector<double>& breakpoints) {
+  size_t cell = 0;
+  while (cell < breakpoints.size() && value >= breakpoints[cell]) ++cell;
+  return static_cast<char>('a' + cell);
+}
+
+Result<std::string> WordFromValues(std::vector<double> values,
+                                   const SaxOptions& options) {
+  if (values.size() < options.segments || options.segments == 0) {
+    return Status::InvalidArgument(
+        "series shorter than the requested segment count");
+  }
+  auto breakpoints = Breakpoints(options.alphabet);
+  if (!breakpoints.ok()) return breakpoints.status();
+  ZNormalize(&values);
+  auto frames = Paa(values, options.segments);
+  if (!frames.ok()) return frames.status();
+  std::string word;
+  word.reserve(options.segments);
+  for (double frame : *frames) word.push_back(Quantize(frame, *breakpoints));
+  return word;
+}
+
+}  // namespace
+
+Result<std::vector<double>> Paa(const std::vector<double>& values,
+                                size_t segments) {
+  if (segments == 0) {
+    return Status::InvalidArgument("segments must be >= 1");
+  }
+  if (values.size() < segments) {
+    return Status::InvalidArgument("fewer values than segments");
+  }
+  const size_t n = values.size();
+  std::vector<double> frames(segments, 0.0);
+  // Fractional frame boundaries: each value contributes to the frames it
+  // overlaps, so n need not divide evenly. Positions are measured in frame
+  // units (each value spans segments/n of a frame), so the per-frame
+  // overlap weights already sum to exactly 1 — the weighted sum IS the
+  // frame mean.
+  for (size_t i = 0; i < n; ++i) {
+    const double lo = static_cast<double>(i) * segments / n;
+    const double hi = static_cast<double>(i + 1) * segments / n;
+    for (size_t f = static_cast<size_t>(lo);
+         f < segments && static_cast<double>(f) < hi; ++f) {
+      const double overlap = std::min(hi, static_cast<double>(f + 1)) -
+                             std::max(lo, static_cast<double>(f));
+      if (overlap > 0) frames[f] += values[i] * overlap;
+    }
+  }
+  return frames;
+}
+
+Result<std::string> SaxWord(const Series& series, const SaxOptions& options) {
+  return WordFromValues(series.Values(), options);
+}
+
+Result<double> SaxMinDist(const std::string& a, const std::string& b,
+                          size_t original_length, const SaxOptions& options) {
+  if (a.size() != b.size() || a.size() != options.segments) {
+    return Status::InvalidArgument(
+        "words must both have options.segments symbols");
+  }
+  if (original_length < options.segments) {
+    return Status::InvalidArgument("original_length too small");
+  }
+  auto breakpoints = Breakpoints(options.alphabet);
+  if (!breakpoints.ok()) return breakpoints.status();
+  auto cell_dist = [&](char x, char y) {
+    int i = x - 'a';
+    int j = y - 'a';
+    if (std::abs(i - j) <= 1) return 0.0;
+    const int hi = std::max(i, j);
+    const int lo = std::min(i, j);
+    return (*breakpoints)[static_cast<size_t>(hi - 1)] -
+           (*breakpoints)[static_cast<size_t>(lo)];
+  };
+  double acc = 0.0;
+  for (size_t s = 0; s < a.size(); ++s) {
+    const double d = cell_dist(a[s], b[s]);
+    acc += d * d;
+  }
+  return std::sqrt(static_cast<double>(original_length) /
+                   static_cast<double>(options.segments)) *
+         std::sqrt(acc);
+}
+
+Result<std::vector<std::string>> SlidingSaxWords(const Series& series,
+                                                 size_t window, size_t step,
+                                                 const SaxOptions& options) {
+  if (window < options.segments) {
+    return Status::InvalidArgument("window shorter than segment count");
+  }
+  if (step == 0) return Status::InvalidArgument("step must be >= 1");
+  if (series.size() < window) {
+    return Status::InvalidArgument("series shorter than window");
+  }
+  const std::vector<double> values = series.Values();
+  std::vector<std::string> words;
+  for (size_t off = 0; off + window <= values.size(); off += step) {
+    std::vector<double> slice(values.begin() + static_cast<ptrdiff_t>(off),
+                              values.begin() +
+                                  static_cast<ptrdiff_t>(off + window));
+    auto word = WordFromValues(std::move(slice), options);
+    if (!word.ok()) return word.status();
+    words.push_back(std::move(*word));
+  }
+  return words;
+}
+
+Result<std::vector<SaxPattern>> SaxBagOfPatterns(const Series& series,
+                                                 size_t window, size_t step,
+                                                 const SaxOptions& options) {
+  auto words = SlidingSaxWords(series, window, step, options);
+  if (!words.ok()) return words.status();
+  std::map<std::string, size_t> counts;
+  for (const std::string& word : *words) ++counts[word];
+  std::vector<SaxPattern> patterns;
+  patterns.reserve(counts.size());
+  for (const auto& [word, count] : counts) {
+    patterns.push_back(SaxPattern{word, count});
+  }
+  std::sort(patterns.begin(), patterns.end(),
+            [](const SaxPattern& x, const SaxPattern& y) {
+              if (x.count != y.count) return x.count > y.count;
+              return x.word < y.word;
+            });
+  return patterns;
+}
+
+}  // namespace hygraph::ts

@@ -1,0 +1,56 @@
+#ifndef HYGRAPH_TS_SAX_H_
+#define HYGRAPH_TS_SAX_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "ts/series.h"
+
+namespace hygraph::ts {
+
+/// Symbolic Aggregate approXimation (Lin & Keogh): z-normalize, reduce to
+/// `segments` PAA frames, quantize each frame against N(0,1) breakpoints
+/// into an alphabet of size `alphabet` (2..16). The classic symbolic
+/// representation behind fast pattern mining on series — supports the
+/// paper's "sequence / motif" row of Table 2 at scale.
+struct SaxOptions {
+  size_t segments = 8;
+  size_t alphabet = 4;  ///< 2..16, symbols 'a', 'b', ...
+};
+
+/// Piecewise Aggregate Approximation of a value vector to `segments`
+/// frame means. Requires values.size() >= segments >= 1.
+Result<std::vector<double>> Paa(const std::vector<double>& values,
+                                size_t segments);
+
+/// SAX word of a whole series ("accbba..."); error when the series is
+/// shorter than the segment count or the alphabet is out of range.
+Result<std::string> SaxWord(const Series& series, const SaxOptions& options);
+
+/// MINDIST lower bound between two SAX words of equal length under the
+/// same options (0 when words differ by at most one breakpoint cell
+/// everywhere). `original_length` is the length of the series the words
+/// were extracted from.
+Result<double> SaxMinDist(const std::string& a, const std::string& b,
+                          size_t original_length, const SaxOptions& options);
+
+/// Sliding-window SAX: the word of every length-`window` subsequence,
+/// stepped by `step` samples. The input to bag-of-patterns style mining.
+Result<std::vector<std::string>> SlidingSaxWords(const Series& series,
+                                                 size_t window, size_t step,
+                                                 const SaxOptions& options);
+
+/// Frequency of each distinct sliding SAX word, most frequent first
+/// (bag-of-patterns). Ties break lexicographically.
+struct SaxPattern {
+  std::string word;
+  size_t count = 0;
+};
+Result<std::vector<SaxPattern>> SaxBagOfPatterns(const Series& series,
+                                                 size_t window, size_t step,
+                                                 const SaxOptions& options);
+
+}  // namespace hygraph::ts
+
+#endif  // HYGRAPH_TS_SAX_H_

@@ -1,0 +1,201 @@
+#include "ts/segmentation.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace hygraph::ts {
+
+Segment FitSegment(const Series& series, size_t begin, size_t end) {
+  Segment seg;
+  seg.begin = begin;
+  seg.end = end;
+  if (begin >= end || end > series.size()) return seg;
+  seg.start_time = series.at(begin).t;
+  seg.end_time = series.at(end - 1).t;
+  const size_t n = end - begin;
+  if (n == 1) {
+    seg.intercept = series.at(begin).value;
+    return seg;
+  }
+  // Least squares on (t - start_time, value) for numeric stability.
+  double sx = 0.0;
+  double sy = 0.0;
+  double sxx = 0.0;
+  double sxy = 0.0;
+  for (size_t i = begin; i < end; ++i) {
+    const double x = static_cast<double>(series.at(i).t - seg.start_time);
+    const double y = series.at(i).value;
+    sx += x;
+    sy += y;
+    sxx += x * x;
+    sxy += x * y;
+  }
+  const double dn = static_cast<double>(n);
+  const double denom = dn * sxx - sx * sx;
+  if (denom != 0.0) {
+    seg.slope = (dn * sxy - sx * sy) / denom;
+    seg.intercept = (sy - seg.slope * sx) / dn;
+  } else {
+    seg.slope = 0.0;
+    seg.intercept = sy / dn;
+  }
+  double err = 0.0;
+  for (size_t i = begin; i < end; ++i) {
+    const double x = static_cast<double>(series.at(i).t - seg.start_time);
+    const double r = series.at(i).value - (seg.intercept + seg.slope * x);
+    err += r * r;
+  }
+  seg.error = err;
+  return seg;
+}
+
+namespace {
+
+// Finds the split index in (begin, end) minimizing the summed error of the
+// two sub-fits; returns begin when no valid split exists.
+size_t BestSplit(const Series& series, size_t begin, size_t end,
+                 double* best_error) {
+  size_t best = begin;
+  *best_error = std::numeric_limits<double>::infinity();
+  for (size_t split = begin + 1; split < end; ++split) {
+    const Segment left = FitSegment(series, begin, split);
+    const Segment right = FitSegment(series, split, end);
+    const double err = left.error + right.error;
+    if (err < *best_error) {
+      *best_error = err;
+      best = split;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+Result<std::vector<Segment>> SegmentTopDown(const Series& series,
+                                            double max_error,
+                                            size_t max_segments) {
+  if (max_segments == 0) {
+    return Status::InvalidArgument("max_segments must be >= 1");
+  }
+  std::vector<Segment> segments;
+  if (series.empty()) return segments;
+  segments.push_back(FitSegment(series, 0, series.size()));
+  while (segments.size() < max_segments) {
+    // Pick the worst segment that still exceeds the error budget.
+    size_t worst = segments.size();
+    double worst_error = max_error;
+    for (size_t i = 0; i < segments.size(); ++i) {
+      if (segments[i].error > worst_error && segments[i].length() >= 2) {
+        worst_error = segments[i].error;
+        worst = i;
+      }
+    }
+    if (worst == segments.size()) break;  // all within budget
+    const Segment target = segments[worst];
+    double split_error = 0.0;
+    const size_t split =
+        BestSplit(series, target.begin, target.end, &split_error);
+    if (split == target.begin) break;  // cannot split further
+    segments[worst] = FitSegment(series, target.begin, split);
+    segments.insert(segments.begin() + static_cast<ptrdiff_t>(worst) + 1,
+                    FitSegment(series, split, target.end));
+  }
+  std::sort(segments.begin(), segments.end(),
+            [](const Segment& a, const Segment& b) { return a.begin < b.begin; });
+  return segments;
+}
+
+Result<std::vector<Segment>> SegmentBottomUp(const Series& series,
+                                             double max_error,
+                                             size_t initial_width) {
+  if (initial_width < 2) {
+    return Status::InvalidArgument("initial_width must be >= 2");
+  }
+  std::vector<Segment> segments;
+  if (series.empty()) return segments;
+  for (size_t begin = 0; begin < series.size(); begin += initial_width) {
+    const size_t end = std::min(begin + initial_width, series.size());
+    segments.push_back(FitSegment(series, begin, end));
+  }
+  while (segments.size() > 1) {
+    // Find the cheapest adjacent merge.
+    double best_cost = std::numeric_limits<double>::infinity();
+    size_t best_i = segments.size();
+    Segment best_merged;
+    for (size_t i = 0; i + 1 < segments.size(); ++i) {
+      Segment merged =
+          FitSegment(series, segments[i].begin, segments[i + 1].end);
+      const double cost =
+          merged.error - segments[i].error - segments[i + 1].error;
+      if (cost < best_cost) {
+        best_cost = cost;
+        best_i = i;
+        best_merged = merged;
+      }
+    }
+    if (best_i == segments.size() || best_merged.error > max_error) break;
+    segments[best_i] = best_merged;
+    segments.erase(segments.begin() + static_cast<ptrdiff_t>(best_i) + 1);
+  }
+  return segments;
+}
+
+std::vector<Timestamp> ChangePoints(const std::vector<Segment>& segments) {
+  std::vector<Timestamp> points;
+  for (size_t i = 1; i < segments.size(); ++i) {
+    points.push_back(segments[i].start_time);
+  }
+  return points;
+}
+
+Result<std::vector<size_t>> DetectMeanShifts(const Series& series,
+                                             double penalty) {
+  if (penalty < 0) {
+    return Status::InvalidArgument("penalty must be non-negative");
+  }
+  const size_t n = series.size();
+  std::vector<size_t> result;
+  if (n < 2) return result;
+  // Prefix sums for O(1) L2 segment cost: cost(a,b) = sum((x - mean)^2).
+  std::vector<double> pre(n + 1, 0.0);
+  std::vector<double> pre2(n + 1, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    pre[i + 1] = pre[i] + series.at(i).value;
+    pre2[i + 1] = pre2[i] + series.at(i).value * series.at(i).value;
+  }
+  auto cost = [&](size_t a, size_t b) {  // [a, b)
+    const double len = static_cast<double>(b - a);
+    const double s = pre[b] - pre[a];
+    const double s2 = pre2[b] - pre2[a];
+    return s2 - s * s / len;
+  };
+  // Optimal-partitioning DP (exact; PELT pruning elided — sizes here are
+  // modest and the exact DP keeps behaviour deterministic and simple).
+  std::vector<double> f(n + 1, 0.0);
+  std::vector<size_t> prev(n + 1, 0);
+  for (size_t b = 1; b <= n; ++b) {
+    double best = std::numeric_limits<double>::infinity();
+    size_t best_a = 0;
+    for (size_t a = 0; a < b; ++a) {
+      const double c = f[a] + cost(a, b) + (a > 0 ? penalty : 0.0);
+      if (c < best) {
+        best = c;
+        best_a = a;
+      }
+    }
+    f[b] = best;
+    prev[b] = best_a;
+  }
+  size_t b = n;
+  while (b > 0) {
+    const size_t a = prev[b];
+    if (a == 0) break;
+    result.push_back(a);
+    b = a;
+  }
+  std::reverse(result.begin(), result.end());
+  return result;
+}
+
+}  // namespace hygraph::ts

@@ -1,0 +1,55 @@
+#ifndef HYGRAPH_TS_SEGMENTATION_H_
+#define HYGRAPH_TS_SEGMENTATION_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "common/time.h"
+#include "ts/series.h"
+
+namespace hygraph::ts {
+
+/// One piecewise-linear segment fitted to samples [begin, end) of a series.
+struct Segment {
+  size_t begin = 0;  ///< first sample index (inclusive)
+  size_t end = 0;    ///< one past the last sample index
+  Timestamp start_time = 0;
+  Timestamp end_time = 0;  ///< timestamp of the last sample in the segment
+  double slope = 0.0;      ///< least-squares slope (value units per ms)
+  double intercept = 0.0;  ///< value at start_time under the fit
+  double error = 0.0;      ///< sum of squared residuals of the fit
+
+  size_t length() const { return end - begin; }
+};
+
+/// Least-squares line fit over samples [begin, end); exposed for tests.
+Segment FitSegment(const Series& series, size_t begin, size_t end);
+
+/// Top-down piecewise-linear segmentation (Table 2, row Q4 "Segmentation"):
+/// recursively splits at the point minimizing total residual error until
+/// every segment's error is <= max_error or max_segments is reached.
+Result<std::vector<Segment>> SegmentTopDown(const Series& series,
+                                            double max_error,
+                                            size_t max_segments);
+
+/// Bottom-up segmentation: starts from fine segments of `initial_width`
+/// samples and greedily merges the cheapest adjacent pair while the merged
+/// error stays <= max_error.
+Result<std::vector<Segment>> SegmentBottomUp(const Series& series,
+                                             double max_error,
+                                             size_t initial_width);
+
+/// Changepoint timestamps implied by a segmentation: the boundary between
+/// consecutive segments. These drive the paper's Q4 hybrid operator
+/// ("graph snapshots at significant time intervals identified through time
+/// series segmentation").
+std::vector<Timestamp> ChangePoints(const std::vector<Segment>& segments);
+
+/// PELT-style mean-shift changepoint detection with an L2 cost and linear
+/// penalty: returns sample indices where the mean shifts.
+Result<std::vector<size_t>> DetectMeanShifts(const Series& series,
+                                             double penalty);
+
+}  // namespace hygraph::ts
+
+#endif  // HYGRAPH_TS_SEGMENTATION_H_

@@ -1,0 +1,102 @@
+#include "ts/series.h"
+
+#include <algorithm>
+
+namespace hygraph::ts {
+
+Result<Series> Series::FromVectors(std::string name,
+                                   std::vector<Timestamp> times,
+                                   std::vector<double> values) {
+  if (times.size() != values.size()) {
+    return Status::InvalidArgument(
+        "FromVectors: times and values differ in length");
+  }
+  Series s(std::move(name));
+  s.samples_.reserve(times.size());
+  for (size_t i = 0; i < times.size(); ++i) {
+    HYGRAPH_RETURN_IF_ERROR(s.Append(times[i], values[i]));
+  }
+  return s;
+}
+
+Status Series::Append(Timestamp t, double value) {
+  if (!samples_.empty() && t <= samples_.back().t) {
+    return Status::InvalidArgument(
+        "Append: timestamp " + FormatTimestamp(t) +
+        " not after last sample " + FormatTimestamp(samples_.back().t));
+  }
+  samples_.push_back(Sample{t, value});
+  return Status::OK();
+}
+
+void Series::Insert(Timestamp t, double value) {
+  auto it = std::lower_bound(
+      samples_.begin(), samples_.end(), t,
+      [](const Sample& s, Timestamp ts) { return s.t < ts; });
+  if (it != samples_.end() && it->t == t) {
+    it->value = value;
+    return;
+  }
+  samples_.insert(it, Sample{t, value});
+}
+
+size_t Series::Retain(const Interval& keep) {
+  const size_t before = samples_.size();
+  auto [lo, hi] = RangeIndices(keep);
+  samples_.erase(samples_.begin() + static_cast<ptrdiff_t>(hi),
+                 samples_.end());
+  samples_.erase(samples_.begin(),
+                 samples_.begin() + static_cast<ptrdiff_t>(lo));
+  return before - samples_.size();
+}
+
+Interval Series::TimeSpan() const {
+  if (samples_.empty()) return Interval{0, 0};
+  return Interval{samples_.front().t, samples_.back().t + 1};
+}
+
+std::pair<size_t, size_t> Series::RangeIndices(
+    const Interval& interval) const {
+  auto lo = std::lower_bound(
+      samples_.begin(), samples_.end(), interval.start,
+      [](const Sample& s, Timestamp t) { return s.t < t; });
+  auto hi = std::lower_bound(
+      lo, samples_.end(), interval.end,
+      [](const Sample& s, Timestamp t) { return s.t < t; });
+  return {static_cast<size_t>(lo - samples_.begin()),
+          static_cast<size_t>(hi - samples_.begin())};
+}
+
+Series Series::Slice(const Interval& interval) const {
+  Series out(name_);
+  auto [lo, hi] = RangeIndices(interval);
+  out.samples_.assign(samples_.begin() + static_cast<ptrdiff_t>(lo),
+                      samples_.begin() + static_cast<ptrdiff_t>(hi));
+  return out;
+}
+
+Result<double> Series::ValueAt(Timestamp t) const {
+  auto it = std::upper_bound(
+      samples_.begin(), samples_.end(), t,
+      [](Timestamp ts, const Sample& s) { return ts < s.t; });
+  if (it == samples_.begin()) {
+    return Status::NotFound("no sample at or before " + FormatTimestamp(t));
+  }
+  return std::prev(it)->value;
+}
+
+std::vector<double> Series::Values() const {
+  std::vector<double> out;
+  out.reserve(samples_.size());
+  for (const Sample& s : samples_) out.push_back(s.value);
+  return out;
+}
+
+std::vector<Timestamp> Series::Timestamps() const {
+  std::vector<Timestamp> out;
+  out.reserve(samples_.size());
+  for (const Sample& s : samples_) out.push_back(s.t);
+  return out;
+}
+
+}  // namespace hygraph::ts

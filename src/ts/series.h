@@ -1,0 +1,97 @@
+#ifndef HYGRAPH_TS_SERIES_H_
+#define HYGRAPH_TS_SERIES_H_
+
+#include <cstddef>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "common/time.h"
+
+namespace hygraph::ts {
+
+/// One observation of a univariate series.
+struct Sample {
+  Timestamp t = 0;
+  double value = 0.0;
+
+  bool operator==(const Sample&) const = default;
+};
+
+/// A univariate time series: samples strictly ordered by timestamp.
+///
+/// This is the in-memory working representation used by every analysis
+/// kernel (aggregation, segmentation, correlation, ...). Chronological
+/// integrity (requirement R2 in the paper) is enforced by the mutators:
+/// Append rejects out-of-order timestamps and Insert keeps the order
+/// invariant by sorted insertion.
+class Series {
+ public:
+  Series() = default;
+  explicit Series(std::string name) : name_(std::move(name)) {}
+
+  Series(const Series&) = default;
+  Series& operator=(const Series&) = default;
+  Series(Series&&) = default;
+  Series& operator=(Series&&) = default;
+
+  /// Builds a series from parallel vectors; fails on length mismatch or
+  /// non-strictly-increasing timestamps.
+  static Result<Series> FromVectors(std::string name,
+                                    std::vector<Timestamp> times,
+                                    std::vector<double> values);
+
+  const std::string& name() const { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+
+  size_t size() const { return samples_.size(); }
+  bool empty() const { return samples_.empty(); }
+  const Sample& at(size_t i) const { return samples_[i]; }
+  const Sample& front() const { return samples_.front(); }
+  const Sample& back() const { return samples_.back(); }
+  const std::vector<Sample>& samples() const { return samples_; }
+
+  /// Appends a sample; the timestamp must be strictly greater than the
+  /// current last timestamp (chronological integrity).
+  Status Append(Timestamp t, double value);
+
+  /// Inserts a sample at its sorted position; replaces the value if a sample
+  /// with the same timestamp already exists.
+  void Insert(Timestamp t, double value);
+
+  /// Removes all samples outside `keep` (the paper's R3: replacing stale
+  /// data without compromising integrity). Returns the number removed.
+  size_t Retain(const Interval& keep);
+
+  /// The half-open interval [first_t, last_t + 1) covered by the series;
+  /// empty interval when the series is empty.
+  Interval TimeSpan() const;
+
+  /// Index range [lo, hi) of samples whose timestamps fall inside
+  /// `interval` (binary search).
+  std::pair<size_t, size_t> RangeIndices(const Interval& interval) const;
+
+  /// Copies the samples inside `interval` into a new series.
+  Series Slice(const Interval& interval) const;
+
+  /// Value at the greatest timestamp <= t, if any (last-observation-
+  /// carried-forward lookup).
+  Result<double> ValueAt(Timestamp t) const;
+
+  /// All values / timestamps as dense vectors (for numeric kernels).
+  std::vector<double> Values() const;
+  std::vector<Timestamp> Timestamps() const;
+
+  bool operator==(const Series& other) const {
+    return samples_ == other.samples_;
+  }
+
+ private:
+  std::string name_;
+  std::vector<Sample> samples_;
+};
+
+}  // namespace hygraph::ts
+
+#endif  // HYGRAPH_TS_SERIES_H_

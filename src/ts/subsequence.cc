@@ -1,0 +1,103 @@
+#include "ts/subsequence.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "ts/distance.h"
+
+namespace hygraph::ts {
+
+Result<std::vector<double>> DistanceProfile(
+    const Series& haystack, const std::vector<double>& query) {
+  const size_t m = query.size();
+  if (m < 2) {
+    return Status::InvalidArgument("query must have at least 2 points");
+  }
+  if (haystack.size() < m) {
+    return Status::InvalidArgument("haystack shorter than query");
+  }
+  std::vector<double> q = query;
+  ZNormalize(&q);
+  const std::vector<double> values = haystack.Values();
+  const size_t n = values.size();
+
+  // Rolling sums give O(1) mean/std per window; the inner product is
+  // recomputed per offset (O(n*m) total — the UCR-ED approach without FFT,
+  // adequate for the scales this library targets).
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (size_t i = 0; i < m; ++i) {
+    sum += values[i];
+    sum_sq += values[i] * values[i];
+  }
+  std::vector<double> profile;
+  profile.reserve(n - m + 1);
+  const double dm = static_cast<double>(m);
+  for (size_t off = 0; off + m <= n; ++off) {
+    if (off > 0) {
+      sum += values[off + m - 1] - values[off - 1];
+      sum_sq += values[off + m - 1] * values[off + m - 1] -
+                values[off - 1] * values[off - 1];
+    }
+    const double mean = sum / dm;
+    const double var = std::max(0.0, sum_sq / dm - mean * mean);
+    const double sd = std::sqrt(var);
+    double acc = 0.0;
+    if (sd < 1e-12) {
+      // Constant window: z-normalized form is all zeros.
+      for (size_t i = 0; i < m; ++i) acc += q[i] * q[i];
+    } else {
+      for (size_t i = 0; i < m; ++i) {
+        const double z = (values[off + i] - mean) / sd;
+        const double d = z - q[i];
+        acc += d * d;
+      }
+    }
+    profile.push_back(std::sqrt(acc));
+  }
+  return profile;
+}
+
+Result<std::vector<SubsequenceMatch>> MatchSubsequence(
+    const Series& haystack, const std::vector<double>& query, size_t k) {
+  auto profile = DistanceProfile(haystack, query);
+  if (!profile.ok()) return profile.status();
+  const size_t m = query.size();
+  std::vector<char> blocked(profile->size(), 0);
+  std::vector<SubsequenceMatch> matches;
+  while (matches.size() < k) {
+    size_t best = profile->size();
+    for (size_t i = 0; i < profile->size(); ++i) {
+      if (blocked[i]) continue;
+      if (best == profile->size() || (*profile)[i] < (*profile)[best]) {
+        best = i;
+      }
+    }
+    if (best == profile->size()) break;
+    matches.push_back(SubsequenceMatch{best, haystack.at(best).t,
+                                       (*profile)[best]});
+    // Exclude overlapping offsets (trivial-match exclusion zone of one
+    // query length on either side).
+    const size_t lo = best >= m ? best - m + 1 : 0;
+    const size_t hi = std::min(profile->size(), best + m);
+    for (size_t i = lo; i < hi; ++i) blocked[i] = 1;
+  }
+  return matches;
+}
+
+Result<std::vector<SubsequenceMatch>> MatchSubsequenceThreshold(
+    const Series& haystack, const std::vector<double>& query,
+    double threshold) {
+  auto profile = DistanceProfile(haystack, query);
+  if (!profile.ok()) return profile.status();
+  std::vector<SubsequenceMatch> matches;
+  for (size_t i = 0; i < profile->size(); ++i) {
+    if ((*profile)[i] <= threshold) {
+      matches.push_back(
+          SubsequenceMatch{i, haystack.at(i).t, (*profile)[i]});
+    }
+  }
+  return matches;
+}
+
+}  // namespace hygraph::ts

@@ -1,0 +1,41 @@
+#ifndef HYGRAPH_TS_SUBSEQUENCE_H_
+#define HYGRAPH_TS_SUBSEQUENCE_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "common/time.h"
+#include "ts/series.h"
+
+namespace hygraph::ts {
+
+/// A match of a query subsequence inside a longer series.
+struct SubsequenceMatch {
+  size_t offset = 0;       ///< start index in the haystack
+  Timestamp start_time = 0;
+  double distance = 0.0;   ///< z-normalized Euclidean distance
+
+  bool operator==(const SubsequenceMatch&) const = default;
+};
+
+/// Subsequence matching (Table 2 rows Q1/E, "Subsequence matching [89]"):
+/// slides `query` over `haystack` and returns the k best non-overlapping
+/// matches by z-normalized Euclidean distance, best first.
+Result<std::vector<SubsequenceMatch>> MatchSubsequence(
+    const Series& haystack, const std::vector<double>& query, size_t k);
+
+/// All match offsets whose z-normalized distance is <= threshold
+/// (overlaps allowed), in increasing offset order.
+Result<std::vector<SubsequenceMatch>> MatchSubsequenceThreshold(
+    const Series& haystack, const std::vector<double>& query,
+    double threshold);
+
+/// Sliding z-normalized distance profile of `query` against every offset of
+/// `haystack` (|haystack| - |query| + 1 entries). The building block for
+/// both matchers and for the matrix-profile-lite motif/discord kernels.
+Result<std::vector<double>> DistanceProfile(const Series& haystack,
+                                            const std::vector<double>& query);
+
+}  // namespace hygraph::ts
+
+#endif  // HYGRAPH_TS_SUBSEQUENCE_H_

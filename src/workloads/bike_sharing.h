@@ -1,0 +1,86 @@
+#ifndef HYGRAPH_WORKLOADS_BIKE_SHARING_H_
+#define HYGRAPH_WORKLOADS_BIKE_SHARING_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/hygraph.h"
+#include "query/backend.h"
+#include "ts/series.h"
+
+namespace hygraph::workloads {
+
+/// Synthetic substitute for the paper's published bike-sharing dataset [52]
+/// (NYC network with time-series-enhanced nodes and edges). Stations sit on
+/// a geographic grid grouped into districts; every station carries a
+/// "bikes" availability series (daily sinusoid with a district-specific
+/// phase, a weekly modulation, and noise — so same-district stations
+/// correlate, which Q6-style correlation queries rely on); trips follow a
+/// gravity model and carry a daily trip-count series.
+struct BikeSharingConfig {
+  size_t stations = 120;
+  size_t districts = 8;
+  size_t days = 14;
+  Duration sample_interval = 5 * kMinute;
+  /// Outgoing TRIP edges per station (targets drawn by gravity weighting).
+  size_t trips_per_station = 4;
+  Timestamp start_time = 1700000000000;  // 2023-11-14T22:13:20Z
+  uint64_t seed = 1234;
+};
+
+/// One generated station.
+struct StationRecord {
+  std::string name;     ///< "S<i>"
+  int64_t district = 0;
+  double x = 0.0;       ///< meters on a synthetic plane
+  double y = 0.0;
+  int64_t capacity = 0;
+  ts::Series bikes;     ///< availability samples
+};
+
+/// One generated trip relation.
+struct TripRecord {
+  size_t src = 0;  ///< index into stations
+  size_t dst = 0;
+  double distance = 0.0;
+  ts::Series daily_trips;  ///< one sample per day
+};
+
+/// The materialized dataset — generated once, loadable into any backend, so
+/// engine comparisons run on byte-identical data.
+struct BikeSharingDataset {
+  BikeSharingConfig config;
+  std::vector<StationRecord> stations;
+  std::vector<TripRecord> trips;
+
+  Timestamp start() const { return config.start_time; }
+  Timestamp end() const {
+    return config.start_time +
+           static_cast<Duration>(config.days) * kDay;
+  }
+  size_t samples_per_station() const {
+    return static_cast<size_t>(static_cast<Duration>(config.days) * kDay /
+                               config.sample_interval);
+  }
+};
+
+/// Deterministically generates the dataset.
+Result<BikeSharingDataset> GenerateBikeSharing(const BikeSharingConfig& config);
+
+/// Loads the dataset into a storage backend: Station vertices (label
+/// "Station"; static properties name/district/capacity/x/y), TRIP edges
+/// (static property "distance"), the "bikes" vertex series and the "trips"
+/// edge series via the backend's sample-append path. Returns the station
+/// vertex ids in dataset order.
+Result<std::vector<graph::VertexId>> LoadIntoBackend(
+    const BikeSharingDataset& dataset, query::QueryBackend* backend);
+
+/// Builds a HyGraph view of the dataset: stations become PG vertices whose
+/// "bikes" series is a time-series property; trips become TS edges carrying
+/// the daily trip-count series.
+Result<core::HyGraph> ToHyGraph(const BikeSharingDataset& dataset);
+
+}  // namespace hygraph::workloads
+
+#endif  // HYGRAPH_WORKLOADS_BIKE_SHARING_H_

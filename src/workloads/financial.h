@@ -1,0 +1,36 @@
+#ifndef HYGRAPH_WORKLOADS_FINANCIAL_H_
+#define HYGRAPH_WORKLOADS_FINANCIAL_H_
+
+#include "common/status.h"
+#include "core/hygraph.h"
+
+namespace hygraph::workloads {
+
+/// Synthetic financial-entity world for the Section-2 backtesting scenario:
+/// companies go through lifecycle stages — inception, IPO, being listed on
+/// exchanges with varying membership, acquisitions, bankruptcy — all of
+/// which change the graph topology over time (validity intervals), while
+/// public companies carry a daily stock-price series as a time-series
+/// property.
+///
+///   (Company:PG {name, sector})        validity = [inception, death)
+///       "price" series property        while public
+///   (Exchange:PG {name})
+///   Company -[LISTED_ON:PG]-> Exchange validity = [ipo, delisting)
+///   Company -[ACQUIRED:PG]-> Company   validity = [acquisition, death)
+struct FinancialConfig {
+  size_t companies = 40;
+  size_t exchanges = 3;
+  size_t years = 6;
+  double ipo_probability = 0.8;         ///< chance a company ever IPOs
+  double acquisition_probability = 0.3; ///< chance of being acquired
+  double bankruptcy_probability = 0.15; ///< chance of going bankrupt
+  Timestamp start_time = 1500000000000; // 2017-07-14
+  uint64_t seed = 2024;
+};
+
+Result<core::HyGraph> GenerateFinancialHyGraph(const FinancialConfig& config);
+
+}  // namespace hygraph::workloads
+
+#endif  // HYGRAPH_WORKLOADS_FINANCIAL_H_

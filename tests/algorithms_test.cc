@@ -1,0 +1,159 @@
+#include "graph/algorithms.h"
+
+#include <gtest/gtest.h>
+
+namespace hygraph::graph {
+namespace {
+
+PropertyGraph Triangle() {
+  PropertyGraph g;
+  const VertexId a = g.AddVertex({}, {});
+  const VertexId b = g.AddVertex({}, {});
+  const VertexId c = g.AddVertex({}, {});
+  EXPECT_TRUE(g.AddEdge(a, b, "E", {}).ok());
+  EXPECT_TRUE(g.AddEdge(b, c, "E", {}).ok());
+  EXPECT_TRUE(g.AddEdge(c, a, "E", {}).ok());
+  return g;
+}
+
+TEST(PageRankTest, SumsToOne) {
+  PropertyGraph g = Triangle();
+  auto ranks = PageRank(g);
+  ASSERT_TRUE(ranks.ok());
+  double total = 0.0;
+  for (const auto& [_, r] : *ranks) total += r;
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(PageRankTest, SymmetricCycleIsUniform) {
+  PropertyGraph g = Triangle();
+  auto ranks = PageRank(g);
+  ASSERT_TRUE(ranks.ok());
+  for (const auto& [_, r] : *ranks) EXPECT_NEAR(r, 1.0 / 3.0, 1e-9);
+}
+
+TEST(PageRankTest, HubReceivesMoreRank) {
+  PropertyGraph g;
+  const VertexId hub = g.AddVertex({}, {});
+  std::vector<VertexId> spokes;
+  for (int i = 0; i < 5; ++i) {
+    const VertexId s = g.AddVertex({}, {});
+    spokes.push_back(s);
+    ASSERT_TRUE(g.AddEdge(s, hub, "E", {}).ok());
+  }
+  auto ranks = PageRank(g);
+  ASSERT_TRUE(ranks.ok());
+  for (VertexId s : spokes) {
+    EXPECT_GT((*ranks)[hub], (*ranks)[s] * 3);
+  }
+}
+
+TEST(PageRankTest, DanglingMassRedistributed) {
+  PropertyGraph g;
+  const VertexId a = g.AddVertex({}, {});
+  const VertexId b = g.AddVertex({}, {});  // dangling
+  ASSERT_TRUE(g.AddEdge(a, b, "E", {}).ok());
+  auto ranks = PageRank(g);
+  ASSERT_TRUE(ranks.ok());
+  double total = 0.0;
+  for (const auto& [_, r] : *ranks) total += r;
+  EXPECT_NEAR(total, 1.0, 1e-9);
+  EXPECT_GT((*ranks)[b], (*ranks)[a]);
+}
+
+TEST(PageRankTest, EmptyGraphAndValidation) {
+  PropertyGraph g;
+  auto ranks = PageRank(g);
+  ASSERT_TRUE(ranks.ok());
+  EXPECT_TRUE(ranks->empty());
+  PageRankOptions bad;
+  bad.damping = 1.5;
+  EXPECT_FALSE(PageRank(Triangle(), bad).ok());
+}
+
+TEST(ConnectedComponentsTest, TwoIslands) {
+  PropertyGraph g;
+  const VertexId a = g.AddVertex({}, {});
+  const VertexId b = g.AddVertex({}, {});
+  const VertexId c = g.AddVertex({}, {});
+  const VertexId d = g.AddVertex({}, {});
+  ASSERT_TRUE(g.AddEdge(a, b, "E", {}).ok());
+  ASSERT_TRUE(g.AddEdge(c, d, "E", {}).ok());
+  auto components = ConnectedComponents(g);
+  EXPECT_EQ(components[a], components[b]);
+  EXPECT_EQ(components[c], components[d]);
+  EXPECT_NE(components[a], components[c]);
+  // Component labeled by its smallest member.
+  EXPECT_EQ(components[a], a);
+  EXPECT_EQ(components[c], c);
+}
+
+TEST(ConnectedComponentsTest, DirectionIgnored) {
+  PropertyGraph g;
+  const VertexId a = g.AddVertex({}, {});
+  const VertexId b = g.AddVertex({}, {});
+  ASSERT_TRUE(g.AddEdge(b, a, "E", {}).ok());  // only b -> a
+  auto components = ConnectedComponents(g);
+  EXPECT_EQ(components[a], components[b]);
+}
+
+TEST(TriangleCountTest, SingleTriangle) {
+  EXPECT_EQ(CountTriangles(Triangle()), 1u);
+}
+
+TEST(TriangleCountTest, SquareHasNone) {
+  PropertyGraph g;
+  std::vector<VertexId> v;
+  for (int i = 0; i < 4; ++i) v.push_back(g.AddVertex({}, {}));
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(g.AddEdge(v[i], v[(i + 1) % 4], "E", {}).ok());
+  }
+  EXPECT_EQ(CountTriangles(g), 0u);
+}
+
+TEST(TriangleCountTest, K4HasFour) {
+  PropertyGraph g;
+  std::vector<VertexId> v;
+  for (int i = 0; i < 4; ++i) v.push_back(g.AddVertex({}, {}));
+  for (int i = 0; i < 4; ++i) {
+    for (int j = i + 1; j < 4; ++j) {
+      ASSERT_TRUE(g.AddEdge(v[i], v[j], "E", {}).ok());
+    }
+  }
+  EXPECT_EQ(CountTriangles(g), 4u);
+}
+
+TEST(TriangleCountTest, ParallelEdgesAndLoopsIgnored) {
+  PropertyGraph g = Triangle();
+  const VertexId a = *g.VertexIds().begin();
+  ASSERT_TRUE(g.AddEdge(a, a, "SELF", {}).ok());
+  ASSERT_TRUE(g.AddEdge(a, g.VertexIds()[1], "DUP", {}).ok());
+  EXPECT_EQ(CountTriangles(g), 1u);
+}
+
+TEST(ClusteringCoefficientTest, TriangleIsOne) {
+  EXPECT_DOUBLE_EQ(GlobalClusteringCoefficient(Triangle()), 1.0);
+}
+
+TEST(ClusteringCoefficientTest, StarIsZero) {
+  PropertyGraph g;
+  const VertexId hub = g.AddVertex({}, {});
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(g.AddEdge(hub, g.AddVertex({}, {}), "E", {}).ok());
+  }
+  EXPECT_DOUBLE_EQ(GlobalClusteringCoefficient(g), 0.0);
+}
+
+TEST(DegreeHistogramTest, CountsDegrees) {
+  PropertyGraph g;
+  const VertexId hub = g.AddVertex({}, {});
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(g.AddEdge(hub, g.AddVertex({}, {}), "E", {}).ok());
+  }
+  auto hist = DegreeHistogram(g);
+  EXPECT_EQ(hist[3], 1u);  // hub
+  EXPECT_EQ(hist[1], 3u);  // leaves
+}
+
+}  // namespace
+}  // namespace hygraph::graph

@@ -1,0 +1,133 @@
+#include "ts/anomaly.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace hygraph::ts {
+namespace {
+
+// Gaussian-ish noise with deterministic pseudo-random values plus planted
+// point anomalies at the given indices.
+Series NoisyWithSpikes(size_t n, std::vector<size_t> spike_at,
+                       double spike = 50.0) {
+  Series s("noisy");
+  for (size_t i = 0; i < n; ++i) {
+    double v = std::sin(static_cast<double>(i) * 0.9) +
+               0.3 * std::cos(static_cast<double>(i) * 2.3);
+    for (size_t idx : spike_at) {
+      if (i == idx) v += spike;
+    }
+    EXPECT_TRUE(s.Append(static_cast<Timestamp>(i) * kMinute, v).ok());
+  }
+  return s;
+}
+
+TEST(ZScoreTest, FindsPlantedSpikes) {
+  Series s = NoisyWithSpikes(200, {50, 120});
+  auto anomalies = DetectZScore(s, 4.0);
+  ASSERT_TRUE(anomalies.ok());
+  ASSERT_EQ(anomalies->size(), 2u);
+  EXPECT_EQ((*anomalies)[0].index, 50u);
+  EXPECT_EQ((*anomalies)[1].index, 120u);
+  EXPECT_GT((*anomalies)[0].score, 4.0);
+}
+
+TEST(ZScoreTest, CleanSeriesIsQuiet) {
+  Series s = NoisyWithSpikes(200, {});
+  auto anomalies = DetectZScore(s, 4.0);
+  ASSERT_TRUE(anomalies.ok());
+  EXPECT_TRUE(anomalies->empty());
+}
+
+TEST(ZScoreTest, ConstantSeriesIsQuiet) {
+  Series s("c");
+  for (int i = 0; i < 50; ++i) ASSERT_TRUE(s.Append(i, 3.0).ok());
+  auto anomalies = DetectZScore(s, 1.0);
+  ASSERT_TRUE(anomalies.ok());
+  EXPECT_TRUE(anomalies->empty());
+}
+
+TEST(ZScoreTest, Validation) {
+  EXPECT_FALSE(DetectZScore(NoisyWithSpikes(10, {}), 0.0).ok());
+  EXPECT_FALSE(DetectZScore(NoisyWithSpikes(10, {}), -1.0).ok());
+  Series tiny("t");
+  ASSERT_TRUE(tiny.Append(0, 1.0).ok());
+  auto anomalies = DetectZScore(tiny, 3.0);
+  ASSERT_TRUE(anomalies.ok());
+  EXPECT_TRUE(anomalies->empty());
+}
+
+TEST(IqrTest, FindsOutliers) {
+  Series s = NoisyWithSpikes(200, {77});
+  auto anomalies = DetectIqr(s, 3.0);
+  ASSERT_TRUE(anomalies.ok());
+  ASSERT_GE(anomalies->size(), 1u);
+  bool found = false;
+  for (const Anomaly& a : *anomalies) {
+    if (a.index == 77) found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(IqrTest, StricterFenceFlagsFewer) {
+  Series s = NoisyWithSpikes(300, {10, 100, 200}, 5.0);
+  auto loose = DetectIqr(s, 1.0);
+  auto strict = DetectIqr(s, 4.0);
+  ASSERT_TRUE(loose.ok());
+  ASSERT_TRUE(strict.ok());
+  EXPECT_GE(loose->size(), strict->size());
+}
+
+TEST(SlidingWindowTest, CatchesBurstOnDriftingBaseline) {
+  // Rising baseline makes the global z-score miss a local burst; the
+  // sliding-window detector must catch it.
+  Series s("drift");
+  for (int i = 0; i < 300; ++i) {
+    double v = static_cast<double>(i) * 2.0;  // strong drift
+    if (i == 200) v += 400.0;                  // local burst
+    ASSERT_TRUE(s.Append(i * kMinute, v).ok());
+  }
+  auto global = DetectZScore(s, 4.0);
+  ASSERT_TRUE(global.ok());
+  EXPECT_TRUE(global->empty());  // drift hides the burst globally
+  auto local = DetectSlidingWindow(s, 24, 4.0);
+  ASSERT_TRUE(local.ok());
+  ASSERT_GE(local->size(), 1u);
+  EXPECT_EQ((*local)[0].index, 200u);
+}
+
+TEST(SlidingWindowTest, Validation) {
+  Series s = NoisyWithSpikes(50, {});
+  EXPECT_FALSE(DetectSlidingWindow(s, 1, 3.0).ok());
+  EXPECT_FALSE(DetectSlidingWindow(s, 10, 0.0).ok());
+  Series tiny("t");
+  for (int i = 0; i < 5; ++i) ASSERT_TRUE(tiny.Append(i, 1.0).ok());
+  auto anomalies = DetectSlidingWindow(tiny, 10, 3.0);
+  ASSERT_TRUE(anomalies.ok());
+  EXPECT_TRUE(anomalies->empty());
+}
+
+TEST(DiscordTest, FindsAnomalousSubsequence) {
+  // A periodic series with one corrupted cycle: that cycle is the discord.
+  Series s("periodic");
+  for (int i = 0; i < 240; ++i) {
+    double v = std::sin(i * 2.0 * 3.14159265 / 20.0);
+    if (i >= 120 && i < 132) v = 1.5 - v;  // corrupt one cycle
+    ASSERT_TRUE(s.Append(i * kMinute, v).ok());
+  }
+  auto discords = DetectDiscords(s, 20, 1);
+  ASSERT_TRUE(discords.ok());
+  ASSERT_EQ(discords->size(), 1u);
+  // The discord window should cover part of the corrupted region.
+  EXPECT_GE((*discords)[0].index + 20, 120u);
+  EXPECT_LE((*discords)[0].index, 132u);
+}
+
+TEST(DiscordTest, RequiresEnoughData) {
+  Series s = NoisyWithSpikes(10, {});
+  EXPECT_FALSE(DetectDiscords(s, 8, 1).ok());
+}
+
+}  // namespace
+}  // namespace hygraph::ts

@@ -1,0 +1,155 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "query/executor.h"
+#include "storage/all_in_graph.h"
+#include "storage/polyglot.h"
+#include "workloads/bike_sharing.h"
+
+namespace hygraph {
+namespace {
+
+// The architectural contract behind Table 1: both storage engines must
+// return byte-identical answers to every HGQL query — they differ only in
+// speed. Loads one deterministic dataset into both engines and runs the
+// full Table-1-style query family against each.
+class BackendConsistencyTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    workloads::BikeSharingConfig config;
+    config.stations = 24;
+    config.districts = 4;
+    config.days = 3;
+    config.sample_interval = 30 * kMinute;
+    config.seed = 7;
+    auto dataset = workloads::GenerateBikeSharing(config);
+    ASSERT_TRUE(dataset.ok());
+    dataset_ = new workloads::BikeSharingDataset(std::move(*dataset));
+    all_in_graph_ = new storage::AllInGraphStore();
+    polyglot_ = new storage::PolyglotStore();
+    ASSERT_TRUE(workloads::LoadIntoBackend(*dataset_, all_in_graph_).ok());
+    ASSERT_TRUE(workloads::LoadIntoBackend(*dataset_, polyglot_).ok());
+  }
+
+  // Doubles may differ in the last bits: the polyglot engine folds
+  // chunk-level partial aggregates while the all-in-graph engine sums a
+  // flat scan, and floating-point addition is not associative.
+  static void ExpectCellEq(const Value& x, const Value& y,
+                           const std::string& context) {
+    if (x.is_double() && y.is_numeric()) {
+      EXPECT_NEAR(x.AsDouble(), y.ToDouble().value(),
+                  1e-9 * (1.0 + std::abs(x.AsDouble())))
+          << context;
+      return;
+    }
+    EXPECT_EQ(x, y) << context;
+  }
+
+  void ExpectSameAnswer(const std::string& query) {
+    auto a = query::Execute(*all_in_graph_, query);
+    auto b = query::Execute(*polyglot_, query);
+    ASSERT_TRUE(a.ok()) << query << " -> " << a.status().ToString();
+    ASSERT_TRUE(b.ok()) << query << " -> " << b.status().ToString();
+    EXPECT_EQ(a->columns, b->columns) << query;
+    ASSERT_EQ(a->row_count(), b->row_count()) << query;
+    for (size_t r = 0; r < a->row_count(); ++r) {
+      for (size_t c = 0; c < a->columns.size(); ++c) {
+        ExpectCellEq(a->rows[r][c], b->rows[r][c],
+                     query + " row " + std::to_string(r) + " col " +
+                         std::to_string(c));
+      }
+    }
+  }
+
+  static workloads::BikeSharingDataset* dataset_;
+  static storage::AllInGraphStore* all_in_graph_;
+  static storage::PolyglotStore* polyglot_;
+};
+
+workloads::BikeSharingDataset* BackendConsistencyTest::dataset_ = nullptr;
+storage::AllInGraphStore* BackendConsistencyTest::all_in_graph_ = nullptr;
+storage::PolyglotStore* BackendConsistencyTest::polyglot_ = nullptr;
+
+TEST_F(BackendConsistencyTest, StaticProjection) {
+  ExpectSameAnswer(
+      "MATCH (s:Station) RETURN s.name, s.district, s.capacity "
+      "ORDER BY s.name");
+}
+
+TEST_F(BackendConsistencyTest, TimeRangeCount) {
+  const Timestamp t0 = dataset_->start();
+  ExpectSameAnswer("MATCH (s:Station {name: 'S3'}) RETURN ts_count(s.bikes, " +
+                   std::to_string(t0) + ", " +
+                   std::to_string(t0 + kDay) + ")");
+}
+
+TEST_F(BackendConsistencyTest, SingleEntityAggregate) {
+  const Timestamp t0 = dataset_->start();
+  ExpectSameAnswer("MATCH (s:Station {name: 'S5'}) RETURN ts_avg(s.bikes, " +
+                   std::to_string(t0) + ", " +
+                   std::to_string(t0 + 2 * kDay) + ") AS a");
+}
+
+TEST_F(BackendConsistencyTest, FilteredMultiEntityAggregate) {
+  const Timestamp t0 = dataset_->start();
+  ExpectSameAnswer(
+      "MATCH (s:Station) WHERE s.district = 1 RETURN s.name, "
+      "ts_max(s.bikes, " +
+      std::to_string(t0) + ", " + std::to_string(t0 + kDay) +
+      ") AS m ORDER BY s.name");
+}
+
+TEST_F(BackendConsistencyTest, TopKByAggregate) {
+  const Timestamp t0 = dataset_->start();
+  const Timestamp t1 = dataset_->end();
+  ExpectSameAnswer("MATCH (s:Station) RETURN s.name AS n, ts_avg(s.bikes, " +
+                   std::to_string(t0) + ", " + std::to_string(t1) +
+                   ") AS a ORDER BY a DESC, n LIMIT 5");
+}
+
+TEST_F(BackendConsistencyTest, CorrelationPair) {
+  const Timestamp t0 = dataset_->start();
+  const Timestamp t1 = dataset_->end();
+  ExpectSameAnswer(
+      "MATCH (a:Station {name: 'S0'}), (b:Station {name: 'S4'}) "
+      "RETURN ts_corr(a.bikes, b.bikes, " +
+      std::to_string(t0) + ", " + std::to_string(t1) + ") AS c");
+}
+
+TEST_F(BackendConsistencyTest, TraversalWithSeriesAggregate) {
+  const Timestamp t0 = dataset_->start();
+  ExpectSameAnswer(
+      "MATCH (a:Station {name: 'S0'})-[t:TRIP]->(b:Station) "
+      "RETURN b.name AS n, ts_avg(b.bikes, " +
+      std::to_string(t0) + ", " + std::to_string(t0 + kDay) +
+      ") AS a ORDER BY n");
+}
+
+TEST_F(BackendConsistencyTest, EdgeSeriesAggregate) {
+  ExpectSameAnswer(
+      "MATCH (a:Station {name: 'S0'})-[t:TRIP]->(b:Station) "
+      "RETURN b.name AS n, ts_sum(t.trips, 0, 99999999999999) AS s "
+      "ORDER BY n");
+}
+
+TEST_F(BackendConsistencyTest, HybridPredicate) {
+  const Timestamp t0 = dataset_->start();
+  const Timestamp t1 = dataset_->end();
+  ExpectSameAnswer(
+      "MATCH (a:Station)-[:TRIP]->(b:Station) WHERE ts_avg(a.bikes, " +
+      std::to_string(t0) + ", " + std::to_string(t1) +
+      ") > 15 RETURN a.name AS x, b.name AS y ORDER BY x, y LIMIT 25");
+}
+
+TEST_F(BackendConsistencyTest, WindowAggregate) {
+  const Timestamp t0 = dataset_->start();
+  const Timestamp t1 = dataset_->end();
+  ExpectSameAnswer("MATCH (s:Station {name: 'S7'}) RETURN ts_window_agg("
+                   "s.bikes, " +
+                   std::to_string(t0) + ", " + std::to_string(t1) + ", " +
+                   std::to_string(kDay) + ", 'avg', 'max') AS peak");
+}
+
+}  // namespace
+}  // namespace hygraph

@@ -1,0 +1,77 @@
+#include "core/builder.h"
+
+#include <gtest/gtest.h>
+
+namespace hygraph::core {
+namespace {
+
+ts::MultiSeries OneVar(std::initializer_list<double> values) {
+  ts::MultiSeries ms("s", {"v"});
+  Timestamp t = 0;
+  for (double v : values) {
+    EXPECT_TRUE(ms.AppendRow(t, {v}).ok());
+    t += kMinute;
+  }
+  return ms;
+}
+
+TEST(BuilderTest, FluentConstruction) {
+  HyGraphBuilder b;
+  b.PgVertex("alice", {"User"}, {{"name", Value("Alice")}})
+      .TsVertex("card", {"CreditCard"}, OneVar({100, 90}))
+      .PgVertex("shop", {"Merchant"})
+      .PgEdge("alice", "card", "USES")
+      .TsEdge("card", "shop", "TX", OneVar({50}))
+      .VertexSeriesProperty("alice", "activity", OneVar({1, 2, 3}));
+  auto hg = b.Build();
+  ASSERT_TRUE(hg.ok());
+  EXPECT_EQ(hg->VertexCount(), 3u);
+  EXPECT_EQ(hg->EdgeCount(), 2u);
+  EXPECT_EQ(hg->TsVertices().size(), 1u);
+  EXPECT_EQ(hg->TsEdges().size(), 1u);
+  EXPECT_EQ(hg->SeriesPoolSize(), 1u);
+  EXPECT_TRUE(hg->Validate().ok());
+}
+
+TEST(BuilderTest, DuplicateNameFails) {
+  HyGraphBuilder b;
+  b.PgVertex("x", {}).PgVertex("x", {});
+  auto hg = b.Build();
+  EXPECT_FALSE(hg.ok());
+  EXPECT_EQ(hg.status().code(), StatusCode::kAlreadyExists);
+}
+
+TEST(BuilderTest, UnknownEndpointFails) {
+  HyGraphBuilder b;
+  b.PgVertex("a", {}).PgEdge("a", "ghost", "E");
+  EXPECT_FALSE(b.Build().ok());
+}
+
+TEST(BuilderTest, FirstErrorWinsAndStopsWork) {
+  HyGraphBuilder b;
+  b.PgEdge("nope1", "nope2", "E")  // first error
+      .PgVertex("a", {})           // skipped
+      .PgEdge("a", "a", "E");      // would be a second error
+  auto hg = b.Build();
+  ASSERT_FALSE(hg.ok());
+  EXPECT_NE(hg.status().message().find("nope1"), std::string::npos);
+}
+
+TEST(BuilderTest, IdOfResolvesBeforeBuild) {
+  HyGraphBuilder b;
+  b.PgVertex("a", {"X"});
+  auto id = b.IdOf("a");
+  ASSERT_TRUE(id.ok());
+  EXPECT_FALSE(b.IdOf("b").ok());
+}
+
+TEST(BuilderTest, ValidityPropagates) {
+  HyGraphBuilder b;
+  b.PgVertex("a", {}, {}, Interval{0, 100})
+      .PgVertex("b", {}, {}, Interval{0, 100})
+      .PgEdge("a", "b", "E", {}, Interval{0, 200});  // violates containment
+  EXPECT_FALSE(b.Build().ok());
+}
+
+}  // namespace
+}  // namespace hygraph::core

@@ -1,0 +1,126 @@
+#include "graph/centrality.h"
+
+#include <gtest/gtest.h>
+
+namespace hygraph::graph {
+namespace {
+
+// Path graph 0-1-2-3-4.
+PropertyGraph Path5(std::vector<VertexId>* ids) {
+  PropertyGraph g;
+  for (int i = 0; i < 5; ++i) ids->push_back(g.AddVertex({}, {}));
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_TRUE(g.AddEdge((*ids)[i], (*ids)[i + 1], "E", {}).ok());
+  }
+  return g;
+}
+
+TEST(BetweennessTest, PathGraphKnownValues) {
+  std::vector<VertexId> v;
+  PropertyGraph g = Path5(&v);
+  auto centrality = BetweennessCentrality(g);
+  // Path of 5: center lies on 2*... pairs through v2: (0,3),(0,4),(1,3),
+  // (1,4),(0,2)? No — betweenness counts strictly-between pairs:
+  // v2 is between (0,3),(0,4),(1,3),(1,4) -> 4.
+  EXPECT_DOUBLE_EQ(centrality[v[2]], 4.0);
+  // v1 between (0,2),(0,3),(0,4) -> 3.
+  EXPECT_DOUBLE_EQ(centrality[v[1]], 3.0);
+  EXPECT_DOUBLE_EQ(centrality[v[0]], 0.0);
+  EXPECT_DOUBLE_EQ(centrality[v[4]], 0.0);
+}
+
+TEST(BetweennessTest, StarCenterTakesAll) {
+  PropertyGraph g;
+  const VertexId hub = g.AddVertex({}, {});
+  std::vector<VertexId> leaves;
+  for (int i = 0; i < 4; ++i) {
+    const VertexId leaf = g.AddVertex({}, {});
+    leaves.push_back(leaf);
+    ASSERT_TRUE(g.AddEdge(hub, leaf, "E", {}).ok());
+  }
+  auto centrality = BetweennessCentrality(g);
+  // 4 leaves -> C(4,2) = 6 pairs, all through the hub.
+  EXPECT_DOUBLE_EQ(centrality[hub], 6.0);
+  for (VertexId leaf : leaves) {
+    EXPECT_DOUBLE_EQ(centrality[leaf], 0.0);
+  }
+}
+
+TEST(BetweennessTest, MultipleShortestPathsSplitCredit) {
+  // Square 0-1, 1-3, 0-2, 2-3: two shortest 0->3 paths; each middle vertex
+  // gets 0.5.
+  PropertyGraph g;
+  std::vector<VertexId> v;
+  for (int i = 0; i < 4; ++i) v.push_back(g.AddVertex({}, {}));
+  ASSERT_TRUE(g.AddEdge(v[0], v[1], "E", {}).ok());
+  ASSERT_TRUE(g.AddEdge(v[1], v[3], "E", {}).ok());
+  ASSERT_TRUE(g.AddEdge(v[0], v[2], "E", {}).ok());
+  ASSERT_TRUE(g.AddEdge(v[2], v[3], "E", {}).ok());
+  auto centrality = BetweennessCentrality(g);
+  EXPECT_DOUBLE_EQ(centrality[v[1]], 0.5);
+  EXPECT_DOUBLE_EQ(centrality[v[2]], 0.5);
+}
+
+TEST(ClosenessTest, PathGraph) {
+  std::vector<VertexId> v;
+  PropertyGraph g = Path5(&v);
+  auto closeness = ClosenessCentrality(g);
+  // Center: distances 2+1+1+2 = 6 -> 4/6.
+  EXPECT_NEAR(closeness[v[2]], 4.0 / 6.0, 1e-12);
+  // End: 1+2+3+4 = 10 -> 4/10.
+  EXPECT_NEAR(closeness[v[0]], 0.4, 1e-12);
+  EXPECT_GT(closeness[v[2]], closeness[v[0]]);
+}
+
+TEST(ClosenessTest, IsolatedVertexIsZero) {
+  PropertyGraph g;
+  const VertexId island = g.AddVertex({}, {});
+  auto closeness = ClosenessCentrality(g);
+  EXPECT_DOUBLE_EQ(closeness[island], 0.0);
+}
+
+TEST(CoreNumbersTest, CliquePlusTail) {
+  // 4-clique with a pendant path: clique vertices are 3-core, the path 1.
+  PropertyGraph g;
+  std::vector<VertexId> clique;
+  for (int i = 0; i < 4; ++i) clique.push_back(g.AddVertex({}, {}));
+  for (size_t i = 0; i < 4; ++i) {
+    for (size_t j = i + 1; j < 4; ++j) {
+      ASSERT_TRUE(g.AddEdge(clique[i], clique[j], "E", {}).ok());
+    }
+  }
+  const VertexId tail1 = g.AddVertex({}, {});
+  const VertexId tail2 = g.AddVertex({}, {});
+  ASSERT_TRUE(g.AddEdge(clique[0], tail1, "E", {}).ok());
+  ASSERT_TRUE(g.AddEdge(tail1, tail2, "E", {}).ok());
+  auto cores = CoreNumbers(g);
+  for (VertexId v : clique) {
+    EXPECT_EQ(cores[v], 3u);
+  }
+  EXPECT_EQ(cores[tail1], 1u);
+  EXPECT_EQ(cores[tail2], 1u);
+}
+
+TEST(CoreNumbersTest, CycleIsTwoCore) {
+  PropertyGraph g;
+  std::vector<VertexId> v;
+  for (int i = 0; i < 5; ++i) v.push_back(g.AddVertex({}, {}));
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(g.AddEdge(v[i], v[(i + 1) % 5], "E", {}).ok());
+  }
+  auto cores = CoreNumbers(g);
+  for (VertexId u : v) {
+    EXPECT_EQ(cores[u], 2u);
+  }
+}
+
+TEST(CoreNumbersTest, EmptyAndSingleton) {
+  PropertyGraph g;
+  EXPECT_TRUE(CoreNumbers(g).empty());
+  const VertexId v = g.AddVertex({}, {});
+  auto cores = CoreNumbers(g);
+  EXPECT_EQ(cores[v], 0u);
+}
+
+}  // namespace
+}  // namespace hygraph::graph

@@ -1,0 +1,112 @@
+#include "analytics/classify.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace hygraph::analytics {
+namespace {
+
+// Two well-separated Gaussian blobs.
+std::vector<LabeledExample> Blobs(size_t per_class, double separation,
+                                  uint64_t seed = 5) {
+  Rng rng(seed);
+  std::vector<LabeledExample> examples;
+  for (size_t i = 0; i < per_class; ++i) {
+    examples.push_back(
+        {{rng.NextGaussian(), rng.NextGaussian()}, 0});
+    examples.push_back(
+        {{separation + rng.NextGaussian(), rng.NextGaussian()}, 1});
+  }
+  return examples;
+}
+
+TEST(KnnTest, PredictsNearestBlob) {
+  KnnClassifier knn(3);
+  knn.Train(Blobs(20, 10.0));
+  EXPECT_EQ(*knn.Predict({0.0, 0.0}), 0);
+  EXPECT_EQ(*knn.Predict({10.0, 0.0}), 1);
+}
+
+TEST(KnnTest, UntrainedFails) {
+  KnnClassifier knn(3);
+  EXPECT_FALSE(knn.Predict({1.0}).ok());
+}
+
+TEST(KnnTest, KLargerThanTrainingSet) {
+  KnnClassifier knn(100);
+  knn.Train(Blobs(2, 10.0));
+  EXPECT_TRUE(knn.Predict({0.0, 0.0}).ok());
+}
+
+TEST(KnnTest, KZeroCoercedToOne) {
+  KnnClassifier knn(0);
+  knn.Train(Blobs(5, 10.0));
+  EXPECT_EQ(*knn.Predict({-1.0, 0.0}), 0);
+}
+
+TEST(KnnTest, MajorityVote) {
+  // Surround a point with 2 far same-label and 3 near other-label points.
+  KnnClassifier knn(5);
+  knn.Train({{{0.0, 0.1}, 1},
+             {{0.1, 0.0}, 1},
+             {{0.0, -0.1}, 1},
+             {{5.0, 0.0}, 0},
+             {{-5.0, 0.0}, 0}});
+  EXPECT_EQ(*knn.Predict({0.0, 0.0}), 1);
+}
+
+TEST(MetricsTest, Formulas) {
+  ClassificationMetrics m;
+  m.true_positives = 8;
+  m.false_positives = 2;
+  m.false_negatives = 4;
+  m.true_negatives = 86;
+  EXPECT_DOUBLE_EQ(m.precision(), 0.8);
+  EXPECT_NEAR(m.recall(), 8.0 / 12.0, 1e-12);
+  EXPECT_NEAR(m.f1(), 2 * 0.8 * (8.0 / 12.0) / (0.8 + 8.0 / 12.0), 1e-12);
+  EXPECT_DOUBLE_EQ(m.accuracy(), 0.94);
+}
+
+TEST(MetricsTest, DegenerateCases) {
+  ClassificationMetrics empty;
+  EXPECT_DOUBLE_EQ(empty.precision(), 0.0);
+  EXPECT_DOUBLE_EQ(empty.recall(), 0.0);
+  EXPECT_DOUBLE_EQ(empty.f1(), 0.0);
+  EXPECT_DOUBLE_EQ(empty.accuracy(), 0.0);
+}
+
+TEST(MetricsTest, AddOutcomeRouting) {
+  ClassificationMetrics m;
+  AddOutcome(&m, true, true);
+  AddOutcome(&m, false, true);
+  AddOutcome(&m, true, false);
+  AddOutcome(&m, false, false);
+  EXPECT_EQ(m.true_positives, 1u);
+  EXPECT_EQ(m.false_positives, 1u);
+  EXPECT_EQ(m.false_negatives, 1u);
+  EXPECT_EQ(m.true_negatives, 1u);
+}
+
+TEST(LeaveOneOutTest, SeparableDataScoresHigh) {
+  auto metrics = LeaveOneOutEvaluate(Blobs(15, 12.0), 3);
+  ASSERT_TRUE(metrics.ok());
+  EXPECT_GT(metrics->accuracy(), 0.95);
+  EXPECT_GT(metrics->f1(), 0.95);
+}
+
+TEST(LeaveOneOutTest, OverlappingDataScoresLower) {
+  auto separable = LeaveOneOutEvaluate(Blobs(15, 12.0), 3);
+  auto overlapping = LeaveOneOutEvaluate(Blobs(15, 0.3), 3);
+  ASSERT_TRUE(separable.ok());
+  ASSERT_TRUE(overlapping.ok());
+  EXPECT_GT(separable->accuracy(), overlapping->accuracy());
+}
+
+TEST(LeaveOneOutTest, Validation) {
+  EXPECT_FALSE(LeaveOneOutEvaluate({}, 3).ok());
+  EXPECT_FALSE(LeaveOneOutEvaluate({{{1.0}, 0}}, 3).ok());
+}
+
+}  // namespace
+}  // namespace hygraph::analytics

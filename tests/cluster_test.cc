@@ -1,0 +1,146 @@
+#include "analytics/cluster.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace hygraph::analytics {
+namespace {
+
+using core::HyGraph;
+using graph::VertexId;
+
+EmbeddingMap ThreeBlobs(size_t per_blob, uint64_t seed = 3) {
+  Rng rng(seed);
+  EmbeddingMap embeddings;
+  VertexId id = 0;
+  const double centers[3][2] = {{0, 0}, {20, 0}, {0, 20}};
+  for (int b = 0; b < 3; ++b) {
+    for (size_t i = 0; i < per_blob; ++i) {
+      embeddings[id++] = {centers[b][0] + rng.NextGaussian(),
+                          centers[b][1] + rng.NextGaussian()};
+    }
+  }
+  return embeddings;
+}
+
+TEST(KMedoidsTest, RecoversBlobs) {
+  EmbeddingMap embeddings = ThreeBlobs(10);
+  ClusterOptions options;
+  options.k = 3;
+  auto result = KMedoids(embeddings, options);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->medoids.size(), 3u);
+  EXPECT_EQ(result->assignment.size(), 30u);
+  // All members of a ground-truth blob share one cluster.
+  for (VertexId base : {VertexId{0}, VertexId{10}, VertexId{20}}) {
+    const size_t cluster = result->assignment.at(base);
+    for (VertexId v = base; v < base + 10; ++v) {
+      EXPECT_EQ(result->assignment.at(v), cluster) << v;
+    }
+  }
+  // And distinct blobs get distinct clusters.
+  EXPECT_NE(result->assignment.at(0), result->assignment.at(10));
+  EXPECT_NE(result->assignment.at(0), result->assignment.at(20));
+  EXPECT_GT(result->silhouette, 0.8);
+}
+
+TEST(KMedoidsTest, MedoidsAreClusterMembers) {
+  EmbeddingMap embeddings = ThreeBlobs(8);
+  ClusterOptions options;
+  options.k = 3;
+  auto result = KMedoids(embeddings, options);
+  ASSERT_TRUE(result.ok());
+  for (size_t c = 0; c < result->medoids.size(); ++c) {
+    EXPECT_EQ(result->assignment.at(result->medoids[c]), c);
+  }
+}
+
+TEST(KMedoidsTest, Validation) {
+  EmbeddingMap embeddings = ThreeBlobs(2);
+  ClusterOptions zero_k;
+  zero_k.k = 0;
+  EXPECT_FALSE(KMedoids(embeddings, zero_k).ok());
+  ClusterOptions too_many;
+  too_many.k = 100;
+  EXPECT_FALSE(KMedoids(embeddings, too_many).ok());
+}
+
+TEST(KMedoidsTest, DeterministicForSeed) {
+  EmbeddingMap embeddings = ThreeBlobs(10);
+  ClusterOptions options;
+  options.k = 3;
+  auto a = KMedoids(embeddings, options);
+  auto b = KMedoids(embeddings, options);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->assignment, b->assignment);
+}
+
+TEST(SilhouetteTest, PerfectVsRandomAssignment) {
+  EmbeddingMap embeddings = ThreeBlobs(10);
+  std::unordered_map<VertexId, size_t> perfect;
+  std::unordered_map<VertexId, size_t> scrambled;
+  Rng rng(11);
+  for (const auto& [v, _] : embeddings) {
+    perfect[v] = v / 10;
+    scrambled[v] = rng.NextBounded(3);
+  }
+  EXPECT_GT(Silhouette(embeddings, perfect),
+            Silhouette(embeddings, scrambled) + 0.3);
+}
+
+TEST(SilhouetteTest, DegenerateCases) {
+  EmbeddingMap embeddings = ThreeBlobs(2);
+  std::unordered_map<VertexId, size_t> one_cluster;
+  for (const auto& [v, _] : embeddings) one_cluster[v] = 0;
+  EXPECT_DOUBLE_EQ(Silhouette(embeddings, one_cluster), 0.0);
+  EXPECT_DOUBLE_EQ(Silhouette({}, {}), 0.0);
+}
+
+ts::MultiSeries Wave(double base, double amp, uint64_t phase) {
+  ts::MultiSeries ms("s", {"v"});
+  for (int i = 0; i < 48; ++i) {
+    EXPECT_TRUE(ms.AppendRow(i * kHour,
+                             {base + amp * std::sin(i * 0.4 +
+                                                    0.01 * phase)})
+                    .ok());
+  }
+  return ms;
+}
+
+TEST(HybridClusterTest, GroupsByStructureAndBehaviour) {
+  // Two structural cliques; within each, members share behaviour too.
+  HyGraph hg;
+  std::vector<VertexId> calm;
+  std::vector<VertexId> wild;
+  for (int i = 0; i < 4; ++i) {
+    calm.push_back(*hg.AddTsVertex({"S"}, Wave(10, 0.5, i)));
+  }
+  for (int i = 0; i < 4; ++i) {
+    wild.push_back(*hg.AddTsVertex({"S"}, Wave(100, 30, i)));
+  }
+  auto clique = [&](const std::vector<VertexId>& vs) {
+    for (size_t i = 0; i < vs.size(); ++i) {
+      for (size_t j = i + 1; j < vs.size(); ++j) {
+        ASSERT_TRUE(hg.AddPgEdge(vs[i], vs[j], "E", {}).ok());
+      }
+    }
+  };
+  clique(calm);
+  clique(wild);
+  ClusterOptions options;
+  options.k = 2;
+  auto result = HybridCluster(hg, options);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  const size_t calm_cluster = result->assignment.at(calm[0]);
+  for (VertexId v : calm) {
+    EXPECT_EQ(result->assignment.at(v), calm_cluster);
+  }
+  EXPECT_NE(result->assignment.at(wild[0]), calm_cluster);
+}
+
+}  // namespace
+}  // namespace hygraph::analytics

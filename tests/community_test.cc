@@ -1,0 +1,153 @@
+#include "graph/community.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace hygraph::graph {
+namespace {
+
+// Two dense cliques joined by a single bridge edge.
+PropertyGraph TwoCliques(size_t clique_size,
+                         std::vector<VertexId>* left = nullptr,
+                         std::vector<VertexId>* right = nullptr) {
+  PropertyGraph g;
+  std::vector<VertexId> a;
+  std::vector<VertexId> b;
+  for (size_t i = 0; i < clique_size; ++i) a.push_back(g.AddVertex({}, {}));
+  for (size_t i = 0; i < clique_size; ++i) b.push_back(g.AddVertex({}, {}));
+  auto connect_all = [&](const std::vector<VertexId>& vs) {
+    for (size_t i = 0; i < vs.size(); ++i) {
+      for (size_t j = i + 1; j < vs.size(); ++j) {
+        EXPECT_TRUE(g.AddEdge(vs[i], vs[j], "E", {}).ok());
+      }
+    }
+  };
+  connect_all(a);
+  connect_all(b);
+  EXPECT_TRUE(g.AddEdge(a[0], b[0], "BRIDGE", {}).ok());
+  if (left != nullptr) *left = a;
+  if (right != nullptr) *right = b;
+  return g;
+}
+
+size_t CommunityCount(const CommunityAssignment& assignment) {
+  std::set<size_t> ids;
+  for (const auto& [_, c] : assignment) ids.insert(c);
+  return ids.size();
+}
+
+TEST(LabelPropagationTest, SeparatesCliques) {
+  std::vector<VertexId> left;
+  std::vector<VertexId> right;
+  PropertyGraph g = TwoCliques(6, &left, &right);
+  auto communities = LabelPropagation(g);
+  ASSERT_TRUE(communities.ok());
+  // All of the left clique share a label; same for the right; different.
+  for (VertexId v : left) {
+    EXPECT_EQ((*communities)[v], (*communities)[left[0]]);
+  }
+  for (VertexId v : right) {
+    EXPECT_EQ((*communities)[v], (*communities)[right[0]]);
+  }
+  EXPECT_NE((*communities)[left[0]], (*communities)[right[0]]);
+}
+
+TEST(LabelPropagationTest, IsolatedVerticesKeepOwnLabels) {
+  PropertyGraph g;
+  g.AddVertex({}, {});
+  g.AddVertex({}, {});
+  auto communities = LabelPropagation(g);
+  ASSERT_TRUE(communities.ok());
+  EXPECT_EQ(CommunityCount(*communities), 2u);
+}
+
+TEST(LabelPropagationTest, Validation) {
+  EXPECT_FALSE(LabelPropagation(TwoCliques(3), 0).ok());
+}
+
+TEST(LouvainTest, SeparatesCliques) {
+  std::vector<VertexId> left;
+  std::vector<VertexId> right;
+  PropertyGraph g = TwoCliques(6, &left, &right);
+  auto communities = Louvain(g);
+  ASSERT_TRUE(communities.ok());
+  for (VertexId v : left) {
+    EXPECT_EQ((*communities)[v], (*communities)[left[0]]);
+  }
+  for (VertexId v : right) {
+    EXPECT_EQ((*communities)[v], (*communities)[right[0]]);
+  }
+  EXPECT_NE((*communities)[left[0]], (*communities)[right[0]]);
+}
+
+TEST(LouvainTest, ModularityBeatsSingleCommunity) {
+  PropertyGraph g = TwoCliques(5);
+  auto communities = Louvain(g);
+  ASSERT_TRUE(communities.ok());
+  CommunityAssignment all_one;
+  for (VertexId v : g.VertexIds()) all_one[v] = 0;
+  EXPECT_GT(Modularity(g, *communities), Modularity(g, all_one) + 0.1);
+}
+
+TEST(LouvainTest, WeightedEdgesRespected) {
+  // Chain a-b-c where a-b is heavy: Louvain should group a with b.
+  PropertyGraph g;
+  const VertexId a = g.AddVertex({}, {});
+  const VertexId b = g.AddVertex({}, {});
+  const VertexId c = g.AddVertex({}, {});
+  const VertexId d = g.AddVertex({}, {});
+  ASSERT_TRUE(g.AddEdge(a, b, "E", {{"w", Value(10.0)}}).ok());
+  ASSERT_TRUE(g.AddEdge(b, c, "E", {{"w", Value(0.1)}}).ok());
+  ASSERT_TRUE(g.AddEdge(c, d, "E", {{"w", Value(10.0)}}).ok());
+  LouvainOptions options;
+  options.weight_property = "w";
+  auto communities = Louvain(g, options);
+  ASSERT_TRUE(communities.ok());
+  EXPECT_EQ((*communities)[a], (*communities)[b]);
+  EXPECT_EQ((*communities)[c], (*communities)[d]);
+  EXPECT_NE((*communities)[a], (*communities)[c]);
+}
+
+TEST(ModularityTest, KnownValues) {
+  PropertyGraph g = TwoCliques(4);
+  CommunityAssignment perfect;
+  const auto ids = g.VertexIds();
+  for (size_t i = 0; i < ids.size(); ++i) perfect[ids[i]] = i < 4 ? 0 : 1;
+  const double q = Modularity(g, perfect);
+  EXPECT_GT(q, 0.3);
+  EXPECT_LT(q, 0.6);
+  CommunityAssignment singletons;
+  for (size_t i = 0; i < ids.size(); ++i) singletons[ids[i]] = i;
+  EXPECT_LT(Modularity(g, singletons), 0.0);
+}
+
+TEST(ModularityTest, EmptyGraphIsZero) {
+  PropertyGraph g;
+  EXPECT_DOUBLE_EQ(Modularity(g, {}), 0.0);
+}
+
+TEST(RenumberTest, DenseFromZeroByVertexOrder) {
+  CommunityAssignment raw;
+  raw[10] = 77;
+  raw[20] = 5;
+  raw[30] = 77;
+  const CommunityAssignment out = Renumber(raw);
+  EXPECT_EQ(out.at(10), 0u);
+  EXPECT_EQ(out.at(20), 1u);
+  EXPECT_EQ(out.at(30), 0u);
+}
+
+TEST(LouvainTest, DeterministicAcrossRuns) {
+  PropertyGraph g = TwoCliques(5);
+  auto a = Louvain(g);
+  auto b = Louvain(g);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  for (VertexId v : g.VertexIds()) {
+    EXPECT_EQ((*a)[v], (*b)[v]);
+  }
+}
+
+}  // namespace
+}  // namespace hygraph::graph

@@ -1,0 +1,127 @@
+#include "analytics/corr_reach.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace hygraph::analytics {
+namespace {
+
+using core::HyGraph;
+using graph::VertexId;
+
+ts::MultiSeries Sine(double phase, size_t n = 60) {
+  ts::MultiSeries ms("s", {"v"});
+  for (size_t i = 0; i < n; ++i) {
+    EXPECT_TRUE(ms.AppendRow(static_cast<Timestamp>(i) * kMinute,
+                             {std::sin(static_cast<double>(i) * 0.3 + phase)})
+                    .ok());
+  }
+  return ms;
+}
+
+// Chain a - b - c - d where a,b,c are in phase and d is anti-phase:
+// correlation-constrained reachability from a should stop at c.
+class CorrReachTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    a_ = *hg_.AddTsVertex({"S"}, Sine(0.0));
+    b_ = *hg_.AddTsVertex({"S"}, Sine(0.05));
+    c_ = *hg_.AddTsVertex({"S"}, Sine(0.1));
+    d_ = *hg_.AddTsVertex({"S"}, Sine(3.14159265));
+    ASSERT_TRUE(hg_.AddPgEdge(a_, b_, "LINK", {}).ok());
+    ASSERT_TRUE(hg_.AddPgEdge(b_, c_, "LINK", {}).ok());
+    ASSERT_TRUE(hg_.AddPgEdge(c_, d_, "LINK", {}).ok());
+  }
+
+  HyGraph hg_;
+  VertexId a_, b_, c_, d_;
+};
+
+TEST_F(CorrReachTest, StopsAtDecorrelatedHop) {
+  CorrReachOptions options;
+  options.min_correlation = 0.8;
+  auto hits = CorrelationReachability(hg_, a_, options);
+  ASSERT_TRUE(hits.ok()) << hits.status().ToString();
+  ASSERT_EQ(hits->size(), 3u);
+  EXPECT_EQ((*hits)[0].vertex, a_);
+  EXPECT_EQ((*hits)[0].depth, 0u);
+  EXPECT_EQ((*hits)[1].vertex, b_);
+  EXPECT_GT((*hits)[1].hop_correlation, 0.8);
+  EXPECT_EQ((*hits)[2].vertex, c_);
+}
+
+TEST_F(CorrReachTest, NegativeThresholdReachesEverything) {
+  CorrReachOptions options;
+  options.min_correlation = -1.0;
+  auto hits = CorrelationReachability(hg_, a_, options);
+  ASSERT_TRUE(hits.ok());
+  EXPECT_EQ(hits->size(), 4u);
+}
+
+TEST_F(CorrReachTest, TraversesEdgesBothWays) {
+  CorrReachOptions options;
+  options.min_correlation = 0.8;
+  auto hits = CorrelationReachability(hg_, c_, options);
+  ASSERT_TRUE(hits.ok());
+  // From c: backwards to b then a (in-phase); d blocked.
+  EXPECT_EQ(hits->size(), 3u);
+}
+
+TEST_F(CorrReachTest, MaxDepthRespected) {
+  CorrReachOptions options;
+  options.min_correlation = 0.8;
+  options.max_depth = 1;
+  auto hits = CorrelationReachability(hg_, a_, options);
+  ASSERT_TRUE(hits.ok());
+  EXPECT_EQ(hits->size(), 2u);
+}
+
+TEST_F(CorrReachTest, EdgeLabelFilter) {
+  CorrReachOptions options;
+  options.min_correlation = 0.8;
+  options.edge_label = "OTHER";
+  auto hits = CorrelationReachability(hg_, a_, options);
+  ASSERT_TRUE(hits.ok());
+  EXPECT_EQ(hits->size(), 1u);  // just the source
+}
+
+TEST_F(CorrReachTest, VerticesWithoutSeriesBlock) {
+  // Insert a PG vertex (no series property) between a and a new sensor.
+  const VertexId gap = *hg_.AddPgVertex({"Hub"}, {});
+  const VertexId e = *hg_.AddTsVertex({"S"}, Sine(0.0));
+  ASSERT_TRUE(hg_.AddPgEdge(a_, gap, "LINK", {}).ok());
+  ASSERT_TRUE(hg_.AddPgEdge(gap, e, "LINK", {}).ok());
+  CorrReachOptions options;
+  options.min_correlation = 0.8;
+  auto hits = CorrelationReachability(hg_, a_, options);
+  ASSERT_TRUE(hits.ok());
+  for (const CorrReachHit& hit : *hits) {
+    EXPECT_NE(hit.vertex, gap);
+    EXPECT_NE(hit.vertex, e);
+  }
+}
+
+TEST_F(CorrReachTest, PgVertexWithSeriesPropertyParticipates) {
+  core::HyGraph hg;
+  const VertexId x = *hg.AddPgVertex({"S"}, {});
+  const VertexId y = *hg.AddPgVertex({"S"}, {});
+  ASSERT_TRUE(hg.SetVertexSeriesProperty(x, "history", Sine(0.0)).ok());
+  ASSERT_TRUE(hg.SetVertexSeriesProperty(y, "history", Sine(0.02)).ok());
+  ASSERT_TRUE(hg.AddPgEdge(x, y, "LINK", {}).ok());
+  CorrReachOptions options;
+  options.min_correlation = 0.9;
+  auto hits = CorrelationReachability(hg, x, options);
+  ASSERT_TRUE(hits.ok());
+  EXPECT_EQ(hits->size(), 2u);
+}
+
+TEST_F(CorrReachTest, Validation) {
+  EXPECT_FALSE(CorrelationReachability(hg_, 999).ok());
+  CorrReachOptions bad;
+  bad.min_correlation = 2.0;
+  EXPECT_FALSE(CorrelationReachability(hg_, a_, bad).ok());
+}
+
+}  // namespace
+}  // namespace hygraph::analytics

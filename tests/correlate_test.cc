@@ -1,0 +1,135 @@
+#include "ts/correlate.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace hygraph::ts {
+namespace {
+
+Series SineSeries(const std::string& name, size_t n, double phase,
+                  Duration step = kMinute) {
+  Series s(name);
+  for (size_t i = 0; i < n; ++i) {
+    EXPECT_TRUE(s.Append(static_cast<Timestamp>(i) * step,
+                         std::sin(static_cast<double>(i) * 0.2 + phase))
+                    .ok());
+  }
+  return s;
+}
+
+TEST(AlignTest, InnerJoinOnTimestamps) {
+  Series a("a");
+  Series b("b");
+  ASSERT_TRUE(a.Append(1, 10).ok());
+  ASSERT_TRUE(a.Append(2, 20).ok());
+  ASSERT_TRUE(a.Append(4, 40).ok());
+  ASSERT_TRUE(b.Append(2, 200).ok());
+  ASSERT_TRUE(b.Append(3, 300).ok());
+  ASSERT_TRUE(b.Append(4, 400).ok());
+  std::vector<double> va;
+  std::vector<double> vb;
+  AlignOnTimestamps(a, b, &va, &vb);
+  EXPECT_EQ(va, (std::vector<double>{20, 40}));
+  EXPECT_EQ(vb, (std::vector<double>{200, 400}));
+}
+
+TEST(CorrelationTest, IdenticalSeriesIsOne) {
+  Series s = SineSeries("s", 100, 0.0);
+  auto corr = Correlation(s, s);
+  ASSERT_TRUE(corr.ok());
+  EXPECT_NEAR(*corr, 1.0, 1e-12);
+}
+
+TEST(CorrelationTest, AntiphaseIsMinusOne) {
+  Series a = SineSeries("a", 100, 0.0);
+  Series b("b");
+  for (const Sample& s : a.samples()) {
+    ASSERT_TRUE(b.Append(s.t, -s.value).ok());
+  }
+  auto corr = Correlation(a, b);
+  ASSERT_TRUE(corr.ok());
+  EXPECT_NEAR(*corr, -1.0, 1e-12);
+}
+
+TEST(CorrelationTest, InsufficientOverlapFails) {
+  Series a("a");
+  Series b("b");
+  ASSERT_TRUE(a.Append(1, 1).ok());
+  ASSERT_TRUE(b.Append(2, 1).ok());
+  EXPECT_FALSE(Correlation(a, b).ok());
+}
+
+TEST(CorrelationTest, MinOverlapEnforced) {
+  Series a = SineSeries("a", 5, 0.0);
+  Series b = SineSeries("b", 5, 0.5);
+  EXPECT_TRUE(Correlation(a, b, 5).ok());
+  EXPECT_FALSE(Correlation(a, b, 6).ok());
+}
+
+TEST(CrossCorrelationTest, RecoversKnownLag) {
+  // b is a delayed by 10 minutes; best lag should be +10 min.
+  Series a = SineSeries("a", 200, 0.0);
+  Series b("b");
+  for (const Sample& s : a.samples()) {
+    ASSERT_TRUE(b.Append(s.t + 10 * kMinute, s.value).ok());
+  }
+  auto at_lag = CrossCorrelation(a, b, 10 * kMinute);
+  ASSERT_TRUE(at_lag.ok());
+  EXPECT_NEAR(*at_lag, 1.0, 1e-12);
+  auto best = FindBestLag(a, b, 30 * kMinute, kMinute);
+  ASSERT_TRUE(best.ok());
+  EXPECT_EQ(best->lag_ms, 10 * kMinute);
+  EXPECT_NEAR(best->correlation, 1.0, 1e-12);
+}
+
+TEST(FindBestLagTest, RejectsBadParameters) {
+  Series a = SineSeries("a", 10, 0.0);
+  EXPECT_FALSE(FindBestLag(a, a, 10, 0).ok());
+  EXPECT_FALSE(FindBestLag(a, a, -5, 1).ok());
+}
+
+TEST(SlidingCorrelationTest, TracksRegimeChange) {
+  // First half: identical; second half: anti-phase.
+  Series a("a");
+  Series b("b");
+  for (int i = 0; i < 200; ++i) {
+    const double v = std::sin(i * 0.3);
+    ASSERT_TRUE(a.Append(i * kMinute, v).ok());
+    ASSERT_TRUE(b.Append(i * kMinute, i < 100 ? v : -v).ok());
+  }
+  auto sliding = SlidingCorrelation(a, b, 50 * kMinute, 50 * kMinute);
+  ASSERT_TRUE(sliding.ok());
+  ASSERT_EQ(sliding->size(), 4u);
+  EXPECT_NEAR(sliding->at(0).value, 1.0, 1e-9);
+  EXPECT_NEAR(sliding->at(3).value, -1.0, 1e-9);
+}
+
+TEST(SlidingCorrelationTest, EmptyWhenNoOverlap) {
+  Series a = SineSeries("a", 10, 0.0);
+  Series b("b");
+  ASSERT_TRUE(b.Append(kDay, 1.0).ok());
+  ASSERT_TRUE(b.Append(kDay + kMinute, 2.0).ok());
+  auto sliding = SlidingCorrelation(a, b, kMinute, kMinute);
+  ASSERT_TRUE(sliding.ok());
+  EXPECT_TRUE(sliding->empty());
+}
+
+TEST(CorrelationMatrixTest, SymmetricWithUnitDiagonal) {
+  std::vector<Series> set = {SineSeries("a", 50, 0.0),
+                             SineSeries("b", 50, 0.1),
+                             SineSeries("c", 50, 3.14159)};
+  auto m = CorrelationMatrix(set);
+  ASSERT_EQ(m.size(), 3u);
+  for (size_t i = 0; i < 3; ++i) {
+    EXPECT_DOUBLE_EQ(m[i][i], 1.0);
+    for (size_t j = 0; j < 3; ++j) {
+      EXPECT_DOUBLE_EQ(m[i][j], m[j][i]);
+    }
+  }
+  EXPECT_GT(m[0][1], 0.9);   // nearly in phase
+  EXPECT_LT(m[0][2], -0.9);  // nearly anti-phase
+}
+
+}  // namespace
+}  // namespace hygraph::ts

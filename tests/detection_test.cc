@@ -1,0 +1,125 @@
+#include "analytics/detection.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace hygraph::analytics {
+namespace {
+
+using core::HyGraph;
+using graph::VertexId;
+
+ts::MultiSeries Level(double level, size_t n = 24) {
+  ts::MultiSeries ms("s", {"v"});
+  for (size_t i = 0; i < n; ++i) {
+    EXPECT_TRUE(ms.AppendRow(static_cast<Timestamp>(i) * kHour,
+                             {level + 0.1 * static_cast<double>(i % 3)})
+                    .ok());
+  }
+  return ms;
+}
+
+// Two cliques: a "quiet" community (levels ~10) with one loud member
+// (level 100), and a "busy" community (levels ~100) that is perfectly
+// normal for its own context.
+class DetectionTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    for (int i = 0; i < 6; ++i) {
+      quiet_.push_back(
+          *hg_.AddTsVertex({"S"}, Level(i == 0 ? 100.0 : 10.0 + i * 0.2)));
+    }
+    for (int i = 0; i < 6; ++i) {
+      busy_.push_back(*hg_.AddTsVertex({"S"}, Level(100.0 + i * 0.2)));
+    }
+    auto clique = [&](const std::vector<VertexId>& vs) {
+      for (size_t i = 0; i < vs.size(); ++i) {
+        for (size_t j = i + 1; j < vs.size(); ++j) {
+          ASSERT_TRUE(hg_.AddPgEdge(vs[i], vs[j], "E", {}).ok());
+        }
+      }
+    };
+    clique(quiet_);
+    clique(busy_);
+    ASSERT_TRUE(hg_.AddPgEdge(quiet_[1], busy_[0], "BRIDGE", {}).ok());
+  }
+
+  HyGraph hg_;
+  std::vector<VertexId> quiet_;
+  std::vector<VertexId> busy_;
+};
+
+TEST_F(DetectionTest, FlagsOnlyTheContextualOutlier) {
+  ContextualDetectionOptions options;
+  options.threshold = 2.0;
+  auto result = DetectContextualAnomalies(hg_, options);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_EQ(result->anomalies.size(), 1u);
+  EXPECT_EQ(result->anomalies[0].vertex, quiet_[0]);
+  EXPECT_GT(result->anomalies[0].z_score, 2.0);
+  // The busy community members are NOT flagged despite high absolute
+  // levels — that is the community-context advantage.
+  for (const ContextualAnomaly& a : result->anomalies) {
+    for (VertexId v : busy_) {
+      EXPECT_NE(a.vertex, v);
+    }
+  }
+}
+
+TEST_F(DetectionTest, GlobalBaselineWouldFlagBusyCommunity) {
+  // Sanity check of the premise: against the global distribution, busy
+  // members sit far from the mean. Done by collapsing communities: with
+  // min_community_size larger than any community, the detector falls back
+  // to the global pool.
+  ContextualDetectionOptions options;
+  options.threshold = 1.0;
+  options.min_community_size = 100;  // force global fallback
+  auto result = DetectContextualAnomalies(hg_, options);
+  ASSERT_TRUE(result.ok());
+  // With a bimodal global pool, both sides deviate from the grand mean.
+  EXPECT_GT(result->anomalies.size(), 1u);
+}
+
+TEST_F(DetectionTest, CommunitiesReturned) {
+  auto result = DetectContextualAnomalies(hg_);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->communities.size(), 12u);
+  EXPECT_EQ(result->communities.at(quiet_[0]),
+            result->communities.at(quiet_[1]));
+  EXPECT_NE(result->communities.at(quiet_[0]),
+            result->communities.at(busy_[0]));
+}
+
+TEST_F(DetectionTest, MaxStatistic) {
+  ContextualDetectionOptions options;
+  options.statistic = ContextualDetectionOptions::Statistic::kMax;
+  options.threshold = 2.0;
+  auto result = DetectContextualAnomalies(hg_, options);
+  ASSERT_TRUE(result.ok());
+  ASSERT_GE(result->anomalies.size(), 1u);
+  EXPECT_EQ(result->anomalies[0].vertex, quiet_[0]);
+}
+
+TEST_F(DetectionTest, SortedBySeverity) {
+  ContextualDetectionOptions options;
+  options.threshold = 0.5;
+  auto result = DetectContextualAnomalies(hg_, options);
+  ASSERT_TRUE(result.ok());
+  for (size_t i = 1; i < result->anomalies.size(); ++i) {
+    EXPECT_GE(std::abs(result->anomalies[i - 1].z_score),
+              std::abs(result->anomalies[i].z_score));
+  }
+}
+
+TEST_F(DetectionTest, Validation) {
+  ContextualDetectionOptions bad;
+  bad.threshold = 0.0;
+  EXPECT_FALSE(DetectContextualAnomalies(hg_, bad).ok());
+  HyGraph empty_series;
+  (void)*empty_series.AddPgVertex({"X"}, {});
+  EXPECT_FALSE(DetectContextualAnomalies(empty_series).ok());
+}
+
+}  // namespace
+}  // namespace hygraph::analytics

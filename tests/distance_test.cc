@@ -1,0 +1,142 @@
+#include "ts/distance.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace hygraph::ts {
+namespace {
+
+TEST(EuclideanTest, KnownDistance) {
+  auto d = EuclideanDistance({0, 0, 0}, {1, 2, 2});
+  ASSERT_TRUE(d.ok());
+  EXPECT_DOUBLE_EQ(*d, 3.0);
+}
+
+TEST(EuclideanTest, LengthMismatchFails) {
+  EXPECT_FALSE(EuclideanDistance({1, 2}, {1}).ok());
+}
+
+TEST(EuclideanTest, ZeroForIdentical) {
+  EXPECT_DOUBLE_EQ(*EuclideanDistance({1, 2, 3}, {1, 2, 3}), 0.0);
+}
+
+TEST(ZNormalizeTest, MeanZeroUnitVariance) {
+  std::vector<double> xs = {2.0, 4.0, 6.0, 8.0};
+  ZNormalize(&xs);
+  double mean = 0.0;
+  double var = 0.0;
+  for (double x : xs) mean += x;
+  mean /= xs.size();
+  for (double x : xs) var += (x - mean) * (x - mean);
+  var /= xs.size();
+  EXPECT_NEAR(mean, 0.0, 1e-12);
+  EXPECT_NEAR(var, 1.0, 1e-12);
+}
+
+TEST(ZNormalizeTest, ConstantBecomesZeros) {
+  std::vector<double> xs = {5.0, 5.0, 5.0};
+  ZNormalize(&xs);
+  for (double x : xs) EXPECT_DOUBLE_EQ(x, 0.0);
+  std::vector<double> single = {9.0};
+  ZNormalize(&single);
+  EXPECT_DOUBLE_EQ(single[0], 0.0);
+}
+
+TEST(ZNormalizedDistanceTest, ScaleAndOffsetInvariant) {
+  const std::vector<double> a = {1, 3, 2, 5, 4};
+  std::vector<double> b;
+  for (double x : a) b.push_back(100.0 + 7.0 * x);  // affine copy
+  auto d = ZNormalizedDistance(a, b);
+  ASSERT_TRUE(d.ok());
+  EXPECT_NEAR(*d, 0.0, 1e-12);
+}
+
+TEST(DtwTest, IdenticalSequencesZero) {
+  const std::vector<double> a = {1, 2, 3, 4, 5};
+  auto d = DtwDistance(a, a, 5);
+  ASSERT_TRUE(d.ok());
+  EXPECT_DOUBLE_EQ(*d, 0.0);
+}
+
+TEST(DtwTest, AbsorbsTimeShift) {
+  // A shifted copy has large Euclidean but small DTW distance.
+  std::vector<double> a;
+  std::vector<double> b;
+  for (int i = 0; i < 50; ++i) {
+    a.push_back(std::sin(i * 0.3));
+    b.push_back(std::sin((i - 3) * 0.3));  // shifted by 3 steps
+  }
+  auto euclid = EuclideanDistance(a, b);
+  auto dtw = DtwDistance(a, b, 10);
+  ASSERT_TRUE(euclid.ok());
+  ASSERT_TRUE(dtw.ok());
+  EXPECT_LT(*dtw, *euclid * 0.5);
+}
+
+TEST(DtwTest, BandZeroIsLockstep) {
+  const std::vector<double> a = {0, 1, 2, 3};
+  const std::vector<double> b = {1, 2, 3, 4};
+  auto dtw = DtwDistance(a, b, 0);
+  ASSERT_TRUE(dtw.ok());
+  EXPECT_DOUBLE_EQ(*dtw, 2.0);  // sqrt(4 * 1^2)
+}
+
+TEST(DtwTest, DifferentLengths) {
+  const std::vector<double> a = {1, 2, 3};
+  const std::vector<double> b = {1, 1, 2, 2, 3, 3};
+  auto dtw = DtwDistance(a, b, 1);  // band expands to cover length gap
+  ASSERT_TRUE(dtw.ok());
+  EXPECT_NEAR(*dtw, 0.0, 1e-12);
+}
+
+TEST(DtwTest, EmptyInputFails) {
+  EXPECT_FALSE(DtwDistance(std::vector<double>{}, {1.0}, 1).ok());
+  EXPECT_FALSE(DtwDistance({1.0}, std::vector<double>{}, 1).ok());
+}
+
+TEST(DtwTest, SeriesOverloadMatchesVector) {
+  Series a("a");
+  Series b("b");
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(a.Append(i, std::sin(i * 0.5)).ok());
+    ASSERT_TRUE(b.Append(i * 7, std::cos(i * 0.5)).ok());  // different axis
+  }
+  auto from_series = DtwDistance(a, b, 5);
+  auto from_vectors = DtwDistance(a.Values(), b.Values(), 5);
+  ASSERT_TRUE(from_series.ok());
+  EXPECT_DOUBLE_EQ(*from_series, *from_vectors);
+}
+
+TEST(DtwTest, SymmetricForEqualLengths) {
+  std::vector<double> a;
+  std::vector<double> b;
+  for (int i = 0; i < 30; ++i) {
+    a.push_back(std::sin(i * 0.4));
+    b.push_back(std::cos(i * 0.25));
+  }
+  EXPECT_NEAR(*DtwDistance(a, b, 8), *DtwDistance(b, a, 8), 1e-12);
+}
+
+// Band sweep: widening the band can only lower (or keep) the distance.
+class DtwBandSweep : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(DtwBandSweep, MonotoneInBand) {
+  std::vector<double> a;
+  std::vector<double> b;
+  for (int i = 0; i < 60; ++i) {
+    a.push_back(std::sin(i * 0.2));
+    b.push_back(std::sin((i - 4) * 0.2) + 0.05);
+  }
+  const size_t band = GetParam();
+  auto narrow = DtwDistance(a, b, band);
+  auto wide = DtwDistance(a, b, band + 5);
+  ASSERT_TRUE(narrow.ok());
+  ASSERT_TRUE(wide.ok());
+  EXPECT_LE(*wide, *narrow + 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Bands, DtwBandSweep, ::testing::Values(0, 1, 3, 10));
+
+}  // namespace
+}  // namespace hygraph::ts

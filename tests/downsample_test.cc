@@ -1,0 +1,128 @@
+#include "ts/downsample.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace hygraph::ts {
+namespace {
+
+Series Wave(size_t n) {
+  Series s("wave");
+  for (size_t i = 0; i < n; ++i) {
+    EXPECT_TRUE(s.Append(static_cast<Timestamp>(i) * kMinute,
+                         std::sin(static_cast<double>(i) * 0.1) * 10.0)
+                    .ok());
+  }
+  return s;
+}
+
+TEST(DownsampleAverageTest, BucketsAverage) {
+  Series s("s");
+  for (int i = 0; i < 6; ++i) {
+    ASSERT_TRUE(s.Append(i * kMinute, static_cast<double>(i)).ok());
+  }
+  auto down = DownsampleAverage(s, 3 * kMinute);
+  ASSERT_TRUE(down.ok());
+  ASSERT_EQ(down->size(), 2u);
+  EXPECT_DOUBLE_EQ(down->at(0).value, 1.0);  // avg(0,1,2)
+  EXPECT_DOUBLE_EQ(down->at(1).value, 4.0);  // avg(3,4,5)
+}
+
+TEST(DownsampleMinMaxTest, KeepsExtremes) {
+  Series s("s");
+  const double values[] = {5.0, 1.0, 9.0, 4.0, 2.0, 8.0};
+  for (int i = 0; i < 6; ++i) {
+    ASSERT_TRUE(s.Append(i * kMinute, values[i]).ok());
+  }
+  auto down = DownsampleMinMax(s, 3 * kMinute);
+  ASSERT_TRUE(down.ok());
+  ASSERT_EQ(down->size(), 4u);
+  // Bucket 1 keeps min 1.0 (t=1) then max 9.0 (t=2), original timestamps.
+  EXPECT_DOUBLE_EQ(down->at(0).value, 1.0);
+  EXPECT_EQ(down->at(0).t, 1 * kMinute);
+  EXPECT_DOUBLE_EQ(down->at(1).value, 9.0);
+  // Bucket 2: min 2.0 (t=4), max 8.0 (t=5).
+  EXPECT_DOUBLE_EQ(down->at(2).value, 2.0);
+  EXPECT_DOUBLE_EQ(down->at(3).value, 8.0);
+}
+
+TEST(DownsampleMinMaxTest, SingleExtremumPerBucket) {
+  Series s("s");
+  ASSERT_TRUE(s.Append(0, 5.0).ok());
+  auto down = DownsampleMinMax(s, kMinute);
+  ASSERT_TRUE(down.ok());
+  EXPECT_EQ(down->size(), 1u);  // min == max -> emitted once
+}
+
+TEST(DownsampleMinMaxTest, RejectsBadBucket) {
+  EXPECT_FALSE(DownsampleMinMax(Wave(10), 0).ok());
+}
+
+TEST(LttbTest, KeepsEndpointsAndTargetSize) {
+  Series s = Wave(500);
+  auto down = DownsampleLttb(s, 50);
+  ASSERT_TRUE(down.ok());
+  EXPECT_EQ(down->size(), 50u);
+  EXPECT_EQ(down->front().t, s.front().t);
+  EXPECT_DOUBLE_EQ(down->front().value, s.front().value);
+  EXPECT_EQ(down->back().t, s.back().t);
+}
+
+TEST(LttbTest, PreservesPeaks) {
+  // A flat series with one sharp spike: LTTB must keep the spike.
+  Series s("spiky");
+  for (int i = 0; i < 300; ++i) {
+    ASSERT_TRUE(s.Append(i * kMinute, i == 150 ? 100.0 : 1.0).ok());
+  }
+  auto down = DownsampleLttb(s, 20);
+  ASSERT_TRUE(down.ok());
+  bool found_spike = false;
+  for (const Sample& sample : down->samples()) {
+    if (sample.value == 100.0) found_spike = true;
+  }
+  EXPECT_TRUE(found_spike);
+}
+
+TEST(LttbTest, SmallInputPassesThrough) {
+  Series s = Wave(10);
+  auto down = DownsampleLttb(s, 20);
+  ASSERT_TRUE(down.ok());
+  EXPECT_EQ(*down, s);
+}
+
+TEST(LttbTest, RejectsTinyTarget) {
+  EXPECT_FALSE(DownsampleLttb(Wave(10), 1).ok());
+  EXPECT_FALSE(DownsampleLttb(Wave(10), 0).ok());
+}
+
+TEST(LttbTest, OutputStrictlyOrdered) {
+  Series s = Wave(1000);
+  auto down = DownsampleLttb(s, 77);
+  ASSERT_TRUE(down.ok());
+  for (size_t i = 1; i < down->size(); ++i) {
+    EXPECT_LT(down->at(i - 1).t, down->at(i).t);
+  }
+}
+
+// Property sweep over target sizes.
+class LttbSweep : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(LttbSweep, SizeAndBoundsHold) {
+  Series s = Wave(400);
+  auto down = DownsampleLttb(s, GetParam());
+  ASSERT_TRUE(down.ok());
+  EXPECT_EQ(down->size(), GetParam());
+  // Downsampled values are a subset of original values.
+  for (const Sample& sample : down->samples()) {
+    auto [lo, hi] = s.RangeIndices(Interval::At(sample.t));
+    ASSERT_EQ(hi - lo, 1u);
+    EXPECT_DOUBLE_EQ(s.at(lo).value, sample.value);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Targets, LttbSweep,
+                         ::testing::Values(2, 3, 10, 100, 399));
+
+}  // namespace
+}  // namespace hygraph::ts

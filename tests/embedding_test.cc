@@ -1,0 +1,180 @@
+#include "analytics/embedding.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "ts/features.h"
+
+namespace hygraph::analytics {
+namespace {
+
+using core::HyGraph;
+using graph::PropertyGraph;
+using graph::VertexId;
+
+// Two cliques joined by one bridge.
+PropertyGraph TwoCliques(std::vector<VertexId>* left,
+                         std::vector<VertexId>* right) {
+  PropertyGraph g;
+  for (int i = 0; i < 5; ++i) left->push_back(g.AddVertex({}, {}));
+  for (int i = 0; i < 5; ++i) right->push_back(g.AddVertex({}, {}));
+  auto clique = [&](const std::vector<VertexId>& vs) {
+    for (size_t i = 0; i < vs.size(); ++i) {
+      for (size_t j = i + 1; j < vs.size(); ++j) {
+        EXPECT_TRUE(g.AddEdge(vs[i], vs[j], "E", {}).ok());
+      }
+    }
+  };
+  clique(*left);
+  clique(*right);
+  EXPECT_TRUE(g.AddEdge((*left)[0], (*right)[0], "B", {}).ok());
+  return g;
+}
+
+TEST(FastRpTest, DimensionsAndNormalization) {
+  std::vector<VertexId> left, right;
+  PropertyGraph g = TwoCliques(&left, &right);
+  FastRpOptions options;
+  options.dimensions = 16;
+  auto embeddings = FastRp(g, options);
+  ASSERT_TRUE(embeddings.ok());
+  EXPECT_EQ(embeddings->size(), 10u);
+  for (const auto& [_, e] : *embeddings) {
+    ASSERT_EQ(e.size(), 16u);
+    double norm = 0.0;
+    for (double x : e) norm += x * x;
+    EXPECT_NEAR(norm, 1.0, 1e-6);
+  }
+}
+
+TEST(FastRpTest, CliqueMembersCloserThanCrossClique) {
+  std::vector<VertexId> left, right;
+  PropertyGraph g = TwoCliques(&left, &right);
+  auto embeddings = FastRp(g);
+  ASSERT_TRUE(embeddings.ok());
+  // Compare non-bridge members to avoid the bridge's mixed neighborhood.
+  const double same =
+      CosineSimilarity((*embeddings)[left[1]], (*embeddings)[left[2]]);
+  const double cross =
+      CosineSimilarity((*embeddings)[left[1]], (*embeddings)[right[2]]);
+  EXPECT_GT(same, cross);
+}
+
+TEST(FastRpTest, DeterministicForSeed) {
+  std::vector<VertexId> left, right;
+  PropertyGraph g = TwoCliques(&left, &right);
+  auto a = FastRp(g);
+  auto b = FastRp(g);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  for (const auto& [v, e] : *a) {
+    EXPECT_EQ(e, (*b)[v]);
+  }
+  FastRpOptions other_seed;
+  other_seed.seed = 99;
+  auto c = FastRp(g, other_seed);
+  ASSERT_TRUE(c.ok());
+  bool any_diff = false;
+  for (const auto& [v, e] : *a) {
+    if (e != (*c)[v]) any_diff = true;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(FastRpTest, Validation) {
+  PropertyGraph g;
+  g.AddVertex({}, {});
+  FastRpOptions zero_dim;
+  zero_dim.dimensions = 0;
+  EXPECT_FALSE(FastRp(g, zero_dim).ok());
+  FastRpOptions bad_weights;
+  bad_weights.iterations = 2;
+  bad_weights.weights = {1.0};
+  EXPECT_FALSE(FastRp(g, bad_weights).ok());
+}
+
+ts::MultiSeries Pattern(double base, double amplitude, size_t n = 48) {
+  ts::MultiSeries ms("s", {"v"});
+  for (size_t i = 0; i < n; ++i) {
+    EXPECT_TRUE(
+        ms.AppendRow(static_cast<Timestamp>(i) * kHour,
+                     {base + amplitude * std::sin(static_cast<double>(i))})
+            .ok());
+  }
+  return ms;
+}
+
+TEST(TemporalEmbeddingTest, SeparatesBehaviours) {
+  HyGraph hg;
+  const VertexId calm1 = *hg.AddTsVertex({"S"}, Pattern(10, 0.1));
+  const VertexId calm2 = *hg.AddTsVertex({"S"}, Pattern(10, 0.12));
+  const VertexId wild = *hg.AddTsVertex({"S"}, Pattern(10, 25.0));
+  auto embeddings = TemporalEmbeddings(hg);
+  ASSERT_TRUE(embeddings.ok());
+  EXPECT_EQ(embeddings->size(), 3u);
+  const double calm_pair =
+      EmbeddingDistance((*embeddings)[calm1], (*embeddings)[calm2]);
+  const double calm_wild =
+      EmbeddingDistance((*embeddings)[calm1], (*embeddings)[wild]);
+  EXPECT_LT(calm_pair, calm_wild);
+}
+
+TEST(TemporalEmbeddingTest, PgVerticesNeedSeriesProperty) {
+  HyGraph hg;
+  const VertexId with = *hg.AddPgVertex({"X"}, {});
+  ASSERT_TRUE(
+      hg.SetVertexSeriesProperty(with, "history", Pattern(5, 1)).ok());
+  (void)*hg.AddPgVertex({"X"}, {});  // without series
+  auto embeddings = TemporalEmbeddings(hg);
+  ASSERT_TRUE(embeddings.ok());
+  EXPECT_EQ(embeddings->size(), 1u);
+  EXPECT_TRUE(embeddings->count(with));
+}
+
+TEST(TemporalEmbeddingTest, FailsWhenNothingUsable) {
+  HyGraph hg;
+  (void)*hg.AddPgVertex({"X"}, {});
+  EXPECT_FALSE(TemporalEmbeddings(hg).ok());
+}
+
+TEST(HybridEmbeddingTest, ConcatenatesBothParts) {
+  HyGraph hg;
+  const VertexId a = *hg.AddTsVertex({"S"}, Pattern(1, 1));
+  const VertexId b = *hg.AddTsVertex({"S"}, Pattern(2, 2));
+  ASSERT_TRUE(hg.AddPgEdge(a, b, "E", {}).ok());
+  FastRpOptions structural;
+  structural.dimensions = 8;
+  auto embeddings = HybridEmbeddings(hg, structural, {}, 0.5);
+  ASSERT_TRUE(embeddings.ok());
+  EXPECT_EQ(embeddings->size(), 2u);
+  EXPECT_EQ((*embeddings)[a].size(),
+            8u + ts::SeriesFeatures::kDimension);
+}
+
+TEST(HybridEmbeddingTest, WeightExtremes) {
+  HyGraph hg;
+  const VertexId a = *hg.AddTsVertex({"S"}, Pattern(1, 1));
+  const VertexId b = *hg.AddTsVertex({"S"}, Pattern(9, 4));
+  ASSERT_TRUE(hg.AddPgEdge(a, b, "E", {}).ok());
+  // weight 1 -> temporal half zeroed.
+  auto structural_only = HybridEmbeddings(hg, {}, {}, 1.0);
+  ASSERT_TRUE(structural_only.ok());
+  const Embedding& e = (*structural_only)[a];
+  for (size_t i = e.size() - ts::SeriesFeatures::kDimension; i < e.size();
+       ++i) {
+    EXPECT_DOUBLE_EQ(e[i], 0.0);
+  }
+  EXPECT_FALSE(HybridEmbeddings(hg, {}, {}, 1.5).ok());
+}
+
+TEST(SimilarityHelpersTest, CosineAndDistance) {
+  EXPECT_DOUBLE_EQ(CosineSimilarity({1, 0}, {1, 0}), 1.0);
+  EXPECT_DOUBLE_EQ(CosineSimilarity({1, 0}, {0, 1}), 0.0);
+  EXPECT_DOUBLE_EQ(CosineSimilarity({1, 0}, {-1, 0}), -1.0);
+  EXPECT_DOUBLE_EQ(CosineSimilarity({0, 0}, {1, 0}), 0.0);
+  EXPECT_DOUBLE_EQ(EmbeddingDistance({0, 0}, {3, 4}), 5.0);
+}
+
+}  // namespace
+}  // namespace hygraph::analytics

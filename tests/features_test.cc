@@ -1,0 +1,122 @@
+#include "ts/features.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace hygraph::ts {
+namespace {
+
+Series Line(size_t n, double slope_per_day, double intercept = 0.0) {
+  Series s("line");
+  for (size_t i = 0; i < n; ++i) {
+    const Timestamp t = static_cast<Timestamp>(i) * kHour;
+    EXPECT_TRUE(
+        s.Append(t, intercept + slope_per_day * static_cast<double>(t) /
+                                    static_cast<double>(kDay))
+            .ok());
+  }
+  return s;
+}
+
+TEST(FeaturesTest, RequiresMinimumLength) {
+  Series s("s");
+  ASSERT_TRUE(s.Append(0, 1.0).ok());
+  ASSERT_TRUE(s.Append(1, 2.0).ok());
+  ASSERT_TRUE(s.Append(2, 3.0).ok());
+  EXPECT_FALSE(ComputeFeatures(s).ok());
+  ASSERT_TRUE(s.Append(3, 4.0).ok());
+  EXPECT_TRUE(ComputeFeatures(s).ok());
+}
+
+TEST(FeaturesTest, BasicStatistics) {
+  Series s("s");
+  for (double v : {2.0, 4.0, 6.0, 8.0}) {
+    ASSERT_TRUE(s.Append(static_cast<Timestamp>(v), v).ok());
+  }
+  auto f = ComputeFeatures(s);
+  ASSERT_TRUE(f.ok());
+  EXPECT_DOUBLE_EQ(f->mean, 5.0);
+  EXPECT_DOUBLE_EQ(f->min, 2.0);
+  EXPECT_DOUBLE_EQ(f->max, 8.0);
+  EXPECT_DOUBLE_EQ(f->median, 5.0);
+  EXPECT_NEAR(f->energy, (4.0 + 16.0 + 36.0 + 64.0) / 4.0, 1e-12);
+}
+
+TEST(FeaturesTest, TrendSlopeInUnitsPerDay) {
+  auto f = ComputeFeatures(Line(48, 12.0));
+  ASSERT_TRUE(f.ok());
+  EXPECT_NEAR(f->trend_slope, 12.0, 1e-6);
+  auto flat = ComputeFeatures(Line(48, 0.0, 5.0));
+  ASSERT_TRUE(flat.ok());
+  EXPECT_NEAR(flat->trend_slope, 0.0, 1e-9);
+}
+
+TEST(FeaturesTest, SymmetricSeriesHasZeroSkew) {
+  Series s("sym");
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(s.Append(i, std::sin(i * 0.7)).ok());
+  }
+  auto f = ComputeFeatures(s);
+  ASSERT_TRUE(f.ok());
+  EXPECT_NEAR(f->skewness, 0.0, 0.2);
+}
+
+TEST(FeaturesTest, SpikeRaisesSpikinessAndSkew) {
+  Series flat("flat");
+  Series spiky("spiky");
+  for (int i = 0; i < 100; ++i) {
+    const double base = std::sin(i * 0.5);
+    ASSERT_TRUE(flat.Append(i, base).ok());
+    ASSERT_TRUE(spiky.Append(i, i == 50 ? base + 30.0 : base).ok());
+  }
+  auto ff = ComputeFeatures(flat);
+  auto fs = ComputeFeatures(spiky);
+  ASSERT_TRUE(ff.ok());
+  ASSERT_TRUE(fs.ok());
+  EXPECT_GT(fs->spikiness, ff->spikiness * 2);
+  EXPECT_GT(fs->skewness, 1.0);
+  EXPECT_GT(fs->kurtosis, 10.0);
+}
+
+TEST(FeaturesTest, SmoothSeriesHasHighAcf) {
+  Series smooth("smooth");
+  Series jumpy("jumpy");
+  for (int i = 0; i < 200; ++i) {
+    ASSERT_TRUE(smooth.Append(i, std::sin(i * 0.05)).ok());
+    ASSERT_TRUE(jumpy.Append(i, (i % 2 == 0) ? 1.0 : -1.0).ok());
+  }
+  auto fs = ComputeFeatures(smooth);
+  auto fj = ComputeFeatures(jumpy);
+  ASSERT_TRUE(fs.ok());
+  ASSERT_TRUE(fj.ok());
+  EXPECT_GT(fs->acf1, 0.9);
+  EXPECT_LT(fj->acf1, -0.9);
+  EXPECT_GT(fj->crossing_rate, 0.9);
+  EXPECT_LT(fs->crossing_rate, 0.1);
+}
+
+TEST(FeaturesTest, VectorMatchesFieldsAndNames) {
+  auto f = ComputeFeatures(Line(24, 3.0, 1.0));
+  ASSERT_TRUE(f.ok());
+  const std::vector<double> v = f->ToVector();
+  ASSERT_EQ(v.size(), SeriesFeatures::kDimension);
+  ASSERT_EQ(SeriesFeatures::Names().size(), SeriesFeatures::kDimension);
+  EXPECT_DOUBLE_EQ(v[0], f->mean);
+  EXPECT_DOUBLE_EQ(v[1], f->stddev);
+  EXPECT_DOUBLE_EQ(v[8], f->trend_slope);
+  EXPECT_EQ(SeriesFeatures::Names()[8], "trend_slope");
+}
+
+TEST(AutocorrelationTest, KnownValues) {
+  // Perfectly alternating series: acf1 = -1 (asymptotically).
+  std::vector<double> alt;
+  for (int i = 0; i < 1000; ++i) alt.push_back(i % 2 == 0 ? 1.0 : -1.0);
+  EXPECT_NEAR(Autocorrelation(alt, 1), -1.0, 0.01);
+  EXPECT_NEAR(Autocorrelation(alt, 2), 1.0, 0.01);
+  EXPECT_DOUBLE_EQ(Autocorrelation({1.0, 1.0}, 5), 0.0);
+  EXPECT_DOUBLE_EQ(Autocorrelation({2.0, 2.0, 2.0}, 1), 0.0);  // constant
+}
+
+}  // namespace
+}  // namespace hygraph::ts

@@ -1,0 +1,110 @@
+#include "workloads/financial.h"
+
+#include <gtest/gtest.h>
+
+#include "temporal/snapshot.h"
+
+namespace hygraph::workloads {
+namespace {
+
+using core::HyGraph;
+using graph::VertexId;
+
+FinancialConfig SmallConfig() {
+  FinancialConfig config;
+  config.companies = 30;
+  config.exchanges = 3;
+  config.years = 4;
+  config.seed = 11;
+  return config;
+}
+
+TEST(FinancialTest, GeneratesValidTemporalWorld) {
+  auto hg = GenerateFinancialHyGraph(SmallConfig());
+  ASSERT_TRUE(hg.ok()) << hg.status().ToString();
+  EXPECT_TRUE(hg->Validate().ok());
+  EXPECT_EQ(hg->structure().VerticesWithLabel("Company").size(), 30u);
+  EXPECT_EQ(hg->structure().VerticesWithLabel("Exchange").size(), 3u);
+}
+
+TEST(FinancialTest, PublicCompaniesHavePriceSeries) {
+  auto hg = GenerateFinancialHyGraph(SmallConfig());
+  ASSERT_TRUE(hg.ok());
+  size_t with_price = 0;
+  for (VertexId c : hg->structure().VerticesWithLabel("Company")) {
+    auto price = hg->GetVertexSeriesProperty(c, "price");
+    if (!price.ok()) continue;
+    ++with_price;
+    EXPECT_GT((*price)->size(), 10u);
+    // Prices are positive.
+    for (size_t r = 0; r < (*price)->size(); ++r) {
+      EXPECT_GT((*price)->at(r, 0), 0.0);
+    }
+    // Price coverage starts at the recorded IPO date.
+    auto ipo = hg->GetVertexProperty(c, "ipo_date");
+    ASSERT_TRUE(ipo.ok());
+    EXPECT_EQ((*price)->times().front(), ipo->AsInt());
+  }
+  EXPECT_GT(with_price, 10u);  // ipo_probability 0.8 over 30 companies
+}
+
+TEST(FinancialTest, ListingsRespectLifetimes) {
+  auto hg = GenerateFinancialHyGraph(SmallConfig());
+  ASSERT_TRUE(hg.ok());
+  size_t listings = 0;
+  for (graph::EdgeId e : hg->PgEdges()) {
+    const graph::Edge& edge = **hg->structure().GetEdge(e);
+    if (edge.label != "LISTED_ON") continue;
+    ++listings;
+    const Interval ev = *hg->EdgeValidity(e);
+    const Interval cv = *hg->VertexValidity(edge.src);
+    EXPECT_TRUE(cv.ContainsInterval(ev));
+  }
+  EXPECT_GT(listings, 5u);
+}
+
+TEST(FinancialTest, AcquisitionsLinkLiveCompanies) {
+  auto hg = GenerateFinancialHyGraph(SmallConfig());
+  ASSERT_TRUE(hg.ok());
+  for (graph::EdgeId e : hg->PgEdges()) {
+    const graph::Edge& edge = **hg->structure().GetEdge(e);
+    if (edge.label != "ACQUIRED") continue;
+    const Interval ev = *hg->EdgeValidity(e);
+    EXPECT_TRUE(hg->VertexValidity(edge.src)->ContainsInterval(ev));
+    EXPECT_TRUE(hg->VertexValidity(edge.dst)->ContainsInterval(ev));
+  }
+}
+
+TEST(FinancialTest, TopologyEvolvesOverTime) {
+  FinancialConfig config = SmallConfig();
+  auto hg = GenerateFinancialHyGraph(config);
+  ASSERT_TRUE(hg.ok());
+  const Timestamp early = config.start_time + 30 * kDay;
+  const Timestamp late =
+      config.start_time + static_cast<Duration>(config.years) * 350 * kDay;
+  const auto snap_early = temporal::TakeSnapshot(hg->tpg(), early);
+  const auto snap_late = temporal::TakeSnapshot(hg->tpg(), late);
+  // Companies appear over the first half of the horizon, so the late
+  // snapshot must be at least as populated (bankruptcies may trim a bit,
+  // but the config keeps them rare).
+  EXPECT_GT(snap_late.graph.VertexCount(), snap_early.graph.VertexCount());
+}
+
+TEST(FinancialTest, DeterministicForSeed) {
+  auto a = GenerateFinancialHyGraph(SmallConfig());
+  auto b = GenerateFinancialHyGraph(SmallConfig());
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->VertexCount(), b->VertexCount());
+  EXPECT_EQ(a->EdgeCount(), b->EdgeCount());
+  EXPECT_EQ(a->SeriesPoolSize(), b->SeriesPoolSize());
+}
+
+TEST(FinancialTest, Validation) {
+  FinancialConfig bad = SmallConfig();
+  bad.companies = 0;
+  EXPECT_FALSE(GenerateFinancialHyGraph(bad).ok());
+}
+
+}  // namespace
+}  // namespace hygraph::workloads

@@ -1,0 +1,135 @@
+#include "ts/forecast.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace hygraph::ts {
+namespace {
+
+TEST(EwmaTest, AlphaOneIsIdentity) {
+  Series s("s");
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(s.Append(i, std::sin(i * 0.5)).ok());
+  }
+  auto smoothed = EwmaSmooth(s, 1.0);
+  ASSERT_TRUE(smoothed.ok());
+  for (size_t i = 0; i < s.size(); ++i) {
+    EXPECT_DOUBLE_EQ(smoothed->at(i).value, s.at(i).value);
+  }
+}
+
+TEST(EwmaTest, SmoothsNoise) {
+  Series s("s");
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(s.Append(i, 10.0 + ((i % 2 == 0) ? 1.0 : -1.0)).ok());
+  }
+  auto smoothed = EwmaSmooth(s, 0.1);
+  ASSERT_TRUE(smoothed.ok());
+  // Late samples should hover near the true level 10 with tiny ripple.
+  for (size_t i = 50; i < smoothed->size(); ++i) {
+    EXPECT_NEAR(smoothed->at(i).value, 10.0, 0.2);
+  }
+}
+
+TEST(EwmaTest, RejectsBadAlpha) {
+  Series s("s");
+  ASSERT_TRUE(s.Append(0, 1.0).ok());
+  EXPECT_FALSE(EwmaSmooth(s, 0.0).ok());
+  EXPECT_FALSE(EwmaSmooth(s, 1.5).ok());
+}
+
+TEST(HoltTest, ExtrapolatesLinearTrend) {
+  Series s("line");
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(s.Append(i * kHour, 5.0 + 2.0 * i).ok());
+  }
+  auto forecast = HoltForecast(s, 0.5, 0.5, 5, kHour);
+  ASSERT_TRUE(forecast.ok());
+  ASSERT_EQ(forecast->size(), 5u);
+  // Perfect line: forecast continues it exactly.
+  for (size_t h = 0; h < 5; ++h) {
+    EXPECT_NEAR(forecast->at(h).value, 5.0 + 2.0 * (50 + h), 1e-6);
+    EXPECT_EQ(forecast->at(h).t,
+              49 * kHour + static_cast<Duration>(h + 1) * kHour);
+  }
+}
+
+TEST(HoltTest, Validation) {
+  Series s("s");
+  ASSERT_TRUE(s.Append(0, 1.0).ok());
+  EXPECT_FALSE(HoltForecast(s, 0.5, 0.5, 3, kHour).ok());  // too short
+  ASSERT_TRUE(s.Append(1, 2.0).ok());
+  EXPECT_FALSE(HoltForecast(s, 0.0, 0.5, 3, kHour).ok());
+  EXPECT_FALSE(HoltForecast(s, 0.5, 1.5, 3, kHour).ok());
+  EXPECT_FALSE(HoltForecast(s, 0.5, 0.5, 3, 0).ok());
+}
+
+TEST(SeasonalNaiveTest, RepeatsLastSeason) {
+  Series s("seasonal");
+  const double pattern[] = {1.0, 5.0, 9.0, 5.0};
+  for (int i = 0; i < 12; ++i) {
+    ASSERT_TRUE(s.Append(i * kHour, pattern[i % 4]).ok());
+  }
+  auto forecast = SeasonalNaiveForecast(s, 4, 8, kHour);
+  ASSERT_TRUE(forecast.ok());
+  ASSERT_EQ(forecast->size(), 8u);
+  for (size_t h = 0; h < 8; ++h) {
+    EXPECT_DOUBLE_EQ(forecast->at(h).value, pattern[h % 4]);
+  }
+}
+
+TEST(SeasonalNaiveTest, Validation) {
+  Series s("s");
+  for (int i = 0; i < 3; ++i) ASSERT_TRUE(s.Append(i, 1.0).ok());
+  EXPECT_FALSE(SeasonalNaiveForecast(s, 0, 2, kHour).ok());
+  EXPECT_FALSE(SeasonalNaiveForecast(s, 4, 2, kHour).ok());  // too short
+  EXPECT_FALSE(SeasonalNaiveForecast(s, 2, 2, 0).ok());
+}
+
+TEST(MaeTest, AlignedError) {
+  Series actual("a");
+  Series forecast("f");
+  ASSERT_TRUE(actual.Append(1, 10.0).ok());
+  ASSERT_TRUE(actual.Append(2, 20.0).ok());
+  ASSERT_TRUE(forecast.Append(1, 12.0).ok());
+  ASSERT_TRUE(forecast.Append(2, 17.0).ok());
+  auto mae = MeanAbsoluteError(actual, forecast);
+  ASSERT_TRUE(mae.ok());
+  EXPECT_DOUBLE_EQ(*mae, 2.5);
+}
+
+TEST(MaeTest, NoOverlapFails) {
+  Series actual("a");
+  Series forecast("f");
+  ASSERT_TRUE(actual.Append(1, 10.0).ok());
+  ASSERT_TRUE(forecast.Append(2, 12.0).ok());
+  EXPECT_FALSE(MeanAbsoluteError(actual, forecast).ok());
+}
+
+TEST(ForecastQualityTest, HoltBeatsNaiveOnTrendedData) {
+  // Trended data with noise: Holt's MAE over a held-out tail should beat
+  // the seasonal-naive forecast with a bogus season.
+  Series train("train");
+  Series test("test");
+  for (int i = 0; i < 100; ++i) {
+    const double v = 3.0 * i + 4.0 * std::sin(i * 0.1);
+    if (i < 80) {
+      ASSERT_TRUE(train.Append(i * kHour, v).ok());
+    } else {
+      ASSERT_TRUE(test.Append(i * kHour, v).ok());
+    }
+  }
+  auto holt = HoltForecast(train, 0.6, 0.3, 20, kHour);
+  auto naive = SeasonalNaiveForecast(train, 10, 20, kHour);
+  ASSERT_TRUE(holt.ok());
+  ASSERT_TRUE(naive.ok());
+  auto holt_mae = MeanAbsoluteError(test, *holt);
+  auto naive_mae = MeanAbsoluteError(test, *naive);
+  ASSERT_TRUE(holt_mae.ok());
+  ASSERT_TRUE(naive_mae.ok());
+  EXPECT_LT(*holt_mae, *naive_mae);
+}
+
+}  // namespace
+}  // namespace hygraph::ts

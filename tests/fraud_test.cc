@@ -1,0 +1,148 @@
+#include "analytics/fraud.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "workloads/fraud_workload.h"
+
+namespace hygraph::analytics {
+namespace {
+
+using core::HyGraph;
+using graph::VertexId;
+
+// Shared generated world (generation is the expensive part).
+class FraudTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    workloads::FraudConfig config;
+    config.users = 120;
+    config.merchants = 24;
+    config.merchant_clusters = 4;
+    config.days = 7;
+    config.seed = 4242;
+    auto hg = workloads::GenerateFraudHyGraph(config);
+    ASSERT_TRUE(hg.ok()) << hg.status().ToString();
+    hg_ = new HyGraph(std::move(*hg));
+  }
+
+  static std::vector<VertexId> UsersWithRole(const std::string& role) {
+    std::vector<VertexId> out;
+    for (VertexId u : hg_->structure().VerticesWithLabel("User")) {
+      auto r = hg_->GetVertexProperty(u, "gt_role");
+      if (r.ok() && *r == Value(role)) out.push_back(u);
+    }
+    return out;
+  }
+
+  static HyGraph* hg_;
+};
+
+HyGraph* FraudTest::hg_ = nullptr;
+
+TEST_F(FraudTest, WorldHasAllRoles) {
+  EXPECT_FALSE(UsersWithRole("ring").empty());
+  EXPECT_FALSE(UsersWithRole("heavy").empty());
+  EXPECT_FALSE(UsersWithRole("burst").empty());
+  EXPECT_FALSE(UsersWithRole("normal").empty());
+}
+
+TEST_F(FraudTest, GraphOnlyFlagsRingsAndBurstShoppers) {
+  auto verdict = DetectFraudGraphOnly(*hg_);
+  ASSERT_TRUE(verdict.ok()) << verdict.status().ToString();
+  std::set<VertexId> flagged(verdict->flagged_users.begin(),
+                             verdict->flagged_users.end());
+  for (VertexId u : UsersWithRole("ring")) {
+    EXPECT_TRUE(flagged.count(u)) << "ring user missed";
+  }
+  for (VertexId u : UsersWithRole("burst")) {
+    EXPECT_TRUE(flagged.count(u)) << "burst decoy should fool graph-only";
+  }
+  for (VertexId u : UsersWithRole("heavy")) {
+    EXPECT_FALSE(flagged.count(u));
+  }
+  for (VertexId u : UsersWithRole("normal")) {
+    EXPECT_FALSE(flagged.count(u));
+  }
+}
+
+TEST_F(FraudTest, TsOnlyFlagsRingsAndHeavySpenders) {
+  auto verdict = DetectFraudTsOnly(*hg_);
+  ASSERT_TRUE(verdict.ok());
+  std::set<VertexId> flagged(verdict->flagged_users.begin(),
+                             verdict->flagged_users.end());
+  for (VertexId u : UsersWithRole("ring")) {
+    EXPECT_TRUE(flagged.count(u)) << "ring user missed by TS";
+  }
+  for (VertexId u : UsersWithRole("heavy")) {
+    EXPECT_TRUE(flagged.count(u)) << "heavy spender should fool TS-only";
+  }
+  for (VertexId u : UsersWithRole("burst")) {
+    EXPECT_FALSE(flagged.count(u));
+  }
+}
+
+TEST_F(FraudTest, HybridIsExactOnThisWorld) {
+  auto verdict = DetectFraudHybrid(*hg_);
+  ASSERT_TRUE(verdict.ok());
+  auto metrics = EvaluateVerdict(*hg_, *verdict);
+  ASSERT_TRUE(metrics.ok());
+  EXPECT_DOUBLE_EQ(metrics->precision(), 1.0);
+  EXPECT_DOUBLE_EQ(metrics->recall(), 1.0);
+}
+
+TEST_F(FraudTest, HybridBeatsBothSinglePaths) {
+  auto graph_only = DetectFraudGraphOnly(*hg_);
+  auto ts_only = DetectFraudTsOnly(*hg_);
+  auto hybrid = DetectFraudHybrid(*hg_);
+  ASSERT_TRUE(graph_only.ok());
+  ASSERT_TRUE(ts_only.ok());
+  ASSERT_TRUE(hybrid.ok());
+  const double f1_graph = EvaluateVerdict(*hg_, *graph_only)->f1();
+  const double f1_ts = EvaluateVerdict(*hg_, *ts_only)->f1();
+  const double f1_hybrid = EvaluateVerdict(*hg_, *hybrid)->f1();
+  EXPECT_GT(f1_hybrid, f1_graph);
+  EXPECT_GT(f1_hybrid, f1_ts);
+}
+
+TEST_F(FraudTest, AnnotationMarksSuspiciousUsers) {
+  HyGraph annotated = *hg_;  // work on a copy
+  auto verdict = DetectFraudHybrid(annotated, {}, &annotated);
+  ASSERT_TRUE(verdict.ok());
+  for (VertexId u : verdict->flagged_users) {
+    auto flag = annotated.GetVertexProperty(u, "suspicious");
+    ASSERT_TRUE(flag.ok());
+    EXPECT_EQ(*flag, Value(true));
+  }
+  // A "Suspicious" subgraph collects them.
+  ASSERT_EQ(annotated.SubgraphIds().size(), 1u);
+  auto members = annotated.SubgraphAt(annotated.SubgraphIds()[0], 0);
+  ASSERT_TRUE(members.ok());
+  EXPECT_EQ(members->vertices.size(), verdict->flagged_users.size());
+}
+
+TEST_F(FraudTest, ThresholdSensitivity) {
+  // A sky-high amount threshold blinds the graph detector entirely.
+  GraphDetectorOptions blind;
+  blind.amount_threshold = 1e9;
+  auto verdict = DetectFraudGraphOnly(*hg_, blind);
+  ASSERT_TRUE(verdict.ok());
+  EXPECT_TRUE(verdict->flagged_users.empty());
+  // A huge z threshold blinds the TS detector.
+  TsDetectorOptions deaf;
+  deaf.threshold = 1e9;
+  auto ts_verdict = DetectFraudTsOnly(*hg_, deaf);
+  ASSERT_TRUE(ts_verdict.ok());
+  EXPECT_TRUE(ts_verdict->flagged_users.empty());
+}
+
+TEST_F(FraudTest, EvaluateRequiresGroundTruth) {
+  HyGraph empty;
+  (void)*empty.AddPgVertex({"User"}, {});
+  FraudVerdict verdict;
+  EXPECT_FALSE(EvaluateVerdict(empty, verdict).ok());
+}
+
+}  // namespace
+}  // namespace hygraph::analytics

@@ -1,0 +1,142 @@
+#include "workloads/fraud_workload.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace hygraph::workloads {
+namespace {
+
+using core::HyGraph;
+using graph::VertexId;
+
+FraudConfig SmallConfig() {
+  FraudConfig config;
+  config.users = 60;
+  config.merchants = 12;
+  config.merchant_clusters = 3;
+  config.days = 5;
+  config.seed = 7;
+  return config;
+}
+
+TEST(FraudWorkloadTest, ModelConventionsHold) {
+  auto hg = GenerateFraudHyGraph(SmallConfig());
+  ASSERT_TRUE(hg.ok()) << hg.status().ToString();
+  EXPECT_TRUE(hg->Validate().ok());
+  const auto users = hg->structure().VerticesWithLabel("User");
+  const auto cards = hg->structure().VerticesWithLabel("CreditCard");
+  const auto merchants = hg->structure().VerticesWithLabel("Merchant");
+  EXPECT_EQ(users.size(), 60u);
+  EXPECT_EQ(cards.size(), 60u);
+  EXPECT_EQ(merchants.size(), 12u);
+  // Cards are TS vertices with a balance variable; users are PG.
+  for (VertexId c : cards) {
+    ASSERT_TRUE(hg->IsTsVertex(c));
+    auto series = hg->VertexSeries(c);
+    ASSERT_TRUE(series.ok());
+    EXPECT_TRUE((*series)->VariableIndex("balance").ok());
+    EXPECT_EQ((*series)->size(), 5u * 24u);
+  }
+  for (VertexId u : users) {
+    EXPECT_FALSE(hg->IsTsVertex(u));
+  }
+}
+
+TEST(FraudWorkloadTest, EveryUserHasExactlyOneCard) {
+  auto hg = GenerateFraudHyGraph(SmallConfig());
+  ASSERT_TRUE(hg.ok());
+  for (VertexId u : hg->structure().VerticesWithLabel("User")) {
+    size_t uses = 0;
+    for (graph::EdgeId e : hg->structure().OutEdges(u)) {
+      if ((*hg->structure().GetEdge(e))->label == "USES") ++uses;
+    }
+    EXPECT_EQ(uses, 1u);
+  }
+}
+
+TEST(FraudWorkloadTest, TxEdgesAreTsWithAmounts) {
+  auto hg = GenerateFraudHyGraph(SmallConfig());
+  ASSERT_TRUE(hg.ok());
+  size_t tx_edges = 0;
+  for (graph::EdgeId e : hg->TsEdges()) {
+    const graph::Edge& edge = **hg->structure().GetEdge(e);
+    if (edge.label != "TX") continue;
+    ++tx_edges;
+    auto series = hg->EdgeSeries(e);
+    ASSERT_TRUE(series.ok());
+    EXPECT_TRUE((*series)->VariableIndex("amount").ok());
+    EXPECT_GT((*series)->size(), 0u);
+  }
+  EXPECT_GT(tx_edges, 60u);  // at least one per user, usually 2-3
+}
+
+TEST(FraudWorkloadTest, GroundTruthConsistent) {
+  auto hg = GenerateFraudHyGraph(SmallConfig());
+  ASSERT_TRUE(hg.ok());
+  size_t ring = 0;
+  for (VertexId u : hg->structure().VerticesWithLabel("User")) {
+    auto fraud = hg->GetVertexProperty(u, "gt_fraud");
+    auto role = hg->GetVertexProperty(u, "gt_role");
+    ASSERT_TRUE(fraud.ok());
+    ASSERT_TRUE(role.ok());
+    if (fraud->AsBool()) {
+      EXPECT_EQ(*role, Value("ring"));
+      ++ring;
+    } else {
+      EXPECT_NE(*role, Value("ring"));
+    }
+  }
+  EXPECT_GT(ring, 0u);
+}
+
+TEST(FraudWorkloadTest, MerchantsHaveClusteredCoordinates) {
+  auto hg = GenerateFraudHyGraph(SmallConfig());
+  ASSERT_TRUE(hg.ok());
+  // Same-cluster merchants sit close; cross-cluster far apart.
+  std::vector<std::pair<double, double>> cluster0;
+  std::vector<std::pair<double, double>> cluster1;
+  for (VertexId m : hg->structure().VerticesWithLabel("Merchant")) {
+    const double x = hg->GetVertexProperty(m, "x")->AsDouble();
+    const double y = hg->GetVertexProperty(m, "y")->AsDouble();
+    const int64_t cluster = hg->GetVertexProperty(m, "cluster")->AsInt();
+    if (cluster == 0) cluster0.emplace_back(x, y);
+    if (cluster == 1) cluster1.emplace_back(x, y);
+  }
+  ASSERT_GE(cluster0.size(), 2u);
+  ASSERT_GE(cluster1.size(), 1u);
+  auto dist = [](std::pair<double, double> a, std::pair<double, double> b) {
+    const double dx = a.first - b.first;
+    const double dy = a.second - b.second;
+    return std::sqrt(dx * dx + dy * dy);
+  };
+  EXPECT_LT(dist(cluster0[0], cluster0[1]), 1000.0);
+  EXPECT_GT(dist(cluster0[0], cluster1[0]), 5000.0);
+}
+
+TEST(FraudWorkloadTest, DeterministicForSeed) {
+  auto a = GenerateFraudHyGraph(SmallConfig());
+  auto b = GenerateFraudHyGraph(SmallConfig());
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->VertexCount(), b->VertexCount());
+  EXPECT_EQ(a->EdgeCount(), b->EdgeCount());
+  const auto cards_a = a->TsVertices();
+  const auto cards_b = b->TsVertices();
+  ASSERT_EQ(cards_a.size(), cards_b.size());
+  for (size_t i = 0; i < cards_a.size(); ++i) {
+    EXPECT_EQ(**a->VertexSeries(cards_a[i]), **b->VertexSeries(cards_b[i]));
+  }
+}
+
+TEST(FraudWorkloadTest, Validation) {
+  FraudConfig bad = SmallConfig();
+  bad.users = 0;
+  EXPECT_FALSE(GenerateFraudHyGraph(bad).ok());
+  bad = SmallConfig();
+  bad.merchants = 5;  // fewer than 3 per cluster
+  EXPECT_FALSE(GenerateFraudHyGraph(bad).ok());
+}
+
+}  // namespace
+}  // namespace hygraph::workloads

@@ -1,0 +1,140 @@
+#include "graph/aggregate.h"
+
+#include <gtest/gtest.h>
+
+namespace hygraph::graph {
+namespace {
+
+// Stations in two districts with trips between them.
+PropertyGraph DistrictWorld() {
+  PropertyGraph g;
+  const VertexId s0 =
+      g.AddVertex({"Station"}, {{"district", Value(0)}, {"cap", Value(10)}});
+  const VertexId s1 =
+      g.AddVertex({"Station"}, {{"district", Value(0)}, {"cap", Value(20)}});
+  const VertexId s2 =
+      g.AddVertex({"Station"}, {{"district", Value(1)}, {"cap", Value(30)}});
+  EXPECT_TRUE(g.AddEdge(s0, s1, "TRIP", {{"n", Value(5)}}).ok());
+  EXPECT_TRUE(g.AddEdge(s0, s2, "TRIP", {{"n", Value(7)}}).ok());
+  EXPECT_TRUE(g.AddEdge(s1, s2, "TRIP", {{"n", Value(2)}}).ok());
+  EXPECT_TRUE(g.AddEdge(s2, s0, "TRIP", {{"n", Value(1)}}).ok());
+  return g;
+}
+
+TEST(GroupByTest, CollapsesByPropertyValue) {
+  PropertyGraph g = DistrictWorld();
+  GroupingSpec spec;
+  spec.vertex_group_key = "district";
+  spec.vertex_agg_keys = {"cap"};
+  spec.edge_agg_keys = {"n"};
+  auto grouped = GroupBy(g, spec);
+  ASSERT_TRUE(grouped.ok());
+  EXPECT_EQ(grouped->summary.VertexCount(), 2u);
+  // Super-edges: 0->0 (intra), 0->1, 1->0.
+  EXPECT_EQ(grouped->summary.EdgeCount(), 3u);
+  EXPECT_EQ(grouped->vertex_to_super.size(), 3u);
+}
+
+TEST(GroupByTest, SuperVertexAggregates) {
+  PropertyGraph g = DistrictWorld();
+  GroupingSpec spec;
+  spec.vertex_group_key = "district";
+  spec.vertex_agg_keys = {"cap"};
+  auto grouped = GroupBy(g, spec);
+  ASSERT_TRUE(grouped.ok());
+  bool found_d0 = false;
+  for (VertexId v : grouped->summary.VertexIds()) {
+    auto district = grouped->summary.GetVertexProperty(v, "district");
+    ASSERT_TRUE(district.ok());
+    if (*district == Value(0)) {
+      found_d0 = true;
+      EXPECT_EQ(*grouped->summary.GetVertexProperty(v, "count"), Value(2));
+      EXPECT_EQ(*grouped->summary.GetVertexProperty(v, "sum_cap"),
+                Value(30.0));
+    }
+  }
+  EXPECT_TRUE(found_d0);
+}
+
+TEST(GroupByTest, SuperEdgeAggregates) {
+  PropertyGraph g = DistrictWorld();
+  GroupingSpec spec;
+  spec.vertex_group_key = "district";
+  spec.edge_agg_keys = {"n"};
+  auto grouped = GroupBy(g, spec);
+  ASSERT_TRUE(grouped.ok());
+  // Find the 0 -> 1 super-edge: trips s0->s2 (7) and s1->s2 (2) -> sum 9.
+  bool found = false;
+  for (EdgeId e : grouped->summary.EdgeIds()) {
+    const Edge& edge = **grouped->summary.GetEdge(e);
+    auto src_d = grouped->summary.GetVertexProperty(edge.src, "district");
+    auto dst_d = grouped->summary.GetVertexProperty(edge.dst, "district");
+    if (*src_d == Value(0) && *dst_d == Value(1)) {
+      found = true;
+      EXPECT_EQ(*grouped->summary.GetEdgeProperty(e, "count"), Value(2));
+      EXPECT_EQ(*grouped->summary.GetEdgeProperty(e, "sum_n"), Value(9.0));
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(GroupByTest, MissingKeyGroupsUnderNull) {
+  PropertyGraph g;
+  g.AddVertex({}, {{"d", Value(1)}});
+  g.AddVertex({}, {});  // no "d"
+  g.AddVertex({}, {});  // no "d"
+  GroupingSpec spec;
+  spec.vertex_group_key = "d";
+  auto grouped = GroupBy(g, spec);
+  ASSERT_TRUE(grouped.ok());
+  EXPECT_EQ(grouped->summary.VertexCount(), 2u);
+}
+
+TEST(GroupByTest, RequiresGroupKey) {
+  EXPECT_FALSE(GroupBy(DistrictWorld(), GroupingSpec{}).ok());
+}
+
+TEST(GroupByAssignmentTest, ExternalAssignment) {
+  PropertyGraph g = DistrictWorld();
+  std::unordered_map<VertexId, size_t> assignment;
+  const auto ids = g.VertexIds();
+  assignment[ids[0]] = 0;
+  assignment[ids[1]] = 1;
+  assignment[ids[2]] = 1;
+  GroupingSpec spec;
+  auto grouped = GroupByAssignment(g, assignment, spec);
+  ASSERT_TRUE(grouped.ok());
+  EXPECT_EQ(grouped->summary.VertexCount(), 2u);
+  EXPECT_EQ(grouped->vertex_to_super.at(ids[1]),
+            grouped->vertex_to_super.at(ids[2]));
+  EXPECT_NE(grouped->vertex_to_super.at(ids[0]),
+            grouped->vertex_to_super.at(ids[1]));
+}
+
+TEST(GroupByAssignmentTest, IncompleteAssignmentFails) {
+  PropertyGraph g = DistrictWorld();
+  std::unordered_map<VertexId, size_t> assignment;
+  assignment[g.VertexIds()[0]] = 0;
+  EXPECT_FALSE(GroupByAssignment(g, assignment, GroupingSpec{}).ok());
+}
+
+TEST(GroupByTest, SummaryVerticesLabeledGroup) {
+  auto grouped = GroupByAssignment(
+      DistrictWorld(),
+      [] {
+        std::unordered_map<VertexId, size_t> a;
+        a[0] = 0;
+        a[1] = 0;
+        a[2] = 0;
+        return a;
+      }(),
+      GroupingSpec{});
+  ASSERT_TRUE(grouped.ok());
+  ASSERT_EQ(grouped->summary.VertexCount(), 1u);
+  EXPECT_EQ(grouped->summary.VerticesWithLabel("Group").size(), 1u);
+  // A single group keeps intra-edges as one self super-edge.
+  EXPECT_EQ(grouped->summary.EdgeCount(), 1u);
+}
+
+}  // namespace
+}  // namespace hygraph::graph

@@ -1,0 +1,156 @@
+#include "analytics/hybrid_aggregate.h"
+
+#include <gtest/gtest.h>
+
+namespace hygraph::analytics {
+namespace {
+
+using core::HyGraph;
+using graph::VertexId;
+
+// Four stations in two districts; each has a 4-hour "history" series
+// sampled every 30 minutes with a district-specific constant value.
+class HybridAggregateTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    for (int i = 0; i < 4; ++i) {
+      const int district = i / 2;
+      const VertexId v = *hg_.AddPgVertex(
+          {"Station"},
+          {{"district", Value(district)}, {"name", Value("S" + std::to_string(i))}});
+      ts::MultiSeries ms("h", {"v"});
+      for (int s = 0; s < 8; ++s) {
+        ASSERT_TRUE(
+            ms.AppendRow(s * 30 * kMinute, {10.0 * (district + 1)}).ok());
+      }
+      ASSERT_TRUE(hg_.SetVertexSeriesProperty(v, "history", std::move(ms))
+                      .ok());
+      stations_.push_back(v);
+    }
+    // Trips: within district 0, and one across districts.
+    ASSERT_TRUE(hg_.AddPgEdge(stations_[0], stations_[1], "TRIP", {}).ok());
+    ASSERT_TRUE(hg_.AddPgEdge(stations_[1], stations_[2], "TRIP", {}).ok());
+    ASSERT_TRUE(hg_.AddPgEdge(stations_[2], stations_[3], "TRIP", {}).ok());
+  }
+
+  HybridAggregateOptions DefaultOptions() {
+    HybridAggregateOptions options;
+    options.group_key = "district";
+    options.granularity = kHour;
+    return options;
+  }
+
+  HyGraph hg_;
+  std::vector<VertexId> stations_;
+};
+
+TEST_F(HybridAggregateTest, CollapsesStructureAndSeries) {
+  auto result = HybridAggregate(hg_, DefaultOptions());
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->summary.VertexCount(), 2u);
+  // Super-vertices are TS vertices (first-class series entities).
+  for (VertexId v : result->summary.TsVertices()) {
+    auto series = result->summary.VertexSeries(v);
+    ASSERT_TRUE(series.ok());
+    EXPECT_GT((*series)->size(), 0u);
+  }
+  EXPECT_EQ(result->summary.TsVertices().size(), 2u);
+  EXPECT_EQ(result->vertex_to_super.size(), 4u);
+}
+
+TEST_F(HybridAggregateTest, MergedSeriesValuesCorrect) {
+  auto result = HybridAggregate(hg_, DefaultOptions());
+  ASSERT_TRUE(result.ok());
+  // District 0 members are constant 10 -> merged avg must be 10 per bucket;
+  // the 4-hour span at 1h granularity yields 4 buckets.
+  const VertexId super0 = result->vertex_to_super.at(stations_[0]);
+  auto series = result->summary.VertexSeries(super0);
+  ASSERT_TRUE(series.ok());
+  EXPECT_EQ((*series)->size(), 4u);
+  for (size_t r = 0; r < (*series)->size(); ++r) {
+    EXPECT_DOUBLE_EQ((*series)->at(r, 0), 10.0);
+  }
+  const VertexId super1 = result->vertex_to_super.at(stations_[2]);
+  auto series1 = result->summary.VertexSeries(super1);
+  EXPECT_DOUBLE_EQ((*series1)->at(0, 0), 20.0);
+}
+
+TEST_F(HybridAggregateTest, SumMergeAddsMembers) {
+  HybridAggregateOptions options = DefaultOptions();
+  options.merge = ts::AggKind::kSum;
+  auto result = HybridAggregate(hg_, options);
+  ASSERT_TRUE(result.ok());
+  const VertexId super0 = result->vertex_to_super.at(stations_[0]);
+  auto series = result->summary.VertexSeries(super0);
+  // Two members, each contributing 10 per bucket -> 20.
+  EXPECT_DOUBLE_EQ((*series)->at(0, 0), 20.0);
+}
+
+TEST_F(HybridAggregateTest, SuperEdgesCollapse) {
+  auto result = HybridAggregate(hg_, DefaultOptions());
+  ASSERT_TRUE(result.ok());
+  // Edges: d0->d0 (intra), d0->d1, d1->d1 -> 3 super-edges.
+  EXPECT_EQ(result->summary.EdgeCount(), 3u);
+  for (graph::EdgeId e : result->summary.PgEdges()) {
+    auto count = result->summary.GetEdgeProperty(e, "count");
+    ASSERT_TRUE(count.ok());
+    EXPECT_EQ(*count, Value(1));
+  }
+}
+
+TEST_F(HybridAggregateTest, GroupPropertiesKept) {
+  auto result = HybridAggregate(hg_, DefaultOptions());
+  ASSERT_TRUE(result.ok());
+  const VertexId super0 = result->vertex_to_super.at(stations_[0]);
+  EXPECT_EQ(*result->summary.GetVertexProperty(super0, "district"),
+            Value(0));
+  EXPECT_EQ(*result->summary.GetVertexProperty(super0, "count"), Value(2));
+}
+
+TEST_F(HybridAggregateTest, Validation) {
+  HybridAggregateOptions no_key;
+  EXPECT_FALSE(HybridAggregate(hg_, no_key).ok());
+  HybridAggregateOptions bad_gran = DefaultOptions();
+  bad_gran.granularity = 0;
+  EXPECT_FALSE(HybridAggregate(hg_, bad_gran).ok());
+}
+
+TEST_F(HybridAggregateTest, MembersWithoutSeriesTolerated) {
+  const VertexId bare =
+      *hg_.AddPgVertex({"Station"}, {{"district", Value(0)}});
+  (void)bare;
+  auto result = HybridAggregate(hg_, DefaultOptions());
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->summary.VertexCount(), 2u);
+  // Merged series still reflects only the two series-bearing members.
+  const VertexId super0 = result->vertex_to_super.at(stations_[0]);
+  auto series = result->summary.VertexSeries(super0);
+  EXPECT_DOUBLE_EQ((*series)->at(0, 0), 10.0);
+}
+
+TEST_F(HybridAggregateTest, TsVertexMembersUseOwnSeries) {
+  core::HyGraph hg;
+  ts::MultiSeries a("a", {"v"});
+  ts::MultiSeries b("b", {"v"});
+  for (int s = 0; s < 4; ++s) {
+    ASSERT_TRUE(a.AppendRow(s * kHour, {4.0}).ok());
+    ASSERT_TRUE(b.AppendRow(s * kHour, {8.0}).ok());
+  }
+  const VertexId va = *hg.AddTsVertex({"Sensor"}, std::move(a));
+  const VertexId vb = *hg.AddTsVertex({"Sensor"}, std::move(b));
+  ASSERT_TRUE(hg.SetVertexProperty(va, "zone", Value(1)).ok());
+  ASSERT_TRUE(hg.SetVertexProperty(vb, "zone", Value(1)).ok());
+  HybridAggregateOptions options;
+  options.group_key = "zone";
+  options.granularity = kHour;
+  auto result = HybridAggregate(hg, options);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->summary.VertexCount(), 1u);
+  auto series =
+      result->summary.VertexSeries(result->vertex_to_super.at(va));
+  ASSERT_TRUE(series.ok());
+  EXPECT_DOUBLE_EQ((*series)->at(0, 0), 6.0);  // avg(4, 8)
+}
+
+}  // namespace
+}  // namespace hygraph::analytics

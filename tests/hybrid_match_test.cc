@@ -1,0 +1,140 @@
+#include "analytics/hybrid_match.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace hygraph::analytics {
+namespace {
+
+using core::HyGraph;
+using graph::VertexId;
+
+ts::MultiSeries Signal(std::initializer_list<double> values) {
+  ts::MultiSeries ms("sig", {"v"});
+  Timestamp t = 0;
+  for (double v : values) {
+    EXPECT_TRUE(ms.AppendRow(t, {v}).ok());
+    t += kHour;
+  }
+  return ms;
+}
+
+// Two sensors wired to a gateway: one shows a spike pattern, one is flat.
+class HybridMatchTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    gateway_ = *hg_.AddPgVertex({"Gateway"}, {});
+    spiky_ = *hg_.AddTsVertex(
+        {"Sensor"}, Signal({1, 1, 1, 9, 1, 1, 1, 1, 1, 1, 1, 1}));
+    flat_ = *hg_.AddTsVertex(
+        {"Sensor"}, Signal({2, 2, 2, 2, 2, 2, 2, 2, 2, 2, 2, 2}));
+    ASSERT_TRUE(hg_.AddPgEdge(gateway_, spiky_, "LINKS", {}).ok());
+    ASSERT_TRUE(hg_.AddPgEdge(gateway_, flat_, "LINKS", {}).ok());
+  }
+
+  HybridPatternQuery SpikeQuery(double max_distance = 0.5) {
+    HybridPatternQuery q;
+    q.structure.AddVertex("g", "Gateway");
+    q.structure.AddVertex("s", "Sensor");
+    q.structure.AddEdge("g", "s", "LINKS");
+    SeriesShapeConstraint c;
+    c.var = "s";
+    c.shape = {1, 1, 9, 1, 1};  // the spike silhouette
+    c.max_distance = max_distance;
+    q.constraints.push_back(std::move(c));
+    return q;
+  }
+
+  HyGraph hg_;
+  VertexId gateway_, spiky_, flat_;
+};
+
+TEST_F(HybridMatchTest, StructureAndShapeMustBothHold) {
+  auto matches = MatchHybridPattern(hg_, SpikeQuery());
+  ASSERT_TRUE(matches.ok()) << matches.status().ToString();
+  ASSERT_EQ(matches->size(), 1u);
+  EXPECT_EQ((*matches)[0].match.vertices.at("s"), spiky_);
+  ASSERT_EQ((*matches)[0].shape_hits.size(), 1u);
+  EXPECT_EQ((*matches)[0].shape_hits[0].offset, 1u);  // spike at index 3
+  EXPECT_NEAR((*matches)[0].shape_hits[0].distance, 0.0, 1e-9);
+}
+
+TEST_F(HybridMatchTest, NoConstraintIsPureStructural) {
+  HybridPatternQuery q = SpikeQuery();
+  q.constraints.clear();
+  auto matches = MatchHybridPattern(hg_, q);
+  ASSERT_TRUE(matches.ok());
+  EXPECT_EQ(matches->size(), 2u);  // both sensors
+}
+
+TEST_F(HybridMatchTest, TightThresholdExcludesAll) {
+  // The flat sensor has a constant series; z-normalized distance to the
+  // spike shape is large and constant, so a generous threshold lets it in.
+  auto generous = MatchHybridPattern(hg_, SpikeQuery(1e9));
+  ASSERT_TRUE(generous.ok());
+  EXPECT_EQ(generous->size(), 2u);
+  auto strict = MatchHybridPattern(hg_, SpikeQuery(1e-3));
+  ASSERT_TRUE(strict.ok());
+  EXPECT_EQ(strict->size(), 1u);
+}
+
+TEST_F(HybridMatchTest, ConstraintOnPgVertexUsesSeriesProperty) {
+  // Give the gateway a series property and constrain on it.
+  ASSERT_TRUE(
+      hg_.SetVertexSeriesProperty(gateway_, "load",
+                                  Signal({1, 2, 3, 4, 5, 6, 7, 8}))
+          .ok());
+  HybridPatternQuery q;
+  q.structure.AddVertex("g", "Gateway");
+  SeriesShapeConstraint c;
+  c.var = "g";
+  c.series_key = "load";
+  c.shape = {1, 2, 3, 4};  // a rising ramp, z-matches anywhere on the ramp
+  c.max_distance = 0.1;
+  q.constraints.push_back(std::move(c));
+  auto matches = MatchHybridPattern(hg_, q);
+  ASSERT_TRUE(matches.ok());
+  EXPECT_EQ(matches->size(), 1u);
+}
+
+TEST_F(HybridMatchTest, MissingSeriesPropertyFailsMatchNotQuery) {
+  HybridPatternQuery q;
+  q.structure.AddVertex("g", "Gateway");
+  SeriesShapeConstraint c;
+  c.var = "g";
+  c.series_key = "nonexistent";
+  c.shape = {1, 2, 3};
+  q.constraints.push_back(std::move(c));
+  auto matches = MatchHybridPattern(hg_, q);
+  ASSERT_TRUE(matches.ok());
+  EXPECT_TRUE(matches->empty());
+}
+
+TEST_F(HybridMatchTest, Validation) {
+  HybridPatternQuery q = SpikeQuery();
+  q.constraints[0].shape = {1.0};  // too short
+  EXPECT_FALSE(MatchHybridPattern(hg_, q).ok());
+  HybridPatternQuery bad_var = SpikeQuery();
+  bad_var.constraints[0].var = "zz";
+  EXPECT_FALSE(MatchHybridPattern(hg_, bad_var).ok());
+}
+
+TEST_F(HybridMatchTest, LimitApplied) {
+  HybridPatternQuery q = SpikeQuery(1e9);  // both sensors pass
+  q.limit = 1;
+  auto matches = MatchHybridPattern(hg_, q);
+  ASSERT_TRUE(matches.ok());
+  EXPECT_EQ(matches->size(), 1u);
+}
+
+TEST_F(HybridMatchTest, SeriesShorterThanShapeSkipped) {
+  const VertexId stub = *hg_.AddTsVertex({"Sensor"}, Signal({1, 2}));
+  ASSERT_TRUE(hg_.AddPgEdge(gateway_, stub, "LINKS", {}).ok());
+  auto matches = MatchHybridPattern(hg_, SpikeQuery(1e9));
+  ASSERT_TRUE(matches.ok());
+  EXPECT_EQ(matches->size(), 2u);  // stub excluded, others kept
+}
+
+}  // namespace
+}  // namespace hygraph::analytics

@@ -1,0 +1,184 @@
+#include "core/hygraph.h"
+
+#include <gtest/gtest.h>
+
+namespace hygraph::core {
+namespace {
+
+ts::MultiSeries Balance(std::initializer_list<double> values) {
+  ts::MultiSeries ms("balance", {"balance"});
+  Timestamp t = 0;
+  for (double v : values) {
+    EXPECT_TRUE(ms.AppendRow(t, {v}).ok());
+    t += kHour;
+  }
+  return ms;
+}
+
+TEST(HyGraphTest, PgAndTsVertexKinds) {
+  HyGraph hg;
+  const VertexId user = *hg.AddPgVertex({"User"}, {{"name", Value("u")}});
+  const VertexId card = *hg.AddTsVertex({"CreditCard"}, Balance({1, 2, 3}));
+  EXPECT_EQ(hg.VertexKind(user), ElementKind::kPg);
+  EXPECT_EQ(hg.VertexKind(card), ElementKind::kTs);
+  EXPECT_TRUE(hg.IsTsVertex(card));
+  EXPECT_FALSE(hg.IsTsVertex(user));
+  EXPECT_EQ(hg.PgVertices(), (std::vector<VertexId>{user}));
+  EXPECT_EQ(hg.TsVertices(), (std::vector<VertexId>{card}));
+}
+
+TEST(HyGraphTest, DeltaMapsTsVertexToSeries) {
+  HyGraph hg;
+  const VertexId card = *hg.AddTsVertex({"CreditCard"}, Balance({5, 6}));
+  auto series = hg.VertexSeries(card);
+  ASSERT_TRUE(series.ok());
+  EXPECT_EQ((*series)->size(), 2u);
+  EXPECT_DOUBLE_EQ((*series)->at(0, 0), 5.0);
+  const VertexId user = *hg.AddPgVertex({"User"}, {});
+  EXPECT_FALSE(hg.VertexSeries(user).ok());
+}
+
+TEST(HyGraphTest, TsEdgeCarriesSeries) {
+  HyGraph hg;
+  const VertexId card = *hg.AddTsVertex({"CreditCard"}, Balance({1}));
+  const VertexId merchant = *hg.AddPgVertex({"Merchant"}, {});
+  ts::MultiSeries amounts("tx", {"amount"});
+  ASSERT_TRUE(amounts.AppendRow(10, {99.0}).ok());
+  const EdgeId tx = *hg.AddTsEdge(card, merchant, "TX", std::move(amounts));
+  EXPECT_TRUE(hg.IsTsEdge(tx));
+  EXPECT_EQ(hg.TsEdges(), (std::vector<EdgeId>{tx}));
+  auto series = hg.EdgeSeries(tx);
+  ASSERT_TRUE(series.ok());
+  EXPECT_DOUBLE_EQ((*series)->at(0, 0), 99.0);
+}
+
+TEST(HyGraphTest, AppendToSeriesElements) {
+  HyGraph hg;
+  const VertexId card = *hg.AddTsVertex({"C"}, Balance({1.0}));
+  EXPECT_TRUE(hg.AppendToVertexSeries(card, 5 * kHour, {7.0}).ok());
+  EXPECT_EQ((*hg.VertexSeries(card))->size(), 2u);
+  // Out-of-order append rejected (chronological integrity).
+  EXPECT_FALSE(hg.AppendToVertexSeries(card, kHour, {8.0}).ok());
+  const VertexId pg = *hg.AddPgVertex({}, {});
+  EXPECT_FALSE(hg.AppendToVertexSeries(pg, kHour, {1.0}).ok());
+}
+
+TEST(HyGraphTest, StaticAndSeriesProperties) {
+  HyGraph hg;
+  const VertexId v = *hg.AddPgVertex({"Station"}, {});
+  EXPECT_TRUE(hg.SetVertexProperty(v, "capacity", Value(30)).ok());
+  EXPECT_EQ(*hg.GetVertexProperty(v, "capacity"), Value(30));
+  auto sid = hg.SetVertexSeriesProperty(v, "history", Balance({1, 2}));
+  ASSERT_TRUE(sid.ok());
+  auto prop = hg.GetVertexProperty(v, "history");
+  ASSERT_TRUE(prop.ok());
+  EXPECT_TRUE(prop->is_series_ref());
+  auto series = hg.GetVertexSeriesProperty(v, "history");
+  ASSERT_TRUE(series.ok());
+  EXPECT_EQ((*series)->size(), 2u);
+  // Scalar property cannot be read as a series.
+  EXPECT_FALSE(hg.GetVertexSeriesProperty(v, "capacity").ok());
+  EXPECT_EQ(hg.SeriesPoolSize(), 1u);
+}
+
+TEST(HyGraphTest, RawSeriesRefRejected) {
+  HyGraph hg;
+  const VertexId v = *hg.AddPgVertex({}, {});
+  EXPECT_FALSE(hg.SetVertexProperty(v, "x", Value::SeriesRef(0)).ok());
+  EXPECT_FALSE(hg.AddPgVertex({}, {{"x", Value::SeriesRef(0)}}).ok());
+}
+
+TEST(HyGraphTest, EdgeSeriesProperty) {
+  HyGraph hg;
+  const VertexId a = *hg.AddPgVertex({}, {});
+  const VertexId b = *hg.AddPgVertex({}, {});
+  const EdgeId e = *hg.AddPgEdge(a, b, "E", {});
+  auto sid = hg.SetEdgeSeriesProperty(e, "load", Balance({3}));
+  ASSERT_TRUE(sid.ok());
+  auto series = hg.GetEdgeSeriesProperty(e, "load");
+  ASSERT_TRUE(series.ok());
+  EXPECT_DOUBLE_EQ((*series)->at(0, 0), 3.0);
+}
+
+TEST(HyGraphTest, ValidityRespectedOnPgEdges) {
+  HyGraph hg;
+  const VertexId a = *hg.AddPgVertex({}, {}, Interval{0, 100});
+  const VertexId b = *hg.AddPgVertex({}, {}, Interval{50, 200});
+  EXPECT_TRUE(hg.AddPgEdge(a, b, "E", {}, Interval{50, 100}).ok());
+  EXPECT_FALSE(hg.AddPgEdge(a, b, "E", {}, Interval{0, 200}).ok());
+  EXPECT_EQ(*hg.VertexValidity(a), (Interval{0, 100}));
+}
+
+TEST(HyGraphTest, TsElementsAlwaysValid) {
+  HyGraph hg;
+  const VertexId card = *hg.AddTsVertex({"C"}, Balance({1, 2}));
+  EXPECT_EQ(*hg.VertexValidity(card), Interval::All());
+}
+
+TEST(HyGraphTest, SubgraphMembershipGamma) {
+  HyGraph hg;
+  const VertexId a = *hg.AddPgVertex({}, {}, Interval{0, 1000});
+  const VertexId b = *hg.AddPgVertex({}, {}, Interval{0, 1000});
+  const SubgraphId s =
+      *hg.CreateSubgraph({"Cluster"}, {{"kind", Value("test")}},
+                         Interval{0, 1000});
+  ASSERT_TRUE(
+      hg.AddToSubgraph(s, ElementRef::OfVertex(a), Interval{0, 500}).ok());
+  ASSERT_TRUE(
+      hg.AddToSubgraph(s, ElementRef::OfVertex(b), Interval{250, 750}).ok());
+  auto members_early = hg.SubgraphAt(s, 100);
+  ASSERT_TRUE(members_early.ok());
+  EXPECT_EQ(members_early->vertices, (std::vector<VertexId>{a}));
+  auto members_mid = hg.SubgraphAt(s, 300);
+  EXPECT_EQ(members_mid->vertices, (std::vector<VertexId>{a, b}));
+  auto members_late = hg.SubgraphAt(s, 600);
+  EXPECT_EQ(members_late->vertices, (std::vector<VertexId>{b}));
+  auto members_after = hg.SubgraphAt(s, 2000);  // outside subgraph validity
+  EXPECT_TRUE(members_after->vertices.empty());
+}
+
+TEST(HyGraphTest, SubgraphMembershipValidated) {
+  HyGraph hg;
+  const VertexId a = *hg.AddPgVertex({}, {}, Interval{100, 200});
+  const SubgraphId s = *hg.CreateSubgraph({}, {}, Interval{0, 150});
+  // Exceeds subgraph validity.
+  EXPECT_FALSE(
+      hg.AddToSubgraph(s, ElementRef::OfVertex(a), Interval{100, 200}).ok());
+  // Exceeds element validity.
+  EXPECT_FALSE(
+      hg.AddToSubgraph(s, ElementRef::OfVertex(a), Interval{50, 140}).ok());
+  // Fits both.
+  EXPECT_TRUE(
+      hg.AddToSubgraph(s, ElementRef::OfVertex(a), Interval{100, 140}).ok());
+  // Unknown subgraph / element.
+  EXPECT_FALSE(
+      hg.AddToSubgraph(99, ElementRef::OfVertex(a), Interval{100, 140}).ok());
+  EXPECT_FALSE(
+      hg.AddToSubgraph(s, ElementRef::OfVertex(77), Interval{100, 140}).ok());
+}
+
+TEST(HyGraphTest, SubgraphLabelsAndProperties) {
+  HyGraph hg;
+  const SubgraphId s = *hg.CreateSubgraph({"Suspicious"}, {});
+  EXPECT_EQ(**hg.SubgraphLabels(s), (std::vector<std::string>{"Suspicious"}));
+  ASSERT_TRUE(hg.SetSubgraphProperty(s, "score", Value(0.9)).ok());
+  EXPECT_EQ(*hg.GetSubgraphProperty(s, "score"), Value(0.9));
+  EXPECT_FALSE(hg.GetSubgraphProperty(s, "missing").ok());
+  EXPECT_EQ(hg.SubgraphIds(), (std::vector<SubgraphId>{s}));
+}
+
+TEST(HyGraphTest, SubgraphEdgesMembership) {
+  HyGraph hg;
+  const VertexId a = *hg.AddPgVertex({}, {});
+  const VertexId b = *hg.AddPgVertex({}, {});
+  const EdgeId e = *hg.AddPgEdge(a, b, "E", {});
+  const SubgraphId s = *hg.CreateSubgraph({}, {});
+  ASSERT_TRUE(
+      hg.AddToSubgraph(s, ElementRef::OfEdge(e), Interval::All()).ok());
+  auto members = hg.SubgraphAt(s, 12345);
+  ASSERT_TRUE(members.ok());
+  EXPECT_EQ(members->edges, (std::vector<EdgeId>{e}));
+}
+
+}  // namespace
+}  // namespace hygraph::core

@@ -1,0 +1,297 @@
+#include "ts/hypertable.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace hygraph::ts {
+namespace {
+
+HypertableStore MakeStoreWithSeries(SeriesId* id, size_t samples,
+                                    Duration step = kMinute,
+                                    Duration chunk = kHour) {
+  HypertableOptions options;
+  options.chunk_duration = chunk;
+  HypertableStore store(options);
+  *id = store.Create("s");
+  for (size_t i = 0; i < samples; ++i) {
+    EXPECT_TRUE(store
+                    .Insert(*id, static_cast<Timestamp>(i) * step,
+                            static_cast<double>(i))
+                    .ok());
+  }
+  return store;
+}
+
+TEST(HypertableTest, CreateAndCount) {
+  HypertableStore store;
+  const SeriesId a = store.Create("a");
+  const SeriesId b = store.Create("b");
+  EXPECT_NE(a, b);
+  EXPECT_TRUE(store.Exists(a));
+  EXPECT_FALSE(store.Exists(999));
+  EXPECT_EQ(store.series_count(), 2u);
+  EXPECT_EQ(*store.Name(a), "a");
+  EXPECT_EQ(store.Ids(), (std::vector<SeriesId>{a, b}));
+}
+
+TEST(HypertableTest, InsertUnknownSeriesFails) {
+  HypertableStore store;
+  EXPECT_FALSE(store.Insert(123, 0, 1.0).ok());
+  EXPECT_FALSE(store.Scan(123, Interval::All()).ok());
+  EXPECT_FALSE(store.Aggregate(123, Interval::All(), AggKind::kSum).ok());
+}
+
+TEST(HypertableTest, ScanReturnsOrderedRange) {
+  SeriesId id;
+  HypertableStore store = MakeStoreWithSeries(&id, 300);
+  auto samples = store.Scan(id, Interval{30 * kMinute, 90 * kMinute});
+  ASSERT_TRUE(samples.ok());
+  ASSERT_EQ(samples->size(), 60u);
+  EXPECT_EQ(samples->front().t, 30 * kMinute);
+  EXPECT_EQ(samples->back().t, 89 * kMinute);
+  for (size_t i = 1; i < samples->size(); ++i) {
+    EXPECT_LT((*samples)[i - 1].t, (*samples)[i].t);
+  }
+}
+
+TEST(HypertableTest, OutOfOrderInsertIsSorted) {
+  HypertableStore store;
+  const SeriesId id = store.Create("s");
+  EXPECT_TRUE(store.Insert(id, 500, 5.0).ok());
+  EXPECT_TRUE(store.Insert(id, 100, 1.0).ok());
+  EXPECT_TRUE(store.Insert(id, 300, 3.0).ok());
+  auto samples = store.Scan(id, Interval::All());
+  ASSERT_TRUE(samples.ok());
+  ASSERT_EQ(samples->size(), 3u);
+  EXPECT_EQ((*samples)[0].t, 100);
+  EXPECT_EQ((*samples)[2].t, 500);
+}
+
+TEST(HypertableTest, DuplicateTimestampReplaces) {
+  HypertableStore store;
+  const SeriesId id = store.Create("s");
+  EXPECT_TRUE(store.Insert(id, 100, 1.0).ok());
+  EXPECT_TRUE(store.Insert(id, 100, 9.0).ok());
+  EXPECT_EQ(*store.SampleCount(id), 1u);
+  auto samples = store.Scan(id, Interval::All());
+  EXPECT_DOUBLE_EQ((*samples)[0].value, 9.0);
+}
+
+TEST(HypertableTest, AggregateMatchesScan) {
+  SeriesId id;
+  HypertableStore store = MakeStoreWithSeries(&id, 500);
+  const Interval range{100 * kMinute, 400 * kMinute};
+  // sum of i for i in [100, 400) = (100 + 399) * 300 / 2.
+  auto sum = store.Aggregate(id, range, AggKind::kSum);
+  ASSERT_TRUE(sum.ok());
+  EXPECT_DOUBLE_EQ(*sum, (100.0 + 399.0) * 300.0 / 2.0);
+  EXPECT_DOUBLE_EQ(*store.Aggregate(id, range, AggKind::kCount), 300.0);
+  EXPECT_DOUBLE_EQ(*store.Aggregate(id, range, AggKind::kMin), 100.0);
+  EXPECT_DOUBLE_EQ(*store.Aggregate(id, range, AggKind::kMax), 399.0);
+  EXPECT_DOUBLE_EQ(*store.Aggregate(id, range, AggKind::kAvg), 249.5);
+  EXPECT_DOUBLE_EQ(*store.Aggregate(id, range, AggKind::kFirst), 100.0);
+  EXPECT_DOUBLE_EQ(*store.Aggregate(id, range, AggKind::kLast), 399.0);
+}
+
+TEST(HypertableTest, ChunkCacheAnswersFullyCoveredChunks) {
+  SeriesId id;
+  HypertableStore store = MakeStoreWithSeries(&id, 600);  // 10 chunks of 60
+  store.ResetStats();
+  auto sum = store.Aggregate(id, Interval{0, 600 * kMinute}, AggKind::kSum);
+  ASSERT_TRUE(sum.ok());
+  const HypertableStats& stats = store.stats();
+  EXPECT_EQ(stats.chunks_from_cache, 10u);
+  EXPECT_EQ(stats.samples_scanned, 0u);
+}
+
+TEST(HypertableTest, PartialChunksAreScanned) {
+  SeriesId id;
+  HypertableStore store = MakeStoreWithSeries(&id, 600);
+  store.ResetStats();
+  // Misaligned range: 30 min into chunk 0 through 30 min into chunk 2.
+  auto sum = store.Aggregate(id, Interval{30 * kMinute, 150 * kMinute},
+                             AggKind::kCount);
+  ASSERT_TRUE(sum.ok());
+  EXPECT_DOUBLE_EQ(*sum, 120.0);
+  const HypertableStats& stats = store.stats();
+  EXPECT_EQ(stats.chunks_from_cache, 1u);  // chunk 1 fully covered
+  EXPECT_EQ(stats.chunks_scanned, 2u);     // boundary chunks
+}
+
+TEST(HypertableTest, CacheDisabledScansEverything) {
+  HypertableOptions options;
+  options.chunk_duration = kHour;
+  options.enable_chunk_cache = false;
+  HypertableStore store(options);
+  const SeriesId id = store.Create("s");
+  for (size_t i = 0; i < 120; ++i) {
+    ASSERT_TRUE(
+        store.Insert(id, static_cast<Timestamp>(i) * kMinute, 1.0).ok());
+  }
+  store.ResetStats();
+  ASSERT_TRUE(store.Aggregate(id, Interval::All(), AggKind::kSum).ok());
+  EXPECT_EQ(store.stats().chunks_from_cache, 0u);
+  EXPECT_EQ(store.stats().samples_scanned, 120u);
+}
+
+TEST(HypertableTest, ScanPrunesChunks) {
+  SeriesId id;
+  HypertableStore store = MakeStoreWithSeries(&id, 600);  // 10 chunks
+  store.ResetStats();
+  ASSERT_TRUE(store.Scan(id, Interval{5 * kHour, 6 * kHour}).ok());
+  EXPECT_EQ(store.stats().chunks_scanned, 1u);
+}
+
+TEST(HypertableTest, AggregateOverEmptyRange) {
+  SeriesId id;
+  HypertableStore store = MakeStoreWithSeries(&id, 10);
+  auto count =
+      store.Aggregate(id, Interval{kDay, 2 * kDay}, AggKind::kCount);
+  ASSERT_TRUE(count.ok());
+  EXPECT_DOUBLE_EQ(*count, 0.0);
+  EXPECT_FALSE(store.Aggregate(id, Interval{kDay, 2 * kDay}, AggKind::kAvg)
+                   .ok());
+}
+
+TEST(HypertableTest, RetainDropsWholeChunksAndTrimsBoundaries) {
+  SeriesId id;
+  HypertableStore store = MakeStoreWithSeries(&id, 600);
+  auto removed = store.Retain(id, Interval{90 * kMinute, 400 * kMinute});
+  ASSERT_TRUE(removed.ok());
+  EXPECT_EQ(*removed, 600u - 310u);
+  EXPECT_EQ(*store.SampleCount(id), 310u);
+  auto samples = store.Scan(id, Interval::All());
+  EXPECT_EQ(samples->front().t, 90 * kMinute);
+  EXPECT_EQ(samples->back().t, 399 * kMinute);
+}
+
+TEST(HypertableTest, MaterializeBuildsSeries) {
+  SeriesId id;
+  HypertableStore store = MakeStoreWithSeries(&id, 100);
+  auto series = store.Materialize(id, Interval{0, 10 * kMinute});
+  ASSERT_TRUE(series.ok());
+  EXPECT_EQ(series->size(), 10u);
+  EXPECT_EQ(series->name(), "s");
+}
+
+TEST(HypertableTest, InsertAfterAggregateInvalidatesCache) {
+  HypertableOptions options;
+  options.chunk_duration = kHour;
+  HypertableStore store(options);
+  const SeriesId id = store.Create("s");
+  ASSERT_TRUE(store.Insert(id, 0, 1.0).ok());
+  ASSERT_TRUE(store.Insert(id, kMinute, 2.0).ok());
+  EXPECT_DOUBLE_EQ(*store.Aggregate(id, Interval::All(), AggKind::kSum), 3.0);
+  ASSERT_TRUE(store.Insert(id, 2 * kMinute, 4.0).ok());
+  EXPECT_DOUBLE_EQ(*store.Aggregate(id, Interval::All(), AggKind::kSum), 7.0);
+}
+
+TEST(HypertableTest, StdDevAggregate) {
+  HypertableStore store;
+  const SeriesId id = store.Create("s");
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(store.Insert(id, i * kMinute, static_cast<double>(i)).ok());
+  }
+  // Sample stddev of {0,1,2,3} = sqrt(5/3).
+  EXPECT_NEAR(*store.Aggregate(id, Interval::All(), AggKind::kStdDev),
+              std::sqrt(5.0 / 3.0), 1e-9);
+}
+
+TEST(HypertableWindowTest, MatchesInMemoryWindowAggregate) {
+  HypertableOptions options;
+  options.chunk_duration = kHour;
+  HypertableStore store(options);
+  const SeriesId id = store.Create("s");
+  Series reference("ref");
+  for (int i = 0; i < 700; ++i) {
+    const Timestamp t = 3 * kMinute + i * 7 * kMinute;  // misaligned grid
+    const double v = std::sin(i * 0.11) * 5.0;
+    ASSERT_TRUE(store.Insert(id, t, v).ok());
+    ASSERT_TRUE(reference.Append(t, v).ok());
+  }
+  const Interval range{50 * kMinute, 4000 * kMinute};
+  for (AggKind kind : {AggKind::kCount, AggKind::kSum, AggKind::kAvg,
+                       AggKind::kMin, AggKind::kMax}) {
+    auto native = store.WindowAggregate(id, range, 45 * kMinute, kind);
+    auto in_memory = WindowAggregate(reference, range, 45 * kMinute, kind);
+    ASSERT_TRUE(native.ok());
+    ASSERT_TRUE(in_memory.ok());
+    ASSERT_EQ(native->size(), in_memory->size()) << AggKindName(kind);
+    for (size_t i = 0; i < native->size(); ++i) {
+      EXPECT_EQ(native->at(i).t, in_memory->at(i).t);
+      EXPECT_NEAR(native->at(i).value, in_memory->at(i).value, 1e-9);
+    }
+  }
+}
+
+TEST(HypertableWindowTest, AlignedWindowsAnswerFromChunkCache) {
+  HypertableOptions options;
+  options.chunk_duration = kHour;
+  HypertableStore store(options);
+  const SeriesId id = store.Create("s");
+  for (int i = 0; i < 600; ++i) {
+    ASSERT_TRUE(store.Insert(id, i * kMinute, 1.0).ok());  // 10 full chunks
+  }
+  store.ResetStats();
+  // Hour-wide windows anchored at 0 coincide with the chunk grid: every
+  // chunk is answered from its cached partial.
+  auto windowed =
+      store.WindowAggregate(id, Interval{0, 600 * kMinute}, kHour,
+                            AggKind::kSum);
+  ASSERT_TRUE(windowed.ok());
+  ASSERT_EQ(windowed->size(), 10u);
+  for (const Sample& w : windowed->samples()) {
+    EXPECT_DOUBLE_EQ(w.value, 60.0);
+  }
+  EXPECT_EQ(store.stats().chunks_from_cache, 10u);
+  EXPECT_EQ(store.stats().samples_scanned, 0u);
+}
+
+TEST(HypertableWindowTest, Validation) {
+  HypertableStore store;
+  const SeriesId id = store.Create("s");
+  EXPECT_FALSE(store.WindowAggregate(id, Interval::All(), 0,
+                                     AggKind::kSum)
+                   .ok());
+  EXPECT_FALSE(store.WindowAggregate(99, Interval::All(), kHour,
+                                     AggKind::kSum)
+                   .ok());
+  auto empty = store.WindowAggregate(id, Interval::All(), kHour,
+                                     AggKind::kSum);
+  ASSERT_TRUE(empty.ok());
+  EXPECT_TRUE(empty->empty());
+}
+
+// Property sweep: chunk size must never change query answers.
+class ChunkSizeSweep : public ::testing::TestWithParam<Duration> {};
+
+TEST_P(ChunkSizeSweep, AnswersIndependentOfChunking) {
+  HypertableOptions options;
+  options.chunk_duration = GetParam();
+  HypertableStore store(options);
+  const SeriesId id = store.Create("s");
+  for (size_t i = 0; i < 777; ++i) {
+    ASSERT_TRUE(store
+                    .Insert(id, static_cast<Timestamp>(i) * 13 * kSecond,
+                            std::sin(static_cast<double>(i)))
+                    .ok());
+  }
+  const Interval range{100 * kSecond, 5000 * kSecond};
+  auto scan = store.Scan(id, range);
+  ASSERT_TRUE(scan.ok());
+  double expected_sum = 0.0;
+  for (const Sample& s : *scan) expected_sum += s.value;
+  auto sum = store.Aggregate(id, range, AggKind::kSum);
+  ASSERT_TRUE(sum.ok());
+  EXPECT_NEAR(*sum, expected_sum, 1e-9);
+  EXPECT_DOUBLE_EQ(*store.Aggregate(id, range, AggKind::kCount),
+                   static_cast<double>(scan->size()));
+}
+
+INSTANTIATE_TEST_SUITE_P(Chunks, ChunkSizeSweep,
+                         ::testing::Values(kMinute, kHour, 6 * kHour, kDay,
+                                           30 * kDay));
+
+}  // namespace
+}  // namespace hygraph::ts

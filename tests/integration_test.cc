@@ -1,0 +1,177 @@
+// End-to-end integration: the Figure-4 pipeline stages chained over
+// generated data, plus cross-layer flows (workload -> storage -> HGQL ->
+// analytics -> annotated HyGraph).
+
+#include <gtest/gtest.h>
+
+#include "analytics/detection.h"
+#include "analytics/fraud.h"
+#include "analytics/hybrid_aggregate.h"
+#include "analytics/seg_snapshot.h"
+#include "core/convert.h"
+#include "query/executor.h"
+#include "storage/all_in_graph.h"
+#include "storage/polyglot.h"
+#include "temporal/metric_evolution.h"
+#include "workloads/bike_sharing.h"
+#include "workloads/financial.h"
+#include "workloads/fraud_workload.h"
+
+namespace hygraph {
+namespace {
+
+TEST(IntegrationTest, Figure4PipelineEndToEnd) {
+  // 1. <X>ToHyGraph: generate the credit-card world.
+  workloads::FraudConfig config;
+  config.users = 80;
+  config.merchants = 18;
+  config.merchant_clusters = 3;
+  config.days = 6;
+  config.seed = 321;
+  auto hg = workloads::GenerateFraudHyGraph(config);
+  ASSERT_TRUE(hg.ok());
+  ASSERT_TRUE(hg->Validate().ok());
+
+  // 2. HyGraphTo<TS>: metric evolution of the structure.
+  const auto times = temporal::SampleTimes(hg->tpg(), 32);
+  if (times.size() >= 2) {
+    auto sizes = temporal::SizeEvolution(hg->tpg(), times);
+    ASSERT_TRUE(sizes.ok());
+    EXPECT_EQ(sizes->vertex_count.size(), times.size());
+  }
+
+  // 3. HyGraphToHyGraph: hybrid detection with annotation.
+  core::HyGraph annotated = *hg;
+  auto verdict = analytics::DetectFraudHybrid(annotated, {}, &annotated);
+  ASSERT_TRUE(verdict.ok());
+  ASSERT_TRUE(annotated.Validate().ok());
+  auto metrics = analytics::EvaluateVerdict(annotated, *verdict);
+  ASSERT_TRUE(metrics.ok());
+  EXPECT_GT(metrics->f1(), 0.9);
+
+  // 4. The annotated instance exposes the cluster for further queries.
+  const auto subgraphs = annotated.SubgraphIds();
+  ASSERT_EQ(subgraphs.size(), 1u);
+  auto members = annotated.SubgraphAt(subgraphs[0], config.start_time);
+  ASSERT_TRUE(members.ok());
+  EXPECT_EQ(members->vertices.size(), verdict->flagged_users.size());
+}
+
+TEST(IntegrationTest, WorkloadThroughBothEnginesAndHgql) {
+  workloads::BikeSharingConfig config;
+  config.stations = 12;
+  config.districts = 3;
+  config.days = 2;
+  config.sample_interval = kHour;
+  config.seed = 5;
+  auto dataset = workloads::GenerateBikeSharing(config);
+  ASSERT_TRUE(dataset.ok());
+  storage::AllInGraphStore red;
+  storage::PolyglotStore green;
+  ASSERT_TRUE(workloads::LoadIntoBackend(*dataset, &red).ok());
+  ASSERT_TRUE(workloads::LoadIntoBackend(*dataset, &green).ok());
+  const std::string query =
+      "MATCH (s:Station) RETURN s.name AS n, ts_avg(s.bikes, " +
+      std::to_string(dataset->start()) + ", " +
+      std::to_string(dataset->end()) + ") AS a ORDER BY a DESC LIMIT 3";
+  auto from_red = query::Execute(red, query);
+  auto from_green = query::Execute(green, query);
+  ASSERT_TRUE(from_red.ok());
+  ASSERT_TRUE(from_green.ok());
+  ASSERT_EQ(from_red->row_count(), 3u);
+  for (size_t r = 0; r < 3; ++r) {
+    EXPECT_EQ(from_red->rows[r][0], from_green->rows[r][0]);
+    // Chunked vs flat summation differs in the last bits.
+    EXPECT_NEAR(from_red->rows[r][1].AsDouble(),
+                from_green->rows[r][1].AsDouble(), 1e-9);
+  }
+}
+
+TEST(IntegrationTest, BikeWorldHybridAggregateByDistrict) {
+  workloads::BikeSharingConfig config;
+  config.stations = 12;
+  config.districts = 3;
+  config.days = 2;
+  config.sample_interval = 30 * kMinute;
+  auto dataset = workloads::GenerateBikeSharing(config);
+  ASSERT_TRUE(dataset.ok());
+  auto hg = workloads::ToHyGraph(*dataset);
+  ASSERT_TRUE(hg.ok());
+  analytics::HybridAggregateOptions options;
+  options.group_key = "district";
+  options.granularity = 6 * kHour;
+  auto result = analytics::HybridAggregate(*hg, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->summary.VertexCount(), 3u);
+  for (graph::VertexId v : result->summary.TsVertices()) {
+    auto series = result->summary.VertexSeries(v);
+    ASSERT_TRUE(series.ok());
+    EXPECT_EQ((*series)->size(), 8u);  // 2 days at 6h granularity
+  }
+  EXPECT_TRUE(result->summary.Validate().ok());
+}
+
+TEST(IntegrationTest, FinancialWorldSegmentationSnapshots) {
+  workloads::FinancialConfig config;
+  config.companies = 25;
+  config.years = 4;
+  config.seed = 77;
+  auto hg = workloads::GenerateFinancialHyGraph(config);
+  ASSERT_TRUE(hg.ok());
+  // Driver: number of live companies over time (graph metric as series).
+  const auto times = temporal::SampleTimes(hg->tpg(), 64);
+  ASSERT_GE(times.size(), 4u);
+  auto sizes = temporal::SizeEvolution(hg->tpg(), times);
+  ASSERT_TRUE(sizes.ok());
+  analytics::SegSnapshotOptions options;
+  options.max_error = 4.0;
+  options.max_segments = 6;
+  auto regimes =
+      analytics::SegmentationSnapshots(*hg, sizes->vertex_count, options);
+  ASSERT_TRUE(regimes.ok());
+  ASSERT_GE(regimes->size(), 2u);
+  // Snapshots must be consistent LPGs of strictly different eras.
+  EXPECT_LT(regimes->front().snapshot.at, regimes->back().snapshot.at);
+}
+
+TEST(IntegrationTest, RoundTripThroughConverters) {
+  workloads::FraudConfig config;
+  config.users = 20;
+  config.merchants = 9;
+  config.merchant_clusters = 3;
+  config.days = 3;
+  auto hg = workloads::GenerateFraudHyGraph(config);
+  ASSERT_TRUE(hg.ok());
+  // HyGraph -> TPG -> HyGraph keeps the structural layer intact.
+  auto tpg = core::ToTemporalGraph(*hg);
+  ASSERT_TRUE(tpg.ok());
+  auto back = core::FromTemporalGraph(*tpg);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->VertexCount(), hg->VertexCount());
+  EXPECT_EQ(back->EdgeCount(), hg->EdgeCount());
+  // HyGraph -> series collection covers every TS element.
+  const auto collection = core::ToSeriesCollection(*hg);
+  EXPECT_GE(collection.size(),
+            hg->TsVertices().size() + hg->TsEdges().size());
+}
+
+TEST(IntegrationTest, ContextualDetectionOnBikeWorld) {
+  workloads::BikeSharingConfig config;
+  config.stations = 20;
+  config.districts = 4;
+  config.days = 3;
+  config.sample_interval = kHour;
+  auto dataset = workloads::GenerateBikeSharing(config);
+  ASSERT_TRUE(dataset.ok());
+  auto hg = workloads::ToHyGraph(*dataset);
+  ASSERT_TRUE(hg.ok());
+  analytics::ContextualDetectionOptions options;
+  options.threshold = 3.0;
+  // Should run cleanly on an organic world (few or no anomalies).
+  auto result = analytics::DetectContextualAnomalies(*hg, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->communities.size(), hg->VertexCount());
+}
+
+}  // namespace
+}  // namespace hygraph

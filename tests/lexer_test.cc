@@ -1,0 +1,123 @@
+#include "query/lexer.h"
+
+#include <gtest/gtest.h>
+
+namespace hygraph::query {
+namespace {
+
+std::vector<TokenKind> Kinds(const std::string& text) {
+  auto tokens = Tokenize(text);
+  EXPECT_TRUE(tokens.ok()) << tokens.status().ToString();
+  std::vector<TokenKind> kinds;
+  for (const Token& t : *tokens) kinds.push_back(t.kind);
+  return kinds;
+}
+
+TEST(LexerTest, KeywordsCaseInsensitive) {
+  auto tokens = Tokenize("match WHERE Return oRdEr by");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].text, "MATCH");
+  EXPECT_EQ((*tokens)[1].text, "WHERE");
+  EXPECT_EQ((*tokens)[2].text, "RETURN");
+  EXPECT_EQ((*tokens)[3].text, "ORDER");
+  EXPECT_EQ((*tokens)[4].text, "BY");
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ((*tokens)[i].kind, TokenKind::kKeyword);
+  }
+}
+
+TEST(LexerTest, IdentifiersKeepCase) {
+  auto tokens = Tokenize("myVar ts_avg _x1");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].kind, TokenKind::kIdent);
+  EXPECT_EQ((*tokens)[0].text, "myVar");
+  EXPECT_EQ((*tokens)[1].text, "ts_avg");
+  EXPECT_EQ((*tokens)[2].text, "_x1");
+}
+
+TEST(LexerTest, Numbers) {
+  auto tokens = Tokenize("42 3.5 1700000000000");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].kind, TokenKind::kInt);
+  EXPECT_EQ((*tokens)[0].int_value, 42);
+  EXPECT_EQ((*tokens)[1].kind, TokenKind::kDouble);
+  EXPECT_DOUBLE_EQ((*tokens)[1].double_value, 3.5);
+  EXPECT_EQ((*tokens)[2].int_value, 1700000000000LL);
+}
+
+TEST(LexerTest, Strings) {
+  auto tokens = Tokenize("'abc' \"def\"");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].kind, TokenKind::kString);
+  EXPECT_EQ((*tokens)[0].text, "abc");
+  EXPECT_EQ((*tokens)[1].text, "def");
+}
+
+TEST(LexerTest, UnterminatedStringFails) {
+  EXPECT_FALSE(Tokenize("'abc").ok());
+}
+
+TEST(LexerTest, PatternPunctuation) {
+  EXPECT_EQ(Kinds("(a:User)-[t:TX]->(b)"),
+            (std::vector<TokenKind>{
+                TokenKind::kLParen, TokenKind::kIdent, TokenKind::kColon,
+                TokenKind::kIdent, TokenKind::kRParen, TokenKind::kMinus,
+                TokenKind::kLBracket, TokenKind::kIdent, TokenKind::kColon,
+                TokenKind::kIdent, TokenKind::kRBracket,
+                TokenKind::kArrowRight, TokenKind::kLParen, TokenKind::kIdent,
+                TokenKind::kRParen, TokenKind::kEnd}));
+}
+
+TEST(LexerTest, LeftArrowAndComparisons) {
+  EXPECT_EQ(Kinds("<- <= < <> >= > ="),
+            (std::vector<TokenKind>{
+                TokenKind::kArrowLeft, TokenKind::kLe, TokenKind::kLt,
+                TokenKind::kNe, TokenKind::kGe, TokenKind::kGt,
+                TokenKind::kEq, TokenKind::kEnd}));
+}
+
+TEST(LexerTest, ArithmeticOperators) {
+  EXPECT_EQ(Kinds("+ - * /"),
+            (std::vector<TokenKind>{TokenKind::kPlus, TokenKind::kMinus,
+                                    TokenKind::kStar, TokenKind::kSlash,
+                                    TokenKind::kEnd}));
+}
+
+TEST(LexerTest, PropertyAccess) {
+  EXPECT_EQ(Kinds("s.name"),
+            (std::vector<TokenKind>{TokenKind::kIdent, TokenKind::kDot,
+                                    TokenKind::kIdent, TokenKind::kEnd}));
+}
+
+TEST(LexerTest, BracesForPropertyMaps) {
+  EXPECT_EQ(Kinds("{k: 1, j: 'x'}"),
+            (std::vector<TokenKind>{
+                TokenKind::kLBrace, TokenKind::kIdent, TokenKind::kColon,
+                TokenKind::kInt, TokenKind::kComma, TokenKind::kIdent,
+                TokenKind::kColon, TokenKind::kString, TokenKind::kRBrace,
+                TokenKind::kEnd}));
+}
+
+TEST(LexerTest, UnexpectedCharacterFails) {
+  auto result = Tokenize("a ; b");
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("offset 2"), std::string::npos);
+}
+
+TEST(LexerTest, BooleanAndNullKeywords) {
+  auto tokens = Tokenize("true FALSE null");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].text, "TRUE");
+  EXPECT_EQ((*tokens)[1].text, "FALSE");
+  EXPECT_EQ((*tokens)[2].text, "NULL");
+}
+
+TEST(LexerTest, EmptyInputYieldsEnd) {
+  auto tokens = Tokenize("   ");
+  ASSERT_TRUE(tokens.ok());
+  ASSERT_EQ(tokens->size(), 1u);
+  EXPECT_EQ((*tokens)[0].kind, TokenKind::kEnd);
+}
+
+}  // namespace
+}  // namespace hygraph::query

@@ -1,0 +1,170 @@
+#include "analytics/link_prediction.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace hygraph::analytics {
+namespace {
+
+using core::HyGraph;
+using graph::VertexId;
+
+ts::MultiSeries Signal(double phase) {
+  ts::MultiSeries ms("s", {"v"});
+  for (int i = 0; i < 48; ++i) {
+    EXPECT_TRUE(
+        ms.AppendRow(i * kHour, {std::sin(i * 0.3 + phase)}).ok());
+  }
+  return ms;
+}
+
+TEST(ScorePairTest, CommonNeighborsAndJaccard) {
+  graph::PropertyGraph g;
+  const VertexId a = g.AddVertex({}, {});
+  const VertexId b = g.AddVertex({}, {});
+  const VertexId x = g.AddVertex({}, {});
+  const VertexId y = g.AddVertex({}, {});
+  ASSERT_TRUE(g.AddEdge(a, x, "E", {}).ok());
+  ASSERT_TRUE(g.AddEdge(b, x, "E", {}).ok());
+  ASSERT_TRUE(g.AddEdge(a, y, "E", {}).ok());
+  EXPECT_DOUBLE_EQ(ScorePair(g, a, b, StructuralScore::kCommonNeighbors),
+                   1.0);
+  // neighbors(a) = {x, y}, neighbors(b) = {x} -> Jaccard 1/2.
+  EXPECT_DOUBLE_EQ(ScorePair(g, a, b, StructuralScore::kJaccard), 0.5);
+  EXPECT_DOUBLE_EQ(
+      ScorePair(g, a, b, StructuralScore::kPreferentialAttachment), 2.0);
+}
+
+TEST(ScorePairTest, AdamicAdarWeighsRareNeighbors) {
+  graph::PropertyGraph g;
+  const VertexId a = g.AddVertex({}, {});
+  const VertexId b = g.AddVertex({}, {});
+  const VertexId rare = g.AddVertex({}, {});   // degree 2
+  const VertexId hub = g.AddVertex({}, {});    // degree 5
+  ASSERT_TRUE(g.AddEdge(a, rare, "E", {}).ok());
+  ASSERT_TRUE(g.AddEdge(b, rare, "E", {}).ok());
+  ASSERT_TRUE(g.AddEdge(a, hub, "E", {}).ok());
+  ASSERT_TRUE(g.AddEdge(b, hub, "E", {}).ok());
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(g.AddEdge(hub, g.AddVertex({}, {}), "E", {}).ok());
+  }
+  const double aa = ScorePair(g, a, b, StructuralScore::kAdamicAdar);
+  EXPECT_NEAR(aa, 1.0 / std::log(2.0) + 1.0 / std::log(5.0), 1e-9);
+}
+
+// Two triangles missing one closing edge each; the pair whose endpoints
+// also co-move in time should rank first for the hybrid scorer.
+HyGraph TriangleWorld(VertexId* covary_u, VertexId* covary_v,
+                      VertexId* anti_u, VertexId* anti_v) {
+  HyGraph hg;
+  // Triangle 1 (u, v co-moving), missing (u, v).
+  const VertexId u = *hg.AddTsVertex({"S"}, Signal(0.0));
+  const VertexId v = *hg.AddTsVertex({"S"}, Signal(0.05));
+  const VertexId w = *hg.AddTsVertex({"S"}, Signal(1.0));
+  EXPECT_TRUE(hg.AddPgEdge(u, w, "E", {}).ok());
+  EXPECT_TRUE(hg.AddPgEdge(v, w, "E", {}).ok());
+  // Triangle 2 (p, q anti-phase), missing (p, q).
+  const VertexId p = *hg.AddTsVertex({"S"}, Signal(0.0));
+  const VertexId q = *hg.AddTsVertex({"S"}, Signal(3.14159265));
+  const VertexId r = *hg.AddTsVertex({"S"}, Signal(2.0));
+  EXPECT_TRUE(hg.AddPgEdge(p, r, "E", {}).ok());
+  EXPECT_TRUE(hg.AddPgEdge(q, r, "E", {}).ok());
+  *covary_u = u;
+  *covary_v = v;
+  *anti_u = p;
+  *anti_v = q;
+  return hg;
+}
+
+TEST(PredictLinksTest, HybridPrefersCoMovingPair) {
+  VertexId u, v, p, q;
+  HyGraph hg = TriangleWorld(&u, &v, &p, &q);
+  LinkPredictionOptions options;
+  options.structure_weight = 0.5;
+  options.top_k = 4;
+  auto links = PredictLinks(hg, options);
+  ASSERT_TRUE(links.ok()) << links.status().ToString();
+  ASSERT_GE(links->size(), 2u);
+  // Both missing triangle edges are candidates with equal structure;
+  // the co-moving pair must outrank the anti-phase pair.
+  size_t rank_uv = 99, rank_pq = 99;
+  for (size_t i = 0; i < links->size(); ++i) {
+    const auto& link = (*links)[i];
+    if ((link.u == std::min(u, v)) && (link.v == std::max(u, v))) rank_uv = i;
+    if ((link.u == std::min(p, q)) && (link.v == std::max(p, q))) rank_pq = i;
+  }
+  ASSERT_NE(rank_uv, 99u);
+  ASSERT_NE(rank_pq, 99u);
+  EXPECT_LT(rank_uv, rank_pq);
+}
+
+TEST(PredictLinksTest, PureStructuralTiesRemain) {
+  VertexId u, v, p, q;
+  HyGraph hg = TriangleWorld(&u, &v, &p, &q);
+  LinkPredictionOptions options;
+  options.structure_weight = 1.0;  // temporal part ignored
+  options.top_k = 4;
+  auto links = PredictLinks(hg, options);
+  ASSERT_TRUE(links.ok());
+  // The two missing edges tie structurally.
+  ASSERT_GE(links->size(), 2u);
+  EXPECT_DOUBLE_EQ((*links)[0].score, (*links)[1].score);
+}
+
+TEST(PredictLinksTest, ExcludesExistingEdges) {
+  VertexId u, v, p, q;
+  HyGraph hg = TriangleWorld(&u, &v, &p, &q);
+  auto links = PredictLinks(hg, {});
+  ASSERT_TRUE(links.ok());
+  for (const PredictedLink& link : *links) {
+    // (u, w) etc. are existing edges and must not be predicted.
+    bool adjacent = false;
+    for (VertexId nb : hg.structure().Neighbors(link.u)) {
+      if (nb == link.v) adjacent = true;
+    }
+    EXPECT_FALSE(adjacent);
+  }
+}
+
+TEST(PredictLinksTest, Validation) {
+  VertexId u, v, p, q;
+  HyGraph hg = TriangleWorld(&u, &v, &p, &q);
+  LinkPredictionOptions bad;
+  bad.structure_weight = 1.5;
+  EXPECT_FALSE(PredictLinks(hg, bad).ok());
+}
+
+TEST(EvaluateTest, HoldoutRecoversSomeEdges) {
+  // A denser world: two cliques of co-moving sensors.
+  HyGraph hg;
+  std::vector<VertexId> members;
+  for (int c = 0; c < 2; ++c) {
+    std::vector<VertexId> clique;
+    for (int i = 0; i < 5; ++i) {
+      clique.push_back(
+          *hg.AddTsVertex({"S"}, Signal(c * 3.0 + 0.02 * i)));
+    }
+    for (size_t i = 0; i < clique.size(); ++i) {
+      for (size_t j = i + 1; j < clique.size(); ++j) {
+        ASSERT_TRUE(hg.AddPgEdge(clique[i], clique[j], "E", {}).ok());
+      }
+    }
+    members.insert(members.end(), clique.begin(), clique.end());
+  }
+  auto eval = EvaluateLinkPrediction(hg, 0.2, 7, {});
+  ASSERT_TRUE(eval.ok()) << eval.status().ToString();
+  EXPECT_GT(eval->held_out, 0u);
+  // Within-clique held-out edges are highly recoverable.
+  EXPECT_GT(eval->hybrid_hits, 0u);
+}
+
+TEST(EvaluateTest, Validation) {
+  VertexId u, v, p, q;
+  HyGraph hg = TriangleWorld(&u, &v, &p, &q);
+  EXPECT_FALSE(EvaluateLinkPrediction(hg, 0.0, 1, {}).ok());
+  EXPECT_FALSE(EvaluateLinkPrediction(hg, 1.0, 1, {}).ok());
+}
+
+}  // namespace
+}  // namespace hygraph::analytics

@@ -1,0 +1,101 @@
+#include "temporal/metric_evolution.h"
+
+#include <gtest/gtest.h>
+
+namespace hygraph::temporal {
+namespace {
+
+// Degree of `a` grows then shrinks: edges to b [100,300), to c [200,400).
+TemporalPropertyGraph World(VertexId* a) {
+  TemporalPropertyGraph tpg;
+  *a = *tpg.AddVertex({}, {}, Interval{0, 1000});
+  const VertexId b = *tpg.AddVertex({}, {}, Interval{0, 1000});
+  const VertexId c = *tpg.AddVertex({}, {}, Interval{0, 1000});
+  EXPECT_TRUE(tpg.AddEdge(*a, b, "E", {}, Interval{100, 300}).ok());
+  EXPECT_TRUE(tpg.AddEdge(c, *a, "E", {}, Interval{200, 400}).ok());
+  return tpg;
+}
+
+TEST(DegreeEvolutionTest, TracksChanges) {
+  VertexId a;
+  TemporalPropertyGraph tpg = World(&a);
+  auto series = DegreeEvolution(tpg, a, {50, 150, 250, 350, 450});
+  ASSERT_TRUE(series.ok());
+  ASSERT_EQ(series->size(), 5u);
+  EXPECT_DOUBLE_EQ(series->at(0).value, 0.0);
+  EXPECT_DOUBLE_EQ(series->at(1).value, 1.0);
+  EXPECT_DOUBLE_EQ(series->at(2).value, 2.0);
+  EXPECT_DOUBLE_EQ(series->at(3).value, 1.0);
+  EXPECT_DOUBLE_EQ(series->at(4).value, 0.0);
+}
+
+TEST(DegreeEvolutionTest, Validation) {
+  VertexId a;
+  TemporalPropertyGraph tpg = World(&a);
+  EXPECT_FALSE(DegreeEvolution(tpg, 999, {1, 2}).ok());
+  EXPECT_FALSE(DegreeEvolution(tpg, a, {2, 1}).ok());
+  EXPECT_FALSE(DegreeEvolution(tpg, a, {1, 1}).ok());
+}
+
+TEST(AllDegreeEvolutionsTest, OnePerVertex) {
+  VertexId a;
+  TemporalPropertyGraph tpg = World(&a);
+  auto all = AllDegreeEvolutions(tpg, {150, 250});
+  ASSERT_TRUE(all.ok());
+  EXPECT_EQ(all->size(), 3u);
+  EXPECT_DOUBLE_EQ(all->at(a).at(1).value, 2.0);
+}
+
+TEST(SizeEvolutionTest, CountsVerticesAndEdges) {
+  VertexId a;
+  TemporalPropertyGraph tpg = World(&a);
+  auto evolution = SizeEvolution(tpg, {50, 250, 1500});
+  ASSERT_TRUE(evolution.ok());
+  EXPECT_DOUBLE_EQ(evolution->vertex_count.at(0).value, 3.0);
+  EXPECT_DOUBLE_EQ(evolution->edge_count.at(0).value, 0.0);
+  EXPECT_DOUBLE_EQ(evolution->edge_count.at(1).value, 2.0);
+  EXPECT_DOUBLE_EQ(evolution->vertex_count.at(2).value, 0.0);
+}
+
+TEST(ComponentCountEvolutionTest, MergesWhenEdgesAppear) {
+  VertexId a;
+  TemporalPropertyGraph tpg = World(&a);
+  auto evolution = ComponentCountEvolution(tpg, {50, 250, 500});
+  ASSERT_TRUE(evolution.ok());
+  EXPECT_DOUBLE_EQ(evolution->at(0).value, 3.0);  // three isolated
+  EXPECT_DOUBLE_EQ(evolution->at(1).value, 1.0);  // fully connected via a
+  EXPECT_DOUBLE_EQ(evolution->at(2).value, 3.0);  // edges expired
+}
+
+TEST(SampleTimesTest, EventsWhenFewerThanMax) {
+  VertexId a;
+  TemporalPropertyGraph tpg = World(&a);
+  const std::vector<Timestamp> times = SampleTimes(tpg, 100);
+  // Events: 0, 100, 200, 300, 400, 1000.
+  EXPECT_EQ(times,
+            (std::vector<Timestamp>{0, 100, 200, 300, 400, 1000}));
+}
+
+TEST(SampleTimesTest, SubsamplesLargeEventSets) {
+  TemporalPropertyGraph tpg;
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(tpg.AddVertex({}, {}, Interval{i * 10, i * 10 + 5}).ok());
+  }
+  const std::vector<Timestamp> times = SampleTimes(tpg, 20);
+  EXPECT_LE(times.size(), 20u);
+  EXPECT_GE(times.size(), 2u);
+  EXPECT_EQ(times.front(), 0);
+  EXPECT_EQ(times.back(), 995);
+  for (size_t i = 1; i < times.size(); ++i) {
+    EXPECT_LT(times[i - 1], times[i]);
+  }
+}
+
+TEST(SampleTimesTest, ZeroMaxMeansAllEvents) {
+  VertexId a;
+  TemporalPropertyGraph tpg = World(&a);
+  EXPECT_EQ(SampleTimes(tpg, 0).size(), 6u);
+}
+
+}  // namespace
+}  // namespace hygraph::temporal

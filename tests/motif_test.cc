@@ -1,0 +1,94 @@
+#include "ts/motif.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace hygraph::ts {
+namespace {
+
+// Noise with the same distinctive shape planted at two offsets.
+Series WithTwinShapes(size_t offset1, size_t offset2, size_t total) {
+  const std::vector<double> shape = {0, 8, -8, 8, -8, 0, 4, -4};
+  Series s("twins");
+  for (size_t i = 0; i < total; ++i) {
+    double v = std::sin(static_cast<double>(i) * 1.3) * 0.5 +
+               std::cos(static_cast<double>(i) * 0.7) * 0.3;
+    if (i >= offset1 && i < offset1 + shape.size()) v = shape[i - offset1];
+    if (i >= offset2 && i < offset2 + shape.size()) v = shape[i - offset2];
+    EXPECT_TRUE(s.Append(static_cast<Timestamp>(i) * kMinute, v).ok());
+  }
+  return s;
+}
+
+TEST(MatrixProfileTest, ShapeAndSymmetry) {
+  Series s = WithTwinShapes(20, 60, 120);
+  auto profile = MatrixProfile(s, 8);
+  ASSERT_TRUE(profile.ok());
+  EXPECT_EQ(profile->m, 8u);
+  EXPECT_EQ(profile->distances.size(), 120 - 8 + 1);
+  EXPECT_EQ(profile->indices.size(), profile->distances.size());
+  // The planted twins are each other's nearest neighbors.
+  EXPECT_NEAR(profile->distances[20], 0.0, 1e-9);
+  EXPECT_NEAR(profile->distances[60], 0.0, 1e-9);
+  EXPECT_EQ(profile->indices[20], 60u);
+  EXPECT_EQ(profile->indices[60], 20u);
+}
+
+TEST(MatrixProfileTest, TrivialMatchExclusion) {
+  Series s = WithTwinShapes(20, 60, 120);
+  auto profile = MatrixProfile(s, 8);
+  ASSERT_TRUE(profile.ok());
+  // No subsequence may claim a neighbor within the exclusion zone (m/2).
+  for (size_t i = 0; i < profile->indices.size(); ++i) {
+    const size_t j = profile->indices[i];
+    const size_t gap = i > j ? i - j : j - i;
+    EXPECT_GT(gap, 8u / 2);
+  }
+}
+
+TEST(MatrixProfileTest, Validation) {
+  Series s = WithTwinShapes(5, 20, 40);
+  EXPECT_FALSE(MatrixProfile(s, 1).ok());
+  EXPECT_FALSE(MatrixProfile(s, 25).ok());  // needs 2*m samples
+}
+
+TEST(FindMotifsTest, RecoversPlantedPair) {
+  Series s = WithTwinShapes(30, 90, 160);
+  auto motifs = FindMotifs(s, 8, 1);
+  ASSERT_TRUE(motifs.ok());
+  ASSERT_EQ(motifs->size(), 1u);
+  EXPECT_EQ((*motifs)[0].first, 30u);
+  EXPECT_EQ((*motifs)[0].second, 90u);
+  EXPECT_EQ((*motifs)[0].first_time, 30 * kMinute);
+  EXPECT_NEAR((*motifs)[0].distance, 0.0, 1e-9);
+}
+
+TEST(FindMotifsTest, TopKDoesNotRepeatOccurrences) {
+  Series s = WithTwinShapes(30, 90, 200);
+  auto motifs = FindMotifs(s, 8, 5);
+  ASSERT_TRUE(motifs.ok());
+  ASSERT_GE(motifs->size(), 1u);
+  // Later motifs must not reuse the blocked regions of earlier ones.
+  for (size_t i = 1; i < motifs->size(); ++i) {
+    const auto& first = (*motifs)[0];
+    const auto& other = (*motifs)[i];
+    auto disjoint = [&](size_t a, size_t b) {
+      return a + 8 <= b || b + 8 <= a;
+    };
+    EXPECT_TRUE(disjoint(other.first, first.first) &&
+                disjoint(other.first, first.second));
+  }
+}
+
+TEST(FindMotifsTest, BestMotifFirst) {
+  Series s = WithTwinShapes(30, 90, 200);
+  auto motifs = FindMotifs(s, 8, 3);
+  ASSERT_TRUE(motifs.ok());
+  for (size_t i = 1; i < motifs->size(); ++i) {
+    EXPECT_LE((*motifs)[i - 1].distance, (*motifs)[i].distance);
+  }
+}
+
+}  // namespace
+}  // namespace hygraph::ts

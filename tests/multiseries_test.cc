@@ -1,0 +1,84 @@
+#include "ts/multiseries.h"
+
+#include <gtest/gtest.h>
+
+namespace hygraph::ts {
+namespace {
+
+MultiSeries MakeWeather() {
+  MultiSeries ms("weather", {"temp", "humidity"});
+  EXPECT_TRUE(ms.AppendRow(10, {20.0, 0.5}).ok());
+  EXPECT_TRUE(ms.AppendRow(20, {21.0, 0.6}).ok());
+  EXPECT_TRUE(ms.AppendRow(30, {19.0, 0.7}).ok());
+  return ms;
+}
+
+TEST(MultiSeriesTest, AppendRowValidatesArity) {
+  MultiSeries ms("m", {"a", "b"});
+  EXPECT_FALSE(ms.AppendRow(10, {1.0}).ok());
+  EXPECT_FALSE(ms.AppendRow(10, {1.0, 2.0, 3.0}).ok());
+  EXPECT_TRUE(ms.AppendRow(10, {1.0, 2.0}).ok());
+}
+
+TEST(MultiSeriesTest, AppendRowEnforcesChronology) {
+  MultiSeries ms("m", {"a"});
+  ASSERT_TRUE(ms.AppendRow(10, {1.0}).ok());
+  EXPECT_FALSE(ms.AppendRow(10, {2.0}).ok());
+  EXPECT_FALSE(ms.AppendRow(5, {2.0}).ok());
+}
+
+TEST(MultiSeriesTest, VariableExtraction) {
+  MultiSeries ms = MakeWeather();
+  auto temp = ms.Variable("temp");
+  ASSERT_TRUE(temp.ok());
+  EXPECT_EQ(temp->size(), 3u);
+  EXPECT_DOUBLE_EQ(temp->at(1).value, 21.0);
+  EXPECT_FALSE(ms.Variable("pressure").ok());
+}
+
+TEST(MultiSeriesTest, VariableIndex) {
+  MultiSeries ms = MakeWeather();
+  EXPECT_EQ(*ms.VariableIndex("humidity"), 1u);
+  EXPECT_FALSE(ms.VariableIndex("x").ok());
+}
+
+TEST(MultiSeriesTest, AtAccess) {
+  MultiSeries ms = MakeWeather();
+  EXPECT_DOUBLE_EQ(ms.at(0, 0), 20.0);
+  EXPECT_DOUBLE_EQ(ms.at(2, 1), 0.7);
+}
+
+TEST(MultiSeriesTest, SlicePreservesColumns) {
+  MultiSeries ms = MakeWeather();
+  MultiSeries sub = ms.Slice(Interval{15, 30});
+  ASSERT_EQ(sub.size(), 1u);
+  EXPECT_DOUBLE_EQ(sub.at(0, 0), 21.0);
+  EXPECT_DOUBLE_EQ(sub.at(0, 1), 0.6);
+  EXPECT_EQ(sub.variable_count(), 2u);
+}
+
+TEST(MultiSeriesTest, FromColumnsValidation) {
+  auto ok = MultiSeries::FromColumns("m", {1, 2}, {"a"}, {{1.0, 2.0}});
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok->size(), 2u);
+  EXPECT_FALSE(
+      MultiSeries::FromColumns("m", {1, 2}, {"a", "b"}, {{1.0, 2.0}}).ok());
+  EXPECT_FALSE(MultiSeries::FromColumns("m", {1, 2}, {"a"}, {{1.0}}).ok());
+  EXPECT_FALSE(
+      MultiSeries::FromColumns("m", {2, 1}, {"a"}, {{1.0, 2.0}}).ok());
+}
+
+TEST(MultiSeriesTest, TimeSpan) {
+  MultiSeries ms = MakeWeather();
+  EXPECT_EQ(ms.TimeSpan().start, 10);
+  EXPECT_EQ(ms.TimeSpan().end, 31);
+  EXPECT_TRUE(MultiSeries("e", {"a"}).TimeSpan().empty());
+}
+
+TEST(MultiSeriesTest, VariableByIndexNamesSeries) {
+  MultiSeries ms = MakeWeather();
+  EXPECT_EQ(ms.VariableByIndex(0).name(), "weather.temp");
+}
+
+}  // namespace
+}  // namespace hygraph::ts

@@ -1,0 +1,169 @@
+#include "query/parser.h"
+
+#include <gtest/gtest.h>
+
+namespace hygraph::query {
+namespace {
+
+TEST(ParserTest, MinimalQuery) {
+  auto q = Parse("MATCH (s:Station) RETURN s.name");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  ASSERT_EQ(q->paths.size(), 1u);
+  ASSERT_EQ(q->paths[0].nodes.size(), 1u);
+  EXPECT_EQ(q->paths[0].nodes[0].var, "s");
+  EXPECT_EQ(q->paths[0].nodes[0].label, "Station");
+  ASSERT_EQ(q->returns.size(), 1u);
+  EXPECT_EQ(q->returns[0].expr->kind, Expr::Kind::kPropertyRef);
+  EXPECT_EQ(q->returns[0].alias, "s.name");
+  EXPECT_EQ(q->limit, 0u);
+  EXPECT_EQ(q->where, nullptr);
+}
+
+TEST(ParserTest, PathWithEdges) {
+  auto q = Parse(
+      "MATCH (a:User)-[u:USES]->(c:Card)<-[:OWNS]-(b:Bank), (m:Merchant) "
+      "RETURN a.name");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  ASSERT_EQ(q->paths.size(), 2u);
+  const PathAst& path = q->paths[0];
+  ASSERT_EQ(path.nodes.size(), 3u);
+  ASSERT_EQ(path.edges.size(), 2u);
+  EXPECT_EQ(path.edges[0].var, "u");
+  EXPECT_EQ(path.edges[0].label, "USES");
+  EXPECT_EQ(path.edges[0].dir, EdgeAst::Dir::kRight);
+  EXPECT_EQ(path.edges[1].label, "OWNS");
+  EXPECT_EQ(path.edges[1].dir, EdgeAst::Dir::kLeft);
+  EXPECT_EQ(q->paths[1].nodes[0].label, "Merchant");
+}
+
+TEST(ParserTest, UndirectedEdge) {
+  auto q = Parse("MATCH (a)-[:SIMILAR]-(b) RETURN a");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->paths[0].edges[0].dir, EdgeAst::Dir::kUndirected);
+}
+
+TEST(ParserTest, BareEdges) {
+  auto q = Parse("MATCH (a)-->(b)--(c) RETURN a");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_EQ(q->paths[0].edges[0].dir, EdgeAst::Dir::kRight);
+  EXPECT_EQ(q->paths[0].edges[1].dir, EdgeAst::Dir::kUndirected);
+  EXPECT_TRUE(q->paths[0].edges[0].label.empty());
+}
+
+TEST(ParserTest, NodePropertyMap) {
+  auto q = Parse("MATCH (s:Station {name: 'S1', district: 3}) RETURN s");
+  ASSERT_TRUE(q.ok());
+  const NodeAst& node = q->paths[0].nodes[0];
+  ASSERT_EQ(node.properties.size(), 2u);
+  EXPECT_EQ(node.properties[0].first, "name");
+  EXPECT_EQ(node.properties[0].second, Value("S1"));
+  EXPECT_EQ(node.properties[1].second, Value(3));
+}
+
+TEST(ParserTest, EdgePropertyMapAndNegativeLiteral) {
+  auto q = Parse("MATCH (a)-[t:TX {amount: -5}]->(b) RETURN t.amount");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->paths[0].edges[0].properties[0].second, Value(-5));
+}
+
+TEST(ParserTest, WherePrecedence) {
+  auto q = Parse(
+      "MATCH (s) WHERE s.a > 1 AND s.b < 2 OR NOT s.c = 3 RETURN s");
+  ASSERT_TRUE(q.ok());
+  ASSERT_NE(q->where, nullptr);
+  // OR binds loosest.
+  EXPECT_EQ(q->where->binary_op, BinaryOp::kOr);
+  EXPECT_EQ(q->where->lhs->binary_op, BinaryOp::kAnd);
+  EXPECT_EQ(q->where->rhs->kind, Expr::Kind::kUnary);
+}
+
+TEST(ParserTest, ComparisonWithNegativeNumber) {
+  // "x < -1" must parse despite '<-' lexing as an arrow.
+  auto e = ParseExpression("x < -1");
+  ASSERT_TRUE(e.ok()) << e.status().ToString();
+  EXPECT_EQ((*e)->binary_op, BinaryOp::kLt);
+  EXPECT_EQ((*e)->rhs->kind, Expr::Kind::kUnary);
+}
+
+TEST(ParserTest, ArithmeticPrecedence) {
+  auto e = ParseExpression("1 + 2 * 3");
+  ASSERT_TRUE(e.ok());
+  EXPECT_EQ((*e)->binary_op, BinaryOp::kAdd);
+  EXPECT_EQ((*e)->rhs->binary_op, BinaryOp::kMul);
+  auto paren = ParseExpression("(1 + 2) * 3");
+  ASSERT_TRUE(paren.ok());
+  EXPECT_EQ((*paren)->binary_op, BinaryOp::kMul);
+}
+
+TEST(ParserTest, FunctionCalls) {
+  auto e = ParseExpression("ts_avg(s.bikes, 0, 86400000)");
+  ASSERT_TRUE(e.ok());
+  EXPECT_EQ((*e)->kind, Expr::Kind::kCall);
+  EXPECT_EQ((*e)->call_name, "ts_avg");
+  ASSERT_EQ((*e)->args.size(), 3u);
+  EXPECT_EQ((*e)->args[0]->kind, Expr::Kind::kPropertyRef);
+  auto nullary = ParseExpression("f()");
+  ASSERT_TRUE(nullary.ok());
+  EXPECT_TRUE((*nullary)->args.empty());
+}
+
+TEST(ParserTest, ReturnAliasesAndOrderBy) {
+  auto q = Parse(
+      "MATCH (s:Station) RETURN s.name AS n, ts_avg(s.bikes, 0, 10) AS a "
+      "ORDER BY a DESC, n LIMIT 10");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  ASSERT_EQ(q->returns.size(), 2u);
+  EXPECT_EQ(q->returns[0].alias, "n");
+  EXPECT_EQ(q->returns[1].alias, "a");
+  ASSERT_EQ(q->order_by.size(), 2u);
+  EXPECT_TRUE(q->order_by[0].descending);
+  EXPECT_FALSE(q->order_by[1].descending);
+  EXPECT_EQ(q->limit, 10u);
+}
+
+TEST(ParserTest, BooleanLiterals) {
+  auto q = Parse("MATCH (u) WHERE u.flag = true RETURN u");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->where->rhs->literal, Value(true));
+}
+
+TEST(ParserTest, Errors) {
+  EXPECT_FALSE(Parse("RETURN 1").ok());                      // no MATCH
+  EXPECT_FALSE(Parse("MATCH (a)").ok());                     // no RETURN
+  EXPECT_FALSE(Parse("MATCH (a RETURN a").ok());             // missing ')'
+  EXPECT_FALSE(Parse("MATCH (a) RETURN a LIMIT x").ok());    // bad LIMIT
+  EXPECT_FALSE(Parse("MATCH (a) RETURN a extra").ok());      // trailing
+  EXPECT_FALSE(Parse("MATCH (a)-[:E](b) RETURN a").ok());    // bad edge
+  EXPECT_FALSE(ParseExpression("1 +").ok());
+  EXPECT_FALSE(ParseExpression("f(1,)").ok());
+}
+
+TEST(ParserTest, ExprToStringRoundTrips) {
+  const std::string text = "(a.x > 3) AND ts_avg(a.y, 0, 10) < 2.5";
+  auto e = ParseExpression(text);
+  ASSERT_TRUE(e.ok());
+  auto reparsed = ParseExpression((*e)->ToString());
+  ASSERT_TRUE(reparsed.ok()) << (*e)->ToString();
+  EXPECT_EQ((*reparsed)->ToString(), (*e)->ToString());
+}
+
+TEST(ParserTest, CloneIsDeep) {
+  auto e = ParseExpression("a.x + f(b.y, 1)");
+  ASSERT_TRUE(e.ok());
+  ExprPtr clone = (*e)->Clone();
+  EXPECT_EQ(clone->ToString(), (*e)->ToString());
+  EXPECT_NE(clone.get(), e->get());
+  EXPECT_NE(clone->lhs.get(), (*e)->lhs.get());
+}
+
+TEST(ParserTest, AnonymousNodes) {
+  auto q = Parse("MATCH (:User)-[:USES]->() RETURN 1");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_TRUE(q->paths[0].nodes[0].var.empty());
+  EXPECT_EQ(q->paths[0].nodes[0].label, "User");
+  EXPECT_TRUE(q->paths[0].nodes[1].var.empty());
+  EXPECT_TRUE(q->paths[0].nodes[1].label.empty());
+}
+
+}  // namespace
+}  // namespace hygraph::query

@@ -1,0 +1,128 @@
+#include "analytics/pattern_mining.h"
+
+#include <gtest/gtest.h>
+
+namespace hygraph::analytics {
+namespace {
+
+using core::HyGraph;
+using graph::VertexId;
+
+ts::MultiSeries Trend(double slope_per_hour, size_t n = 24) {
+  ts::MultiSeries ms("s", {"v"});
+  for (size_t i = 0; i < n; ++i) {
+    EXPECT_TRUE(ms.AppendRow(static_cast<Timestamp>(i) * kHour,
+                             {slope_per_hour * static_cast<double>(i)})
+                    .ok());
+  }
+  return ms;
+}
+
+// Users -> Cards -> Merchants, twice, plus one odd edge.
+HyGraph MakeWorld() {
+  HyGraph hg;
+  for (int i = 0; i < 2; ++i) {
+    const VertexId user = *hg.AddPgVertex({"User"}, {});
+    const VertexId card = *hg.AddTsVertex({"Card"}, Trend(2.0));
+    const VertexId merchant = *hg.AddPgVertex({"Merchant"}, {});
+    EXPECT_TRUE(hg.AddPgEdge(user, card, "USES", {}).ok());
+    EXPECT_TRUE(hg.AddPgEdge(card, merchant, "TX", {}).ok());
+  }
+  const VertexId bank = *hg.AddPgVertex({"Bank"}, {});
+  const VertexId user0 = hg.structure().VerticesWithLabel("User")[0];
+  EXPECT_TRUE(hg.AddPgEdge(bank, user0, "SERVES", {}).ok());
+  return hg;
+}
+
+TEST(PatternMiningTest, FindsFrequentEdgePatterns) {
+  HyGraph hg = MakeWorld();
+  MiningOptions options;
+  options.min_support = 2;
+  options.include_chains = false;
+  auto patterns = MineFrequentPatterns(hg, options);
+  ASSERT_TRUE(patterns.ok()) << patterns.status().ToString();
+  ASSERT_EQ(patterns->size(), 2u);
+  EXPECT_EQ((*patterns)[0].support, 2u);
+  // Deterministic tie-break: alphabetical shape.
+  EXPECT_EQ((*patterns)[0].shape, "Card-[TX]->Merchant");
+  EXPECT_EQ((*patterns)[1].shape, "User-[USES]->Card");
+}
+
+TEST(PatternMiningTest, ChainsMined) {
+  HyGraph hg = MakeWorld();
+  MiningOptions options;
+  options.min_support = 2;
+  options.include_chains = true;
+  auto patterns = MineFrequentPatterns(hg, options);
+  ASSERT_TRUE(patterns.ok());
+  bool found_chain = false;
+  for (const FrequentPattern& p : *patterns) {
+    if (p.shape == "User-[USES]->Card-[TX]->Merchant") {
+      found_chain = true;
+      EXPECT_EQ(p.support, 2u);
+    }
+  }
+  EXPECT_TRUE(found_chain);
+}
+
+TEST(PatternMiningTest, SupportThresholdFilters) {
+  HyGraph hg = MakeWorld();
+  MiningOptions options;
+  options.min_support = 1;
+  options.include_chains = false;
+  auto all = MineFrequentPatterns(hg, options);
+  ASSERT_TRUE(all.ok());
+  EXPECT_EQ(all->size(), 3u);  // includes Bank-[SERVES]->User once
+  options.min_support = 3;
+  auto none = MineFrequentPatterns(hg, options);
+  ASSERT_TRUE(none.ok());
+  EXPECT_TRUE(none->empty());
+}
+
+TEST(PatternMiningTest, TrendAnnotationFromTsMembers) {
+  HyGraph hg = MakeWorld();
+  MiningOptions options;
+  options.min_support = 2;
+  options.include_chains = false;
+  auto patterns = MineFrequentPatterns(hg, options);
+  ASSERT_TRUE(patterns.ok());
+  // Card participates with slope 2/hour = 48/day.
+  for (const FrequentPattern& p : *patterns) {
+    EXPECT_GT(p.trend_samples, 0u);
+    EXPECT_NEAR(p.mean_trend, 48.0, 1.0);
+  }
+}
+
+TEST(PatternMiningTest, NoSeriesMeansZeroTrend) {
+  HyGraph hg;
+  const VertexId a = *hg.AddPgVertex({"A"}, {});
+  const VertexId b = *hg.AddPgVertex({"B"}, {});
+  ASSERT_TRUE(hg.AddPgEdge(a, b, "E", {}).ok());
+  MiningOptions options;
+  options.min_support = 1;
+  auto patterns = MineFrequentPatterns(hg, options);
+  ASSERT_TRUE(patterns.ok());
+  ASSERT_EQ(patterns->size(), 1u);
+  EXPECT_EQ((*patterns)[0].trend_samples, 0u);
+  EXPECT_DOUBLE_EQ((*patterns)[0].mean_trend, 0.0);
+}
+
+TEST(PatternMiningTest, SortedBySupport) {
+  HyGraph hg = MakeWorld();
+  MiningOptions options;
+  options.min_support = 1;
+  auto patterns = MineFrequentPatterns(hg, options);
+  ASSERT_TRUE(patterns.ok());
+  for (size_t i = 1; i < patterns->size(); ++i) {
+    EXPECT_GE((*patterns)[i - 1].support, (*patterns)[i].support);
+  }
+}
+
+TEST(PatternMiningTest, Validation) {
+  MiningOptions bad;
+  bad.min_support = 0;
+  EXPECT_FALSE(MineFrequentPatterns(MakeWorld(), bad).ok());
+}
+
+}  // namespace
+}  // namespace hygraph::analytics

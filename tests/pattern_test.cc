@@ -1,0 +1,206 @@
+#include "graph/pattern.h"
+
+#include <gtest/gtest.h>
+
+namespace hygraph::graph {
+namespace {
+
+// The Listing-1-style world: users, cards, merchants.
+class PatternTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    u1_ = g_.AddVertex({"User"}, {{"name", Value("u1")}});
+    u2_ = g_.AddVertex({"User"}, {{"name", Value("u2")}});
+    c1_ = g_.AddVertex({"Card"}, {{"limit", Value(5000)}});
+    c2_ = g_.AddVertex({"Card"}, {{"limit", Value(1000)}});
+    m1_ = g_.AddVertex({"Merchant"}, {});
+    m2_ = g_.AddVertex({"Merchant"}, {});
+    uses1_ = *g_.AddEdge(u1_, c1_, "USES", {});
+    uses2_ = *g_.AddEdge(u2_, c2_, "USES", {});
+    tx11_ = *g_.AddEdge(c1_, m1_, "TX", {{"amount", Value(1500)}});
+    tx12_ = *g_.AddEdge(c1_, m2_, "TX", {{"amount", Value(50)}});
+    tx22_ = *g_.AddEdge(c2_, m2_, "TX", {{"amount", Value(2000)}});
+  }
+
+  PropertyGraph g_;
+  VertexId u1_, u2_, c1_, c2_, m1_, m2_;
+  EdgeId uses1_, uses2_, tx11_, tx12_, tx22_;
+};
+
+TEST_F(PatternTest, SingleVertexByLabel) {
+  Pattern p;
+  p.AddVertex("u", "User");
+  auto matches = MatchPattern(g_, p);
+  ASSERT_TRUE(matches.ok());
+  EXPECT_EQ(matches->size(), 2u);
+}
+
+TEST_F(PatternTest, VertexPropertyPredicate) {
+  Pattern p;
+  p.AddVertex("c", "Card",
+              {{"limit", CmpOp::kGt, Value(2000)}});
+  auto matches = MatchPattern(g_, p);
+  ASSERT_TRUE(matches.ok());
+  ASSERT_EQ(matches->size(), 1u);
+  EXPECT_EQ((*matches)[0].vertices.at("c"), c1_);
+}
+
+TEST_F(PatternTest, PathPattern) {
+  Pattern p;
+  p.AddVertex("u", "User");
+  p.AddVertex("c", "Card");
+  p.AddVertex("m", "Merchant");
+  p.AddEdge("u", "c", "USES");
+  p.AddEdge("c", "m", "TX");
+  auto matches = MatchPattern(g_, p);
+  ASSERT_TRUE(matches.ok());
+  EXPECT_EQ(matches->size(), 3u);  // u1-c1-m1, u1-c1-m2, u2-c2-m2
+}
+
+TEST_F(PatternTest, EdgePredicateFilters) {
+  Pattern p;
+  p.AddVertex("c", "Card");
+  p.AddVertex("m", "Merchant");
+  p.AddEdge("c", "m", "TX", Direction::kOut,
+            {{"amount", CmpOp::kGt, Value(1000)}});
+  auto matches = MatchPattern(g_, p);
+  ASSERT_TRUE(matches.ok());
+  EXPECT_EQ(matches->size(), 2u);  // tx11 and tx22
+}
+
+TEST_F(PatternTest, DirectionIn) {
+  Pattern p;
+  p.AddVertex("m", "Merchant");
+  p.AddVertex("c", "Card");
+  p.AddEdge("m", "c", "TX", Direction::kIn);  // TX flows card -> merchant
+  auto matches = MatchPattern(g_, p);
+  ASSERT_TRUE(matches.ok());
+  EXPECT_EQ(matches->size(), 3u);
+}
+
+TEST_F(PatternTest, DirectionAny) {
+  Pattern p;
+  p.AddVertex("a", "Card");
+  p.AddVertex("b");
+  p.AddEdge("a", "b", "", Direction::kAny);
+  auto matches = MatchPattern(g_, p);
+  ASSERT_TRUE(matches.ok());
+  // c1: uses1(in) + tx11 + tx12; c2: uses2(in) + tx22 -> 5 matches.
+  EXPECT_EQ(matches->size(), 5u);
+}
+
+TEST_F(PatternTest, TwoMerchantFanOut) {
+  // Two distinct merchants reached from the same card. Edge distinctness
+  // means (m1, m1) would need parallel edges, so only c1's fan-out counts.
+  Pattern p;
+  p.AddVertex("c", "Card");
+  p.AddVertex("m1", "Merchant");
+  p.AddVertex("m2", "Merchant");
+  p.AddEdge("c", "m1", "TX");
+  p.AddEdge("c", "m2", "TX");
+  auto matches = MatchPattern(g_, p);
+  ASSERT_TRUE(matches.ok());
+  EXPECT_EQ(matches->size(), 2u);  // (m1,m2) and (m2,m1) for c1
+}
+
+TEST_F(PatternTest, InjectivityToggle) {
+  // Two unconnected merchant variables: injective -> ordered pairs of
+  // distinct merchants; homomorphic -> full cartesian square.
+  Pattern p;
+  p.AddVertex("m1", "Merchant");
+  p.AddVertex("m2", "Merchant");
+  auto strict = MatchPattern(g_, p);
+  ASSERT_TRUE(strict.ok());
+  EXPECT_EQ(strict->size(), 2u);
+  MatchOptions homomorphic;
+  homomorphic.injective_vertices = false;
+  auto loose = MatchPattern(g_, p, homomorphic);
+  ASSERT_TRUE(loose.ok());
+  EXPECT_EQ(loose->size(), 4u);
+}
+
+TEST_F(PatternTest, LimitStopsEarly) {
+  Pattern p;
+  p.AddVertex("v");
+  MatchOptions options;
+  options.limit = 3;
+  auto matches = MatchPattern(g_, p, options);
+  ASSERT_TRUE(matches.ok());
+  EXPECT_EQ(matches->size(), 3u);
+}
+
+TEST_F(PatternTest, MatchRecordsEdges) {
+  Pattern p;
+  p.AddVertex("u", "User", {{"name", CmpOp::kEq, Value("u1")}});
+  p.AddVertex("c", "Card");
+  p.AddEdge("u", "c", "USES");
+  auto matches = MatchPattern(g_, p);
+  ASSERT_TRUE(matches.ok());
+  ASSERT_EQ(matches->size(), 1u);
+  ASSERT_EQ((*matches)[0].edges.size(), 1u);
+  EXPECT_EQ((*matches)[0].edges[0], uses1_);
+}
+
+TEST_F(PatternTest, NoMatchesForImpossiblePattern) {
+  Pattern p;
+  p.AddVertex("u", "User");
+  p.AddVertex("m", "Merchant");
+  p.AddEdge("u", "m", "TX");  // users never TX directly
+  auto matches = MatchPattern(g_, p);
+  ASSERT_TRUE(matches.ok());
+  EXPECT_TRUE(matches->empty());
+}
+
+TEST_F(PatternTest, ErrorsOnBadPatterns) {
+  Pattern empty;
+  EXPECT_FALSE(MatchPattern(g_, empty).ok());
+  Pattern dup;
+  dup.AddVertex("x");
+  dup.AddVertex("x");
+  EXPECT_FALSE(MatchPattern(g_, dup).ok());
+  Pattern dangling;
+  dangling.AddVertex("a");
+  dangling.AddEdge("a", "missing");
+  EXPECT_FALSE(MatchPattern(g_, dangling).ok());
+}
+
+TEST_F(PatternTest, ParallelEdgesBindDistinctly) {
+  // Two parallel TX edges; a two-edge pattern between the same endpoints
+  // must bind two distinct edges.
+  const EdgeId extra = *g_.AddEdge(c1_, m1_, "TX", {{"amount", Value(10)}});
+  Pattern p;
+  p.AddVertex("c", "Card", {{"limit", CmpOp::kGt, Value(2000)}});
+  p.AddVertex("m", "Merchant");
+  p.AddEdge("c", "m", "TX");
+  p.AddEdge("c", "m", "TX");
+  auto matches = MatchPattern(g_, p);
+  ASSERT_TRUE(matches.ok());
+  // Only (c1, m1) has two parallel TX edges (one match per vertex binding).
+  ASSERT_EQ(matches->size(), 1u);
+  const auto& edges = (*matches)[0].edges;
+  ASSERT_EQ(edges.size(), 2u);
+  EXPECT_NE(edges[0], edges[1]);
+  EXPECT_TRUE((edges[0] == tx11_ && edges[1] == extra) ||
+              (edges[0] == extra && edges[1] == tx11_));
+}
+
+TEST(EvalCmpTest, AllOperators) {
+  EXPECT_TRUE(EvalCmp(Value(1), CmpOp::kEq, Value(1)));
+  EXPECT_TRUE(EvalCmp(Value(1), CmpOp::kNe, Value(2)));
+  EXPECT_TRUE(EvalCmp(Value(1), CmpOp::kLt, Value(2)));
+  EXPECT_TRUE(EvalCmp(Value(2), CmpOp::kLe, Value(2)));
+  EXPECT_TRUE(EvalCmp(Value(3), CmpOp::kGt, Value(2)));
+  EXPECT_TRUE(EvalCmp(Value(2), CmpOp::kGe, Value(2)));
+  EXPECT_FALSE(EvalCmp(Value(1), CmpOp::kGt, Value(2)));
+}
+
+TEST(PropertyPredicateTest, MissingKeyNeverMatches) {
+  PropertyPredicate pred{"k", CmpOp::kNe, Value(1)};
+  PropertyMap props;
+  EXPECT_FALSE(pred.Matches(props));
+  props["k"] = Value(2);
+  EXPECT_TRUE(pred.Matches(props));
+}
+
+}  // namespace
+}  // namespace hygraph::graph

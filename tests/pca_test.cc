@@ -1,0 +1,120 @@
+#include "ts/pca.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace hygraph::ts {
+namespace {
+
+TEST(JacobiTest, DiagonalMatrix) {
+  std::vector<double> eigenvalues;
+  std::vector<std::vector<double>> eigenvectors;
+  ASSERT_TRUE(
+      JacobiEigen({{3.0, 0.0}, {0.0, 1.0}}, &eigenvalues, &eigenvectors)
+          .ok());
+  ASSERT_EQ(eigenvalues.size(), 2u);
+  EXPECT_NEAR(eigenvalues[0], 3.0, 1e-10);
+  EXPECT_NEAR(eigenvalues[1], 1.0, 1e-10);
+  EXPECT_NEAR(std::abs(eigenvectors[0][0]), 1.0, 1e-10);
+  EXPECT_NEAR(std::abs(eigenvectors[1][1]), 1.0, 1e-10);
+}
+
+TEST(JacobiTest, KnownSymmetricMatrix) {
+  // [[2,1],[1,2]] has eigenvalues 3 and 1 with eigenvectors (1,1), (1,-1).
+  std::vector<double> eigenvalues;
+  std::vector<std::vector<double>> eigenvectors;
+  ASSERT_TRUE(
+      JacobiEigen({{2.0, 1.0}, {1.0, 2.0}}, &eigenvalues, &eigenvectors)
+          .ok());
+  EXPECT_NEAR(eigenvalues[0], 3.0, 1e-10);
+  EXPECT_NEAR(eigenvalues[1], 1.0, 1e-10);
+  EXPECT_NEAR(std::abs(eigenvectors[0][0]), std::abs(eigenvectors[0][1]),
+              1e-8);
+}
+
+TEST(JacobiTest, EigenvectorsAreUnit) {
+  std::vector<double> eigenvalues;
+  std::vector<std::vector<double>> eigenvectors;
+  ASSERT_TRUE(JacobiEigen({{4.0, 1.0, 0.5}, {1.0, 3.0, 0.2}, {0.5, 0.2, 1.0}},
+                          &eigenvalues, &eigenvectors)
+                  .ok());
+  for (const auto& v : eigenvectors) {
+    double norm = 0.0;
+    for (double x : v) norm += x * x;
+    EXPECT_NEAR(norm, 1.0, 1e-8);
+  }
+  // Eigenvalues sorted decreasing.
+  EXPECT_GE(eigenvalues[0], eigenvalues[1]);
+  EXPECT_GE(eigenvalues[1], eigenvalues[2]);
+}
+
+TEST(JacobiTest, RejectsNonSquare) {
+  std::vector<double> eigenvalues;
+  std::vector<std::vector<double>> eigenvectors;
+  EXPECT_FALSE(
+      JacobiEigen({{1.0, 2.0}}, &eigenvalues, &eigenvectors).ok());
+}
+
+MultiSeries CorrelatedPair(size_t n, double slope, uint64_t phase) {
+  MultiSeries ms("m", {"a", "b"});
+  for (size_t i = 0; i < n; ++i) {
+    const double x = std::sin(static_cast<double>(i + phase) * 0.3);
+    EXPECT_TRUE(ms.AppendRow(static_cast<Timestamp>(i),
+                             {x, slope * x + 0.01 * std::cos(i * 1.1)})
+                    .ok());
+  }
+  return ms;
+}
+
+TEST(PcaTest, DominantComponentOfCorrelatedData) {
+  auto pca = ComputePca(CorrelatedPair(200, 1.0, 0));
+  ASSERT_TRUE(pca.ok());
+  ASSERT_EQ(pca->eigenvalues.size(), 2u);
+  // Nearly all variance on the first axis; axis ~ (1,1)/sqrt(2).
+  EXPECT_GT(pca->eigenvalues[0], 50.0 * pca->eigenvalues[1]);
+  EXPECT_NEAR(std::abs(pca->components[0][0]),
+              std::abs(pca->components[0][1]), 0.05);
+}
+
+TEST(PcaTest, Validation) {
+  MultiSeries tiny("t", {"a"});
+  ASSERT_TRUE(tiny.AppendRow(0, {1.0}).ok());
+  EXPECT_FALSE(ComputePca(tiny).ok());
+}
+
+TEST(PcaSimilarityTest, SameStructureIsSimilar) {
+  const MultiSeries a = CorrelatedPair(200, 1.0, 0);
+  const MultiSeries b = CorrelatedPair(200, 1.0, 37);  // same subspace
+  auto sim = PcaSimilarity(a, b, 1);
+  ASSERT_TRUE(sim.ok());
+  EXPECT_GT(*sim, 0.95);
+}
+
+TEST(PcaSimilarityTest, OrthogonalStructureIsDissimilar) {
+  const MultiSeries a = CorrelatedPair(200, 1.0, 0);    // axis (1, 1)
+  const MultiSeries b = CorrelatedPair(200, -1.0, 11);  // axis (1, -1)
+  auto sim = PcaSimilarity(a, b, 1);
+  ASSERT_TRUE(sim.ok());
+  EXPECT_LT(*sim, 0.1);
+}
+
+TEST(PcaSimilarityTest, SelfSimilarityIsOne) {
+  const MultiSeries a = CorrelatedPair(100, 2.0, 0);
+  auto sim = PcaSimilarity(a, a, 2);
+  ASSERT_TRUE(sim.ok());
+  EXPECT_NEAR(*sim, 1.0, 0.05);
+}
+
+TEST(PcaSimilarityTest, Validation) {
+  const MultiSeries a = CorrelatedPair(50, 1.0, 0);
+  MultiSeries c("c", {"only"});
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(c.AppendRow(i, {1.0 * i}).ok());
+  }
+  EXPECT_FALSE(PcaSimilarity(a, c, 1).ok());  // variable counts differ
+  EXPECT_FALSE(PcaSimilarity(a, a, 0).ok());
+}
+
+}  // namespace
+}  // namespace hygraph::ts

@@ -1,0 +1,135 @@
+#include "query/planner.h"
+
+#include <gtest/gtest.h>
+
+#include "query/parser.h"
+
+namespace hygraph::query {
+namespace {
+
+Plan MustCompile(const std::string& text, PlannerOptions options = {}) {
+  auto ast = Parse(text);
+  EXPECT_TRUE(ast.ok()) << ast.status().ToString();
+  auto plan = CompileQuery(*ast, options);
+  EXPECT_TRUE(plan.ok()) << plan.status().ToString();
+  return std::move(*plan);
+}
+
+TEST(PlannerTest, InlinePropertyMapsBecomePredicates) {
+  Plan plan = MustCompile("MATCH (s:Station {district: 3}) RETURN s.name");
+  ASSERT_EQ(plan.pattern.vertices.size(), 1u);
+  const auto& vp = plan.pattern.vertices[0];
+  EXPECT_EQ(vp.label, "Station");
+  ASSERT_EQ(vp.predicates.size(), 1u);
+  EXPECT_EQ(vp.predicates[0].key, "district");
+  EXPECT_EQ(vp.predicates[0].op, graph::CmpOp::kEq);
+}
+
+TEST(PlannerTest, WherePushdown) {
+  Plan plan = MustCompile(
+      "MATCH (s:Station) WHERE s.capacity > 20 AND s.name = 'S1' "
+      "RETURN s.name");
+  EXPECT_EQ(plan.pattern.vertices[0].predicates.size(), 2u);
+  EXPECT_EQ(plan.residual_where, nullptr);
+}
+
+TEST(PlannerTest, FlippedComparisonNormalized) {
+  Plan plan =
+      MustCompile("MATCH (s) WHERE 20 < s.capacity RETURN s.capacity");
+  ASSERT_EQ(plan.pattern.vertices[0].predicates.size(), 1u);
+  EXPECT_EQ(plan.pattern.vertices[0].predicates[0].op, graph::CmpOp::kGt);
+  EXPECT_EQ(plan.pattern.vertices[0].predicates[0].value, Value(20));
+}
+
+TEST(PlannerTest, NonPushableStaysResidual) {
+  Plan plan = MustCompile(
+      "MATCH (a), (b) WHERE a.x > b.x AND a.y = 1 RETURN a.x");
+  // a.y = 1 pushed; a.x > b.x residual.
+  EXPECT_EQ(plan.pattern.vertices[0].predicates.size(), 1u);
+  ASSERT_NE(plan.residual_where, nullptr);
+  EXPECT_EQ(plan.residual_where->binary_op, BinaryOp::kGt);
+}
+
+TEST(PlannerTest, TsCallsNeverPushed) {
+  Plan plan = MustCompile(
+      "MATCH (s:Station) WHERE ts_avg(s.bikes, 0, 100) > 5 RETURN s.name");
+  EXPECT_TRUE(plan.pattern.vertices[0].predicates.empty());
+  ASSERT_NE(plan.residual_where, nullptr);
+}
+
+TEST(PlannerTest, NotEqualNeverPushed) {
+  Plan plan = MustCompile("MATCH (s) WHERE s.x <> 1 RETURN s.x");
+  EXPECT_TRUE(plan.pattern.vertices[0].predicates.empty());
+  EXPECT_NE(plan.residual_where, nullptr);
+}
+
+TEST(PlannerTest, PushdownDisabled) {
+  PlannerOptions options;
+  options.enable_pushdown = false;
+  Plan plan =
+      MustCompile("MATCH (s) WHERE s.x = 1 RETURN s.x", options);
+  EXPECT_TRUE(plan.pattern.vertices[0].predicates.empty());
+  EXPECT_NE(plan.residual_where, nullptr);
+}
+
+TEST(PlannerTest, EdgePredicatePushdown) {
+  Plan plan = MustCompile(
+      "MATCH (a)-[t:TX]->(b) WHERE t.amount > 1000 RETURN a.name");
+  ASSERT_EQ(plan.pattern.edges.size(), 1u);
+  EXPECT_EQ(plan.pattern.edges[0].predicates.size(), 1u);
+  EXPECT_EQ(plan.residual_where, nullptr);
+  EXPECT_EQ(plan.edge_vars.at("t"), 0u);
+}
+
+TEST(PlannerTest, SharedVariableUnifiesAcrossPaths) {
+  Plan plan = MustCompile(
+      "MATCH (a:User)-[:USES]->(c), (a)-[:KNOWS]->(b:User) RETURN a.name");
+  // "a" appears in both paths but is one pattern vertex.
+  EXPECT_EQ(plan.pattern.vertices.size(), 3u);
+  EXPECT_EQ(plan.pattern.edges.size(), 2u);
+}
+
+TEST(PlannerTest, ConflictingLabelsRejected) {
+  auto ast = Parse("MATCH (a:User), (a:Merchant) RETURN a");
+  ASSERT_TRUE(ast.ok());
+  EXPECT_FALSE(CompileQuery(*ast).ok());
+}
+
+TEST(PlannerTest, LeftEdgeReversed) {
+  Plan plan = MustCompile("MATCH (a)<-[:E]-(b) RETURN a");
+  ASSERT_EQ(plan.pattern.edges.size(), 1u);
+  EXPECT_EQ(plan.pattern.edges[0].src_var, "b");
+  EXPECT_EQ(plan.pattern.edges[0].dst_var, "a");
+  EXPECT_EQ(plan.pattern.edges[0].direction, graph::Direction::kOut);
+}
+
+TEST(PlannerTest, UndirectedEdgeAnyDirection) {
+  Plan plan = MustCompile("MATCH (a)-[:E]-(b) RETURN a");
+  EXPECT_EQ(plan.pattern.edges[0].direction, graph::Direction::kAny);
+}
+
+TEST(PlannerTest, AnonymousNodesGetFreshVars) {
+  Plan plan = MustCompile("MATCH (:User)-[:E]->(), (:User) RETURN 1");
+  EXPECT_EQ(plan.pattern.vertices.size(), 3u);
+  // All variables distinct.
+  EXPECT_NE(plan.pattern.vertices[0].var, plan.pattern.vertices[1].var);
+  EXPECT_NE(plan.pattern.vertices[0].var, plan.pattern.vertices[2].var);
+}
+
+TEST(PlannerTest, DuplicateEdgeVariableRejected) {
+  auto ast = Parse("MATCH (a)-[t:E]->(b)-[t:E]->(c) RETURN a");
+  ASSERT_TRUE(ast.ok());
+  EXPECT_FALSE(CompileQuery(*ast).ok());
+}
+
+TEST(PlannerTest, ToStringMentionsShape) {
+  Plan plan = MustCompile(
+      "MATCH (s:Station) WHERE ts_avg(s.b, 0, 1) > 2 RETURN s.name LIMIT 5");
+  const std::string text = plan.ToString();
+  EXPECT_NE(text.find("s:Station"), std::string::npos);
+  EXPECT_NE(text.find("limit=5"), std::string::npos);
+  EXPECT_NE(text.find("ts_avg"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hygraph::query

@@ -1,0 +1,177 @@
+#include "graph/property_graph.h"
+
+#include <gtest/gtest.h>
+
+namespace hygraph::graph {
+namespace {
+
+TEST(PropertyGraphTest, AddAndGetVertex) {
+  PropertyGraph g;
+  const VertexId v = g.AddVertex({"User"}, {{"name", Value("Alice")}});
+  EXPECT_TRUE(g.HasVertex(v));
+  EXPECT_EQ(g.VertexCount(), 1u);
+  const Vertex* vertex = *g.GetVertex(v);
+  EXPECT_TRUE(vertex->HasLabel("User"));
+  EXPECT_FALSE(vertex->HasLabel("Admin"));
+  EXPECT_EQ(*g.GetVertexProperty(v, "name"), Value("Alice"));
+  EXPECT_FALSE(g.GetVertexProperty(v, "missing").ok());
+}
+
+TEST(PropertyGraphTest, AddEdgeValidatesEndpoints) {
+  PropertyGraph g;
+  const VertexId a = g.AddVertex({}, {});
+  const VertexId b = g.AddVertex({}, {});
+  auto e = g.AddEdge(a, b, "KNOWS", {{"since", Value(2020)}});
+  ASSERT_TRUE(e.ok());
+  EXPECT_EQ(g.EdgeCount(), 1u);
+  EXPECT_EQ((*g.GetEdge(*e))->src, a);
+  EXPECT_EQ((*g.GetEdge(*e))->dst, b);
+  EXPECT_FALSE(g.AddEdge(a, 999, "X", {}).ok());
+  EXPECT_FALSE(g.AddEdge(999, b, "X", {}).ok());
+}
+
+TEST(PropertyGraphTest, AdjacencyMaintained) {
+  PropertyGraph g;
+  const VertexId a = g.AddVertex({}, {});
+  const VertexId b = g.AddVertex({}, {});
+  const VertexId c = g.AddVertex({}, {});
+  const EdgeId ab = *g.AddEdge(a, b, "E", {});
+  const EdgeId ac = *g.AddEdge(a, c, "E", {});
+  const EdgeId ba = *g.AddEdge(b, a, "E", {});
+  EXPECT_EQ(g.OutEdges(a), (std::vector<EdgeId>{ab, ac}));
+  EXPECT_EQ(g.InEdges(a), (std::vector<EdgeId>{ba}));
+  EXPECT_EQ(g.OutDegree(a), 2u);
+  EXPECT_EQ(g.InDegree(a), 1u);
+  EXPECT_EQ(g.Degree(a), 3u);
+  EXPECT_EQ(g.OutNeighbors(a), (std::vector<VertexId>{b, c}));
+  EXPECT_EQ(g.InNeighbors(a), (std::vector<VertexId>{b}));
+  EXPECT_EQ(g.Neighbors(a).size(), 3u);
+}
+
+TEST(PropertyGraphTest, RemoveEdge) {
+  PropertyGraph g;
+  const VertexId a = g.AddVertex({}, {});
+  const VertexId b = g.AddVertex({}, {});
+  const EdgeId e = *g.AddEdge(a, b, "E", {});
+  EXPECT_TRUE(g.RemoveEdge(e).ok());
+  EXPECT_FALSE(g.HasEdge(e));
+  EXPECT_EQ(g.EdgeCount(), 0u);
+  EXPECT_TRUE(g.OutEdges(a).empty());
+  EXPECT_TRUE(g.InEdges(b).empty());
+  EXPECT_FALSE(g.RemoveEdge(e).ok());  // double remove fails
+}
+
+TEST(PropertyGraphTest, RemoveVertexCascades) {
+  PropertyGraph g;
+  const VertexId a = g.AddVertex({"User"}, {});
+  const VertexId b = g.AddVertex({"User"}, {});
+  const EdgeId ab = *g.AddEdge(a, b, "E", {});
+  const EdgeId ba = *g.AddEdge(b, a, "E", {});
+  EXPECT_TRUE(g.RemoveVertex(a).ok());
+  EXPECT_FALSE(g.HasVertex(a));
+  EXPECT_FALSE(g.HasEdge(ab));
+  EXPECT_FALSE(g.HasEdge(ba));
+  EXPECT_EQ(g.VertexCount(), 1u);
+  EXPECT_EQ(g.EdgeCount(), 0u);
+  EXPECT_EQ(g.VerticesWithLabel("User"), (std::vector<VertexId>{b}));
+}
+
+TEST(PropertyGraphTest, IdsNeverReused) {
+  PropertyGraph g;
+  const VertexId a = g.AddVertex({}, {});
+  EXPECT_TRUE(g.RemoveVertex(a).ok());
+  const VertexId b = g.AddVertex({}, {});
+  EXPECT_NE(a, b);
+}
+
+TEST(PropertyGraphTest, LabelIndex) {
+  PropertyGraph g;
+  const VertexId a = g.AddVertex({"User", "Admin"}, {});
+  const VertexId b = g.AddVertex({"User"}, {});
+  g.AddVertex({"Merchant"}, {});
+  EXPECT_EQ(g.VerticesWithLabel("User"), (std::vector<VertexId>{a, b}));
+  EXPECT_EQ(g.VerticesWithLabel("Admin"), (std::vector<VertexId>{a}));
+  EXPECT_TRUE(g.VerticesWithLabel("Nope").empty());
+}
+
+TEST(PropertyGraphTest, SetPropertyOverwrites) {
+  PropertyGraph g;
+  const VertexId v = g.AddVertex({}, {{"x", Value(1)}});
+  EXPECT_TRUE(g.SetVertexProperty(v, "x", Value(2)).ok());
+  EXPECT_EQ(*g.GetVertexProperty(v, "x"), Value(2));
+  EXPECT_FALSE(g.SetVertexProperty(999, "x", Value(1)).ok());
+}
+
+TEST(PropertyGraphTest, EdgeProperties) {
+  PropertyGraph g;
+  const VertexId a = g.AddVertex({}, {});
+  const VertexId b = g.AddVertex({}, {});
+  const EdgeId e = *g.AddEdge(a, b, "E", {});
+  EXPECT_TRUE(g.SetEdgeProperty(e, "w", Value(1.5)).ok());
+  EXPECT_EQ(*g.GetEdgeProperty(e, "w"), Value(1.5));
+  EXPECT_FALSE(g.GetEdgeProperty(e, "missing").ok());
+}
+
+TEST(PropertyGraphTest, PropertyIndexLookup) {
+  PropertyGraph g;
+  for (int i = 0; i < 100; ++i) {
+    g.AddVertex({"V"}, {{"mod", Value(i % 10)}});
+  }
+  // Unindexed: full scan.
+  EXPECT_EQ(g.FindVertices("mod", Value(3)).size(), 10u);
+  g.CreateVertexPropertyIndex("mod");
+  EXPECT_TRUE(g.HasVertexPropertyIndex("mod"));
+  EXPECT_EQ(g.FindVertices("mod", Value(3)).size(), 10u);
+  EXPECT_TRUE(g.FindVertices("mod", Value(42)).empty());
+}
+
+TEST(PropertyGraphTest, PropertyIndexStaysFreshAfterMutation) {
+  PropertyGraph g;
+  g.CreateVertexPropertyIndex("k");
+  const VertexId v = g.AddVertex({}, {{"k", Value(1)}});
+  EXPECT_EQ(g.FindVertices("k", Value(1)), (std::vector<VertexId>{v}));
+  EXPECT_TRUE(g.SetVertexProperty(v, "k", Value(2)).ok());
+  EXPECT_TRUE(g.FindVertices("k", Value(1)).empty());
+  EXPECT_EQ(g.FindVertices("k", Value(2)), (std::vector<VertexId>{v}));
+  EXPECT_TRUE(g.RemoveVertex(v).ok());
+  EXPECT_TRUE(g.FindVertices("k", Value(2)).empty());
+}
+
+TEST(PropertyGraphTest, ParallelEdgesAllowed) {
+  PropertyGraph g;
+  const VertexId a = g.AddVertex({}, {});
+  const VertexId b = g.AddVertex({}, {});
+  ASSERT_TRUE(g.AddEdge(a, b, "E", {}).ok());
+  ASSERT_TRUE(g.AddEdge(a, b, "E", {}).ok());
+  EXPECT_EQ(g.EdgeCount(), 2u);
+  EXPECT_EQ(g.OutNeighbors(a), (std::vector<VertexId>{b, b}));
+}
+
+TEST(PropertyGraphTest, SelfLoop) {
+  PropertyGraph g;
+  const VertexId a = g.AddVertex({}, {});
+  ASSERT_TRUE(g.AddEdge(a, a, "SELF", {}).ok());
+  EXPECT_EQ(g.OutDegree(a), 1u);
+  EXPECT_EQ(g.InDegree(a), 1u);
+}
+
+TEST(PropertyGraphTest, VertexIdsSortedLiveOnly) {
+  PropertyGraph g;
+  const VertexId a = g.AddVertex({}, {});
+  const VertexId b = g.AddVertex({}, {});
+  const VertexId c = g.AddVertex({}, {});
+  ASSERT_TRUE(g.RemoveVertex(b).ok());
+  EXPECT_EQ(g.VertexIds(), (std::vector<VertexId>{a, c}));
+}
+
+TEST(PropertyGraphTest, CopySemantics) {
+  PropertyGraph g;
+  const VertexId a = g.AddVertex({"X"}, {{"p", Value(1)}});
+  PropertyGraph copy = g;
+  EXPECT_TRUE(copy.SetVertexProperty(a, "p", Value(2)).ok());
+  EXPECT_EQ(*g.GetVertexProperty(a, "p"), Value(1));   // original untouched
+  EXPECT_EQ(*copy.GetVertexProperty(a, "p"), Value(2));
+}
+
+}  // namespace
+}  // namespace hygraph::graph

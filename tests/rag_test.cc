@@ -1,0 +1,170 @@
+#include "analytics/rag.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace hygraph::analytics {
+namespace {
+
+using core::HyGraph;
+using graph::VertexId;
+
+TEST(VectorIndexTest, AddValidatesDimensions) {
+  VectorIndex index;
+  EXPECT_TRUE(index.Add(1, {1.0, 0.0}).ok());
+  EXPECT_EQ(index.dimension(), 2u);
+  EXPECT_FALSE(index.Add(2, {1.0, 0.0, 0.0}).ok());
+  EXPECT_FALSE(index.Add(3, {}).ok());
+  EXPECT_EQ(index.size(), 1u);
+}
+
+TEST(VectorIndexTest, AddReplacesExisting) {
+  VectorIndex index;
+  ASSERT_TRUE(index.Add(1, {1.0, 0.0}).ok());
+  ASSERT_TRUE(index.Add(1, {0.0, 1.0}).ok());
+  EXPECT_EQ(index.size(), 1u);
+  auto hits = index.Search({0.0, 1.0}, 1);
+  ASSERT_TRUE(hits.ok());
+  EXPECT_NEAR((*hits)[0].score, 1.0, 1e-12);
+}
+
+TEST(VectorIndexTest, CosineSearchOrdersBySimilarity) {
+  VectorIndex index(VectorIndex::Metric::kCosine);
+  ASSERT_TRUE(index.Add(1, {1.0, 0.0}).ok());
+  ASSERT_TRUE(index.Add(2, {0.7, 0.7}).ok());
+  ASSERT_TRUE(index.Add(3, {0.0, 1.0}).ok());
+  auto hits = index.Search({1.0, 0.1}, 2);
+  ASSERT_TRUE(hits.ok());
+  ASSERT_EQ(hits->size(), 2u);
+  EXPECT_EQ((*hits)[0].vertex, 1u);
+  EXPECT_EQ((*hits)[1].vertex, 2u);
+}
+
+TEST(VectorIndexTest, EuclideanMetric) {
+  VectorIndex index(VectorIndex::Metric::kEuclidean);
+  ASSERT_TRUE(index.Add(1, {0.0, 0.0}).ok());
+  ASSERT_TRUE(index.Add(2, {10.0, 0.0}).ok());
+  auto hits = index.Search({1.0, 0.0}, 2);
+  ASSERT_TRUE(hits.ok());
+  EXPECT_EQ((*hits)[0].vertex, 1u);
+  EXPECT_DOUBLE_EQ((*hits)[0].score, -1.0);  // negative distance
+}
+
+TEST(VectorIndexTest, Validation) {
+  VectorIndex index;
+  EXPECT_FALSE(index.Search({1.0}, 3).ok());  // empty index
+  ASSERT_TRUE(index.Add(1, {1.0, 2.0}).ok());
+  EXPECT_FALSE(index.Search({1.0}, 3).ok());  // dimension mismatch
+}
+
+ts::MultiSeries Pattern(double base, double amp, double freq,
+                        uint64_t phase) {
+  ts::MultiSeries ms("p", {"v"});
+  for (int i = 0; i < 48; ++i) {
+    EXPECT_TRUE(ms.AppendRow(i * kHour,
+                             {base + amp * std::sin(i * freq + 0.01 *
+                                                    static_cast<double>(
+                                                        phase))})
+                    .ok());
+  }
+  return ms;
+}
+
+// Two behavioural families (differing in level, amplitude AND shape) in
+// two structural cliques.
+HyGraph RagWorld(std::vector<VertexId>* calm, std::vector<VertexId>* wild) {
+  HyGraph hg;
+  for (int i = 0; i < 4; ++i) {
+    calm->push_back(*hg.AddTsVertex({"Sensor"}, Pattern(10, 0.5, 0.15, i)));
+  }
+  for (int i = 0; i < 4; ++i) {
+    wild->push_back(*hg.AddTsVertex({"Sensor"}, Pattern(100, 30, 1.3, i)));
+  }
+  auto clique = [&](const std::vector<VertexId>& vs) {
+    for (size_t i = 0; i < vs.size(); ++i) {
+      for (size_t j = i + 1; j < vs.size(); ++j) {
+        EXPECT_TRUE(hg.AddPgEdge(vs[i], vs[j], "LINK", {}).ok());
+      }
+    }
+  };
+  clique(*calm);
+  clique(*wild);
+  for (VertexId v : *calm) {
+    EXPECT_TRUE(hg.SetVertexProperty(v, "zone", Value("calm")).ok());
+  }
+  return hg;
+}
+
+TEST(RetrieverTest, RetrieveSimilarToFindsOwnFamily) {
+  std::vector<VertexId> calm, wild;
+  HyGraph hg = RagWorld(&calm, &wild);
+  RagOptions options;
+  options.top_k = 3;
+  auto retriever = HyGraphRetriever::Build(&hg, options);
+  ASSERT_TRUE(retriever.ok()) << retriever.status().ToString();
+  auto contexts = retriever->RetrieveSimilarTo(calm[0]);
+  ASSERT_TRUE(contexts.ok());
+  ASSERT_EQ(contexts->size(), 3u);
+  // All retrieved anchors are the other calm sensors, not the wild ones.
+  for (const RetrievedContext& context : *contexts) {
+    EXPECT_NE(context.anchor, calm[0]);
+    EXPECT_TRUE(std::find(calm.begin(), calm.end(), context.anchor) !=
+                calm.end())
+        << "retrieved a wild sensor";
+  }
+}
+
+TEST(RetrieverTest, ContextIncludesNeighborhoodAndText) {
+  std::vector<VertexId> calm, wild;
+  HyGraph hg = RagWorld(&calm, &wild);
+  RagOptions options;
+  options.top_k = 1;
+  options.hops = 1;
+  auto retriever = HyGraphRetriever::Build(&hg, options);
+  ASSERT_TRUE(retriever.ok());
+  auto contexts = retriever->RetrieveSimilarTo(calm[0]);
+  ASSERT_TRUE(contexts.ok());
+  ASSERT_EQ(contexts->size(), 1u);
+  const RetrievedContext& context = (*contexts)[0];
+  // Anchor + its 3 clique neighbors.
+  EXPECT_EQ(context.neighborhood.size(), 4u);
+  EXPECT_NE(context.text.find("anchor:"), std::string::npos);
+  EXPECT_NE(context.text.find("near:"), std::string::npos);
+  EXPECT_NE(context.text.find("Sensor"), std::string::npos);
+  EXPECT_NE(context.text.find("series["), std::string::npos);
+}
+
+TEST(RetrieverTest, RetrieveByRawVector) {
+  std::vector<VertexId> calm, wild;
+  HyGraph hg = RagWorld(&calm, &wild);
+  auto retriever = HyGraphRetriever::Build(&hg, {});
+  ASSERT_TRUE(retriever.ok());
+  const Embedding& probe = retriever->embeddings().at(wild[1]);
+  auto contexts = retriever->Retrieve(probe);
+  ASSERT_TRUE(contexts.ok());
+  ASSERT_FALSE(contexts->empty());
+  EXPECT_EQ((*contexts)[0].anchor, wild[1]);  // itself first
+}
+
+TEST(RetrieverTest, UnknownVertexFails) {
+  std::vector<VertexId> calm, wild;
+  HyGraph hg = RagWorld(&calm, &wild);
+  auto retriever = HyGraphRetriever::Build(&hg, {});
+  ASSERT_TRUE(retriever.ok());
+  EXPECT_FALSE(retriever->RetrieveSimilarTo(999).ok());
+}
+
+TEST(DescribeVertexTest, RendersLabelsPropertiesAndSeries) {
+  std::vector<VertexId> calm, wild;
+  HyGraph hg = RagWorld(&calm, &wild);
+  const std::string text = DescribeVertex(hg, calm[0]);
+  EXPECT_NE(text.find("Sensor"), std::string::npos);
+  EXPECT_NE(text.find("zone=calm"), std::string::npos);
+  EXPECT_NE(text.find("48 pts"), std::string::npos);
+  EXPECT_EQ(DescribeVertex(hg, 424242), "(unknown vertex)");
+}
+
+}  // namespace
+}  // namespace hygraph::analytics

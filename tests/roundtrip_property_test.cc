@@ -1,0 +1,100 @@
+// Property-based round-trip coverage across the three workload generators:
+// every generated world must validate, serialize, deserialize to an
+// equivalent instance, and re-serialize to the identical canonical text.
+
+#include <gtest/gtest.h>
+
+#include "core/serialize.h"
+#include "workloads/bike_sharing.h"
+#include "workloads/financial.h"
+#include "workloads/fraud_workload.h"
+
+namespace hygraph {
+namespace {
+
+void ExpectCanonicalRoundTrip(const core::HyGraph& hg) {
+  ASSERT_TRUE(hg.Validate().ok());
+  auto text = core::Serialize(hg);
+  ASSERT_TRUE(text.ok()) << text.status().ToString();
+  auto restored = core::Deserialize(*text);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  EXPECT_TRUE(restored->Validate().ok());
+  EXPECT_EQ(restored->VertexCount(), hg.VertexCount());
+  EXPECT_EQ(restored->EdgeCount(), hg.EdgeCount());
+  EXPECT_EQ(restored->TsVertices(), hg.TsVertices());
+  EXPECT_EQ(restored->TsEdges(), hg.TsEdges());
+  EXPECT_EQ(restored->SeriesPoolSize(), hg.SeriesPoolSize());
+  EXPECT_EQ(restored->SubgraphIds(), hg.SubgraphIds());
+  // Structural payload equality, element by element.
+  for (graph::VertexId v : hg.structure().VertexIds()) {
+    EXPECT_EQ(**restored->structure().GetVertex(v),
+              **hg.structure().GetVertex(v));
+    EXPECT_EQ(*restored->VertexValidity(v), *hg.VertexValidity(v));
+  }
+  for (graph::EdgeId e : hg.structure().EdgeIds()) {
+    EXPECT_EQ(**restored->structure().GetEdge(e),
+              **hg.structure().GetEdge(e));
+  }
+  for (graph::VertexId v : hg.TsVertices()) {
+    EXPECT_EQ(**restored->VertexSeries(v), **hg.VertexSeries(v));
+  }
+  for (graph::EdgeId e : hg.TsEdges()) {
+    EXPECT_EQ(**restored->EdgeSeries(e), **hg.EdgeSeries(e));
+  }
+  auto text2 = core::Serialize(*restored);
+  ASSERT_TRUE(text2.ok());
+  EXPECT_EQ(*text, *text2) << "canonical form is not a fixed point";
+}
+
+class FraudRoundTrip : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(FraudRoundTrip, SerializeIsLossless) {
+  workloads::FraudConfig config;
+  config.users = 30;
+  config.merchants = 9;
+  config.merchant_clusters = 3;
+  config.days = 3;
+  config.seed = GetParam();
+  auto hg = workloads::GenerateFraudHyGraph(config);
+  ASSERT_TRUE(hg.ok());
+  ExpectCanonicalRoundTrip(*hg);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FraudRoundTrip,
+                         ::testing::Values(1, 17, 99, 424242));
+
+class BikeRoundTrip : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(BikeRoundTrip, SerializeIsLossless) {
+  workloads::BikeSharingConfig config;
+  config.stations = 10;
+  config.districts = 3;
+  config.days = 2;
+  config.sample_interval = kHour;
+  config.seed = GetParam();
+  auto dataset = workloads::GenerateBikeSharing(config);
+  ASSERT_TRUE(dataset.ok());
+  auto hg = workloads::ToHyGraph(*dataset);
+  ASSERT_TRUE(hg.ok());
+  ExpectCanonicalRoundTrip(*hg);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BikeRoundTrip, ::testing::Values(2, 77, 2024));
+
+class FinancialRoundTrip : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(FinancialRoundTrip, SerializeIsLossless) {
+  workloads::FinancialConfig config;
+  config.companies = 20;
+  config.years = 3;
+  config.seed = GetParam();
+  auto hg = workloads::GenerateFinancialHyGraph(config);
+  ASSERT_TRUE(hg.ok());
+  ExpectCanonicalRoundTrip(*hg);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FinancialRoundTrip,
+                         ::testing::Values(3, 11, 555));
+
+}  // namespace
+}  // namespace hygraph

@@ -1,0 +1,178 @@
+#include "ts/sax.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace hygraph::ts {
+namespace {
+
+Series Wave(size_t n, double freq = 0.2, double phase = 0.0) {
+  Series s("wave");
+  for (size_t i = 0; i < n; ++i) {
+    EXPECT_TRUE(s.Append(static_cast<Timestamp>(i) * kMinute,
+                         std::sin(static_cast<double>(i) * freq + phase))
+                    .ok());
+  }
+  return s;
+}
+
+TEST(PaaTest, EvenDivision) {
+  auto frames = Paa({1, 1, 2, 2, 3, 3}, 3);
+  ASSERT_TRUE(frames.ok());
+  EXPECT_EQ(*frames, (std::vector<double>{1.0, 2.0, 3.0}));
+}
+
+TEST(PaaTest, UnevenDivisionUsesFractionalOverlap) {
+  // 5 values into 2 frames: frame 0 covers v0, v1 and half of v2.
+  auto frames = Paa({2, 2, 4, 6, 6}, 2);
+  ASSERT_TRUE(frames.ok());
+  ASSERT_EQ(frames->size(), 2u);
+  EXPECT_NEAR((*frames)[0], (2 + 2 + 0.5 * 4) / 2.5, 1e-12);
+  EXPECT_NEAR((*frames)[1], (0.5 * 4 + 6 + 6) / 2.5, 1e-12);
+}
+
+TEST(PaaTest, MassPreserved) {
+  const std::vector<double> values = {1, 5, 2, 8, 3, 9, 4, 0, 7, 6, 2};
+  auto frames = Paa(values, 4);
+  ASSERT_TRUE(frames.ok());
+  double total = 0.0;
+  for (double v : values) total += v;
+  double frame_total = 0.0;
+  for (double f : *frames) {
+    frame_total += f * static_cast<double>(values.size()) / 4.0;
+  }
+  EXPECT_NEAR(frame_total, total, 1e-9);
+}
+
+TEST(PaaTest, Validation) {
+  EXPECT_FALSE(Paa({1, 2}, 3).ok());
+  EXPECT_FALSE(Paa({1, 2}, 0).ok());
+}
+
+TEST(SaxWordTest, LengthAndAlphabetRange) {
+  SaxOptions options;
+  options.segments = 6;
+  options.alphabet = 4;
+  auto word = SaxWord(Wave(120), options);
+  ASSERT_TRUE(word.ok());
+  EXPECT_EQ(word->size(), 6u);
+  for (char c : *word) {
+    EXPECT_GE(c, 'a');
+    EXPECT_LT(c, 'a' + 4);
+  }
+}
+
+TEST(SaxWordTest, ShapeInvariantToScaleAndOffset) {
+  SaxOptions options;
+  options.segments = 8;
+  options.alphabet = 5;
+  Series base = Wave(160);
+  Series scaled("scaled");
+  for (const Sample& s : base.samples()) {
+    ASSERT_TRUE(scaled.Append(s.t, 500.0 + 42.0 * s.value).ok());
+  }
+  EXPECT_EQ(*SaxWord(base, options), *SaxWord(scaled, options));
+}
+
+TEST(SaxWordTest, RisingVsFallingDiffer) {
+  Series rising("r");
+  Series falling("f");
+  for (int i = 0; i < 64; ++i) {
+    ASSERT_TRUE(rising.Append(i, i).ok());
+    ASSERT_TRUE(falling.Append(i, -i).ok());
+  }
+  SaxOptions options;
+  options.segments = 4;
+  options.alphabet = 4;
+  const std::string up = *SaxWord(rising, options);
+  const std::string down = *SaxWord(falling, options);
+  EXPECT_NE(up, down);
+  // A linear ramp quantizes to a monotone word ("aabd"-like).
+  EXPECT_LE(up.front(), up.back());
+  EXPECT_GE(down.front(), down.back());
+}
+
+TEST(SaxWordTest, Validation) {
+  SaxOptions bad;
+  bad.alphabet = 1;
+  EXPECT_FALSE(SaxWord(Wave(64), bad).ok());
+  bad.alphabet = 20;
+  EXPECT_FALSE(SaxWord(Wave(64), bad).ok());
+  SaxOptions too_many;
+  too_many.segments = 100;
+  EXPECT_FALSE(SaxWord(Wave(10), too_many).ok());
+}
+
+TEST(SaxMinDistTest, LowerBoundsAndZeroForNeighbors) {
+  SaxOptions options;
+  options.segments = 4;
+  options.alphabet = 4;
+  // Adjacent symbols have distance 0 (MINDIST property).
+  auto near = SaxMinDist("aabb", "bbcc", 64, options);
+  ASSERT_TRUE(near.ok());
+  EXPECT_DOUBLE_EQ(*near, 0.0);
+  auto far = SaxMinDist("aaaa", "dddd", 64, options);
+  ASSERT_TRUE(far.ok());
+  EXPECT_GT(*far, 0.0);
+  // Identical words -> 0.
+  EXPECT_DOUBLE_EQ(*SaxMinDist("abcd", "abcd", 64, options), 0.0);
+}
+
+TEST(SaxMinDistTest, Validation) {
+  SaxOptions options;
+  options.segments = 4;
+  EXPECT_FALSE(SaxMinDist("abc", "abcd", 64, options).ok());
+  EXPECT_FALSE(SaxMinDist("abcd", "abcd", 2, options).ok());
+}
+
+TEST(SlidingSaxTest, CountAndPeriodicity) {
+  SaxOptions options;
+  options.segments = 4;
+  options.alphabet = 4;
+  // Period-20 wave: windows one period apart share a word.
+  Series s = Wave(200, 2.0 * 3.14159265358979 / 20.0);
+  auto words = SlidingSaxWords(s, 20, 5, options);
+  ASSERT_TRUE(words.ok());
+  EXPECT_EQ(words->size(), (200 - 20) / 5 + 1);
+  EXPECT_EQ((*words)[0], (*words)[4]);  // offset 0 vs offset 20
+}
+
+TEST(SlidingSaxTest, Validation) {
+  SaxOptions options;
+  EXPECT_FALSE(SlidingSaxWords(Wave(50), 4, 0, options).ok());
+  EXPECT_FALSE(SlidingSaxWords(Wave(5), 20, 1, options).ok());
+  options.segments = 30;
+  EXPECT_FALSE(SlidingSaxWords(Wave(50), 20, 1, options).ok());
+}
+
+TEST(BagOfPatternsTest, PeriodicSeriesHasDominantWord) {
+  SaxOptions options;
+  options.segments = 4;
+  options.alphabet = 3;
+  Series s = Wave(400, 2.0 * 3.14159265358979 / 40.0);
+  auto bag = SaxBagOfPatterns(s, 40, 40, options);
+  ASSERT_TRUE(bag.ok());
+  ASSERT_FALSE(bag->empty());
+  // Aligned whole-period windows all produce the same word.
+  EXPECT_EQ((*bag)[0].count, 10u);
+  EXPECT_EQ(bag->size(), 1u);
+}
+
+TEST(BagOfPatternsTest, CountsSumToWindows) {
+  SaxOptions options;
+  options.segments = 4;
+  options.alphabet = 4;
+  Series s = Wave(300, 0.37);
+  auto bag = SaxBagOfPatterns(s, 30, 10, options);
+  ASSERT_TRUE(bag.ok());
+  size_t total = 0;
+  for (const SaxPattern& p : *bag) total += p.count;
+  EXPECT_EQ(total, (300 - 30) / 10 + 1);
+  for (size_t i = 1; i < bag->size(); ++i) {
+    EXPECT_GE((*bag)[i - 1].count, (*bag)[i].count);
+  }
+}
+
+}  // namespace
+}  // namespace hygraph::ts

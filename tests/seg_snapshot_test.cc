@@ -1,0 +1,98 @@
+#include "analytics/seg_snapshot.h"
+
+#include <gtest/gtest.h>
+
+namespace hygraph::analytics {
+namespace {
+
+using core::HyGraph;
+using graph::VertexId;
+
+// A graph whose population doubles at t = 1000: a,b always there; c,d join
+// at 1000. Driver series: activity level 1 before, 10 after.
+struct World {
+  HyGraph hg;
+  ts::Series driver{"activity"};
+};
+
+World MakeWorld() {
+  World w;
+  (void)*w.hg.AddPgVertex({"N"}, {}, Interval{0, 2000});
+  (void)*w.hg.AddPgVertex({"N"}, {}, Interval{0, 2000});
+  (void)*w.hg.AddPgVertex({"N"}, {}, Interval{1000, 2000});
+  (void)*w.hg.AddPgVertex({"N"}, {}, Interval{1000, 2000});
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_TRUE(
+        w.driver.Append(i * 100, i < 10 ? 1.0 : 10.0).ok());
+  }
+  return w;
+}
+
+TEST(SegSnapshotTest, OneSnapshotPerRegime) {
+  World w = MakeWorld();
+  SegSnapshotOptions options;
+  options.max_error = 1.0;
+  options.max_segments = 4;
+  auto regimes = SegmentationSnapshots(w.hg, w.driver, options);
+  ASSERT_TRUE(regimes.ok()) << regimes.status().ToString();
+  ASSERT_GE(regimes->size(), 2u);
+  // The first regime's snapshot (midpoint < 1000) sees 2 vertices; the
+  // last regime's snapshot sees 4.
+  EXPECT_EQ(regimes->front().snapshot.graph.VertexCount(), 2u);
+  EXPECT_EQ(regimes->back().snapshot.graph.VertexCount(), 4u);
+}
+
+TEST(SegSnapshotTest, SegmentsCoverDriver) {
+  World w = MakeWorld();
+  auto regimes = SegmentationSnapshots(w.hg, w.driver);
+  ASSERT_TRUE(regimes.ok());
+  EXPECT_EQ(regimes->front().segment.begin, 0u);
+  EXPECT_EQ(regimes->back().segment.end, w.driver.size());
+  for (size_t i = 1; i < regimes->size(); ++i) {
+    EXPECT_EQ((*regimes)[i].segment.begin, (*regimes)[i - 1].segment.end);
+  }
+}
+
+TEST(SegSnapshotTest, SnapshotAtRegimeMidpoint) {
+  World w = MakeWorld();
+  auto regimes = SegmentationSnapshots(w.hg, w.driver);
+  ASSERT_TRUE(regimes.ok());
+  for (const RegimeSnapshot& regime : *regimes) {
+    EXPECT_GE(regime.snapshot.at, regime.segment.start_time);
+    EXPECT_LE(regime.snapshot.at, regime.segment.end_time);
+  }
+}
+
+TEST(SegSnapshotTest, FlatDriverYieldsSingleSnapshot) {
+  World w = MakeWorld();
+  ts::Series flat("flat");
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(flat.Append(i * 100, 5.0).ok());
+  }
+  auto regimes = SegmentationSnapshots(w.hg, flat);
+  ASSERT_TRUE(regimes.ok());
+  EXPECT_EQ(regimes->size(), 1u);
+}
+
+TEST(SegSnapshotTest, EmptyDriverFails) {
+  World w = MakeWorld();
+  EXPECT_FALSE(SegmentationSnapshots(w.hg, ts::Series("e")).ok());
+}
+
+TEST(SegSnapshotTest, MaxSegmentsBoundsSnapshots) {
+  World w = MakeWorld();
+  // A jagged driver would segment endlessly; the cap must hold.
+  ts::Series jagged("j");
+  for (int i = 0; i < 40; ++i) {
+    ASSERT_TRUE(jagged.Append(i * 50, (i % 2) * 10.0).ok());
+  }
+  SegSnapshotOptions options;
+  options.max_error = 0.001;
+  options.max_segments = 5;
+  auto regimes = SegmentationSnapshots(w.hg, jagged, options);
+  ASSERT_TRUE(regimes.ok());
+  EXPECT_LE(regimes->size(), 5u);
+}
+
+}  // namespace
+}  // namespace hygraph::analytics

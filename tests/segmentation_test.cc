@@ -1,0 +1,161 @@
+#include "ts/segmentation.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace hygraph::ts {
+namespace {
+
+// Piecewise series: flat at 0 for n1 points, then linear ramp for n2.
+Series TwoRegimes(size_t n1, size_t n2) {
+  Series s("regimes");
+  Timestamp t = 0;
+  for (size_t i = 0; i < n1; ++i, t += kMinute) {
+    EXPECT_TRUE(s.Append(t, 0.0).ok());
+  }
+  for (size_t i = 0; i < n2; ++i, t += kMinute) {
+    EXPECT_TRUE(s.Append(t, static_cast<double>(i) * 5.0).ok());
+  }
+  return s;
+}
+
+TEST(FitSegmentTest, PerfectLine) {
+  Series s("line");
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(s.Append(i * kMinute, 3.0 + 2.0 * i).ok());
+  }
+  const Segment seg = FitSegment(s, 0, s.size());
+  EXPECT_NEAR(seg.error, 0.0, 1e-9);
+  EXPECT_NEAR(seg.intercept, 3.0, 1e-9);
+  EXPECT_NEAR(seg.slope * kMinute, 2.0, 1e-9);  // slope per ms -> per minute
+  EXPECT_EQ(seg.length(), 10u);
+}
+
+TEST(FitSegmentTest, SinglePoint) {
+  Series s("p");
+  ASSERT_TRUE(s.Append(100, 7.0).ok());
+  const Segment seg = FitSegment(s, 0, 1);
+  EXPECT_DOUBLE_EQ(seg.intercept, 7.0);
+  EXPECT_DOUBLE_EQ(seg.slope, 0.0);
+  EXPECT_DOUBLE_EQ(seg.error, 0.0);
+}
+
+TEST(FitSegmentTest, ConstantSeriesZeroError) {
+  Series s("c");
+  for (int i = 0; i < 20; ++i) ASSERT_TRUE(s.Append(i * kMinute, 4.0).ok());
+  const Segment seg = FitSegment(s, 0, s.size());
+  EXPECT_NEAR(seg.error, 0.0, 1e-9);
+  EXPECT_NEAR(seg.slope, 0.0, 1e-15);
+}
+
+TEST(SegmentTopDownTest, FindsTheBreak) {
+  Series s = TwoRegimes(50, 50);
+  auto segments = SegmentTopDown(s, 1.0, 8);
+  ASSERT_TRUE(segments.ok());
+  ASSERT_GE(segments->size(), 2u);
+  // One boundary must fall at (or next to) the regime change, sample 50.
+  bool found = false;
+  for (size_t i = 1; i < segments->size(); ++i) {
+    const size_t b = (*segments)[i].begin;
+    if (b >= 48 && b <= 52) found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(SegmentTopDownTest, SegmentsArePartition) {
+  Series s = TwoRegimes(30, 40);
+  auto segments = SegmentTopDown(s, 0.5, 6);
+  ASSERT_TRUE(segments.ok());
+  EXPECT_EQ((*segments)[0].begin, 0u);
+  for (size_t i = 1; i < segments->size(); ++i) {
+    EXPECT_EQ((*segments)[i].begin, (*segments)[i - 1].end);
+  }
+  EXPECT_EQ(segments->back().end, s.size());
+}
+
+TEST(SegmentTopDownTest, RespectsMaxSegments) {
+  Series s("noise");
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(s.Append(i * kMinute, std::sin(i * 1.3) * 50).ok());
+  }
+  auto segments = SegmentTopDown(s, 0.0001, 5);
+  ASSERT_TRUE(segments.ok());
+  EXPECT_LE(segments->size(), 5u);
+}
+
+TEST(SegmentTopDownTest, PerfectLineStaysOneSegment) {
+  Series s("line");
+  for (int i = 0; i < 50; ++i) ASSERT_TRUE(s.Append(i * kMinute, 2.0 * i).ok());
+  auto segments = SegmentTopDown(s, 0.5, 10);
+  ASSERT_TRUE(segments.ok());
+  EXPECT_EQ(segments->size(), 1u);
+}
+
+TEST(SegmentTopDownTest, EmptyAndInvalid) {
+  Series empty("e");
+  auto segments = SegmentTopDown(empty, 1.0, 4);
+  ASSERT_TRUE(segments.ok());
+  EXPECT_TRUE(segments->empty());
+  EXPECT_FALSE(SegmentTopDown(empty, 1.0, 0).ok());
+}
+
+TEST(SegmentBottomUpTest, MergesToFewSegments) {
+  Series s = TwoRegimes(40, 40);
+  auto segments = SegmentBottomUp(s, 100.0, 4);
+  ASSERT_TRUE(segments.ok());
+  EXPECT_LT(segments->size(), 20u);  // merged well below the 20 initial
+  EXPECT_EQ((*segments)[0].begin, 0u);
+  EXPECT_EQ(segments->back().end, s.size());
+}
+
+TEST(SegmentBottomUpTest, RejectsTinyInitialWidth) {
+  EXPECT_FALSE(SegmentBottomUp(TwoRegimes(10, 10), 1.0, 1).ok());
+}
+
+TEST(ChangePointsTest, BoundariesOnly) {
+  Series s = TwoRegimes(20, 20);
+  auto segments = SegmentTopDown(s, 1.0, 4);
+  ASSERT_TRUE(segments.ok());
+  const std::vector<Timestamp> points = ChangePoints(*segments);
+  EXPECT_EQ(points.size(), segments->size() - 1);
+}
+
+TEST(DetectMeanShiftsTest, FindsSingleShift) {
+  Series s("shift");
+  for (int i = 0; i < 40; ++i) {
+    ASSERT_TRUE(s.Append(i * kMinute, i < 20 ? 0.0 : 10.0).ok());
+  }
+  auto shifts = DetectMeanShifts(s, 5.0);
+  ASSERT_TRUE(shifts.ok());
+  ASSERT_EQ(shifts->size(), 1u);
+  EXPECT_EQ((*shifts)[0], 20u);
+}
+
+TEST(DetectMeanShiftsTest, NoShiftInConstantSeries) {
+  Series s("flat");
+  for (int i = 0; i < 30; ++i) ASSERT_TRUE(s.Append(i * kMinute, 5.0).ok());
+  auto shifts = DetectMeanShifts(s, 1.0);
+  ASSERT_TRUE(shifts.ok());
+  EXPECT_TRUE(shifts->empty());
+}
+
+TEST(DetectMeanShiftsTest, PenaltyControlsSensitivity) {
+  Series s("steps");
+  for (int i = 0; i < 60; ++i) {
+    ASSERT_TRUE(s.Append(i * kMinute, static_cast<double>(i / 20)).ok());
+  }
+  auto strict = DetectMeanShifts(s, 1000.0);
+  auto loose = DetectMeanShifts(s, 0.5);
+  ASSERT_TRUE(strict.ok());
+  ASSERT_TRUE(loose.ok());
+  EXPECT_LE(strict->size(), loose->size());
+  EXPECT_EQ(loose->size(), 2u);  // two step boundaries
+}
+
+TEST(DetectMeanShiftsTest, RejectsNegativePenalty) {
+  EXPECT_FALSE(DetectMeanShifts(TwoRegimes(5, 5), -1.0).ok());
+}
+
+}  // namespace
+}  // namespace hygraph::ts

@@ -1,0 +1,173 @@
+#include "core/serialize.h"
+
+#include <cstdio>
+
+#include <gtest/gtest.h>
+
+#include "workloads/fraud_workload.h"
+
+namespace hygraph::core {
+namespace {
+
+ts::MultiSeries TwoVar() {
+  ts::MultiSeries ms("m x", {"a", "b c"});
+  EXPECT_TRUE(ms.AppendRow(10, {1.5, -2.25}).ok());
+  EXPECT_TRUE(ms.AppendRow(20, {3.0, 0.125}).ok());
+  return ms;
+}
+
+HyGraph RichInstance() {
+  HyGraph hg;
+  const VertexId user = *hg.AddPgVertex(
+      {"User", "VIP"},
+      {{"name", Value("Alice Smith")},
+       {"age", Value(30)},
+       {"score", Value(0.1 + 0.2)},  // non-representable double
+       {"active", Value(true)},
+       {"nickname", Value("")},
+       {"notes", Value()}},
+      Interval{100, 100000});
+  const VertexId card = *hg.AddTsVertex({"CreditCard"}, TwoVar());
+  (void)*hg.SetVertexSeriesProperty(user, "activity", TwoVar());
+  (void)*hg.AddPgEdge(user, card, "USES", {{"since", Value(2020)}},
+                      Interval{200, 90000});
+  (void)*hg.AddTsEdge(card, user, "FEEDBACK", TwoVar());
+  const SubgraphId s = *hg.CreateSubgraph(
+      {"Cluster"}, {{"kind", Value("test")}}, Interval{100, 50000});
+  (void)hg.AddToSubgraph(s, ElementRef::OfVertex(user), Interval{200, 400});
+  (void)hg.AddToSubgraph(s, ElementRef::OfEdge(0), Interval{300, 500});
+  return hg;
+}
+
+TEST(EncodeFieldTest, RoundTripsAwkwardStrings) {
+  for (const std::string& raw :
+       {std::string("plain"), std::string("with space"),
+        std::string("pct%sign"), std::string("tab\tand\nnewline"),
+        std::string(""), std::string("%00")}) {
+    auto decoded = DecodeField(EncodeField(raw));
+    ASSERT_TRUE(decoded.ok()) << raw;
+    EXPECT_EQ(*decoded, raw);
+  }
+}
+
+TEST(EncodeFieldTest, EncodedFormHasNoSpaces) {
+  const std::string encoded = EncodeField("a b\tc\nd");
+  EXPECT_EQ(encoded.find(' '), std::string::npos);
+  EXPECT_EQ(encoded.find('\t'), std::string::npos);
+  EXPECT_EQ(encoded.find('\n'), std::string::npos);
+}
+
+TEST(SerializeTest, RoundTripPreservesEverything) {
+  HyGraph original = RichInstance();
+  auto text = Serialize(original);
+  ASSERT_TRUE(text.ok()) << text.status().ToString();
+  auto restored = Deserialize(*text);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  EXPECT_TRUE(restored->Validate().ok());
+
+  EXPECT_EQ(restored->VertexCount(), original.VertexCount());
+  EXPECT_EQ(restored->EdgeCount(), original.EdgeCount());
+  EXPECT_EQ(restored->TsVertices(), original.TsVertices());
+  EXPECT_EQ(restored->TsEdges(), original.TsEdges());
+  EXPECT_EQ(restored->SeriesPoolSize(), original.SeriesPoolSize());
+
+  // Vertex payloads.
+  const VertexId user = 0;
+  EXPECT_EQ(**restored->structure().GetVertex(user),
+            **original.structure().GetVertex(user));
+  EXPECT_EQ(*restored->VertexValidity(user), *original.VertexValidity(user));
+  // δ series.
+  EXPECT_EQ(**restored->VertexSeries(1), **original.VertexSeries(1));
+  // Pooled series property resolves to identical content.
+  EXPECT_EQ(**restored->GetVertexSeriesProperty(user, "activity"),
+            **original.GetVertexSeriesProperty(user, "activity"));
+  // Edges.
+  EXPECT_EQ(*restored->EdgeValidity(0), *original.EdgeValidity(0));
+  EXPECT_EQ(**restored->EdgeSeries(1), **original.EdgeSeries(1));
+  // Subgraphs.
+  EXPECT_EQ(restored->SubgraphIds(), original.SubgraphIds());
+  EXPECT_EQ(*restored->SubgraphValidity(0), *original.SubgraphValidity(0));
+  auto members = restored->SubgraphAt(0, 350);
+  ASSERT_TRUE(members.ok());
+  EXPECT_EQ(members->vertices.size(), 1u);
+  EXPECT_EQ(members->edges.size(), 1u);
+}
+
+TEST(SerializeTest, CanonicalFormIsStable) {
+  HyGraph original = RichInstance();
+  auto text = Serialize(original);
+  ASSERT_TRUE(text.ok());
+  auto restored = Deserialize(*text);
+  ASSERT_TRUE(restored.ok());
+  auto text2 = Serialize(*restored);
+  ASSERT_TRUE(text2.ok());
+  EXPECT_EQ(*text, *text2);
+}
+
+TEST(SerializeTest, VertexEquality) {
+  // Sanity for the Vertex == used above.
+  HyGraph hg = RichInstance();
+  auto text = Serialize(hg);
+  ASSERT_TRUE(text.ok());
+  EXPECT_NE(text->find("HYGRAPH 1"), std::string::npos);
+  EXPECT_NE(text->find("\nV 0 PG "), std::string::npos);
+  EXPECT_NE(text->find("\nE 0 PG "), std::string::npos);
+  EXPECT_NE(text->find("\nP 0 "), std::string::npos);
+  EXPECT_NE(text->find("\nS 0 "), std::string::npos);
+  EXPECT_NE(text->find("\nM 0 V 0 "), std::string::npos);
+}
+
+TEST(SerializeTest, GeneratedWorldRoundTrips) {
+  workloads::FraudConfig config;
+  config.users = 25;
+  config.merchants = 9;
+  config.merchant_clusters = 3;
+  config.days = 3;
+  auto hg = workloads::GenerateFraudHyGraph(config);
+  ASSERT_TRUE(hg.ok());
+  auto text = Serialize(*hg);
+  ASSERT_TRUE(text.ok());
+  auto restored = Deserialize(*text);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  EXPECT_TRUE(restored->Validate().ok());
+  EXPECT_EQ(restored->VertexCount(), hg->VertexCount());
+  EXPECT_EQ(restored->EdgeCount(), hg->EdgeCount());
+  auto text2 = Serialize(*restored);
+  ASSERT_TRUE(text2.ok());
+  EXPECT_EQ(*text, *text2);
+}
+
+TEST(DeserializeTest, RejectsMalformedInput) {
+  EXPECT_FALSE(Deserialize("").ok());
+  EXPECT_FALSE(Deserialize("NOPE 1\n").ok());
+  EXPECT_FALSE(Deserialize("HYGRAPH 9\n").ok());
+  EXPECT_FALSE(Deserialize("HYGRAPH 1\nV 0 XX\n").ok());
+  EXPECT_FALSE(Deserialize("HYGRAPH 1\nV 5 PG 0 10 L 0 P 0\n").ok());
+  EXPECT_FALSE(Deserialize("HYGRAPH 1\nZ nonsense\n").ok());
+  // Edge referencing a vertex that does not exist.
+  EXPECT_FALSE(
+      Deserialize("HYGRAPH 1\nE 0 PG 0 1 x 0 10 P 0\n").ok());
+  // Dangling pooled-series reference.
+  EXPECT_FALSE(Deserialize("HYGRAPH 1\nV 0 PG 0 10 L 0 P 1 k ts:7\n").ok());
+}
+
+TEST(SerializeTest, FileRoundTrip) {
+  HyGraph hg = RichInstance();
+  const std::string path = "/tmp/hygraph_serialize_test.hg";
+  ASSERT_TRUE(SaveToFile(hg, path).ok());
+  auto restored = LoadFromFile(path);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  EXPECT_EQ(restored->VertexCount(), hg.VertexCount());
+  std::remove(path.c_str());
+  EXPECT_FALSE(LoadFromFile("/tmp/definitely_missing_glorp.hg").ok());
+}
+
+TEST(SerializeTest, DenseIdRequirement) {
+  HyGraph hg = RichInstance();
+  // Remove an edge via the escape hatch: ids are no longer dense.
+  ASSERT_TRUE(hg.mutable_tpg()->mutable_graph()->RemoveEdge(0).ok());
+  EXPECT_FALSE(Serialize(hg).ok());
+}
+
+}  // namespace
+}  // namespace hygraph::core

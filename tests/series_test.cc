@@ -1,0 +1,130 @@
+#include "ts/series.h"
+
+#include <gtest/gtest.h>
+
+namespace hygraph::ts {
+namespace {
+
+Series MakeSeries(std::initializer_list<std::pair<Timestamp, double>> points) {
+  Series s("test");
+  for (const auto& [t, v] : points) EXPECT_TRUE(s.Append(t, v).ok());
+  return s;
+}
+
+TEST(SeriesTest, AppendMaintainsOrder) {
+  Series s("x");
+  EXPECT_TRUE(s.Append(10, 1.0).ok());
+  EXPECT_TRUE(s.Append(20, 2.0).ok());
+  EXPECT_EQ(s.size(), 2u);
+  EXPECT_EQ(s.front().t, 10);
+  EXPECT_EQ(s.back().t, 20);
+}
+
+TEST(SeriesTest, AppendRejectsOutOfOrder) {
+  Series s("x");
+  ASSERT_TRUE(s.Append(10, 1.0).ok());
+  EXPECT_FALSE(s.Append(10, 2.0).ok());  // equal timestamp rejected
+  EXPECT_FALSE(s.Append(5, 2.0).ok());
+  EXPECT_EQ(s.size(), 1u);  // failed appends do not mutate
+}
+
+TEST(SeriesTest, InsertSortsAndReplaces) {
+  Series s("x");
+  s.Insert(20, 2.0);
+  s.Insert(10, 1.0);
+  s.Insert(30, 3.0);
+  EXPECT_EQ(s.size(), 3u);
+  EXPECT_EQ(s.at(0).t, 10);
+  EXPECT_EQ(s.at(2).t, 30);
+  s.Insert(20, 9.0);  // replace
+  EXPECT_EQ(s.size(), 3u);
+  EXPECT_DOUBLE_EQ(s.at(1).value, 9.0);
+}
+
+TEST(SeriesTest, FromVectorsValidates) {
+  auto ok = Series::FromVectors("s", {1, 2, 3}, {1.0, 2.0, 3.0});
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok->size(), 3u);
+  EXPECT_FALSE(Series::FromVectors("s", {1, 2}, {1.0}).ok());
+  EXPECT_FALSE(Series::FromVectors("s", {2, 1}, {1.0, 2.0}).ok());
+}
+
+TEST(SeriesTest, TimeSpanHalfOpen) {
+  Series s = MakeSeries({{10, 1.0}, {30, 3.0}});
+  const Interval span = s.TimeSpan();
+  EXPECT_EQ(span.start, 10);
+  EXPECT_EQ(span.end, 31);
+  EXPECT_TRUE(Series("e").TimeSpan().empty());
+}
+
+TEST(SeriesTest, RangeIndicesBinarySearch) {
+  Series s = MakeSeries({{10, 1}, {20, 2}, {30, 3}, {40, 4}});
+  auto [lo, hi] = s.RangeIndices(Interval{15, 35});
+  EXPECT_EQ(lo, 1u);
+  EXPECT_EQ(hi, 3u);
+  auto [lo2, hi2] = s.RangeIndices(Interval{10, 41});
+  EXPECT_EQ(lo2, 0u);
+  EXPECT_EQ(hi2, 4u);
+  auto [lo3, hi3] = s.RangeIndices(Interval{100, 200});
+  EXPECT_EQ(lo3, hi3);
+}
+
+TEST(SeriesTest, SliceCopiesRange) {
+  Series s = MakeSeries({{10, 1}, {20, 2}, {30, 3}});
+  Series sub = s.Slice(Interval{15, 30});
+  ASSERT_EQ(sub.size(), 1u);
+  EXPECT_EQ(sub.at(0).t, 20);
+}
+
+TEST(SeriesTest, ValueAtCarriesForward) {
+  Series s = MakeSeries({{10, 1.0}, {20, 2.0}});
+  EXPECT_DOUBLE_EQ(*s.ValueAt(10), 1.0);
+  EXPECT_DOUBLE_EQ(*s.ValueAt(15), 1.0);
+  EXPECT_DOUBLE_EQ(*s.ValueAt(25), 2.0);
+  EXPECT_FALSE(s.ValueAt(9).ok());
+}
+
+TEST(SeriesTest, RetainDropsOutside) {
+  Series s = MakeSeries({{10, 1}, {20, 2}, {30, 3}, {40, 4}});
+  const size_t removed = s.Retain(Interval{20, 40});
+  EXPECT_EQ(removed, 2u);
+  ASSERT_EQ(s.size(), 2u);
+  EXPECT_EQ(s.at(0).t, 20);
+  EXPECT_EQ(s.at(1).t, 30);
+}
+
+TEST(SeriesTest, ValuesAndTimestamps) {
+  Series s = MakeSeries({{1, 10.0}, {2, 20.0}});
+  EXPECT_EQ(s.Values(), (std::vector<double>{10.0, 20.0}));
+  EXPECT_EQ(s.Timestamps(), (std::vector<Timestamp>{1, 2}));
+}
+
+TEST(SeriesTest, EqualityIgnoresName) {
+  Series a = MakeSeries({{1, 1.0}});
+  Series b("other");
+  ASSERT_TRUE(b.Append(1, 1.0).ok());
+  EXPECT_EQ(a, b);
+}
+
+// Property-style sweep: Append-only construction always yields a strictly
+// increasing axis regardless of sampling step.
+class SeriesAxisSweep : public ::testing::TestWithParam<Duration> {};
+
+TEST_P(SeriesAxisSweep, AxisStrictlyIncreasing) {
+  const Duration step = GetParam();
+  Series s("sweep");
+  for (int i = 0; i < 200; ++i) {
+    ASSERT_TRUE(s.Append(1000 + i * step, static_cast<double>(i)).ok());
+  }
+  const auto times = s.Timestamps();
+  for (size_t i = 1; i < times.size(); ++i) {
+    EXPECT_LT(times[i - 1], times[i]);
+  }
+  EXPECT_EQ(s.Slice(s.TimeSpan()).size(), s.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Steps, SeriesAxisSweep,
+                         ::testing::Values(1, 7, 1000, 60000, 3600000));
+
+}  // namespace
+}  // namespace hygraph::ts

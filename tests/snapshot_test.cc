@@ -1,0 +1,94 @@
+#include "temporal/snapshot.h"
+
+#include <gtest/gtest.h>
+
+namespace hygraph::temporal {
+namespace {
+
+// World: a exists [0,100), b [50,150), edge a-b [60,90).
+TemporalPropertyGraph World(VertexId* a, VertexId* b, EdgeId* e) {
+  TemporalPropertyGraph tpg;
+  *a = *tpg.AddVertex({"A"}, {{"name", Value("a")}}, Interval{0, 100});
+  *b = *tpg.AddVertex({"B"}, {}, Interval{50, 150});
+  *e = *tpg.AddEdge(*a, *b, "E", {{"w", Value(1)}}, Interval{60, 90});
+  return tpg;
+}
+
+TEST(SnapshotTest, MaterializesValidElements) {
+  VertexId a, b;
+  EdgeId e;
+  TemporalPropertyGraph tpg = World(&a, &b, &e);
+  const Snapshot snap = TakeSnapshot(tpg, 70);
+  EXPECT_EQ(snap.at, 70);
+  EXPECT_EQ(snap.graph.VertexCount(), 2u);
+  EXPECT_EQ(snap.graph.EdgeCount(), 1u);
+  // Labels and properties preserved.
+  const VertexId sa = snap.tpg_to_snapshot.at(a);
+  EXPECT_TRUE((*snap.graph.GetVertex(sa))->HasLabel("A"));
+  EXPECT_EQ(*snap.graph.GetVertexProperty(sa, "name"), Value("a"));
+  EXPECT_EQ(snap.snapshot_to_tpg.at(sa), a);
+}
+
+TEST(SnapshotTest, BeforeEdgeValidity) {
+  VertexId a, b;
+  EdgeId e;
+  TemporalPropertyGraph tpg = World(&a, &b, &e);
+  const Snapshot snap = TakeSnapshot(tpg, 55);
+  EXPECT_EQ(snap.graph.VertexCount(), 2u);
+  EXPECT_EQ(snap.graph.EdgeCount(), 0u);
+}
+
+TEST(SnapshotTest, OnlyOneVertexAlive) {
+  VertexId a, b;
+  EdgeId e;
+  TemporalPropertyGraph tpg = World(&a, &b, &e);
+  const Snapshot early = TakeSnapshot(tpg, 10);
+  EXPECT_EQ(early.graph.VertexCount(), 1u);
+  const Snapshot late = TakeSnapshot(tpg, 120);
+  EXPECT_EQ(late.graph.VertexCount(), 1u);
+  const Snapshot nothing = TakeSnapshot(tpg, 500);
+  EXPECT_EQ(nothing.graph.VertexCount(), 0u);
+}
+
+TEST(DiffTest, AddedAndRemoved) {
+  VertexId a, b;
+  EdgeId e;
+  TemporalPropertyGraph tpg = World(&a, &b, &e);
+  const SnapshotDiff diff = DiffSnapshots(tpg, 10, 70);
+  EXPECT_EQ(diff.added_vertices, (std::vector<VertexId>{b}));
+  EXPECT_TRUE(diff.removed_vertices.empty());
+  EXPECT_EQ(diff.added_edges, (std::vector<EdgeId>{e}));
+  EXPECT_TRUE(diff.removed_edges.empty());
+}
+
+TEST(DiffTest, RemovalDirection) {
+  VertexId a, b;
+  EdgeId e;
+  TemporalPropertyGraph tpg = World(&a, &b, &e);
+  const SnapshotDiff diff = DiffSnapshots(tpg, 70, 120);
+  EXPECT_EQ(diff.removed_vertices, (std::vector<VertexId>{a}));
+  EXPECT_EQ(diff.removed_edges, (std::vector<EdgeId>{e}));
+  EXPECT_TRUE(diff.added_vertices.empty());
+}
+
+TEST(DiffTest, EmptyWhenNothingChanges) {
+  VertexId a, b;
+  EdgeId e;
+  TemporalPropertyGraph tpg = World(&a, &b, &e);
+  const SnapshotDiff diff = DiffSnapshots(tpg, 70, 75);
+  EXPECT_TRUE(diff.empty());
+}
+
+TEST(SnapshotTest, SnapshotIsDecoupledCopy) {
+  VertexId a, b;
+  EdgeId e;
+  TemporalPropertyGraph tpg = World(&a, &b, &e);
+  Snapshot snap = TakeSnapshot(tpg, 70);
+  const VertexId sa = snap.tpg_to_snapshot.at(a);
+  ASSERT_TRUE(
+      snap.graph.SetVertexProperty(sa, "name", Value("mutated")).ok());
+  EXPECT_EQ(*tpg.graph().GetVertexProperty(a, "name"), Value("a"));
+}
+
+}  // namespace
+}  // namespace hygraph::temporal

@@ -1,0 +1,94 @@
+#include "common/status.h"
+
+#include <gtest/gtest.h>
+
+namespace hygraph {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, FactoryFunctionsSetCodeAndMessage) {
+  struct Case {
+    Status status;
+    StatusCode code;
+    const char* name;
+  };
+  const Case cases[] = {
+      {Status::InvalidArgument("a"), StatusCode::kInvalidArgument,
+       "InvalidArgument"},
+      {Status::NotFound("b"), StatusCode::kNotFound, "NotFound"},
+      {Status::AlreadyExists("c"), StatusCode::kAlreadyExists,
+       "AlreadyExists"},
+      {Status::OutOfRange("d"), StatusCode::kOutOfRange, "OutOfRange"},
+      {Status::FailedPrecondition("e"), StatusCode::kFailedPrecondition,
+       "FailedPrecondition"},
+      {Status::Corruption("f"), StatusCode::kCorruption, "Corruption"},
+      {Status::Unimplemented("g"), StatusCode::kUnimplemented,
+       "Unimplemented"},
+      {Status::Internal("h"), StatusCode::kInternal, "Internal"},
+  };
+  for (const Case& c : cases) {
+    EXPECT_FALSE(c.status.ok());
+    EXPECT_EQ(c.status.code(), c.code);
+    EXPECT_EQ(std::string(StatusCodeName(c.code)), c.name);
+    EXPECT_NE(c.status.ToString().find(c.name), std::string::npos);
+  }
+}
+
+TEST(StatusTest, ToStringIncludesMessage) {
+  Status s = Status::NotFound("vertex 17");
+  EXPECT_EQ(s.ToString(), "NotFound: vertex 17");
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::NotFound("x"), Status::NotFound("x"));
+  EXPECT_FALSE(Status::NotFound("x") == Status::NotFound("y"));
+  EXPECT_FALSE(Status::NotFound("x") == Status::Internal("x"));
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(r.value_or(7), 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::NotFound("nope"));
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(r.value_or(7), 7);
+}
+
+TEST(ResultTest, MoveOnlyPayload) {
+  Result<std::unique_ptr<int>> r(std::make_unique<int>(5));
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> extracted = std::move(r).value();
+  EXPECT_EQ(*extracted, 5);
+}
+
+TEST(ResultTest, ArrowOperator) {
+  Result<std::string> r(std::string("hello"));
+  EXPECT_EQ(r->size(), 5u);
+}
+
+Status FailsThenPropagates(bool fail) {
+  HYGRAPH_RETURN_IF_ERROR(fail ? Status::Internal("inner") : Status::OK());
+  return Status::OK();
+}
+
+TEST(ResultTest, ReturnIfErrorMacro) {
+  EXPECT_TRUE(FailsThenPropagates(false).ok());
+  Status s = FailsThenPropagates(true);
+  EXPECT_EQ(s.code(), StatusCode::kInternal);
+  EXPECT_EQ(s.message(), "inner");
+}
+
+}  // namespace
+}  // namespace hygraph

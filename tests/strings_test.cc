@@ -1,0 +1,47 @@
+#include "common/strings.h"
+
+#include <gtest/gtest.h>
+
+namespace hygraph {
+namespace {
+
+TEST(SplitTest, Basic) {
+  EXPECT_EQ(Split("a,b,c", ','), (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST(SplitTest, KeepsEmptyPieces) {
+  EXPECT_EQ(Split("a,,c", ','), (std::vector<std::string>{"a", "", "c"}));
+  EXPECT_EQ(Split(",", ','), (std::vector<std::string>{"", ""}));
+  EXPECT_EQ(Split("", ','), (std::vector<std::string>{""}));
+}
+
+TEST(TrimTest, StripsWhitespaceBothEnds) {
+  EXPECT_EQ(Trim("  abc  "), "abc");
+  EXPECT_EQ(Trim("\t x\n"), "x");
+  EXPECT_EQ(Trim(""), "");
+  EXPECT_EQ(Trim("   "), "");
+  EXPECT_EQ(Trim("a b"), "a b");
+}
+
+TEST(JoinTest, Basics) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({}, ","), "");
+  EXPECT_EQ(Join({"only"}, ","), "only");
+}
+
+TEST(ToLowerTest, Basics) {
+  EXPECT_EQ(ToLower("AbC"), "abc");
+  EXPECT_EQ(ToLower("123xY"), "123xy");
+}
+
+TEST(StartsEndsWithTest, Basics) {
+  EXPECT_TRUE(StartsWith("__ts__bikes", "__ts__"));
+  EXPECT_FALSE(StartsWith("ts__bikes", "__ts__"));
+  EXPECT_TRUE(EndsWith("file.cc", ".cc"));
+  EXPECT_FALSE(EndsWith("file.cc", ".h"));
+  EXPECT_TRUE(StartsWith("x", ""));
+  EXPECT_FALSE(StartsWith("", "x"));
+}
+
+}  // namespace
+}  // namespace hygraph

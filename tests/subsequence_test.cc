@@ -1,0 +1,124 @@
+#include "ts/subsequence.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace hygraph::ts {
+namespace {
+
+// A noisy baseline with an exact copy of `shape` planted at `offset`.
+Series WithPlantedShape(const std::vector<double>& shape, size_t offset,
+                        size_t total) {
+  Series s("haystack");
+  for (size_t i = 0; i < total; ++i) {
+    double v = std::sin(static_cast<double>(i) * 1.7) * 0.2;
+    if (i >= offset && i < offset + shape.size()) {
+      v = shape[i - offset];
+    }
+    EXPECT_TRUE(s.Append(static_cast<Timestamp>(i) * kMinute, v).ok());
+  }
+  return s;
+}
+
+const std::vector<double> kShape = {0.0, 5.0, 10.0, 5.0, 0.0, -5.0};
+
+TEST(DistanceProfileTest, SizeAndExactHit) {
+  Series s = WithPlantedShape(kShape, 40, 100);
+  auto profile = DistanceProfile(s, kShape);
+  ASSERT_TRUE(profile.ok());
+  EXPECT_EQ(profile->size(), 100 - kShape.size() + 1);
+  EXPECT_NEAR((*profile)[40], 0.0, 1e-9);
+}
+
+TEST(DistanceProfileTest, Validation) {
+  Series s = WithPlantedShape(kShape, 0, 10);
+  EXPECT_FALSE(DistanceProfile(s, {1.0}).ok());
+  Series tiny("t");
+  ASSERT_TRUE(tiny.Append(0, 1.0).ok());
+  EXPECT_FALSE(DistanceProfile(tiny, kShape).ok());
+}
+
+TEST(MatchSubsequenceTest, FindsPlantedOccurrence) {
+  Series s = WithPlantedShape(kShape, 60, 200);
+  auto matches = MatchSubsequence(s, kShape, 1);
+  ASSERT_TRUE(matches.ok());
+  ASSERT_EQ(matches->size(), 1u);
+  EXPECT_EQ((*matches)[0].offset, 60u);
+  EXPECT_EQ((*matches)[0].start_time, 60 * kMinute);
+  EXPECT_NEAR((*matches)[0].distance, 0.0, 1e-9);
+}
+
+TEST(MatchSubsequenceTest, ScaleInvariantMatch) {
+  // Z-normalization makes a scaled+shifted copy match exactly.
+  std::vector<double> scaled;
+  for (double v : kShape) scaled.push_back(1000.0 + 3.0 * v);
+  Series s = WithPlantedShape(scaled, 25, 120);
+  auto matches = MatchSubsequence(s, kShape, 1);
+  ASSERT_TRUE(matches.ok());
+  ASSERT_EQ(matches->size(), 1u);
+  EXPECT_EQ((*matches)[0].offset, 25u);
+  EXPECT_NEAR((*matches)[0].distance, 0.0, 1e-9);
+}
+
+TEST(MatchSubsequenceTest, TopKNonOverlapping) {
+  // Plant the shape twice, far apart.
+  Series s("h");
+  for (size_t i = 0; i < 300; ++i) {
+    double v = std::sin(static_cast<double>(i) * 1.7) * 0.1;
+    if (i >= 50 && i < 50 + kShape.size()) v = kShape[i - 50];
+    if (i >= 200 && i < 200 + kShape.size()) v = kShape[i - 200];
+    ASSERT_TRUE(s.Append(static_cast<Timestamp>(i), v).ok());
+  }
+  auto matches = MatchSubsequence(s, kShape, 2);
+  ASSERT_TRUE(matches.ok());
+  ASSERT_EQ(matches->size(), 2u);
+  std::vector<size_t> offsets = {(*matches)[0].offset, (*matches)[1].offset};
+  std::sort(offsets.begin(), offsets.end());
+  EXPECT_EQ(offsets[0], 50u);
+  EXPECT_EQ(offsets[1], 200u);
+  // Non-overlap: gap of at least the query length.
+  EXPECT_GE(offsets[1] - offsets[0], kShape.size());
+}
+
+TEST(MatchSubsequenceTest, KLargerThanPossible) {
+  Series s = WithPlantedShape(kShape, 10, 40);
+  auto matches = MatchSubsequence(s, kShape, 100);
+  ASSERT_TRUE(matches.ok());
+  // Overlap exclusion caps the number of results.
+  EXPECT_LE(matches->size(), 40 / kShape.size() + 1);
+  EXPECT_GE(matches->size(), 2u);
+}
+
+TEST(MatchThresholdTest, ReturnsAllWithinThreshold) {
+  Series s = WithPlantedShape(kShape, 30, 100);
+  auto matches = MatchSubsequenceThreshold(s, kShape, 0.001);
+  ASSERT_TRUE(matches.ok());
+  ASSERT_EQ(matches->size(), 1u);
+  EXPECT_EQ((*matches)[0].offset, 30u);
+  // With a huge threshold everything matches.
+  auto all = MatchSubsequenceThreshold(s, kShape, 1e9);
+  ASSERT_TRUE(all.ok());
+  EXPECT_EQ(all->size(), 100 - kShape.size() + 1);
+  // Results are offset-ordered.
+  for (size_t i = 1; i < all->size(); ++i) {
+    EXPECT_LT((*all)[i - 1].offset, (*all)[i].offset);
+  }
+}
+
+TEST(DistanceProfileTest, ConstantWindowsHandled) {
+  Series s("flat");
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(s.Append(i, 5.0).ok());
+  }
+  auto profile = DistanceProfile(s, kShape);
+  ASSERT_TRUE(profile.ok());
+  // All windows constant: distance equals ||z-norm(query)|| everywhere.
+  for (size_t i = 1; i < profile->size(); ++i) {
+    EXPECT_DOUBLE_EQ((*profile)[i], (*profile)[0]);
+  }
+  EXPECT_GT((*profile)[0], 0.0);
+}
+
+}  // namespace
+}  // namespace hygraph::ts

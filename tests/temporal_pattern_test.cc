@@ -1,0 +1,140 @@
+#include "temporal/temporal_pattern.h"
+
+#include <gtest/gtest.h>
+
+namespace hygraph::temporal {
+namespace {
+
+// Card c transacts with merchants m1, m2, m3; the first two TX edges start
+// within 30 minutes of each other, the third a day later.
+class TemporalPatternTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    c_ = *tpg_.AddVertex({"Card"}, {}, Interval::All());
+    m1_ = *tpg_.AddVertex({"Merchant"}, {}, Interval::All());
+    m2_ = *tpg_.AddVertex({"Merchant"}, {}, Interval::All());
+    m3_ = *tpg_.AddVertex({"Merchant"}, {}, Interval::All());
+    t1_ = *tpg_.AddEdge(c_, m1_, "TX", {{"amount", Value(1500)}},
+                        Interval{kHour, kHour + kMinute});
+    t2_ = *tpg_.AddEdge(c_, m2_, "TX", {{"amount", Value(2000)}},
+                        Interval{kHour + 30 * kMinute,
+                                 kHour + 31 * kMinute});
+    t3_ = *tpg_.AddEdge(c_, m3_, "TX", {{"amount", Value(1800)}},
+                        Interval{25 * kHour, 25 * kHour + kMinute});
+  }
+
+  graph::Pattern TwoTxPattern() {
+    graph::Pattern p;
+    p.AddVertex("c", "Card");
+    p.AddVertex("m1", "Merchant");
+    p.AddVertex("m2", "Merchant");
+    p.AddEdge("c", "m1", "TX");
+    p.AddEdge("c", "m2", "TX");
+    return p;
+  }
+
+  TemporalPropertyGraph tpg_;
+  VertexId c_, m1_, m2_, m3_;
+  EdgeId t1_, t2_, t3_;
+};
+
+TEST_F(TemporalPatternTest, UnconstrainedMatchesAllPairs) {
+  TemporalPattern pattern;
+  pattern.structure = TwoTxPattern();
+  auto matches = MatchTemporalPattern(tpg_, pattern);
+  ASSERT_TRUE(matches.ok());
+  EXPECT_EQ(matches->size(), 6u);  // 3 merchants, ordered pairs
+}
+
+TEST_F(TemporalPatternTest, MaxEdgeSpanKeepsBurstOnly) {
+  TemporalPattern pattern;
+  pattern.structure = TwoTxPattern();
+  pattern.max_edge_span = kHour;  // t1 and t2 are 30 min apart; t3 is a day
+  auto matches = MatchTemporalPattern(tpg_, pattern);
+  ASSERT_TRUE(matches.ok());
+  EXPECT_EQ(matches->size(), 2u);  // (m1,m2) and (m2,m1)
+  for (const TemporalMatch& m : *matches) {
+    const VertexId a = m.match.vertices.at("m1");
+    const VertexId b = m.match.vertices.at("m2");
+    EXPECT_TRUE((a == m1_ && b == m2_) || (a == m2_ && b == m1_));
+  }
+}
+
+TEST_F(TemporalPatternTest, EdgeWindowsFilterPerEdge) {
+  TemporalPattern pattern;
+  pattern.structure = TwoTxPattern();
+  // First pattern edge must overlap hour 1; second must overlap hour 25.
+  pattern.edge_windows = {Interval{kHour, 2 * kHour},
+                          Interval{24 * kHour, 26 * kHour}};
+  auto matches = MatchTemporalPattern(tpg_, pattern);
+  ASSERT_TRUE(matches.ok());
+  // m1 or m2 for the first slot, m3 for the second.
+  EXPECT_EQ(matches->size(), 2u);
+  for (const TemporalMatch& m : *matches) {
+    EXPECT_EQ(m.match.vertices.at("m2"), m3_);
+  }
+}
+
+TEST_F(TemporalPatternTest, EdgeWindowsArityValidated) {
+  TemporalPattern pattern;
+  pattern.structure = TwoTxPattern();
+  pattern.edge_windows = {Interval::All()};  // 1 window for 2 edges
+  EXPECT_FALSE(MatchTemporalPattern(tpg_, pattern).ok());
+}
+
+TEST_F(TemporalPatternTest, MonotoneEdgesEnforceTemporalOrder) {
+  TemporalPattern pattern;
+  pattern.structure = TwoTxPattern();
+  pattern.require_monotone_edges = true;
+  auto matches = MatchTemporalPattern(tpg_, pattern);
+  ASSERT_TRUE(matches.ok());
+  // Ordered pairs with non-decreasing start times: (m1,m2), (m1,m3),
+  // (m2,m3) — the reversed pairs violate monotonicity.
+  EXPECT_EQ(matches->size(), 3u);
+}
+
+TEST_F(TemporalPatternTest, JointValidityIsIntersection) {
+  TemporalPattern pattern;
+  graph::Pattern p;
+  p.AddVertex("c", "Card");
+  p.AddVertex("m", "Merchant");
+  p.AddEdge("c", "m", "TX");
+  pattern.structure = std::move(p);
+  pattern.edge_windows = {Interval{kHour, kHour + kMinute}};
+  auto matches = MatchTemporalPattern(tpg_, pattern);
+  ASSERT_TRUE(matches.ok());
+  ASSERT_EQ(matches->size(), 1u);
+  EXPECT_EQ((*matches)[0].validity, (Interval{kHour, kHour + kMinute}));
+}
+
+TEST_F(TemporalPatternTest, VertexValidityConstrains) {
+  // A merchant that expired before its TX edge's window cannot match —
+  // construct a world where the merchant dies at hour 2.
+  TemporalPropertyGraph tpg;
+  const VertexId c = *tpg.AddVertex({"Card"}, {}, Interval::All());
+  const VertexId m = *tpg.AddVertex({"Merchant"}, {}, Interval{0, 2 * kHour});
+  ASSERT_TRUE(
+      tpg.AddEdge(c, m, "TX", {}, Interval{kHour, kHour + kMinute}).ok());
+  TemporalPattern pattern;
+  pattern.structure.AddVertex("c", "Card");
+  pattern.structure.AddVertex("m", "Merchant");
+  pattern.structure.AddEdge("c", "m", "TX");
+  auto matches = MatchTemporalPattern(tpg, pattern);
+  ASSERT_TRUE(matches.ok());
+  ASSERT_EQ(matches->size(), 1u);
+  // Joint validity clipped by the merchant's lifetime.
+  EXPECT_LE((*matches)[0].validity.end, 2 * kHour);
+}
+
+TEST_F(TemporalPatternTest, LimitApplied) {
+  TemporalPattern pattern;
+  pattern.structure = TwoTxPattern();
+  graph::MatchOptions options;
+  options.limit = 2;
+  auto matches = MatchTemporalPattern(tpg_, pattern, options);
+  ASSERT_TRUE(matches.ok());
+  EXPECT_EQ(matches->size(), 2u);
+}
+
+}  // namespace
+}  // namespace hygraph::temporal

@@ -1,0 +1,88 @@
+#include "common/time.h"
+
+#include <gtest/gtest.h>
+
+namespace hygraph {
+namespace {
+
+TEST(IntervalTest, ContainsHalfOpen) {
+  Interval i{10, 20};
+  EXPECT_TRUE(i.Contains(10));
+  EXPECT_TRUE(i.Contains(19));
+  EXPECT_FALSE(i.Contains(20));
+  EXPECT_FALSE(i.Contains(9));
+}
+
+TEST(IntervalTest, EmptyWhenDegenerate) {
+  EXPECT_TRUE((Interval{5, 5}).empty());
+  EXPECT_TRUE((Interval{6, 5}).empty());
+  EXPECT_FALSE((Interval{5, 6}).empty());
+  EXPECT_EQ((Interval{6, 5}).length(), 0);
+}
+
+TEST(IntervalTest, AtSingleInstant) {
+  Interval i = Interval::At(7);
+  EXPECT_TRUE(i.Contains(7));
+  EXPECT_FALSE(i.Contains(8));
+  EXPECT_EQ(i.length(), 1);
+}
+
+TEST(IntervalTest, AllCoversEverything) {
+  Interval all = Interval::All();
+  EXPECT_TRUE(all.Contains(0));
+  EXPECT_TRUE(all.Contains(kMinTimestamp));
+  EXPECT_TRUE(all.Contains(kMaxTimestamp - 1));
+  EXPECT_EQ(all.length(), kMaxTimestamp);  // saturates, no overflow
+}
+
+TEST(IntervalTest, Overlaps) {
+  EXPECT_TRUE((Interval{0, 10}).Overlaps(Interval{5, 15}));
+  EXPECT_TRUE((Interval{5, 15}).Overlaps(Interval{0, 10}));
+  EXPECT_FALSE((Interval{0, 10}).Overlaps(Interval{10, 20}));  // half-open
+  EXPECT_FALSE((Interval{0, 5}).Overlaps(Interval{6, 9}));
+  EXPECT_TRUE((Interval{0, 10}).Overlaps(Interval{2, 3}));
+}
+
+TEST(IntervalTest, ContainsInterval) {
+  EXPECT_TRUE((Interval{0, 10}).ContainsInterval(Interval{2, 8}));
+  EXPECT_TRUE((Interval{0, 10}).ContainsInterval(Interval{0, 10}));
+  EXPECT_FALSE((Interval{0, 10}).ContainsInterval(Interval{2, 11}));
+  EXPECT_TRUE(Interval::All().ContainsInterval(Interval{-5, 5}));
+}
+
+TEST(IntervalTest, Intersect) {
+  Interval i = Interval{0, 10}.Intersect(Interval{5, 20});
+  EXPECT_EQ(i.start, 5);
+  EXPECT_EQ(i.end, 10);
+  EXPECT_TRUE((Interval{0, 5}).Intersect(Interval{10, 20}).empty());
+}
+
+TEST(IntervalTest, LengthOfBoundedInterval) {
+  EXPECT_EQ((Interval{100, 250}).length(), 150);
+}
+
+TEST(FormatTimestampTest, KnownInstant) {
+  // 2023-11-14T22:13:20.000Z
+  EXPECT_EQ(FormatTimestamp(1700000000000), "2023-11-14T22:13:20.000");
+  EXPECT_EQ(FormatTimestamp(1700000000250), "2023-11-14T22:13:20.250");
+}
+
+TEST(FormatTimestampTest, Sentinels) {
+  EXPECT_EQ(FormatTimestamp(kMaxTimestamp), "+inf");
+  EXPECT_EQ(FormatTimestamp(kMinTimestamp), "-inf");
+}
+
+TEST(FormatTimestampTest, IntervalToString) {
+  Interval i{1700000000000, kMaxTimestamp};
+  EXPECT_EQ(i.ToString(), "[2023-11-14T22:13:20.000, +inf)");
+}
+
+TEST(DurationTest, UnitConstants) {
+  EXPECT_EQ(kSecond, 1000);
+  EXPECT_EQ(kMinute, 60 * kSecond);
+  EXPECT_EQ(kHour, 60 * kMinute);
+  EXPECT_EQ(kDay, 24 * kHour);
+}
+
+}  // namespace
+}  // namespace hygraph

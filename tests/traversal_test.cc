@@ -1,0 +1,162 @@
+#include "graph/traversal.h"
+
+#include <gtest/gtest.h>
+
+namespace hygraph::graph {
+namespace {
+
+// A small directed chain with a branch:
+//   0 -> 1 -> 2 -> 3
+//        |         ^
+//        +--> 4 ---+       (edge 4->3 labeled "FAST", weight 10)
+// All other edges labeled "ROAD" with weight 1.
+class TraversalTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    for (int i = 0; i < 5; ++i) v_.push_back(g_.AddVertex({}, {}));
+    auto road = [&](VertexId a, VertexId b, double w) {
+      return *g_.AddEdge(a, b, "ROAD", {{"weight", Value(w)}});
+    };
+    road(v_[0], v_[1], 1);
+    road(v_[1], v_[2], 1);
+    road(v_[2], v_[3], 1);
+    road(v_[1], v_[4], 1);
+    fast_ = *g_.AddEdge(v_[4], v_[3], "FAST", {{"weight", Value(10.0)}});
+  }
+
+  PropertyGraph g_;
+  std::vector<VertexId> v_;
+  EdgeId fast_ = kInvalidEdgeId;
+};
+
+TEST_F(TraversalTest, BfsOrderAndDepths) {
+  auto visits = Bfs(g_, v_[0]);
+  ASSERT_TRUE(visits.ok());
+  ASSERT_EQ(visits->size(), 5u);
+  EXPECT_EQ((*visits)[0].vertex, v_[0]);
+  EXPECT_EQ((*visits)[0].depth, 0u);
+  EXPECT_EQ((*visits)[1].vertex, v_[1]);
+  // Depth of v3 is 3 (via 2 or 4).
+  for (const BfsVisit& visit : *visits) {
+    if (visit.vertex == v_[3]) {
+      EXPECT_EQ(visit.depth, 3u);
+    }
+  }
+}
+
+TEST_F(TraversalTest, BfsMaxDepth) {
+  TraversalOptions options;
+  options.max_depth = 1;
+  auto visits = Bfs(g_, v_[0], options);
+  ASSERT_TRUE(visits.ok());
+  EXPECT_EQ(visits->size(), 2u);  // 0 and 1
+}
+
+TEST_F(TraversalTest, BfsDirectionIn) {
+  TraversalOptions options;
+  options.direction = TraversalDirection::kIn;
+  auto visits = Bfs(g_, v_[3], options);
+  ASSERT_TRUE(visits.ok());
+  EXPECT_EQ(visits->size(), 5u);  // everything reaches 3
+}
+
+TEST_F(TraversalTest, BfsEdgeLabelFilter) {
+  TraversalOptions options;
+  options.edge_label = "ROAD";
+  auto visits = Bfs(g_, v_[4], options);
+  ASSERT_TRUE(visits.ok());
+  EXPECT_EQ(visits->size(), 1u);  // FAST edge filtered out
+}
+
+TEST_F(TraversalTest, BfsUnknownSourceFails) {
+  EXPECT_FALSE(Bfs(g_, 999).ok());
+}
+
+TEST_F(TraversalTest, DfsPreorderVisitsAll) {
+  auto order = DfsPreorder(g_, v_[0]);
+  ASSERT_TRUE(order.ok());
+  ASSERT_EQ(order->size(), 5u);
+  EXPECT_EQ((*order)[0], v_[0]);
+  EXPECT_EQ((*order)[1], v_[1]);
+  // DFS goes deep: after 1 comes 2 then 3 (first-neighbor first).
+  EXPECT_EQ((*order)[2], v_[2]);
+  EXPECT_EQ((*order)[3], v_[3]);
+  EXPECT_EQ((*order)[4], v_[4]);
+}
+
+TEST_F(TraversalTest, Reachability) {
+  EXPECT_TRUE(*IsReachable(g_, v_[0], v_[3]));
+  EXPECT_FALSE(*IsReachable(g_, v_[3], v_[0]));  // directed
+  EXPECT_TRUE(*IsReachable(g_, v_[2], v_[2]));
+  TraversalOptions both;
+  both.direction = TraversalDirection::kBoth;
+  EXPECT_TRUE(*IsReachable(g_, v_[3], v_[0], both));
+}
+
+TEST_F(TraversalTest, KHopNeighbors) {
+  auto hop2 = KHopNeighbors(g_, v_[0], 2);
+  ASSERT_TRUE(hop2.ok());
+  EXPECT_EQ(*hop2, (std::vector<VertexId>{v_[2], v_[4]}));
+  auto hop0 = KHopNeighbors(g_, v_[0], 0);
+  ASSERT_TRUE(hop0.ok());
+  EXPECT_EQ(*hop0, (std::vector<VertexId>{v_[0]}));
+}
+
+TEST_F(TraversalTest, ShortestPathUnweighted) {
+  auto path = FindShortestPath(g_, v_[0], v_[3]);
+  ASSERT_TRUE(path.ok());
+  EXPECT_DOUBLE_EQ(path->total_weight, 3.0);
+  EXPECT_EQ(path->vertices.size(), 4u);
+  EXPECT_EQ(path->vertices.front(), v_[0]);
+  EXPECT_EQ(path->vertices.back(), v_[3]);
+  EXPECT_EQ(path->edges.size(), 3u);
+}
+
+TEST_F(TraversalTest, ShortestPathWeighted) {
+  // Weighted: 0-1-2-3 costs 3; 0-1-4-3 costs 1+1+10 = 12.
+  auto path = FindShortestPath(g_, v_[0], v_[3], "weight");
+  ASSERT_TRUE(path.ok());
+  EXPECT_DOUBLE_EQ(path->total_weight, 3.0);
+  EXPECT_EQ(path->vertices[2], v_[2]);
+}
+
+TEST_F(TraversalTest, ShortestPathPrefersFastLaneWhenCheap) {
+  // Make the FAST edge cheap: now 0-1-4-3 costs 1+1+0.5.
+  ASSERT_TRUE(g_.SetEdgeProperty(fast_, "weight", Value(0.5)).ok());
+  auto path = FindShortestPath(g_, v_[0], v_[3], "weight");
+  ASSERT_TRUE(path.ok());
+  EXPECT_DOUBLE_EQ(path->total_weight, 2.5);
+  EXPECT_EQ(path->vertices[2], v_[4]);
+}
+
+TEST_F(TraversalTest, ShortestPathNoRoute) {
+  const VertexId island = g_.AddVertex({}, {});
+  EXPECT_FALSE(FindShortestPath(g_, v_[0], island).ok());
+}
+
+TEST_F(TraversalTest, ShortestPathSourceEqualsTarget) {
+  auto path = FindShortestPath(g_, v_[2], v_[2]);
+  ASSERT_TRUE(path.ok());
+  EXPECT_DOUBLE_EQ(path->total_weight, 0.0);
+  EXPECT_EQ(path->vertices, (std::vector<VertexId>{v_[2]}));
+  EXPECT_TRUE(path->edges.empty());
+}
+
+TEST_F(TraversalTest, ShortestPathRejectsNegativeWeight) {
+  ASSERT_TRUE(g_.SetEdgeProperty(fast_, "weight", Value(-1.0)).ok());
+  TraversalOptions options;
+  EXPECT_FALSE(FindShortestPath(g_, v_[0], v_[3], "weight", options).ok());
+}
+
+TEST_F(TraversalTest, MissingWeightDefaultsToOne) {
+  PropertyGraph g;
+  const VertexId a = g.AddVertex({}, {});
+  const VertexId b = g.AddVertex({}, {});
+  ASSERT_TRUE(g.AddEdge(a, b, "E", {}).ok());  // no weight property
+  auto path = FindShortestPath(g, a, b, "weight");
+  ASSERT_TRUE(path.ok());
+  EXPECT_DOUBLE_EQ(path->total_weight, 1.0);
+}
+
+}  // namespace
+}  // namespace hygraph::graph

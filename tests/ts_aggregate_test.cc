@@ -1,0 +1,183 @@
+#include "ts/aggregate.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace hygraph::ts {
+namespace {
+
+Series Ramp(size_t n, Duration step = kMinute) {
+  Series s("ramp");
+  for (size_t i = 0; i < n; ++i) {
+    EXPECT_TRUE(
+        s.Append(static_cast<Timestamp>(i) * step, static_cast<double>(i))
+            .ok());
+  }
+  return s;
+}
+
+TEST(AggKindTest, NamesRoundTrip) {
+  for (AggKind kind :
+       {AggKind::kCount, AggKind::kSum, AggKind::kAvg, AggKind::kMin,
+        AggKind::kMax, AggKind::kStdDev, AggKind::kFirst, AggKind::kLast}) {
+    auto parsed = ParseAggKind(AggKindName(kind));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(*parsed, kind);
+  }
+  EXPECT_TRUE(ParseAggKind("MEAN").ok());  // alias, case-insensitive
+  EXPECT_FALSE(ParseAggKind("median").ok());
+}
+
+TEST(AggStateTest, MergeEqualsSequential) {
+  AggState left;
+  AggState right;
+  AggState all;
+  for (int i = 0; i < 10; ++i) {
+    const Sample s{i, static_cast<double>(i * i)};
+    (i < 5 ? left : right).Add(s);
+    all.Add(s);
+  }
+  AggState merged = left;
+  merged.Merge(right);
+  EXPECT_EQ(merged.count, all.count);
+  EXPECT_DOUBLE_EQ(merged.sum, all.sum);
+  EXPECT_DOUBLE_EQ(merged.sum_sq, all.sum_sq);
+  EXPECT_DOUBLE_EQ(merged.min, all.min);
+  EXPECT_DOUBLE_EQ(merged.max, all.max);
+  EXPECT_EQ(merged.first.t, all.first.t);
+  EXPECT_EQ(merged.last.t, all.last.t);
+}
+
+TEST(AggStateTest, MergeWithEmpty) {
+  AggState a;
+  a.Add(Sample{1, 5.0});
+  AggState empty;
+  AggState b = a;
+  b.Merge(empty);
+  EXPECT_EQ(b.count, 1u);
+  AggState c = empty;
+  c.Merge(a);
+  EXPECT_EQ(c.count, 1u);
+  EXPECT_DOUBLE_EQ(*c.Finalize(AggKind::kSum), 5.0);
+}
+
+TEST(AggStateTest, FinalizeEmpty) {
+  AggState empty;
+  EXPECT_DOUBLE_EQ(*empty.Finalize(AggKind::kCount), 0.0);
+  EXPECT_FALSE(empty.Finalize(AggKind::kAvg).ok());
+  EXPECT_FALSE(empty.Finalize(AggKind::kMin).ok());
+}
+
+TEST(AggregateTest, OverInterval) {
+  Series s = Ramp(100);
+  const Interval range{10 * kMinute, 20 * kMinute};
+  EXPECT_DOUBLE_EQ(*Aggregate(s, range, AggKind::kCount), 10.0);
+  EXPECT_DOUBLE_EQ(*Aggregate(s, range, AggKind::kSum), 145.0);
+  EXPECT_DOUBLE_EQ(*Aggregate(s, range, AggKind::kAvg), 14.5);
+  EXPECT_DOUBLE_EQ(*Aggregate(s, range, AggKind::kMin), 10.0);
+  EXPECT_DOUBLE_EQ(*Aggregate(s, range, AggKind::kMax), 19.0);
+}
+
+TEST(WindowAggregateTest, TumblingWindows) {
+  Series s = Ramp(60);  // one sample per minute, values 0..59
+  auto windowed = WindowAggregate(s, s.TimeSpan(), 10 * kMinute,
+                                  AggKind::kCount);
+  ASSERT_TRUE(windowed.ok());
+  ASSERT_EQ(windowed->size(), 6u);
+  for (const Sample& w : windowed->samples()) {
+    EXPECT_DOUBLE_EQ(w.value, 10.0);
+  }
+  auto sums =
+      WindowAggregate(s, s.TimeSpan(), 10 * kMinute, AggKind::kSum);
+  ASSERT_TRUE(sums.ok());
+  EXPECT_DOUBLE_EQ(sums->at(0).value, 45.0);    // 0..9
+  EXPECT_DOUBLE_EQ(sums->at(5).value, 545.0);   // 50..59
+}
+
+TEST(WindowAggregateTest, SkipsEmptyWindows) {
+  Series s("gappy");
+  ASSERT_TRUE(s.Append(0, 1.0).ok());
+  ASSERT_TRUE(s.Append(10 * kMinute, 2.0).ok());
+  auto windowed =
+      WindowAggregate(s, s.TimeSpan(), kMinute, AggKind::kSum);
+  ASSERT_TRUE(windowed.ok());
+  EXPECT_EQ(windowed->size(), 2u);
+}
+
+TEST(WindowAggregateTest, RejectsBadWidth) {
+  Series s = Ramp(10);
+  EXPECT_FALSE(WindowAggregate(s, s.TimeSpan(), 0, AggKind::kSum).ok());
+  EXPECT_FALSE(WindowAggregate(s, s.TimeSpan(), -5, AggKind::kSum).ok());
+}
+
+TEST(SlidingAggregateTest, OverlappingWindows) {
+  Series s = Ramp(10);
+  // Window 4 min, step 2 min: windows at 0,2,4,6,8 (clamped to span).
+  auto sliding =
+      SlidingAggregate(s, s.TimeSpan(), 4 * kMinute, 2 * kMinute,
+                       AggKind::kCount);
+  ASSERT_TRUE(sliding.ok());
+  ASSERT_GE(sliding->size(), 4u);
+  EXPECT_DOUBLE_EQ(sliding->at(0).value, 4.0);  // samples 0-3
+  EXPECT_DOUBLE_EQ(sliding->at(1).value, 4.0);  // samples 2-5
+}
+
+TEST(SlidingAggregateTest, GapSteps) {
+  Series s = Ramp(30);
+  // Step larger than width leaves gaps between windows.
+  auto sliding = SlidingAggregate(s, s.TimeSpan(), 2 * kMinute,
+                                  10 * kMinute, AggKind::kSum);
+  ASSERT_TRUE(sliding.ok());
+  ASSERT_EQ(sliding->size(), 3u);
+  EXPECT_DOUBLE_EQ(sliding->at(0).value, 0.0 + 1.0);
+  EXPECT_DOUBLE_EQ(sliding->at(1).value, 10.0 + 11.0);
+  EXPECT_DOUBLE_EQ(sliding->at(2).value, 20.0 + 21.0);
+}
+
+TEST(WindowAggregateTest, ClampsSentinelInterval) {
+  Series s = Ramp(10);
+  auto windowed =
+      WindowAggregate(s, Interval::All(), 5 * kMinute, AggKind::kCount);
+  ASSERT_TRUE(windowed.ok());
+  EXPECT_EQ(windowed->size(), 2u);
+}
+
+TEST(WindowAggregateTest, EmptySeries) {
+  Series s("empty");
+  auto windowed =
+      WindowAggregate(s, Interval::All(), kMinute, AggKind::kSum);
+  ASSERT_TRUE(windowed.ok());
+  EXPECT_TRUE(windowed->empty());
+}
+
+// Property sweep: for any window width, windowed counts sum to the total
+// sample count and windowed sums add up to the total sum.
+class WindowSweep : public ::testing::TestWithParam<Duration> {};
+
+TEST_P(WindowSweep, PartitionsMass) {
+  Series s("noise");
+  double total = 0.0;
+  for (int i = 0; i < 500; ++i) {
+    const double v = std::sin(i * 0.37) * 10.0;
+    ASSERT_TRUE(s.Append(i * 90 * kSecond, v).ok());
+    total += v;
+  }
+  auto counts = WindowAggregate(s, s.TimeSpan(), GetParam(), AggKind::kCount);
+  auto sums = WindowAggregate(s, s.TimeSpan(), GetParam(), AggKind::kSum);
+  ASSERT_TRUE(counts.ok());
+  ASSERT_TRUE(sums.ok());
+  double count_total = 0.0;
+  for (const Sample& w : counts->samples()) count_total += w.value;
+  double sum_total = 0.0;
+  for (const Sample& w : sums->samples()) sum_total += w.value;
+  EXPECT_DOUBLE_EQ(count_total, 500.0);
+  EXPECT_NEAR(sum_total, total, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, WindowSweep,
+                         ::testing::Values(kMinute, 7 * kMinute, kHour,
+                                           kDay));
+
+}  // namespace
+}  // namespace hygraph::ts

@@ -1,0 +1,94 @@
+#include "common/value.h"
+
+#include <gtest/gtest.h>
+
+namespace hygraph {
+namespace {
+
+TEST(ValueTest, DefaultIsNull) {
+  Value v;
+  EXPECT_TRUE(v.is_null());
+  EXPECT_EQ(v.type(), ValueType::kNull);
+  EXPECT_EQ(v.ToString(), "null");
+}
+
+TEST(ValueTest, TypedConstruction) {
+  EXPECT_TRUE(Value(true).is_bool());
+  EXPECT_TRUE(Value(int64_t{7}).is_int());
+  EXPECT_TRUE(Value(7).is_int());
+  EXPECT_TRUE(Value(3.5).is_double());
+  EXPECT_TRUE(Value("hi").is_string());
+  EXPECT_TRUE(Value(std::string("hi")).is_string());
+  EXPECT_TRUE(Value::SeriesRef(3).is_series_ref());
+}
+
+TEST(ValueTest, Accessors) {
+  EXPECT_EQ(Value(true).AsBool(), true);
+  EXPECT_EQ(Value(42).AsInt(), 42);
+  EXPECT_DOUBLE_EQ(Value(2.25).AsDouble(), 2.25);
+  EXPECT_EQ(Value("abc").AsString(), "abc");
+  EXPECT_EQ(Value::SeriesRef(9).AsSeriesId(), 9u);
+}
+
+TEST(ValueTest, NumericCrossTypeEquality) {
+  EXPECT_EQ(Value(3), Value(3.0));
+  EXPECT_NE(Value(3), Value(3.5));
+  EXPECT_EQ(Value(3).Compare(Value(3.0)), 0);
+}
+
+TEST(ValueTest, ToDoubleWidens) {
+  EXPECT_DOUBLE_EQ(*Value(4).ToDouble(), 4.0);
+  EXPECT_DOUBLE_EQ(*Value(4.5).ToDouble(), 4.5);
+  EXPECT_FALSE(Value("x").ToDouble().ok());
+  EXPECT_FALSE(Value().ToDouble().ok());
+}
+
+TEST(ValueTest, CompareNumericOrdering) {
+  EXPECT_LT(Value(1).Compare(Value(2)), 0);
+  EXPECT_GT(Value(2.5).Compare(Value(2)), 0);
+  EXPECT_LT(Value(-1).Compare(Value(0.5)), 0);
+}
+
+TEST(ValueTest, CompareStrings) {
+  EXPECT_LT(Value("abc").Compare(Value("abd")), 0);
+  EXPECT_EQ(Value("abc").Compare(Value("abc")), 0);
+  EXPECT_GT(Value("b").Compare(Value("a")), 0);
+}
+
+TEST(ValueTest, CompareAcrossTypesOrdersByTypeTag) {
+  // null < bool < int/double < string < series_ref by enum order.
+  EXPECT_LT(Value().Compare(Value(false)), 0);
+  EXPECT_LT(Value(true).Compare(Value(0)), 0);
+  EXPECT_LT(Value(5).Compare(Value("5")), 0);
+  EXPECT_LT(Value("5").Compare(Value::SeriesRef(0)), 0);
+}
+
+TEST(ValueTest, SeriesRefDistinctFromInt) {
+  EXPECT_NE(Value::SeriesRef(7), Value(7));
+  EXPECT_EQ(Value::SeriesRef(7), Value::SeriesRef(7));
+  EXPECT_NE(Value::SeriesRef(7), Value::SeriesRef(8));
+}
+
+TEST(ValueTest, ToStringFormats) {
+  EXPECT_EQ(Value(true).ToString(), "true");
+  EXPECT_EQ(Value(false).ToString(), "false");
+  EXPECT_EQ(Value(42).ToString(), "42");
+  EXPECT_EQ(Value(3.0).ToString(), "3.0");
+  EXPECT_EQ(Value("txt").ToString(), "txt");
+  EXPECT_EQ(Value::SeriesRef(2).ToString(), "ts#2");
+}
+
+TEST(ValueTest, BoolCompare) {
+  EXPECT_LT(Value(false).Compare(Value(true)), 0);
+  EXPECT_EQ(Value(true).Compare(Value(true)), 0);
+}
+
+TEST(ValueTest, IsNumeric) {
+  EXPECT_TRUE(Value(1).is_numeric());
+  EXPECT_TRUE(Value(1.5).is_numeric());
+  EXPECT_FALSE(Value("1").is_numeric());
+  EXPECT_FALSE(Value(true).is_numeric());
+}
+
+}  // namespace
+}  // namespace hygraph
