@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_ingest.dir/bench_fig1_ingest.cc.o"
+  "CMakeFiles/bench_fig1_ingest.dir/bench_fig1_ingest.cc.o.d"
+  "bench_fig1_ingest"
+  "bench_fig1_ingest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_ingest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_fraud.dir/bench_fig2_fraud.cc.o"
+  "CMakeFiles/bench_fig2_fraud.dir/bench_fig2_fraud.cc.o.d"
+  "bench_fig2_fraud"
+  "bench_fig2_fraud.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_fraud.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_convert.dir/bench_fig3_convert.cc.o"
+  "CMakeFiles/bench_fig3_convert.dir/bench_fig3_convert.cc.o.d"
+  "bench_fig3_convert"
+  "bench_fig3_convert.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_convert.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

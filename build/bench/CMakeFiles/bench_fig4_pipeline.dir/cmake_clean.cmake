@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_pipeline.dir/bench_fig4_pipeline.cc.o"
+  "CMakeFiles/bench_fig4_pipeline.dir/bench_fig4_pipeline.cc.o.d"
+  "bench_fig4_pipeline"
+  "bench_fig4_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_roadmap.dir/bench_roadmap.cc.o"
+  "CMakeFiles/bench_roadmap.dir/bench_roadmap.cc.o.d"
+  "bench_roadmap"
+  "bench_roadmap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_roadmap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

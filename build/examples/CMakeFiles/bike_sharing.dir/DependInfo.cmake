@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/bike_sharing.cpp" "examples/CMakeFiles/bike_sharing.dir/bike_sharing.cpp.o" "gcc" "examples/CMakeFiles/bike_sharing.dir/bike_sharing.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/hygraph_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hygraph_analytics.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hygraph_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hygraph_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hygraph_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hygraph_temporal.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hygraph_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hygraph_ts.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hygraph_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

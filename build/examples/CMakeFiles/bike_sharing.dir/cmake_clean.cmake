@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bike_sharing.dir/bike_sharing.cpp.o"
+  "CMakeFiles/bike_sharing.dir/bike_sharing.cpp.o.d"
+  "bike_sharing"
+  "bike_sharing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bike_sharing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

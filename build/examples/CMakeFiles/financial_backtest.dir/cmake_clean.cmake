@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/financial_backtest.dir/financial_backtest.cpp.o"
+  "CMakeFiles/financial_backtest.dir/financial_backtest.cpp.o.d"
+  "financial_backtest"
+  "financial_backtest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/financial_backtest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

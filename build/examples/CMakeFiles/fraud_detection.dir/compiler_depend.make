@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fraud_detection.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iot_monitoring.dir/iot_monitoring.cpp.o"
+  "CMakeFiles/iot_monitoring.dir/iot_monitoring.cpp.o.d"
+  "iot_monitoring"
+  "iot_monitoring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iot_monitoring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analytics/classify.cc" "src/CMakeFiles/hygraph_analytics.dir/analytics/classify.cc.o" "gcc" "src/CMakeFiles/hygraph_analytics.dir/analytics/classify.cc.o.d"
+  "/root/repo/src/analytics/cluster.cc" "src/CMakeFiles/hygraph_analytics.dir/analytics/cluster.cc.o" "gcc" "src/CMakeFiles/hygraph_analytics.dir/analytics/cluster.cc.o.d"
+  "/root/repo/src/analytics/corr_reach.cc" "src/CMakeFiles/hygraph_analytics.dir/analytics/corr_reach.cc.o" "gcc" "src/CMakeFiles/hygraph_analytics.dir/analytics/corr_reach.cc.o.d"
+  "/root/repo/src/analytics/detection.cc" "src/CMakeFiles/hygraph_analytics.dir/analytics/detection.cc.o" "gcc" "src/CMakeFiles/hygraph_analytics.dir/analytics/detection.cc.o.d"
+  "/root/repo/src/analytics/embedding.cc" "src/CMakeFiles/hygraph_analytics.dir/analytics/embedding.cc.o" "gcc" "src/CMakeFiles/hygraph_analytics.dir/analytics/embedding.cc.o.d"
+  "/root/repo/src/analytics/fraud.cc" "src/CMakeFiles/hygraph_analytics.dir/analytics/fraud.cc.o" "gcc" "src/CMakeFiles/hygraph_analytics.dir/analytics/fraud.cc.o.d"
+  "/root/repo/src/analytics/hybrid_aggregate.cc" "src/CMakeFiles/hygraph_analytics.dir/analytics/hybrid_aggregate.cc.o" "gcc" "src/CMakeFiles/hygraph_analytics.dir/analytics/hybrid_aggregate.cc.o.d"
+  "/root/repo/src/analytics/hybrid_match.cc" "src/CMakeFiles/hygraph_analytics.dir/analytics/hybrid_match.cc.o" "gcc" "src/CMakeFiles/hygraph_analytics.dir/analytics/hybrid_match.cc.o.d"
+  "/root/repo/src/analytics/link_prediction.cc" "src/CMakeFiles/hygraph_analytics.dir/analytics/link_prediction.cc.o" "gcc" "src/CMakeFiles/hygraph_analytics.dir/analytics/link_prediction.cc.o.d"
+  "/root/repo/src/analytics/pattern_mining.cc" "src/CMakeFiles/hygraph_analytics.dir/analytics/pattern_mining.cc.o" "gcc" "src/CMakeFiles/hygraph_analytics.dir/analytics/pattern_mining.cc.o.d"
+  "/root/repo/src/analytics/rag.cc" "src/CMakeFiles/hygraph_analytics.dir/analytics/rag.cc.o" "gcc" "src/CMakeFiles/hygraph_analytics.dir/analytics/rag.cc.o.d"
+  "/root/repo/src/analytics/seg_snapshot.cc" "src/CMakeFiles/hygraph_analytics.dir/analytics/seg_snapshot.cc.o" "gcc" "src/CMakeFiles/hygraph_analytics.dir/analytics/seg_snapshot.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/hygraph_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hygraph_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hygraph_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hygraph_temporal.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hygraph_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hygraph_ts.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hygraph_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hygraph_analytics.dir/analytics/classify.cc.o"
+  "CMakeFiles/hygraph_analytics.dir/analytics/classify.cc.o.d"
+  "CMakeFiles/hygraph_analytics.dir/analytics/cluster.cc.o"
+  "CMakeFiles/hygraph_analytics.dir/analytics/cluster.cc.o.d"
+  "CMakeFiles/hygraph_analytics.dir/analytics/corr_reach.cc.o"
+  "CMakeFiles/hygraph_analytics.dir/analytics/corr_reach.cc.o.d"
+  "CMakeFiles/hygraph_analytics.dir/analytics/detection.cc.o"
+  "CMakeFiles/hygraph_analytics.dir/analytics/detection.cc.o.d"
+  "CMakeFiles/hygraph_analytics.dir/analytics/embedding.cc.o"
+  "CMakeFiles/hygraph_analytics.dir/analytics/embedding.cc.o.d"
+  "CMakeFiles/hygraph_analytics.dir/analytics/fraud.cc.o"
+  "CMakeFiles/hygraph_analytics.dir/analytics/fraud.cc.o.d"
+  "CMakeFiles/hygraph_analytics.dir/analytics/hybrid_aggregate.cc.o"
+  "CMakeFiles/hygraph_analytics.dir/analytics/hybrid_aggregate.cc.o.d"
+  "CMakeFiles/hygraph_analytics.dir/analytics/hybrid_match.cc.o"
+  "CMakeFiles/hygraph_analytics.dir/analytics/hybrid_match.cc.o.d"
+  "CMakeFiles/hygraph_analytics.dir/analytics/link_prediction.cc.o"
+  "CMakeFiles/hygraph_analytics.dir/analytics/link_prediction.cc.o.d"
+  "CMakeFiles/hygraph_analytics.dir/analytics/pattern_mining.cc.o"
+  "CMakeFiles/hygraph_analytics.dir/analytics/pattern_mining.cc.o.d"
+  "CMakeFiles/hygraph_analytics.dir/analytics/rag.cc.o"
+  "CMakeFiles/hygraph_analytics.dir/analytics/rag.cc.o.d"
+  "CMakeFiles/hygraph_analytics.dir/analytics/seg_snapshot.cc.o"
+  "CMakeFiles/hygraph_analytics.dir/analytics/seg_snapshot.cc.o.d"
+  "libhygraph_analytics.a"
+  "libhygraph_analytics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hygraph_analytics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/stats.cc" "src/CMakeFiles/hygraph_common.dir/common/stats.cc.o" "gcc" "src/CMakeFiles/hygraph_common.dir/common/stats.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/CMakeFiles/hygraph_common.dir/common/status.cc.o" "gcc" "src/CMakeFiles/hygraph_common.dir/common/status.cc.o.d"
+  "/root/repo/src/common/strings.cc" "src/CMakeFiles/hygraph_common.dir/common/strings.cc.o" "gcc" "src/CMakeFiles/hygraph_common.dir/common/strings.cc.o.d"
+  "/root/repo/src/common/time.cc" "src/CMakeFiles/hygraph_common.dir/common/time.cc.o" "gcc" "src/CMakeFiles/hygraph_common.dir/common/time.cc.o.d"
+  "/root/repo/src/common/value.cc" "src/CMakeFiles/hygraph_common.dir/common/value.cc.o" "gcc" "src/CMakeFiles/hygraph_common.dir/common/value.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hygraph_common.dir/common/stats.cc.o"
+  "CMakeFiles/hygraph_common.dir/common/stats.cc.o.d"
+  "CMakeFiles/hygraph_common.dir/common/status.cc.o"
+  "CMakeFiles/hygraph_common.dir/common/status.cc.o.d"
+  "CMakeFiles/hygraph_common.dir/common/strings.cc.o"
+  "CMakeFiles/hygraph_common.dir/common/strings.cc.o.d"
+  "CMakeFiles/hygraph_common.dir/common/time.cc.o"
+  "CMakeFiles/hygraph_common.dir/common/time.cc.o.d"
+  "CMakeFiles/hygraph_common.dir/common/value.cc.o"
+  "CMakeFiles/hygraph_common.dir/common/value.cc.o.d"
+  "libhygraph_common.a"
+  "libhygraph_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hygraph_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/builder.cc" "src/CMakeFiles/hygraph_core.dir/core/builder.cc.o" "gcc" "src/CMakeFiles/hygraph_core.dir/core/builder.cc.o.d"
+  "/root/repo/src/core/convert.cc" "src/CMakeFiles/hygraph_core.dir/core/convert.cc.o" "gcc" "src/CMakeFiles/hygraph_core.dir/core/convert.cc.o.d"
+  "/root/repo/src/core/hygraph.cc" "src/CMakeFiles/hygraph_core.dir/core/hygraph.cc.o" "gcc" "src/CMakeFiles/hygraph_core.dir/core/hygraph.cc.o.d"
+  "/root/repo/src/core/serialize.cc" "src/CMakeFiles/hygraph_core.dir/core/serialize.cc.o" "gcc" "src/CMakeFiles/hygraph_core.dir/core/serialize.cc.o.d"
+  "/root/repo/src/core/stream.cc" "src/CMakeFiles/hygraph_core.dir/core/stream.cc.o" "gcc" "src/CMakeFiles/hygraph_core.dir/core/stream.cc.o.d"
+  "/root/repo/src/core/validate.cc" "src/CMakeFiles/hygraph_core.dir/core/validate.cc.o" "gcc" "src/CMakeFiles/hygraph_core.dir/core/validate.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/hygraph_temporal.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hygraph_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hygraph_ts.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hygraph_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

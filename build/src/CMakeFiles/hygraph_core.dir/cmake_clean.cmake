@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hygraph_core.dir/core/builder.cc.o"
+  "CMakeFiles/hygraph_core.dir/core/builder.cc.o.d"
+  "CMakeFiles/hygraph_core.dir/core/convert.cc.o"
+  "CMakeFiles/hygraph_core.dir/core/convert.cc.o.d"
+  "CMakeFiles/hygraph_core.dir/core/hygraph.cc.o"
+  "CMakeFiles/hygraph_core.dir/core/hygraph.cc.o.d"
+  "CMakeFiles/hygraph_core.dir/core/serialize.cc.o"
+  "CMakeFiles/hygraph_core.dir/core/serialize.cc.o.d"
+  "CMakeFiles/hygraph_core.dir/core/stream.cc.o"
+  "CMakeFiles/hygraph_core.dir/core/stream.cc.o.d"
+  "CMakeFiles/hygraph_core.dir/core/validate.cc.o"
+  "CMakeFiles/hygraph_core.dir/core/validate.cc.o.d"
+  "libhygraph_core.a"
+  "libhygraph_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hygraph_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

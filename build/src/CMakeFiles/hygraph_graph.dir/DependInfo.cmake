@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/aggregate.cc" "src/CMakeFiles/hygraph_graph.dir/graph/aggregate.cc.o" "gcc" "src/CMakeFiles/hygraph_graph.dir/graph/aggregate.cc.o.d"
+  "/root/repo/src/graph/algorithms.cc" "src/CMakeFiles/hygraph_graph.dir/graph/algorithms.cc.o" "gcc" "src/CMakeFiles/hygraph_graph.dir/graph/algorithms.cc.o.d"
+  "/root/repo/src/graph/centrality.cc" "src/CMakeFiles/hygraph_graph.dir/graph/centrality.cc.o" "gcc" "src/CMakeFiles/hygraph_graph.dir/graph/centrality.cc.o.d"
+  "/root/repo/src/graph/community.cc" "src/CMakeFiles/hygraph_graph.dir/graph/community.cc.o" "gcc" "src/CMakeFiles/hygraph_graph.dir/graph/community.cc.o.d"
+  "/root/repo/src/graph/pattern.cc" "src/CMakeFiles/hygraph_graph.dir/graph/pattern.cc.o" "gcc" "src/CMakeFiles/hygraph_graph.dir/graph/pattern.cc.o.d"
+  "/root/repo/src/graph/property_graph.cc" "src/CMakeFiles/hygraph_graph.dir/graph/property_graph.cc.o" "gcc" "src/CMakeFiles/hygraph_graph.dir/graph/property_graph.cc.o.d"
+  "/root/repo/src/graph/traversal.cc" "src/CMakeFiles/hygraph_graph.dir/graph/traversal.cc.o" "gcc" "src/CMakeFiles/hygraph_graph.dir/graph/traversal.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/hygraph_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

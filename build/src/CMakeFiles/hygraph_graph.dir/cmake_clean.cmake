@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hygraph_graph.dir/graph/aggregate.cc.o"
+  "CMakeFiles/hygraph_graph.dir/graph/aggregate.cc.o.d"
+  "CMakeFiles/hygraph_graph.dir/graph/algorithms.cc.o"
+  "CMakeFiles/hygraph_graph.dir/graph/algorithms.cc.o.d"
+  "CMakeFiles/hygraph_graph.dir/graph/centrality.cc.o"
+  "CMakeFiles/hygraph_graph.dir/graph/centrality.cc.o.d"
+  "CMakeFiles/hygraph_graph.dir/graph/community.cc.o"
+  "CMakeFiles/hygraph_graph.dir/graph/community.cc.o.d"
+  "CMakeFiles/hygraph_graph.dir/graph/pattern.cc.o"
+  "CMakeFiles/hygraph_graph.dir/graph/pattern.cc.o.d"
+  "CMakeFiles/hygraph_graph.dir/graph/property_graph.cc.o"
+  "CMakeFiles/hygraph_graph.dir/graph/property_graph.cc.o.d"
+  "CMakeFiles/hygraph_graph.dir/graph/traversal.cc.o"
+  "CMakeFiles/hygraph_graph.dir/graph/traversal.cc.o.d"
+  "libhygraph_graph.a"
+  "libhygraph_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hygraph_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

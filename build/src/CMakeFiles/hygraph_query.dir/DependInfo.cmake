@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/query/ast.cc" "src/CMakeFiles/hygraph_query.dir/query/ast.cc.o" "gcc" "src/CMakeFiles/hygraph_query.dir/query/ast.cc.o.d"
+  "/root/repo/src/query/backend.cc" "src/CMakeFiles/hygraph_query.dir/query/backend.cc.o" "gcc" "src/CMakeFiles/hygraph_query.dir/query/backend.cc.o.d"
+  "/root/repo/src/query/executor.cc" "src/CMakeFiles/hygraph_query.dir/query/executor.cc.o" "gcc" "src/CMakeFiles/hygraph_query.dir/query/executor.cc.o.d"
+  "/root/repo/src/query/functions.cc" "src/CMakeFiles/hygraph_query.dir/query/functions.cc.o" "gcc" "src/CMakeFiles/hygraph_query.dir/query/functions.cc.o.d"
+  "/root/repo/src/query/lexer.cc" "src/CMakeFiles/hygraph_query.dir/query/lexer.cc.o" "gcc" "src/CMakeFiles/hygraph_query.dir/query/lexer.cc.o.d"
+  "/root/repo/src/query/parser.cc" "src/CMakeFiles/hygraph_query.dir/query/parser.cc.o" "gcc" "src/CMakeFiles/hygraph_query.dir/query/parser.cc.o.d"
+  "/root/repo/src/query/planner.cc" "src/CMakeFiles/hygraph_query.dir/query/planner.cc.o" "gcc" "src/CMakeFiles/hygraph_query.dir/query/planner.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/hygraph_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hygraph_temporal.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hygraph_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hygraph_ts.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hygraph_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hygraph_query.dir/query/ast.cc.o"
+  "CMakeFiles/hygraph_query.dir/query/ast.cc.o.d"
+  "CMakeFiles/hygraph_query.dir/query/backend.cc.o"
+  "CMakeFiles/hygraph_query.dir/query/backend.cc.o.d"
+  "CMakeFiles/hygraph_query.dir/query/executor.cc.o"
+  "CMakeFiles/hygraph_query.dir/query/executor.cc.o.d"
+  "CMakeFiles/hygraph_query.dir/query/functions.cc.o"
+  "CMakeFiles/hygraph_query.dir/query/functions.cc.o.d"
+  "CMakeFiles/hygraph_query.dir/query/lexer.cc.o"
+  "CMakeFiles/hygraph_query.dir/query/lexer.cc.o.d"
+  "CMakeFiles/hygraph_query.dir/query/parser.cc.o"
+  "CMakeFiles/hygraph_query.dir/query/parser.cc.o.d"
+  "CMakeFiles/hygraph_query.dir/query/planner.cc.o"
+  "CMakeFiles/hygraph_query.dir/query/planner.cc.o.d"
+  "libhygraph_query.a"
+  "libhygraph_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hygraph_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

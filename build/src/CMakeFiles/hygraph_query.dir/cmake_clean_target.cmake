@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libhygraph_query.a"
+)

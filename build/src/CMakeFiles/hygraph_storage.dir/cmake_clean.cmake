@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hygraph_storage.dir/storage/all_in_graph.cc.o"
+  "CMakeFiles/hygraph_storage.dir/storage/all_in_graph.cc.o.d"
+  "CMakeFiles/hygraph_storage.dir/storage/polyglot.cc.o"
+  "CMakeFiles/hygraph_storage.dir/storage/polyglot.cc.o.d"
+  "libhygraph_storage.a"
+  "libhygraph_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hygraph_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/temporal/metric_evolution.cc" "src/CMakeFiles/hygraph_temporal.dir/temporal/metric_evolution.cc.o" "gcc" "src/CMakeFiles/hygraph_temporal.dir/temporal/metric_evolution.cc.o.d"
+  "/root/repo/src/temporal/snapshot.cc" "src/CMakeFiles/hygraph_temporal.dir/temporal/snapshot.cc.o" "gcc" "src/CMakeFiles/hygraph_temporal.dir/temporal/snapshot.cc.o.d"
+  "/root/repo/src/temporal/temporal_graph.cc" "src/CMakeFiles/hygraph_temporal.dir/temporal/temporal_graph.cc.o" "gcc" "src/CMakeFiles/hygraph_temporal.dir/temporal/temporal_graph.cc.o.d"
+  "/root/repo/src/temporal/temporal_pattern.cc" "src/CMakeFiles/hygraph_temporal.dir/temporal/temporal_pattern.cc.o" "gcc" "src/CMakeFiles/hygraph_temporal.dir/temporal/temporal_pattern.cc.o.d"
+  "/root/repo/src/temporal/temporal_reachability.cc" "src/CMakeFiles/hygraph_temporal.dir/temporal/temporal_reachability.cc.o" "gcc" "src/CMakeFiles/hygraph_temporal.dir/temporal/temporal_reachability.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/hygraph_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hygraph_ts.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hygraph_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

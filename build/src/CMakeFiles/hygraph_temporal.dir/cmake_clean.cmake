@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hygraph_temporal.dir/temporal/metric_evolution.cc.o"
+  "CMakeFiles/hygraph_temporal.dir/temporal/metric_evolution.cc.o.d"
+  "CMakeFiles/hygraph_temporal.dir/temporal/snapshot.cc.o"
+  "CMakeFiles/hygraph_temporal.dir/temporal/snapshot.cc.o.d"
+  "CMakeFiles/hygraph_temporal.dir/temporal/temporal_graph.cc.o"
+  "CMakeFiles/hygraph_temporal.dir/temporal/temporal_graph.cc.o.d"
+  "CMakeFiles/hygraph_temporal.dir/temporal/temporal_pattern.cc.o"
+  "CMakeFiles/hygraph_temporal.dir/temporal/temporal_pattern.cc.o.d"
+  "CMakeFiles/hygraph_temporal.dir/temporal/temporal_reachability.cc.o"
+  "CMakeFiles/hygraph_temporal.dir/temporal/temporal_reachability.cc.o.d"
+  "libhygraph_temporal.a"
+  "libhygraph_temporal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hygraph_temporal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ts/aggregate.cc" "src/CMakeFiles/hygraph_ts.dir/ts/aggregate.cc.o" "gcc" "src/CMakeFiles/hygraph_ts.dir/ts/aggregate.cc.o.d"
+  "/root/repo/src/ts/anomaly.cc" "src/CMakeFiles/hygraph_ts.dir/ts/anomaly.cc.o" "gcc" "src/CMakeFiles/hygraph_ts.dir/ts/anomaly.cc.o.d"
+  "/root/repo/src/ts/correlate.cc" "src/CMakeFiles/hygraph_ts.dir/ts/correlate.cc.o" "gcc" "src/CMakeFiles/hygraph_ts.dir/ts/correlate.cc.o.d"
+  "/root/repo/src/ts/distance.cc" "src/CMakeFiles/hygraph_ts.dir/ts/distance.cc.o" "gcc" "src/CMakeFiles/hygraph_ts.dir/ts/distance.cc.o.d"
+  "/root/repo/src/ts/downsample.cc" "src/CMakeFiles/hygraph_ts.dir/ts/downsample.cc.o" "gcc" "src/CMakeFiles/hygraph_ts.dir/ts/downsample.cc.o.d"
+  "/root/repo/src/ts/features.cc" "src/CMakeFiles/hygraph_ts.dir/ts/features.cc.o" "gcc" "src/CMakeFiles/hygraph_ts.dir/ts/features.cc.o.d"
+  "/root/repo/src/ts/forecast.cc" "src/CMakeFiles/hygraph_ts.dir/ts/forecast.cc.o" "gcc" "src/CMakeFiles/hygraph_ts.dir/ts/forecast.cc.o.d"
+  "/root/repo/src/ts/hypertable.cc" "src/CMakeFiles/hygraph_ts.dir/ts/hypertable.cc.o" "gcc" "src/CMakeFiles/hygraph_ts.dir/ts/hypertable.cc.o.d"
+  "/root/repo/src/ts/motif.cc" "src/CMakeFiles/hygraph_ts.dir/ts/motif.cc.o" "gcc" "src/CMakeFiles/hygraph_ts.dir/ts/motif.cc.o.d"
+  "/root/repo/src/ts/multiseries.cc" "src/CMakeFiles/hygraph_ts.dir/ts/multiseries.cc.o" "gcc" "src/CMakeFiles/hygraph_ts.dir/ts/multiseries.cc.o.d"
+  "/root/repo/src/ts/pca.cc" "src/CMakeFiles/hygraph_ts.dir/ts/pca.cc.o" "gcc" "src/CMakeFiles/hygraph_ts.dir/ts/pca.cc.o.d"
+  "/root/repo/src/ts/sax.cc" "src/CMakeFiles/hygraph_ts.dir/ts/sax.cc.o" "gcc" "src/CMakeFiles/hygraph_ts.dir/ts/sax.cc.o.d"
+  "/root/repo/src/ts/segmentation.cc" "src/CMakeFiles/hygraph_ts.dir/ts/segmentation.cc.o" "gcc" "src/CMakeFiles/hygraph_ts.dir/ts/segmentation.cc.o.d"
+  "/root/repo/src/ts/series.cc" "src/CMakeFiles/hygraph_ts.dir/ts/series.cc.o" "gcc" "src/CMakeFiles/hygraph_ts.dir/ts/series.cc.o.d"
+  "/root/repo/src/ts/subsequence.cc" "src/CMakeFiles/hygraph_ts.dir/ts/subsequence.cc.o" "gcc" "src/CMakeFiles/hygraph_ts.dir/ts/subsequence.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/hygraph_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

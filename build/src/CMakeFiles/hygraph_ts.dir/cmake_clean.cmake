@@ -1,0 +1,39 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hygraph_ts.dir/ts/aggregate.cc.o"
+  "CMakeFiles/hygraph_ts.dir/ts/aggregate.cc.o.d"
+  "CMakeFiles/hygraph_ts.dir/ts/anomaly.cc.o"
+  "CMakeFiles/hygraph_ts.dir/ts/anomaly.cc.o.d"
+  "CMakeFiles/hygraph_ts.dir/ts/correlate.cc.o"
+  "CMakeFiles/hygraph_ts.dir/ts/correlate.cc.o.d"
+  "CMakeFiles/hygraph_ts.dir/ts/distance.cc.o"
+  "CMakeFiles/hygraph_ts.dir/ts/distance.cc.o.d"
+  "CMakeFiles/hygraph_ts.dir/ts/downsample.cc.o"
+  "CMakeFiles/hygraph_ts.dir/ts/downsample.cc.o.d"
+  "CMakeFiles/hygraph_ts.dir/ts/features.cc.o"
+  "CMakeFiles/hygraph_ts.dir/ts/features.cc.o.d"
+  "CMakeFiles/hygraph_ts.dir/ts/forecast.cc.o"
+  "CMakeFiles/hygraph_ts.dir/ts/forecast.cc.o.d"
+  "CMakeFiles/hygraph_ts.dir/ts/hypertable.cc.o"
+  "CMakeFiles/hygraph_ts.dir/ts/hypertable.cc.o.d"
+  "CMakeFiles/hygraph_ts.dir/ts/motif.cc.o"
+  "CMakeFiles/hygraph_ts.dir/ts/motif.cc.o.d"
+  "CMakeFiles/hygraph_ts.dir/ts/multiseries.cc.o"
+  "CMakeFiles/hygraph_ts.dir/ts/multiseries.cc.o.d"
+  "CMakeFiles/hygraph_ts.dir/ts/pca.cc.o"
+  "CMakeFiles/hygraph_ts.dir/ts/pca.cc.o.d"
+  "CMakeFiles/hygraph_ts.dir/ts/sax.cc.o"
+  "CMakeFiles/hygraph_ts.dir/ts/sax.cc.o.d"
+  "CMakeFiles/hygraph_ts.dir/ts/segmentation.cc.o"
+  "CMakeFiles/hygraph_ts.dir/ts/segmentation.cc.o.d"
+  "CMakeFiles/hygraph_ts.dir/ts/series.cc.o"
+  "CMakeFiles/hygraph_ts.dir/ts/series.cc.o.d"
+  "CMakeFiles/hygraph_ts.dir/ts/subsequence.cc.o"
+  "CMakeFiles/hygraph_ts.dir/ts/subsequence.cc.o.d"
+  "libhygraph_ts.a"
+  "libhygraph_ts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hygraph_ts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

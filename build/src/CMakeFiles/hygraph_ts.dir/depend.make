@@ -1,0 +1,2 @@
+# Empty dependencies file for hygraph_ts.
+# This may be replaced when dependencies are built.

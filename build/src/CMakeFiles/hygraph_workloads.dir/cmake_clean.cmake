@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hygraph_workloads.dir/workloads/bike_sharing.cc.o"
+  "CMakeFiles/hygraph_workloads.dir/workloads/bike_sharing.cc.o.d"
+  "CMakeFiles/hygraph_workloads.dir/workloads/financial.cc.o"
+  "CMakeFiles/hygraph_workloads.dir/workloads/financial.cc.o.d"
+  "CMakeFiles/hygraph_workloads.dir/workloads/fraud_workload.cc.o"
+  "CMakeFiles/hygraph_workloads.dir/workloads/fraud_workload.cc.o.d"
+  "libhygraph_workloads.a"
+  "libhygraph_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hygraph_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

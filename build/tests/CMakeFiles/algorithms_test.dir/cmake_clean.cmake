@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/algorithms_test.dir/algorithms_test.cc.o"
+  "CMakeFiles/algorithms_test.dir/algorithms_test.cc.o.d"
+  "algorithms_test"
+  "algorithms_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/algorithms_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/all_in_graph_test.dir/all_in_graph_test.cc.o"
+  "CMakeFiles/all_in_graph_test.dir/all_in_graph_test.cc.o.d"
+  "all_in_graph_test"
+  "all_in_graph_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/all_in_graph_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/anomaly_test.dir/anomaly_test.cc.o"
+  "CMakeFiles/anomaly_test.dir/anomaly_test.cc.o.d"
+  "anomaly_test"
+  "anomaly_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/anomaly_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/backend_consistency_test.dir/backend_consistency_test.cc.o"
+  "CMakeFiles/backend_consistency_test.dir/backend_consistency_test.cc.o.d"
+  "backend_consistency_test"
+  "backend_consistency_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/backend_consistency_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

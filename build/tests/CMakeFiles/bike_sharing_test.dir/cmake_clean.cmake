@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bike_sharing_test.dir/bike_sharing_test.cc.o"
+  "CMakeFiles/bike_sharing_test.dir/bike_sharing_test.cc.o.d"
+  "bike_sharing_test"
+  "bike_sharing_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bike_sharing_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/builder_test.dir/builder_test.cc.o"
+  "CMakeFiles/builder_test.dir/builder_test.cc.o.d"
+  "builder_test"
+  "builder_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/builder_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

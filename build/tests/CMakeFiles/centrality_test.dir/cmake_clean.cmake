@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/centrality_test.dir/centrality_test.cc.o"
+  "CMakeFiles/centrality_test.dir/centrality_test.cc.o.d"
+  "centrality_test"
+  "centrality_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/centrality_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/classify_test.dir/classify_test.cc.o"
+  "CMakeFiles/classify_test.dir/classify_test.cc.o.d"
+  "classify_test"
+  "classify_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/classify_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

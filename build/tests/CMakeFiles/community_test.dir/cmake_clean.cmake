@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/community_test.dir/community_test.cc.o"
+  "CMakeFiles/community_test.dir/community_test.cc.o.d"
+  "community_test"
+  "community_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/community_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

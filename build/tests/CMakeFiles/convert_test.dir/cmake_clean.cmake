@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/convert_test.dir/convert_test.cc.o"
+  "CMakeFiles/convert_test.dir/convert_test.cc.o.d"
+  "convert_test"
+  "convert_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/convert_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/corr_reach_test.dir/corr_reach_test.cc.o"
+  "CMakeFiles/corr_reach_test.dir/corr_reach_test.cc.o.d"
+  "corr_reach_test"
+  "corr_reach_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/corr_reach_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for corr_reach_test.
+# This may be replaced when dependencies are built.

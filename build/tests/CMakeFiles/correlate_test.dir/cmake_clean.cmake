@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/correlate_test.dir/correlate_test.cc.o"
+  "CMakeFiles/correlate_test.dir/correlate_test.cc.o.d"
+  "correlate_test"
+  "correlate_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/correlate_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

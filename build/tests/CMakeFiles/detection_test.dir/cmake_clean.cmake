@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/detection_test.dir/detection_test.cc.o"
+  "CMakeFiles/detection_test.dir/detection_test.cc.o.d"
+  "detection_test"
+  "detection_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/detection_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

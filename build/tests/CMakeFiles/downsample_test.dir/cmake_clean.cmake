@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/downsample_test.dir/downsample_test.cc.o"
+  "CMakeFiles/downsample_test.dir/downsample_test.cc.o.d"
+  "downsample_test"
+  "downsample_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/downsample_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

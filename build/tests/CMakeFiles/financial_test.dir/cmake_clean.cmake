@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/financial_test.dir/financial_test.cc.o"
+  "CMakeFiles/financial_test.dir/financial_test.cc.o.d"
+  "financial_test"
+  "financial_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/financial_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

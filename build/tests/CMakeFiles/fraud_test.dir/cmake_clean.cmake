@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fraud_test.dir/fraud_test.cc.o"
+  "CMakeFiles/fraud_test.dir/fraud_test.cc.o.d"
+  "fraud_test"
+  "fraud_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fraud_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fraud_workload_test.dir/fraud_workload_test.cc.o"
+  "CMakeFiles/fraud_workload_test.dir/fraud_workload_test.cc.o.d"
+  "fraud_workload_test"
+  "fraud_workload_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fraud_workload_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

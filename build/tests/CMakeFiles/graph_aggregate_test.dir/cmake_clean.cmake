@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graph_aggregate_test.dir/graph_aggregate_test.cc.o"
+  "CMakeFiles/graph_aggregate_test.dir/graph_aggregate_test.cc.o.d"
+  "graph_aggregate_test"
+  "graph_aggregate_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graph_aggregate_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

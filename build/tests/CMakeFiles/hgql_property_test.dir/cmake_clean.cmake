@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hgql_property_test.dir/hgql_property_test.cc.o"
+  "CMakeFiles/hgql_property_test.dir/hgql_property_test.cc.o.d"
+  "hgql_property_test"
+  "hgql_property_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hgql_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

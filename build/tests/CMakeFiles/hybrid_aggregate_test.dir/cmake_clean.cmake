@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hybrid_aggregate_test.dir/hybrid_aggregate_test.cc.o"
+  "CMakeFiles/hybrid_aggregate_test.dir/hybrid_aggregate_test.cc.o.d"
+  "hybrid_aggregate_test"
+  "hybrid_aggregate_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hybrid_aggregate_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

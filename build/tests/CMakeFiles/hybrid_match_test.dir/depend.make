@@ -1,0 +1,2 @@
+# Empty dependencies file for hybrid_match_test.
+# This may be replaced when dependencies are built.

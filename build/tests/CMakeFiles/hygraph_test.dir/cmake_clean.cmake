@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hygraph_test.dir/hygraph_test.cc.o"
+  "CMakeFiles/hygraph_test.dir/hygraph_test.cc.o.d"
+  "hygraph_test"
+  "hygraph_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hygraph_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

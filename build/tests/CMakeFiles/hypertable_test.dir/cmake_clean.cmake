@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hypertable_test.dir/hypertable_test.cc.o"
+  "CMakeFiles/hypertable_test.dir/hypertable_test.cc.o.d"
+  "hypertable_test"
+  "hypertable_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hypertable_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/link_prediction_test.dir/link_prediction_test.cc.o"
+  "CMakeFiles/link_prediction_test.dir/link_prediction_test.cc.o.d"
+  "link_prediction_test"
+  "link_prediction_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/link_prediction_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/metric_evolution_test.dir/metric_evolution_test.cc.o"
+  "CMakeFiles/metric_evolution_test.dir/metric_evolution_test.cc.o.d"
+  "metric_evolution_test"
+  "metric_evolution_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/metric_evolution_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

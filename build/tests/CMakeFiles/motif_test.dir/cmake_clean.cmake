@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/motif_test.dir/motif_test.cc.o"
+  "CMakeFiles/motif_test.dir/motif_test.cc.o.d"
+  "motif_test"
+  "motif_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/motif_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multiseries_test.dir/multiseries_test.cc.o"
+  "CMakeFiles/multiseries_test.dir/multiseries_test.cc.o.d"
+  "multiseries_test"
+  "multiseries_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multiseries_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/polyglot_test.dir/polyglot_test.cc.o"
+  "CMakeFiles/polyglot_test.dir/polyglot_test.cc.o.d"
+  "polyglot_test"
+  "polyglot_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/polyglot_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

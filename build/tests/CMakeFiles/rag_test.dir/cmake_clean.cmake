@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rag_test.dir/rag_test.cc.o"
+  "CMakeFiles/rag_test.dir/rag_test.cc.o.d"
+  "rag_test"
+  "rag_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rag_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

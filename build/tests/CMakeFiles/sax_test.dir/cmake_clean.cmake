@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sax_test.dir/sax_test.cc.o"
+  "CMakeFiles/sax_test.dir/sax_test.cc.o.d"
+  "sax_test"
+  "sax_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sax_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

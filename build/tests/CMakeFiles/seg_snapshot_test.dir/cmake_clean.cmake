@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/seg_snapshot_test.dir/seg_snapshot_test.cc.o"
+  "CMakeFiles/seg_snapshot_test.dir/seg_snapshot_test.cc.o.d"
+  "seg_snapshot_test"
+  "seg_snapshot_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/seg_snapshot_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

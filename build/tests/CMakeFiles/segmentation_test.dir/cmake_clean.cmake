@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/segmentation_test.dir/segmentation_test.cc.o"
+  "CMakeFiles/segmentation_test.dir/segmentation_test.cc.o.d"
+  "segmentation_test"
+  "segmentation_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/segmentation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/series_test.dir/series_test.cc.o"
+  "CMakeFiles/series_test.dir/series_test.cc.o.d"
+  "series_test"
+  "series_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/series_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

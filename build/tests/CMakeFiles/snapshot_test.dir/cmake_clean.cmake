@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/snapshot_test.dir/snapshot_test.cc.o"
+  "CMakeFiles/snapshot_test.dir/snapshot_test.cc.o.d"
+  "snapshot_test"
+  "snapshot_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snapshot_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

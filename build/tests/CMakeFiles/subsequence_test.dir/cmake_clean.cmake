@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/subsequence_test.dir/subsequence_test.cc.o"
+  "CMakeFiles/subsequence_test.dir/subsequence_test.cc.o.d"
+  "subsequence_test"
+  "subsequence_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/subsequence_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/temporal_pattern_test.dir/temporal_pattern_test.cc.o"
+  "CMakeFiles/temporal_pattern_test.dir/temporal_pattern_test.cc.o.d"
+  "temporal_pattern_test"
+  "temporal_pattern_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/temporal_pattern_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

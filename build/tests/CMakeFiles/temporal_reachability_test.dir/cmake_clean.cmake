@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/temporal_reachability_test.dir/temporal_reachability_test.cc.o"
+  "CMakeFiles/temporal_reachability_test.dir/temporal_reachability_test.cc.o.d"
+  "temporal_reachability_test"
+  "temporal_reachability_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/temporal_reachability_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ts_aggregate_test.dir/ts_aggregate_test.cc.o"
+  "CMakeFiles/ts_aggregate_test.dir/ts_aggregate_test.cc.o.d"
+  "ts_aggregate_test"
+  "ts_aggregate_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ts_aggregate_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
