@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Tier-1 gate: the standard build + full test suite, then the durability /
+# corruption suite again under ASan+UBSan (torn-tail salvage, fault
+# injection, and parser-corruption paths are exactly where memory bugs
+# would hide).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "=== tier 1: standard build + ctest ==="
+cmake -B build -S . >/dev/null
+cmake --build build -j
+(cd build && ctest --output-on-failure -j)
+
+echo
+echo "=== tier 1: durability suite under ASan+UBSan ==="
+cmake -B build-san -S . -DHYGRAPH_SANITIZE=address,undefined >/dev/null
+cmake --build build-san -j --target \
+  wal_test recovery_test fault_injection_test serialize_test
+for t in wal_test recovery_test fault_injection_test serialize_test; do
+  echo "--- $t (sanitized) ---"
+  ./build-san/tests/"$t"
+done
+
+echo
+echo "tier 1 OK"

@@ -1,0 +1,34 @@
+#include "common/crc32.h"
+
+namespace hygraph {
+
+namespace {
+
+// Table for the reflected IEEE polynomial 0xEDB88320, built once at first
+// use (byte-at-a-time; the WAL and snapshot paths are I/O-bound, so the
+// simple table variant is plenty).
+struct Crc32Table {
+  uint32_t entries[256];
+  Crc32Table() {
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t crc = i;
+      for (int bit = 0; bit < 8; ++bit) {
+        crc = (crc >> 1) ^ ((crc & 1u) ? 0xEDB88320u : 0u);
+      }
+      entries[i] = crc;
+    }
+  }
+};
+
+}  // namespace
+
+uint32_t Crc32Update(uint32_t state, const void* data, size_t size) {
+  static const Crc32Table table;
+  const unsigned char* bytes = static_cast<const unsigned char*>(data);
+  for (size_t i = 0; i < size; ++i) {
+    state = (state >> 8) ^ table.entries[(state ^ bytes[i]) & 0xffu];
+  }
+  return state;
+}
+
+}  // namespace hygraph

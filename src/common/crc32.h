@@ -1,0 +1,29 @@
+#ifndef HYGRAPH_COMMON_CRC32_H_
+#define HYGRAPH_COMMON_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace hygraph {
+
+/// Incremental CRC-32 (IEEE 802.3 polynomial, the zlib/`cksum -o 3`
+/// convention): feed chunks through Crc32Update starting from kCrc32Init and
+/// finish with Crc32Finalize. Used by the WAL record framing and the
+/// serialized-snapshot trailer to detect torn writes and bit rot.
+inline constexpr uint32_t kCrc32Init = 0xffffffffu;
+
+/// Folds `data` into a running CRC state.
+uint32_t Crc32Update(uint32_t state, const void* data, size_t size);
+
+/// Final xor; turns a running state into the conventional CRC value.
+inline uint32_t Crc32Finalize(uint32_t state) { return state ^ 0xffffffffu; }
+
+/// One-shot convenience: CRC-32 of a contiguous buffer.
+inline uint32_t Crc32(std::string_view data) {
+  return Crc32Finalize(Crc32Update(kCrc32Init, data.data(), data.size()));
+}
+
+}  // namespace hygraph
+
+#endif  // HYGRAPH_COMMON_CRC32_H_

@@ -22,6 +22,8 @@ const char* StatusCodeName(StatusCode code) {
       return "Unimplemented";
     case StatusCode::kInternal:
       return "Internal";
+    case StatusCode::kIOError:
+      return "IOError";
   }
   return "Unknown";
 }

@@ -21,6 +21,7 @@ enum class StatusCode {
   kCorruption,
   kUnimplemented,
   kInternal,
+  kIOError,
 };
 
 /// Returns a stable human-readable name for a status code ("OK",
@@ -66,6 +67,11 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  /// A filesystem / device failure (open, write, sync, rename, ...): the
+  /// operation did not take effect durably, but retrying may succeed.
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

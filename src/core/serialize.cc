@@ -1,14 +1,19 @@
 #include "core/serialize.h"
 
+#include <unistd.h>
+
 #include <algorithm>
+#include <cerrno>
 #include <cinttypes>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <fstream>
 #include <map>
 #include <sstream>
 #include <vector>
 
+#include "common/crc32.h"
 #include "common/strings.h"
 
 namespace hygraph::core {
@@ -387,6 +392,9 @@ Result<std::string> Serialize(const HyGraph& hg) {
              FormatInterval(member.membership) + "\n";
     }
   }
+  char crc[16];
+  std::snprintf(crc, sizeof(crc), "%08x", Crc32(out));
+  out += std::string("CHECKSUM ") + crc + "\n";
   return out;
 }
 
@@ -406,17 +414,42 @@ Result<HyGraph> Deserialize(const std::string& text) {
   };
   std::vector<PendingRef> pending_refs;
   std::map<SeriesId, ts::MultiSeries> pool;
+  // Running CRC over every byte preceding the CHECKSUM trailer, matching
+  // how Serialize computed it (each line + '\n').
+  uint32_t crc_state = kCrc32Init;
+  bool saw_checksum = false;
 
   while (std::getline(in, line)) {
     ++line_number;
     if (Trim(line).empty()) continue;
+    if (saw_checksum) {
+      return Status::Corruption("line " + std::to_string(line_number) +
+                                ": data after CHECKSUM trailer");
+    }
     std::vector<std::string> tokens;
     for (const std::string& tok : Split(line, ' ')) {
       if (!tok.empty()) tokens.push_back(tok);
     }
+    const bool is_checksum = !tokens.empty() && tokens[0] == "CHECKSUM";
+    if (!is_checksum) {
+      crc_state = Crc32Update(crc_state, line.data(), line.size());
+      crc_state = Crc32Update(crc_state, "\n", 1);
+    }
     Cursor cursor(std::move(tokens), line_number);
     auto kind = cursor.Next();
     if (!kind.ok()) return kind.status();
+    if (is_checksum) {
+      if (!saw_header) return cursor.Fail("missing HYGRAPH header");
+      auto stored = cursor.Next();
+      if (!stored.ok()) return stored.status();
+      const uint32_t expected =
+          static_cast<uint32_t>(std::strtoul(stored->c_str(), nullptr, 16));
+      if (Crc32Finalize(crc_state) != expected) {
+        return cursor.Fail("checksum mismatch: file is corrupt");
+      }
+      saw_checksum = true;
+      continue;
+    }
     if (!saw_header) {
       if (*kind != "HYGRAPH") {
         return cursor.Fail("missing HYGRAPH header");
@@ -589,13 +622,27 @@ Result<HyGraph> Deserialize(const std::string& text) {
 Status SaveToFile(const HyGraph& hg, const std::string& path) {
   auto text = Serialize(hg);
   if (!text.ok()) return text.status();
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out) {
-    return Status::Internal("cannot open '" + path + "' for writing");
+  // Write-temp + fsync + atomic rename: a crash or full disk mid-write can
+  // only ever leave the temp file behind, never a truncated `path`.
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::IOError("cannot open '" + tmp +
+                           "' for writing: " + std::strerror(errno));
   }
-  out << *text;
-  out.close();
-  if (!out) return Status::Internal("write to '" + path + "' failed");
+  const bool wrote =
+      std::fwrite(text->data(), 1, text->size(), f) == text->size() &&
+      std::fflush(f) == 0 && ::fsync(::fileno(f)) == 0;
+  const bool closed = std::fclose(f) == 0;
+  if (!wrote || !closed) {
+    std::remove(tmp.c_str());
+    return Status::IOError("write to '" + tmp + "' failed");
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return Status::IOError("rename '" + tmp + "' -> '" + path +
+                           "' failed: " + std::strerror(errno));
+  }
   return Status::OK();
 }
 
@@ -606,6 +653,7 @@ Result<HyGraph> LoadFromFile(const std::string& path) {
   }
   std::ostringstream buffer;
   buffer << in.rdbuf();
+  if (in.bad()) return Status::IOError("read from '" + path + "' failed");
   return Deserialize(buffer.str());
 }
 

@@ -20,6 +20,14 @@ namespace hygraph::core {
 ///   P <series-id> <multiseries>    pooled series (series properties)
 ///   S <id> <validity> <labels> <properties>
 ///   M <subgraph-id> V|E <element-id> <interval>
+///   CHECKSUM <crc32-hex>           trailer over every preceding byte
+///
+/// Serialize always ends the document with the CHECKSUM record (CRC-32 of
+/// all preceding lines, each terminated by '\n'). Deserialize verifies it
+/// when present — a mismatch, or any record after it, is kCorruption — so
+/// truncation and single-bit rot are detected instead of silently parsed.
+/// Checksum-less input (hand-written fixtures, pre-trailer files) still
+/// loads.
 ///
 /// Fields are space-separated; strings are percent-encoded so values may
 /// contain spaces or newlines. Ids are preserved exactly, so references
@@ -37,7 +45,11 @@ Result<std::string> Serialize(const HyGraph& hg);
 /// error on malformed input; validates the result before returning.
 Result<HyGraph> Deserialize(const std::string& text);
 
-/// File convenience wrappers.
+/// File convenience wrappers. SaveToFile is atomic and durable: it writes
+/// `path + ".tmp"`, fsyncs, then renames over `path`, reporting any write,
+/// sync, close, or rename failure as kIOError (a crashed or full disk never
+/// leaves a half-written `path` behind). LoadFromFile verifies the
+/// CHECKSUM trailer via Deserialize.
 Status SaveToFile(const HyGraph& hg, const std::string& path);
 Result<HyGraph> LoadFromFile(const std::string& path);
 

@@ -40,4 +40,14 @@ Result<ts::Series> QueryBackend::EdgeSeriesWindowAggregate(
                              width, kind);
 }
 
+std::vector<std::string> QueryBackend::VertexSeriesKeys(
+    graph::VertexId /*v*/) const {
+  return {};
+}
+
+std::vector<std::string> QueryBackend::EdgeSeriesKeys(
+    graph::EdgeId /*e*/) const {
+  return {};
+}
+
 }  // namespace hygraph::query

@@ -53,6 +53,20 @@ class QueryBackend {
   virtual Status AppendEdgeSample(graph::EdgeId e, const std::string& key,
                                   Timestamp t, double value) = 0;
 
+  // -- introspection (durability / snapshotting) ----------------------------
+
+  /// The series keys stored on a vertex / edge, sorted. Backends must
+  /// implement these so a snapshotter can enumerate state it would
+  /// otherwise not know exists; the defaults return nothing.
+  virtual std::vector<std::string> VertexSeriesKeys(graph::VertexId v) const;
+  virtual std::vector<std::string> EdgeSeriesKeys(graph::EdgeId e) const;
+
+  /// True when series samples physically live inside the topology's
+  /// property maps (the all-in-graph layout): persisting the topology then
+  /// already persists every sample, and a snapshotter must not duplicate
+  /// them as separate series records.
+  virtual bool SeriesEmbeddedInTopology() const { return false; }
+
   // -- series access ------------------------------------------------------------
 
   /// Materializes the samples of (vertex, key) inside `interval`.

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <set>
 
 namespace hygraph::storage {
 
@@ -74,6 +75,45 @@ Result<ts::Series> AllInGraphStore::ScanProperties(
     HYGRAPH_RETURN_IF_ERROR(out.Append(s.t, s.value));
   }
   return out;
+}
+
+namespace {
+
+// Extracts the distinct series keys embedded in sample property names:
+// "__ts__<key>__<20 digits>" → <key>. Keys containing "__<digit>" can make
+// different keys' samples interleave in the sorted map, so dedup goes
+// through a set rather than relying on adjacency.
+std::vector<std::string> ScanSeriesKeys(const graph::PropertyMap& props) {
+  std::set<std::string> keys;
+  const size_t prefix_len = sizeof(kPrefix) - 1;
+  for (const auto& [property_key, value] : props) {
+    (void)value;
+    if (property_key.size() < prefix_len + 2 + kTimestampDigits) continue;
+    if (property_key.compare(0, prefix_len, kPrefix) != 0) continue;
+    const size_t key_end = property_key.size() - kTimestampDigits - 2;
+    if (property_key.compare(key_end, 2, "__") != 0) continue;
+    std::string key = property_key.substr(prefix_len, key_end - prefix_len);
+    Timestamp t = 0;
+    if (!AllInGraphStore::DecodeSampleKey(property_key, key, &t)) continue;
+    keys.insert(std::move(key));
+  }
+  return std::vector<std::string>(keys.begin(), keys.end());
+}
+
+}  // namespace
+
+std::vector<std::string> AllInGraphStore::VertexSeriesKeys(
+    graph::VertexId v) const {
+  auto vertex = graph_.GetVertex(v);
+  if (!vertex.ok()) return {};
+  return ScanSeriesKeys((*vertex)->properties);
+}
+
+std::vector<std::string> AllInGraphStore::EdgeSeriesKeys(
+    graph::EdgeId e) const {
+  auto edge = graph_.GetEdge(e);
+  if (!edge.ok()) return {};
+  return ScanSeriesKeys((*edge)->properties);
 }
 
 Result<ts::Series> AllInGraphStore::VertexSeriesRange(

@@ -48,6 +48,14 @@ class AllInGraphStore final : public query::QueryBackend {
   Result<ts::Series> EdgeSeriesRange(graph::EdgeId e, const std::string& key,
                                      const Interval& interval) const override;
 
+  /// Series keys reconstructed by scanning the property map for the sample
+  /// prefix — the only way a generic property store can know them.
+  std::vector<std::string> VertexSeriesKeys(graph::VertexId v) const override;
+  std::vector<std::string> EdgeSeriesKeys(graph::EdgeId e) const override;
+
+  /// Samples ARE properties here: persisting the topology persists them.
+  bool SeriesEmbeddedInTopology() const override { return true; }
+
   /// Encodes / decodes the property-key representation of one sample
   /// (exposed for tests).
   static std::string EncodeSampleKey(const std::string& key, Timestamp t);

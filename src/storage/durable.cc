@@ -1,0 +1,727 @@
+#include "storage/durable.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <utility>
+
+#include "common/strings.h"
+#include "core/convert.h"
+#include "core/hygraph.h"
+#include "core/serialize.h"
+#include "ts/multiseries.h"
+
+namespace hygraph::storage {
+
+namespace {
+
+// Pooled-series property name under which a snapshot stores the series of
+// key <key> (see BuildSnapshotText).
+constexpr char kSnapshotSeriesPrefix[] = "__durable_series__";
+
+// Round-trippable double formatting (mirrors core/serialize.cc).
+std::string FormatDouble(double d) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", d);
+  return buf;
+}
+
+// -- WAL record payload encoding ---------------------------------------------
+//
+// One text line per record: "<seq> <op> <operands...>", strings
+// percent-encoded with core::EncodeField, values tagged like the
+// serialization format (n, b:0/1, i:<int>, d:<double>, s:<string>).
+
+std::string EncodeValue(const Value& value) {
+  switch (value.type()) {
+    case ValueType::kNull:
+      return "n";
+    case ValueType::kBool:
+      return value.AsBool() ? "b:1" : "b:0";
+    case ValueType::kInt:
+      return "i:" + std::to_string(value.AsInt());
+    case ValueType::kDouble:
+      return "d:" + FormatDouble(value.AsDouble());
+    case ValueType::kString:
+      return "s:" + core::EncodeField(value.AsString());
+    case ValueType::kSeriesRef:
+      break;  // not representable in a backend property; rejected upstream
+  }
+  return "n";
+}
+
+Result<Value> DecodeValue(const std::string& field) {
+  if (field == "n") return Value();
+  if (field.size() < 2 || field[1] != ':') {
+    return Status::Corruption("malformed WAL value field '" + field + "'");
+  }
+  const std::string payload = field.substr(2);
+  switch (field[0]) {
+    case 'b':
+      return Value(payload == "1");
+    case 'i':
+      return Value(
+          static_cast<int64_t>(std::strtoll(payload.c_str(), nullptr, 10)));
+    case 'd':
+      return Value(std::strtod(payload.c_str(), nullptr));
+    case 's': {
+      auto decoded = core::DecodeField(payload);
+      if (!decoded.ok()) return decoded.status();
+      return Value(*decoded);
+    }
+    default:
+      return Status::Corruption("unknown WAL value tag in '" + field + "'");
+  }
+}
+
+std::string EncodeLabels(const std::vector<std::string>& labels) {
+  std::string out = " L " + std::to_string(labels.size());
+  for (const std::string& label : labels) out += " " + core::EncodeField(label);
+  return out;
+}
+
+Result<std::string> EncodeProperties(const graph::PropertyMap& props) {
+  std::string out = " P " + std::to_string(props.size());
+  for (const auto& [key, value] : props) {
+    if (value.is_series_ref()) {
+      return Status::InvalidArgument(
+          "backend properties cannot hold series references");
+    }
+    out += " " + core::EncodeField(key) + " " + EncodeValue(value);
+  }
+  return out;
+}
+
+// Token cursor over one WAL record.
+class RecordCursor {
+ public:
+  explicit RecordCursor(const std::string& record) {
+    for (const std::string& tok : Split(record, ' ')) {
+      if (!tok.empty()) tokens_.push_back(tok);
+    }
+  }
+
+  Result<std::string> Next() {
+    if (pos_ >= tokens_.size()) {
+      return Status::Corruption("WAL record ended unexpectedly");
+    }
+    return tokens_[pos_++];
+  }
+  Result<uint64_t> NextUint() {
+    auto tok = Next();
+    if (!tok.ok()) return tok.status();
+    return static_cast<uint64_t>(std::strtoull(tok->c_str(), nullptr, 10));
+  }
+  Result<int64_t> NextInt() {
+    auto tok = Next();
+    if (!tok.ok()) return tok.status();
+    return static_cast<int64_t>(std::strtoll(tok->c_str(), nullptr, 10));
+  }
+  Result<double> NextDouble() {
+    auto tok = Next();
+    if (!tok.ok()) return tok.status();
+    return std::strtod(tok->c_str(), nullptr);
+  }
+  Result<std::string> NextDecoded() {
+    auto tok = Next();
+    if (!tok.ok()) return tok.status();
+    return core::DecodeField(*tok);
+  }
+  Result<Value> NextValue() {
+    auto tok = Next();
+    if (!tok.ok()) return tok.status();
+    return DecodeValue(*tok);
+  }
+  Status Expect(const std::string& literal) {
+    auto tok = Next();
+    if (!tok.ok()) return tok.status();
+    if (*tok != literal) {
+      return Status::Corruption("WAL record: expected '" + literal +
+                                "', found '" + *tok + "'");
+    }
+    return Status::OK();
+  }
+  Result<std::vector<std::string>> NextLabels() {
+    HYGRAPH_RETURN_IF_ERROR(Expect("L"));
+    auto count = NextUint();
+    if (!count.ok()) return count.status();
+    std::vector<std::string> labels;
+    for (uint64_t i = 0; i < *count; ++i) {
+      auto label = NextDecoded();
+      if (!label.ok()) return label.status();
+      labels.push_back(std::move(*label));
+    }
+    return labels;
+  }
+  Result<graph::PropertyMap> NextProperties() {
+    HYGRAPH_RETURN_IF_ERROR(Expect("P"));
+    auto count = NextUint();
+    if (!count.ok()) return count.status();
+    graph::PropertyMap props;
+    for (uint64_t i = 0; i < *count; ++i) {
+      auto key = NextDecoded();
+      if (!key.ok()) return key.status();
+      auto value = NextValue();
+      if (!value.ok()) return value.status();
+      props[*key] = std::move(*value);
+    }
+    return props;
+  }
+
+ private:
+  std::vector<std::string> tokens_;
+  size_t pos_ = 0;
+};
+
+Status CheckDenseIds(const graph::PropertyGraph& graph) {
+  const auto vertex_ids = graph.VertexIds();
+  for (size_t i = 0; i < vertex_ids.size(); ++i) {
+    if (vertex_ids[i] != i) {
+      return Status::FailedPrecondition(
+          "snapshot requires dense vertex ids; removals stay recoverable "
+          "through the WAL until ids are dense again");
+    }
+  }
+  const auto edge_ids = graph.EdgeIds();
+  for (size_t i = 0; i < edge_ids.size(); ++i) {
+    if (edge_ids[i] != i) {
+      return Status::FailedPrecondition(
+          "snapshot requires dense edge ids; removals stay recoverable "
+          "through the WAL until ids are dense again");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+// -- snapshot text ------------------------------------------------------------
+
+Result<std::string> BuildSnapshotText(const query::QueryBackend& backend) {
+  HYGRAPH_RETURN_IF_ERROR(CheckDenseIds(backend.topology()));
+  auto hg = core::FromPropertyGraph(backend.topology());
+  if (!hg.ok()) return hg.status();
+  if (!backend.SeriesEmbeddedInTopology()) {
+    for (graph::VertexId v : backend.topology().VertexIds()) {
+      for (const std::string& key : backend.VertexSeriesKeys(v)) {
+        auto series = backend.VertexSeriesRange(v, key, Interval::All());
+        if (!series.ok()) return series.status();
+        ts::MultiSeries ms(key, {"value"});
+        for (const ts::Sample& s : series->samples()) {
+          HYGRAPH_RETURN_IF_ERROR(ms.AppendRow(s.t, {s.value}));
+        }
+        auto sid = hg->SetVertexSeriesProperty(
+            v, kSnapshotSeriesPrefix + key, std::move(ms));
+        if (!sid.ok()) return sid.status();
+      }
+    }
+    for (graph::EdgeId e : backend.topology().EdgeIds()) {
+      for (const std::string& key : backend.EdgeSeriesKeys(e)) {
+        auto series = backend.EdgeSeriesRange(e, key, Interval::All());
+        if (!series.ok()) return series.status();
+        ts::MultiSeries ms(key, {"value"});
+        for (const ts::Sample& s : series->samples()) {
+          HYGRAPH_RETURN_IF_ERROR(ms.AppendRow(s.t, {s.value}));
+        }
+        auto sid = hg->SetEdgeSeriesProperty(e, kSnapshotSeriesPrefix + key,
+                                             std::move(ms));
+        if (!sid.ok()) return sid.status();
+      }
+    }
+  }
+  return core::Serialize(*hg);
+}
+
+Status RestoreFromSnapshotText(const std::string& text,
+                               query::QueryBackend* backend) {
+  // Snapshots are always written with the trailer; its absence means the
+  // file lost its tail in a way that still parses — reject, never guess.
+  if (text.find("\nCHECKSUM ") == std::string::npos) {
+    return Status::Corruption("snapshot is missing its CHECKSUM trailer");
+  }
+  auto hg = core::Deserialize(text);
+  if (!hg.ok()) return hg.status();
+
+  graph::PropertyGraph* topo = backend->mutable_topology();
+  for (graph::VertexId v : hg->structure().VertexIds()) {
+    const graph::Vertex& vertex = **hg->structure().GetVertex(v);
+    graph::PropertyMap static_props;
+    for (const auto& [key, value] : vertex.properties) {
+      if (!value.is_series_ref()) static_props.emplace(key, value);
+    }
+    const graph::VertexId assigned =
+        topo->AddVertex(vertex.labels, std::move(static_props));
+    if (assigned != v) {
+      return Status::Corruption("snapshot restore produced vertex id " +
+                                std::to_string(assigned) + ", expected " +
+                                std::to_string(v));
+    }
+  }
+  for (graph::EdgeId e : hg->structure().EdgeIds()) {
+    const graph::Edge& edge = **hg->structure().GetEdge(e);
+    graph::PropertyMap static_props;
+    for (const auto& [key, value] : edge.properties) {
+      if (!value.is_series_ref()) static_props.emplace(key, value);
+    }
+    auto assigned =
+        topo->AddEdge(edge.src, edge.dst, edge.label, std::move(static_props));
+    if (!assigned.ok()) return assigned.status();
+    if (*assigned != e) {
+      return Status::Corruption("snapshot restore produced edge id " +
+                                std::to_string(*assigned) + ", expected " +
+                                std::to_string(e));
+    }
+  }
+
+  // Re-ingest the series that were carried as pooled series properties.
+  const size_t prefix_len = sizeof(kSnapshotSeriesPrefix) - 1;
+  for (graph::VertexId v : hg->structure().VertexIds()) {
+    const graph::Vertex& vertex = **hg->structure().GetVertex(v);
+    for (const auto& [key, value] : vertex.properties) {
+      if (!value.is_series_ref() ||
+          !StartsWith(key, kSnapshotSeriesPrefix)) {
+        continue;
+      }
+      auto ms = hg->LookupSeries(value.AsSeriesId());
+      if (!ms.ok()) return ms.status();
+      const std::string series_key = key.substr(prefix_len);
+      for (size_t r = 0; r < (*ms)->size(); ++r) {
+        HYGRAPH_RETURN_IF_ERROR(backend->AppendVertexSample(
+            v, series_key, (*ms)->times()[r], (*ms)->at(r, 0)));
+      }
+    }
+  }
+  for (graph::EdgeId e : hg->structure().EdgeIds()) {
+    const graph::Edge& edge = **hg->structure().GetEdge(e);
+    for (const auto& [key, value] : edge.properties) {
+      if (!value.is_series_ref() ||
+          !StartsWith(key, kSnapshotSeriesPrefix)) {
+        continue;
+      }
+      auto ms = hg->LookupSeries(value.AsSeriesId());
+      if (!ms.ok()) return ms.status();
+      const std::string series_key = key.substr(prefix_len);
+      for (size_t r = 0; r < (*ms)->size(); ++r) {
+        HYGRAPH_RETURN_IF_ERROR(backend->AppendEdgeSample(
+            e, series_key, (*ms)->times()[r], (*ms)->at(r, 0)));
+      }
+    }
+  }
+  return Status::OK();
+}
+
+// -- DurableStore -------------------------------------------------------------
+
+DurableStore::DurableStore(Env* env, std::string dir,
+                           std::unique_ptr<query::QueryBackend> inner,
+                           DurableOptions options)
+    : env_(env),
+      dir_(std::move(dir)),
+      inner_(std::move(inner)),
+      options_(options) {}
+
+DurableStore::~DurableStore() {
+  if (wal_ != nullptr) (void)wal_->Close();
+}
+
+Status DurableStore::Open() {
+  if (opened_) return Status::FailedPrecondition("store is already open");
+  recovery_ = RecoveryStats{};
+  HYGRAPH_RETURN_IF_ERROR(env_->CreateDirIfMissing(dir_));
+
+  // Newest installed snapshot, if any. Temp files and strangers are ignored
+  // — only the atomically-renamed "snapshot-<seq>.hyg" names count.
+  std::vector<std::string> children;
+  HYGRAPH_RETURN_IF_ERROR(env_->GetChildren(dir_, &children));
+  uint64_t snap_seq = 0;
+  bool have_snapshot = false;
+  for (const std::string& child : children) {
+    unsigned long long seq = 0;
+    int consumed = 0;
+    if (std::sscanf(child.c_str(), "snapshot-%llu.hyg%n", &seq, &consumed) ==
+            1 &&
+        consumed == static_cast<int>(child.size())) {
+      if (!have_snapshot || seq > snap_seq) snap_seq = seq;
+      have_snapshot = true;
+    }
+  }
+  if (have_snapshot) {
+    std::string text;
+    HYGRAPH_RETURN_IF_ERROR(
+        env_->ReadFileToString(SnapshotPath(snap_seq), &text));
+    HYGRAPH_RETURN_IF_ERROR(RestoreFromSnapshotText(text, inner_.get()));
+    recovery_.snapshot_loaded = true;
+    recovery_.snapshot_seq = snap_seq;
+  }
+
+  // Salvage and replay the WAL tail.
+  auto scan = ReadWal(env_, WalPath());
+  if (!scan.ok()) return scan.status();
+  recovery_.wal_records_salvaged = scan->records.size();
+  recovery_.wal_bytes_dropped = scan->dropped_bytes;
+  recovery_.wal_torn_tail = scan->torn_tail;
+  uint64_t max_seq = snap_seq;
+  std::vector<const std::string*> live_records;
+  for (const std::string& record : scan->records) {
+    RecordCursor cursor(record);
+    auto seq = cursor.NextUint();
+    if (!seq.ok()) return seq.status();
+    if (*seq <= snap_seq) {
+      ++recovery_.wal_records_skipped;
+      continue;
+    }
+    if (*seq > max_seq) max_seq = *seq;
+    if (ApplyRecord(record).ok()) {
+      ++recovery_.wal_records_replayed;
+    } else {
+      // The original application failed the same way after the record was
+      // logged; the states still agree.
+      ++recovery_.wal_replay_failures;
+    }
+    live_records.push_back(&record);
+  }
+  next_seq_ = max_seq + 1;
+
+  // Start the new epoch on a clean log: surviving live records are copied
+  // into a fresh file which atomically replaces the old one, dropping any
+  // torn tail and already-checkpointed prefix in one motion. The writer's
+  // handle survives the rename (POSIX semantics).
+  const std::string tmp = dir_ + "/wal.tmp";
+  auto writer = WalWriter::Create(env_, tmp);
+  if (!writer.ok()) return writer.status();
+  for (const std::string* record : live_records) {
+    HYGRAPH_RETURN_IF_ERROR((*writer)->Append(*record, /*sync=*/false));
+  }
+  HYGRAPH_RETURN_IF_ERROR((*writer)->Sync());
+  HYGRAPH_RETURN_IF_ERROR(env_->RenameFile(tmp, WalPath()));
+  wal_ = std::move(*writer);
+  records_since_checkpoint_ = live_records.size();
+  opened_ = true;
+  return Status::OK();
+}
+
+Status DurableStore::RequireOpen() const {
+  if (!opened_) return Status::FailedPrecondition("store is not open");
+  if (wal_ == nullptr) {
+    return Status::IOError("WAL is unavailable after a failed checkpoint");
+  }
+  return Status::OK();
+}
+
+Status DurableStore::Log(const std::string& body) {
+  Status s =
+      wal_->Append(std::to_string(next_seq_) + " " + body, options_.sync_wal);
+  if (!s.ok()) return s;
+  ++next_seq_;
+  ++records_since_checkpoint_;
+  return Status::OK();
+}
+
+void DurableStore::MaybeAutoCheckpoint() {
+  if (options_.checkpoint_every == 0) return;
+  if (records_since_checkpoint_ < options_.checkpoint_every) return;
+  Status s = Checkpoint();
+  // Non-dense ids defer the checkpoint (expected after removals); real
+  // failures surface through background_error().
+  if (!s.ok() && s.code() != StatusCode::kFailedPrecondition &&
+      background_error_.ok()) {
+    background_error_ = s;
+  }
+}
+
+Status DurableStore::ApplyRecord(const std::string& record) {
+  RecordCursor cursor(record);
+  auto seq = cursor.NextUint();
+  if (!seq.ok()) return seq.status();
+  auto op = cursor.Next();
+  if (!op.ok()) return op.status();
+  graph::PropertyGraph* topo = inner_->mutable_topology();
+  if (*op == "AV" || *op == "AE") {
+    auto id = cursor.NextUint();
+    if (!id.ok()) return id.status();
+    auto key = cursor.NextDecoded();
+    if (!key.ok()) return key.status();
+    auto t = cursor.NextInt();
+    if (!t.ok()) return t.status();
+    auto value = cursor.NextDouble();
+    if (!value.ok()) return value.status();
+    return *op == "AV" ? inner_->AppendVertexSample(*id, *key, *t, *value)
+                       : inner_->AppendEdgeSample(*id, *key, *t, *value);
+  }
+  if (*op == "NV") {
+    auto id = cursor.NextUint();
+    if (!id.ok()) return id.status();
+    auto labels = cursor.NextLabels();
+    if (!labels.ok()) return labels.status();
+    auto props = cursor.NextProperties();
+    if (!props.ok()) return props.status();
+    const graph::VertexId assigned =
+        topo->AddVertex(std::move(*labels), std::move(*props));
+    if (assigned != *id) {
+      return Status::Corruption("WAL replay produced vertex id " +
+                                std::to_string(assigned) + ", expected " +
+                                std::to_string(*id));
+    }
+    return Status::OK();
+  }
+  if (*op == "NE") {
+    auto id = cursor.NextUint();
+    if (!id.ok()) return id.status();
+    auto src = cursor.NextUint();
+    if (!src.ok()) return src.status();
+    auto dst = cursor.NextUint();
+    if (!dst.ok()) return dst.status();
+    auto label = cursor.NextDecoded();
+    if (!label.ok()) return label.status();
+    auto props = cursor.NextProperties();
+    if (!props.ok()) return props.status();
+    auto assigned =
+        topo->AddEdge(*src, *dst, std::move(*label), std::move(*props));
+    if (!assigned.ok()) return assigned.status();
+    if (*assigned != *id) {
+      return Status::Corruption("WAL replay produced edge id " +
+                                std::to_string(*assigned) + ", expected " +
+                                std::to_string(*id));
+    }
+    return Status::OK();
+  }
+  if (*op == "SV" || *op == "SE") {
+    auto id = cursor.NextUint();
+    if (!id.ok()) return id.status();
+    auto key = cursor.NextDecoded();
+    if (!key.ok()) return key.status();
+    auto value = cursor.NextValue();
+    if (!value.ok()) return value.status();
+    return *op == "SV"
+               ? topo->SetVertexProperty(*id, *key, std::move(*value))
+               : topo->SetEdgeProperty(*id, *key, std::move(*value));
+  }
+  if (*op == "RV" || *op == "RE") {
+    auto id = cursor.NextUint();
+    if (!id.ok()) return id.status();
+    return *op == "RV" ? topo->RemoveVertex(*id) : topo->RemoveEdge(*id);
+  }
+  return Status::Corruption("unknown WAL op '" + *op + "'");
+}
+
+// -- logged mutations ---------------------------------------------------------
+
+Result<graph::VertexId> DurableStore::AddVertex(
+    std::vector<std::string> labels, graph::PropertyMap properties) {
+  HYGRAPH_RETURN_IF_ERROR(RequireOpen());
+  // Encode before the move; the id is only known after application, so
+  // topology adds apply first and log second. A crash in between loses an
+  // unacknowledged op — exactly the contract.
+  auto encoded_props = EncodeProperties(properties);
+  if (!encoded_props.ok()) return encoded_props.status();
+  const std::string tail = EncodeLabels(labels) + *encoded_props;
+  const graph::VertexId id = inner_->mutable_topology()->AddVertex(
+      std::move(labels), std::move(properties));
+  HYGRAPH_RETURN_IF_ERROR(Log("NV " + std::to_string(id) + tail));
+  MaybeAutoCheckpoint();
+  return id;
+}
+
+Result<graph::EdgeId> DurableStore::AddEdge(graph::VertexId src,
+                                            graph::VertexId dst,
+                                            std::string label,
+                                            graph::PropertyMap properties) {
+  HYGRAPH_RETURN_IF_ERROR(RequireOpen());
+  auto encoded_props = EncodeProperties(properties);
+  if (!encoded_props.ok()) return encoded_props.status();
+  const std::string encoded_label = core::EncodeField(label);
+  auto id = inner_->mutable_topology()->AddEdge(src, dst, std::move(label),
+                                                std::move(properties));
+  if (!id.ok()) return id.status();
+  HYGRAPH_RETURN_IF_ERROR(Log("NE " + std::to_string(*id) + " " +
+                              std::to_string(src) + " " + std::to_string(dst) +
+                              " " + encoded_label + *encoded_props));
+  MaybeAutoCheckpoint();
+  return *id;
+}
+
+Status DurableStore::SetVertexProperty(graph::VertexId v,
+                                       const std::string& key, Value value) {
+  HYGRAPH_RETURN_IF_ERROR(RequireOpen());
+  if (value.is_series_ref()) {
+    return Status::InvalidArgument(
+        "backend properties cannot hold series references");
+  }
+  HYGRAPH_RETURN_IF_ERROR(Log("SV " + std::to_string(v) + " " +
+                              core::EncodeField(key) + " " +
+                              EncodeValue(value)));
+  Status s = inner_->mutable_topology()->SetVertexProperty(v, key,
+                                                           std::move(value));
+  MaybeAutoCheckpoint();
+  return s;
+}
+
+Status DurableStore::SetEdgeProperty(graph::EdgeId e, const std::string& key,
+                                     Value value) {
+  HYGRAPH_RETURN_IF_ERROR(RequireOpen());
+  if (value.is_series_ref()) {
+    return Status::InvalidArgument(
+        "backend properties cannot hold series references");
+  }
+  HYGRAPH_RETURN_IF_ERROR(Log("SE " + std::to_string(e) + " " +
+                              core::EncodeField(key) + " " +
+                              EncodeValue(value)));
+  Status s =
+      inner_->mutable_topology()->SetEdgeProperty(e, key, std::move(value));
+  MaybeAutoCheckpoint();
+  return s;
+}
+
+Status DurableStore::RemoveVertex(graph::VertexId v) {
+  HYGRAPH_RETURN_IF_ERROR(RequireOpen());
+  HYGRAPH_RETURN_IF_ERROR(Log("RV " + std::to_string(v)));
+  Status s = inner_->mutable_topology()->RemoveVertex(v);
+  MaybeAutoCheckpoint();
+  return s;
+}
+
+Status DurableStore::RemoveEdge(graph::EdgeId e) {
+  HYGRAPH_RETURN_IF_ERROR(RequireOpen());
+  HYGRAPH_RETURN_IF_ERROR(Log("RE " + std::to_string(e)));
+  Status s = inner_->mutable_topology()->RemoveEdge(e);
+  MaybeAutoCheckpoint();
+  return s;
+}
+
+// -- durability control -------------------------------------------------------
+
+Status DurableStore::Checkpoint() {
+  HYGRAPH_RETURN_IF_ERROR(RequireOpen());
+  auto text = BuildSnapshotText(*inner_);
+  if (!text.ok()) return text.status();
+  const uint64_t snap_seq = next_seq_ - 1;
+
+  // Write-temp + fsync + atomic rename: the snapshot either installs
+  // completely or not at all.
+  const std::string tmp = dir_ + "/snapshot.tmp";
+  {
+    std::unique_ptr<WritableFile> file;
+    HYGRAPH_RETURN_IF_ERROR(env_->NewWritableFile(tmp, &file));
+    HYGRAPH_RETURN_IF_ERROR(file->Append(*text));
+    HYGRAPH_RETURN_IF_ERROR(file->Sync());
+    HYGRAPH_RETURN_IF_ERROR(file->Close());
+  }
+  HYGRAPH_RETURN_IF_ERROR(env_->RenameFile(tmp, SnapshotPath(snap_seq)));
+
+  // The new snapshot is durable; everything from here is garbage
+  // collection, and a crash merely leaves work for the next recovery.
+  std::vector<std::string> children;
+  HYGRAPH_RETURN_IF_ERROR(env_->GetChildren(dir_, &children));
+  for (const std::string& child : children) {
+    unsigned long long seq = 0;
+    int consumed = 0;
+    if (std::sscanf(child.c_str(), "snapshot-%llu.hyg%n", &seq, &consumed) ==
+            1 &&
+        consumed == static_cast<int>(child.size()) && seq != snap_seq) {
+      HYGRAPH_RETURN_IF_ERROR(env_->RemoveFile(dir_ + "/" + child));
+    }
+  }
+
+  // Fresh WAL epoch. If recreation fails the store degrades to read-only
+  // (RequireOpen reports the missing WAL) rather than risking un-logged
+  // acknowledgements.
+  HYGRAPH_RETURN_IF_ERROR(wal_->Close());
+  wal_.reset();
+  auto writer = WalWriter::Create(env_, WalPath());
+  if (!writer.ok()) return writer.status();
+  wal_ = std::move(*writer);
+  records_since_checkpoint_ = 0;
+  return Status::OK();
+}
+
+Status DurableStore::SyncWal() {
+  HYGRAPH_RETURN_IF_ERROR(RequireOpen());
+  return wal_->Sync();
+}
+
+// -- QueryBackend delegation --------------------------------------------------
+
+std::string DurableStore::name() const {
+  return "durable(" + inner_->name() + ")";
+}
+
+const graph::PropertyGraph& DurableStore::topology() const {
+  return inner_->topology();
+}
+
+graph::PropertyGraph* DurableStore::mutable_topology() {
+  return inner_->mutable_topology();
+}
+
+Status DurableStore::AppendVertexSample(graph::VertexId v,
+                                        const std::string& key, Timestamp t,
+                                        double value) {
+  HYGRAPH_RETURN_IF_ERROR(RequireOpen());
+  HYGRAPH_RETURN_IF_ERROR(Log("AV " + std::to_string(v) + " " +
+                              core::EncodeField(key) + " " +
+                              std::to_string(t) + " " + FormatDouble(value)));
+  Status s = inner_->AppendVertexSample(v, key, t, value);
+  MaybeAutoCheckpoint();
+  return s;
+}
+
+Status DurableStore::AppendEdgeSample(graph::EdgeId e, const std::string& key,
+                                      Timestamp t, double value) {
+  HYGRAPH_RETURN_IF_ERROR(RequireOpen());
+  HYGRAPH_RETURN_IF_ERROR(Log("AE " + std::to_string(e) + " " +
+                              core::EncodeField(key) + " " +
+                              std::to_string(t) + " " + FormatDouble(value)));
+  Status s = inner_->AppendEdgeSample(e, key, t, value);
+  MaybeAutoCheckpoint();
+  return s;
+}
+
+Result<ts::Series> DurableStore::VertexSeriesRange(
+    graph::VertexId v, const std::string& key, const Interval& interval) const {
+  return inner_->VertexSeriesRange(v, key, interval);
+}
+
+Result<ts::Series> DurableStore::EdgeSeriesRange(
+    graph::EdgeId e, const std::string& key, const Interval& interval) const {
+  return inner_->EdgeSeriesRange(e, key, interval);
+}
+
+Result<double> DurableStore::VertexSeriesAggregate(graph::VertexId v,
+                                                   const std::string& key,
+                                                   const Interval& interval,
+                                                   ts::AggKind kind) const {
+  return inner_->VertexSeriesAggregate(v, key, interval, kind);
+}
+
+Result<double> DurableStore::EdgeSeriesAggregate(graph::EdgeId e,
+                                                 const std::string& key,
+                                                 const Interval& interval,
+                                                 ts::AggKind kind) const {
+  return inner_->EdgeSeriesAggregate(e, key, interval, kind);
+}
+
+Result<ts::Series> DurableStore::VertexSeriesWindowAggregate(
+    graph::VertexId v, const std::string& key, const Interval& interval,
+    Duration width, ts::AggKind kind) const {
+  return inner_->VertexSeriesWindowAggregate(v, key, interval, width, kind);
+}
+
+Result<ts::Series> DurableStore::EdgeSeriesWindowAggregate(
+    graph::EdgeId e, const std::string& key, const Interval& interval,
+    Duration width, ts::AggKind kind) const {
+  return inner_->EdgeSeriesWindowAggregate(e, key, interval, width, kind);
+}
+
+std::vector<std::string> DurableStore::VertexSeriesKeys(
+    graph::VertexId v) const {
+  return inner_->VertexSeriesKeys(v);
+}
+
+std::vector<std::string> DurableStore::EdgeSeriesKeys(graph::EdgeId e) const {
+  return inner_->EdgeSeriesKeys(e);
+}
+
+bool DurableStore::SeriesEmbeddedInTopology() const {
+  return inner_->SeriesEmbeddedInTopology();
+}
+
+}  // namespace hygraph::storage

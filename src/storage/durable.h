@@ -1,0 +1,171 @@
+#ifndef HYGRAPH_STORAGE_DURABLE_H_
+#define HYGRAPH_STORAGE_DURABLE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "query/backend.h"
+#include "storage/env.h"
+#include "storage/wal.h"
+
+namespace hygraph::storage {
+
+/// Tuning knobs for a DurableStore.
+struct DurableOptions {
+  /// fsync the WAL after every logged mutation. With it, an OK status means
+  /// the mutation survives any crash; without it, mutations are only
+  /// durable up to the last SyncWal()/Checkpoint() (group commit — see
+  /// bench_recovery for the throughput gap this buys).
+  bool sync_wal = true;
+
+  /// Automatically checkpoint after this many logged records (0 = only
+  /// explicit Checkpoint() calls). Auto-checkpoint failures are reported
+  /// through background_error(), not through the triggering mutation,
+  /// whose WAL record is already durable.
+  size_t checkpoint_every = 0;
+};
+
+/// What Open() found and did while recovering a directory.
+struct RecoveryStats {
+  bool snapshot_loaded = false;
+  uint64_t snapshot_seq = 0;         ///< last sequence covered by it
+  size_t wal_records_salvaged = 0;   ///< intact records found in the log
+  size_t wal_records_skipped = 0;    ///< already covered by the snapshot
+  size_t wal_records_replayed = 0;   ///< applied onto the snapshot state
+  size_t wal_replay_failures = 0;    ///< re-applications that failed (these
+                                     ///< failed identically when first logged)
+  uint64_t wal_bytes_dropped = 0;    ///< torn tail truncated away
+  bool wal_torn_tail = false;
+};
+
+/// Durability wrapper for either storage architecture of Figure 1: wraps
+/// any QueryBackend (AllInGraphStore, PolyglotStore) and makes its state
+/// survive crashes with the classic snapshot + write-ahead-log protocol.
+///
+///   * Every mutation routed through this class is first appended to a
+///     CRC-framed WAL (fsynced per record under DurableOptions::sync_wal),
+///     then applied to the wrapped backend.
+///   * Checkpoint() serializes the full backend state through
+///     core::Serialize (checksum trailer included) to `snapshot.tmp`,
+///     fsyncs, atomically renames to `snapshot-<seq>.hyg`, then starts a
+///     fresh WAL epoch. A crash at any point leaves either the old or the
+///     new snapshot installed, never a torn one.
+///   * Open() = load newest snapshot + replay the WAL tail, tolerating a
+///     torn final record (truncate-and-recover, reported in RecoveryStats).
+///
+/// Topology mutations must go through the logged AddVertex/AddEdge/
+/// Set*Property/Remove* methods to be durable; `mutable_topology()` remains
+/// available as a bulk-load escape hatch whose effects only become durable
+/// at the next Checkpoint(). Checkpointing requires dense ids (the
+/// core::Serialize precondition); after removals the store stays recoverable
+/// through WAL replay alone until ids are dense again.
+class DurableStore final : public query::QueryBackend {
+ public:
+  /// Does not touch the filesystem; call Open() before use.
+  DurableStore(Env* env, std::string dir,
+               std::unique_ptr<query::QueryBackend> inner,
+               DurableOptions options = {});
+  ~DurableStore() override;
+
+  /// Recovers whatever `dir` holds (possibly nothing) into the wrapped
+  /// backend — which must still be empty — and opens a fresh WAL epoch.
+  Status Open();
+
+  const RecoveryStats& recovery() const { return recovery_; }
+  query::QueryBackend* inner() { return inner_.get(); }
+  const query::QueryBackend* inner() const { return inner_.get(); }
+  /// Next WAL sequence number (exposed for tests).
+  uint64_t next_seq() const { return next_seq_; }
+  /// First error hit by an automatic background checkpoint, if any.
+  const Status& background_error() const { return background_error_; }
+
+  // -- logged topology mutations --------------------------------------------
+
+  Result<graph::VertexId> AddVertex(std::vector<std::string> labels,
+                                    graph::PropertyMap properties);
+  Result<graph::EdgeId> AddEdge(graph::VertexId src, graph::VertexId dst,
+                                std::string label,
+                                graph::PropertyMap properties);
+  Status SetVertexProperty(graph::VertexId v, const std::string& key,
+                           Value value);
+  Status SetEdgeProperty(graph::EdgeId e, const std::string& key, Value value);
+  Status RemoveVertex(graph::VertexId v);
+  Status RemoveEdge(graph::EdgeId e);
+
+  // -- durability control ---------------------------------------------------
+
+  /// Snapshot + WAL reset (see class comment).
+  Status Checkpoint();
+  /// Makes every logged record durable (group commit with !sync_wal).
+  Status SyncWal();
+
+  // -- QueryBackend ---------------------------------------------------------
+
+  std::string name() const override;
+  const graph::PropertyGraph& topology() const override;
+  graph::PropertyGraph* mutable_topology() override;
+  Status AppendVertexSample(graph::VertexId v, const std::string& key,
+                            Timestamp t, double value) override;
+  Status AppendEdgeSample(graph::EdgeId e, const std::string& key, Timestamp t,
+                          double value) override;
+  Result<ts::Series> VertexSeriesRange(graph::VertexId v,
+                                       const std::string& key,
+                                       const Interval& interval) const override;
+  Result<ts::Series> EdgeSeriesRange(graph::EdgeId e, const std::string& key,
+                                     const Interval& interval) const override;
+  Result<double> VertexSeriesAggregate(graph::VertexId v,
+                                       const std::string& key,
+                                       const Interval& interval,
+                                       ts::AggKind kind) const override;
+  Result<double> EdgeSeriesAggregate(graph::EdgeId e, const std::string& key,
+                                     const Interval& interval,
+                                     ts::AggKind kind) const override;
+  Result<ts::Series> VertexSeriesWindowAggregate(
+      graph::VertexId v, const std::string& key, const Interval& interval,
+      Duration width, ts::AggKind kind) const override;
+  Result<ts::Series> EdgeSeriesWindowAggregate(
+      graph::EdgeId e, const std::string& key, const Interval& interval,
+      Duration width, ts::AggKind kind) const override;
+  std::vector<std::string> VertexSeriesKeys(graph::VertexId v) const override;
+  std::vector<std::string> EdgeSeriesKeys(graph::EdgeId e) const override;
+  bool SeriesEmbeddedInTopology() const override;
+
+ private:
+  Status RequireOpen() const;
+  Status Log(const std::string& body);
+  Status ApplyRecord(const std::string& record);
+  void MaybeAutoCheckpoint();
+  std::string WalPath() const { return dir_ + "/wal.log"; }
+  std::string SnapshotPath(uint64_t seq) const {
+    return dir_ + "/snapshot-" + std::to_string(seq) + ".hyg";
+  }
+
+  Env* env_;
+  std::string dir_;
+  std::unique_ptr<query::QueryBackend> inner_;
+  DurableOptions options_;
+  std::unique_ptr<WalWriter> wal_;
+  bool opened_ = false;
+  uint64_t next_seq_ = 1;
+  size_t records_since_checkpoint_ = 0;
+  RecoveryStats recovery_;
+  Status background_error_;
+};
+
+/// Serializes a backend's full logical state (topology + every series)
+/// through the core::Serialize text format, series attached as pooled
+/// series properties named "__durable_series__<key>" unless the backend
+/// embeds samples in the topology. Requires dense ids. Exposed for tests
+/// and for state comparison (the text is canonical).
+Result<std::string> BuildSnapshotText(const query::QueryBackend& backend);
+
+/// Rebuilds backend state from BuildSnapshotText output. The backend must
+/// be freshly constructed (empty). Requires the CHECKSUM trailer: a
+/// snapshot that lost it (truncation) is rejected as kCorruption.
+Status RestoreFromSnapshotText(const std::string& text,
+                               query::QueryBackend* backend);
+
+}  // namespace hygraph::storage
+
+#endif  // HYGRAPH_STORAGE_DURABLE_H_

@@ -1,0 +1,104 @@
+#ifndef HYGRAPH_STORAGE_FAULT_INJECTION_ENV_H_
+#define HYGRAPH_STORAGE_FAULT_INJECTION_ENV_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "storage/env.h"
+
+namespace hygraph::storage {
+
+/// An Env wrapper that simulates crashes and media faults, in the style of
+/// RocksDB's FaultInjectionTestEnv. It forwards every call to a base Env
+/// while
+///
+///   * counting mutating filesystem operations (append, sync, rename,
+///     remove, create, truncate);
+///   * optionally "crashing" after a configured number of those operations
+///     — the operation at the crash point fails with kIOError (an Append
+///     may first perform a deterministic short write, modelling a torn
+///     page), and every later mutating operation fails too, as if the
+///     process had died;
+///   * tracking, per file, how many bytes have been made durable by Sync,
+///     so that DropUnsyncedData() can roll every file back to its synced
+///     prefix — the state a real filesystem may present after power loss.
+///
+/// Test protocol: run a workload until it hits the injected crash, call
+/// DropUnsyncedData(), Revive(), then recover and compare against an
+/// oracle of acknowledged writes.
+class FaultInjectionEnv final : public Env {
+ public:
+  /// What survives of un-synced bytes when the "power" goes out.
+  enum class UnsyncedLoss {
+    kDropAll,      ///< un-synced bytes all vanish (fsync barrier honored)
+    kKeepPrefix,   ///< a deterministic prefix survives → torn tail
+  };
+
+  explicit FaultInjectionEnv(Env* base) : base_(base) {}
+
+  // -- fault control ---------------------------------------------------------
+
+  /// Crashes once `ops` more mutating operations have been attempted
+  /// (the (ops+1)-th fails). Pass no limit by never calling this.
+  void SetCrashAfter(uint64_t ops) {
+    crash_after_ = op_count_ + ops;
+    armed_ = true;
+  }
+  /// Immediately enters the crashed state.
+  void Crash() { crashed_ = true; }
+  bool crashed() const { return crashed_; }
+  /// Mutating operations attempted so far (failed ones included).
+  uint64_t op_count() const { return op_count_; }
+
+  /// Rolls every tracked file back to its synced prefix (see UnsyncedLoss).
+  /// Call while "crashed", before Revive(); uses the base env directly.
+  Status DropUnsyncedData(UnsyncedLoss loss = UnsyncedLoss::kDropAll);
+
+  /// Clears the crashed state — the "process restart" before recovery.
+  void Revive() {
+    crashed_ = false;
+    armed_ = false;
+  }
+
+  // -- Env -------------------------------------------------------------------
+
+  Status NewWritableFile(const std::string& path,
+                         std::unique_ptr<WritableFile>* file) override;
+  Status ReadFileToString(const std::string& path, std::string* out) override;
+  bool FileExists(const std::string& path) override;
+  Result<uint64_t> GetFileSize(const std::string& path) override;
+  Status RenameFile(const std::string& from, const std::string& to) override;
+  Status RemoveFile(const std::string& path) override;
+  Status TruncateFile(const std::string& path, uint64_t size) override;
+  Status CreateDirIfMissing(const std::string& path) override;
+  Status GetChildren(const std::string& dir,
+                     std::vector<std::string>* out) override;
+
+ private:
+  friend class TrackedWritableFile;
+
+  struct FileState {
+    uint64_t size = 0;         ///< bytes appended so far
+    uint64_t synced_size = 0;  ///< bytes guaranteed durable
+  };
+
+  /// Returns OK if the operation may proceed; advances the op counter and
+  /// flips into the crashed state at the configured point. When the crash
+  /// lands on this very op, `*short_write` (if non-null) is set so an
+  /// Append can persist a torn prefix before failing.
+  Status BeginOp(bool* short_write = nullptr);
+
+  Env* base_;
+  bool armed_ = false;
+  bool crashed_ = false;
+  uint64_t op_count_ = 0;
+  uint64_t crash_after_ = 0;
+  std::map<std::string, std::shared_ptr<FileState>> files_;
+};
+
+}  // namespace hygraph::storage
+
+#endif  // HYGRAPH_STORAGE_FAULT_INJECTION_ENV_H_

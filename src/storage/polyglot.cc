@@ -1,5 +1,7 @@
 #include "storage/polyglot.h"
 
+#include <algorithm>
+
 namespace hygraph::storage {
 
 Result<SeriesId> PolyglotStore::Resolve(const SeriesMap& map, uint64_t id,
@@ -40,6 +42,26 @@ Status PolyglotStore::AppendEdgeSample(graph::EdgeId e, const std::string& key,
   }
   const SeriesId sid = ResolveOrCreate(&edge_series_, e, key, "e");
   return series_.Insert(sid, t, value);
+}
+
+std::vector<std::string> PolyglotStore::KeysOf(const SeriesMap& map,
+                                               uint64_t id) {
+  std::vector<std::string> keys;
+  for (const auto& [entity_key, sid] : map) {
+    (void)sid;
+    if (entity_key.id == id) keys.push_back(entity_key.key);
+  }
+  std::sort(keys.begin(), keys.end());
+  return keys;
+}
+
+std::vector<std::string> PolyglotStore::VertexSeriesKeys(
+    graph::VertexId v) const {
+  return KeysOf(vertex_series_, v);
+}
+
+std::vector<std::string> PolyglotStore::EdgeSeriesKeys(graph::EdgeId e) const {
+  return KeysOf(edge_series_, e);
 }
 
 namespace {

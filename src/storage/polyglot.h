@@ -60,6 +60,11 @@ class PolyglotStore final : public query::QueryBackend {
       graph::EdgeId e, const std::string& key, const Interval& interval,
       Duration width, ts::AggKind kind) const override;
 
+  /// Series keys come straight from the (entity, key) → SeriesId mapping —
+  /// the polyglot glue knows its schema, unlike the all-in-graph layout.
+  std::vector<std::string> VertexSeriesKeys(graph::VertexId v) const override;
+  std::vector<std::string> EdgeSeriesKeys(graph::EdgeId e) const override;
+
   /// The underlying time-series store (work counters for tests/benches).
   const ts::HypertableStore& series_store() const { return series_; }
   ts::HypertableStore* mutable_series_store() { return &series_; }
@@ -78,6 +83,7 @@ class PolyglotStore final : public query::QueryBackend {
   };
   using SeriesMap = std::unordered_map<EntityKey, SeriesId, EntityKeyHash>;
 
+  static std::vector<std::string> KeysOf(const SeriesMap& map, uint64_t id);
   Result<SeriesId> Resolve(const SeriesMap& map, uint64_t id,
                            const std::string& key) const;
   SeriesId ResolveOrCreate(SeriesMap* map, uint64_t id,

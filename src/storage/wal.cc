@@ -1,0 +1,92 @@
+#include "storage/wal.h"
+
+#include <cstring>
+
+#include "common/crc32.h"
+
+namespace hygraph::storage {
+
+namespace {
+
+constexpr size_t kHeaderSize = 8;  // u32 length + u32 crc
+
+void PutU32(std::string* out, uint32_t v) {
+  char bytes[4] = {static_cast<char>(v & 0xff),
+                   static_cast<char>((v >> 8) & 0xff),
+                   static_cast<char>((v >> 16) & 0xff),
+                   static_cast<char>((v >> 24) & 0xff)};
+  out->append(bytes, 4);
+}
+
+uint32_t GetU32(const char* p) {
+  return static_cast<uint32_t>(static_cast<unsigned char>(p[0])) |
+         static_cast<uint32_t>(static_cast<unsigned char>(p[1])) << 8 |
+         static_cast<uint32_t>(static_cast<unsigned char>(p[2])) << 16 |
+         static_cast<uint32_t>(static_cast<unsigned char>(p[3])) << 24;
+}
+
+}  // namespace
+
+std::string EncodeWalFrame(const std::string& payload) {
+  std::string frame;
+  frame.reserve(kHeaderSize + payload.size());
+  PutU32(&frame, static_cast<uint32_t>(payload.size()));
+  PutU32(&frame, Crc32(payload));
+  frame += payload;
+  return frame;
+}
+
+Result<std::unique_ptr<WalWriter>> WalWriter::Create(Env* env,
+                                                     const std::string& path) {
+  std::unique_ptr<WritableFile> file;
+  HYGRAPH_RETURN_IF_ERROR(env->NewWritableFile(path, &file));
+  return std::unique_ptr<WalWriter>(new WalWriter(std::move(file)));
+}
+
+Status WalWriter::Append(const std::string& payload, bool sync) {
+  if (payload.size() > kWalMaxRecordSize) {
+    return Status::InvalidArgument("WAL record exceeds maximum size");
+  }
+  const std::string frame = EncodeWalFrame(payload);
+  HYGRAPH_RETURN_IF_ERROR(file_->Append(frame));
+  bytes_written_ += frame.size();
+  if (sync) return file_->Sync();
+  return Status::OK();
+}
+
+Status WalWriter::Sync() { return file_->Sync(); }
+
+Status WalWriter::Close() { return file_->Close(); }
+
+Result<WalReadResult> ReadWal(Env* env, const std::string& path) {
+  WalReadResult result;
+  std::string data;
+  Status read = env->ReadFileToString(path, &data);
+  if (read.code() == StatusCode::kNotFound) return result;  // empty log
+  if (!read.ok()) return read;
+
+  size_t pos = 0;
+  while (pos < data.size()) {
+    if (data.size() - pos < kHeaderSize) break;  // torn header
+    const uint32_t length = GetU32(data.data() + pos);
+    const uint32_t crc = GetU32(data.data() + pos + 4);
+    if (length > kWalMaxRecordSize) break;             // corrupt length
+    if (data.size() - pos - kHeaderSize < length) break;  // torn payload
+    std::string payload = data.substr(pos + kHeaderSize, length);
+    if (Crc32(payload) != crc) break;  // bit rot or torn rewrite
+    result.records.push_back(std::move(payload));
+    pos += kHeaderSize + length;
+    result.valid_bytes = pos;
+  }
+  result.dropped_bytes = data.size() - result.valid_bytes;
+  result.torn_tail = result.dropped_bytes > 0;
+  return result;
+}
+
+Status TruncateWalToValidPrefix(Env* env, const std::string& path,
+                                const WalReadResult& scan) {
+  if (!scan.torn_tail) return Status::OK();
+  return env->TruncateFile(path, scan.valid_bytes);
+}
+
+}  // namespace hygraph::storage

@@ -1,0 +1,74 @@
+#ifndef HYGRAPH_STORAGE_WAL_H_
+#define HYGRAPH_STORAGE_WAL_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "storage/env.h"
+
+namespace hygraph::storage {
+
+/// Binary write-ahead log. Each record is framed as
+///
+///   [u32 payload length, LE] [u32 CRC-32 of payload, LE] [payload bytes]
+///
+/// A record is durable once a Sync that covers it returned OK. The reader
+/// never fails on a torn tail: a crash mid-append leaves a partial frame
+/// (or a frame whose CRC does not match), which is detected, reported, and
+/// truncated away — exactly the semantics a recovering store needs.
+
+/// Hard ceiling on one record; larger length fields are treated as
+/// corruption rather than attempted as allocations.
+inline constexpr uint32_t kWalMaxRecordSize = 1u << 26;  // 64 MiB
+
+class WalWriter {
+ public:
+  /// Creates (truncating) the log file at `path`.
+  static Result<std::unique_ptr<WalWriter>> Create(Env* env,
+                                                   const std::string& path);
+
+  /// Appends one framed record. With `sync`, the record is fsynced before
+  /// returning — the write is acknowledged as durable. Without, it sits in
+  /// the un-synced window until the next Sync() (group commit).
+  Status Append(const std::string& payload, bool sync);
+
+  /// Makes everything appended so far durable.
+  Status Sync();
+  Status Close();
+
+  uint64_t bytes_written() const { return bytes_written_; }
+
+ private:
+  explicit WalWriter(std::unique_ptr<WritableFile> file)
+      : file_(std::move(file)) {}
+
+  std::unique_ptr<WritableFile> file_;
+  uint64_t bytes_written_ = 0;
+};
+
+/// Result of scanning a WAL file.
+struct WalReadResult {
+  std::vector<std::string> records;  ///< intact payloads, in append order
+  uint64_t valid_bytes = 0;          ///< prefix covered by intact records
+  uint64_t dropped_bytes = 0;        ///< torn / corrupt tail discarded
+  bool torn_tail = false;            ///< true when anything was discarded
+};
+
+/// Reads every intact record of `path`. A missing file reads as an empty
+/// log. Torn or corrupt tails are reported through the result, never as an
+/// error: the only error statuses are real I/O failures.
+Result<WalReadResult> ReadWal(Env* env, const std::string& path);
+
+/// Truncates `path` down to the valid prefix found by ReadWal, removing a
+/// torn tail so later appends start from a clean record boundary.
+Status TruncateWalToValidPrefix(Env* env, const std::string& path,
+                                const WalReadResult& scan);
+
+/// Frames one payload as it would appear in the log (exposed for tests).
+std::string EncodeWalFrame(const std::string& payload);
+
+}  // namespace hygraph::storage
+
+#endif  // HYGRAPH_STORAGE_WAL_H_

@@ -31,6 +31,7 @@ TEST(StatusTest, FactoryFunctionsSetCodeAndMessage) {
       {Status::Unimplemented("g"), StatusCode::kUnimplemented,
        "Unimplemented"},
       {Status::Internal("h"), StatusCode::kInternal, "Internal"},
+      {Status::IOError("i"), StatusCode::kIOError, "IOError"},
   };
   for (const Case& c : cases) {
     EXPECT_FALSE(c.status.ok());
