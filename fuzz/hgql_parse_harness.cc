@@ -1,0 +1,37 @@
+#include <string>
+
+#include "fuzz/harness.h"
+#include "query/lexer.h"
+#include "query/parser.h"
+
+namespace hygraph::fuzz {
+
+/// Feeds arbitrary bytes to the HGQL frontend: lexer, full-query parser,
+/// and the standalone expression parser. All three must terminate without
+/// crashing (the parser's depth limit exists because this harness found
+/// stack overflows on deeply nested input) and agree on basic structure:
+/// input the lexer rejects can never parse.
+void FuzzHgqlParse(const uint8_t* data, size_t size) {
+  const std::string text(reinterpret_cast<const char*>(data), size);
+
+  auto tokens = query::Tokenize(text);
+
+  auto ast = query::Parse(text);
+  if (ast.ok()) {
+    HYGRAPH_FUZZ_CHECK(tokens.ok());
+    // Walking the parsed AST (ToString of every RETURN item) must be safe.
+    for (const auto& item : ast->returns) {
+      HYGRAPH_FUZZ_CHECK(item.expr != nullptr);
+      const std::string rendered = item.expr->ToString();
+      HYGRAPH_FUZZ_CHECK(rendered.size() < static_cast<size_t>(-1));
+    }
+  }
+
+  auto expr = query::ParseExpression(text);
+  if (expr.ok()) {
+    HYGRAPH_FUZZ_CHECK(tokens.ok());
+    HYGRAPH_FUZZ_CHECK(*expr != nullptr);
+  }
+}
+
+}  // namespace hygraph::fuzz

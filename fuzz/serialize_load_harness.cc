@@ -1,0 +1,28 @@
+#include <string>
+#include <utility>
+
+#include "core/serialize.h"
+#include "fuzz/harness.h"
+
+namespace hygraph::fuzz {
+
+/// Feeds arbitrary bytes to core::Deserialize. Rejection must flow through
+/// the Status channel. Accepted inputs must round-trip: re-serializing the
+/// loaded instance and loading it again has to succeed and reach a textual
+/// fixed point, otherwise saved snapshots would not be stable on disk.
+void FuzzSerializeLoad(const uint8_t* data, size_t size) {
+  const std::string text(reinterpret_cast<const char*>(data), size);
+
+  auto loaded = core::Deserialize(text);
+  if (!loaded.ok()) return;
+
+  auto first = core::Serialize(*loaded);
+  HYGRAPH_FUZZ_CHECK(first.ok());
+  auto reloaded = core::Deserialize(*first);
+  HYGRAPH_FUZZ_CHECK(reloaded.ok());
+  auto second = core::Serialize(*reloaded);
+  HYGRAPH_FUZZ_CHECK(second.ok());
+  HYGRAPH_FUZZ_CHECK(*first == *second);
+}
+
+}  // namespace hygraph::fuzz

@@ -1,0 +1,153 @@
+#!/usr/bin/env python3
+"""HyGraph project linter: repo invariants clang-tidy cannot express.
+
+Checks (see DESIGN.md "Correctness tooling"):
+  naked-new       no `new` expression in library code unless annotated with
+                  `NOLINT(hygraph-naked-new)` (leaked singletons, private
+                  constructors); no `delete` expressions at all — ownership
+                  goes through smart pointers.
+  raw-rand        no `rand()` / `srand()` anywhere — randomness goes through
+                  common/rng.h so runs stay reproducible and seedable.
+  cc-include      no `#include` of a `.cc` file.
+  include-guard   headers open with `#ifndef HYGRAPH_<PATH>_H_` where PATH is
+                  the path relative to src/ (or the repo root for headers
+                  outside src/), uppercased, with '/' and '.' as '_'.
+  no-cout         no `std::cout` in src/ library code — a library reports
+                  through Status/Result, not a stream it does not own.
+
+Exit status: 0 when clean, 1 with one `path:line: [check] message` per
+finding otherwise. Run via scripts/lint.sh or directly:
+
+    python3 scripts/hygraph_lint.py
+"""
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+# Library code: invariants apply fully. fuzz/ counts as library code (the
+# harnesses link into tier-1 tests); tests/bench/examples get the subset
+# that keeps determinism and build hygiene (raw-rand, cc-include).
+LIBRARY_DIRS = ("src", "fuzz")
+ALL_DIRS = ("src", "fuzz", "tests", "bench", "examples")
+
+RNG_HOME = Path("src/common/rng.h")
+
+NAKED_NEW_ALLOW = "NOLINT(hygraph-naked-new)"
+
+
+def strip_comments_and_strings(lines: list[str]) -> list[str]:
+    """Blanks out comments and string/char literal contents, preserving line
+    structure, so token checks do not fire on prose or quoted text."""
+    out = []
+    in_block_comment = False
+    for line in lines:
+        result = []
+        i = 0
+        n = len(line)
+        while i < n:
+            c = line[i]
+            if in_block_comment:
+                if line.startswith("*/", i):
+                    in_block_comment = False
+                    i += 2
+                else:
+                    i += 1
+                continue
+            if line.startswith("//", i):
+                break
+            if line.startswith("/*", i):
+                in_block_comment = True
+                i += 2
+                continue
+            if c in ("'", '"'):
+                quote = c
+                result.append(quote)
+                i += 1
+                while i < n:
+                    if line[i] == "\\":
+                        i += 2
+                        continue
+                    if line[i] == quote:
+                        result.append(quote)
+                        i += 1
+                        break
+                    i += 1
+                continue
+            result.append(c)
+            i += 1
+        out.append("".join(result))
+    return out
+
+
+def iter_sources(dirs: tuple[str, ...]):
+    for d in dirs:
+        root = REPO / d
+        if not root.is_dir():
+            continue
+        for path in sorted(root.rglob("*")):
+            if path.suffix in (".h", ".cc"):
+                yield path.relative_to(REPO)
+
+
+def expected_guard(rel: Path) -> str:
+    base = rel.relative_to("src") if rel.parts[0] == "src" else rel
+    token = str(base).upper().replace("/", "_").replace(".", "_")
+    return f"HYGRAPH_{token}_"
+
+
+def main() -> int:
+    findings: list[str] = []
+
+    def report(rel: Path, lineno: int, check: str, message: str) -> None:
+        findings.append(f"{rel}:{lineno}: [{check}] {message}")
+
+    for rel in iter_sources(ALL_DIRS):
+        raw = (REPO / rel).read_text(encoding="utf-8").splitlines()
+        code = strip_comments_and_strings(raw)
+        library = rel.parts[0] in LIBRARY_DIRS
+
+        for lineno, (raw_line, code_line) in enumerate(zip(raw, code), 1):
+            if rel != RNG_HOME and re.search(r"\b(s?rand)\s*\(", code_line):
+                report(rel, lineno, "raw-rand",
+                       "use common/rng.h instead of rand()/srand()")
+            if re.search(r'#\s*include\s*"[^"]+\.cc"', raw_line):
+                report(rel, lineno, "cc-include",
+                       "never #include a .cc file; link it instead")
+            if library:
+                prev_line = raw[lineno - 2] if lineno >= 2 else ""
+                allowed = (NAKED_NEW_ALLOW in raw_line
+                           or "NOLINTNEXTLINE(hygraph-naked-new)" in prev_line)
+                if re.search(r"\bnew\b", code_line) and not allowed:
+                    report(rel, lineno, "naked-new",
+                           "naked new in library code; use make_unique or "
+                           f"annotate with {NAKED_NEW_ALLOW}")
+                if re.search(r"(?<!=)\s\bdelete\b(?!;)", " " + code_line):
+                    report(rel, lineno, "naked-delete",
+                           "naked delete in library code; ownership belongs "
+                           "in a smart pointer")
+            if rel.parts[0] == "src" and "std::cout" in code_line:
+                report(rel, lineno, "no-cout",
+                       "library code must not write to std::cout; report "
+                       "through Status/Result")
+
+        if rel.suffix == ".h":
+            guard = expected_guard(rel)
+            text = "\n".join(raw)
+            if f"#ifndef {guard}" not in text or f"#define {guard}" not in text:
+                report(rel, 1, "include-guard",
+                       f"expected include guard {guard}")
+
+    if findings:
+        print("\n".join(findings))
+        print(f"\nhygraph_lint: {len(findings)} finding(s)", file=sys.stderr)
+        return 1
+    print("hygraph_lint: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

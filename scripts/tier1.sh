@@ -1,25 +1,33 @@
 #!/usr/bin/env bash
-# Tier-1 gate: the standard build + full test suite, then the durability /
-# corruption suite again under ASan+UBSan (torn-tail salvage, fault
-# injection, and parser-corruption paths are exactly where memory bugs
-# would hide).
+# Tier-1 gate, in three passes:
+#
+#   1. static analysis  — scripts/lint.sh (project linter + clang-tidy when
+#                         installed)
+#   2. standard build   — warnings-as-errors, full ctest suite (includes the
+#                         fuzz-corpus replay and the [[nodiscard]]
+#                         negative-compile check)
+#   3. sanitized build  — the FULL ctest suite again under ASan+UBSan, not
+#                         just the durability tests: parser, serializer, and
+#                         corpus-replay paths are exactly where memory bugs
+#                         would hide.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "=== tier 1: standard build + ctest ==="
-cmake -B build -S . >/dev/null
+echo "=== tier 1: static analysis (scripts/lint.sh) ==="
+scripts/lint.sh
+
+echo
+echo "=== tier 1: standard build + ctest (HYGRAPH_WERROR=ON) ==="
+cmake -B build -S . -DHYGRAPH_WERROR=ON >/dev/null
 cmake --build build -j
 (cd build && ctest --output-on-failure -j)
 
 echo
-echo "=== tier 1: durability suite under ASan+UBSan ==="
-cmake -B build-san -S . -DHYGRAPH_SANITIZE=address,undefined >/dev/null
-cmake --build build-san -j --target \
-  wal_test recovery_test fault_injection_test serialize_test
-for t in wal_test recovery_test fault_injection_test serialize_test; do
-  echo "--- $t (sanitized) ---"
-  ./build-san/tests/"$t"
-done
+echo "=== tier 1: full ctest suite under ASan+UBSan ==="
+cmake -B build-san -S . -DHYGRAPH_SANITIZE=address,undefined \
+  -DHYGRAPH_WERROR=ON >/dev/null
+cmake --build build-san -j
+(cd build-san && ctest --output-on-failure -j)
 
 echo
 echo "tier 1 OK"

@@ -126,8 +126,8 @@ FraudVerdict ToVerdict(std::set<graph::VertexId> flagged) {
 ts::Series Differenced(const ts::Series& series) {
   ts::Series out(series.name() + "_diff");
   for (size_t i = 1; i < series.size(); ++i) {
-    (void)out.Append(series.at(i).t,
-                     series.at(i).value - series.at(i - 1).value);
+    HYGRAPH_IGNORE_RESULT(out.Append(
+        series.at(i).t, series.at(i).value - series.at(i - 1).value));
   }
   return out;
 }

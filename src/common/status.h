@@ -33,7 +33,12 @@ const char* StatusCodeName(StatusCode code);
 /// Usage:
 ///   Status s = graph.AddEdge(src, dst);
 ///   if (!s.ok()) return s;
-class Status {
+///
+/// The class is [[nodiscard]]: a call site that ignores a returned Status
+/// fails to compile under -Werror=unused-result. Deliberate discards (best
+/// effort cleanup, failure paths that cannot themselves be reported) must go
+/// through HYGRAPH_IGNORE_RESULT so they stay grep-able and auditable.
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() : code_(StatusCode::kOk) {}
@@ -74,12 +79,12 @@ class Status {
     return Status(StatusCode::kIOError, std::move(msg));
   }
 
-  bool ok() const { return code_ == StatusCode::kOk; }
-  StatusCode code() const { return code_; }
-  const std::string& message() const { return message_; }
+  [[nodiscard]] bool ok() const { return code_ == StatusCode::kOk; }
+  [[nodiscard]] StatusCode code() const { return code_; }
+  [[nodiscard]] const std::string& message() const { return message_; }
 
   /// Renders as "OK" or "<CodeName>: <message>".
-  std::string ToString() const;
+  [[nodiscard]] std::string ToString() const;
 
   bool operator==(const Status& other) const {
     return code_ == other.code_ && message_ == other.message_;
@@ -95,9 +100,10 @@ class Status {
 
 /// A value-or-error result. Holds either a T (when status().ok()) or an
 /// error Status. Dereferencing a non-OK Result is a programming error
-/// (checked by assert in debug builds).
+/// (checked by assert in debug builds). [[nodiscard]] for the same reason
+/// as Status: an ignored Result silently swallows the error channel.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Implicit construction from a value: `return 42;`.
   Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
@@ -107,8 +113,8 @@ class Result {
     assert(!status_.ok() && "Result(Status) requires a non-OK status");
   }
 
-  bool ok() const { return status_.ok(); }
-  const Status& status() const { return status_; }
+  [[nodiscard]] bool ok() const { return status_.ok(); }
+  [[nodiscard]] const Status& status() const { return status_; }
 
   const T& value() const& {
     assert(ok());
@@ -147,5 +153,12 @@ class Result {
     ::hygraph::Status _hygraph_status__ = (expr);    \
     if (!_hygraph_status__.ok()) return _hygraph_status__; \
   } while (false)
+
+/// Explicitly discards a [[nodiscard]] Status / Result. Every use marks a
+/// call site where failure is acceptable by design (e.g. best-effort cleanup
+/// after an earlier error already chosen for reporting). Using the macro —
+/// rather than a bare void cast — keeps deliberate discards grep-able:
+/// `git grep HYGRAPH_IGNORE_RESULT` audits all of them.
+#define HYGRAPH_IGNORE_RESULT(expr) static_cast<void>(expr)
 
 #endif  // HYGRAPH_COMMON_STATUS_H_

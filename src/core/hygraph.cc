@@ -354,7 +354,8 @@ Result<Value> HyGraph::GetSubgraphProperty(SubgraphId s,
 }
 
 const PropertyMap& HyGraph::SubgraphProperties(SubgraphId s) const {
-  static const PropertyMap* kEmpty = new PropertyMap();
+  static const PropertyMap* kEmpty =
+      new PropertyMap();  // NOLINT(hygraph-naked-new): leaked singleton
   auto it = subgraphs_.find(s);
   return it == subgraphs_.end() ? *kEmpty : it->second.properties;
 }

@@ -7,7 +7,8 @@ namespace hygraph::graph {
 namespace {
 
 const std::vector<EdgeId>& EmptyEdgeList() {
-  static const std::vector<EdgeId>* kEmpty = new std::vector<EdgeId>();
+  static const std::vector<EdgeId>* kEmpty =
+      new std::vector<EdgeId>();  // NOLINT(hygraph-naked-new): leaked singleton
   return *kEmpty;
 }
 
@@ -82,9 +83,9 @@ Status PropertyGraph::RemoveVertex(VertexId v) {
   VertexSlot& slot = vertices_[v];
   // Copy: RemoveEdge mutates the adjacency lists we are iterating.
   const std::vector<EdgeId> out = slot.out;
-  for (EdgeId e : out) (void)RemoveEdge(e);
+  for (EdgeId e : out) HYGRAPH_IGNORE_RESULT(RemoveEdge(e));
   const std::vector<EdgeId> in = slot.in;
-  for (EdgeId e : in) (void)RemoveEdge(e);
+  for (EdgeId e : in) HYGRAPH_IGNORE_RESULT(RemoveEdge(e));
   for (const std::string& label : slot.vertex.labels) {
     auto it = label_index_.find(label);
     if (it != label_index_.end()) {

@@ -1,6 +1,7 @@
 #include "query/lexer.h"
 
 #include <cctype>
+#include <cerrno>
 #include <cstdlib>
 #include <unordered_set>
 
@@ -12,6 +13,7 @@ namespace {
 
 bool IsKeyword(const std::string& upper) {
   static const std::unordered_set<std::string>* kKeywords =
+      // NOLINTNEXTLINE(hygraph-naked-new): leaked singleton
       new std::unordered_set<std::string>{
           "MATCH", "WHERE", "RETURN", "ORDER", "BY",   "LIMIT", "AS",
           "AND",   "OR",    "NOT",    "ASC",   "DESC", "TRUE",  "FALSE",
@@ -81,7 +83,15 @@ Result<std::vector<Token>> Tokenize(const std::string& text) {
         t.double_value = std::strtod(num.c_str(), nullptr);
       } else {
         t.kind = TokenKind::kInt;
+        errno = 0;
         t.int_value = std::strtoll(num.c_str(), nullptr, 10);
+        if (errno == ERANGE) {
+          // strtoll saturates to LLONG_MAX on overflow; surfacing that as a
+          // parse error beats silently evaluating a different number.
+          return Status::InvalidArgument("integer literal '" + num +
+                                         "' out of range at offset " +
+                                         std::to_string(start));
+        }
       }
       tokens.push_back(std::move(t));
       i = j;

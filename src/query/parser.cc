@@ -8,6 +8,12 @@ namespace hygraph::query {
 
 namespace {
 
+/// Hard ceiling on recursive-descent nesting. Without it, inputs like a
+/// megabyte of '(' or of 'NOT ' recurse once per token and overflow the
+/// stack (found by fuzz_hgql_parse); 200 levels is far beyond any
+/// legitimate query while keeping worst-case stack use small.
+constexpr int kMaxParseDepth = 200;
+
 /// Recursive-descent parser over the token stream. Expression precedence
 /// (loosest to tightest): OR, AND, NOT, comparison, additive,
 /// multiplicative, unary minus, primary.
@@ -128,6 +134,25 @@ class Parser {
                                    std::to_string(Peek().position) + ")");
   }
 
+  /// Counts live recursive productions; every self-recursive entry point
+  /// (expressions, unary chains, literals) takes one before descending.
+  class DepthGuard {
+   public:
+    explicit DepthGuard(Parser* parser) : parser_(parser) { ++parser_->depth_; }
+    ~DepthGuard() { --parser_->depth_; }
+    DepthGuard(const DepthGuard&) = delete;
+    DepthGuard& operator=(const DepthGuard&) = delete;
+
+   private:
+    Parser* parser_;
+  };
+
+  Status CheckDepth() const {
+    if (depth_ < kMaxParseDepth) return Status::OK();
+    return Fail("query nesting exceeds the maximum depth of " +
+                std::to_string(kMaxParseDepth));
+  }
+
   // ---- patterns -------------------------------------------------------------
 
   Result<Value> ParseLiteralValue() {
@@ -149,6 +174,8 @@ class Parser {
         return v;
       }
       case TokenKind::kMinus: {
+        HYGRAPH_RETURN_IF_ERROR(CheckDepth());
+        DepthGuard depth(this);
         Advance();
         auto inner = ParseLiteralValue();
         if (!inner.ok()) return inner.status();
@@ -266,7 +293,11 @@ class Parser {
 
   // ---- expressions ------------------------------------------------------------
 
-  Result<ExprPtr> ParseExpr() { return ParseOr(); }
+  Result<ExprPtr> ParseExpr() {
+    HYGRAPH_RETURN_IF_ERROR(CheckDepth());
+    DepthGuard depth(this);
+    return ParseOr();
+  }
 
   Result<ExprPtr> ParseOr() {
     auto lhs = ParseAnd();
@@ -292,6 +323,8 @@ class Parser {
 
   Result<ExprPtr> ParseNot() {
     if (AcceptKeyword("NOT")) {
+      HYGRAPH_RETURN_IF_ERROR(CheckDepth());
+      DepthGuard depth(this);
       auto operand = ParseNot();
       if (!operand.ok()) return operand;
       return Expr::Unary(UnaryOp::kNot, std::move(*operand));
@@ -379,6 +412,8 @@ class Parser {
 
   Result<ExprPtr> ParseUnary() {
     if (AcceptKind(TokenKind::kMinus)) {
+      HYGRAPH_RETURN_IF_ERROR(CheckDepth());
+      DepthGuard depth(this);
       auto operand = ParseUnary();
       if (!operand.ok()) return operand;
       return Expr::Unary(UnaryOp::kNeg, std::move(*operand));
@@ -453,6 +488,7 @@ class Parser {
 
   std::vector<Token> tokens_;
   size_t pos_ = 0;
+  int depth_ = 0;
 };
 
 }  // namespace

@@ -320,7 +320,7 @@ DurableStore::DurableStore(Env* env, std::string dir,
       options_(options) {}
 
 DurableStore::~DurableStore() {
-  if (wal_ != nullptr) (void)wal_->Close();
+  if (wal_ != nullptr) HYGRAPH_IGNORE_RESULT(wal_->Close());
 }
 
 Status DurableStore::Open() {

@@ -144,7 +144,8 @@ class PosixEnv final : public Env {
 }  // namespace
 
 Env* Env::Default() {
-  static PosixEnv* env = new PosixEnv();  // intentionally leaked singleton
+  static PosixEnv* env =
+      new PosixEnv();  // NOLINT(hygraph-naked-new): leaked singleton
   return env;
 }
 

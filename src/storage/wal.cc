@@ -40,6 +40,7 @@ Result<std::unique_ptr<WalWriter>> WalWriter::Create(Env* env,
                                                      const std::string& path) {
   std::unique_ptr<WritableFile> file;
   HYGRAPH_RETURN_IF_ERROR(env->NewWritableFile(path, &file));
+  // NOLINTNEXTLINE(hygraph-naked-new): private ctor, wrapped immediately.
   return std::unique_ptr<WalWriter>(new WalWriter(std::move(file)));
 }
 

@@ -22,8 +22,8 @@ Snapshot TakeSnapshot(const TemporalPropertyGraph& tpg, Timestamp t) {
         dst == snap.tpg_to_snapshot.end()) {
       continue;  // endpoint invalid at t; integrity normally prevents this
     }
-    (void)snap.graph.AddEdge(src->second, dst->second, edge.label,
-                             edge.properties);
+    HYGRAPH_IGNORE_RESULT(snap.graph.AddEdge(
+        src->second, dst->second, edge.label, edge.properties));
   }
   return snap;
 }

@@ -156,7 +156,7 @@ Result<Series> SlidingAggregate(const Series& series, const Interval& interval,
     if (state.count > 0) {
       auto v = state.Finalize(kind);
       if (!v.ok()) return v.status();
-      (void)out.Append(w, *v);
+      HYGRAPH_IGNORE_RESULT(out.Append(w, *v));
     }
   }
   return out;

@@ -46,7 +46,7 @@ Result<double> CrossCorrelation(const Series& a, const Series& b,
   // Shift b's time axis by -lag so that b(t + lag) aligns with a(t).
   Series shifted(b.name());
   for (const Sample& s : b.samples()) {
-    (void)shifted.Append(s.t - lag_ms, s.value);
+    HYGRAPH_IGNORE_RESULT(shifted.Append(s.t - lag_ms, s.value));
   }
   return Correlation(a, shifted, min_overlap);
 }
@@ -86,7 +86,7 @@ Result<Series> SlidingCorrelation(const Series& a, const Series& b,
   for (Timestamp w = overlap.start; w < overlap.end; w += step) {
     const Interval window{w, w + width};
     auto c = Correlation(a.Slice(window), b.Slice(window), min_overlap);
-    if (c.ok()) (void)out.Append(w, *c);
+    if (c.ok()) HYGRAPH_IGNORE_RESULT(out.Append(w, *c));
   }
   return out;
 }

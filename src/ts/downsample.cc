@@ -33,8 +33,8 @@ Result<Series> DownsampleMinMax(const Series& series, Duration bucket) {
     if (!any) continue;
     const size_t a = std::min(min_i, max_i);
     const size_t b = std::max(min_i, max_i);
-    (void)out.Append(series.at(a).t, series.at(a).value);
-    if (b != a) (void)out.Append(series.at(b).t, series.at(b).value);
+    HYGRAPH_IGNORE_RESULT(out.Append(series.at(a).t, series.at(a).value));
+    if (b != a) HYGRAPH_IGNORE_RESULT(out.Append(series.at(b).t, series.at(b).value));
   }
   return out;
 }
@@ -49,7 +49,7 @@ Result<Series> DownsampleLttb(const Series& series, size_t target_points) {
   const double bucket_size =
       static_cast<double>(n - 2) / static_cast<double>(target_points - 2);
   // Always keep the first point.
-  (void)out.Append(series.front().t, series.front().value);
+  HYGRAPH_IGNORE_RESULT(out.Append(series.front().t, series.front().value));
   size_t prev_selected = 0;
   for (size_t b = 0; b < target_points - 2; ++b) {
     // Current bucket [lo, hi).
@@ -88,11 +88,11 @@ Result<Series> DownsampleLttb(const Series& series, size_t target_points) {
         best_i = i;
       }
     }
-    (void)out.Append(series.at(best_i).t, series.at(best_i).value);
+    HYGRAPH_IGNORE_RESULT(out.Append(series.at(best_i).t, series.at(best_i).value));
     prev_selected = best_i;
   }
   // Always keep the last point.
-  (void)out.Append(series.back().t, series.back().value);
+  HYGRAPH_IGNORE_RESULT(out.Append(series.back().t, series.back().value));
   return out;
 }
 

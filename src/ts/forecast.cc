@@ -15,7 +15,7 @@ Result<Series> EwmaSmooth(const Series& series, double alpha) {
   for (size_t i = 0; i < series.size(); ++i) {
     const Sample& s = series.at(i);
     level = (i == 0) ? s.value : alpha * s.value + (1.0 - alpha) * level;
-    (void)out.Append(s.t, level);
+    HYGRAPH_IGNORE_RESULT(out.Append(s.t, level));
   }
   return out;
 }
@@ -39,8 +39,9 @@ Result<Series> HoltForecast(const Series& series, double alpha, double beta,
   Series out(series.name() + "_holt");
   const Timestamp last = series.back().t;
   for (size_t h = 1; h <= horizon; ++h) {
-    (void)out.Append(last + static_cast<Duration>(h) * step,
-                     level + static_cast<double>(h) * trend);
+    HYGRAPH_IGNORE_RESULT(out.Append(
+        last + static_cast<Duration>(h) * step,
+        level + static_cast<double>(h) * trend));
   }
   return out;
 }
@@ -59,8 +60,8 @@ Result<Series> SeasonalNaiveForecast(const Series& series, size_t season,
     // Index of the observation one (or more) whole seasons before t+h.
     const size_t back = ((h - 1) % season) + 1;
     const size_t idx = n - season + back - 1;
-    (void)out.Append(last + static_cast<Duration>(h) * step,
-                     series.at(idx).value);
+    HYGRAPH_IGNORE_RESULT(out.Append(
+        last + static_cast<Duration>(h) * step, series.at(idx).value));
   }
   return out;
 }

@@ -68,7 +68,7 @@ Series MultiSeries::VariableByIndex(size_t var_idx) const {
                          : name_ + "." + variables_[var_idx]);
   for (size_t i = 0; i < times_.size(); ++i) {
     // Time axis is strictly increasing by construction, so Append succeeds.
-    (void)s.Append(times_[i], columns_[var_idx][i]);
+    HYGRAPH_IGNORE_RESULT(s.Append(times_[i], columns_[var_idx][i]));
   }
   return s;
 }

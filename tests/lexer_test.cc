@@ -119,5 +119,22 @@ TEST(LexerTest, EmptyInputYieldsEnd) {
   EXPECT_EQ((*tokens)[0].kind, TokenKind::kEnd);
 }
 
+TEST(LexerTest, IntegerLiteralOverflowIsRejected) {
+  // Fuzzer regression: strtoll used to saturate to LLONG_MAX silently, so
+  // the query evaluated a different number than written. Out-of-range
+  // integers are now a lex error (fuzz/corpus/hgql_parse/int_overflow).
+  auto tokens = Tokenize("99999999999999999999999");
+  ASSERT_FALSE(tokens.ok());
+  EXPECT_EQ(tokens.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(tokens.status().message().find("out of range"),
+            std::string::npos);
+}
+
+TEST(LexerTest, MaxInt64StillLexes) {
+  auto tokens = Tokenize("9223372036854775807");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].int_value, 9223372036854775807LL);
+}
+
 }  // namespace
 }  // namespace hygraph::query

@@ -1,0 +1,23 @@
+// Negative-compile probe: this file must NOT compile under
+// -Werror=unused-result. tests/CMakeLists.txt registers it as a ctest case
+// with WILL_FAIL, invoking the compiler directly — if [[nodiscard]] is ever
+// dropped from Status or Result<T>, the snippet starts compiling and the
+// test turns red. It is never linked into anything.
+#include "common/status.h"
+
+namespace {
+
+hygraph::Status MakeStatus() { return hygraph::Status::Internal("dropped"); }
+hygraph::Result<int> MakeResult() { return 7; }
+
+void DiscardsBoth() {
+  MakeStatus();  // discarded Status: must be a compile error
+  MakeResult();  // discarded Result<T>: must be a compile error
+}
+
+}  // namespace
+
+int main() {
+  DiscardsBoth();
+  return 0;
+}

@@ -165,5 +165,67 @@ TEST(ParserTest, AnonymousNodes) {
   EXPECT_TRUE(q->paths[0].nodes[1].label.empty());
 }
 
+// ---- fuzzer-regression suite: hostile nesting must error, not crash --------
+//
+// Each shape below previously recursed once per token; a large enough input
+// overflowed the stack (found by fuzz_hgql_parse, mirrored in
+// fuzz/corpus/hgql_parse/). The parser now enforces a nesting ceiling and
+// reports kInvalidArgument through the normal Status channel.
+
+std::string Repeat(const std::string& unit, int times) {
+  std::string out;
+  for (int i = 0; i < times; ++i) out += unit;
+  return out;
+}
+
+TEST(ParserDepthTest, DeeplyNestedParensRejected) {
+  const std::string q =
+      "MATCH (n) RETURN " + Repeat("(", 5000) + "1" + Repeat(")", 5000);
+  auto result = Parse(q);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(result.status().message().find("nesting"), std::string::npos);
+}
+
+TEST(ParserDepthTest, DeepNotChainRejected) {
+  const std::string q =
+      "MATCH (n) WHERE " + Repeat("NOT ", 5000) + "TRUE RETURN n";
+  auto result = Parse(q);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ParserDepthTest, DeepUnaryMinusChainRejected) {
+  const std::string q = "MATCH (n) RETURN " + Repeat("-", 5000) + "1";
+  auto result = Parse(q);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ParserDepthTest, DeepNegativeLiteralChainRejected) {
+  // The literal parser inside property maps recurses for '-' too.
+  const std::string q =
+      "MATCH (n {k: " + Repeat("-", 5000) + "1}) RETURN n";
+  auto result = Parse(q);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ParserDepthTest, ExpressionEntryPointAlsoGuarded) {
+  auto result = ParseExpression(Repeat("(", 5000) + "1" + Repeat(")", 5000));
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ParserDepthTest, ReasonableNestingStillParses) {
+  // The ceiling must be far above real queries: 50 nested parens is fine.
+  auto result =
+      ParseExpression(Repeat("(", 50) + "1 + 2" + Repeat(")", 50));
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  auto deep_not = Parse(
+      "MATCH (n) WHERE " + Repeat("NOT ", 50) + "TRUE RETURN n");
+  ASSERT_TRUE(deep_not.ok()) << deep_not.status().ToString();
+}
+
 }  // namespace
 }  // namespace hygraph::query

@@ -1,5 +1,10 @@
 #include "common/status.h"
 
+#include <string>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
 #include <gtest/gtest.h>
 
 namespace hygraph {
@@ -89,6 +94,86 @@ TEST(ResultTest, ReturnIfErrorMacro) {
   Status s = FailsThenPropagates(true);
   EXPECT_EQ(s.code(), StatusCode::kInternal);
   EXPECT_EQ(s.message(), "inner");
+}
+
+TEST(StatusTest, StatusCodeNameCoversEveryEnumValue) {
+  // Exhaustive: if a new StatusCode is added without a name, this fails
+  // (either by size mismatch below or by hitting the fallback string).
+  const std::vector<std::pair<StatusCode, const char*>> names = {
+      {StatusCode::kOk, "OK"},
+      {StatusCode::kInvalidArgument, "InvalidArgument"},
+      {StatusCode::kNotFound, "NotFound"},
+      {StatusCode::kAlreadyExists, "AlreadyExists"},
+      {StatusCode::kOutOfRange, "OutOfRange"},
+      {StatusCode::kFailedPrecondition, "FailedPrecondition"},
+      {StatusCode::kCorruption, "Corruption"},
+      {StatusCode::kUnimplemented, "Unimplemented"},
+      {StatusCode::kInternal, "Internal"},
+      {StatusCode::kIOError, "IOError"},
+  };
+  // kIOError is the last enumerator; the table must reach it.
+  EXPECT_EQ(static_cast<size_t>(StatusCode::kIOError) + 1, names.size());
+  for (const auto& [code, name] : names) {
+    EXPECT_STREQ(StatusCodeName(code), name);
+  }
+}
+
+TEST(StatusTest, IsNodiscard) {
+  // Compile-time half of the [[nodiscard]] contract; the runtime half is
+  // the status_nodiscard_negative_compile ctest case, which proves a
+  // DISCARDED Status fails to compile.
+  static_assert(
+      std::is_same_v<decltype(Status::OK()), Status>,
+      "factory returns by value, so [[nodiscard]] on the class applies");
+  Status s = Status::OK();  // assigning is the blessed way to consume one
+  EXPECT_TRUE(s.ok());
+  // The explicit-discard escape hatch must compile without warnings.
+  HYGRAPH_IGNORE_RESULT(Status::Internal("deliberately dropped"));
+  HYGRAPH_IGNORE_RESULT(Result<int>(7));
+}
+
+TEST(ResultTest, MoveConstructionTransfersPayload) {
+  Result<std::string> source(std::string("payload"));
+  Result<std::string> moved(std::move(source));
+  ASSERT_TRUE(moved.ok());
+  EXPECT_EQ(*moved, "payload");
+}
+
+TEST(ResultTest, MoveAssignmentTransfersPayloadAndStatus) {
+  Result<std::string> ok_result(std::string("kept"));
+  Result<std::string> err_result(Status::NotFound("gone"));
+  ok_result = std::move(err_result);
+  EXPECT_FALSE(ok_result.ok());
+  EXPECT_EQ(ok_result.status().code(), StatusCode::kNotFound);
+
+  Result<std::string> refill(std::string("fresh"));
+  Result<std::string> target(Status::Internal("old error"));
+  target = std::move(refill);
+  ASSERT_TRUE(target.ok());
+  EXPECT_EQ(*target, "fresh");
+}
+
+TEST(ResultTest, RvalueValueLeavesMovedFromPayload) {
+  Result<std::vector<int>> r(std::vector<int>{1, 2, 3});
+  std::vector<int> taken = std::move(r).value();
+  EXPECT_EQ(taken.size(), 3u);
+}
+
+TEST(ResultTest, ValueOrOnErrorReturnsFallbackByValue) {
+  Result<std::string> err(Status::OutOfRange("x"));
+  std::string fallback = "fb";
+  EXPECT_EQ(err.value_or(fallback), "fb");
+  // The fallback is taken by value: the caller's copy is untouched.
+  EXPECT_EQ(fallback, "fb");
+}
+
+TEST(ResultTest, ConstAccessors) {
+  const Result<int> r(9);
+  EXPECT_TRUE(r.ok());
+  EXPECT_EQ(*r, 9);
+  EXPECT_EQ(r.value(), 9);
+  const Result<std::string> s(std::string("abc"));
+  EXPECT_EQ(s->size(), 3u);
 }
 
 }  // namespace
