@@ -8,13 +8,14 @@
 
 namespace hygraph::fuzz {
 
-/// The three untrusted-byte frontiers of the system, one harness each.
+/// The untrusted-byte frontiers of the system, one harness each.
 /// Every function must be total over arbitrary bytes: it either accepts the
 /// input or rejects it through the Status channel — any crash, hang,
 /// sanitizer report, or failed HYGRAPH_FUZZ_CHECK is a bug.
 ///
 /// The same functions back both the libFuzzer targets (fuzz_wal_reader,
-/// fuzz_serialize_load, fuzz_hgql_parse; built under -DHYGRAPH_FUZZ=ON) and
+/// fuzz_serialize_load, fuzz_hgql_parse, fuzz_chunk_codec; built under
+/// -DHYGRAPH_FUZZ=ON) and
 /// the deterministic corpus replay in tests/fuzz_corpus_test.cc, so the
 /// harnesses cannot rot independently of the test suite.
 
@@ -27,6 +28,10 @@ void FuzzSerializeLoad(const uint8_t* data, size_t size);
 
 /// query::Tokenize / Parse / ParseExpression.
 void FuzzHgqlParse(const uint8_t* data, size_t size);
+
+/// ts::DecodeChunk / ChunkDecoder over the sealed-chunk codec bytes, plus
+/// an encode/decode fixed-point check on accepted inputs.
+void FuzzChunkCodec(const uint8_t* data, size_t size);
 
 }  // namespace hygraph::fuzz
 

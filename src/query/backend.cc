@@ -1,5 +1,7 @@
 #include "query/backend.h"
 
+#include "ts/hypertable.h"
+
 namespace hygraph::query {
 
 QueryBackend::~QueryBackend() = default;
@@ -38,6 +40,38 @@ Result<ts::Series> QueryBackend::EdgeSeriesWindowAggregate(
   if (!series.ok()) return series.status();
   return ts::WindowAggregate(*series, interval.Intersect(series->TimeSpan()),
                              width, kind);
+}
+
+namespace {
+
+// Shares ScanPredicate's comparison semantics so every engine counts the
+// same samples (bounded predicates never select NaN).
+size_t CountInRange(const ts::Series& series, double min_value,
+                    double max_value) {
+  const ts::ScanPredicate predicate{min_value, max_value};
+  size_t n = 0;
+  for (const ts::Sample& s : series.samples()) {
+    if (predicate.Matches(s.value)) ++n;
+  }
+  return n;
+}
+
+}  // namespace
+
+Result<size_t> QueryBackend::VertexSeriesCountInRange(
+    graph::VertexId v, const std::string& key, const Interval& interval,
+    double min_value, double max_value) const {
+  auto series = VertexSeriesRange(v, key, interval);
+  if (!series.ok()) return series.status();
+  return CountInRange(*series, min_value, max_value);
+}
+
+Result<size_t> QueryBackend::EdgeSeriesCountInRange(
+    graph::EdgeId e, const std::string& key, const Interval& interval,
+    double min_value, double max_value) const {
+  auto series = EdgeSeriesRange(e, key, interval);
+  if (!series.ok()) return series.status();
+  return CountInRange(*series, min_value, max_value);
 }
 
 std::vector<std::string> QueryBackend::VertexSeriesKeys(

@@ -98,6 +98,23 @@ class QueryBackend {
   virtual Result<ts::Series> EdgeSeriesWindowAggregate(
       graph::EdgeId e, const std::string& key, const Interval& interval,
       Duration width, ts::AggKind kind) const;
+
+  /// Number of samples of (vertex, key) inside `interval` whose value lies
+  /// in [min_value, max_value] — the pushed-down series-predicate primitive
+  /// behind HGQL's ts_count_between (the Q8 query shape). The default
+  /// materializes the range and counts; the hypertable overrides with
+  /// zone-map-assisted counting that can skip or count whole compressed
+  /// chunks without decoding them.
+  virtual Result<size_t> VertexSeriesCountInRange(graph::VertexId v,
+                                                  const std::string& key,
+                                                  const Interval& interval,
+                                                  double min_value,
+                                                  double max_value) const;
+  virtual Result<size_t> EdgeSeriesCountInRange(graph::EdgeId e,
+                                                const std::string& key,
+                                                const Interval& interval,
+                                                double min_value,
+                                                double max_value) const;
 };
 
 }  // namespace hygraph::query

@@ -181,10 +181,20 @@ Result<ts::Series> Evaluator::SeriesRangeArg(const Expr& prop_ref,
   if (bound == bindings.end()) {
     return Status::InvalidArgument("unbound variable '" + prop_ref.var + "'");
   }
-  if (bound->second.is_edge) {
-    return backend_->EdgeSeriesRange(bound->second.id, prop_ref.key, interval);
-  }
-  return backend_->VertexSeriesRange(bound->second.id, prop_ref.key, interval);
+  const RangeKey cache_key{bound->second.is_edge, bound->second.id,
+                           prop_ref.key, interval.start, interval.end};
+  auto hit = range_cache_.find(cache_key);
+  if (hit != range_cache_.end()) return hit->second;
+  auto series =
+      bound->second.is_edge
+          ? backend_->EdgeSeriesRange(bound->second.id, prop_ref.key, interval)
+          : backend_->VertexSeriesRange(bound->second.id, prop_ref.key,
+                                        interval);
+  if (!series.ok()) return series;
+  constexpr size_t kRangeCacheCap = 64;
+  if (range_cache_.size() >= kRangeCacheCap) range_cache_.clear();
+  range_cache_.emplace(cache_key, *series);
+  return series;
 }
 
 Result<double> Evaluator::SeriesAggregateArg(const Expr& prop_ref,
@@ -262,6 +272,44 @@ Result<Value> Evaluator::EvalCall(
     auto corr = ts::Correlation(*a, *b);
     if (!corr.ok()) return Value();  // insufficient overlap -> null
     return Value(*corr);
+  }
+
+  if (name == "ts_count_between") {
+    // ts_count_between(x.key, t1, t2, lo, hi): pushed down whole so the
+    // hypertable can skip or count compressed chunks from zone maps.
+    if (expr.args.size() != 5) return Status(ArityError(name, 5, expr.args.size()));
+    auto interval = interval_from_args(1);
+    if (!interval.ok()) return interval.status();
+    auto lo = Eval(*expr.args[3], bindings, aliases);
+    if (!lo.ok()) return lo;
+    auto hi = Eval(*expr.args[4], bindings, aliases);
+    if (!hi.ok()) return hi;
+    auto lod = lo->ToDouble();
+    if (!lod.ok()) return lod.status();
+    auto hid = hi->ToDouble();
+    if (!hid.ok()) return hid.status();
+    const Expr& prop_ref = *expr.args[0];
+    if (prop_ref.kind != Expr::Kind::kPropertyRef) {
+      return Status::InvalidArgument(
+          "ts_count_between takes a property reference (var.key) as the "
+          "series argument");
+    }
+    auto bound = bindings.find(prop_ref.var);
+    if (bound == bindings.end()) {
+      return Status::InvalidArgument("unbound variable '" + prop_ref.var +
+                                     "'");
+    }
+    auto n = bound->second.is_edge
+                 ? backend_->EdgeSeriesCountInRange(
+                       bound->second.id, prop_ref.key, *interval, *lod, *hid)
+                 : backend_->VertexSeriesCountInRange(
+                       bound->second.id, prop_ref.key, *interval, *lod, *hid);
+    if (!n.ok()) {
+      // Missing series counts like an empty one, matching ts_count.
+      if (n.status().code() == StatusCode::kNotFound) return Value(int64_t{0});
+      return n.status();
+    }
+    return Value(static_cast<int64_t>(*n));
   }
 
   if (name == "ts_window_agg") {

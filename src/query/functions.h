@@ -1,8 +1,10 @@
 #ifndef HYGRAPH_QUERY_FUNCTIONS_H_
 #define HYGRAPH_QUERY_FUNCTIONS_H_
 
+#include <cstdint>
 #include <map>
 #include <string>
+#include <tuple>
 
 #include "common/status.h"
 #include "common/value.h"
@@ -30,6 +32,9 @@ using Bindings = std::map<std::string, Binding>;
 ///       (x.key, t_start, t_end)        range aggregate over a series
 ///   ts_corr(a.key, b.key, t_start, t_end)
 ///       Pearson correlation of two series over a range
+///   ts_count_between(x.key, t_start, t_end, lo, hi)
+///       number of samples in the range with lo <= value <= hi; pushed
+///       down to the backend so the hypertable can answer from zone maps
 ///   ts_window_agg(x.key, t_start, t_end, width_ms, 'inner', 'outer')
 ///       tumbling-window aggregate `inner`, reduced across windows by
 ///       `outer` (e.g. daily-average peak = ('avg', 'max'))
@@ -67,6 +72,15 @@ class Evaluator {
                                     const Interval& interval) const;
 
   const QueryBackend* backend_;
+
+  /// Memo for SeriesRangeArg, keyed (is_edge, id, key, start, end). An
+  /// Evaluator lives for one ExecutePlan, where repeated ts_* calls on the
+  /// same (entity, key, range) are common — e.g. a correlation query pins
+  /// one entity and re-reads its range on every row. Bounded: overflow
+  /// clears the whole cache rather than evicting.
+  using RangeKey =
+      std::tuple<bool, uint64_t, std::string, Timestamp, Timestamp>;
+  mutable std::map<RangeKey, ts::Series> range_cache_;
 };
 
 }  // namespace hygraph::query

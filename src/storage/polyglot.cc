@@ -110,6 +110,24 @@ Result<double> PolyglotStore::EdgeSeriesAggregate(graph::EdgeId e,
   return series_.Aggregate(*sid, interval, kind);
 }
 
+Result<size_t> PolyglotStore::VertexSeriesCountInRange(
+    graph::VertexId v, const std::string& key, const Interval& interval,
+    double min_value, double max_value) const {
+  auto sid = Resolve(vertex_series_, v, key);
+  if (!sid.ok()) return size_t{0};  // missing series counts like an empty one
+  return series_.CountMatching(*sid, interval,
+                               ts::ScanPredicate{min_value, max_value});
+}
+
+Result<size_t> PolyglotStore::EdgeSeriesCountInRange(
+    graph::EdgeId e, const std::string& key, const Interval& interval,
+    double min_value, double max_value) const {
+  auto sid = Resolve(edge_series_, e, key);
+  if (!sid.ok()) return size_t{0};
+  return series_.CountMatching(*sid, interval,
+                               ts::ScanPredicate{min_value, max_value});
+}
+
 Result<ts::Series> PolyglotStore::VertexSeriesWindowAggregate(
     graph::VertexId v, const std::string& key, const Interval& interval,
     Duration width, ts::AggKind kind) const {

@@ -60,10 +60,30 @@ class PolyglotStore final : public query::QueryBackend {
       graph::EdgeId e, const std::string& key, const Interval& interval,
       Duration width, ts::AggKind kind) const override;
 
+  /// Pushed-down series predicate: answered by the hypertable's
+  /// zone-map-assisted CountMatching, which skips (or counts) whole
+  /// compressed chunks without decoding them.
+  Result<size_t> VertexSeriesCountInRange(graph::VertexId v,
+                                          const std::string& key,
+                                          const Interval& interval,
+                                          double min_value,
+                                          double max_value) const override;
+  Result<size_t> EdgeSeriesCountInRange(graph::EdgeId e,
+                                        const std::string& key,
+                                        const Interval& interval,
+                                        double min_value,
+                                        double max_value) const override;
+
   /// Series keys come straight from the (entity, key) → SeriesId mapping —
   /// the polyglot glue knows its schema, unlike the all-in-graph layout.
   std::vector<std::string> VertexSeriesKeys(graph::VertexId v) const override;
   std::vector<std::string> EdgeSeriesKeys(graph::EdgeId e) const override;
+
+  /// Sample-data footprint of the underlying hypertable (hot vectors vs
+  /// sealed compressed bytes).
+  ts::HypertableMemory SeriesMemoryUsage() const {
+    return series_.MemoryUsage();
+  }
 
   /// The underlying time-series store (work counters for tests/benches).
   const ts::HypertableStore& series_store() const { return series_; }

@@ -1,16 +1,13 @@
 #include "ts/hypertable.h"
 
 #include <algorithm>
+#include <cmath>
 
 namespace hygraph::ts {
 
-namespace {
-
-Status NoSuchSeries(SeriesId id) {
+Status HypertableStore::NoSuchSeries(SeriesId id) {
   return Status::NotFound("no series with id " + std::to_string(id));
 }
-
-}  // namespace
 
 HypertableStore::HypertableStore(HypertableOptions options)
     : options_(options) {
@@ -30,31 +27,20 @@ Timestamp HypertableStore::ChunkStartFor(Timestamp t) const {
   return q * d;
 }
 
-HypertableStore::Chunk& HypertableStore::ChunkFor(StoredSeries& s,
-                                                  Timestamp t) {
+size_t HypertableStore::ChunkIndexFor(StoredSeries& s, Timestamp t) {
   const Timestamp start = ChunkStartFor(t);
   auto it = std::lower_bound(
       s.chunks.begin(), s.chunks.end(), start,
       [](const Chunk& c, Timestamp st) { return c.start < st; });
-  if (it != s.chunks.end() && it->start == start) return *it;
-  it = s.chunks.insert(it, Chunk{});
-  it->start = start;
-  return *it;
-}
-
-const AggState& HypertableStore::ChunkAggregate(const Chunk& chunk) {
-  if (chunk.agg_dirty) {
-    chunk.agg = AggState{};
-    for (const Sample& s : chunk.samples) chunk.agg.Add(s);
-    chunk.agg_dirty = false;
+  if (it == s.chunks.end() || it->start != start) {
+    it = s.chunks.insert(it, Chunk{});
+    it->start = start;
   }
-  return chunk.agg;
+  return static_cast<size_t>(it - s.chunks.begin());
 }
 
-Status HypertableStore::Insert(SeriesId id, Timestamp t, double value) {
-  auto it = series_.find(id);
-  if (it == series_.end()) return NoSuchSeries(id);
-  Chunk& chunk = ChunkFor(it->second, t);
+void HypertableStore::InsertIntoChunk(Chunk& chunk, Timestamp t,
+                                      double value) {
   auto pos = std::lower_bound(
       chunk.samples.begin(), chunk.samples.end(), t,
       [](const Sample& s, Timestamp ts) { return s.t < ts; });
@@ -64,6 +50,102 @@ Status HypertableStore::Insert(SeriesId id, Timestamp t, double value) {
     chunk.samples.insert(pos, Sample{t, value});
   }
   chunk.agg_dirty = true;
+}
+
+void HypertableStore::Seal(Chunk& chunk) {
+  if (chunk.sealed() || chunk.samples.empty()) return;
+  // One pass refreshes the aggregate cache and builds the zone map, so a
+  // sealed chunk always answers covered aggregates without decoding.
+  chunk.agg = AggState{};
+  double min_v = std::numeric_limits<double>::infinity();
+  double max_v = -std::numeric_limits<double>::infinity();
+  bool all_finite = true;
+  for (const Sample& s : chunk.samples) {
+    chunk.agg.Add(s);
+    if (std::isfinite(s.value)) {
+      min_v = std::min(min_v, s.value);
+      max_v = std::max(max_v, s.value);
+    } else {
+      all_finite = false;
+      if (!std::isnan(s.value)) {  // ±inf participates in value ordering
+        min_v = std::min(min_v, s.value);
+        max_v = std::max(max_v, s.value);
+      }
+    }
+  }
+  chunk.agg_dirty = false;
+  chunk.min_t = chunk.samples.front().t;
+  chunk.max_t = chunk.samples.back().t;
+  chunk.min_v = min_v;
+  chunk.max_v = max_v;
+  chunk.all_finite = all_finite;
+  chunk.encoded = EncodeChunk(chunk.samples);
+  chunk.encoded.shrink_to_fit();
+  chunk.sealed_count = chunk.samples.size();
+  ++stats_.chunks_sealed;
+  stats_.bytes_raw += chunk.samples.size() * sizeof(Sample);
+  stats_.bytes_compressed += chunk.encoded.size();
+  chunk.samples = std::vector<Sample>{};  // release the hot buffer
+}
+
+Status HypertableStore::Unseal(Chunk& chunk) {
+  if (!chunk.sealed()) return Status::OK();
+  auto samples = DecodeChunk(chunk.encoded);
+  if (!samples.ok()) {
+    return Status::Internal("sealed chunk failed to decode: " +
+                            samples.status().message());
+  }
+  chunk.samples = std::move(*samples);
+  chunk.encoded = std::string{};
+  chunk.sealed_count = 0;
+  ++stats_.chunks_unsealed;
+  return Status::OK();
+}
+
+void HypertableStore::SealColdChunks(StoredSeries& s) {
+  if (!options_.compress_sealed_chunks || s.chunks.empty()) return;
+  for (size_t i = 0; i + 1 < s.chunks.size(); ++i) {
+    Seal(s.chunks[i]);
+  }
+}
+
+const AggState& HypertableStore::ChunkAggregate(const Chunk& chunk) {
+  if (chunk.agg_dirty) {
+    chunk.agg = AggState{};
+    if (chunk.sealed()) {
+      ChunkDecoder decoder(chunk.encoded);
+      Sample s;
+      while (decoder.Next(&s)) chunk.agg.Add(s);
+    } else {
+      for (const Sample& s : chunk.samples) chunk.agg.Add(s);
+    }
+    chunk.agg_dirty = false;
+  }
+  return chunk.agg;
+}
+
+Status HypertableStore::InsertRaw(StoredSeries& s, Timestamp t, double value) {
+  Chunk& chunk = s.chunks[ChunkIndexFor(s, t)];
+  if (chunk.sealed()) HYGRAPH_RETURN_IF_ERROR(Unseal(chunk));
+  InsertIntoChunk(chunk, t, value);
+  return Status::OK();
+}
+
+Status HypertableStore::Insert(SeriesId id, Timestamp t, double value) {
+  auto it = series_.find(id);
+  if (it == series_.end()) return NoSuchSeries(id);
+  StoredSeries& s = it->second;
+  const size_t chunks_before = s.chunks.size();
+  const size_t idx = ChunkIndexFor(s, t);
+  Chunk& chunk = s.chunks[idx];
+  if (chunk.sealed()) HYGRAPH_RETURN_IF_ERROR(Unseal(chunk));
+  InsertIntoChunk(chunk, t, value);
+  if (!options_.compress_sealed_chunks) return Status::OK();
+  // Keep the invariant "only the newest chunk is hot": an out-of-order
+  // write into a cold chunk reseals it immediately, and opening a fresh
+  // newest chunk seals whatever was hot before it.
+  if (idx + 1 < s.chunks.size()) Seal(s.chunks[idx]);
+  if (s.chunks.size() > chunks_before) SealColdChunks(s);
   return Status::OK();
 }
 
@@ -71,8 +153,9 @@ Status HypertableStore::InsertSeries(SeriesId id, const Series& series) {
   auto it = series_.find(id);
   if (it == series_.end()) return NoSuchSeries(id);
   for (const Sample& s : series.samples()) {
-    HYGRAPH_RETURN_IF_ERROR(Insert(id, s.t, s.value));
+    HYGRAPH_RETURN_IF_ERROR(InsertRaw(it->second, s.t, s.value));
   }
+  SealColdChunks(it->second);
   return Status::OK();
 }
 
@@ -84,15 +167,27 @@ Result<size_t> HypertableStore::Retain(SeriesId id, const Interval& keep) {
   std::vector<Chunk> kept;
   kept.reserve(chunks.size());
   for (Chunk& chunk : chunks) {
-    const Interval chunk_span{chunk.start,
-                              chunk.start + options_.chunk_duration};
+    const Interval chunk_span = ChunkSpan(chunk);
     if (!chunk_span.Overlaps(keep)) {
-      removed += chunk.samples.size();
-      continue;  // drop the whole chunk
+      removed += chunk.size();  // drop the whole chunk, sealed or hot
+      continue;
     }
     if (keep.ContainsInterval(chunk_span)) {
       kept.push_back(std::move(chunk));
       continue;  // fully inside, untouched
+    }
+    if (chunk.sealed()) {
+      // The zone map resolves boundary chunks without decoding: all data
+      // inside `keep` keeps the chunk intact, all data outside drops it.
+      if (chunk.min_t >= keep.start && chunk.max_t < keep.end) {
+        kept.push_back(std::move(chunk));
+        continue;
+      }
+      if (chunk.max_t < keep.start || chunk.min_t >= keep.end) {
+        removed += chunk.sealed_count;
+        continue;
+      }
+      HYGRAPH_RETURN_IF_ERROR(Unseal(chunk));
     }
     const size_t before = chunk.samples.size();
     std::erase_if(chunk.samples,
@@ -102,6 +197,7 @@ Result<size_t> HypertableStore::Retain(SeriesId id, const Interval& keep) {
     if (!chunk.samples.empty()) kept.push_back(std::move(chunk));
   }
   chunks = std::move(kept);
+  SealColdChunks(it->second);
   return removed;
 }
 
@@ -109,7 +205,7 @@ Result<size_t> HypertableStore::SampleCount(SeriesId id) const {
   auto it = series_.find(id);
   if (it == series_.end()) return Status(NoSuchSeries(id));
   size_t n = 0;
-  for (const Chunk& c : it->second.chunks) n += c.samples.size();
+  for (const Chunk& c : it->second.chunks) n += c.size();
   return n;
 }
 
@@ -117,35 +213,72 @@ Result<std::vector<Sample>> HypertableStore::Scan(
     SeriesId id, const Interval& interval) const {
   auto it = series_.find(id);
   if (it == series_.end()) return Status(NoSuchSeries(id));
-  std::vector<Sample> out;
-  stats_.chunks_total += it->second.chunks.size();
+  size_t estimate = 0;
   for (const Chunk& chunk : it->second.chunks) {
-    const Interval chunk_span{chunk.start,
-                              chunk.start + options_.chunk_duration};
-    if (!chunk_span.Overlaps(interval)) continue;
-    ++stats_.chunks_scanned;
-    auto lo = std::lower_bound(
-        chunk.samples.begin(), chunk.samples.end(), interval.start,
-        [](const Sample& s, Timestamp t) { return s.t < t; });
-    auto hi = std::lower_bound(
-        lo, chunk.samples.end(), interval.end,
-        [](const Sample& s, Timestamp t) { return s.t < t; });
-    stats_.samples_scanned += static_cast<size_t>(hi - lo);
-    out.insert(out.end(), lo, hi);
+    if (chunk.start >= interval.end) break;
+    if (ChunkSpan(chunk).Overlaps(interval)) estimate += chunk.size();
   }
+  std::vector<Sample> out;
+  out.reserve(estimate);
+  HYGRAPH_RETURN_IF_ERROR(ScanVisit(
+      id, interval, [&out](const Sample& s) { out.push_back(s); }));
   return out;
 }
 
 Result<Series> HypertableStore::Materialize(SeriesId id,
                                             const Interval& interval) const {
-  auto samples = Scan(id, interval);
-  if (!samples.ok()) return samples.status();
-  auto name = Name(id);
-  Series s(name.ok() ? *name : "ts#" + std::to_string(id));
-  for (const Sample& sample : *samples) {
-    HYGRAPH_RETURN_IF_ERROR(s.Append(sample.t, sample.value));
+  auto it = series_.find(id);
+  if (it == series_.end()) return Status(NoSuchSeries(id));
+  Series out(it->second.name);
+  size_t estimate = 0;
+  for (const Chunk& chunk : it->second.chunks) {
+    if (chunk.start >= interval.end) break;
+    if (ChunkSpan(chunk).Overlaps(interval)) estimate += chunk.size();
   }
-  return s;
+  out.Reserve(estimate);
+  Status append = Status::OK();
+  HYGRAPH_RETURN_IF_ERROR(ScanVisit(id, interval, [&](const Sample& s) {
+    if (append.ok()) append = out.Append(s.t, s.value);
+  }));
+  HYGRAPH_RETURN_IF_ERROR(append);
+  return out;
+}
+
+Result<size_t> HypertableStore::CountMatching(
+    SeriesId id, const Interval& interval,
+    const ScanPredicate& predicate) const {
+  auto it = series_.find(id);
+  if (it == series_.end()) return Status(NoSuchSeries(id));
+  size_t n = 0;
+  stats_.chunks_total += it->second.chunks.size();
+  for (const Chunk& chunk : it->second.chunks) {
+    if (chunk.start >= interval.end) break;
+    if (!ChunkSpan(chunk).Overlaps(interval) || chunk.size() == 0) continue;
+    if (chunk.sealed()) {
+      if (chunk.max_t < interval.start || chunk.min_t >= interval.end) {
+        continue;
+      }
+      if (!predicate.unbounded() &&
+          !(chunk.min_v <= predicate.max_value &&
+            chunk.max_v >= predicate.min_value)) {
+        ++stats_.chunks_zonemap_skipped;
+        continue;
+      }
+      // Whole-chunk match: every sample is inside the interval and the
+      // zone's value range satisfies the predicate end to end.
+      if (interval.Contains(chunk.min_t) && interval.Contains(chunk.max_t) &&
+          chunk.all_finite && predicate.Matches(chunk.min_v) &&
+          predicate.Matches(chunk.max_v)) {
+        n += chunk.sealed_count;
+        ++stats_.chunks_from_cache;
+        continue;
+      }
+    }
+    ++stats_.chunks_scanned;
+    HYGRAPH_RETURN_IF_ERROR(
+        VisitChunk(chunk, interval, predicate, [&n](const Sample&) { ++n; }));
+  }
+  return n;
 }
 
 Result<double> HypertableStore::Aggregate(SeriesId id,
@@ -156,22 +289,21 @@ Result<double> HypertableStore::Aggregate(SeriesId id,
   AggState total;
   stats_.chunks_total += it->second.chunks.size();
   for (const Chunk& chunk : it->second.chunks) {
-    const Interval chunk_span{chunk.start,
-                              chunk.start + options_.chunk_duration};
-    if (!chunk_span.Overlaps(interval)) continue;
-    if (options_.enable_chunk_cache &&
-        interval.ContainsInterval(chunk_span)) {
+    if (chunk.start >= interval.end) break;
+    if (!ChunkSpan(chunk).Overlaps(interval) || chunk.size() == 0) continue;
+    // Zone-map coverage: the cached partial answers the chunk whenever the
+    // interval covers its actual data span, even if the nominal chunk span
+    // pokes out of the interval.
+    if (options_.enable_chunk_cache && interval.Contains(FirstT(chunk)) &&
+        interval.Contains(LastT(chunk))) {
       total.Merge(ChunkAggregate(chunk));
       ++stats_.chunks_from_cache;
       continue;
     }
     ++stats_.chunks_scanned;
-    for (const Sample& s : chunk.samples) {
-      if (interval.Contains(s.t)) {
-        total.Add(s);
-        ++stats_.samples_scanned;
-      }
-    }
+    HYGRAPH_RETURN_IF_ERROR(VisitChunk(
+        chunk, interval, ScanPredicate{},
+        [&total](const Sample& s) { total.Add(s); }));
   }
   return total.Finalize(kind);
 }
@@ -188,13 +320,14 @@ Result<Series> HypertableStore::WindowAggregate(SeriesId id,
   auto name = Name(id);
   Series out(name.ok() ? *name + "_" + AggKindName(kind)
                        : std::string(AggKindName(kind)));
-  // Clamp the sweep to the data actually present.
+  // Clamp the sweep to the data actually present (zone maps for sealed
+  // chunks; no decoding).
   Timestamp data_start = kMaxTimestamp;
   Timestamp data_end = kMinTimestamp;
   for (const Chunk& chunk : it->second.chunks) {
-    if (chunk.samples.empty()) continue;
-    data_start = std::min(data_start, chunk.samples.front().t);
-    data_end = std::max(data_end, chunk.samples.back().t + 1);
+    if (chunk.size() == 0) continue;
+    data_start = std::min(data_start, FirstT(chunk));
+    data_end = std::max(data_end, LastT(chunk) + 1);
   }
   const Interval span = interval.Intersect(Interval{data_start, data_end});
   if (span.empty()) return out;
@@ -214,15 +347,14 @@ Result<Series> HypertableStore::WindowAggregate(SeriesId id,
 
   stats_.chunks_total += it->second.chunks.size();
   for (const Chunk& chunk : it->second.chunks) {
-    const Interval chunk_span{chunk.start,
-                              chunk.start + options_.chunk_duration};
-    if (!chunk_span.Overlaps(span) || chunk.samples.empty()) continue;
+    if (chunk.start >= span.end) break;
+    if (!ChunkSpan(chunk).Overlaps(span) || chunk.size() == 0) continue;
     // Fast path: the chunk lies entirely within one bucket that also lies
     // inside the requested interval — its cached partial stands in for all
     // of its samples (classic continuous-aggregate reuse when width is a
     // multiple of the chunk duration and grids align).
-    const Timestamp first_t = chunk.samples.front().t;
-    const Timestamp last_t = chunk.samples.back().t;
+    const Timestamp first_t = FirstT(chunk);
+    const Timestamp last_t = LastT(chunk);
     if (options_.enable_chunk_cache && span.Contains(first_t) &&
         span.Contains(last_t) && bucket_of(first_t) == bucket_of(last_t)) {
       const int64_t bucket = bucket_of(first_t);
@@ -236,17 +368,19 @@ Result<Series> HypertableStore::WindowAggregate(SeriesId id,
       continue;
     }
     ++stats_.chunks_scanned;
-    for (const Sample& s : chunk.samples) {
-      if (!span.Contains(s.t)) continue;
-      ++stats_.samples_scanned;
-      const int64_t bucket = bucket_of(s.t);
-      if (bucket != current_bucket) {
-        HYGRAPH_RETURN_IF_ERROR(flush());
-        current_bucket = bucket;
-        state = AggState{};
-      }
-      state.Add(s);
-    }
+    Status window_status = Status::OK();
+    HYGRAPH_RETURN_IF_ERROR(
+        VisitChunk(chunk, span, ScanPredicate{}, [&](const Sample& s) {
+          if (!window_status.ok()) return;
+          const int64_t bucket = bucket_of(s.t);
+          if (bucket != current_bucket) {
+            window_status = flush();
+            current_bucket = bucket;
+            state = AggState{};
+          }
+          if (window_status.ok()) state.Add(s);
+        }));
+    HYGRAPH_RETURN_IF_ERROR(window_status);
   }
   HYGRAPH_RETURN_IF_ERROR(flush());
   return out;
@@ -264,6 +398,23 @@ std::vector<SeriesId> HypertableStore::Ids() const {
   for (const auto& [id, _] : series_) ids.push_back(id);
   std::sort(ids.begin(), ids.end());
   return ids;
+}
+
+HypertableMemory HypertableStore::MemoryUsage() const {
+  HypertableMemory m;
+  for (const auto& [id, stored] : series_) {
+    (void)id;
+    for (const Chunk& chunk : stored.chunks) {
+      if (chunk.sealed()) {
+        m.sealed_samples += chunk.sealed_count;
+        m.sealed_bytes += chunk.encoded.size();
+      } else {
+        m.hot_samples += chunk.samples.size();
+        m.hot_bytes += chunk.samples.capacity() * sizeof(Sample);
+      }
+    }
+  }
+  return m;
 }
 
 void HypertableStore::ResetStats() { stats_ = HypertableStats{}; }

@@ -1,14 +1,18 @@
 #ifndef HYGRAPH_TS_HYPERTABLE_H_
 #define HYGRAPH_TS_HYPERTABLE_H_
 
+#include <algorithm>
+#include <limits>
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "common/status.h"
 #include "common/time.h"
 #include "common/value.h"
 #include "ts/aggregate.h"
+#include "ts/chunk_codec.h"
 #include "ts/series.h"
 
 namespace hygraph::ts {
@@ -22,6 +26,12 @@ struct HypertableOptions {
   /// so range aggregates can skip scanning fully-covered chunks. This is the
   /// mechanism the ablation bench toggles.
   bool enable_chunk_cache = true;
+  /// When true (default), only the newest chunk of each series stays hot
+  /// (mutable `std::vector<Sample>`); every colder chunk is sealed into
+  /// Gorilla-compressed bytes with a zone map (min/max time and value) and
+  /// its cached aggregate. Out-of-order writes transparently unseal, merge
+  /// and reseal. The compression ablation bench toggles this off.
+  bool compress_sealed_chunks = true;
 };
 
 /// Counters describing the work a query did — used by tests and by the
@@ -31,6 +41,58 @@ struct HypertableStats {
   size_t chunks_scanned = 0;     ///< chunks whose samples were touched
   size_t chunks_from_cache = 0;  ///< chunks answered from their aggregate cache
   size_t samples_scanned = 0;
+  // Compression lifecycle (cumulative since the last ResetStats()).
+  size_t chunks_sealed = 0;    ///< seal operations performed
+  size_t chunks_unsealed = 0;  ///< unseal operations (out-of-order writes)
+  size_t bytes_raw = 0;         ///< raw sample bytes across those seals
+  size_t bytes_compressed = 0;  ///< encoded bytes across those seals
+  /// Sealed chunks skipped wholesale because their value zone map cannot
+  /// intersect a pushed-down value predicate (the Q8 query shape).
+  size_t chunks_zonemap_skipped = 0;
+};
+
+/// Current memory footprint of a HypertableStore's sample data, split by
+/// chunk state. The compression acceptance metric is
+/// sealed_bytes / sealed_samples.
+struct HypertableMemory {
+  size_t hot_samples = 0;
+  size_t hot_bytes = 0;  ///< vector capacity, i.e. real footprint
+  size_t sealed_samples = 0;
+  size_t sealed_bytes = 0;  ///< encoded bytes
+  size_t total_bytes() const { return hot_bytes + sealed_bytes; }
+  double sealed_bytes_per_sample() const {
+    return sealed_samples == 0
+               ? 0.0
+               : static_cast<double>(sealed_bytes) /
+                     static_cast<double>(sealed_samples);
+  }
+};
+
+/// A value predicate pushed down into a scan: keep samples with
+/// min_value <= v <= max_value. Sealed chunks whose value zone map lies
+/// entirely outside the bounds are skipped without decoding. The default
+/// bounds are infinite, which matches every value (including NaN).
+struct ScanPredicate {
+  double min_value = -std::numeric_limits<double>::infinity();
+  double max_value = std::numeric_limits<double>::infinity();
+
+  bool unbounded() const {
+    return min_value == -std::numeric_limits<double>::infinity() &&
+           max_value == std::numeric_limits<double>::infinity();
+  }
+  /// NaN matches only an unbounded side, so bounded predicates never
+  /// select NaN samples (SQL-style comparison semantics).
+  bool Matches(double v) const {
+    if (min_value != -std::numeric_limits<double>::infinity() &&
+        !(v >= min_value)) {
+      return false;
+    }
+    if (max_value != std::numeric_limits<double>::infinity() &&
+        !(v <= max_value)) {
+      return false;
+    }
+    return true;
+  }
 };
 
 /// A time-partitioned store for univariate series, modelled on TimescaleDB's
@@ -38,10 +100,15 @@ struct HypertableStats {
 /// chunk, samples are kept sorted; every chunk carries min/max time bounds
 /// and (optionally) a cached decomposable aggregate.
 ///
-/// Range scans prune to overlapping chunks and binary-search within them.
-/// Range aggregates combine cached partials of fully-covered chunks with
-/// scans of the (at most two) partially-covered boundary chunks — which is
-/// why the polyglot architecture wins Table 1's aggregation-heavy queries.
+/// Storage follows the hot/sealed lifecycle of a real hypertable's
+/// compressed columnar chunks: only the newest chunk of a series is a
+/// mutable sample vector; colder chunks hold Gorilla-encoded bytes
+/// (delta-of-delta timestamps + XOR values, see ts/chunk_codec.h) plus a
+/// zone map and their cached aggregate. Reads stream through ScanVisit,
+/// which decodes sealed chunks block-wise without materializing them;
+/// range aggregates combine cached partials of fully-covered chunks with
+/// streamed scans of the boundary chunks — which is why the polyglot
+/// architecture wins Table 1's aggregation-heavy queries.
 class HypertableStore {
  public:
   explicit HypertableStore(HypertableOptions options = {});
@@ -60,18 +127,69 @@ class HypertableStore {
   bool Exists(SeriesId id) const { return series_.count(id) > 0; }
 
   /// Inserts one sample. Out-of-order inserts are accepted (sorted insert
-  /// into the owning chunk); a duplicate timestamp replaces the old value.
+  /// into the owning chunk, unsealing it first when necessary); a duplicate
+  /// timestamp replaces the old value.
   Status Insert(SeriesId id, Timestamp t, double value);
 
-  /// Bulk-load an entire in-memory series.
+  /// Bulk-load an entire in-memory series. Sealing is deferred to the end
+  /// of the load so an out-of-order batch does not reseal per sample.
   Status InsertSeries(SeriesId id, const Series& series);
 
   /// Deletes every sample of `id` outside `keep` — the paper's R3 staleness
-  /// eviction. Whole chunks outside the interval are dropped O(1) per chunk.
+  /// eviction. Whole chunks outside the interval are dropped O(1) per chunk
+  /// (sealed ones without decoding); boundary chunks are unsealed, trimmed,
+  /// and resealed.
   Result<size_t> Retain(SeriesId id, const Interval& keep);
 
   /// Number of samples stored for `id`.
   Result<size_t> SampleCount(SeriesId id) const;
+
+  /// Streams every sample of `id` inside `interval`, time-ordered, into
+  /// `fn(const Sample&)` without materializing the range; sealed chunks are
+  /// decoded block-wise. This is the zero-copy read path Scan/Materialize/
+  /// Aggregate/WindowAggregate ride on.
+  template <typename Fn>
+  Status ScanVisit(SeriesId id, const Interval& interval, Fn&& fn) const {
+    return ScanVisit(id, interval, ScanPredicate{}, std::forward<Fn>(fn));
+  }
+
+  /// ScanVisit with a pushed-down value predicate: only matching samples
+  /// are visited, and sealed chunks whose value zone map cannot intersect
+  /// the bounds are skipped without decoding (stats().chunks_zonemap_skipped).
+  template <typename Fn>
+  Status ScanVisit(SeriesId id, const Interval& interval,
+                   const ScanPredicate& predicate, Fn&& fn) const {
+    auto it = series_.find(id);
+    if (it == series_.end()) return NoSuchSeries(id);
+    stats_.chunks_total += it->second.chunks.size();
+    for (const Chunk& chunk : it->second.chunks) {
+      if (chunk.start >= interval.end) break;  // chunks sorted by start
+      if (!ChunkSpan(chunk).Overlaps(interval)) continue;
+      if (chunk.sealed()) {
+        // Zone maps: exact data bounds beat the nominal chunk span.
+        if (chunk.max_t < interval.start || chunk.min_t >= interval.end) {
+          continue;
+        }
+        if (!predicate.unbounded() &&
+            !(chunk.min_v <= predicate.max_value &&
+              chunk.max_v >= predicate.min_value)) {
+          ++stats_.chunks_zonemap_skipped;
+          continue;
+        }
+      }
+      ++stats_.chunks_scanned;
+      HYGRAPH_RETURN_IF_ERROR(VisitChunk(chunk, interval, predicate, fn));
+    }
+    return Status::OK();
+  }
+
+  /// Number of samples of `id` in `interval` matching `predicate` — the
+  /// pushed-down series-predicate primitive (HGQL's ts_count_between).
+  /// Zone-map assisted twice over: non-intersecting sealed chunks are
+  /// skipped, and sealed chunks whose whole value range satisfies the
+  /// predicate are counted without decoding.
+  Result<size_t> CountMatching(SeriesId id, const Interval& interval,
+                               const ScanPredicate& predicate) const;
 
   /// All samples of `id` inside `interval`, time-ordered.
   Result<std::vector<Sample>> Scan(SeriesId id, const Interval& interval) const;
@@ -99,6 +217,9 @@ class HypertableStore {
   std::vector<SeriesId> Ids() const;
   size_t series_count() const { return series_.size(); }
 
+  /// Current sample-data footprint (hot vectors vs sealed encoded bytes).
+  HypertableMemory MemoryUsage() const;
+
   /// Work counters accumulated since the last ResetStats().
   const HypertableStats& stats() const { return stats_; }
   void ResetStats();
@@ -106,19 +227,92 @@ class HypertableStore {
  private:
   struct Chunk {
     Timestamp start = 0;  // covers [start, start + chunk_duration)
-    std::vector<Sample> samples;
+    std::vector<Sample> samples;  // hot form; empty while sealed
+    std::string encoded;          // sealed form (chunk_codec bytes)
+    size_t sealed_count = 0;      // samples inside `encoded`
+    // Zone map, valid while sealed: exact first/last sample time and
+    // min/max finite value (+inf/-inf when every value is NaN).
+    Timestamp min_t = 0;
+    Timestamp max_t = 0;
+    double min_v = 0.0;
+    double max_v = 0.0;
+    bool all_finite = false;  // no NaN/±inf: [min_v, max_v] covers every value
     // Lazily refreshed by ChunkAggregate(); mutable so a const Aggregate()
-    // call can fill the cache.
+    // call can fill the cache. Seal() always leaves it fresh.
     mutable AggState agg;
     mutable bool agg_dirty = true;
+
+    bool sealed() const { return sealed_count > 0; }
+    size_t size() const { return sealed() ? sealed_count : samples.size(); }
   };
   struct StoredSeries {
     std::string name;
     std::vector<Chunk> chunks;  // sorted by start, non-overlapping
   };
 
+  static Status NoSuchSeries(SeriesId id);
+
+  Interval ChunkSpan(const Chunk& chunk) const {
+    return Interval{chunk.start, chunk.start + options_.chunk_duration};
+  }
   Timestamp ChunkStartFor(Timestamp t) const;
-  Chunk& ChunkFor(StoredSeries& s, Timestamp t);
+  /// Index of the chunk owning `t`, inserting a fresh one if needed.
+  size_t ChunkIndexFor(StoredSeries& s, Timestamp t);
+  /// Sorted insert of one sample into an (unsealed) chunk.
+  static void InsertIntoChunk(Chunk& chunk, Timestamp t, double value);
+  /// Unseal-if-needed + sorted insert; performs no sealing.
+  Status InsertRaw(StoredSeries& s, Timestamp t, double value);
+
+  /// Encodes a hot chunk: refreshes the aggregate cache, builds the zone
+  /// map, swaps the sample vector for the encoded bytes.
+  void Seal(Chunk& chunk);
+  /// Decodes a sealed chunk back into its hot form (aggregate cache and
+  /// zone map are kept; the zone map is simply unused while hot).
+  Status Unseal(Chunk& chunk);
+  /// Seals every chunk of `s` except the newest (when compression is on).
+  void SealColdChunks(StoredSeries& s);
+
+  /// Streams one chunk's samples in `interval` matching `predicate` into
+  /// `fn`; decodes sealed chunks without materializing.
+  template <typename Fn>
+  Status VisitChunk(const Chunk& chunk, const Interval& interval,
+                    const ScanPredicate& predicate, Fn&& fn) const {
+    if (chunk.sealed()) {
+      ChunkDecoder decoder(chunk.encoded);
+      Sample s;
+      while (decoder.Next(&s)) {
+        if (s.t >= interval.end) break;
+        if (s.t < interval.start) continue;
+        ++stats_.samples_scanned;
+        if (predicate.Matches(s.value)) fn(s);
+      }
+      if (!decoder.status().ok()) {
+        return Status::Internal("sealed chunk failed to decode: " +
+                                decoder.status().message());
+      }
+      return Status::OK();
+    }
+    auto lo = std::lower_bound(
+        chunk.samples.begin(), chunk.samples.end(), interval.start,
+        [](const Sample& s, Timestamp t) { return s.t < t; });
+    auto hi = std::lower_bound(
+        lo, chunk.samples.end(), interval.end,
+        [](const Sample& s, Timestamp t) { return s.t < t; });
+    for (auto sample = lo; sample != hi; ++sample) {
+      ++stats_.samples_scanned;
+      if (predicate.Matches(sample->value)) fn(*sample);
+    }
+    return Status::OK();
+  }
+
+  /// First/last sample time of a non-empty chunk (zone map when sealed).
+  static Timestamp FirstT(const Chunk& chunk) {
+    return chunk.sealed() ? chunk.min_t : chunk.samples.front().t;
+  }
+  static Timestamp LastT(const Chunk& chunk) {
+    return chunk.sealed() ? chunk.max_t : chunk.samples.back().t;
+  }
+
   static const AggState& ChunkAggregate(const Chunk& chunk);
 
   HypertableOptions options_;

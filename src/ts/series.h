@@ -52,6 +52,10 @@ class Series {
   const Sample& back() const { return samples_.back(); }
   const std::vector<Sample>& samples() const { return samples_; }
 
+  /// Pre-allocates capacity for `n` samples (used by streaming readers that
+  /// know the result size up front).
+  void Reserve(size_t n) { samples_.reserve(n); }
+
   /// Appends a sample; the timestamp must be strictly greater than the
   /// current last timestamp (chronological integrity).
   Status Append(Timestamp t, double value);

@@ -45,7 +45,8 @@ Result<BikeSharingDataset> GenerateBikeSharing(
   }
 
   // Availability series: base load + daily sinusoid with district phase +
-  // weekly modulation + noise, clamped to [0, capacity].
+  // weekly modulation + noise, clamped to [0, capacity] and rounded — a
+  // station holds a whole number of bikes.
   const size_t samples = dataset.samples_per_station();
   for (StationRecord& station : dataset.stations) {
     const double base = static_cast<double>(station.capacity) * 0.5;
@@ -65,7 +66,8 @@ Result<BikeSharingDataset> GenerateBikeSharing(
                      amplitude * std::sin(2.0 * kPi * day_fraction + phase) +
                      0.15 * amplitude * std::sin(2.0 * kPi * week_fraction) +
                      rng.NextGaussian() * 1.5;
-      value = std::clamp(value, 0.0, static_cast<double>(station.capacity));
+      value = std::round(
+          std::clamp(value, 0.0, static_cast<double>(station.capacity)));
       HYGRAPH_RETURN_IF_ERROR(station.bikes.Append(t, value));
     }
   }
@@ -101,8 +103,9 @@ Result<BikeSharingDataset> GenerateBikeSharing(
             config.start_time + static_cast<Duration>(day) * kDay;
         const double mean_trips = 20.0 * weights[k].first /
                                   (weights.front().first + 1e-9);
+        // Rounded like the availability series: trip totals are counts.
         HYGRAPH_RETURN_IF_ERROR(trip.daily_trips.Append(
-            t, std::max(0.0, mean_trips + rng.NextGaussian() * 2.0)));
+            t, std::round(std::max(0.0, mean_trips + rng.NextGaussian() * 2.0))));
       }
       dataset.trips.push_back(std::move(trip));
     }

@@ -25,7 +25,9 @@ struct BikeSharingConfig {
   Duration sample_interval = 5 * kMinute;
   /// Outgoing TRIP edges per station (targets drawn by gravity weighting).
   size_t trips_per_station = 4;
-  Timestamp start_time = 1700000000000;  // 2023-11-14T22:13:20Z
+  // Midnight-aligned so daily windows and day-wide hypertable chunks
+  // coincide, as they would for real daily-operations data.
+  Timestamp start_time = 1699920000000;  // 2023-11-14T00:00:00Z
   uint64_t seed = 1234;
 };
 

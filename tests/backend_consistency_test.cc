@@ -142,6 +142,22 @@ TEST_F(BackendConsistencyTest, HybridPredicate) {
       ") > 15 RETURN a.name AS x, b.name AS y ORDER BY x, y LIMIT 25");
 }
 
+TEST_F(BackendConsistencyTest, CountBetweenPushdown) {
+  // The Q8 shape: a pushed-down value-range predicate. The polyglot engine
+  // answers it from compressed-chunk zone maps; the all-in-graph engine
+  // materializes and counts. Answers must match exactly.
+  const Timestamp t0 = dataset_->start();
+  const Timestamp t1 = dataset_->end();
+  ExpectSameAnswer(
+      "MATCH (s:Station) RETURN s.name AS n, ts_count_between(s.bikes, " +
+      std::to_string(t0) + ", " + std::to_string(t1) +
+      ", 0, 5) AS empty_ish ORDER BY n");
+  ExpectSameAnswer(
+      "MATCH (s:Station) WHERE ts_count_between(s.bikes, " +
+      std::to_string(t0) + ", " + std::to_string(t1) +
+      ", 40, 100000) > 0 RETURN s.name AS n ORDER BY n");
+}
+
 TEST_F(BackendConsistencyTest, WindowAggregate) {
   const Timestamp t0 = dataset_->start();
   const Timestamp t1 = dataset_->end();

@@ -1,0 +1,212 @@
+#include "ts/chunk_codec.h"
+
+#include <bit>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace hygraph::ts {
+namespace {
+
+// Round-trips `samples` through the codec and requires bit-exact equality —
+// timestamps compared as int64, values compared as raw bit patterns so NaN
+// payloads and -0.0 count too.
+void ExpectBitExactRoundTrip(const std::vector<Sample>& samples) {
+  const std::string bytes = EncodeChunk(samples);
+  auto decoded = DecodeChunk(bytes);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  ASSERT_EQ(decoded->size(), samples.size());
+  for (size_t i = 0; i < samples.size(); ++i) {
+    EXPECT_EQ((*decoded)[i].t, samples[i].t) << "sample " << i;
+    EXPECT_EQ(std::bit_cast<uint64_t>((*decoded)[i].value),
+              std::bit_cast<uint64_t>(samples[i].value))
+        << "sample " << i;
+  }
+}
+
+TEST(ChunkCodecTest, EmptyChunk) {
+  ExpectBitExactRoundTrip({});
+  EXPECT_EQ(EncodeChunk({}).size(), 1u);  // just varint(0)
+}
+
+TEST(ChunkCodecTest, SingleSample) {
+  ExpectBitExactRoundTrip({{1700000000000, 42.5}});
+  ExpectBitExactRoundTrip({{0, 0.0}});
+  ExpectBitExactRoundTrip({{-1, -0.0}});
+}
+
+TEST(ChunkCodecTest, ConstantValuesOnRegularGrid) {
+  std::vector<Sample> samples;
+  for (int i = 0; i < 288; ++i) {
+    samples.push_back({1700000000000 + i * 300000LL, 17.0});
+  }
+  ExpectBitExactRoundTrip(samples);
+  // Regular grid + constant value: ~1 timestamp byte and ~1 value bit per
+  // sample after the header. The whole chunk must be far below raw size.
+  const std::string bytes = EncodeChunk(samples);
+  EXPECT_LT(bytes.size(), samples.size() * 2);
+}
+
+TEST(ChunkCodecTest, IntegralRandomWalk) {
+  Rng rng(7);
+  std::vector<Sample> samples;
+  Timestamp t = 1700000000000;
+  double v = 20.0;
+  for (int i = 0; i < 288; ++i) {
+    samples.push_back({t, v});
+    t += 300000;
+    v = std::max(0.0, v + static_cast<double>(rng.NextInRange(-3, 3)));
+  }
+  ExpectBitExactRoundTrip(samples);
+  // The acceptance bar for sealed chunks: <= 4 bytes/sample on integral
+  // counts over a regular grid (raw is 16).
+  const std::string bytes = EncodeChunk(samples);
+  EXPECT_LE(bytes.size(), samples.size() * 4);
+}
+
+TEST(ChunkCodecTest, FullEntropyDoublesStillRoundTrip) {
+  Rng rng(11);
+  std::vector<Sample> samples;
+  for (int i = 0; i < 500; ++i) {
+    samples.push_back({static_cast<Timestamp>(i) * 61000,
+                       rng.NextGaussian() * 1e6});
+  }
+  ExpectBitExactRoundTrip(samples);
+}
+
+TEST(ChunkCodecTest, IrregularGapsAndBackwardsTimestamps) {
+  // The codec preserves order as given — including non-monotone input
+  // (the hypertable always hands it sorted, but the codec must not care).
+  std::vector<Sample> samples = {
+      {100, 1.0}, {101, 2.0}, {5000000, 3.0}, {5000001, 4.0},
+      {-400, 5.0}, {0, 6.0},  {999999999999, 7.0},
+  };
+  ExpectBitExactRoundTrip(samples);
+}
+
+TEST(ChunkCodecTest, ExtremeTimestamps) {
+  std::vector<Sample> samples = {
+      {std::numeric_limits<Timestamp>::min(), 1.0},
+      {-1, 2.0},
+      {0, 3.0},
+      {std::numeric_limits<Timestamp>::max(), 4.0},
+  };
+  ExpectBitExactRoundTrip(samples);
+}
+
+TEST(ChunkCodecTest, SpecialValues) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+  // A NaN with a non-default payload must survive bit-exactly.
+  const double payload_nan = std::bit_cast<double>(0x7ff80000deadbeefULL);
+  std::vector<Sample> samples = {
+      {0, nan},  {1, -inf}, {2, inf},         {3, 0.0},
+      {4, -0.0}, {5, nan},  {6, payload_nan}, {7, 1e-308},
+  };
+  ExpectBitExactRoundTrip(samples);
+}
+
+TEST(ChunkCodecTest, RandomWalkSweep) {
+  Rng rng(1234);
+  for (int round = 0; round < 50; ++round) {
+    const size_t n = 1 + rng.NextBounded(400);
+    std::vector<Sample> samples;
+    Timestamp t = static_cast<Timestamp>(rng.Next() % 2000000000000ULL);
+    double v = rng.NextGaussian() * 100.0;
+    for (size_t i = 0; i < n; ++i) {
+      samples.push_back({t, v});
+      t += 1 + static_cast<Timestamp>(rng.NextBounded(600000));
+      if (rng.NextBernoulli(0.3)) {
+        v += rng.NextGaussian();  // full-entropy step
+      } else if (rng.NextBernoulli(0.5)) {
+        v += static_cast<double>(rng.NextInRange(-5, 5));  // integral step
+      }  // else: repeat the value exactly
+    }
+    ExpectBitExactRoundTrip(samples);
+  }
+}
+
+TEST(ChunkCodecTest, StreamingDecoderReportsCountAndDone) {
+  std::vector<Sample> samples;
+  for (int i = 0; i < 10; ++i) samples.push_back({i * 1000, i * 1.5});
+  const std::string bytes = EncodeChunk(samples);  // must outlive the decoder
+  ChunkDecoder decoder(bytes);
+  EXPECT_EQ(decoder.count(), 10u);
+  EXPECT_FALSE(decoder.done());
+  Sample s;
+  size_t produced = 0;
+  while (decoder.Next(&s)) ++produced;
+  EXPECT_EQ(produced, 10u);
+  EXPECT_TRUE(decoder.done());
+  EXPECT_TRUE(decoder.status().ok());
+  EXPECT_FALSE(decoder.Next(&s));  // exhausted, stays exhausted
+}
+
+TEST(ChunkCodecTest, EveryStrictPrefixIsRejected) {
+  std::vector<Sample> samples;
+  for (int i = 0; i < 40; ++i) {
+    samples.push_back({1700000000000 + i * 300000LL, 10.0 + i});
+  }
+  const std::string bytes = EncodeChunk(samples);
+  for (size_t len = 0; len < bytes.size(); ++len) {
+    auto decoded = DecodeChunk(bytes.substr(0, len));
+    EXPECT_FALSE(decoded.ok()) << "prefix of length " << len << " accepted";
+  }
+}
+
+TEST(ChunkCodecTest, TrailingGarbageIsRejected) {
+  std::vector<Sample> samples = {{0, 1.0}, {1000, 2.0}};
+  std::string bytes = EncodeChunk(samples);
+  bytes.push_back('\x01');
+  EXPECT_FALSE(DecodeChunk(bytes).ok());
+  EXPECT_FALSE(DecodeChunk(std::string("\x00garbage", 8)).ok());
+}
+
+TEST(ChunkCodecTest, HostileHeadersAreRejected) {
+  // Declared count far beyond the actual payload: must fail fast instead
+  // of allocating (count is bounded by the ts-column length).
+  std::string hostile;
+  hostile.push_back('\xff');  // varint continuation...
+  for (int i = 0; i < 8; ++i) hostile.push_back('\xff');
+  hostile.push_back('\x01');  // ...count = 2^63-ish
+  hostile += std::string(16, 'a');
+  auto decoded = DecodeChunk(hostile);
+  EXPECT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.status().code(), StatusCode::kCorruption);
+
+  // 11-byte varint (overlong) is rejected outright.
+  EXPECT_FALSE(DecodeChunk(std::string(11, '\x80')).ok());
+}
+
+TEST(ChunkCodecTest, DecoderIsTotalOverMutatedBytes) {
+  // Bit-flip sweep over a valid encoding: every mutation either decodes to
+  // exactly `count` samples or is rejected with kCorruption — never UB,
+  // never an over-long output. (The fuzzer explores this frontier harder.)
+  std::vector<Sample> samples;
+  for (int i = 0; i < 30; ++i) {
+    samples.push_back({i * 60000, 3.0 + (i % 7)});
+  }
+  const std::string bytes = EncodeChunk(samples);
+  for (size_t i = 0; i < bytes.size(); ++i) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::string mutated = bytes;
+      mutated[i] = static_cast<char>(mutated[i] ^ (1 << bit));
+      ChunkDecoder decoder(mutated);
+      Sample s;
+      size_t produced = 0;
+      while (decoder.Next(&s)) ++produced;
+      if (decoder.status().ok()) {
+        EXPECT_EQ(produced, decoder.count());
+      } else {
+        EXPECT_EQ(decoder.status().code(), StatusCode::kCorruption);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace hygraph::ts

@@ -56,5 +56,9 @@ TEST(FuzzCorpusTest, SerializeLoad) {
 
 TEST(FuzzCorpusTest, HgqlParse) { ReplayCorpus("hgql_parse", FuzzHgqlParse); }
 
+TEST(FuzzCorpusTest, ChunkCodec) {
+  ReplayCorpus("chunk_codec", FuzzChunkCodec);
+}
+
 }  // namespace
 }  // namespace hygraph::fuzz

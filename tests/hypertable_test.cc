@@ -1,8 +1,12 @@
 #include "ts/hypertable.h"
 
 #include <cmath>
+#include <limits>
+#include <vector>
 
 #include <gtest/gtest.h>
+
+#include "common/rng.h"
 
 namespace hygraph::ts {
 namespace {
@@ -292,6 +296,212 @@ TEST_P(ChunkSizeSweep, AnswersIndependentOfChunking) {
 INSTANTIATE_TEST_SUITE_P(Chunks, ChunkSizeSweep,
                          ::testing::Values(kMinute, kHour, 6 * kHour, kDay,
                                            30 * kDay));
+
+TEST(HypertableCompressionTest, ColdChunksAreSealed) {
+  SeriesId id;
+  HypertableStore store = MakeStoreWithSeries(&id, 600);  // 10 chunks
+  EXPECT_GE(store.stats().chunks_sealed, 9u);
+  const HypertableMemory mem = store.MemoryUsage();
+  // Only the newest chunk stays hot.
+  EXPECT_EQ(mem.hot_samples, 60u);
+  EXPECT_EQ(mem.sealed_samples, 540u);
+  EXPECT_GT(mem.sealed_bytes, 0u);
+  // Regular grid + small integral values compress far below raw layout.
+  EXPECT_LE(mem.sealed_bytes_per_sample(), 4.0);
+  EXPECT_GT(store.stats().bytes_raw, store.stats().bytes_compressed);
+}
+
+TEST(HypertableCompressionTest, CompressionOffKeepsEverythingHot) {
+  HypertableOptions options;
+  options.chunk_duration = kHour;
+  options.compress_sealed_chunks = false;
+  HypertableStore store(options);
+  const SeriesId id = store.Create("s");
+  for (size_t i = 0; i < 600; ++i) {
+    ASSERT_TRUE(
+        store.Insert(id, static_cast<Timestamp>(i) * kMinute, 1.0).ok());
+  }
+  EXPECT_EQ(store.stats().chunks_sealed, 0u);
+  const HypertableMemory mem = store.MemoryUsage();
+  EXPECT_EQ(mem.hot_samples, 600u);
+  EXPECT_EQ(mem.sealed_samples, 0u);
+}
+
+TEST(HypertableCompressionTest, OnOffAnswerIdentically) {
+  HypertableOptions on;
+  on.chunk_duration = kHour;
+  HypertableOptions off = on;
+  off.compress_sealed_chunks = false;
+  HypertableStore a(on);
+  HypertableStore b(off);
+  const SeriesId ida = a.Create("s");
+  const SeriesId idb = b.Create("s");
+  Rng rng(42);
+  for (int i = 0; i < 777; ++i) {
+    // Mostly in-order with occasional backfill into older chunks.
+    Timestamp t = static_cast<Timestamp>(i) * 13 * kMinute;
+    if (rng.NextBernoulli(0.1)) t -= 3 * kHour;
+    const double v = rng.NextGaussian() * 10.0;
+    ASSERT_TRUE(a.Insert(ida, t, v).ok());
+    ASSERT_TRUE(b.Insert(idb, t, v).ok());
+  }
+  const Interval range{2 * kHour, 140 * kHour};
+  auto scan_a = a.Scan(ida, range);
+  auto scan_b = b.Scan(idb, range);
+  ASSERT_TRUE(scan_a.ok());
+  ASSERT_TRUE(scan_b.ok());
+  EXPECT_EQ(*scan_a, *scan_b);
+  for (AggKind kind : {AggKind::kCount, AggKind::kSum, AggKind::kMin,
+                       AggKind::kMax, AggKind::kAvg}) {
+    EXPECT_DOUBLE_EQ(*a.Aggregate(ida, range, kind),
+                     *b.Aggregate(idb, range, kind))
+        << AggKindName(kind);
+  }
+  auto win_a = a.WindowAggregate(ida, range, 45 * kMinute, AggKind::kAvg);
+  auto win_b = b.WindowAggregate(idb, range, 45 * kMinute, AggKind::kAvg);
+  ASSERT_TRUE(win_a.ok());
+  ASSERT_TRUE(win_b.ok());
+  EXPECT_EQ(*win_a, *win_b);
+}
+
+TEST(HypertableCompressionTest, OutOfOrderInsertUnsealsAndReseals) {
+  SeriesId id;
+  HypertableStore store = MakeStoreWithSeries(&id, 300);  // 5 chunks
+  ASSERT_GE(store.stats().chunks_sealed, 4u);
+  // Backfill into the (sealed) first chunk.
+  ASSERT_TRUE(store.Insert(id, 30 * kMinute + 1, 999.0).ok());
+  EXPECT_EQ(store.stats().chunks_unsealed, 1u);
+  // The touched chunk was resealed immediately: still only one hot chunk.
+  const HypertableMemory mem = store.MemoryUsage();
+  EXPECT_EQ(mem.hot_samples, 60u);
+  EXPECT_EQ(mem.sealed_samples, 241u);
+  auto samples = store.Scan(id, Interval{30 * kMinute, 31 * kMinute});
+  ASSERT_TRUE(samples.ok());
+  ASSERT_EQ(samples->size(), 2u);
+  EXPECT_DOUBLE_EQ((*samples)[1].value, 999.0);
+}
+
+TEST(HypertableCompressionTest, DuplicateTimestampReplacesInSealedChunk) {
+  SeriesId id;
+  HypertableStore store = MakeStoreWithSeries(&id, 300);
+  ASSERT_TRUE(store.Insert(id, 10 * kMinute, -5.0).ok());  // chunk 0, sealed
+  EXPECT_EQ(*store.SampleCount(id), 300u);  // replaced, not added
+  auto samples = store.Scan(id, Interval::At(10 * kMinute));
+  ASSERT_TRUE(samples.ok());
+  ASSERT_EQ(samples->size(), 1u);
+  EXPECT_DOUBLE_EQ((*samples)[0].value, -5.0);
+  // The aggregate cache of the resealed chunk reflects the new value.
+  EXPECT_DOUBLE_EQ(*store.Aggregate(id, Interval{0, kHour}, AggKind::kMin),
+                   -5.0);
+}
+
+TEST(HypertableCompressionTest, RetainDropsSealedChunksWithoutDecoding) {
+  SeriesId id;
+  HypertableStore store = MakeStoreWithSeries(&id, 600);
+  store.ResetStats();
+  // Chunk-aligned retain: whole sealed chunks drop with no unseal.
+  auto removed = store.Retain(id, Interval{2 * kHour, 8 * kHour});
+  ASSERT_TRUE(removed.ok());
+  EXPECT_EQ(*removed, 240u);
+  EXPECT_EQ(store.stats().chunks_unsealed, 0u);
+  EXPECT_EQ(*store.SampleCount(id), 360u);
+  // Misaligned retain: the boundary chunk must unseal, trim, reseal.
+  auto trimmed = store.Retain(id, Interval{150 * kMinute, 8 * kHour});
+  ASSERT_TRUE(trimmed.ok());
+  EXPECT_EQ(*trimmed, 30u);
+  EXPECT_GE(store.stats().chunks_unsealed, 1u);
+  auto samples = store.Scan(id, Interval::All());
+  ASSERT_TRUE(samples.ok());
+  EXPECT_EQ(samples->front().t, 150 * kMinute);
+  EXPECT_EQ(samples->back().t, 479 * kMinute);
+}
+
+TEST(HypertableCompressionTest, ZoneMapSkipsChunksUnderValuePredicate) {
+  HypertableOptions options;
+  options.chunk_duration = kHour;
+  HypertableStore store(options);
+  const SeriesId id = store.Create("s");
+  // Chunk k holds values in [100k, 100k + 59].
+  for (int i = 0; i < 600; ++i) {
+    const double v = (i / 60) * 100.0 + (i % 60);
+    ASSERT_TRUE(
+        store.Insert(id, static_cast<Timestamp>(i) * kMinute, v).ok());
+  }
+  store.ResetStats();
+  // Values [320, 340] live only in chunk 3: the other eight sealed chunks
+  // are skipped from their zone maps alone; only hot chunk 9 also scans.
+  auto n = store.CountMatching(id, Interval::All(),
+                               ScanPredicate{320.0, 340.0});
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(*n, 21u);
+  EXPECT_EQ(store.stats().chunks_zonemap_skipped, 8u);
+  store.ResetStats();
+  // A whole sealed chunk inside the bounds is counted without decoding
+  // (interval excludes the hot newest chunk, which would always scan).
+  auto whole = store.CountMatching(id, Interval{0, 9 * kHour},
+                                   ScanPredicate{300.0, 359.0});
+  ASSERT_TRUE(whole.ok());
+  EXPECT_EQ(*whole, 60u);
+  EXPECT_EQ(store.stats().chunks_from_cache, 1u);
+  EXPECT_EQ(store.stats().samples_scanned, 0u);
+}
+
+TEST(HypertableCompressionTest, BoundedPredicateIgnoresNonFiniteValues) {
+  HypertableOptions options;
+  options.chunk_duration = kHour;
+  HypertableStore store(options);
+  const SeriesId id = store.Create("s");
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  for (int i = 0; i < 120; ++i) {
+    const double v = (i % 10 == 0) ? nan : 5.0;
+    ASSERT_TRUE(
+        store.Insert(id, static_cast<Timestamp>(i) * kMinute, v).ok());
+  }
+  // Bounded predicate never selects NaN (SQL comparison semantics)...
+  auto bounded =
+      store.CountMatching(id, Interval::All(), ScanPredicate{0.0, 10.0});
+  ASSERT_TRUE(bounded.ok());
+  EXPECT_EQ(*bounded, 108u);
+  // ...while the unbounded scan still streams every sample, NaN included.
+  size_t total = 0;
+  ASSERT_TRUE(
+      store.ScanVisit(id, Interval::All(), [&](const Sample&) { ++total; })
+          .ok());
+  EXPECT_EQ(total, 120u);
+}
+
+TEST(HypertableCompressionTest, ScanVisitStreamsSealedChunksInOrder) {
+  SeriesId id;
+  HypertableStore store = MakeStoreWithSeries(&id, 300);
+  std::vector<Sample> streamed;
+  ASSERT_TRUE(store
+                  .ScanVisit(id, Interval{30 * kMinute, 250 * kMinute},
+                             [&](const Sample& s) { streamed.push_back(s); })
+                  .ok());
+  auto scanned = store.Scan(id, Interval{30 * kMinute, 250 * kMinute});
+  ASSERT_TRUE(scanned.ok());
+  EXPECT_EQ(streamed, *scanned);
+  ASSERT_EQ(streamed.size(), 220u);
+  EXPECT_EQ(streamed.front().t, 30 * kMinute);
+}
+
+TEST(HypertableCompressionTest, BulkLoadSealsOncePerChunk) {
+  HypertableOptions options;
+  options.chunk_duration = kHour;
+  HypertableStore store(options);
+  const SeriesId id = store.Create("s");
+  Series bulk("bulk");
+  for (int i = 0; i < 600; ++i) {
+    ASSERT_TRUE(bulk.Append(static_cast<Timestamp>(i) * kMinute,
+                            static_cast<double>(i % 40))
+                    .ok());
+  }
+  ASSERT_TRUE(store.InsertSeries(id, bulk).ok());
+  // Deferred sealing: exactly one seal per cold chunk, zero unseals.
+  EXPECT_EQ(store.stats().chunks_sealed, 9u);
+  EXPECT_EQ(store.stats().chunks_unsealed, 0u);
+  EXPECT_EQ(*store.SampleCount(id), 600u);
+}
 
 }  // namespace
 }  // namespace hygraph::ts
