@@ -1,22 +1,25 @@
 #ifndef HYGRAPH_BENCH_BENCH_UTIL_H_
 #define HYGRAPH_BENCH_BENCH_UTIL_H_
 
-#include <chrono>
+#include <cstdint>
 #include <cstdio>
 #include <functional>
 #include <string>
 
 #include "common/stats.h"
+#include "obs/clock.h"
 
 namespace hygraph::bench {
 
-/// Wall-clock time of one invocation, in milliseconds.
+/// Wall-clock time of one invocation, in milliseconds. Reads the shared
+/// monotonic clock through obs::SystemClock so every timing in the repo
+/// goes through one source (enforced by the raw-clock lint rule).
 template <typename Fn>
 double TimeMs(Fn&& fn) {
-  const auto start = std::chrono::steady_clock::now();
+  const obs::Clock* clock = obs::SystemClock::Instance();
+  const uint64_t start = clock->NowNanos();
   fn();
-  const auto end = std::chrono::steady_clock::now();
-  return std::chrono::duration<double, std::milli>(end - start).count();
+  return static_cast<double>(clock->NowNanos() - start) / 1e6;
 }
 
 /// Runs `fn` once as warmup and then `repetitions` timed times; returns the

@@ -14,6 +14,9 @@ Checks (see DESIGN.md "Correctness tooling"):
                   outside src/), uppercased, with '/' and '.' as '_'.
   no-cout         no `std::cout` in src/ library code — a library reports
                   through Status/Result, not a stream it does not own.
+  raw-clock       no `std::chrono::steady_clock::now()` outside src/obs/ —
+                  timing goes through obs::Clock (SystemClock in production,
+                  ManualClock in tests) so it stays injectable everywhere.
 
 Exit status: 0 when clean, 1 with one `path:line: [check] message` per
 finding otherwise. Run via scripts/lint.sh or directly:
@@ -35,6 +38,7 @@ LIBRARY_DIRS = ("src", "fuzz")
 ALL_DIRS = ("src", "fuzz", "tests", "bench", "examples")
 
 RNG_HOME = Path("src/common/rng.h")
+CLOCK_HOME = Path("src/obs")
 
 NAKED_NEW_ALLOW = "NOLINT(hygraph-naked-new)"
 
@@ -117,6 +121,11 @@ def main() -> int:
             if re.search(r'#\s*include\s*"[^"]+\.cc"', raw_line):
                 report(rel, lineno, "cc-include",
                        "never #include a .cc file; link it instead")
+            if (not rel.is_relative_to(CLOCK_HOME)
+                    and re.search(r"\bsteady_clock\s*::\s*now\b", code_line)):
+                report(rel, lineno, "raw-clock",
+                       "read time through obs::Clock (obs/clock.h), not "
+                       "std::chrono::steady_clock::now()")
             if library:
                 prev_line = raw[lineno - 2] if lineno >= 2 else ""
                 allowed = (NAKED_NEW_ALLOW in raw_line

@@ -19,9 +19,13 @@ class RunningStats {
   double variance() const;
   double stddev() const;
   /// Coefficient of variation in percent: 100 * stddev / mean.
+  /// 0 when fewer than two samples or the mean is exactly 0.
   double cv_percent() const;
-  double min() const { return min_; }
-  double max() const { return max_; }
+  /// Smallest / largest value added so far. With no samples there is no
+  /// extremum; both return 0 (never a stale or indeterminate value), and
+  /// after exactly one Add both equal that sample.
+  double min() const { return count_ > 0 ? min_ : 0.0; }
+  double max() const { return count_ > 0 ? max_ : 0.0; }
   double sum() const { return sum_; }
 
  private:
@@ -37,9 +41,10 @@ class RunningStats {
 double Mean(const std::vector<double>& xs);
 /// Sample standard deviation (n-1); 0 when fewer than two elements.
 double StdDev(const std::vector<double>& xs);
-/// Linear-interpolated quantile, q in [0,1]; 0 for an empty vector.
+/// Linear-interpolated quantile; q is clamped to [0,1]. Returns 0 for an
+/// empty vector and the sole element for a 1-element vector (any q).
 double Quantile(std::vector<double> xs, double q);
-/// Median (50th percentile).
+/// Median (50th percentile). Same edge cases as Quantile.
 double Median(std::vector<double> xs);
 /// Pearson correlation of two equal-length vectors; 0 if degenerate.
 double PearsonCorrelation(const std::vector<double>& xs,

@@ -15,6 +15,7 @@
 
 #include "common/crc32.h"
 #include "common/strings.h"
+#include "obs/metrics.h"
 
 namespace hygraph::core {
 
@@ -395,6 +396,11 @@ Result<std::string> Serialize(const HyGraph& hg) {
   char crc[16];
   std::snprintf(crc, sizeof(crc), "%08x", Crc32(out));
   out += std::string("CHECKSUM ") + crc + "\n";
+  // Serialization is rare and heavy; the process-global registry keeps its
+  // tally without threading a registry through every call site.
+  auto& registry = obs::MetricsRegistry::Global();
+  registry.counter("serialize.saves")->Increment();
+  registry.counter("serialize.bytes_saved")->Add(out.size());
   return out;
 }
 
@@ -616,6 +622,9 @@ Result<HyGraph> Deserialize(const std::string& text) {
     }
   }
   HYGRAPH_RETURN_IF_ERROR(hg.Validate());
+  auto& registry = obs::MetricsRegistry::Global();
+  registry.counter("serialize.loads")->Increment();
+  registry.counter("serialize.bytes_loaded")->Add(text.size());
   return hg;
 }
 

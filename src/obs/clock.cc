@@ -1,0 +1,21 @@
+#include "obs/clock.h"
+
+#include <chrono>
+
+namespace hygraph::obs {
+
+Clock::~Clock() = default;
+
+uint64_t SystemClock::NowNanos() const {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+SystemClock* SystemClock::Instance() {
+  static SystemClock clock;
+  return &clock;
+}
+
+}  // namespace hygraph::obs

@@ -1,0 +1,54 @@
+#ifndef HYGRAPH_OBS_CLOCK_H_
+#define HYGRAPH_OBS_CLOCK_H_
+
+#include <cstdint>
+
+namespace hygraph::obs {
+
+/// Monotonic time source for every latency measurement in HyGraph. All
+/// timing — trace spans, PROFILE operator trees, slow-query detection,
+/// bench harness stopwatches — goes through this interface so tests can
+/// inject a deterministic clock (scripts/hygraph_lint.py forbids raw
+/// std::chrono::steady_clock::now() outside src/obs/).
+class Clock {
+ public:
+  virtual ~Clock();
+
+  /// Nanoseconds on a monotonic axis. Only differences are meaningful.
+  virtual uint64_t NowNanos() const = 0;
+};
+
+/// The real monotonic clock (std::chrono::steady_clock).
+class SystemClock final : public Clock {
+ public:
+  uint64_t NowNanos() const override;
+
+  /// Process-wide instance; never null.
+  static SystemClock* Instance();
+};
+
+/// A hand-cranked clock for deterministic tests: time only moves when the
+/// test advances it, or by a fixed `auto_advance` per reading (so code
+/// under test that brackets work with two NowNanos() calls sees a stable,
+/// reproducible duration).
+class ManualClock final : public Clock {
+ public:
+  explicit ManualClock(uint64_t start_nanos = 0) : now_(start_nanos) {}
+
+  uint64_t NowNanos() const override {
+    now_ += auto_advance_;
+    return now_;
+  }
+
+  void Advance(uint64_t nanos) { now_ += nanos; }
+  /// Every NowNanos() call moves time forward by `nanos` before reading.
+  void set_auto_advance(uint64_t nanos) { auto_advance_ = nanos; }
+
+ private:
+  mutable uint64_t now_;
+  uint64_t auto_advance_ = 0;
+};
+
+}  // namespace hygraph::obs
+
+#endif  // HYGRAPH_OBS_CLOCK_H_

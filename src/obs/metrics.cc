@@ -1,0 +1,288 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <bit>
+#include <cinttypes>
+#include <cstdio>
+#include <vector>
+
+namespace hygraph::obs {
+
+size_t HistogramBucketIndex(uint64_t v) {
+  if (v < kHistogramSubBuckets) return static_cast<size_t>(v);
+  // Exponent of the highest set bit; >= kHistogramSubBucketBits here.
+  const int e = 63 - std::countl_zero(v);
+  const uint64_t sub =
+      (v >> (e - kHistogramSubBucketBits)) - kHistogramSubBuckets;
+  return kHistogramSubBuckets +
+         static_cast<size_t>(e - kHistogramSubBucketBits) *
+             kHistogramSubBuckets +
+         static_cast<size_t>(sub);
+}
+
+uint64_t HistogramBucketLowerBound(size_t index) {
+  if (index < kHistogramSubBuckets) return index;
+  const size_t b = index - kHistogramSubBuckets;
+  const int e = static_cast<int>(b / kHistogramSubBuckets) +
+                kHistogramSubBucketBits;
+  const uint64_t sub = b % kHistogramSubBuckets;
+  return (kHistogramSubBuckets + sub) << (e - kHistogramSubBucketBits);
+}
+
+uint64_t HistogramBucketUpperBound(size_t index) {
+  if (index + 1 >= kHistogramBuckets) return UINT64_MAX;
+  return HistogramBucketLowerBound(index + 1) - 1;
+}
+
+uint64_t HistogramSnapshot::Quantile(double q) const {
+  if (count == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Rank in [1, count] of the requested quantile (nearest-rank, then
+  // interpolated within the owning bucket).
+  const double target = q * static_cast<double>(count);
+  uint64_t seen = 0;
+  for (size_t i = 0; i < kHistogramBuckets; ++i) {
+    const uint64_t in_bucket = buckets[i];
+    if (in_bucket == 0) continue;
+    if (static_cast<double>(seen + in_bucket) >= target) {
+      const uint64_t lo = HistogramBucketLowerBound(i);
+      const uint64_t hi = HistogramBucketUpperBound(i);
+      const double frac =
+          in_bucket == 0
+              ? 0.0
+              : (target - static_cast<double>(seen)) /
+                    static_cast<double>(in_bucket);
+      const double width = static_cast<double>(hi - lo);
+      uint64_t est = lo + static_cast<uint64_t>(width * frac);
+      // The true extrema are tracked exactly; never report outside them.
+      est = std::clamp(est, min, max);
+      return est;
+    }
+    seen += in_bucket;
+  }
+  return max;
+}
+
+void HistogramSnapshot::Merge(const HistogramSnapshot& other) {
+  if (other.count == 0) return;
+  if (count == 0) {
+    *this = other;
+    return;
+  }
+  count += other.count;
+  sum += other.sum;
+  min = std::min(min, other.min);
+  max = std::max(max, other.max);
+  for (size_t i = 0; i < kHistogramBuckets; ++i) buckets[i] += other.buckets[i];
+}
+
+void Histogram::Record(uint64_t v) {
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(v, std::memory_order_relaxed);
+  buckets_[HistogramBucketIndex(v)].fetch_add(1, std::memory_order_relaxed);
+  uint64_t cur = min_.load(std::memory_order_relaxed);
+  while (v < cur &&
+         !min_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+  cur = max_.load(std::memory_order_relaxed);
+  while (v > cur &&
+         !max_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+HistogramSnapshot Histogram::Snapshot() const {
+  HistogramSnapshot s;
+  s.count = count_.load(std::memory_order_relaxed);
+  s.sum = sum_.load(std::memory_order_relaxed);
+  if (s.count > 0) {
+    s.min = min_.load(std::memory_order_relaxed);
+    s.max = max_.load(std::memory_order_relaxed);
+  }
+  for (size_t i = 0; i < kHistogramBuckets; ++i) {
+    s.buckets[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  return s;
+}
+
+void Histogram::Reset() {
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+  min_.store(UINT64_MAX, std::memory_order_relaxed);
+  max_.store(0, std::memory_order_relaxed);
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+}
+
+void MetricsSnapshot::Merge(const MetricsSnapshot& other) {
+  for (const auto& [name, v] : other.counters) counters[name] += v;
+  for (const auto& [name, v] : other.gauges) gauges[name] = v;
+  for (const auto& [name, h] : other.histograms) histograms[name].Merge(h);
+}
+
+namespace {
+
+std::string PrometheusName(const std::string& name) {
+  std::string out = "hygraph_";
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_';
+    out.push_back(ok ? c : '_');
+  }
+  return out;
+}
+
+std::string FormatDouble(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+void AppendJsonString(std::string* out, const std::string& s) {
+  out->push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out->append("\\\"");
+        break;
+      case '\\':
+        out->append("\\\\");
+        break;
+      case '\n':
+        out->append("\\n");
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out->append(buf);
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+}  // namespace
+
+std::string MetricsSnapshot::ToPrometheusText() const {
+  std::string out;
+  char buf[160];
+  for (const auto& [name, v] : counters) {
+    const std::string p = PrometheusName(name);
+    out += "# TYPE " + p + " counter\n";
+    std::snprintf(buf, sizeof(buf), "%s %" PRIu64 "\n", p.c_str(), v);
+    out += buf;
+  }
+  for (const auto& [name, v] : gauges) {
+    const std::string p = PrometheusName(name);
+    out += "# TYPE " + p + " gauge\n";
+    out += p + " " + FormatDouble(v) + "\n";
+  }
+  for (const auto& [name, h] : histograms) {
+    const std::string p = PrometheusName(name);
+    out += "# TYPE " + p + " histogram\n";
+    uint64_t cumulative = 0;
+    for (size_t i = 0; i < kHistogramBuckets; ++i) {
+      if (h.buckets[i] == 0) continue;
+      cumulative += h.buckets[i];
+      std::snprintf(buf, sizeof(buf),
+                    "%s_bucket{le=\"%" PRIu64 "\"} %" PRIu64 "\n", p.c_str(),
+                    HistogramBucketUpperBound(i), cumulative);
+      out += buf;
+    }
+    std::snprintf(buf, sizeof(buf), "%s_bucket{le=\"+Inf\"} %" PRIu64 "\n",
+                  p.c_str(), h.count);
+    out += buf;
+    std::snprintf(buf, sizeof(buf), "%s_sum %" PRIu64 "\n", p.c_str(), h.sum);
+    out += buf;
+    std::snprintf(buf, sizeof(buf), "%s_count %" PRIu64 "\n", p.c_str(),
+                  h.count);
+    out += buf;
+  }
+  return out;
+}
+
+std::string MetricsSnapshot::ToJson() const {
+  std::string out = "{\"counters\":{";
+  char buf[96];
+  bool first = true;
+  for (const auto& [name, v] : counters) {
+    if (!first) out.push_back(',');
+    first = false;
+    AppendJsonString(&out, name);
+    std::snprintf(buf, sizeof(buf), ":%" PRIu64, v);
+    out += buf;
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, v] : gauges) {
+    if (!first) out.push_back(',');
+    first = false;
+    AppendJsonString(&out, name);
+    out.push_back(':');
+    out += FormatDouble(v);
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : histograms) {
+    if (!first) out.push_back(',');
+    first = false;
+    AppendJsonString(&out, name);
+    std::snprintf(buf, sizeof(buf),
+                  ":{\"count\":%" PRIu64 ",\"sum\":%" PRIu64 ",\"min\":%" PRIu64
+                  ",\"max\":%" PRIu64,
+                  h.count, h.sum, h.min, h.max);
+    out += buf;
+    out += ",\"mean\":" + FormatDouble(h.mean());
+    std::snprintf(buf, sizeof(buf),
+                  ",\"p50\":%" PRIu64 ",\"p90\":%" PRIu64 ",\"p99\":%" PRIu64
+                  "}",
+                  h.Quantile(0.5), h.Quantile(0.9), h.Quantile(0.99));
+    out += buf;
+  }
+  out += "}}";
+  return out;
+}
+
+Counter* MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Gauge* MetricsRegistry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+Histogram* MetricsRegistry::histogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>();
+  return slot.get();
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  MetricsSnapshot s;
+  for (const auto& [name, c] : counters_) s.counters[name] = c->value();
+  for (const auto& [name, g] : gauges_) s.gauges[name] = g->value();
+  for (const auto& [name, h] : histograms_) s.histograms[name] = h->Snapshot();
+  return s;
+}
+
+void MetricsRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, c] : counters_) c->Reset();
+  for (const auto& [name, h] : histograms_) h->Reset();
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();  // NOLINT(hygraph-naked-new)
+  return *registry;
+}
+
+}  // namespace hygraph::obs

@@ -1,0 +1,164 @@
+#ifndef HYGRAPH_OBS_METRICS_H_
+#define HYGRAPH_OBS_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+namespace hygraph::obs {
+
+/// Runtime metrics for the engine: named counters, gauges, and log-linear
+/// latency histograms collected in a MetricsRegistry.
+///
+/// Naming scheme (see DESIGN.md §9): lower-case dotted paths,
+/// "<subsystem>.<what>[_<unit>]" — e.g. "hypertable.chunks_scanned",
+/// "wal.bytes_appended", "durable.checkpoint_nanos". Durations are always
+/// nanoseconds and end in "_nanos"; byte counts end in "_bytes" or start
+/// with "bytes_".
+///
+/// Cost model: a Counter::Add is one relaxed atomic add — lock-free, and
+/// on the single-core reference machine effectively a plain increment
+/// (bench_obs measures ~1-2 ns). Registration (counter()/gauge()/
+/// histogram()) takes a mutex and allocates; instruments are therefore
+/// looked up once at construction time and held as raw pointers, never
+/// resolved on the hot path. The registry owns every instrument; pointers
+/// stay valid for the registry's lifetime.
+
+/// A monotonically increasing event count. Reset() exists for the
+/// work-counter use case (per-query deltas in tests and benches), which a
+/// strict Prometheus counter would not allow.
+class Counter {
+ public:
+  void Add(uint64_t n = 1) { v_.fetch_add(n, std::memory_order_relaxed); }
+  void Increment() { Add(1); }
+  uint64_t value() const { return v_.load(std::memory_order_relaxed); }
+  void Reset() { v_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> v_{0};
+};
+
+/// A point-in-time measurement (bytes resident, recovery record counts).
+class Gauge {
+ public:
+  void Set(double v) { v_.store(v, std::memory_order_relaxed); }
+  double value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> v_{0.0};
+};
+
+/// Bucket geometry shared by Histogram and HistogramSnapshot: log-linear,
+/// four linear sub-buckets per power of two (HdrHistogram-style). Values
+/// 0..3 are exact; above that, relative bucket width is at most 25%, which
+/// bounds the quantile estimation error. 252 buckets cover all of uint64.
+inline constexpr int kHistogramSubBucketBits = 2;
+inline constexpr size_t kHistogramSubBuckets = 1u << kHistogramSubBucketBits;
+// Exponents kHistogramSubBucketBits..63 inclusive each contribute one run of
+// sub-buckets (64 - kHistogramSubBucketBits runs), after the exact 0..3 range.
+inline constexpr size_t kHistogramBuckets =
+    kHistogramSubBuckets + (64 - kHistogramSubBucketBits) * kHistogramSubBuckets;
+
+/// Index of the bucket holding `v`; monotone in v.
+size_t HistogramBucketIndex(uint64_t v);
+/// Smallest value mapping to bucket `index` (its inclusive lower bound).
+uint64_t HistogramBucketLowerBound(size_t index);
+/// Largest value mapping to bucket `index` (its inclusive upper bound).
+uint64_t HistogramBucketUpperBound(size_t index);
+
+/// An immutable copy of a histogram's state. Merge is commutative and
+/// associative (bucket-wise addition, min/max combination), so partial
+/// snapshots from independent registries can be combined in any order.
+struct HistogramSnapshot {
+  uint64_t count = 0;
+  uint64_t sum = 0;
+  uint64_t min = 0;  ///< smallest recorded value; 0 when count == 0
+  uint64_t max = 0;  ///< largest recorded value; 0 when count == 0
+  std::array<uint64_t, kHistogramBuckets> buckets{};
+
+  /// Estimated q-quantile (q clamped to [0,1]) by linear interpolation
+  /// inside the owning bucket, clamped to the exact [min, max] envelope.
+  /// 0 when empty; the single recorded value when count == 1.
+  uint64_t Quantile(double q) const;
+  double mean() const {
+    return count == 0 ? 0.0
+                      : static_cast<double>(sum) / static_cast<double>(count);
+  }
+  void Merge(const HistogramSnapshot& other);
+};
+
+/// A log-linear latency/size histogram. Record is a handful of relaxed
+/// atomic operations — safe to call from any thread, cheap enough for
+/// per-operation instrumentation.
+class Histogram {
+ public:
+  void Record(uint64_t v);
+  HistogramSnapshot Snapshot() const;
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  void Reset();
+
+ private:
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_{0};
+  std::atomic<uint64_t> min_{UINT64_MAX};
+  std::atomic<uint64_t> max_{0};
+  std::array<std::atomic<uint64_t>, kHistogramBuckets> buckets_{};
+};
+
+/// A point-in-time copy of a whole registry. Merge folds another snapshot
+/// in: counters and histograms add; a gauge present in both keeps the
+/// other snapshot's value (last-writer-wins, which keeps Merge
+/// associative).
+struct MetricsSnapshot {
+  std::map<std::string, uint64_t> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, HistogramSnapshot> histograms;
+
+  void Merge(const MetricsSnapshot& other);
+
+  /// Prometheus text exposition format. Metric names are prefixed with
+  /// "hygraph_" and non-alphanumeric characters become '_'; histogram
+  /// buckets export cumulatively with inclusive `le` upper bounds.
+  std::string ToPrometheusText() const;
+  /// Compact JSON: {"counters": {...}, "gauges": {...}, "histograms":
+  /// {"name": {"count","sum","min","max","mean","p50","p90","p99"}}}.
+  std::string ToJson() const;
+};
+
+/// Owns named instruments. Lookups (registration) are mutex-guarded;
+/// the instruments themselves are lock-free. Instances are independent —
+/// each storage backend carries its own registry so tests can assert on
+/// per-store counts — and Global() serves code without a natural owner
+/// (WAL default, core::Serialize).
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Get-or-create; the returned pointer lives as long as the registry.
+  Counter* counter(const std::string& name);
+  Gauge* gauge(const std::string& name);
+  Histogram* histogram(const std::string& name);
+
+  MetricsSnapshot Snapshot() const;
+  /// Zeroes every counter and histogram (gauges keep their last value).
+  void Reset();
+
+  /// Process-wide registry for instrumentation without a natural owner.
+  static MetricsRegistry& Global();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace hygraph::obs
+
+#endif  // HYGRAPH_OBS_METRICS_H_

@@ -1,0 +1,29 @@
+#include "obs/slow_query.h"
+
+namespace hygraph::obs {
+
+void SlowQueryLog::MaybeRecord(const std::string& query,
+                               const std::string& backend, uint64_t nanos) {
+  const uint64_t threshold = threshold_nanos();
+  if (threshold == 0 || nanos < threshold) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (entries_.size() >= kCapacity) entries_.pop_front();
+  entries_.push_back(SlowQueryEntry{query, backend, nanos});
+}
+
+std::vector<SlowQueryEntry> SlowQueryLog::Entries() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return {entries_.begin(), entries_.end()};
+}
+
+void SlowQueryLog::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_.clear();
+}
+
+SlowQueryLog& SlowQueryLog::Global() {
+  static SlowQueryLog* log = new SlowQueryLog();  // NOLINT(hygraph-naked-new)
+  return *log;
+}
+
+}  // namespace hygraph::obs

@@ -1,0 +1,57 @@
+#ifndef HYGRAPH_OBS_SLOW_QUERY_H_
+#define HYGRAPH_OBS_SLOW_QUERY_H_
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace hygraph::obs {
+
+struct SlowQueryEntry {
+  std::string query;    ///< HGQL text as submitted
+  std::string backend;  ///< backend name ("all-in-graph", "polyglot", ...)
+  uint64_t nanos = 0;   ///< measured wall time
+};
+
+/// Ring buffer of queries that exceeded a latency threshold. Disabled by
+/// default (threshold 0): the executor checks `enabled()` — one relaxed
+/// atomic load — and when false performs no clock reads and takes no
+/// locks, keeping the default path free of observation overhead.
+class SlowQueryLog {
+ public:
+  /// 0 disables the log (the default). Setting a threshold does not clear
+  /// previously captured entries.
+  void set_threshold_nanos(uint64_t nanos) {
+    threshold_nanos_.store(nanos, std::memory_order_relaxed);
+  }
+  uint64_t threshold_nanos() const {
+    return threshold_nanos_.load(std::memory_order_relaxed);
+  }
+  bool enabled() const { return threshold_nanos() != 0; }
+
+  /// Records the query if the log is enabled and `nanos` meets the
+  /// threshold. Keeps at most `capacity()` most-recent entries.
+  void MaybeRecord(const std::string& query, const std::string& backend,
+                   uint64_t nanos);
+
+  std::vector<SlowQueryEntry> Entries() const;
+  void Clear();
+  size_t capacity() const { return kCapacity; }
+
+  /// Process-wide log consulted by query::Execute.
+  static SlowQueryLog& Global();
+
+ private:
+  static constexpr size_t kCapacity = 128;
+
+  std::atomic<uint64_t> threshold_nanos_{0};
+  mutable std::mutex mu_;
+  std::deque<SlowQueryEntry> entries_;
+};
+
+}  // namespace hygraph::obs
+
+#endif  // HYGRAPH_OBS_SLOW_QUERY_H_

@@ -120,7 +120,14 @@ struct OrderItem {
   bool descending = false;
 };
 
+/// How the query should run: normally, or through the EXPLAIN / PROFILE
+/// observability surface (a leading keyword before MATCH). EXPLAIN
+/// compiles and renders the plan without executing; PROFILE executes with
+/// trace spans and returns the per-operator tree.
+enum class QueryMode : uint8_t { kNormal, kExplain, kProfile };
+
 struct QueryAst {
+  QueryMode mode = QueryMode::kNormal;
   std::vector<PathAst> paths;  ///< comma-separated MATCH patterns
   ExprPtr where;               ///< null when absent
   bool distinct = false;       ///< RETURN DISTINCT

@@ -7,10 +7,37 @@
 #include "common/status.h"
 #include "common/time.h"
 #include "graph/property_graph.h"
+#include "obs/metrics.h"
 #include "ts/aggregate.h"
 #include "ts/series.h"
 
 namespace hygraph::query {
+
+/// A cheap snapshot of a backend's cumulative work counters, used by
+/// PROFILE to attribute storage-layer work (points scanned, chunks decoded
+/// vs. skipped, cache hits) to individual query operators by differencing
+/// before/after each evaluation. All counters are monotone; Delta() never
+/// underflows on a well-behaved backend.
+struct BackendWork {
+  uint64_t series_points_scanned = 0;  ///< samples materialized or folded
+  uint64_t chunks_decoded = 0;         ///< sealed chunks Gorilla-decoded
+  uint64_t chunks_cache_hits = 0;      ///< chunks answered from AggState cache
+  uint64_t chunks_zonemap_skipped = 0; ///< chunks skipped via zone maps
+  uint64_t properties_scanned = 0;     ///< property-map entries examined
+
+  BackendWork Delta(const BackendWork& earlier) const {
+    auto sub = [](uint64_t a, uint64_t b) { return a >= b ? a - b : 0; };
+    BackendWork d;
+    d.series_points_scanned = sub(series_points_scanned,
+                                  earlier.series_points_scanned);
+    d.chunks_decoded = sub(chunks_decoded, earlier.chunks_decoded);
+    d.chunks_cache_hits = sub(chunks_cache_hits, earlier.chunks_cache_hits);
+    d.chunks_zonemap_skipped =
+        sub(chunks_zonemap_skipped, earlier.chunks_zonemap_skipped);
+    d.properties_scanned = sub(properties_scanned, earlier.properties_scanned);
+    return d;
+  }
+};
 
 /// The storage abstraction HGQL executes against. Both architectures of
 /// Figure 1 implement it:
@@ -32,6 +59,18 @@ class QueryBackend {
   /// Human-readable engine name for benchmark output ("all-in-graph",
   /// "polyglot").
   virtual std::string name() const = 0;
+
+  // -- observability ----------------------------------------------------------
+
+  /// The backend's metrics registry, or nullptr when it has none (the
+  /// default). Non-const because read paths count work too; the registry
+  /// is logically metadata, not state.
+  virtual obs::MetricsRegistry* metrics() const { return nullptr; }
+
+  /// Snapshot of cumulative work counters for PROFILE attribution. The
+  /// default (all zeros) is valid for backends without instrumentation —
+  /// deltas are then zero and PROFILE simply omits storage-work counters.
+  virtual BackendWork Work() const { return {}; }
 
   /// The structural graph used for label scans, adjacency, and pattern
   /// matching. Static (non-series) properties are readable directly from

@@ -4,8 +4,11 @@
 #include <numeric>
 #include <set>
 
+#include "obs/clock.h"
+#include "obs/slow_query.h"
 #include "query/functions.h"
 #include "query/parser.h"
+#include "query/profile.h"
 
 namespace hygraph::query {
 
@@ -47,11 +50,36 @@ Result<QueryResult> Execute(const QueryBackend& backend,
   if (!ast.ok()) return ast.status();
   auto plan = CompileQuery(*ast, options);
   if (!plan.ok()) return plan.status();
-  return ExecutePlan(backend, *plan);
+  if (plan->mode != QueryMode::kNormal) return ExecutePlan(backend, *plan);
+
+  obs::SlowQueryLog& slow = obs::SlowQueryLog::Global();
+  if (!slow.enabled()) return RunPlan(backend, *plan, nullptr);
+  const obs::Clock* clock = obs::SystemClock::Instance();
+  const uint64_t start = clock->NowNanos();
+  auto result = RunPlan(backend, *plan, nullptr);
+  slow.MaybeRecord(query_text, backend.name(), clock->NowNanos() - start);
+  return result;
 }
 
 Result<QueryResult> ExecutePlan(const QueryBackend& backend,
                                 const Plan& plan) {
+  switch (plan.mode) {
+    case QueryMode::kExplain:
+      return ExplainPlan(backend, plan);
+    case QueryMode::kProfile: {
+      auto profiled = ProfilePlan(backend, plan);
+      if (!profiled.ok()) return profiled.status();
+      return profiled->ToResult();
+    }
+    case QueryMode::kNormal:
+      break;
+  }
+  return RunPlan(backend, plan, nullptr);
+}
+
+Result<QueryResult> RunPlan(const QueryBackend& backend, const Plan& plan,
+                            obs::Tracer* tracer) {
+  obs::ScopedSpan execute_span(tracer, "execute");
   QueryResult result;
   for (const ReturnItem& item : plan.returns) {
     result.columns.push_back(item.alias);
@@ -65,11 +93,38 @@ Result<QueryResult> ExecutePlan(const QueryBackend& backend,
                                !plan.distinct;
   if (can_limit_early) match_options.limit = plan.limit;
 
-  auto matches =
-      graph::MatchPattern(backend.topology(), plan.pattern, match_options);
+  Result<std::vector<graph::PatternMatch>> matches = [&] {
+    obs::ScopedSpan match_span(tracer, "match");
+    auto m = graph::MatchPattern(backend.topology(), plan.pattern,
+                                 match_options);
+    if (m.ok()) match_span.AddCounter("rows", m->size());
+    return m;
+  }();
   if (!matches.ok()) return matches.status();
 
   Evaluator evaluator(&backend);
+
+  // PROFILE attributes storage-layer work to the span that caused it by
+  // differencing the backend's cumulative counters around each evaluation.
+  const bool traced = tracer != nullptr;
+  auto attach_work = [&](obs::ScopedSpan& span, const BackendWork& before) {
+    if (!traced) return;
+    const BackendWork d = backend.Work().Delta(before);
+    span.AddCounter("points_scanned", d.series_points_scanned);
+    span.AddCounter("chunks_decoded", d.chunks_decoded);
+    span.AddCounter("chunks_cache_hits", d.chunks_cache_hits);
+    span.AddCounter("chunks_zonemap_skipped", d.chunks_zonemap_skipped);
+    span.AddCounter("properties_scanned", d.properties_scanned);
+  };
+  std::vector<std::string> return_span_names;
+  if (traced) {
+    return_span_names.reserve(plan.returns.size());
+    for (const ReturnItem& item : plan.returns) {
+      return_span_names.push_back("return:" + item.alias);
+    }
+  } else {
+    return_span_names.assign(plan.returns.size(), std::string());
+  }
 
   // Sort keys per row (evaluated against bindings + return aliases).
   struct PendingRow {
@@ -78,39 +133,56 @@ Result<QueryResult> ExecutePlan(const QueryBackend& backend,
   };
   std::vector<PendingRow> pending;
 
-  for (const graph::PatternMatch& match : *matches) {
-    Bindings bindings;
-    for (const auto& [var, vertex] : match.vertices) {
-      bindings[var] = Binding{false, vertex};
+  {
+    obs::ScopedSpan scan_span(tracer, "scan");
+    for (const graph::PatternMatch& match : *matches) {
+      Bindings bindings;
+      for (const auto& [var, vertex] : match.vertices) {
+        bindings[var] = Binding{false, vertex};
+      }
+      for (const auto& [var, edge_idx] : plan.edge_vars) {
+        bindings[var] = Binding{true, match.edges[edge_idx]};
+      }
+      if (plan.residual_where) {
+        obs::ScopedSpan where_span(tracer, "where");
+        const BackendWork before = traced ? backend.Work() : BackendWork{};
+        auto keep = evaluator.EvalPredicate(*plan.residual_where, bindings);
+        attach_work(where_span, before);
+        if (!keep.ok()) return keep.status();
+        if (!*keep) continue;
+      }
+      PendingRow row;
+      std::map<std::string, Value> aliases;
+      for (size_t i = 0; i < plan.returns.size(); ++i) {
+        const ReturnItem& item = plan.returns[i];
+        obs::ScopedSpan return_span(tracer, return_span_names[i]);
+        const BackendWork before = traced ? backend.Work() : BackendWork{};
+        auto value = evaluator.Eval(*item.expr, bindings);
+        attach_work(return_span, before);
+        if (!value.ok()) return value.status();
+        aliases[item.alias] = *value;
+        row.cells.push_back(std::move(*value));
+      }
+      if (!plan.order_by.empty()) {
+        obs::ScopedSpan order_span(tracer, "order_keys");
+        const BackendWork before = traced ? backend.Work() : BackendWork{};
+        for (const OrderItem& item : plan.order_by) {
+          auto key = evaluator.Eval(*item.expr, bindings, &aliases);
+          if (!key.ok()) return key.status();
+          row.sort_keys.push_back(std::move(*key));
+        }
+        attach_work(order_span, before);
+      }
+      pending.push_back(std::move(row));
+      if (can_limit_early && plan.limit != 0 && pending.size() >= plan.limit) {
+        break;
+      }
     }
-    for (const auto& [var, edge_idx] : plan.edge_vars) {
-      bindings[var] = Binding{true, match.edges[edge_idx]};
-    }
-    if (plan.residual_where) {
-      auto keep = evaluator.EvalPredicate(*plan.residual_where, bindings);
-      if (!keep.ok()) return keep.status();
-      if (!*keep) continue;
-    }
-    PendingRow row;
-    std::map<std::string, Value> aliases;
-    for (const ReturnItem& item : plan.returns) {
-      auto value = evaluator.Eval(*item.expr, bindings);
-      if (!value.ok()) return value.status();
-      aliases[item.alias] = *value;
-      row.cells.push_back(std::move(*value));
-    }
-    for (const OrderItem& item : plan.order_by) {
-      auto key = evaluator.Eval(*item.expr, bindings, &aliases);
-      if (!key.ok()) return key.status();
-      row.sort_keys.push_back(std::move(*key));
-    }
-    pending.push_back(std::move(row));
-    if (can_limit_early && plan.limit != 0 && pending.size() >= plan.limit) {
-      break;
-    }
+    scan_span.AddCounter("rows", pending.size());
   }
 
   if (plan.distinct) {
+    obs::ScopedSpan distinct_span(tracer, "distinct");
     // Keep the first occurrence of each projected row (DISTINCT applies to
     // the RETURN columns, before ordering).
     auto row_less = [](const std::vector<Value>& a,
@@ -131,6 +203,7 @@ Result<QueryResult> ExecutePlan(const QueryBackend& backend,
   }
 
   if (!plan.order_by.empty()) {
+    obs::ScopedSpan sort_span(tracer, "sort");
     std::vector<size_t> order(pending.size());
     std::iota(order.begin(), order.end(), 0);
     std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
@@ -146,11 +219,27 @@ Result<QueryResult> ExecutePlan(const QueryBackend& backend,
     pending = std::move(sorted);
   }
 
-  const size_t keep =
-      plan.limit == 0 ? pending.size() : std::min(plan.limit, pending.size());
-  result.rows.reserve(keep);
-  for (size_t i = 0; i < keep; ++i) {
-    result.rows.push_back(std::move(pending[i].cells));
+  {
+    obs::ScopedSpan project_span(tracer, "project");
+    const size_t keep = plan.limit == 0
+                            ? pending.size()
+                            : std::min(plan.limit, pending.size());
+    result.rows.reserve(keep);
+    for (size_t i = 0; i < keep; ++i) {
+      result.rows.push_back(std::move(pending[i].cells));
+    }
+    project_span.AddCounter("rows", result.rows.size());
+  }
+
+  const Evaluator::MemoStats& memo = evaluator.memo_stats();
+  execute_span.AddCounter("rows", result.rows.size());
+  execute_span.AddCounter("memo_hits", memo.hits);
+  execute_span.AddCounter("memo_misses", memo.misses);
+  if (obs::MetricsRegistry* registry = backend.metrics()) {
+    registry->counter("query.executions")->Increment();
+    registry->counter("query.rows")->Add(result.rows.size());
+    registry->counter("query.memo_hits")->Add(memo.hits);
+    registry->counter("query.memo_misses")->Add(memo.misses);
   }
   return result;
 }

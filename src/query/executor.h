@@ -6,6 +6,7 @@
 
 #include "common/status.h"
 #include "common/value.h"
+#include "obs/trace.h"
 #include "query/backend.h"
 #include "query/planner.h"
 
@@ -23,13 +24,27 @@ struct QueryResult {
   std::string ToString(size_t max_rows = 20) const;
 };
 
-/// Compiles and runs an HGQL query text against a backend.
+/// Compiles and runs an HGQL query text against a backend. Honors the
+/// query's EXPLAIN / PROFILE prefix: EXPLAIN returns the rendered plan
+/// (column "plan") without executing; PROFILE executes under trace spans
+/// and returns the per-operator tree (column "operator"). When the global
+/// obs::SlowQueryLog is enabled, normal executions exceeding its threshold
+/// are captured; when disabled (the default) no clock is read.
 Result<QueryResult> Execute(const QueryBackend& backend,
                             const std::string& query_text,
                             const PlannerOptions& options = {});
 
 /// Runs an already-compiled plan (benchmarks compile once, execute many).
+/// Dispatches on plan.mode like Execute.
 Result<QueryResult> ExecutePlan(const QueryBackend& backend, const Plan& plan);
+
+/// The execution engine under both ExecutePlan and PROFILE: runs the plan,
+/// optionally emitting trace spans (match / scan / where / return:<alias> /
+/// order_keys / distinct / sort / project) with per-span BackendWork
+/// deltas into `tracer`. A null tracer disables all instrumentation —
+/// no clock reads, no span bookkeeping. Ignores plan.mode.
+Result<QueryResult> RunPlan(const QueryBackend& backend, const Plan& plan,
+                            obs::Tracer* tracer);
 
 }  // namespace hygraph::query
 

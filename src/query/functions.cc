@@ -184,7 +184,11 @@ Result<ts::Series> Evaluator::SeriesRangeArg(const Expr& prop_ref,
   const RangeKey cache_key{bound->second.is_edge, bound->second.id,
                            prop_ref.key, interval.start, interval.end};
   auto hit = range_cache_.find(cache_key);
-  if (hit != range_cache_.end()) return hit->second;
+  if (hit != range_cache_.end()) {
+    ++memo_stats_.hits;
+    return hit->second;
+  }
+  ++memo_stats_.misses;
   auto series =
       bound->second.is_edge
           ? backend_->EdgeSeriesRange(bound->second.id, prop_ref.key, interval)

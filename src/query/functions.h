@@ -49,7 +49,17 @@ using Bindings = std::map<std::string, Binding>;
 ///   abs(x), coalesce(a, b)                     scalar helpers
 class Evaluator {
  public:
+  /// Range-memo effectiveness for one Evaluator lifetime (one
+  /// ExecutePlan). Surfaced as "query.memo_hits"/"query.memo_misses"
+  /// registry counters and as PROFILE span counters.
+  struct MemoStats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+  };
+
   explicit Evaluator(const QueryBackend* backend) : backend_(backend) {}
+
+  const MemoStats& memo_stats() const { return memo_stats_; }
 
   /// Evaluates `expr` under `bindings`. `aliases` (optional) resolves bare
   /// variables that are not pattern bindings — used for ORDER BY on RETURN
@@ -81,6 +91,7 @@ class Evaluator {
   using RangeKey =
       std::tuple<bool, uint64_t, std::string, Timestamp, Timestamp>;
   mutable std::map<RangeKey, ts::Series> range_cache_;
+  mutable MemoStats memo_stats_;
 };
 
 }  // namespace hygraph::query

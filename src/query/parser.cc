@@ -23,6 +23,11 @@ class Parser {
 
   Result<QueryAst> ParseQuery() {
     QueryAst query;
+    if (AcceptKeyword("EXPLAIN")) {
+      query.mode = QueryMode::kExplain;
+    } else if (AcceptKeyword("PROFILE")) {
+      query.mode = QueryMode::kProfile;
+    }
     HYGRAPH_RETURN_IF_ERROR(ExpectKeyword("MATCH"));
     while (true) {
       auto path = ParsePath();

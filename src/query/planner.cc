@@ -264,6 +264,7 @@ Result<Plan> CompileQuery(const QueryAst& ast, const PlannerOptions& options) {
   }
   plan.distinct = ast.distinct;
   plan.limit = ast.limit;
+  plan.mode = ast.mode;
   return plan;
 }
 

@@ -20,6 +20,7 @@ namespace hygraph::query {
 ///     down, e.g. ts_* calls and multi-variable comparisons);
 ///   * projection / ordering / limit.
 struct Plan {
+  QueryMode mode = QueryMode::kNormal;  ///< EXPLAIN / PROFILE prefix
   graph::Pattern pattern;
   /// Edge variable → index into pattern.edges (only named edges).
   std::map<std::string, size_t> edge_vars;

@@ -1,0 +1,95 @@
+#include "query/profile.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <utility>
+
+#include "query/parser.h"
+
+namespace hygraph::query {
+
+std::string ProfiledQuery::ToString() const {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf),
+                "PROFILE wall_ns=%" PRIu64 " rows=%zu\n", wall_nanos,
+                result.rows.size());
+  return buf + trace.ToString();
+}
+
+QueryResult ProfiledQuery::ToResult() const {
+  QueryResult out;
+  out.columns.push_back("operator");
+  const std::string rendered = ToString();
+  size_t start = 0;
+  while (start < rendered.size()) {
+    size_t end = rendered.find('\n', start);
+    if (end == std::string::npos) end = rendered.size();
+    out.rows.push_back({Value(rendered.substr(start, end - start))});
+    start = end + 1;
+  }
+  return out;
+}
+
+Result<ProfiledQuery> Profile(const QueryBackend& backend,
+                              const std::string& query_text,
+                              const PlannerOptions& options,
+                              const obs::Clock* clock) {
+  if (clock == nullptr) clock = obs::SystemClock::Instance();
+  obs::Tracer tracer(clock);
+  const uint64_t start = clock->NowNanos();
+  ProfiledQuery profiled;
+  {
+    obs::ScopedSpan query_span(&tracer, "query");
+    Result<Plan> plan = [&]() -> Result<Plan> {
+      obs::ScopedSpan compile_span(&tracer, "compile");
+      auto ast = Parse(query_text);
+      if (!ast.ok()) return ast.status();
+      return CompileQuery(*ast, options);
+    }();
+    if (!plan.ok()) return plan.status();
+    auto result = RunPlan(backend, *plan, &tracer);
+    if (!result.ok()) return result.status();
+    profiled.result = std::move(*result);
+  }
+  profiled.wall_nanos = clock->NowNanos() - start;
+  // root() has a single child: the "query" span wrapping compile + execute.
+  profiled.trace = tracer.root().children.front();
+  return profiled;
+}
+
+Result<ProfiledQuery> ProfilePlan(const QueryBackend& backend,
+                                  const Plan& plan, const obs::Clock* clock) {
+  if (clock == nullptr) clock = obs::SystemClock::Instance();
+  obs::Tracer tracer(clock);
+  const uint64_t start = clock->NowNanos();
+  auto result = RunPlan(backend, plan, &tracer);
+  const uint64_t wall = clock->NowNanos() - start;
+  if (!result.ok()) return result.status();
+  ProfiledQuery profiled;
+  profiled.result = std::move(*result);
+  profiled.wall_nanos = wall;
+  // root() has a single child: the "execute" span from RunPlan.
+  profiled.trace = tracer.root().children.front();
+  return profiled;
+}
+
+Result<QueryResult> Explain(const QueryBackend& backend,
+                            const std::string& query_text,
+                            const PlannerOptions& options) {
+  auto ast = Parse(query_text);
+  if (!ast.ok()) return ast.status();
+  auto plan = CompileQuery(*ast, options);
+  if (!plan.ok()) return plan.status();
+  return ExplainPlan(backend, *plan);
+}
+
+Result<QueryResult> ExplainPlan(const QueryBackend& backend,
+                                const Plan& plan) {
+  QueryResult out;
+  out.columns.push_back("plan");
+  out.rows.push_back({Value("backend: " + backend.name())});
+  out.rows.push_back({Value(plan.ToString())});
+  return out;
+}
+
+}  // namespace hygraph::query

@@ -1,0 +1,59 @@
+#ifndef HYGRAPH_QUERY_PROFILE_H_
+#define HYGRAPH_QUERY_PROFILE_H_
+
+#include <string>
+
+#include "obs/clock.h"
+#include "obs/trace.h"
+#include "query/executor.h"
+
+namespace hygraph::query {
+
+/// The result of running a query under PROFILE: the normal rows plus the
+/// aggregated per-operator trace tree and end-to-end wall time. Because
+/// every operator's children telescope into its total, the summed self
+/// times of the tree equal the root total by construction, and the root
+/// total is bracketed by the same two clock reads as `wall_nanos` minus
+/// plan compilation — the ISSUE's "timings reconcile with wall time"
+/// property is structural, not sampled.
+struct ProfiledQuery {
+  QueryResult result;     ///< the rows the query would normally return
+  obs::TraceNode trace;   ///< the "execute" operator (or "query" when
+                          ///< compiled from text, with compile + execute
+                          ///< children)
+  uint64_t wall_nanos = 0;
+
+  /// Header line (wall time, row count) + indented operator tree.
+  std::string ToString() const;
+  /// The PROFILE query surface: one column "operator", one row per line
+  /// of ToString() (what `Execute` returns for a PROFILE query).
+  QueryResult ToResult() const;
+};
+
+/// Parses, compiles, and runs `query_text` under trace spans. A leading
+/// EXPLAIN/PROFILE keyword in the text is ignored — calling Profile *is*
+/// the opt-in. `clock` defaults to the real SystemClock; tests inject a
+/// ManualClock with auto-advance for deterministic trees.
+Result<ProfiledQuery> Profile(const QueryBackend& backend,
+                              const std::string& query_text,
+                              const PlannerOptions& options = {},
+                              const obs::Clock* clock = nullptr);
+
+/// Runs an already-compiled plan under trace spans (plan.mode ignored).
+Result<ProfiledQuery> ProfilePlan(const QueryBackend& backend,
+                                  const Plan& plan,
+                                  const obs::Clock* clock = nullptr);
+
+/// Compiles `query_text` and renders the plan without executing it.
+Result<QueryResult> Explain(const QueryBackend& backend,
+                            const std::string& query_text,
+                            const PlannerOptions& options = {});
+
+/// The EXPLAIN rendering of an already-compiled plan: column "plan",
+/// one row for the backend name and one for Plan::ToString().
+Result<QueryResult> ExplainPlan(const QueryBackend& backend,
+                                const Plan& plan);
+
+}  // namespace hygraph::query
+
+#endif  // HYGRAPH_QUERY_PROFILE_H_

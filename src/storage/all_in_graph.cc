@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <memory>
 #include <set>
 
 namespace hygraph::storage {
@@ -13,6 +14,18 @@ constexpr char kPrefix[] = "__ts__";
 // needs up to 20 digits.
 constexpr size_t kTimestampDigits = 20;
 }  // namespace
+
+AllInGraphStore::AllInGraphStore()
+    : metrics_(std::make_unique<obs::MetricsRegistry>()),
+      properties_scanned_(metrics_->counter("allingraph.properties_scanned")),
+      samples_parsed_(metrics_->counter("allingraph.samples_parsed")) {}
+
+query::BackendWork AllInGraphStore::Work() const {
+  query::BackendWork w;
+  w.properties_scanned = properties_scanned_->value();
+  w.series_points_scanned = samples_parsed_->value();
+  return w;
+}
 
 std::string AllInGraphStore::EncodeSampleKey(const std::string& key,
                                              Timestamp t) {
@@ -57,6 +70,7 @@ Result<ts::Series> AllInGraphStore::ScanProperties(
   // entity, match the prefix textually, parse the timestamp, filter. No
   // index, no ordering assumption — this is what Table 1 measures.
   std::vector<ts::Sample> samples;
+  properties_scanned_->Add(props.size());
   for (const auto& [property_key, value] : props) {
     Timestamp t = 0;
     if (!DecodeSampleKey(property_key, key, &t)) continue;
@@ -68,6 +82,7 @@ Result<ts::Series> AllInGraphStore::ScanProperties(
     }
     samples.push_back(ts::Sample{t, *d});
   }
+  samples_parsed_->Add(samples.size());
   std::sort(samples.begin(), samples.end(),
             [](const ts::Sample& a, const ts::Sample& b) { return a.t < b.t; });
   ts::Series out(key);

@@ -1,6 +1,7 @@
 #ifndef HYGRAPH_STORAGE_ALL_IN_GRAPH_H_
 #define HYGRAPH_STORAGE_ALL_IN_GRAPH_H_
 
+#include <memory>
 #include <string>
 
 #include "query/backend.h"
@@ -31,11 +32,16 @@ namespace hygraph::storage {
 /// properties".
 class AllInGraphStore final : public query::QueryBackend {
  public:
-  AllInGraphStore() = default;
+  AllInGraphStore();
 
   std::string name() const override { return "all-in-graph"; }
   const graph::PropertyGraph& topology() const override { return graph_; }
   graph::PropertyGraph* mutable_topology() override { return &graph_; }
+
+  /// "allingraph.*" work counters: properties examined and samples parsed
+  /// by the full-property-map scans — the cost Table 1 measures.
+  obs::MetricsRegistry* metrics() const override { return metrics_.get(); }
+  query::BackendWork Work() const override;
 
   Status AppendVertexSample(graph::VertexId v, const std::string& key,
                             Timestamp t, double value) override;
@@ -68,6 +74,10 @@ class AllInGraphStore final : public query::QueryBackend {
                                     const Interval& interval) const;
 
   graph::PropertyGraph graph_;
+  // Heap-held so the cached counter pointers survive moves of the store.
+  std::unique_ptr<obs::MetricsRegistry> metrics_;
+  obs::Counter* properties_scanned_ = nullptr;
+  obs::Counter* samples_parsed_ = nullptr;
 };
 
 }  // namespace hygraph::storage

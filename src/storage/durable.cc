@@ -6,6 +6,7 @@
 
 #include "common/strings.h"
 #include "core/convert.h"
+#include "obs/clock.h"
 #include "core/hygraph.h"
 #include "core/serialize.h"
 #include "ts/multiseries.h"
@@ -317,7 +318,11 @@ DurableStore::DurableStore(Env* env, std::string dir,
     : env_(env),
       dir_(std::move(dir)),
       inner_(std::move(inner)),
-      options_(options) {}
+      options_(options),
+      metrics_(std::make_unique<obs::MetricsRegistry>()),
+      records_logged_(metrics_->counter("durable.records_logged")),
+      checkpoints_(metrics_->counter("durable.checkpoints")),
+      checkpoint_nanos_(metrics_->histogram("durable.checkpoint_nanos")) {}
 
 DurableStore::~DurableStore() {
   if (wal_ != nullptr) HYGRAPH_IGNORE_RESULT(wal_->Close());
@@ -386,7 +391,7 @@ Status DurableStore::Open() {
   // torn tail and already-checkpointed prefix in one motion. The writer's
   // handle survives the rename (POSIX semantics).
   const std::string tmp = dir_ + "/wal.tmp";
-  auto writer = WalWriter::Create(env_, tmp);
+  auto writer = WalWriter::Create(env_, tmp, metrics_.get());
   if (!writer.ok()) return writer.status();
   for (const std::string* record : live_records) {
     HYGRAPH_RETURN_IF_ERROR((*writer)->Append(*record, /*sync=*/false));
@@ -396,6 +401,25 @@ Status DurableStore::Open() {
   wal_ = std::move(*writer);
   records_since_checkpoint_ = live_records.size();
   opened_ = true;
+
+  // Mirror RecoveryStats as gauges so a metrics scrape after startup shows
+  // what recovery found without needing the typed struct.
+  metrics_->gauge("recovery.snapshot_loaded")
+      ->Set(recovery_.snapshot_loaded ? 1.0 : 0.0);
+  metrics_->gauge("recovery.snapshot_seq")
+      ->Set(static_cast<double>(recovery_.snapshot_seq));
+  metrics_->gauge("recovery.wal_records_salvaged")
+      ->Set(static_cast<double>(recovery_.wal_records_salvaged));
+  metrics_->gauge("recovery.wal_records_skipped")
+      ->Set(static_cast<double>(recovery_.wal_records_skipped));
+  metrics_->gauge("recovery.wal_records_replayed")
+      ->Set(static_cast<double>(recovery_.wal_records_replayed));
+  metrics_->gauge("recovery.wal_replay_failures")
+      ->Set(static_cast<double>(recovery_.wal_replay_failures));
+  metrics_->gauge("recovery.wal_bytes_dropped")
+      ->Set(static_cast<double>(recovery_.wal_bytes_dropped));
+  metrics_->gauge("recovery.wal_torn_tail")
+      ->Set(recovery_.wal_torn_tail ? 1.0 : 0.0);
   return Status::OK();
 }
 
@@ -413,6 +437,7 @@ Status DurableStore::Log(const std::string& body) {
   if (!s.ok()) return s;
   ++next_seq_;
   ++records_since_checkpoint_;
+  records_logged_->Increment();
   return Status::OK();
 }
 
@@ -590,6 +615,18 @@ Status DurableStore::RemoveEdge(graph::EdgeId e) {
 // -- durability control -------------------------------------------------------
 
 Status DurableStore::Checkpoint() {
+  // Checkpoints serialize the full store; two clock reads are noise next to
+  // that, so checkpoint latency is always recorded (failures included —
+  // a slow failed checkpoint is exactly what an operator wants to see).
+  const obs::Clock* clock = obs::SystemClock::Instance();
+  const uint64_t start = clock->NowNanos();
+  Status s = CheckpointImpl();
+  checkpoint_nanos_->Record(clock->NowNanos() - start);
+  if (s.ok()) checkpoints_->Increment();
+  return s;
+}
+
+Status DurableStore::CheckpointImpl() {
   HYGRAPH_RETURN_IF_ERROR(RequireOpen());
   auto text = BuildSnapshotText(*inner_);
   if (!text.ok()) return text.status();
@@ -626,7 +663,7 @@ Status DurableStore::Checkpoint() {
   // acknowledgements.
   HYGRAPH_RETURN_IF_ERROR(wal_->Close());
   wal_.reset();
-  auto writer = WalWriter::Create(env_, WalPath());
+  auto writer = WalWriter::Create(env_, WalPath(), metrics_.get());
   if (!writer.ok()) return writer.status();
   wal_ = std::move(*writer);
   records_since_checkpoint_ = 0;

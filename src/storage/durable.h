@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "query/backend.h"
 #include "storage/env.h"
 #include "storage/wal.h"
@@ -73,6 +74,15 @@ class DurableStore final : public query::QueryBackend {
   Status Open();
 
   const RecoveryStats& recovery() const { return recovery_; }
+
+  /// The durability layer's own registry: "durable.*" counters, the
+  /// "durable.checkpoint_nanos" histogram, "recovery.*" gauges mirroring
+  /// RecoveryStats after Open(), and the WAL's "wal.*" instruments. The
+  /// wrapped backend keeps its own registry (merge snapshots to combine).
+  obs::MetricsRegistry* metrics() const override { return metrics_.get(); }
+  /// Query-time work happens in the wrapped backend.
+  query::BackendWork Work() const override { return inner_->Work(); }
+
   query::QueryBackend* inner() { return inner_.get(); }
   const query::QueryBackend* inner() const { return inner_.get(); }
   /// Next WAL sequence number (exposed for tests).
@@ -133,6 +143,7 @@ class DurableStore final : public query::QueryBackend {
 
  private:
   Status RequireOpen() const;
+  Status CheckpointImpl();
   Status Log(const std::string& body);
   Status ApplyRecord(const std::string& record);
   void MaybeAutoCheckpoint();
@@ -145,6 +156,12 @@ class DurableStore final : public query::QueryBackend {
   std::string dir_;
   std::unique_ptr<query::QueryBackend> inner_;
   DurableOptions options_;
+  // Heap-held so the cached instrument pointers stay valid; declared before
+  // wal_ so the registry outlives the writer that registers into it.
+  std::unique_ptr<obs::MetricsRegistry> metrics_;
+  obs::Counter* records_logged_ = nullptr;
+  obs::Counter* checkpoints_ = nullptr;
+  obs::Histogram* checkpoint_nanos_ = nullptr;
   std::unique_ptr<WalWriter> wal_;
   bool opened_ = false;
   uint64_t next_seq_ = 1;

@@ -1,8 +1,33 @@
 #include "storage/polyglot.h"
 
 #include <algorithm>
+#include <utility>
 
 namespace hygraph::storage {
+
+namespace {
+
+ts::HypertableOptions WithDefaultMetrics(ts::HypertableOptions options,
+                                         obs::MetricsRegistry* registry) {
+  if (options.metrics == nullptr) options.metrics = registry;
+  return options;
+}
+
+}  // namespace
+
+PolyglotStore::PolyglotStore(ts::HypertableOptions ts_options)
+    : metrics_(std::make_unique<obs::MetricsRegistry>()),
+      series_(WithDefaultMetrics(std::move(ts_options), metrics_.get())) {}
+
+query::BackendWork PolyglotStore::Work() const {
+  const ts::HypertableStats stats = series_.stats();
+  query::BackendWork w;
+  w.series_points_scanned = stats.samples_scanned;
+  w.chunks_decoded = stats.chunks_decoded;
+  w.chunks_cache_hits = stats.chunks_from_cache;
+  w.chunks_zonemap_skipped = stats.chunks_zonemap_skipped;
+  return w;
+}
 
 Result<SeriesId> PolyglotStore::Resolve(const SeriesMap& map, uint64_t id,
                                         const std::string& key) const {

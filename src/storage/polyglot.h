@@ -1,6 +1,7 @@
 #ifndef HYGRAPH_STORAGE_POLYGLOT_H_
 #define HYGRAPH_STORAGE_POLYGLOT_H_
 
+#include <memory>
 #include <string>
 #include <unordered_map>
 
@@ -23,12 +24,17 @@ namespace hygraph::storage {
 /// the trivial Q1.
 class PolyglotStore final : public query::QueryBackend {
  public:
-  explicit PolyglotStore(ts::HypertableOptions ts_options = {})
-      : series_(ts_options) {}
+  explicit PolyglotStore(ts::HypertableOptions ts_options = {});
 
   std::string name() const override { return "polyglot"; }
   const graph::PropertyGraph& topology() const override { return graph_; }
   graph::PropertyGraph* mutable_topology() override { return &graph_; }
+
+  /// One registry for the whole backend; the embedded hypertable's
+  /// "hypertable.*" instruments live in it too (unless the caller injected
+  /// a registry of their own via HypertableOptions::metrics).
+  obs::MetricsRegistry* metrics() const override { return series_.metrics(); }
+  query::BackendWork Work() const override;
 
   Status AppendVertexSample(graph::VertexId v, const std::string& key,
                             Timestamp t, double value) override;
@@ -110,6 +116,9 @@ class PolyglotStore final : public query::QueryBackend {
                            const std::string& key, const char* scope);
 
   graph::PropertyGraph graph_;
+  // Declared before series_ so the hypertable can adopt it at
+  // construction (when the caller did not inject a registry of their own).
+  std::unique_ptr<obs::MetricsRegistry> metrics_;
   ts::HypertableStore series_;
   SeriesMap vertex_series_;
   SeriesMap edge_series_;

@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "storage/env.h"
 
 namespace hygraph::storage {
@@ -25,9 +26,12 @@ inline constexpr uint32_t kWalMaxRecordSize = 1u << 26;  // 64 MiB
 
 class WalWriter {
  public:
-  /// Creates (truncating) the log file at `path`.
-  static Result<std::unique_ptr<WalWriter>> Create(Env* env,
-                                                   const std::string& path);
+  /// Creates (truncating) the log file at `path`. The writer's "wal.*"
+  /// instruments (appends, bytes_appended, syncs, sync_nanos) register in
+  /// `metrics`; null means the process-global registry.
+  static Result<std::unique_ptr<WalWriter>> Create(
+      Env* env, const std::string& path,
+      obs::MetricsRegistry* metrics = nullptr);
 
   /// Appends one framed record. With `sync`, the record is fsynced before
   /// returning — the write is acknowledged as durable. Without, it sits in
@@ -41,11 +45,14 @@ class WalWriter {
   uint64_t bytes_written() const { return bytes_written_; }
 
  private:
-  explicit WalWriter(std::unique_ptr<WritableFile> file)
-      : file_(std::move(file)) {}
+  WalWriter(std::unique_ptr<WritableFile> file, obs::MetricsRegistry* metrics);
 
   std::unique_ptr<WritableFile> file_;
   uint64_t bytes_written_ = 0;
+  obs::Counter* appends_ = nullptr;
+  obs::Counter* bytes_appended_ = nullptr;
+  obs::Counter* syncs_ = nullptr;
+  obs::Histogram* sync_nanos_ = nullptr;
 };
 
 /// Result of scanning a WAL file.

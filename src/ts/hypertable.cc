@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <memory>
 
 namespace hygraph::ts {
 
@@ -12,6 +13,23 @@ Status HypertableStore::NoSuchSeries(SeriesId id) {
 HypertableStore::HypertableStore(HypertableOptions options)
     : options_(options) {
   if (options_.chunk_duration <= 0) options_.chunk_duration = kDay;
+  if (options_.metrics != nullptr) {
+    metrics_ = options_.metrics;
+  } else {
+    owned_metrics_ = std::make_unique<obs::MetricsRegistry>();
+    metrics_ = owned_metrics_.get();
+  }
+  m_.chunks_total = metrics_->counter("hypertable.chunks_total");
+  m_.chunks_scanned = metrics_->counter("hypertable.chunks_scanned");
+  m_.chunks_from_cache = metrics_->counter("hypertable.chunks_from_cache");
+  m_.samples_scanned = metrics_->counter("hypertable.samples_scanned");
+  m_.chunks_decoded = metrics_->counter("hypertable.chunks_decoded");
+  m_.chunks_sealed = metrics_->counter("hypertable.chunks_sealed");
+  m_.chunks_unsealed = metrics_->counter("hypertable.chunks_unsealed");
+  m_.bytes_raw = metrics_->counter("hypertable.bytes_raw");
+  m_.bytes_compressed = metrics_->counter("hypertable.bytes_compressed");
+  m_.chunks_zonemap_skipped =
+      metrics_->counter("hypertable.chunks_zonemap_skipped");
 }
 
 SeriesId HypertableStore::Create(std::string name) {
@@ -82,9 +100,9 @@ void HypertableStore::Seal(Chunk& chunk) {
   chunk.encoded = EncodeChunk(chunk.samples);
   chunk.encoded.shrink_to_fit();
   chunk.sealed_count = chunk.samples.size();
-  ++stats_.chunks_sealed;
-  stats_.bytes_raw += chunk.samples.size() * sizeof(Sample);
-  stats_.bytes_compressed += chunk.encoded.size();
+  m_.chunks_sealed->Increment();
+  m_.bytes_raw->Add(chunk.samples.size() * sizeof(Sample));
+  m_.bytes_compressed->Add(chunk.encoded.size());
   chunk.samples = std::vector<Sample>{};  // release the hot buffer
 }
 
@@ -98,7 +116,8 @@ Status HypertableStore::Unseal(Chunk& chunk) {
   chunk.samples = std::move(*samples);
   chunk.encoded = std::string{};
   chunk.sealed_count = 0;
-  ++stats_.chunks_unsealed;
+  m_.chunks_unsealed->Increment();
+  m_.chunks_decoded->Increment();
   return Status::OK();
 }
 
@@ -250,7 +269,7 @@ Result<size_t> HypertableStore::CountMatching(
   auto it = series_.find(id);
   if (it == series_.end()) return Status(NoSuchSeries(id));
   size_t n = 0;
-  stats_.chunks_total += it->second.chunks.size();
+  m_.chunks_total->Add(it->second.chunks.size());
   for (const Chunk& chunk : it->second.chunks) {
     if (chunk.start >= interval.end) break;
     if (!ChunkSpan(chunk).Overlaps(interval) || chunk.size() == 0) continue;
@@ -261,7 +280,7 @@ Result<size_t> HypertableStore::CountMatching(
       if (!predicate.unbounded() &&
           !(chunk.min_v <= predicate.max_value &&
             chunk.max_v >= predicate.min_value)) {
-        ++stats_.chunks_zonemap_skipped;
+        m_.chunks_zonemap_skipped->Increment();
         continue;
       }
       // Whole-chunk match: every sample is inside the interval and the
@@ -270,11 +289,11 @@ Result<size_t> HypertableStore::CountMatching(
           chunk.all_finite && predicate.Matches(chunk.min_v) &&
           predicate.Matches(chunk.max_v)) {
         n += chunk.sealed_count;
-        ++stats_.chunks_from_cache;
+        m_.chunks_from_cache->Increment();
         continue;
       }
     }
-    ++stats_.chunks_scanned;
+    m_.chunks_scanned->Increment();
     HYGRAPH_RETURN_IF_ERROR(
         VisitChunk(chunk, interval, predicate, [&n](const Sample&) { ++n; }));
   }
@@ -287,7 +306,7 @@ Result<double> HypertableStore::Aggregate(SeriesId id,
   auto it = series_.find(id);
   if (it == series_.end()) return Status(NoSuchSeries(id));
   AggState total;
-  stats_.chunks_total += it->second.chunks.size();
+  m_.chunks_total->Add(it->second.chunks.size());
   for (const Chunk& chunk : it->second.chunks) {
     if (chunk.start >= interval.end) break;
     if (!ChunkSpan(chunk).Overlaps(interval) || chunk.size() == 0) continue;
@@ -297,10 +316,10 @@ Result<double> HypertableStore::Aggregate(SeriesId id,
     if (options_.enable_chunk_cache && interval.Contains(FirstT(chunk)) &&
         interval.Contains(LastT(chunk))) {
       total.Merge(ChunkAggregate(chunk));
-      ++stats_.chunks_from_cache;
+      m_.chunks_from_cache->Increment();
       continue;
     }
-    ++stats_.chunks_scanned;
+    m_.chunks_scanned->Increment();
     HYGRAPH_RETURN_IF_ERROR(VisitChunk(
         chunk, interval, ScanPredicate{},
         [&total](const Sample& s) { total.Add(s); }));
@@ -345,7 +364,7 @@ Result<Series> HypertableStore::WindowAggregate(SeriesId id,
     return out.Append(anchor + current_bucket * width, *value);
   };
 
-  stats_.chunks_total += it->second.chunks.size();
+  m_.chunks_total->Add(it->second.chunks.size());
   for (const Chunk& chunk : it->second.chunks) {
     if (chunk.start >= span.end) break;
     if (!ChunkSpan(chunk).Overlaps(span) || chunk.size() == 0) continue;
@@ -364,10 +383,10 @@ Result<Series> HypertableStore::WindowAggregate(SeriesId id,
         state = AggState{};
       }
       state.Merge(ChunkAggregate(chunk));
-      ++stats_.chunks_from_cache;
+      m_.chunks_from_cache->Increment();
       continue;
     }
-    ++stats_.chunks_scanned;
+    m_.chunks_scanned->Increment();
     Status window_status = Status::OK();
     HYGRAPH_RETURN_IF_ERROR(
         VisitChunk(chunk, span, ScanPredicate{}, [&](const Sample& s) {
@@ -417,6 +436,34 @@ HypertableMemory HypertableStore::MemoryUsage() const {
   return m;
 }
 
-void HypertableStore::ResetStats() { stats_ = HypertableStats{}; }
+HypertableStats HypertableStore::stats() const {
+  HypertableStats s;
+  s.chunks_total = m_.chunks_total->value();
+  s.chunks_scanned = m_.chunks_scanned->value();
+  s.chunks_from_cache = m_.chunks_from_cache->value();
+  s.samples_scanned = m_.samples_scanned->value();
+  s.chunks_decoded = m_.chunks_decoded->value();
+  s.chunks_sealed = m_.chunks_sealed->value();
+  s.chunks_unsealed = m_.chunks_unsealed->value();
+  s.bytes_raw = m_.bytes_raw->value();
+  s.bytes_compressed = m_.bytes_compressed->value();
+  s.chunks_zonemap_skipped = m_.chunks_zonemap_skipped->value();
+  return s;
+}
+
+void HypertableStore::ResetStats() {
+  // Resets only this store's instruments, not the whole registry, which
+  // may be shared with the enclosing backend.
+  m_.chunks_total->Reset();
+  m_.chunks_scanned->Reset();
+  m_.chunks_from_cache->Reset();
+  m_.samples_scanned->Reset();
+  m_.chunks_decoded->Reset();
+  m_.chunks_sealed->Reset();
+  m_.chunks_unsealed->Reset();
+  m_.bytes_raw->Reset();
+  m_.bytes_compressed->Reset();
+  m_.chunks_zonemap_skipped->Reset();
+}
 
 }  // namespace hygraph::ts

@@ -3,6 +3,7 @@
 
 #include <algorithm>
 #include <limits>
+#include <memory>
 #include <string>
 #include <unordered_map>
 #include <utility>
@@ -11,6 +12,7 @@
 #include "common/status.h"
 #include "common/time.h"
 #include "common/value.h"
+#include "obs/metrics.h"
 #include "ts/aggregate.h"
 #include "ts/chunk_codec.h"
 #include "ts/series.h"
@@ -32,15 +34,25 @@ struct HypertableOptions {
   /// its cached aggregate. Out-of-order writes transparently unseal, merge
   /// and reseal. The compression ablation bench toggles this off.
   bool compress_sealed_chunks = true;
+  /// Registry the store's "hypertable.*" work counters live in. When null
+  /// (the default) the store creates and owns a private registry. A
+  /// containing engine (PolyglotStore) passes its own registry so one
+  /// snapshot covers the whole backend.
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 /// Counters describing the work a query did — used by tests and by the
-/// scalability bench to show chunk pruning is effective.
+/// scalability bench to show chunk pruning is effective. Assembled on
+/// demand from the store's registry-backed "hypertable.*" counters (the
+/// registry is the source of truth; this struct is its typed view).
 struct HypertableStats {
   size_t chunks_total = 0;
   size_t chunks_scanned = 0;     ///< chunks whose samples were touched
   size_t chunks_from_cache = 0;  ///< chunks answered from their aggregate cache
   size_t samples_scanned = 0;
+  /// Sealed chunks Gorilla-decoded on the read path (scans that could not
+  /// be answered from zone maps or cached partials).
+  size_t chunks_decoded = 0;
   // Compression lifecycle (cumulative since the last ResetStats()).
   size_t chunks_sealed = 0;    ///< seal operations performed
   size_t chunks_unsealed = 0;  ///< unseal operations (out-of-order writes)
@@ -161,7 +173,7 @@ class HypertableStore {
                    const ScanPredicate& predicate, Fn&& fn) const {
     auto it = series_.find(id);
     if (it == series_.end()) return NoSuchSeries(id);
-    stats_.chunks_total += it->second.chunks.size();
+    m_.chunks_total->Add(it->second.chunks.size());
     for (const Chunk& chunk : it->second.chunks) {
       if (chunk.start >= interval.end) break;  // chunks sorted by start
       if (!ChunkSpan(chunk).Overlaps(interval)) continue;
@@ -173,11 +185,11 @@ class HypertableStore {
         if (!predicate.unbounded() &&
             !(chunk.min_v <= predicate.max_value &&
               chunk.max_v >= predicate.min_value)) {
-          ++stats_.chunks_zonemap_skipped;
+          m_.chunks_zonemap_skipped->Increment();
           continue;
         }
       }
-      ++stats_.chunks_scanned;
+      m_.chunks_scanned->Increment();
       HYGRAPH_RETURN_IF_ERROR(VisitChunk(chunk, interval, predicate, fn));
     }
     return Status::OK();
@@ -220,9 +232,16 @@ class HypertableStore {
   /// Current sample-data footprint (hot vectors vs sealed encoded bytes).
   HypertableMemory MemoryUsage() const;
 
-  /// Work counters accumulated since the last ResetStats().
-  const HypertableStats& stats() const { return stats_; }
+  /// Work counters accumulated since the last ResetStats(), assembled
+  /// from the registry. Returned by value; binding to a const reference
+  /// (lifetime extension) keeps old call sites source-compatible but the
+  /// struct is a snapshot, not a live view.
+  HypertableStats stats() const;
   void ResetStats();
+
+  /// The registry holding this store's "hypertable.*" instruments (the
+  /// injected one, or the privately owned default). Never null.
+  obs::MetricsRegistry* metrics() const { return metrics_; }
 
  private:
   struct Chunk {
@@ -278,14 +297,17 @@ class HypertableStore {
   Status VisitChunk(const Chunk& chunk, const Interval& interval,
                     const ScanPredicate& predicate, Fn&& fn) const {
     if (chunk.sealed()) {
+      m_.chunks_decoded->Increment();
       ChunkDecoder decoder(chunk.encoded);
       Sample s;
+      size_t visited = 0;
       while (decoder.Next(&s)) {
         if (s.t >= interval.end) break;
         if (s.t < interval.start) continue;
-        ++stats_.samples_scanned;
+        ++visited;
         if (predicate.Matches(s.value)) fn(s);
       }
+      m_.samples_scanned->Add(visited);
       if (!decoder.status().ok()) {
         return Status::Internal("sealed chunk failed to decode: " +
                                 decoder.status().message());
@@ -298,8 +320,8 @@ class HypertableStore {
     auto hi = std::lower_bound(
         lo, chunk.samples.end(), interval.end,
         [](const Sample& s, Timestamp t) { return s.t < t; });
+    m_.samples_scanned->Add(static_cast<size_t>(hi - lo));
     for (auto sample = lo; sample != hi; ++sample) {
-      ++stats_.samples_scanned;
       if (predicate.Matches(sample->value)) fn(*sample);
     }
     return Status::OK();
@@ -315,10 +337,31 @@ class HypertableStore {
 
   static const AggState& ChunkAggregate(const Chunk& chunk);
 
+  /// Registry-backed work instruments, resolved once at construction and
+  /// cached as raw pointers so the hot scan templates above pay only a
+  /// relaxed atomic add per increment. All point into `*metrics_`.
+  struct Instruments {
+    obs::Counter* chunks_total = nullptr;
+    obs::Counter* chunks_scanned = nullptr;
+    obs::Counter* chunks_from_cache = nullptr;
+    obs::Counter* samples_scanned = nullptr;
+    obs::Counter* chunks_decoded = nullptr;
+    obs::Counter* chunks_sealed = nullptr;
+    obs::Counter* chunks_unsealed = nullptr;
+    obs::Counter* bytes_raw = nullptr;
+    obs::Counter* bytes_compressed = nullptr;
+    obs::Counter* chunks_zonemap_skipped = nullptr;
+  };
+
   HypertableOptions options_;
   std::unordered_map<SeriesId, StoredSeries> series_;
   SeriesId next_id_ = 0;
-  mutable HypertableStats stats_;
+  // Owned when options.metrics was null; metrics_ and the cached
+  // instrument pointers stay valid across moves because the registry is
+  // heap-allocated.
+  std::unique_ptr<obs::MetricsRegistry> owned_metrics_;
+  obs::MetricsRegistry* metrics_ = nullptr;
+  Instruments m_;
 };
 
 }  // namespace hygraph::ts

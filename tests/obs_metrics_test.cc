@@ -1,0 +1,286 @@
+#include "obs/metrics.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace hygraph::obs {
+namespace {
+
+TEST(CounterTest, AddIncrementValueReset) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.Increment();
+  c.Add(41);
+  EXPECT_EQ(c.value(), 42u);
+  c.Reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(GaugeTest, SetOverwrites) {
+  Gauge g;
+  EXPECT_DOUBLE_EQ(g.value(), 0.0);
+  g.Set(3.5);
+  g.Set(-1.25);
+  EXPECT_DOUBLE_EQ(g.value(), -1.25);
+}
+
+// -- bucket geometry ----------------------------------------------------------
+
+TEST(HistogramBucketsTest, SmallValuesAreExact) {
+  // Values below kHistogramSubBuckets each get a bucket of their own.
+  for (uint64_t v = 0; v < kHistogramSubBuckets; ++v) {
+    EXPECT_EQ(HistogramBucketIndex(v), v);
+    EXPECT_EQ(HistogramBucketLowerBound(v), v);
+    EXPECT_EQ(HistogramBucketUpperBound(v), v);
+  }
+}
+
+TEST(HistogramBucketsTest, BoundsRoundTrip) {
+  // Every bucket's own bounds map back to that bucket, and adjacent buckets
+  // tile the axis without gap or overlap.
+  for (size_t i = 0; i < kHistogramBuckets; ++i) {
+    const uint64_t lo = HistogramBucketLowerBound(i);
+    const uint64_t hi = HistogramBucketUpperBound(i);
+    ASSERT_LE(lo, hi) << "bucket " << i;
+    EXPECT_EQ(HistogramBucketIndex(lo), i);
+    EXPECT_EQ(HistogramBucketIndex(hi), i);
+    if (i + 1 < kHistogramBuckets) {
+      EXPECT_EQ(HistogramBucketLowerBound(i + 1), hi + 1)
+          << "gap or overlap after bucket " << i;
+    }
+  }
+}
+
+TEST(HistogramBucketsTest, CoversFullRange) {
+  EXPECT_EQ(HistogramBucketIndex(0), 0u);
+  EXPECT_EQ(HistogramBucketIndex(UINT64_MAX), kHistogramBuckets - 1);
+  EXPECT_EQ(HistogramBucketUpperBound(kHistogramBuckets - 1), UINT64_MAX);
+}
+
+TEST(HistogramBucketsTest, IndexIsMonotoneAcrossPowerOfTwoBoundaries) {
+  for (int e = 2; e < 63; ++e) {
+    const uint64_t p = uint64_t{1} << e;
+    EXPECT_LE(HistogramBucketIndex(p - 1), HistogramBucketIndex(p));
+    EXPECT_LE(HistogramBucketIndex(p), HistogramBucketIndex(p + 1));
+  }
+}
+
+TEST(HistogramBucketsTest, RelativeWidthBoundedByQuarter) {
+  // Above the exact region the sub-bucketing keeps bucket width <= 25% of
+  // the lower bound — the quantile error bound documented in metrics.h.
+  for (size_t i = kHistogramSubBuckets; i < kHistogramBuckets - 1; ++i) {
+    const uint64_t lo = HistogramBucketLowerBound(i);
+    const uint64_t width = HistogramBucketUpperBound(i) - lo + 1;
+    EXPECT_LE(width * 4, lo)
+        << "bucket " << i << " lo=" << lo << " width=" << width;
+  }
+}
+
+// -- histogram recording and quantiles ---------------------------------------
+
+TEST(HistogramTest, EmptySnapshot) {
+  Histogram h;
+  const HistogramSnapshot s = h.Snapshot();
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_EQ(s.sum, 0u);
+  EXPECT_EQ(s.min, 0u);
+  EXPECT_EQ(s.max, 0u);
+  EXPECT_EQ(s.Quantile(0.5), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+}
+
+TEST(HistogramTest, SingleValueQuantiles) {
+  Histogram h;
+  h.Record(1000);
+  const HistogramSnapshot s = h.Snapshot();
+  EXPECT_EQ(s.count, 1u);
+  EXPECT_EQ(s.min, 1000u);
+  EXPECT_EQ(s.max, 1000u);
+  // Every quantile of a single observation is that observation.
+  EXPECT_EQ(s.Quantile(0.0), 1000u);
+  EXPECT_EQ(s.Quantile(0.5), 1000u);
+  EXPECT_EQ(s.Quantile(1.0), 1000u);
+}
+
+TEST(HistogramTest, QuantileClampedToMinMaxEnvelope) {
+  Histogram h;
+  for (uint64_t v = 100; v <= 200; ++v) h.Record(v);
+  const HistogramSnapshot s = h.Snapshot();
+  EXPECT_EQ(s.count, 101u);
+  for (double q : {0.0, 0.01, 0.25, 0.5, 0.75, 0.99, 1.0}) {
+    const uint64_t est = s.Quantile(q);
+    EXPECT_GE(est, s.min) << "q=" << q;
+    EXPECT_LE(est, s.max) << "q=" << q;
+  }
+  EXPECT_EQ(s.Quantile(0.0), 100u);
+  EXPECT_EQ(s.Quantile(1.0), 200u);
+}
+
+TEST(HistogramTest, QuantileErrorWithinBucketWidth) {
+  // 1..1000 uniformly: the p50 estimate must land within the 25% relative
+  // bucket error of the true median.
+  Histogram h;
+  for (uint64_t v = 1; v <= 1000; ++v) h.Record(v);
+  const uint64_t p50 = h.Snapshot().Quantile(0.5);
+  EXPECT_GE(p50, 375u);
+  EXPECT_LE(p50, 625u);
+}
+
+TEST(HistogramTest, ResetClears) {
+  Histogram h;
+  h.Record(7);
+  h.Reset();
+  const HistogramSnapshot s = h.Snapshot();
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_EQ(s.min, 0u);
+  EXPECT_EQ(s.max, 0u);
+  h.Record(9);  // usable after Reset
+  EXPECT_EQ(h.Snapshot().min, 9u);
+}
+
+// -- snapshot merge -----------------------------------------------------------
+
+MetricsSnapshot SnapshotOf(uint64_t base) {
+  MetricsRegistry r;
+  r.counter("shared")->Add(base);
+  r.counter("only_" + std::to_string(base))->Add(1);
+  r.gauge("g")->Set(static_cast<double>(base));
+  Histogram* h = r.histogram("lat");
+  h->Record(base);
+  h->Record(base * 3);
+  return r.Snapshot();
+}
+
+bool SnapshotsEqual(const MetricsSnapshot& a, const MetricsSnapshot& b) {
+  if (a.counters != b.counters || a.gauges != b.gauges) return false;
+  if (a.histograms.size() != b.histograms.size()) return false;
+  for (const auto& [name, ha] : a.histograms) {
+    auto it = b.histograms.find(name);
+    if (it == b.histograms.end()) return false;
+    const HistogramSnapshot& hb = it->second;
+    if (ha.count != hb.count || ha.sum != hb.sum || ha.min != hb.min ||
+        ha.max != hb.max || ha.buckets != hb.buckets) {
+      return false;
+    }
+  }
+  return true;
+}
+
+TEST(MetricsSnapshotTest, MergeAddsCountersAndHistograms) {
+  MetricsSnapshot a = SnapshotOf(10);
+  const MetricsSnapshot b = SnapshotOf(20);
+  a.Merge(b);
+  EXPECT_EQ(a.counters.at("shared"), 30u);
+  EXPECT_EQ(a.counters.at("only_10"), 1u);
+  EXPECT_EQ(a.counters.at("only_20"), 1u);
+  EXPECT_DOUBLE_EQ(a.gauges.at("g"), 20.0);  // other snapshot wins
+  const HistogramSnapshot& h = a.histograms.at("lat");
+  EXPECT_EQ(h.count, 4u);
+  EXPECT_EQ(h.sum, 10u + 30u + 20u + 60u);
+  EXPECT_EQ(h.min, 10u);
+  EXPECT_EQ(h.max, 60u);
+}
+
+TEST(MetricsSnapshotTest, MergeIsAssociative) {
+  const MetricsSnapshot a = SnapshotOf(1);
+  const MetricsSnapshot b = SnapshotOf(5);
+  const MetricsSnapshot c = SnapshotOf(9);
+
+  MetricsSnapshot left = a;   // (a + b) + c
+  left.Merge(b);
+  left.Merge(c);
+
+  MetricsSnapshot bc = b;     // a + (b + c)
+  bc.Merge(c);
+  MetricsSnapshot right = a;
+  right.Merge(bc);
+
+  EXPECT_TRUE(SnapshotsEqual(left, right));
+}
+
+TEST(MetricsSnapshotTest, MergeWithEmptyIsIdentity) {
+  const MetricsSnapshot a = SnapshotOf(4);
+  MetricsSnapshot merged = a;
+  merged.Merge(MetricsSnapshot{});
+  EXPECT_TRUE(SnapshotsEqual(merged, a));
+}
+
+// -- registry -----------------------------------------------------------------
+
+TEST(MetricsRegistryTest, GetOrCreateReturnsStablePointers) {
+  MetricsRegistry r;
+  Counter* c1 = r.counter("x");
+  Counter* c2 = r.counter("x");
+  EXPECT_EQ(c1, c2);
+  EXPECT_NE(r.counter("y"), c1);
+  EXPECT_EQ(r.histogram("h"), r.histogram("h"));
+  EXPECT_EQ(r.gauge("g"), r.gauge("g"));
+}
+
+TEST(MetricsRegistryTest, ResetZeroesCountersAndHistogramsKeepsGauges) {
+  MetricsRegistry r;
+  r.counter("c")->Add(5);
+  r.histogram("h")->Record(5);
+  r.gauge("g")->Set(7.0);
+  r.Reset();
+  const MetricsSnapshot s = r.Snapshot();
+  EXPECT_EQ(s.counters.at("c"), 0u);
+  EXPECT_EQ(s.histograms.at("h").count, 0u);
+  EXPECT_DOUBLE_EQ(s.gauges.at("g"), 7.0);
+}
+
+// -- exporters ----------------------------------------------------------------
+
+TEST(ExportTest, PrometheusTextFormat) {
+  MetricsRegistry r;
+  r.counter("hypertable.chunks_scanned")->Add(12);
+  r.gauge("recovery.snapshot_seq")->Set(3.0);
+  Histogram* h = r.histogram("wal.sync_nanos");
+  h->Record(1);
+  h->Record(100);
+  const std::string text = r.Snapshot().ToPrometheusText();
+
+  // Names get the hygraph_ prefix and '.' becomes '_'.
+  EXPECT_NE(text.find("hygraph_hypertable_chunks_scanned 12"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE hygraph_hypertable_chunks_scanned counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("hygraph_recovery_snapshot_seq 3"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE hygraph_recovery_snapshot_seq gauge"),
+            std::string::npos);
+  // Histogram: cumulative buckets, +Inf bucket, _sum and _count series.
+  EXPECT_NE(text.find("# TYPE hygraph_wal_sync_nanos histogram"),
+            std::string::npos);
+  EXPECT_NE(text.find("hygraph_wal_sync_nanos_bucket{le=\"+Inf\"} 2"),
+            std::string::npos);
+  EXPECT_NE(text.find("hygraph_wal_sync_nanos_sum 101"), std::string::npos);
+  EXPECT_NE(text.find("hygraph_wal_sync_nanos_count 2"), std::string::npos);
+  // le="1" must already include the first observation (inclusive bounds)
+  // and the series must be cumulative: the le="1" count appears before the
+  // +Inf line and is <= it.
+  const size_t le1 = text.find("hygraph_wal_sync_nanos_bucket{le=\"1\"} 1");
+  const size_t inf = text.find("hygraph_wal_sync_nanos_bucket{le=\"+Inf\"}");
+  ASSERT_NE(le1, std::string::npos);
+  ASSERT_NE(inf, std::string::npos);
+  EXPECT_LT(le1, inf);
+}
+
+TEST(ExportTest, JsonContainsSections) {
+  MetricsRegistry r;
+  r.counter("a.b")->Add(2);
+  r.gauge("g")->Set(1.5);
+  r.histogram("h")->Record(10);
+  const std::string json = r.Snapshot().ToJson();
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"a.b\":2"), std::string::npos);
+  EXPECT_NE(json.find("\"gauges\""), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+  EXPECT_NE(json.find("\"count\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"p50\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hygraph::obs

@@ -1,0 +1,169 @@
+#include "obs/trace.h"
+
+#include <functional>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "obs/clock.h"
+
+namespace hygraph::obs {
+namespace {
+
+TEST(ScopedSpanTest, NullTracerIsANoOp) {
+  // The disabled path: no tracer, no clock reads, no crash.
+  ScopedSpan span(nullptr, "anything");
+  span.AddCounter("rows", 10);
+  EXPECT_FALSE(span.enabled());
+}
+
+TEST(TracerTest, SingleSpanTiming) {
+  ManualClock clock;
+  Tracer tracer(&clock);
+  {
+    ScopedSpan span(&tracer, "scan");
+    clock.Advance(500);
+  }
+  EXPECT_EQ(tracer.open_spans(), 0u);
+  const TraceNode& root = tracer.root();
+  ASSERT_EQ(root.children.size(), 1u);
+  EXPECT_EQ(root.children[0].name, "scan");
+  EXPECT_EQ(root.children[0].count, 1u);
+  EXPECT_EQ(root.children[0].total_nanos, 500u);
+  // Root total accumulates top-level span time.
+  EXPECT_EQ(root.total_nanos, 500u);
+}
+
+TEST(TracerTest, NestedSpansTelescope) {
+  ManualClock clock;
+  Tracer tracer(&clock);
+  {
+    ScopedSpan outer(&tracer, "execute");
+    clock.Advance(100);
+    {
+      ScopedSpan inner(&tracer, "where");
+      clock.Advance(30);
+    }
+    clock.Advance(70);
+  }
+  const TraceNode& execute = tracer.root().children[0];
+  EXPECT_EQ(execute.total_nanos, 200u);
+  ASSERT_EQ(execute.children.size(), 1u);
+  EXPECT_EQ(execute.children[0].total_nanos, 30u);
+  // Self time excludes the child; the tree reconciles exactly.
+  EXPECT_EQ(execute.self_nanos(), 170u);
+  EXPECT_EQ(execute.SumSelfNanos(), execute.total_nanos);
+}
+
+TEST(TracerTest, RepeatedSpansMergeByName) {
+  // EXPLAIN ANALYZE-style aggregation: the per-row "where" span runs three
+  // times but renders as one node with count=3.
+  ManualClock clock;
+  Tracer tracer(&clock);
+  {
+    ScopedSpan scan(&tracer, "scan");
+    for (int i = 0; i < 3; ++i) {
+      ScopedSpan where(&tracer, "where");
+      clock.Advance(10);
+      where.AddCounter("rows", 1);
+    }
+  }
+  const TraceNode& scan = tracer.root().children[0];
+  ASSERT_EQ(scan.children.size(), 1u);
+  const TraceNode& where = scan.children[0];
+  EXPECT_EQ(where.count, 3u);
+  EXPECT_EQ(where.total_nanos, 30u);
+  EXPECT_EQ(where.counters.at("rows"), 3u);
+}
+
+TEST(TracerTest, RecursiveNestingBuildsADeepTree) {
+  // Same span name at different depths stays distinct (merging is
+  // per-parent, not global) — the shape a recursive evaluator produces.
+  ManualClock clock;
+  Tracer tracer(&clock);
+  std::function<void(int)> recurse = [&](int depth) {
+    ScopedSpan span(&tracer, "eval");
+    clock.Advance(1);
+    if (depth > 0) recurse(depth - 1);
+  };
+  recurse(3);
+  const TraceNode* node = &tracer.root();
+  int levels = 0;
+  while (!node->children.empty()) {
+    ASSERT_EQ(node->children.size(), 1u);
+    node = &node->children[0];
+    EXPECT_EQ(node->name, "eval");
+    EXPECT_EQ(node->count, 1u);
+    ++levels;
+  }
+  EXPECT_EQ(levels, 4);
+  EXPECT_EQ(tracer.root().SumSelfNanos(), tracer.root().total_nanos);
+}
+
+TEST(TracerTest, CounterOutsideAnySpanLandsOnRoot) {
+  ManualClock clock;
+  Tracer tracer(&clock);
+  tracer.AddCounter("loose", 2);
+  EXPECT_EQ(tracer.root().counters.at("loose"), 2u);
+}
+
+TEST(TracerTest, SiblingSpansShareTheParentTotal) {
+  ManualClock clock;
+  Tracer tracer(&clock);
+  {
+    ScopedSpan parent(&tracer, "execute");
+    {
+      ScopedSpan a(&tracer, "match");
+      clock.Advance(40);
+    }
+    {
+      ScopedSpan b(&tracer, "project");
+      clock.Advance(60);
+    }
+  }
+  const TraceNode& execute = tracer.root().children[0];
+  EXPECT_EQ(execute.children.size(), 2u);
+  EXPECT_EQ(execute.total_nanos, 100u);
+  EXPECT_EQ(execute.self_nanos(), 0u);
+  EXPECT_EQ(execute.SumSelfNanos(), 100u);
+}
+
+TEST(TraceNodeTest, FindChildAndToString) {
+  ManualClock clock;
+  Tracer tracer(&clock);
+  {
+    ScopedSpan outer(&tracer, "execute");
+    ScopedSpan inner(&tracer, "sort");
+    clock.Advance(5);
+    inner.AddCounter("rows", 7);
+  }
+  const TraceNode& execute = tracer.root().children[0];
+  ASSERT_NE(execute.FindChild("sort"), nullptr);
+  EXPECT_EQ(execute.FindChild("nope"), nullptr);
+  const std::string rendered = execute.ToString();
+  EXPECT_NE(rendered.find("execute: count=1"), std::string::npos);
+  EXPECT_NE(rendered.find("sort: count=1"), std::string::npos);
+  EXPECT_NE(rendered.find("rows=7"), std::string::npos);
+  // The child line is indented under the parent.
+  EXPECT_NE(rendered.find("\n  sort"), std::string::npos);
+}
+
+TEST(TracerTest, AutoAdvanceClockGivesEveryNodeNonZeroTime) {
+  // With auto_advance every Begin/End pair observes a distinct reading, so
+  // deterministic tests can assert total_nanos > 0 on every node.
+  ManualClock clock;
+  clock.set_auto_advance(1);
+  Tracer tracer(&clock);
+  {
+    ScopedSpan outer(&tracer, "a");
+    ScopedSpan inner(&tracer, "b");
+  }
+  const TraceNode& a = tracer.root().children[0];
+  EXPECT_GT(a.total_nanos, 0u);
+  ASSERT_EQ(a.children.size(), 1u);
+  EXPECT_GT(a.children[0].total_nanos, 0u);
+  EXPECT_GE(a.total_nanos, a.children[0].total_nanos);
+}
+
+}  // namespace
+}  // namespace hygraph::obs

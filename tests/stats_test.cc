@@ -13,6 +13,37 @@ TEST(RunningStatsTest, EmptyIsZero) {
   EXPECT_DOUBLE_EQ(s.mean(), 0.0);
   EXPECT_DOUBLE_EQ(s.variance(), 0.0);
   EXPECT_DOUBLE_EQ(s.cv_percent(), 0.0);
+  // No samples means no extremum; both are pinned to 0, never stale.
+  EXPECT_DOUBLE_EQ(s.min(), 0.0);
+  EXPECT_DOUBLE_EQ(s.max(), 0.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 0.0);
+}
+
+TEST(RunningStatsTest, SingleElement) {
+  RunningStats s;
+  s.Add(-7.5);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.mean(), -7.5);
+  EXPECT_DOUBLE_EQ(s.min(), -7.5);  // min == max == the sole sample,
+  EXPECT_DOUBLE_EQ(s.max(), -7.5);  // even when it is negative
+  EXPECT_DOUBLE_EQ(s.sum(), -7.5);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);  // n-1 denominator needs 2 samples
+  EXPECT_DOUBLE_EQ(s.cv_percent(), 0.0);
+}
+
+TEST(RunningStatsTest, NegativeSamplesDoNotConfuseExtrema) {
+  // Regression guard: min_/max_ start at 0.0; the first Add must seed both
+  // rather than folding against the initial zeros.
+  RunningStats s;
+  s.Add(-3.0);
+  s.Add(-1.0);
+  EXPECT_DOUBLE_EQ(s.min(), -3.0);
+  EXPECT_DOUBLE_EQ(s.max(), -1.0);
+  RunningStats t;
+  t.Add(5.0);
+  t.Add(8.0);
+  EXPECT_DOUBLE_EQ(t.min(), 5.0);
+  EXPECT_DOUBLE_EQ(t.max(), 8.0);
 }
 
 TEST(RunningStatsTest, MatchesClosedForm) {
@@ -69,9 +100,17 @@ TEST(QuantileTest, UnsortedInputAndClamping) {
   EXPECT_DOUBLE_EQ(Quantile({}, 0.5), 0.0);
 }
 
+TEST(QuantileTest, SingleElementIsThatElementForAnyQ) {
+  for (double q : {0.0, 0.25, 0.5, 0.75, 1.0}) {
+    EXPECT_DOUBLE_EQ(Quantile({42.0}, q), 42.0) << "q=" << q;
+  }
+}
+
 TEST(MedianTest, OddAndEven) {
   EXPECT_DOUBLE_EQ(Median({3.0, 1.0, 2.0}), 2.0);
   EXPECT_DOUBLE_EQ(Median({4.0, 1.0, 2.0, 3.0}), 2.5);
+  EXPECT_DOUBLE_EQ(Median({}), 0.0);
+  EXPECT_DOUBLE_EQ(Median({6.0}), 6.0);
 }
 
 TEST(PearsonTest, PerfectCorrelation) {
