@@ -17,6 +17,12 @@ Checks (see DESIGN.md "Correctness tooling"):
   raw-clock       no `std::chrono::steady_clock::now()` outside src/obs/ —
                   timing goes through obs::Clock (SystemClock in production,
                   ManualClock in tests) so it stays injectable everywhere.
+  raw-mutex       no raw std mutex types in src/ outside common/sync.h —
+                  locking goes through hygraph::Mutex/SharedMutex so every
+                  lock is instrumented (concurrency.* counters) and follows
+                  the documented hierarchy. src/obs/ is exempt: it sits
+                  beneath the sync layer (the registry mutex cannot be
+                  instrumented by the registry it guards).
 
 Exit status: 0 when clean, 1 with one `path:line: [check] message` per
 finding otherwise. Run via scripts/lint.sh or directly:
@@ -39,6 +45,7 @@ ALL_DIRS = ("src", "fuzz", "tests", "bench", "examples")
 
 RNG_HOME = Path("src/common/rng.h")
 CLOCK_HOME = Path("src/obs")
+SYNC_HOME = Path("src/common/sync.h")
 
 NAKED_NEW_ALLOW = "NOLINT(hygraph-naked-new)"
 
@@ -126,6 +133,14 @@ def main() -> int:
                 report(rel, lineno, "raw-clock",
                        "read time through obs::Clock (obs/clock.h), not "
                        "std::chrono::steady_clock::now()")
+            if (rel.parts[0] == "src" and rel != SYNC_HOME
+                    and not rel.is_relative_to(CLOCK_HOME)
+                    and re.search(
+                        r"\bstd\s*::\s*(recursive_|timed_|shared_)?mutex\b",
+                        code_line)):
+                report(rel, lineno, "raw-mutex",
+                       "lock through hygraph::Mutex/SharedMutex "
+                       "(common/sync.h), not raw std mutexes")
             if library:
                 prev_line = raw[lineno - 2] if lineno >= 2 else ""
                 allowed = (NAKED_NEW_ALLOW in raw_line

@@ -1,5 +1,5 @@
 #!/usr/bin/env bash
-# Tier-1 gate, in three passes:
+# Tier-1 gate, in four passes:
 #
 #   1. static analysis  — scripts/lint.sh (project linter + clang-tidy when
 #                         installed)
@@ -10,6 +10,11 @@
 #                         just the durability tests: parser, serializer, and
 #                         corpus-replay paths are exactly where memory bugs
 #                         would hide.
+#   4. tsan build       — the FULL ctest suite under ThreadSanitizer (TSan
+#                         and ASan cannot share a process): the concurrency
+#                         and snapshot-isolation stress tests only prove
+#                         races absent when TSan watches every interleaving
+#                         they drive.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -28,6 +33,13 @@ cmake -B build-san -S . -DHYGRAPH_SANITIZE=address,undefined \
   -DHYGRAPH_WERROR=ON >/dev/null
 cmake --build build-san -j
 (cd build-san && ctest --output-on-failure -j)
+
+echo
+echo "=== tier 1: full ctest suite under TSan ==="
+cmake -B build-tsan -S . -DHYGRAPH_SANITIZE=thread \
+  -DHYGRAPH_WERROR=ON >/dev/null
+cmake --build build-tsan -j
+(cd build-tsan && ctest --output-on-failure -j)
 
 echo
 echo "tier 1 OK"

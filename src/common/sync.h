@@ -1,0 +1,151 @@
+#ifndef HYGRAPH_COMMON_SYNC_H_
+#define HYGRAPH_COMMON_SYNC_H_
+
+#include <mutex>
+#include <shared_mutex>
+
+#include "obs/clock.h"
+#include "obs/metrics.h"
+
+namespace hygraph {
+
+/// Instrumented mutex wrappers — the only way library code takes a lock
+/// (scripts/hygraph_lint.py forbids raw std mutexes in src/ outside this
+/// header and src/obs/, which sits beneath the sync layer: the registry
+/// mutex cannot be instrumented by the registry it guards).
+///
+/// Every wrapper optionally carries SyncInstruments, raw pointers into a
+/// MetricsRegistry resolved once at construction. The uncontended path
+/// costs one relaxed counter add on top of the std primitive; only when a
+/// try_lock fast path fails does the wrapper read the clock twice to
+/// record the wait in the contention histogram. Default-constructed
+/// wrappers are uninstrumented and add no overhead at all.
+///
+/// Lock hierarchy (DESIGN.md §10): DurableStore append mutex → store
+/// coarse guard (AllInGraph/Polyglot) → hypertable series-map lock →
+/// per-series shard lock → per-chunk aggregate-cache mutex. Acquisitions
+/// must follow that order; no method of a lower layer calls back up.
+
+/// Counter set shared by every lock of one store. Null members (the
+/// default) disable instrumentation for that event.
+struct SyncInstruments {
+  obs::Counter* exclusive_acquisitions = nullptr;
+  obs::Counter* shared_acquisitions = nullptr;
+  obs::Counter* contentions = nullptr;
+  obs::Histogram* contention_nanos = nullptr;
+
+  /// Resolves the "concurrency.*" instruments in `registry` (get-or-create;
+  /// stores sharing a registry share the counters). Null registry yields
+  /// uninstrumented locks.
+  static SyncInstruments ForRegistry(obs::MetricsRegistry* registry) {
+    if (registry == nullptr) return {};
+    SyncInstruments in;
+    in.exclusive_acquisitions = registry->counter("concurrency.lock_exclusive");
+    in.shared_acquisitions = registry->counter("concurrency.lock_shared");
+    in.contentions = registry->counter("concurrency.lock_contentions");
+    in.contention_nanos = registry->histogram("concurrency.lock_contention_nanos");
+    return in;
+  }
+};
+
+namespace sync_internal {
+
+/// Fast path: try_lock, count nothing extra. Slow path: count the
+/// contention and time the blocking acquire.
+template <typename LockFn, typename TryFn>
+void AcquireTimed(const SyncInstruments& in, obs::Counter* acquisitions,
+                  LockFn&& lock, TryFn&& try_lock) {
+  if (acquisitions != nullptr) acquisitions->Increment();
+  if (try_lock()) return;
+  if (in.contentions != nullptr) in.contentions->Increment();
+  if (in.contention_nanos != nullptr) {
+    const obs::Clock* clock = obs::SystemClock::Instance();
+    const uint64_t start = clock->NowNanos();
+    lock();
+    in.contention_nanos->Record(clock->NowNanos() - start);
+    return;
+  }
+  lock();
+}
+
+}  // namespace sync_internal
+
+/// Instrumented std::mutex. Meets the Lockable named requirement, so
+/// std::lock_guard<Mutex> / std::unique_lock<Mutex> work as usual.
+class Mutex {
+ public:
+  Mutex() = default;
+  explicit Mutex(const SyncInstruments& instruments)
+      : in_(instruments) {}
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() {
+    sync_internal::AcquireTimed(
+        in_, in_.exclusive_acquisitions, [this] { mu_.lock(); },
+        [this] { return mu_.try_lock(); });
+  }
+  bool try_lock() {
+    if (!mu_.try_lock()) return false;
+    if (in_.exclusive_acquisitions != nullptr) {
+      in_.exclusive_acquisitions->Increment();
+    }
+    return true;
+  }
+  void unlock() { mu_.unlock(); }
+
+ private:
+  std::mutex mu_;
+  SyncInstruments in_;
+};
+
+/// Instrumented std::shared_mutex. Meets SharedLockable, so
+/// std::shared_lock<SharedMutex> / std::unique_lock<SharedMutex> work.
+class SharedMutex {
+ public:
+  SharedMutex() = default;
+  explicit SharedMutex(const SyncInstruments& instruments)
+      : in_(instruments) {}
+  SharedMutex(const SharedMutex&) = delete;
+  SharedMutex& operator=(const SharedMutex&) = delete;
+
+  void lock() {
+    sync_internal::AcquireTimed(
+        in_, in_.exclusive_acquisitions, [this] { mu_.lock(); },
+        [this] { return mu_.try_lock(); });
+  }
+  bool try_lock() {
+    if (!mu_.try_lock()) return false;
+    if (in_.exclusive_acquisitions != nullptr) {
+      in_.exclusive_acquisitions->Increment();
+    }
+    return true;
+  }
+  void unlock() { mu_.unlock(); }
+
+  void lock_shared() {
+    sync_internal::AcquireTimed(
+        in_, in_.shared_acquisitions, [this] { mu_.lock_shared(); },
+        [this] { return mu_.try_lock_shared(); });
+  }
+  bool try_lock_shared() {
+    if (!mu_.try_lock_shared()) return false;
+    if (in_.shared_acquisitions != nullptr) {
+      in_.shared_acquisitions->Increment();
+    }
+    return true;
+  }
+  void unlock_shared() { mu_.unlock_shared(); }
+
+ private:
+  std::shared_mutex mu_;
+  SyncInstruments in_;
+};
+
+using MutexLock = std::lock_guard<Mutex>;
+using SharedLock = std::shared_lock<SharedMutex>;
+using ExclusiveLock = std::unique_lock<SharedMutex>;
+
+}  // namespace hygraph
+
+#endif  // HYGRAPH_COMMON_SYNC_H_

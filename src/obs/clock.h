@@ -1,6 +1,7 @@
 #ifndef HYGRAPH_OBS_CLOCK_H_
 #define HYGRAPH_OBS_CLOCK_H_
 
+#include <atomic>
 #include <cstdint>
 
 namespace hygraph::obs {
@@ -30,22 +31,26 @@ class SystemClock final : public Clock {
 /// A hand-cranked clock for deterministic tests: time only moves when the
 /// test advances it, or by a fixed `auto_advance` per reading (so code
 /// under test that brackets work with two NowNanos() calls sees a stable,
-/// reproducible duration).
+/// reproducible duration). The counter is atomic so a ManualClock injected
+/// into concurrent code under test keeps time monotone instead of racing
+/// on the mutable member (auto_advance must be configured before sharing).
 class ManualClock final : public Clock {
  public:
   explicit ManualClock(uint64_t start_nanos = 0) : now_(start_nanos) {}
 
   uint64_t NowNanos() const override {
-    now_ += auto_advance_;
-    return now_;
+    return now_.fetch_add(auto_advance_, std::memory_order_relaxed) +
+           auto_advance_;
   }
 
-  void Advance(uint64_t nanos) { now_ += nanos; }
+  void Advance(uint64_t nanos) {
+    now_.fetch_add(nanos, std::memory_order_relaxed);
+  }
   /// Every NowNanos() call moves time forward by `nanos` before reading.
   void set_auto_advance(uint64_t nanos) { auto_advance_ = nanos; }
 
  private:
-  mutable uint64_t now_;
+  mutable std::atomic<uint64_t> now_;
   uint64_t auto_advance_ = 0;
 };
 

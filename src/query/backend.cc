@@ -6,6 +6,15 @@ namespace hygraph::query {
 
 QueryBackend::~QueryBackend() = default;
 
+Status QueryBackend::MutateTopology(
+    const std::function<Status(graph::PropertyGraph*)>& fn) {
+  graph::PropertyGraph* g = mutable_topology();
+  if (g == nullptr) {
+    return Status::FailedPrecondition("backend topology is read-only");
+  }
+  return fn(g);
+}
+
 Result<double> QueryBackend::VertexSeriesAggregate(graph::VertexId v,
                                                    const std::string& key,
                                                    const Interval& interval,

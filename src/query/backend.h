@@ -1,6 +1,8 @@
 #ifndef HYGRAPH_QUERY_BACKEND_H_
 #define HYGRAPH_QUERY_BACKEND_H_
 
+#include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -91,6 +93,28 @@ class QueryBackend {
   /// Appends one sample to the series stored under (edge, key).
   virtual Status AppendEdgeSample(graph::EdgeId e, const std::string& key,
                                   Timestamp t, double value) = 0;
+
+  /// Runs `fn` on the mutable topology under the backend's write guard,
+  /// performing any copy-on-write detach first so pinned snapshots keep
+  /// the pre-mutation graph. Thread-safe backends override this; the
+  /// default just forwards to mutable_topology() (single-threaded bulk
+  /// load). Concurrent mutators must use this, never mutable_topology().
+  virtual Status MutateTopology(
+      const std::function<Status(graph::PropertyGraph*)>& fn);
+
+  // -- snapshots --------------------------------------------------------------
+
+  /// Pins a cheap, immutable read view of the whole backend: topology and
+  /// every series as of the call. The view answers all const methods with
+  /// the pinned state regardless of concurrent mutation; its mutators fail
+  /// with FailedPrecondition and mutable_topology() returns nullptr. The
+  /// snapshot must not outlive the origin backend (it shares the origin's
+  /// metrics registry, so Work()/PROFILE attribution keeps working).
+  /// Returns nullptr when the backend has no snapshot support (the
+  /// default) — callers then evaluate against the live backend.
+  virtual std::shared_ptr<const QueryBackend> BeginSnapshot() const {
+    return nullptr;
+  }
 
   // -- introspection (durability / snapshotting) ----------------------------
 

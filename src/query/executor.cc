@@ -80,6 +80,15 @@ Result<QueryResult> ExecutePlan(const QueryBackend& backend,
 Result<QueryResult> RunPlan(const QueryBackend& backend, const Plan& plan,
                             obs::Tracer* tracer) {
   obs::ScopedSpan execute_span(tracer, "execute");
+
+  // Pin one read view for the whole statement: every operator then sees a
+  // single point-in-time state no matter what writers do concurrently.
+  // Backends without snapshot support return null and are read live. The
+  // snapshot shares the origin's registry, so Work()/PROFILE attribution
+  // is unaffected.
+  std::shared_ptr<const QueryBackend> snapshot = backend.BeginSnapshot();
+  const QueryBackend& read = snapshot ? *snapshot : backend;
+
   QueryResult result;
   for (const ReturnItem& item : plan.returns) {
     result.columns.push_back(item.alias);
@@ -95,21 +104,21 @@ Result<QueryResult> RunPlan(const QueryBackend& backend, const Plan& plan,
 
   Result<std::vector<graph::PatternMatch>> matches = [&] {
     obs::ScopedSpan match_span(tracer, "match");
-    auto m = graph::MatchPattern(backend.topology(), plan.pattern,
+    auto m = graph::MatchPattern(read.topology(), plan.pattern,
                                  match_options);
     if (m.ok()) match_span.AddCounter("rows", m->size());
     return m;
   }();
   if (!matches.ok()) return matches.status();
 
-  Evaluator evaluator(&backend);
+  Evaluator evaluator(&read);
 
   // PROFILE attributes storage-layer work to the span that caused it by
   // differencing the backend's cumulative counters around each evaluation.
   const bool traced = tracer != nullptr;
   auto attach_work = [&](obs::ScopedSpan& span, const BackendWork& before) {
     if (!traced) return;
-    const BackendWork d = backend.Work().Delta(before);
+    const BackendWork d = read.Work().Delta(before);
     span.AddCounter("points_scanned", d.series_points_scanned);
     span.AddCounter("chunks_decoded", d.chunks_decoded);
     span.AddCounter("chunks_cache_hits", d.chunks_cache_hits);
@@ -145,7 +154,7 @@ Result<QueryResult> RunPlan(const QueryBackend& backend, const Plan& plan,
       }
       if (plan.residual_where) {
         obs::ScopedSpan where_span(tracer, "where");
-        const BackendWork before = traced ? backend.Work() : BackendWork{};
+        const BackendWork before = traced ? read.Work() : BackendWork{};
         auto keep = evaluator.EvalPredicate(*plan.residual_where, bindings);
         attach_work(where_span, before);
         if (!keep.ok()) return keep.status();
@@ -156,7 +165,7 @@ Result<QueryResult> RunPlan(const QueryBackend& backend, const Plan& plan,
       for (size_t i = 0; i < plan.returns.size(); ++i) {
         const ReturnItem& item = plan.returns[i];
         obs::ScopedSpan return_span(tracer, return_span_names[i]);
-        const BackendWork before = traced ? backend.Work() : BackendWork{};
+        const BackendWork before = traced ? read.Work() : BackendWork{};
         auto value = evaluator.Eval(*item.expr, bindings);
         attach_work(return_span, before);
         if (!value.ok()) return value.status();
@@ -165,7 +174,7 @@ Result<QueryResult> RunPlan(const QueryBackend& backend, const Plan& plan,
       }
       if (!plan.order_by.empty()) {
         obs::ScopedSpan order_span(tracer, "order_keys");
-        const BackendWork before = traced ? backend.Work() : BackendWork{};
+        const BackendWork before = traced ? read.Work() : BackendWork{};
         for (const OrderItem& item : plan.order_by) {
           auto key = evaluator.Eval(*item.expr, bindings, &aliases);
           if (!key.ok()) return key.status();
@@ -235,7 +244,7 @@ Result<QueryResult> RunPlan(const QueryBackend& backend, const Plan& plan,
   execute_span.AddCounter("rows", result.rows.size());
   execute_span.AddCounter("memo_hits", memo.hits);
   execute_span.AddCounter("memo_misses", memo.misses);
-  if (obs::MetricsRegistry* registry = backend.metrics()) {
+  if (obs::MetricsRegistry* registry = read.metrics()) {
     registry->counter("query.executions")->Increment();
     registry->counter("query.rows")->Add(result.rows.size());
     registry->counter("query.memo_hits")->Add(memo.hits);

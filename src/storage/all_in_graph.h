@@ -3,7 +3,9 @@
 
 #include <memory>
 #include <string>
+#include <vector>
 
+#include "common/sync.h"
 #include "query/backend.h"
 
 namespace hygraph::storage {
@@ -30,13 +32,35 @@ namespace hygraph::storage {
 /// knowledge that this key family encodes a time axis. This mirrors how the
 /// paper's Neo4j queries had to "manually handle time series data stored as
 /// properties".
+///
+/// Thread safety (DESIGN.md §10): the whole store sits behind one
+/// reader-writer guard. Series reads and BeginSnapshot() take it shared;
+/// Append*Sample and MutateTopology take it exclusive and copy-on-write
+/// detach the graph when a snapshot has it pinned, so pinned views stay
+/// immutable. topology() and mutable_topology() hand out references that
+/// outlive the guard — they are safe only single-threaded or against a
+/// pinned snapshot; concurrent code must use BeginSnapshot()/
+/// MutateTopology().
 class AllInGraphStore final : public query::QueryBackend {
  public:
   AllInGraphStore();
 
   std::string name() const override { return "all-in-graph"; }
-  const graph::PropertyGraph& topology() const override { return graph_; }
-  graph::PropertyGraph* mutable_topology() override { return &graph_; }
+  const graph::PropertyGraph& topology() const override;
+
+  /// Single-threaded bulk-load escape hatch: detaches any pinned snapshot,
+  /// then returns the live graph. The returned pointer is used outside the
+  /// store's guard — do not call concurrently with anything else.
+  graph::PropertyGraph* mutable_topology() override;
+
+  /// Runs `fn` under the store's exclusive guard after a copy-on-write
+  /// detach — the concurrency-safe mutation path.
+  Status MutateTopology(
+      const std::function<Status(graph::PropertyGraph*)>& fn) override;
+
+  /// Pins the current graph as an immutable read view (O(1): bumps a
+  /// refcount). Mutators afterwards detach onto a fresh copy.
+  std::shared_ptr<const query::QueryBackend> BeginSnapshot() const override;
 
   /// "allingraph.*" work counters: properties examined and samples parsed
   /// by the full-property-map scans — the cost Table 1 measures.
@@ -69,15 +93,21 @@ class AllInGraphStore final : public query::QueryBackend {
                               const std::string& key, Timestamp* t);
 
  private:
-  Result<ts::Series> ScanProperties(const graph::PropertyMap& props,
-                                    const std::string& key,
-                                    const Interval& interval) const;
+  /// Copy-on-write detach; call under exclusive topo_mu_. When a snapshot
+  /// has the graph pinned, replaces it with a private copy so the pinned
+  /// view keeps the pre-mutation state.
+  graph::PropertyGraph* Detach();
 
-  graph::PropertyGraph graph_;
+  std::shared_ptr<graph::PropertyGraph> graph_;
   // Heap-held so the cached counter pointers survive moves of the store.
   std::unique_ptr<obs::MetricsRegistry> metrics_;
   obs::Counter* properties_scanned_ = nullptr;
   obs::Counter* samples_parsed_ = nullptr;
+  obs::Counter* snapshot_pins_ = nullptr;
+  obs::Counter* topology_cow_copies_ = nullptr;
+  SyncInstruments sync_;
+  // Heap-held: SharedMutex is not movable, the store is.
+  std::unique_ptr<SharedMutex> topo_mu_;
 };
 
 }  // namespace hygraph::storage

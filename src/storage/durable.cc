@@ -322,7 +322,8 @@ DurableStore::DurableStore(Env* env, std::string dir,
       metrics_(std::make_unique<obs::MetricsRegistry>()),
       records_logged_(metrics_->counter("durable.records_logged")),
       checkpoints_(metrics_->counter("durable.checkpoints")),
-      checkpoint_nanos_(metrics_->histogram("durable.checkpoint_nanos")) {}
+      checkpoint_nanos_(metrics_->histogram("durable.checkpoint_nanos")),
+      append_mu_(SyncInstruments::ForRegistry(metrics_.get())) {}
 
 DurableStore::~DurableStore() {
   if (wal_ != nullptr) HYGRAPH_IGNORE_RESULT(wal_->Close());
@@ -442,9 +443,11 @@ Status DurableStore::Log(const std::string& body) {
 }
 
 void DurableStore::MaybeAutoCheckpoint() {
+  // Runs with append_mu_ already held by the triggering mutator, so it
+  // must use the impl path — Checkpoint() would self-deadlock.
   if (options_.checkpoint_every == 0) return;
   if (records_since_checkpoint_ < options_.checkpoint_every) return;
-  Status s = Checkpoint();
+  Status s = TimedCheckpoint();
   // Non-dense ids defer the checkpoint (expected after removals); real
   // failures surface through background_error().
   if (!s.ok() && s.code() != StatusCode::kFailedPrecondition &&
@@ -532,6 +535,7 @@ Status DurableStore::ApplyRecord(const std::string& record) {
 
 Result<graph::VertexId> DurableStore::AddVertex(
     std::vector<std::string> labels, graph::PropertyMap properties) {
+  MutexLock lock(append_mu_);
   HYGRAPH_RETURN_IF_ERROR(RequireOpen());
   // Encode before the move; the id is only known after application, so
   // topology adds apply first and log second. A crash in between loses an
@@ -539,8 +543,12 @@ Result<graph::VertexId> DurableStore::AddVertex(
   auto encoded_props = EncodeProperties(properties);
   if (!encoded_props.ok()) return encoded_props.status();
   const std::string tail = EncodeLabels(labels) + *encoded_props;
-  const graph::VertexId id = inner_->mutable_topology()->AddVertex(
-      std::move(labels), std::move(properties));
+  graph::VertexId id = 0;
+  HYGRAPH_RETURN_IF_ERROR(
+      inner_->MutateTopology([&](graph::PropertyGraph* topo) {
+        id = topo->AddVertex(std::move(labels), std::move(properties));
+        return Status::OK();
+      }));
   HYGRAPH_RETURN_IF_ERROR(Log("NV " + std::to_string(id) + tail));
   MaybeAutoCheckpoint();
   return id;
@@ -550,22 +558,30 @@ Result<graph::EdgeId> DurableStore::AddEdge(graph::VertexId src,
                                             graph::VertexId dst,
                                             std::string label,
                                             graph::PropertyMap properties) {
+  MutexLock lock(append_mu_);
   HYGRAPH_RETURN_IF_ERROR(RequireOpen());
   auto encoded_props = EncodeProperties(properties);
   if (!encoded_props.ok()) return encoded_props.status();
   const std::string encoded_label = core::EncodeField(label);
-  auto id = inner_->mutable_topology()->AddEdge(src, dst, std::move(label),
-                                                std::move(properties));
-  if (!id.ok()) return id.status();
-  HYGRAPH_RETURN_IF_ERROR(Log("NE " + std::to_string(*id) + " " +
+  graph::EdgeId id = 0;
+  HYGRAPH_RETURN_IF_ERROR(
+      inner_->MutateTopology([&](graph::PropertyGraph* topo) {
+        auto added =
+            topo->AddEdge(src, dst, std::move(label), std::move(properties));
+        if (!added.ok()) return added.status();
+        id = *added;
+        return Status::OK();
+      }));
+  HYGRAPH_RETURN_IF_ERROR(Log("NE " + std::to_string(id) + " " +
                               std::to_string(src) + " " + std::to_string(dst) +
                               " " + encoded_label + *encoded_props));
   MaybeAutoCheckpoint();
-  return *id;
+  return id;
 }
 
 Status DurableStore::SetVertexProperty(graph::VertexId v,
                                        const std::string& key, Value value) {
+  MutexLock lock(append_mu_);
   HYGRAPH_RETURN_IF_ERROR(RequireOpen());
   if (value.is_series_ref()) {
     return Status::InvalidArgument(
@@ -574,14 +590,16 @@ Status DurableStore::SetVertexProperty(graph::VertexId v,
   HYGRAPH_RETURN_IF_ERROR(Log("SV " + std::to_string(v) + " " +
                               core::EncodeField(key) + " " +
                               EncodeValue(value)));
-  Status s = inner_->mutable_topology()->SetVertexProperty(v, key,
-                                                           std::move(value));
+  Status s = inner_->MutateTopology([&](graph::PropertyGraph* topo) {
+    return topo->SetVertexProperty(v, key, std::move(value));
+  });
   MaybeAutoCheckpoint();
   return s;
 }
 
 Status DurableStore::SetEdgeProperty(graph::EdgeId e, const std::string& key,
                                      Value value) {
+  MutexLock lock(append_mu_);
   HYGRAPH_RETURN_IF_ERROR(RequireOpen());
   if (value.is_series_ref()) {
     return Status::InvalidArgument(
@@ -590,24 +608,29 @@ Status DurableStore::SetEdgeProperty(graph::EdgeId e, const std::string& key,
   HYGRAPH_RETURN_IF_ERROR(Log("SE " + std::to_string(e) + " " +
                               core::EncodeField(key) + " " +
                               EncodeValue(value)));
-  Status s =
-      inner_->mutable_topology()->SetEdgeProperty(e, key, std::move(value));
+  Status s = inner_->MutateTopology([&](graph::PropertyGraph* topo) {
+    return topo->SetEdgeProperty(e, key, std::move(value));
+  });
   MaybeAutoCheckpoint();
   return s;
 }
 
 Status DurableStore::RemoveVertex(graph::VertexId v) {
+  MutexLock lock(append_mu_);
   HYGRAPH_RETURN_IF_ERROR(RequireOpen());
   HYGRAPH_RETURN_IF_ERROR(Log("RV " + std::to_string(v)));
-  Status s = inner_->mutable_topology()->RemoveVertex(v);
+  Status s = inner_->MutateTopology(
+      [&](graph::PropertyGraph* topo) { return topo->RemoveVertex(v); });
   MaybeAutoCheckpoint();
   return s;
 }
 
 Status DurableStore::RemoveEdge(graph::EdgeId e) {
+  MutexLock lock(append_mu_);
   HYGRAPH_RETURN_IF_ERROR(RequireOpen());
   HYGRAPH_RETURN_IF_ERROR(Log("RE " + std::to_string(e)));
-  Status s = inner_->mutable_topology()->RemoveEdge(e);
+  Status s = inner_->MutateTopology(
+      [&](graph::PropertyGraph* topo) { return topo->RemoveEdge(e); });
   MaybeAutoCheckpoint();
   return s;
 }
@@ -615,6 +638,11 @@ Status DurableStore::RemoveEdge(graph::EdgeId e) {
 // -- durability control -------------------------------------------------------
 
 Status DurableStore::Checkpoint() {
+  MutexLock lock(append_mu_);
+  return TimedCheckpoint();
+}
+
+Status DurableStore::TimedCheckpoint() {
   // Checkpoints serialize the full store; two clock reads are noise next to
   // that, so checkpoint latency is always recorded (failures included —
   // a slow failed checkpoint is exactly what an operator wants to see).
@@ -671,6 +699,7 @@ Status DurableStore::CheckpointImpl() {
 }
 
 Status DurableStore::SyncWal() {
+  MutexLock lock(append_mu_);
   HYGRAPH_RETURN_IF_ERROR(RequireOpen());
   return wal_->Sync();
 }
@@ -689,9 +718,20 @@ graph::PropertyGraph* DurableStore::mutable_topology() {
   return inner_->mutable_topology();
 }
 
+Status DurableStore::MutateTopology(
+    const std::function<Status(graph::PropertyGraph*)>& fn) {
+  return inner_->MutateTopology(fn);
+}
+
+std::shared_ptr<const query::QueryBackend> DurableStore::BeginSnapshot()
+    const {
+  return inner_->BeginSnapshot();
+}
+
 Status DurableStore::AppendVertexSample(graph::VertexId v,
                                         const std::string& key, Timestamp t,
                                         double value) {
+  MutexLock lock(append_mu_);
   HYGRAPH_RETURN_IF_ERROR(RequireOpen());
   HYGRAPH_RETURN_IF_ERROR(Log("AV " + std::to_string(v) + " " +
                               core::EncodeField(key) + " " +
@@ -703,6 +743,7 @@ Status DurableStore::AppendVertexSample(graph::VertexId v,
 
 Status DurableStore::AppendEdgeSample(graph::EdgeId e, const std::string& key,
                                       Timestamp t, double value) {
+  MutexLock lock(append_mu_);
   HYGRAPH_RETURN_IF_ERROR(RequireOpen());
   HYGRAPH_RETURN_IF_ERROR(Log("AE " + std::to_string(e) + " " +
                               core::EncodeField(key) + " " +

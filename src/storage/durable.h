@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "common/sync.h"
 #include "obs/metrics.h"
 #include "query/backend.h"
 #include "storage/env.h"
@@ -61,6 +62,14 @@ struct RecoveryStats {
 /// at the next Checkpoint(). Checkpointing requires dense ids (the
 /// core::Serialize precondition); after removals the store stays recoverable
 /// through WAL replay alone until ids are dense again.
+///
+/// Thread safety (DESIGN.md §10): every logged mutation, Checkpoint() and
+/// SyncWal() serialize on one append mutex, so concurrent writers produce a
+/// totally ordered, gap-free WAL (group-commit friendly: with !sync_wal,
+/// any thread's SyncWal() makes all earlier appends durable at once).
+/// Reads and BeginSnapshot() bypass the append mutex entirely and rely on
+/// the wrapped backend's own guards. Open() must complete before the store
+/// is shared between threads.
 class DurableStore final : public query::QueryBackend {
  public:
   /// Does not touch the filesystem; call Open() before use.
@@ -115,6 +124,13 @@ class DurableStore final : public query::QueryBackend {
   std::string name() const override;
   const graph::PropertyGraph& topology() const override;
   graph::PropertyGraph* mutable_topology() override;
+  /// Unlogged topology mutation under the inner store's guard — a
+  /// concurrency-safe bulk-load escape hatch; effects become durable at
+  /// the next Checkpoint(), like mutable_topology().
+  Status MutateTopology(
+      const std::function<Status(graph::PropertyGraph*)>& fn) override;
+  /// Pins the wrapped backend's read view; the WAL plays no part in reads.
+  std::shared_ptr<const query::QueryBackend> BeginSnapshot() const override;
   Status AppendVertexSample(graph::VertexId v, const std::string& key,
                             Timestamp t, double value) override;
   Status AppendEdgeSample(graph::EdgeId e, const std::string& key, Timestamp t,
@@ -143,6 +159,8 @@ class DurableStore final : public query::QueryBackend {
 
  private:
   Status RequireOpen() const;
+  /// Checkpoint body with latency recording; call with append_mu_ held.
+  Status TimedCheckpoint();
   Status CheckpointImpl();
   Status Log(const std::string& body);
   Status ApplyRecord(const std::string& record);
@@ -162,6 +180,11 @@ class DurableStore final : public query::QueryBackend {
   obs::Counter* records_logged_ = nullptr;
   obs::Counter* checkpoints_ = nullptr;
   obs::Histogram* checkpoint_nanos_ = nullptr;
+  /// Serializes Log()+apply, Checkpoint and SyncWal (and guards wal_,
+  /// next_seq_, records_since_checkpoint_, background_error_). Top of the
+  /// lock hierarchy: held while calling into the inner store, never the
+  /// other way around.
+  Mutex append_mu_;
   std::unique_ptr<WalWriter> wal_;
   bool opened_ = false;
   uint64_t next_seq_ = 1;

@@ -1,6 +1,7 @@
 #include "storage/polyglot.h"
 
 #include <algorithm>
+#include <memory>
 #include <utility>
 
 namespace hygraph::storage {
@@ -13,14 +14,37 @@ ts::HypertableOptions WithDefaultMetrics(ts::HypertableOptions options,
   return options;
 }
 
-}  // namespace
+Result<SeriesId> ResolveIn(const PolyglotStore::SeriesMap& map, uint64_t id,
+                           const std::string& key) {
+  auto it = map.find(PolyglotStore::EntityKey{id, key});
+  if (it == map.end()) {
+    return Status::NotFound("no series '" + key + "' on entity " +
+                            std::to_string(id));
+  }
+  return it->second;
+}
 
-PolyglotStore::PolyglotStore(ts::HypertableOptions ts_options)
-    : metrics_(std::make_unique<obs::MetricsRegistry>()),
-      series_(WithDefaultMetrics(std::move(ts_options), metrics_.get())) {}
+std::vector<std::string> KeysOf(const PolyglotStore::SeriesMap& map,
+                                uint64_t id) {
+  std::vector<std::string> keys;
+  for (const auto& [entity_key, sid] : map) {
+    (void)sid;
+    if (entity_key.id == id) keys.push_back(entity_key.key);
+  }
+  std::sort(keys.begin(), keys.end());
+  return keys;
+}
 
-query::BackendWork PolyglotStore::Work() const {
-  const ts::HypertableStats stats = series_.stats();
+// An entity without a series under `key` behaves like an entity with an
+// empty series, matching AllInGraphStore (whose generic property scan
+// cannot distinguish the two). Aggregates over nothing fold the same way
+// as AggState::Finalize on an empty range.
+Result<double> EmptyAggregate(ts::AggKind kind) {
+  if (kind == ts::AggKind::kCount) return 0.0;
+  return Status::NotFound("aggregate over empty range");
+}
+
+query::BackendWork WorkFromStats(const ts::HypertableStats& stats) {
   query::BackendWork w;
   w.series_points_scanned = stats.samples_scanned;
   w.chunks_decoded = stats.chunks_decoded;
@@ -29,14 +53,173 @@ query::BackendWork PolyglotStore::Work() const {
   return w;
 }
 
-Result<SeriesId> PolyglotStore::Resolve(const SeriesMap& map, uint64_t id,
-                                        const std::string& key) const {
-  auto it = map.find(EntityKey{id, key});
-  if (it == map.end()) {
-    return Status::NotFound("no series '" + key + "' on entity " +
-                            std::to_string(id));
+/// A pinned read view: the graph by refcount, the (entity, key) maps by
+/// copy, and the hypertable by an O(series) fork whose chunk vectors are
+/// shared until the origin writes. The fork shares the origin's registry,
+/// so Work()/PROFILE attribution keeps working across a snapshot.
+class PolyglotSnapshot final : public query::QueryBackend {
+ public:
+  PolyglotSnapshot(std::shared_ptr<const graph::PropertyGraph> graph,
+                   PolyglotStore::SeriesMap vertex_series,
+                   PolyglotStore::SeriesMap edge_series,
+                   std::shared_ptr<const ts::HypertableStore> series)
+      : graph_(std::move(graph)),
+        vertex_series_(std::move(vertex_series)),
+        edge_series_(std::move(edge_series)),
+        series_(std::move(series)) {}
+
+  std::string name() const override { return "polyglot"; }
+  const graph::PropertyGraph& topology() const override { return *graph_; }
+  graph::PropertyGraph* mutable_topology() override { return nullptr; }
+
+  obs::MetricsRegistry* metrics() const override { return series_->metrics(); }
+  query::BackendWork Work() const override {
+    return WorkFromStats(series_->stats());
   }
-  return it->second;
+
+  Status AppendVertexSample(graph::VertexId, const std::string&, Timestamp,
+                            double) override {
+    return Status::FailedPrecondition("snapshot is read-only");
+  }
+  Status AppendEdgeSample(graph::EdgeId, const std::string&, Timestamp,
+                          double) override {
+    return Status::FailedPrecondition("snapshot is read-only");
+  }
+
+  Result<ts::Series> VertexSeriesRange(
+      graph::VertexId v, const std::string& key,
+      const Interval& interval) const override {
+    auto sid = ResolveIn(vertex_series_, v, key);
+    if (!sid.ok()) return ts::Series(key);
+    return series_->Materialize(*sid, interval);
+  }
+  Result<ts::Series> EdgeSeriesRange(graph::EdgeId e, const std::string& key,
+                                     const Interval& interval) const override {
+    auto sid = ResolveIn(edge_series_, e, key);
+    if (!sid.ok()) return ts::Series(key);
+    return series_->Materialize(*sid, interval);
+  }
+
+  Result<double> VertexSeriesAggregate(graph::VertexId v,
+                                       const std::string& key,
+                                       const Interval& interval,
+                                       ts::AggKind kind) const override {
+    auto sid = ResolveIn(vertex_series_, v, key);
+    if (!sid.ok()) return EmptyAggregate(kind);
+    return series_->Aggregate(*sid, interval, kind);
+  }
+  Result<double> EdgeSeriesAggregate(graph::EdgeId e, const std::string& key,
+                                     const Interval& interval,
+                                     ts::AggKind kind) const override {
+    auto sid = ResolveIn(edge_series_, e, key);
+    if (!sid.ok()) return EmptyAggregate(kind);
+    return series_->Aggregate(*sid, interval, kind);
+  }
+
+  Result<ts::Series> VertexSeriesWindowAggregate(
+      graph::VertexId v, const std::string& key, const Interval& interval,
+      Duration width, ts::AggKind kind) const override {
+    auto sid = ResolveIn(vertex_series_, v, key);
+    if (!sid.ok()) return ts::Series(key);
+    return series_->WindowAggregate(*sid, interval, width, kind);
+  }
+  Result<ts::Series> EdgeSeriesWindowAggregate(
+      graph::EdgeId e, const std::string& key, const Interval& interval,
+      Duration width, ts::AggKind kind) const override {
+    auto sid = ResolveIn(edge_series_, e, key);
+    if (!sid.ok()) return ts::Series(key);
+    return series_->WindowAggregate(*sid, interval, width, kind);
+  }
+
+  Result<size_t> VertexSeriesCountInRange(graph::VertexId v,
+                                          const std::string& key,
+                                          const Interval& interval,
+                                          double min_value,
+                                          double max_value) const override {
+    auto sid = ResolveIn(vertex_series_, v, key);
+    if (!sid.ok()) return size_t{0};
+    return series_->CountMatching(*sid, interval,
+                                  ts::ScanPredicate{min_value, max_value});
+  }
+  Result<size_t> EdgeSeriesCountInRange(graph::EdgeId e,
+                                        const std::string& key,
+                                        const Interval& interval,
+                                        double min_value,
+                                        double max_value) const override {
+    auto sid = ResolveIn(edge_series_, e, key);
+    if (!sid.ok()) return size_t{0};
+    return series_->CountMatching(*sid, interval,
+                                  ts::ScanPredicate{min_value, max_value});
+  }
+
+  std::vector<std::string> VertexSeriesKeys(graph::VertexId v) const override {
+    return KeysOf(vertex_series_, v);
+  }
+  std::vector<std::string> EdgeSeriesKeys(graph::EdgeId e) const override {
+    return KeysOf(edge_series_, e);
+  }
+
+ private:
+  std::shared_ptr<const graph::PropertyGraph> graph_;
+  const PolyglotStore::SeriesMap vertex_series_;
+  const PolyglotStore::SeriesMap edge_series_;
+  std::shared_ptr<const ts::HypertableStore> series_;
+};
+
+}  // namespace
+
+PolyglotStore::PolyglotStore(ts::HypertableOptions ts_options)
+    : graph_(std::make_shared<graph::PropertyGraph>()),
+      metrics_(std::make_unique<obs::MetricsRegistry>()),
+      series_(WithDefaultMetrics(std::move(ts_options), metrics_.get())),
+      topology_cow_copies_(
+          series_.metrics()->counter("concurrency.topology_cow_copies")),
+      sync_(SyncInstruments::ForRegistry(series_.metrics())),
+      store_mu_(std::make_unique<SharedMutex>(sync_)) {}
+
+query::BackendWork PolyglotStore::Work() const {
+  return WorkFromStats(series_.stats());
+}
+
+const graph::PropertyGraph& PolyglotStore::topology() const {
+  SharedLock lock(*store_mu_);
+  return *graph_;  // reference outlives the guard; see header contract
+}
+
+graph::PropertyGraph* PolyglotStore::Detach() {
+  if (graph_.use_count() > 1) {
+    graph_ = std::make_shared<graph::PropertyGraph>(*graph_);
+    topology_cow_copies_->Increment();
+  }
+  return graph_.get();
+}
+
+graph::PropertyGraph* PolyglotStore::mutable_topology() {
+  ExclusiveLock lock(*store_mu_);
+  return Detach();
+}
+
+Status PolyglotStore::MutateTopology(
+    const std::function<Status(graph::PropertyGraph*)>& fn) {
+  ExclusiveLock lock(*store_mu_);
+  return fn(Detach());
+}
+
+std::shared_ptr<const query::QueryBackend> PolyglotStore::BeginSnapshot()
+    const {
+  // Series creation takes the exclusive guard, so under the shared guard
+  // the maps and the hypertable's series set cannot drift apart; the fork
+  // itself pins each series' chunk vector under that series' shard lock.
+  SharedLock lock(*store_mu_);
+  return std::make_shared<PolyglotSnapshot>(graph_, vertex_series_,
+                                            edge_series_, series_.Fork());
+}
+
+Result<SeriesId> PolyglotStore::ResolveLocked(const SeriesMap& map,
+                                              uint64_t id,
+                                              const std::string& key) const {
+  SharedLock lock(*store_mu_);
+  return ResolveIn(map, id, key);
 }
 
 SeriesId PolyglotStore::ResolveOrCreate(SeriesMap* map, uint64_t id,
@@ -53,66 +236,78 @@ SeriesId PolyglotStore::ResolveOrCreate(SeriesMap* map, uint64_t id,
 Status PolyglotStore::AppendVertexSample(graph::VertexId v,
                                          const std::string& key, Timestamp t,
                                          double value) {
-  if (!graph_.HasVertex(v)) {
-    return Status::NotFound("no vertex with id " + std::to_string(v));
+  SeriesId sid = 0;
+  bool found = false;
+  {
+    // Fast path: existing series resolve under the shared guard, so
+    // steady-state ingest on different series runs concurrently.
+    SharedLock lock(*store_mu_);
+    if (!graph_->HasVertex(v)) {
+      return Status::NotFound("no vertex with id " + std::to_string(v));
+    }
+    auto it = vertex_series_.find(EntityKey{v, key});
+    if (it != vertex_series_.end()) {
+      sid = it->second;
+      found = true;
+    }
   }
-  const SeriesId sid = ResolveOrCreate(&vertex_series_, v, key, "v");
+  if (!found) {
+    ExclusiveLock lock(*store_mu_);
+    if (!graph_->HasVertex(v)) {  // recheck: guard was dropped
+      return Status::NotFound("no vertex with id " + std::to_string(v));
+    }
+    sid = ResolveOrCreate(&vertex_series_, v, key, "v");
+  }
   return series_.Insert(sid, t, value);
 }
 
 Status PolyglotStore::AppendEdgeSample(graph::EdgeId e, const std::string& key,
                                        Timestamp t, double value) {
-  if (!graph_.HasEdge(e)) {
-    return Status::NotFound("no edge with id " + std::to_string(e));
+  SeriesId sid = 0;
+  bool found = false;
+  {
+    SharedLock lock(*store_mu_);
+    if (!graph_->HasEdge(e)) {
+      return Status::NotFound("no edge with id " + std::to_string(e));
+    }
+    auto it = edge_series_.find(EntityKey{e, key});
+    if (it != edge_series_.end()) {
+      sid = it->second;
+      found = true;
+    }
   }
-  const SeriesId sid = ResolveOrCreate(&edge_series_, e, key, "e");
+  if (!found) {
+    ExclusiveLock lock(*store_mu_);
+    if (!graph_->HasEdge(e)) {  // recheck: guard was dropped
+      return Status::NotFound("no edge with id " + std::to_string(e));
+    }
+    sid = ResolveOrCreate(&edge_series_, e, key, "e");
+  }
   return series_.Insert(sid, t, value);
-}
-
-std::vector<std::string> PolyglotStore::KeysOf(const SeriesMap& map,
-                                               uint64_t id) {
-  std::vector<std::string> keys;
-  for (const auto& [entity_key, sid] : map) {
-    (void)sid;
-    if (entity_key.id == id) keys.push_back(entity_key.key);
-  }
-  std::sort(keys.begin(), keys.end());
-  return keys;
 }
 
 std::vector<std::string> PolyglotStore::VertexSeriesKeys(
     graph::VertexId v) const {
+  SharedLock lock(*store_mu_);
   return KeysOf(vertex_series_, v);
 }
 
 std::vector<std::string> PolyglotStore::EdgeSeriesKeys(graph::EdgeId e) const {
+  SharedLock lock(*store_mu_);
   return KeysOf(edge_series_, e);
 }
-
-namespace {
-
-// An entity without a series under `key` behaves like an entity with an
-// empty series, matching AllInGraphStore (whose generic property scan
-// cannot distinguish the two). Aggregates over nothing fold the same way
-// as AggState::Finalize on an empty range.
-Result<double> EmptyAggregate(ts::AggKind kind) {
-  if (kind == ts::AggKind::kCount) return 0.0;
-  return Status::NotFound("aggregate over empty range");
-}
-
-}  // namespace
 
 Result<ts::Series> PolyglotStore::VertexSeriesRange(
     graph::VertexId v, const std::string& key,
     const Interval& interval) const {
-  auto sid = Resolve(vertex_series_, v, key);
+  auto sid = ResolveLocked(vertex_series_, v, key);
   if (!sid.ok()) return ts::Series(key);
   return series_.Materialize(*sid, interval);
 }
 
 Result<ts::Series> PolyglotStore::EdgeSeriesRange(
     graph::EdgeId e, const std::string& key, const Interval& interval) const {
-  auto sid = Resolve(edge_series_, e, key);
+  auto sid = ResolveLocked(edge_series_, e, key);
   if (!sid.ok()) return ts::Series(key);
   return series_.Materialize(*sid, interval);
 }
@@ -121,7 +316,7 @@ Result<double> PolyglotStore::VertexSeriesAggregate(graph::VertexId v,
                                                     const std::string& key,
                                                     const Interval& interval,
                                                     ts::AggKind kind) const {
-  auto sid = Resolve(vertex_series_, v, key);
+  auto sid = ResolveLocked(vertex_series_, v, key);
   if (!sid.ok()) return EmptyAggregate(kind);
   return series_.Aggregate(*sid, interval, kind);
 }
@@ -130,7 +325,7 @@ Result<double> PolyglotStore::EdgeSeriesAggregate(graph::EdgeId e,
                                                   const std::string& key,
                                                   const Interval& interval,
                                                   ts::AggKind kind) const {
-  auto sid = Resolve(edge_series_, e, key);
+  auto sid = ResolveLocked(edge_series_, e, key);
   if (!sid.ok()) return EmptyAggregate(kind);
   return series_.Aggregate(*sid, interval, kind);
 }
@@ -138,7 +333,7 @@ Result<double> PolyglotStore::EdgeSeriesAggregate(graph::EdgeId e,
 Result<size_t> PolyglotStore::VertexSeriesCountInRange(
     graph::VertexId v, const std::string& key, const Interval& interval,
     double min_value, double max_value) const {
-  auto sid = Resolve(vertex_series_, v, key);
+  auto sid = ResolveLocked(vertex_series_, v, key);
   if (!sid.ok()) return size_t{0};  // missing series counts like an empty one
   return series_.CountMatching(*sid, interval,
                                ts::ScanPredicate{min_value, max_value});
@@ -147,7 +342,7 @@ Result<size_t> PolyglotStore::VertexSeriesCountInRange(
 Result<size_t> PolyglotStore::EdgeSeriesCountInRange(
     graph::EdgeId e, const std::string& key, const Interval& interval,
     double min_value, double max_value) const {
-  auto sid = Resolve(edge_series_, e, key);
+  auto sid = ResolveLocked(edge_series_, e, key);
   if (!sid.ok()) return size_t{0};
   return series_.CountMatching(*sid, interval,
                                ts::ScanPredicate{min_value, max_value});
@@ -156,7 +351,7 @@ Result<size_t> PolyglotStore::EdgeSeriesCountInRange(
 Result<ts::Series> PolyglotStore::VertexSeriesWindowAggregate(
     graph::VertexId v, const std::string& key, const Interval& interval,
     Duration width, ts::AggKind kind) const {
-  auto sid = Resolve(vertex_series_, v, key);
+  auto sid = ResolveLocked(vertex_series_, v, key);
   if (!sid.ok()) return ts::Series(key);
   return series_.WindowAggregate(*sid, interval, width, kind);
 }
@@ -164,7 +359,7 @@ Result<ts::Series> PolyglotStore::VertexSeriesWindowAggregate(
 Result<ts::Series> PolyglotStore::EdgeSeriesWindowAggregate(
     graph::EdgeId e, const std::string& key, const Interval& interval,
     Duration width, ts::AggKind kind) const {
-  auto sid = Resolve(edge_series_, e, key);
+  auto sid = ResolveLocked(edge_series_, e, key);
   if (!sid.ok()) return ts::Series(key);
   return series_.WindowAggregate(*sid, interval, width, kind);
 }

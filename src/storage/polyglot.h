@@ -5,6 +5,7 @@
 #include <string>
 #include <unordered_map>
 
+#include "common/sync.h"
 #include "query/backend.h"
 #include "ts/hypertable.h"
 
@@ -22,13 +23,34 @@ namespace hygraph::storage {
 /// The small per-query cost of resolving the cross-store mapping is the
 /// polyglot glue overhead that makes TTDB slightly *slower* than Neo4j on
 /// the trivial Q1.
+///
+/// Thread safety (DESIGN.md §10): the graph and the (entity, key) maps sit
+/// behind one coarse reader-writer guard, held only while touching them —
+/// sample data is read and written through the hypertable's own per-series
+/// locks, so ingest on one series never blocks scans of another. Series
+/// creation requires the exclusive guard; BeginSnapshot() therefore pins a
+/// consistent (graph, maps, hypertable fork) triple under the shared
+/// guard. topology()/mutable_topology() hand out references that outlive
+/// the guard — single-threaded use only; concurrent code goes through
+/// BeginSnapshot()/MutateTopology().
 class PolyglotStore final : public query::QueryBackend {
  public:
   explicit PolyglotStore(ts::HypertableOptions ts_options = {});
 
   std::string name() const override { return "polyglot"; }
-  const graph::PropertyGraph& topology() const override { return graph_; }
-  graph::PropertyGraph* mutable_topology() override { return &graph_; }
+  const graph::PropertyGraph& topology() const override;
+
+  /// Single-threaded bulk-load escape hatch; see AllInGraphStore.
+  graph::PropertyGraph* mutable_topology() override;
+
+  /// Runs `fn` under the store's exclusive guard after a copy-on-write
+  /// detach — the concurrency-safe mutation path.
+  Status MutateTopology(
+      const std::function<Status(graph::PropertyGraph*)>& fn) override;
+
+  /// Pins graph + series maps + an O(series) hypertable fork as one
+  /// consistent immutable view.
+  std::shared_ptr<const query::QueryBackend> BeginSnapshot() const override;
 
   /// One registry for the whole backend; the embedded hypertable's
   /// "hypertable.*" instruments live in it too (unless the caller injected
@@ -95,7 +117,8 @@ class PolyglotStore final : public query::QueryBackend {
   const ts::HypertableStore& series_store() const { return series_; }
   ts::HypertableStore* mutable_series_store() { return &series_; }
 
- private:
+  // Cross-store glue types. Internal, but public so the pinned snapshot
+  // implementation (file-local in polyglot.cc) can hold map copies.
   struct EntityKey {
     uint64_t id;
     std::string key;
@@ -109,19 +132,30 @@ class PolyglotStore final : public query::QueryBackend {
   };
   using SeriesMap = std::unordered_map<EntityKey, SeriesId, EntityKeyHash>;
 
-  static std::vector<std::string> KeysOf(const SeriesMap& map, uint64_t id);
-  Result<SeriesId> Resolve(const SeriesMap& map, uint64_t id,
-                           const std::string& key) const;
+ private:
+  /// Map lookup under the shared guard.
+  Result<SeriesId> ResolveLocked(const SeriesMap& map, uint64_t id,
+                                 const std::string& key) const;
+  /// Creates the hypertable series on first use; call under the exclusive
+  /// guard.
   SeriesId ResolveOrCreate(SeriesMap* map, uint64_t id,
                            const std::string& key, const char* scope);
+  /// Copy-on-write detach of the graph; call under the exclusive guard.
+  graph::PropertyGraph* Detach();
 
-  graph::PropertyGraph graph_;
+  std::shared_ptr<graph::PropertyGraph> graph_;
   // Declared before series_ so the hypertable can adopt it at
   // construction (when the caller did not inject a registry of their own).
   std::unique_ptr<obs::MetricsRegistry> metrics_;
   ts::HypertableStore series_;
   SeriesMap vertex_series_;
   SeriesMap edge_series_;
+  // "concurrency.snapshot_pins" is incremented by series_.Fork() on the
+  // shared registry — one pin event per snapshot, not counted twice here.
+  obs::Counter* topology_cow_copies_ = nullptr;
+  SyncInstruments sync_;
+  // Heap-held: SharedMutex is not movable, the store is.
+  std::unique_ptr<SharedMutex> store_mu_;
 };
 
 }  // namespace hygraph::storage

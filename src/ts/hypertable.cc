@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <memory>
+#include <mutex>
 
 namespace hygraph::ts {
 
@@ -11,7 +12,7 @@ Status HypertableStore::NoSuchSeries(SeriesId id) {
 }
 
 HypertableStore::HypertableStore(HypertableOptions options)
-    : options_(options) {
+    : options_(options), map_mu_(nullptr) {
   if (options_.chunk_duration <= 0) options_.chunk_duration = kDay;
   if (options_.metrics != nullptr) {
     metrics_ = options_.metrics;
@@ -30,12 +31,35 @@ HypertableStore::HypertableStore(HypertableOptions options)
   m_.bytes_compressed = metrics_->counter("hypertable.bytes_compressed");
   m_.chunks_zonemap_skipped =
       metrics_->counter("hypertable.chunks_zonemap_skipped");
+  m_.chunk_pins = metrics_->counter("concurrency.chunk_pins");
+  m_.snapshot_pins = metrics_->counter("concurrency.snapshot_pins");
+  m_.unseal_conflicts = metrics_->counter("concurrency.chunk_unseal_conflicts");
+  m_.series_cow_copies = metrics_->counter("concurrency.series_cow_copies");
+  sync_ = SyncInstruments::ForRegistry(metrics_);
+  map_mu_ = std::make_unique<SharedMutex>(sync_);
 }
 
 SeriesId HypertableStore::Create(std::string name) {
+  ExclusiveLock lock(*map_mu_);
   const SeriesId id = next_id_++;
-  series_.emplace(id, StoredSeries{std::move(name), {}});
+  series_.emplace(id,
+                  std::make_unique<StoredSeries>(std::move(name), sync_));
   return id;
+}
+
+HypertableStore::StoredSeries* HypertableStore::FindSeries(SeriesId id) const {
+  SharedLock lock(*map_mu_);
+  auto it = series_.find(id);
+  return it == series_.end() ? nullptr : it->second.get();
+}
+
+bool HypertableStore::Exists(SeriesId id) const {
+  return FindSeries(id) != nullptr;
+}
+
+size_t HypertableStore::series_count() const {
+  SharedLock lock(*map_mu_);
+  return series_.size();
 }
 
 Timestamp HypertableStore::ChunkStartFor(Timestamp t) const {
@@ -45,16 +69,48 @@ Timestamp HypertableStore::ChunkStartFor(Timestamp t) const {
   return q * d;
 }
 
-size_t HypertableStore::ChunkIndexFor(StoredSeries& s, Timestamp t) {
+std::vector<HypertableStore::Chunk>& HypertableStore::MutableChunks(
+    StoredSeries& s) const {
+  if (s.chunks.use_count() > 1) {
+    // A Fork() pinned this vector: detach. Sealed chunks share their
+    // immutable payload by refcount; only hot vectors actually copy. The
+    // old vector (and its caches) stays alive for the snapshot, which may
+    // still be filling a cache concurrently — hence the fresh-flag
+    // acquire before trusting a copied aggregate.
+    auto fresh = std::make_shared<std::vector<Chunk>>();
+    fresh->reserve(s.chunks->size());
+    for (const Chunk& chunk : *s.chunks) {
+      Chunk copy;
+      copy.start = chunk.start;
+      copy.samples = chunk.samples;
+      copy.sealed = chunk.sealed;
+      if (chunk.cache != nullptr) {
+        copy.cache = std::make_unique<AggCache>();
+        if (chunk.cache->fresh.load(std::memory_order_acquire)) {
+          copy.cache->agg = chunk.cache->agg;
+          copy.cache->fresh.store(true, std::memory_order_release);
+        }
+      }
+      fresh->push_back(std::move(copy));
+    }
+    s.chunks = std::move(fresh);
+    m_.series_cow_copies->Increment();
+  }
+  return *s.chunks;
+}
+
+size_t HypertableStore::ChunkIndexFor(std::vector<Chunk>& chunks,
+                                      Timestamp t) const {
   const Timestamp start = ChunkStartFor(t);
   auto it = std::lower_bound(
-      s.chunks.begin(), s.chunks.end(), start,
+      chunks.begin(), chunks.end(), start,
       [](const Chunk& c, Timestamp st) { return c.start < st; });
-  if (it == s.chunks.end() || it->start != start) {
-    it = s.chunks.insert(it, Chunk{});
+  if (it == chunks.end() || it->start != start) {
+    it = chunks.insert(it, Chunk{});
     it->start = start;
+    it->cache = std::make_unique<AggCache>();
   }
-  return static_cast<size_t>(it - s.chunks.begin());
+  return static_cast<size_t>(it - chunks.begin());
 }
 
 void HypertableStore::InsertIntoChunk(Chunk& chunk, Timestamp t,
@@ -67,19 +123,23 @@ void HypertableStore::InsertIntoChunk(Chunk& chunk, Timestamp t,
   } else {
     chunk.samples.insert(pos, Sample{t, value});
   }
-  chunk.agg_dirty = true;
+  // Relaxed is enough: the writer holds the shard lock exclusively, so no
+  // reader can observe the flag until the lock is released (which orders).
+  chunk.cache->fresh.store(false, std::memory_order_relaxed);
 }
 
-void HypertableStore::Seal(Chunk& chunk) {
-  if (chunk.sealed() || chunk.samples.empty()) return;
-  // One pass refreshes the aggregate cache and builds the zone map, so a
-  // sealed chunk always answers covered aggregates without decoding.
-  chunk.agg = AggState{};
+void HypertableStore::Seal(Chunk& chunk) const {
+  if (chunk.is_sealed() || chunk.samples.empty()) return;
+  // One pass computes the aggregate and builds the zone map, so a sealed
+  // chunk always answers covered aggregates without decoding. The sealed
+  // form is a fresh immutable object: readers pinned to a previous
+  // incarnation keep decoding the bytes they pinned.
+  auto sealed = std::make_shared<SealedChunk>();
   double min_v = std::numeric_limits<double>::infinity();
   double max_v = -std::numeric_limits<double>::infinity();
   bool all_finite = true;
   for (const Sample& s : chunk.samples) {
-    chunk.agg.Add(s);
+    sealed->agg.Add(s);
     if (std::isfinite(s.value)) {
       min_v = std::min(min_v, s.value);
       max_v = std::max(max_v, s.value);
@@ -91,98 +151,162 @@ void HypertableStore::Seal(Chunk& chunk) {
       }
     }
   }
-  chunk.agg_dirty = false;
-  chunk.min_t = chunk.samples.front().t;
-  chunk.max_t = chunk.samples.back().t;
-  chunk.min_v = min_v;
-  chunk.max_v = max_v;
-  chunk.all_finite = all_finite;
-  chunk.encoded = EncodeChunk(chunk.samples);
-  chunk.encoded.shrink_to_fit();
-  chunk.sealed_count = chunk.samples.size();
+  sealed->min_t = chunk.samples.front().t;
+  sealed->max_t = chunk.samples.back().t;
+  sealed->min_v = min_v;
+  sealed->max_v = max_v;
+  sealed->all_finite = all_finite;
+  sealed->encoded = EncodeChunk(chunk.samples);
+  sealed->encoded.shrink_to_fit();
+  sealed->count = chunk.samples.size();
   m_.chunks_sealed->Increment();
   m_.bytes_raw->Add(chunk.samples.size() * sizeof(Sample));
-  m_.bytes_compressed->Add(chunk.encoded.size());
+  m_.bytes_compressed->Add(sealed->encoded.size());
+  chunk.sealed = std::move(sealed);
   chunk.samples = std::vector<Sample>{};  // release the hot buffer
+  chunk.cache.reset();  // sealed chunks answer from sealed->agg
 }
 
-Status HypertableStore::Unseal(Chunk& chunk) {
-  if (!chunk.sealed()) return Status::OK();
-  auto samples = DecodeChunk(chunk.encoded);
+Status HypertableStore::Unseal(Chunk& chunk) const {
+  if (!chunk.is_sealed()) return Status::OK();
+  if (chunk.sealed.use_count() > 1) {
+    // Readers are pinned to this sealed object; they keep the old bytes
+    // (and see the pre-write state) while this series moves on.
+    m_.unseal_conflicts->Increment();
+  }
+  auto samples = DecodeChunk(chunk.sealed->encoded);
   if (!samples.ok()) {
     return Status::Internal("sealed chunk failed to decode: " +
                             samples.status().message());
   }
   chunk.samples = std::move(*samples);
-  chunk.encoded = std::string{};
-  chunk.sealed_count = 0;
+  chunk.cache = std::make_unique<AggCache>();
+  // The sealed aggregate covered exactly these samples; seed the hot cache
+  // with it (the caller's insert will invalidate as needed).
+  chunk.cache->agg = chunk.sealed->agg;
+  chunk.cache->fresh.store(true, std::memory_order_release);
+  chunk.sealed = nullptr;
   m_.chunks_unsealed->Increment();
   m_.chunks_decoded->Increment();
   return Status::OK();
 }
 
-void HypertableStore::SealColdChunks(StoredSeries& s) {
-  if (!options_.compress_sealed_chunks || s.chunks.empty()) return;
-  for (size_t i = 0; i + 1 < s.chunks.size(); ++i) {
-    Seal(s.chunks[i]);
+void HypertableStore::SealColdChunks(std::vector<Chunk>& chunks) const {
+  if (!options_.compress_sealed_chunks || chunks.empty()) return;
+  for (size_t i = 0; i + 1 < chunks.size(); ++i) {
+    Seal(chunks[i]);
   }
 }
 
-const AggState& HypertableStore::ChunkAggregate(const Chunk& chunk) {
-  if (chunk.agg_dirty) {
-    chunk.agg = AggState{};
-    if (chunk.sealed()) {
-      ChunkDecoder decoder(chunk.encoded);
-      Sample s;
-      while (decoder.Next(&s)) chunk.agg.Add(s);
-    } else {
-      for (const Sample& s : chunk.samples) chunk.agg.Add(s);
+const AggState& HypertableStore::HotAggregate(const Chunk& chunk) {
+  AggCache& cache = *chunk.cache;
+  if (!cache.fresh.load(std::memory_order_acquire)) {
+    std::lock_guard<Mutex> fill_lock(cache.mu);
+    if (!cache.fresh.load(std::memory_order_relaxed)) {
+      AggState agg;
+      for (const Sample& s : chunk.samples) agg.Add(s);
+      cache.agg = agg;
+      cache.fresh.store(true, std::memory_order_release);
     }
-    chunk.agg_dirty = false;
   }
-  return chunk.agg;
+  return cache.agg;
 }
 
-Status HypertableStore::InsertRaw(StoredSeries& s, Timestamp t, double value) {
-  Chunk& chunk = s.chunks[ChunkIndexFor(s, t)];
-  if (chunk.sealed()) HYGRAPH_RETURN_IF_ERROR(Unseal(chunk));
+Result<HypertableStore::SeriesReadView> HypertableStore::PinView(
+    SeriesId id, const Interval& interval, bool want_aggregates) const {
+  const StoredSeries* s = FindSeries(id);
+  if (s == nullptr) return Status(NoSuchSeries(id));
+  SeriesReadView view;
+  view.name = s->name;
+  SharedLock lock(s->mu);
+  const std::vector<Chunk>& chunks = *s->chunks;
+  view.chunk_count = chunks.size();
+  for (const Chunk& chunk : chunks) {
+    if (chunk.start >= interval.end) break;  // chunks sorted by start
+    if (!ChunkSpan(chunk).Overlaps(interval) || chunk.size() == 0) continue;
+    if (chunk.is_sealed() &&
+        (chunk.sealed->max_t < interval.start ||
+         chunk.sealed->min_t >= interval.end)) {
+      continue;  // exact data bounds beat the nominal chunk span
+    }
+    PinnedChunk p;
+    p.start = chunk.start;
+    p.size = chunk.size();
+    if (chunk.is_sealed()) {
+      p.sealed_ref = chunk.sealed;  // refcount pin; decoded outside the lock
+      p.first_t = chunk.sealed->min_t;
+      p.last_t = chunk.sealed->max_t;
+      if (want_aggregates) {
+        p.agg = chunk.sealed->agg;
+        p.agg_valid = true;
+      }
+      m_.chunk_pins->Increment();
+    } else {
+      p.first_t = chunk.samples.front().t;
+      p.last_t = chunk.samples.back().t;
+      auto lo = std::lower_bound(
+          chunk.samples.begin(), chunk.samples.end(), interval.start,
+          [](const Sample& sample, Timestamp t) { return sample.t < t; });
+      auto hi = std::lower_bound(
+          lo, chunk.samples.end(), interval.end,
+          [](const Sample& sample, Timestamp t) { return sample.t < t; });
+      p.hot.assign(lo, hi);
+      if (want_aggregates) {
+        p.agg = HotAggregate(chunk);
+        p.agg_valid = true;
+      }
+    }
+    view.overlap_estimate += p.size;
+    view.chunks.push_back(std::move(p));
+  }
+  return view;
+}
+
+Status HypertableStore::InsertRaw(std::vector<Chunk>& chunks, Timestamp t,
+                                  double value) {
+  Chunk& chunk = chunks[ChunkIndexFor(chunks, t)];
+  if (chunk.is_sealed()) HYGRAPH_RETURN_IF_ERROR(Unseal(chunk));
   InsertIntoChunk(chunk, t, value);
   return Status::OK();
 }
 
 Status HypertableStore::Insert(SeriesId id, Timestamp t, double value) {
-  auto it = series_.find(id);
-  if (it == series_.end()) return NoSuchSeries(id);
-  StoredSeries& s = it->second;
-  const size_t chunks_before = s.chunks.size();
-  const size_t idx = ChunkIndexFor(s, t);
-  Chunk& chunk = s.chunks[idx];
-  if (chunk.sealed()) HYGRAPH_RETURN_IF_ERROR(Unseal(chunk));
+  StoredSeries* s = FindSeries(id);
+  if (s == nullptr) return NoSuchSeries(id);
+  ExclusiveLock lock(s->mu);
+  std::vector<Chunk>& chunks = MutableChunks(*s);
+  const size_t chunks_before = chunks.size();
+  const size_t idx = ChunkIndexFor(chunks, t);
+  Chunk& chunk = chunks[idx];
+  if (chunk.is_sealed()) HYGRAPH_RETURN_IF_ERROR(Unseal(chunk));
   InsertIntoChunk(chunk, t, value);
   if (!options_.compress_sealed_chunks) return Status::OK();
   // Keep the invariant "only the newest chunk is hot": an out-of-order
   // write into a cold chunk reseals it immediately, and opening a fresh
   // newest chunk seals whatever was hot before it.
-  if (idx + 1 < s.chunks.size()) Seal(s.chunks[idx]);
-  if (s.chunks.size() > chunks_before) SealColdChunks(s);
+  if (idx + 1 < chunks.size()) Seal(chunks[idx]);
+  if (chunks.size() > chunks_before) SealColdChunks(chunks);
   return Status::OK();
 }
 
 Status HypertableStore::InsertSeries(SeriesId id, const Series& series) {
-  auto it = series_.find(id);
-  if (it == series_.end()) return NoSuchSeries(id);
+  StoredSeries* stored = FindSeries(id);
+  if (stored == nullptr) return NoSuchSeries(id);
+  ExclusiveLock lock(stored->mu);
+  std::vector<Chunk>& chunks = MutableChunks(*stored);
   for (const Sample& s : series.samples()) {
-    HYGRAPH_RETURN_IF_ERROR(InsertRaw(it->second, s.t, s.value));
+    HYGRAPH_RETURN_IF_ERROR(InsertRaw(chunks, s.t, s.value));
   }
-  SealColdChunks(it->second);
+  SealColdChunks(chunks);
   return Status::OK();
 }
 
 Result<size_t> HypertableStore::Retain(SeriesId id, const Interval& keep) {
-  auto it = series_.find(id);
-  if (it == series_.end()) return Status(NoSuchSeries(id));
+  StoredSeries* stored = FindSeries(id);
+  if (stored == nullptr) return Status(NoSuchSeries(id));
+  ExclusiveLock lock(stored->mu);
+  std::vector<Chunk>& chunks = MutableChunks(*stored);
   size_t removed = 0;
-  auto& chunks = it->second.chunks;
   std::vector<Chunk> kept;
   kept.reserve(chunks.size());
   for (Chunk& chunk : chunks) {
@@ -195,15 +319,16 @@ Result<size_t> HypertableStore::Retain(SeriesId id, const Interval& keep) {
       kept.push_back(std::move(chunk));
       continue;  // fully inside, untouched
     }
-    if (chunk.sealed()) {
+    if (chunk.is_sealed()) {
       // The zone map resolves boundary chunks without decoding: all data
       // inside `keep` keeps the chunk intact, all data outside drops it.
-      if (chunk.min_t >= keep.start && chunk.max_t < keep.end) {
+      if (chunk.sealed->min_t >= keep.start && chunk.sealed->max_t < keep.end) {
         kept.push_back(std::move(chunk));
         continue;
       }
-      if (chunk.max_t < keep.start || chunk.min_t >= keep.end) {
-        removed += chunk.sealed_count;
+      if (chunk.sealed->max_t < keep.start ||
+          chunk.sealed->min_t >= keep.end) {
+        removed += chunk.sealed->count;
         continue;
       }
       HYGRAPH_RETURN_IF_ERROR(Unseal(chunk));
@@ -212,53 +337,54 @@ Result<size_t> HypertableStore::Retain(SeriesId id, const Interval& keep) {
     std::erase_if(chunk.samples,
                   [&keep](const Sample& s) { return !keep.Contains(s.t); });
     removed += before - chunk.samples.size();
-    chunk.agg_dirty = true;
+    chunk.cache->fresh.store(false, std::memory_order_relaxed);
     if (!chunk.samples.empty()) kept.push_back(std::move(chunk));
   }
   chunks = std::move(kept);
-  SealColdChunks(it->second);
+  SealColdChunks(chunks);
   return removed;
 }
 
 Result<size_t> HypertableStore::SampleCount(SeriesId id) const {
-  auto it = series_.find(id);
-  if (it == series_.end()) return Status(NoSuchSeries(id));
+  const StoredSeries* s = FindSeries(id);
+  if (s == nullptr) return Status(NoSuchSeries(id));
+  SharedLock lock(s->mu);
   size_t n = 0;
-  for (const Chunk& c : it->second.chunks) n += c.size();
+  for (const Chunk& c : *s->chunks) n += c.size();
   return n;
 }
 
 Result<std::vector<Sample>> HypertableStore::Scan(
     SeriesId id, const Interval& interval) const {
-  auto it = series_.find(id);
-  if (it == series_.end()) return Status(NoSuchSeries(id));
-  size_t estimate = 0;
-  for (const Chunk& chunk : it->second.chunks) {
-    if (chunk.start >= interval.end) break;
-    if (ChunkSpan(chunk).Overlaps(interval)) estimate += chunk.size();
-  }
+  auto view = PinView(id, interval, /*want_aggregates=*/false);
+  if (!view.ok()) return view.status();
+  m_.chunks_total->Add(view->chunk_count);
   std::vector<Sample> out;
-  out.reserve(estimate);
-  HYGRAPH_RETURN_IF_ERROR(ScanVisit(
-      id, interval, [&out](const Sample& s) { out.push_back(s); }));
+  out.reserve(view->overlap_estimate);
+  for (const PinnedChunk& chunk : view->chunks) {
+    m_.chunks_scanned->Increment();
+    HYGRAPH_RETURN_IF_ERROR(
+        VisitPinned(chunk, interval, ScanPredicate{},
+                    [&out](const Sample& s) { out.push_back(s); }));
+  }
   return out;
 }
 
 Result<Series> HypertableStore::Materialize(SeriesId id,
                                             const Interval& interval) const {
-  auto it = series_.find(id);
-  if (it == series_.end()) return Status(NoSuchSeries(id));
-  Series out(it->second.name);
-  size_t estimate = 0;
-  for (const Chunk& chunk : it->second.chunks) {
-    if (chunk.start >= interval.end) break;
-    if (ChunkSpan(chunk).Overlaps(interval)) estimate += chunk.size();
-  }
-  out.Reserve(estimate);
+  auto view = PinView(id, interval, /*want_aggregates=*/false);
+  if (!view.ok()) return view.status();
+  m_.chunks_total->Add(view->chunk_count);
+  Series out(view->name);
+  out.Reserve(view->overlap_estimate);
   Status append = Status::OK();
-  HYGRAPH_RETURN_IF_ERROR(ScanVisit(id, interval, [&](const Sample& s) {
-    if (append.ok()) append = out.Append(s.t, s.value);
-  }));
+  for (const PinnedChunk& chunk : view->chunks) {
+    m_.chunks_scanned->Increment();
+    HYGRAPH_RETURN_IF_ERROR(
+        VisitPinned(chunk, interval, ScanPredicate{}, [&](const Sample& s) {
+          if (append.ok()) append = out.Append(s.t, s.value);
+        }));
+  }
   HYGRAPH_RETURN_IF_ERROR(append);
   return out;
 }
@@ -266,36 +392,32 @@ Result<Series> HypertableStore::Materialize(SeriesId id,
 Result<size_t> HypertableStore::CountMatching(
     SeriesId id, const Interval& interval,
     const ScanPredicate& predicate) const {
-  auto it = series_.find(id);
-  if (it == series_.end()) return Status(NoSuchSeries(id));
+  auto view = PinView(id, interval, /*want_aggregates=*/false);
+  if (!view.ok()) return view.status();
+  m_.chunks_total->Add(view->chunk_count);
   size_t n = 0;
-  m_.chunks_total->Add(it->second.chunks.size());
-  for (const Chunk& chunk : it->second.chunks) {
-    if (chunk.start >= interval.end) break;
-    if (!ChunkSpan(chunk).Overlaps(interval) || chunk.size() == 0) continue;
+  for (const PinnedChunk& chunk : view->chunks) {
     if (chunk.sealed()) {
-      if (chunk.max_t < interval.start || chunk.min_t >= interval.end) {
-        continue;
-      }
+      const SealedChunk& sealed = *chunk.sealed_ref;
       if (!predicate.unbounded() &&
-          !(chunk.min_v <= predicate.max_value &&
-            chunk.max_v >= predicate.min_value)) {
+          !(sealed.min_v <= predicate.max_value &&
+            sealed.max_v >= predicate.min_value)) {
         m_.chunks_zonemap_skipped->Increment();
         continue;
       }
       // Whole-chunk match: every sample is inside the interval and the
       // zone's value range satisfies the predicate end to end.
-      if (interval.Contains(chunk.min_t) && interval.Contains(chunk.max_t) &&
-          chunk.all_finite && predicate.Matches(chunk.min_v) &&
-          predicate.Matches(chunk.max_v)) {
-        n += chunk.sealed_count;
+      if (interval.Contains(sealed.min_t) && interval.Contains(sealed.max_t) &&
+          sealed.all_finite && predicate.Matches(sealed.min_v) &&
+          predicate.Matches(sealed.max_v)) {
+        n += sealed.count;
         m_.chunks_from_cache->Increment();
         continue;
       }
     }
     m_.chunks_scanned->Increment();
-    HYGRAPH_RETURN_IF_ERROR(
-        VisitChunk(chunk, interval, predicate, [&n](const Sample&) { ++n; }));
+    HYGRAPH_RETURN_IF_ERROR(VisitPinned(chunk, interval, predicate,
+                                        [&n](const Sample&) { ++n; }));
   }
   return n;
 }
@@ -303,26 +425,24 @@ Result<size_t> HypertableStore::CountMatching(
 Result<double> HypertableStore::Aggregate(SeriesId id,
                                           const Interval& interval,
                                           AggKind kind) const {
-  auto it = series_.find(id);
-  if (it == series_.end()) return Status(NoSuchSeries(id));
+  auto view = PinView(id, interval, options_.enable_chunk_cache);
+  if (!view.ok()) return view.status();
+  m_.chunks_total->Add(view->chunk_count);
   AggState total;
-  m_.chunks_total->Add(it->second.chunks.size());
-  for (const Chunk& chunk : it->second.chunks) {
-    if (chunk.start >= interval.end) break;
-    if (!ChunkSpan(chunk).Overlaps(interval) || chunk.size() == 0) continue;
+  for (const PinnedChunk& chunk : view->chunks) {
     // Zone-map coverage: the cached partial answers the chunk whenever the
     // interval covers its actual data span, even if the nominal chunk span
     // pokes out of the interval.
-    if (options_.enable_chunk_cache && interval.Contains(FirstT(chunk)) &&
-        interval.Contains(LastT(chunk))) {
-      total.Merge(ChunkAggregate(chunk));
+    if (chunk.agg_valid && interval.Contains(chunk.first_t) &&
+        interval.Contains(chunk.last_t)) {
+      total.Merge(chunk.agg);
       m_.chunks_from_cache->Increment();
       continue;
     }
     m_.chunks_scanned->Increment();
-    HYGRAPH_RETURN_IF_ERROR(VisitChunk(
-        chunk, interval, ScanPredicate{},
-        [&total](const Sample& s) { total.Add(s); }));
+    HYGRAPH_RETURN_IF_ERROR(
+        VisitPinned(chunk, interval, ScanPredicate{},
+                    [&total](const Sample& s) { total.Add(s); }));
   }
   return total.Finalize(kind);
 }
@@ -334,19 +454,18 @@ Result<Series> HypertableStore::WindowAggregate(SeriesId id,
   if (width <= 0) {
     return Status::InvalidArgument("window width must be positive");
   }
-  auto it = series_.find(id);
-  if (it == series_.end()) return Status(NoSuchSeries(id));
-  auto name = Name(id);
-  Series out(name.ok() ? *name + "_" + AggKindName(kind)
-                       : std::string(AggKindName(kind)));
-  // Clamp the sweep to the data actually present (zone maps for sealed
-  // chunks; no decoding).
+  auto view = PinView(id, interval, options_.enable_chunk_cache);
+  if (!view.ok()) return view.status();
+  Series out(view->name + "_" + AggKindName(kind));
+  // Clamp the sweep to the data actually present. Only pinned (interval-
+  // overlapping) chunks matter: data outside the interval cannot shift the
+  // clamped span, and the grid anchor below falls back to span.start only
+  // when the interval is unbounded — in which case every chunk is pinned.
   Timestamp data_start = kMaxTimestamp;
   Timestamp data_end = kMinTimestamp;
-  for (const Chunk& chunk : it->second.chunks) {
-    if (chunk.size() == 0) continue;
-    data_start = std::min(data_start, FirstT(chunk));
-    data_end = std::max(data_end, LastT(chunk) + 1);
+  for (const PinnedChunk& chunk : view->chunks) {
+    data_start = std::min(data_start, chunk.first_t);
+    data_end = std::max(data_end, chunk.last_t + 1);
   }
   const Interval span = interval.Intersect(Interval{data_start, data_end});
   if (span.empty()) return out;
@@ -364,32 +483,30 @@ Result<Series> HypertableStore::WindowAggregate(SeriesId id,
     return out.Append(anchor + current_bucket * width, *value);
   };
 
-  m_.chunks_total->Add(it->second.chunks.size());
-  for (const Chunk& chunk : it->second.chunks) {
+  m_.chunks_total->Add(view->chunk_count);
+  for (const PinnedChunk& chunk : view->chunks) {
     if (chunk.start >= span.end) break;
-    if (!ChunkSpan(chunk).Overlaps(span) || chunk.size() == 0) continue;
     // Fast path: the chunk lies entirely within one bucket that also lies
     // inside the requested interval — its cached partial stands in for all
     // of its samples (classic continuous-aggregate reuse when width is a
     // multiple of the chunk duration and grids align).
-    const Timestamp first_t = FirstT(chunk);
-    const Timestamp last_t = LastT(chunk);
-    if (options_.enable_chunk_cache && span.Contains(first_t) &&
-        span.Contains(last_t) && bucket_of(first_t) == bucket_of(last_t)) {
-      const int64_t bucket = bucket_of(first_t);
+    if (chunk.agg_valid && span.Contains(chunk.first_t) &&
+        span.Contains(chunk.last_t) &&
+        bucket_of(chunk.first_t) == bucket_of(chunk.last_t)) {
+      const int64_t bucket = bucket_of(chunk.first_t);
       if (bucket != current_bucket) {
         HYGRAPH_RETURN_IF_ERROR(flush());
         current_bucket = bucket;
         state = AggState{};
       }
-      state.Merge(ChunkAggregate(chunk));
+      state.Merge(chunk.agg);
       m_.chunks_from_cache->Increment();
       continue;
     }
     m_.chunks_scanned->Increment();
     Status window_status = Status::OK();
     HYGRAPH_RETURN_IF_ERROR(
-        VisitChunk(chunk, span, ScanPredicate{}, [&](const Sample& s) {
+        VisitPinned(chunk, span, ScanPredicate{}, [&](const Sample& s) {
           if (!window_status.ok()) return;
           const int64_t bucket = bucket_of(s.t);
           if (bucket != current_bucket) {
@@ -406,12 +523,13 @@ Result<Series> HypertableStore::WindowAggregate(SeriesId id,
 }
 
 Result<std::string> HypertableStore::Name(SeriesId id) const {
-  auto it = series_.find(id);
-  if (it == series_.end()) return Status(NoSuchSeries(id));
-  return it->second.name;
+  const StoredSeries* s = FindSeries(id);
+  if (s == nullptr) return Status(NoSuchSeries(id));
+  return s->name;  // immutable after Create; no shard lock needed
 }
 
 std::vector<SeriesId> HypertableStore::Ids() const {
+  SharedLock lock(*map_mu_);
   std::vector<SeriesId> ids;
   ids.reserve(series_.size());
   for (const auto& [id, _] : series_) ids.push_back(id);
@@ -420,13 +538,15 @@ std::vector<SeriesId> HypertableStore::Ids() const {
 }
 
 HypertableMemory HypertableStore::MemoryUsage() const {
+  SharedLock map_lock(*map_mu_);
   HypertableMemory m;
   for (const auto& [id, stored] : series_) {
     (void)id;
-    for (const Chunk& chunk : stored.chunks) {
-      if (chunk.sealed()) {
-        m.sealed_samples += chunk.sealed_count;
-        m.sealed_bytes += chunk.encoded.size();
+    SharedLock lock(stored->mu);
+    for (const Chunk& chunk : *stored->chunks) {
+      if (chunk.is_sealed()) {
+        m.sealed_samples += chunk.sealed->count;
+        m.sealed_bytes += chunk.sealed->encoded.size();
       } else {
         m.hot_samples += chunk.samples.size();
         m.hot_bytes += chunk.samples.capacity() * sizeof(Sample);
@@ -434,6 +554,23 @@ HypertableMemory HypertableStore::MemoryUsage() const {
     }
   }
   return m;
+}
+
+std::shared_ptr<const HypertableStore> HypertableStore::Fork() const {
+  HypertableOptions options = options_;
+  options.metrics = metrics_;  // share the registry: work attributes here
+  auto fork = std::make_shared<HypertableStore>(std::move(options));
+  SharedLock map_lock(*map_mu_);
+  fork->next_id_ = next_id_;
+  fork->series_.reserve(series_.size());
+  for (const auto& [id, stored] : series_) {
+    auto copy = std::make_unique<StoredSeries>(stored->name, sync_);
+    SharedLock lock(stored->mu);
+    copy->chunks = stored->chunks;  // O(1) pin; origin detaches on write
+    fork->series_.emplace(id, std::move(copy));
+  }
+  m_.snapshot_pins->Increment();
+  return fork;
 }
 
 HypertableStats HypertableStore::stats() const {

@@ -2,6 +2,7 @@
 #define HYGRAPH_TS_HYPERTABLE_H_
 
 #include <algorithm>
+#include <atomic>
 #include <limits>
 #include <memory>
 #include <string>
@@ -10,6 +11,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "common/sync.h"
 #include "common/time.h"
 #include "common/value.h"
 #include "obs/metrics.h"
@@ -121,6 +123,20 @@ struct ScanPredicate {
 /// range aggregates combine cached partials of fully-covered chunks with
 /// streamed scans of the boundary chunks — which is why the polyglot
 /// architecture wins Table 1's aggregation-heavy queries.
+///
+/// Concurrency (DESIGN.md §10): the store is safe for any mix of
+/// concurrent readers and writers. The series map is guarded by one
+/// reader-writer lock (exclusive only in Create); each series carries its
+/// own shard lock, so ingest into one series never blocks scans of
+/// another. Sealed chunks are immutable heap objects held by shared_ptr:
+/// a reader pins the chunks it needs under a brief shared acquisition of
+/// the shard lock (PinView), then decodes and streams entirely outside
+/// any lock — unseal/merge/reseal swaps in a fresh object while pinned
+/// readers keep the old one alive (epoch-by-refcount). Hot-chunk samples
+/// overlapping the scan are copied out under the same shared hold.
+/// Writers take the shard lock exclusively. Fork() snapshots the whole
+/// store in O(series): it pins every series' chunk vector; the next write
+/// to a pinned series detaches (copy-on-write).
 class HypertableStore {
  public:
   explicit HypertableStore(HypertableOptions options = {});
@@ -136,7 +152,7 @@ class HypertableStore {
   SeriesId Create(std::string name);
 
   /// True if the id refers to a registered series.
-  bool Exists(SeriesId id) const { return series_.count(id) > 0; }
+  bool Exists(SeriesId id) const;
 
   /// Inserts one sample. Out-of-order inserts are accepted (sorted insert
   /// into the owning chunk, unsealing it first when necessary); a duplicate
@@ -144,13 +160,15 @@ class HypertableStore {
   Status Insert(SeriesId id, Timestamp t, double value);
 
   /// Bulk-load an entire in-memory series. Sealing is deferred to the end
-  /// of the load so an out-of-order batch does not reseal per sample.
+  /// of the load so an out-of-order batch does not reseal per sample; the
+  /// series' shard lock is held exclusively for the whole load.
   Status InsertSeries(SeriesId id, const Series& series);
 
   /// Deletes every sample of `id` outside `keep` — the paper's R3 staleness
   /// eviction. Whole chunks outside the interval are dropped O(1) per chunk
   /// (sealed ones without decoding); boundary chunks are unsealed, trimmed,
-  /// and resealed.
+  /// and resealed. Readers pinned to dropped chunks keep scanning the data
+  /// they pinned (snapshot semantics).
   Result<size_t> Retain(SeriesId id, const Interval& keep);
 
   /// Number of samples stored for `id`.
@@ -159,7 +177,9 @@ class HypertableStore {
   /// Streams every sample of `id` inside `interval`, time-ordered, into
   /// `fn(const Sample&)` without materializing the range; sealed chunks are
   /// decoded block-wise. This is the zero-copy read path Scan/Materialize/
-  /// Aggregate/WindowAggregate ride on.
+  /// Aggregate/WindowAggregate ride on. The shard lock is held shared only
+  /// while pinning the overlapping chunks; decoding and visiting run
+  /// without any lock.
   template <typename Fn>
   Status ScanVisit(SeriesId id, const Interval& interval, Fn&& fn) const {
     return ScanVisit(id, interval, ScanPredicate{}, std::forward<Fn>(fn));
@@ -171,26 +191,18 @@ class HypertableStore {
   template <typename Fn>
   Status ScanVisit(SeriesId id, const Interval& interval,
                    const ScanPredicate& predicate, Fn&& fn) const {
-    auto it = series_.find(id);
-    if (it == series_.end()) return NoSuchSeries(id);
-    m_.chunks_total->Add(it->second.chunks.size());
-    for (const Chunk& chunk : it->second.chunks) {
-      if (chunk.start >= interval.end) break;  // chunks sorted by start
-      if (!ChunkSpan(chunk).Overlaps(interval)) continue;
-      if (chunk.sealed()) {
-        // Zone maps: exact data bounds beat the nominal chunk span.
-        if (chunk.max_t < interval.start || chunk.min_t >= interval.end) {
-          continue;
-        }
-        if (!predicate.unbounded() &&
-            !(chunk.min_v <= predicate.max_value &&
-              chunk.max_v >= predicate.min_value)) {
-          m_.chunks_zonemap_skipped->Increment();
-          continue;
-        }
+    auto view = PinView(id, interval, /*want_aggregates=*/false);
+    if (!view.ok()) return view.status();
+    m_.chunks_total->Add(view->chunk_count);
+    for (const PinnedChunk& chunk : view->chunks) {
+      if (chunk.sealed() && !predicate.unbounded() &&
+          !(chunk.sealed_ref->min_v <= predicate.max_value &&
+            chunk.sealed_ref->max_v >= predicate.min_value)) {
+        m_.chunks_zonemap_skipped->Increment();
+        continue;
       }
       m_.chunks_scanned->Increment();
-      HYGRAPH_RETURN_IF_ERROR(VisitChunk(chunk, interval, predicate, fn));
+      HYGRAPH_RETURN_IF_ERROR(VisitPinned(chunk, interval, predicate, fn));
     }
     return Status::OK();
   }
@@ -227,10 +239,17 @@ class HypertableStore {
 
   /// Ids of all registered series.
   std::vector<SeriesId> Ids() const;
-  size_t series_count() const { return series_.size(); }
+  size_t series_count() const;
 
   /// Current sample-data footprint (hot vectors vs sealed encoded bytes).
   HypertableMemory MemoryUsage() const;
+
+  /// An immutable snapshot of every series as of the call, sharing sealed
+  /// chunk storage with this store by refcount (O(series), not O(samples):
+  /// only hot vectors detach lazily on the origin's next write). The fork
+  /// shares this store's metrics registry, so work done reading it still
+  /// attributes to the origin; it must not outlive the origin.
+  std::shared_ptr<const HypertableStore> Fork() const;
 
   /// Work counters accumulated since the last ResetStats(), assembled
   /// from the registry. Returned by value; binding to a const reference
@@ -244,61 +263,135 @@ class HypertableStore {
   obs::MetricsRegistry* metrics() const { return metrics_; }
 
  private:
-  struct Chunk {
-    Timestamp start = 0;  // covers [start, start + chunk_duration)
-    std::vector<Sample> samples;  // hot form; empty while sealed
-    std::string encoded;          // sealed form (chunk_codec bytes)
-    size_t sealed_count = 0;      // samples inside `encoded`
-    // Zone map, valid while sealed: exact first/last sample time and
-    // min/max finite value (+inf/-inf when every value is NaN).
+  /// The immutable sealed form of a chunk. Published via shared_ptr and
+  /// never mutated afterwards: readers that pinned it decode without locks
+  /// while the owning series may have already unsealed, merged or dropped
+  /// it (the pin keeps this object alive — the epoch is the refcount).
+  struct SealedChunk {
+    std::string encoded;  // chunk_codec bytes
+    size_t count = 0;     // samples inside `encoded`
+    // Zone map: exact first/last sample time and min/max finite value
+    // (+inf/-inf when every value is NaN).
     Timestamp min_t = 0;
     Timestamp max_t = 0;
     double min_v = 0.0;
     double max_v = 0.0;
     bool all_finite = false;  // no NaN/±inf: [min_v, max_v] covers every value
-    // Lazily refreshed by ChunkAggregate(); mutable so a const Aggregate()
-    // call can fill the cache. Seal() always leaves it fresh.
-    mutable AggState agg;
-    mutable bool agg_dirty = true;
-
-    bool sealed() const { return sealed_count > 0; }
-    size_t size() const { return sealed() ? sealed_count : samples.size(); }
+    AggState agg;  // whole-chunk aggregate, computed at seal time
   };
+
+  /// Lazily-filled whole-chunk aggregate of a hot chunk. Readers holding
+  /// the shard lock *shared* may race to fill it, so the fill is
+  /// double-checked under its own leaf mutex; `fresh` is the publication
+  /// flag (release on fill, acquire on read).
+  struct AggCache {
+    Mutex mu;
+    std::atomic<bool> fresh{false};
+    AggState agg;
+  };
+
+  struct Chunk {
+    Timestamp start = 0;          // covers [start, start + chunk_duration)
+    std::vector<Sample> samples;  // hot form; empty while sealed
+    std::shared_ptr<const SealedChunk> sealed;  // sealed form
+    std::unique_ptr<AggCache> cache;  // present exactly while hot
+
+    bool is_sealed() const { return sealed != nullptr; }
+    size_t size() const {
+      return sealed != nullptr ? sealed->count : samples.size();
+    }
+  };
+
   struct StoredSeries {
+    StoredSeries(std::string series_name, const SyncInstruments& instruments)
+        : name(std::move(series_name)),
+          mu(instruments),
+          chunks(std::make_shared<std::vector<Chunk>>()) {}
+
+    const std::string name;  // immutable after Create — readable lock-free
+    mutable SharedMutex mu;  // shard lock guarding `chunks`
+    // Sorted by start, non-overlapping. Held by shared_ptr so Fork() can
+    // pin the whole vector in O(1); a writer finding it pinned
+    // (use_count > 1) detaches first (MutableChunks).
+    std::shared_ptr<std::vector<Chunk>> chunks;
+  };
+
+  /// One chunk as pinned by a reader: either a refcounted reference to the
+  /// immutable sealed object, or a copy of the hot samples overlapping the
+  /// pin interval. Safe to read with no lock held.
+  struct PinnedChunk {
+    Timestamp start = 0;
+    std::shared_ptr<const SealedChunk> sealed_ref;  // null while hot
+    std::vector<Sample> hot;  // hot samples inside the pin interval
+    size_t size = 0;          // total samples in the chunk
+    Timestamp first_t = 0;    // true first/last sample time of the chunk
+    Timestamp last_t = 0;
+    AggState agg;             // whole-chunk aggregate (when requested)
+    bool agg_valid = false;
+
+    bool sealed() const { return sealed_ref != nullptr; }
+  };
+
+  /// A consistent view of one series' chunks overlapping an interval,
+  /// assembled under a shared hold of the shard lock and consumed with no
+  /// lock at all.
+  struct SeriesReadView {
     std::string name;
-    std::vector<Chunk> chunks;  // sorted by start, non-overlapping
+    size_t chunk_count = 0;  // all chunks in the series (for chunks_total)
+    std::vector<PinnedChunk> chunks;  // overlapping, time-ordered
+    size_t overlap_estimate = 0;      // sum of pinned chunk sizes
   };
 
   static Status NoSuchSeries(SeriesId id);
+
+  /// Looks the series up under a shared hold of the map lock. The pointer
+  /// stays valid for the store's lifetime (series are never destroyed, and
+  /// the map stores stable heap nodes).
+  StoredSeries* FindSeries(SeriesId id) const;
+
+  /// Pins the chunks of `id` overlapping `interval` (see class comment).
+  /// With `want_aggregates`, each pinned chunk also carries its whole-chunk
+  /// AggState (sealed: precomputed at seal; hot: via the chunk's AggCache).
+  Result<SeriesReadView> PinView(SeriesId id, const Interval& interval,
+                                 bool want_aggregates) const;
+
+  /// The series' chunk vector for mutation; requires the shard lock held
+  /// exclusively. Detaches (copies) first when a Fork() pinned it.
+  std::vector<Chunk>& MutableChunks(StoredSeries& s) const;
 
   Interval ChunkSpan(const Chunk& chunk) const {
     return Interval{chunk.start, chunk.start + options_.chunk_duration};
   }
   Timestamp ChunkStartFor(Timestamp t) const;
   /// Index of the chunk owning `t`, inserting a fresh one if needed.
-  size_t ChunkIndexFor(StoredSeries& s, Timestamp t);
+  size_t ChunkIndexFor(std::vector<Chunk>& chunks, Timestamp t) const;
   /// Sorted insert of one sample into an (unsealed) chunk.
   static void InsertIntoChunk(Chunk& chunk, Timestamp t, double value);
-  /// Unseal-if-needed + sorted insert; performs no sealing.
-  Status InsertRaw(StoredSeries& s, Timestamp t, double value);
+  /// Unseal-if-needed + sorted insert; performs no sealing. Requires the
+  /// shard lock held exclusively.
+  Status InsertRaw(std::vector<Chunk>& chunks, Timestamp t, double value);
 
-  /// Encodes a hot chunk: refreshes the aggregate cache, builds the zone
-  /// map, swaps the sample vector for the encoded bytes.
-  void Seal(Chunk& chunk);
-  /// Decodes a sealed chunk back into its hot form (aggregate cache and
-  /// zone map are kept; the zone map is simply unused while hot).
-  Status Unseal(Chunk& chunk);
-  /// Seals every chunk of `s` except the newest (when compression is on).
-  void SealColdChunks(StoredSeries& s);
+  /// Encodes a hot chunk into a fresh immutable SealedChunk (aggregate +
+  /// zone map + Gorilla bytes) and drops the hot buffer.
+  void Seal(Chunk& chunk) const;
+  /// Decodes a sealed chunk back into its hot form. The old SealedChunk is
+  /// released, not mutated — readers pinned to it are unaffected.
+  Status Unseal(Chunk& chunk) const;
+  /// Seals every chunk except the newest (when compression is on).
+  void SealColdChunks(std::vector<Chunk>& chunks) const;
 
-  /// Streams one chunk's samples in `interval` matching `predicate` into
-  /// `fn`; decodes sealed chunks without materializing.
+  /// Whole-chunk aggregate of a hot chunk via its AggCache; safe under a
+  /// shared hold of the shard lock (double-checked fill).
+  static const AggState& HotAggregate(const Chunk& chunk);
+
+  /// Streams one pinned chunk's samples in `interval` matching `predicate`
+  /// into `fn`; decodes sealed chunks without materializing. Lock-free.
   template <typename Fn>
-  Status VisitChunk(const Chunk& chunk, const Interval& interval,
-                    const ScanPredicate& predicate, Fn&& fn) const {
+  Status VisitPinned(const PinnedChunk& chunk, const Interval& interval,
+                     const ScanPredicate& predicate, Fn&& fn) const {
     if (chunk.sealed()) {
       m_.chunks_decoded->Increment();
-      ChunkDecoder decoder(chunk.encoded);
+      ChunkDecoder decoder(chunk.sealed_ref->encoded);
       Sample s;
       size_t visited = 0;
       while (decoder.Next(&s)) {
@@ -314,11 +407,13 @@ class HypertableStore {
       }
       return Status::OK();
     }
+    // Hot samples were already clipped to the pin interval; `interval` is
+    // the same or narrower (WindowAggregate passes the clamped span).
     auto lo = std::lower_bound(
-        chunk.samples.begin(), chunk.samples.end(), interval.start,
+        chunk.hot.begin(), chunk.hot.end(), interval.start,
         [](const Sample& s, Timestamp t) { return s.t < t; });
     auto hi = std::lower_bound(
-        lo, chunk.samples.end(), interval.end,
+        lo, chunk.hot.end(), interval.end,
         [](const Sample& s, Timestamp t) { return s.t < t; });
     m_.samples_scanned->Add(static_cast<size_t>(hi - lo));
     for (auto sample = lo; sample != hi; ++sample) {
@@ -326,16 +421,6 @@ class HypertableStore {
     }
     return Status::OK();
   }
-
-  /// First/last sample time of a non-empty chunk (zone map when sealed).
-  static Timestamp FirstT(const Chunk& chunk) {
-    return chunk.sealed() ? chunk.min_t : chunk.samples.front().t;
-  }
-  static Timestamp LastT(const Chunk& chunk) {
-    return chunk.sealed() ? chunk.max_t : chunk.samples.back().t;
-  }
-
-  static const AggState& ChunkAggregate(const Chunk& chunk);
 
   /// Registry-backed work instruments, resolved once at construction and
   /// cached as raw pointers so the hot scan templates above pay only a
@@ -351,10 +436,22 @@ class HypertableStore {
     obs::Counter* bytes_raw = nullptr;
     obs::Counter* bytes_compressed = nullptr;
     obs::Counter* chunks_zonemap_skipped = nullptr;
+    // Concurrency layer (shared "concurrency.*" namespace with the lock
+    // wrappers' SyncInstruments).
+    obs::Counter* chunk_pins = nullptr;         ///< sealed chunks pinned by reads
+    obs::Counter* snapshot_pins = nullptr;      ///< Fork() calls
+    obs::Counter* unseal_conflicts = nullptr;   ///< unseals while readers pinned
+    obs::Counter* series_cow_copies = nullptr;  ///< writer detaches after Fork
   };
 
   HypertableOptions options_;
-  std::unordered_map<SeriesId, StoredSeries> series_;
+  // Guards series_ and next_id_; exclusive only in Create(). Heap-held so
+  // the store stays movable (single-threaded construction pattern; moving
+  // a store with live readers is undefined, like any std container).
+  std::unique_ptr<SharedMutex> map_mu_;
+  // Heap nodes so StoredSeries (non-movable: owns a mutex) has a stable
+  // address readers can hold across the map lock release.
+  std::unordered_map<SeriesId, std::unique_ptr<StoredSeries>> series_;
   SeriesId next_id_ = 0;
   // Owned when options.metrics was null; metrics_ and the cached
   // instrument pointers stay valid across moves because the registry is
@@ -362,6 +459,7 @@ class HypertableStore {
   std::unique_ptr<obs::MetricsRegistry> owned_metrics_;
   obs::MetricsRegistry* metrics_ = nullptr;
   Instruments m_;
+  SyncInstruments sync_;  // shared by every lock this store creates
 };
 
 }  // namespace hygraph::ts

@@ -2,6 +2,7 @@
 
 #include <cstdint>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -280,6 +281,55 @@ TEST(ExportTest, JsonContainsSections) {
   EXPECT_NE(json.find("\"histograms\""), std::string::npos);
   EXPECT_NE(json.find("\"count\":1"), std::string::npos);
   EXPECT_NE(json.find("\"p50\""), std::string::npos);
+}
+
+// -- thread safety ------------------------------------------------------------
+
+// Registration racing Snapshot()/ToJson() and concurrent increments: the
+// registry mutex must keep the instrument maps coherent while observers
+// export mid-registration (a TSan regression for the concurrency layer —
+// stores register "concurrency.*" instruments while exporters run).
+TEST(RegistryTest, ConcurrentRegistrationIncrementAndSnapshot) {
+  MetricsRegistry r;
+  constexpr int kWriters = 3;
+  constexpr int kPerWriter = 200;
+
+  std::vector<std::thread> writers;
+  writers.reserve(kWriters);
+  for (int w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&r, w] {
+      for (int i = 0; i < kPerWriter; ++i) {
+        // Get-or-create on a mix of private and shared names, then bump.
+        r.counter("race.shared")->Increment();
+        r.counter("race.w" + std::to_string(w) + "." + std::to_string(i))
+            ->Increment();
+        r.histogram("race.lat")->Record(static_cast<uint64_t>(i));
+        r.gauge("race.gauge")->Set(static_cast<double>(i));
+      }
+    });
+  }
+  std::thread observer([&r] {
+    for (int i = 0; i < 50; ++i) {
+      MetricsSnapshot snapshot = r.Snapshot();
+      // Exported state is coherent: never more events than registered adds.
+      auto shared = snapshot.counters.find("race.shared");
+      if (shared != snapshot.counters.end()) {
+        EXPECT_LE(shared->second,
+                  static_cast<uint64_t>(kWriters * kPerWriter));
+      }
+      EXPECT_FALSE(snapshot.ToJson().empty());
+    }
+  });
+  for (auto& t : writers) t.join();
+  observer.join();
+
+  const MetricsSnapshot final_snapshot = r.Snapshot();
+  EXPECT_EQ(final_snapshot.counters.at("race.shared"),
+            static_cast<uint64_t>(kWriters * kPerWriter));
+  EXPECT_EQ(final_snapshot.counters.size(),
+            1u + static_cast<size_t>(kWriters) * kPerWriter);
+  EXPECT_EQ(final_snapshot.histograms.at("race.lat").count,
+            static_cast<uint64_t>(kWriters * kPerWriter));
 }
 
 }  // namespace
