@@ -23,6 +23,13 @@ Checks (see DESIGN.md "Correctness tooling"):
                   the documented hierarchy. src/obs/ is exempt: it sits
                   beneath the sync layer (the registry mutex cannot be
                   instrumented by the registry it guards).
+  raw-sleep       no sleep_for / sleep_until / usleep / nanosleep in src/
+                  outside storage/retry.cc — backoff waits go through
+                  RetryPolicy (storage/retry.h) so they are capped, jittered,
+                  deterministic under test (injectable SleepFn), and counted
+                  (durable.retries). Ad-hoc retry loops hide unbounded
+                  stalls; annotate a genuine exception with
+                  NOLINT(hygraph-raw-sleep).
 
 Exit status: 0 when clean, 1 with one `path:line: [check] message` per
 finding otherwise. Run via scripts/lint.sh or directly:
@@ -46,6 +53,10 @@ ALL_DIRS = ("src", "fuzz", "tests", "bench", "examples")
 RNG_HOME = Path("src/common/rng.h")
 CLOCK_HOME = Path("src/obs")
 SYNC_HOME = Path("src/common/sync.h")
+# The one sanctioned real sleep: RetryPolicy's default backoff SleepFn.
+RETRY_HOME = Path("src/storage/retry.cc")
+
+RAW_SLEEP_ALLOW = "NOLINT(hygraph-raw-sleep)"
 
 NAKED_NEW_ALLOW = "NOLINT(hygraph-naked-new)"
 
@@ -141,6 +152,15 @@ def main() -> int:
                 report(rel, lineno, "raw-mutex",
                        "lock through hygraph::Mutex/SharedMutex "
                        "(common/sync.h), not raw std mutexes")
+            if (rel.parts[0] == "src" and rel != RETRY_HOME
+                    and RAW_SLEEP_ALLOW not in raw_line
+                    and re.search(
+                        r"\b(sleep_for|sleep_until|usleep|nanosleep)\s*\(",
+                        code_line)):
+                report(rel, lineno, "raw-sleep",
+                       "sleep/backoff in library code goes through "
+                       "RetryPolicy (storage/retry.h); annotate a genuine "
+                       f"exception with {RAW_SLEEP_ALLOW}")
             if library:
                 prev_line = raw[lineno - 2] if lineno >= 2 else ""
                 allowed = (NAKED_NEW_ALLOW in raw_line

@@ -1,0 +1,59 @@
+#include "common/governor.h"
+
+#include <string>
+
+namespace hygraph {
+
+ResourceGovernor* ResourceGovernor::Global() {
+  // Leaked singleton: the governor must outlive every query on every
+  // thread, including ones torn down after main() returns.
+  static ResourceGovernor* instance =
+      new ResourceGovernor();  // NOLINT(hygraph-naked-new)
+  return instance;
+}
+
+Status ResourceGovernor::Reserve(uint64_t bytes) {
+  if (bytes == 0) return Status::OK();
+  uint64_t current = reserved_.load(std::memory_order_relaxed);
+  for (;;) {
+    const uint64_t budget = budget_.load(std::memory_order_relaxed);
+    const uint64_t next = current + bytes;
+    if (next < current) {  // overflow: certainly over any real budget
+      return Status::ResourceExhausted("memory reservation overflow");
+    }
+    if (budget != 0 && next > budget) {
+      return Status::ResourceExhausted(
+          "memory budget exceeded: reserving " + std::to_string(bytes) +
+          " bytes would put aggregate reservations at " +
+          std::to_string(next) + " of " + std::to_string(budget));
+    }
+    if (reserved_.compare_exchange_weak(current, next,
+                                        std::memory_order_relaxed)) {
+      return Status::OK();
+    }
+  }
+}
+
+void ResourceGovernor::Release(uint64_t bytes) {
+  if (bytes == 0) return;
+  uint64_t current = reserved_.load(std::memory_order_relaxed);
+  for (;;) {
+    const uint64_t next = current >= bytes ? current - bytes : 0;
+    if (reserved_.compare_exchange_weak(current, next,
+                                        std::memory_order_relaxed)) {
+      return;
+    }
+  }
+}
+
+Status ResourceGovernor::Admit() const {
+  const uint64_t mark = high_water_.load(std::memory_order_relaxed);
+  if (mark == 0) return Status::OK();
+  const uint64_t held = reserved_.load(std::memory_order_relaxed);
+  if (held < mark) return Status::OK();
+  return Status::ResourceExhausted(
+      "admission shed: " + std::to_string(held) +
+      " bytes reserved, high-water mark " + std::to_string(mark));
+}
+
+}  // namespace hygraph

@@ -1,0 +1,76 @@
+#ifndef HYGRAPH_COMMON_GOVERNOR_H_
+#define HYGRAPH_COMMON_GOVERNOR_H_
+
+#include <atomic>
+#include <cstdint>
+
+#include "common/status.h"
+
+namespace hygraph {
+
+/// Process-wide memory budget and admission gate. Queries reserve bytes for
+/// their big allocations (Materialize buffers, sort/distinct staging,
+/// snapshot pins) through QueryContext::ReserveMemory; when the aggregate
+/// would exceed the configured budget the reservation fails with
+/// kResourceExhausted instead of letting the allocator OOM the process.
+///
+/// Admit() is the load-shedding gate: once aggregate reservations pass the
+/// high-water mark, new queries are rejected up front rather than admitted
+/// into an already-starved process.
+///
+/// All methods are thread-safe (lock-free CAS on a single counter). An
+/// unconfigured governor (budget 0) grants everything, so standalone /
+/// test code that never calls SetBudget is unaffected.
+class ResourceGovernor {
+ public:
+  ResourceGovernor() = default;
+
+  ResourceGovernor(const ResourceGovernor&) = delete;
+  ResourceGovernor& operator=(const ResourceGovernor&) = delete;
+
+  /// The shared process-wide instance used by query execution.
+  static ResourceGovernor* Global();
+
+  /// Sets the total reservation budget in bytes. 0 = unlimited (default).
+  /// Existing reservations are kept; only future Reserve calls see the new
+  /// limit.
+  void SetBudget(uint64_t bytes) {
+    budget_.store(bytes, std::memory_order_relaxed);
+  }
+  [[nodiscard]] uint64_t budget() const {
+    return budget_.load(std::memory_order_relaxed);
+  }
+
+  /// Sets the admission high-water mark in bytes. While aggregate
+  /// reservations are at or above it, Admit() sheds new queries. 0 =
+  /// admission never sheds (default).
+  void SetAdmissionHighWater(uint64_t bytes) {
+    high_water_.store(bytes, std::memory_order_relaxed);
+  }
+
+  /// Reserves `bytes`, failing with kResourceExhausted when the budget
+  /// would be exceeded. Reserving 0 bytes always succeeds.
+  Status Reserve(uint64_t bytes);
+
+  /// Returns a previous reservation. Releasing more than was reserved
+  /// clamps to zero (defensive; indicates an accounting bug upstream).
+  void Release(uint64_t bytes);
+
+  /// Aggregate outstanding reservations in bytes.
+  [[nodiscard]] uint64_t reserved() const {
+    return reserved_.load(std::memory_order_relaxed);
+  }
+
+  /// Admission gate: OK while below the high-water mark (or when no mark
+  /// is configured), kResourceExhausted once reservations reach it.
+  Status Admit() const;
+
+ private:
+  std::atomic<uint64_t> budget_{0};      // 0 = unlimited
+  std::atomic<uint64_t> high_water_{0};  // 0 = never shed
+  std::atomic<uint64_t> reserved_{0};
+};
+
+}  // namespace hygraph
+
+#endif  // HYGRAPH_COMMON_GOVERNOR_H_

@@ -22,6 +22,10 @@ enum class StatusCode {
   kUnimplemented,
   kInternal,
   kIOError,
+  kDeadlineExceeded,
+  kCancelled,
+  kResourceExhausted,
+  kUnavailable,
 };
 
 /// Returns a stable human-readable name for a status code ("OK",
@@ -78,8 +82,44 @@ class [[nodiscard]] Status {
   static Status IOError(std::string msg) {
     return Status(StatusCode::kIOError, std::move(msg));
   }
+  /// The query's deadline passed before it finished. The partial work is
+  /// discarded; the caller may retry with a larger TIMEOUT.
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  /// The caller (or an operator) cancelled the operation cooperatively.
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  /// A memory / admission budget was exhausted. The operation was rejected
+  /// or aborted to protect the process; retrying later may succeed.
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  /// The subsystem is temporarily refusing this class of operation (e.g. a
+  /// degraded read-only store rejecting mutations). Reads keep working.
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
 
   [[nodiscard]] bool ok() const { return code_ == StatusCode::kOk; }
+  [[nodiscard]] bool IsDeadlineExceeded() const {
+    return code_ == StatusCode::kDeadlineExceeded;
+  }
+  [[nodiscard]] bool IsCancelled() const {
+    return code_ == StatusCode::kCancelled;
+  }
+  [[nodiscard]] bool IsResourceExhausted() const {
+    return code_ == StatusCode::kResourceExhausted;
+  }
+  [[nodiscard]] bool IsUnavailable() const {
+    return code_ == StatusCode::kUnavailable;
+  }
+  /// True for the cooperative-interruption family (deadline / cancel /
+  /// budget): the query was cut on purpose, not by a bug or bad input.
+  [[nodiscard]] bool IsInterruption() const {
+    return IsDeadlineExceeded() || IsCancelled() || IsResourceExhausted();
+  }
   [[nodiscard]] StatusCode code() const { return code_; }
   [[nodiscard]] const std::string& message() const { return message_; }
 

@@ -74,7 +74,7 @@ class Matcher {
     binding_.assign(n, kInvalidVertexId);
     order_ = ComputeOrder();
     Extend(0);
-    return Status::OK();
+    return interrupt_;
   }
 
  private:
@@ -219,6 +219,7 @@ class Matcher {
   }
 
   void Extend(size_t depth) {
+    if (!interrupt_.ok()) return;
     if (options_.limit != 0 && out_->size() >= options_.limit) return;
     if (depth == order_.size()) {
       std::vector<EdgeId> chosen;
@@ -233,6 +234,10 @@ class Matcher {
     }
     const size_t idx = order_[depth];
     for (VertexId v : Candidates(idx)) {
+      if (options_.context != nullptr) {
+        interrupt_ = options_.context->Charge();
+        if (!interrupt_.ok()) return;
+      }
       if (options_.injective_vertices &&
           std::find(binding_.begin(), binding_.end(), v) != binding_.end()) {
         continue;
@@ -241,6 +246,7 @@ class Matcher {
       binding_[idx] = v;
       Extend(depth + 1);
       binding_[idx] = kInvalidVertexId;
+      if (!interrupt_.ok()) return;
       if (options_.limit != 0 && out_->size() >= options_.limit) return;
     }
   }
@@ -252,6 +258,9 @@ class Matcher {
   std::vector<VertexId> binding_;
   std::vector<size_t> order_;
   std::vector<PatternMatch>* out_ = nullptr;
+  /// First governance interruption hit by the search; OK while running.
+  /// Once set, every Extend frame unwinds without touching the bindings.
+  Status interrupt_;
 };
 
 }  // namespace

@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "common/context.h"
 #include "common/status.h"
 #include "common/value.h"
 #include "graph/property_graph.h"
@@ -77,6 +78,11 @@ struct MatchOptions {
   /// (homomorphism vs isomorphism switch; default isomorphic, matching
   /// Cypher's practical expectation for fraud-style queries).
   bool injective_vertices = true;
+  /// Governance hook: when set, the backtracking search charges one unit
+  /// per candidate vertex considered and aborts with the context's status
+  /// (kDeadlineExceeded / kCancelled / kResourceExhausted) at the next
+  /// checkpoint. Not owned; must outlive the MatchPattern call.
+  QueryContext* context = nullptr;
 };
 
 /// Enumerates embeddings of `pattern` in `graph` by backtracking search.

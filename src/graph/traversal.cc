@@ -50,6 +50,9 @@ Result<std::vector<BfsVisit>> Bfs(const PropertyGraph& graph, VertexId source,
   std::unordered_set<VertexId> seen{source};
   std::deque<BfsVisit> frontier{{source, 0}};
   while (!frontier.empty()) {
+    if (options.context != nullptr) {
+      HYGRAPH_RETURN_IF_ERROR(options.context->Charge());
+    }
     const BfsVisit cur = frontier.front();
     frontier.pop_front();
     out.push_back(cur);
@@ -74,6 +77,9 @@ Result<std::vector<VertexId>> DfsPreorder(const PropertyGraph& graph,
   // first neighbor is explored first.
   std::vector<std::pair<VertexId, size_t>> stack{{source, 0}};
   while (!stack.empty()) {
+    if (options.context != nullptr) {
+      HYGRAPH_RETURN_IF_ERROR(options.context->Charge());
+    }
     auto [v, depth] = stack.back();
     stack.pop_back();
     if (!seen.insert(v).second) continue;
@@ -153,6 +159,9 @@ Result<ShortestPath> FindShortestPath(const PropertyGraph& graph,
   queue.push({0.0, source});
   Status failure = Status::OK();
   while (!queue.empty()) {
+    if (options.context != nullptr) {
+      HYGRAPH_RETURN_IF_ERROR(options.context->Charge());
+    }
     const QueueEntry top = queue.top();
     queue.pop();
     if (top.dist > dist[top.vertex]) continue;  // stale entry

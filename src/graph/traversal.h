@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "common/context.h"
 #include "common/status.h"
 #include "graph/property_graph.h"
 
@@ -20,6 +21,11 @@ struct TraversalOptions {
   std::string edge_label;
   /// Stop expanding past this depth (0 = only the source itself).
   size_t max_depth = ~size_t{0};
+  /// Governance hook: when set, traversals charge one unit per vertex
+  /// popped from the frontier and abort with the context's status
+  /// (kDeadlineExceeded / kCancelled / kResourceExhausted) at the next
+  /// checkpoint. Not owned; must outlive the traversal call.
+  QueryContext* context = nullptr;
 };
 
 /// Breadth-first search from `source`; returns (vertex, depth) pairs in

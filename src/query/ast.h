@@ -133,7 +133,10 @@ struct QueryAst {
   bool distinct = false;       ///< RETURN DISTINCT
   std::vector<ReturnItem> returns;
   std::vector<OrderItem> order_by;
-  size_t limit = 0;  ///< 0 = no limit
+  size_t limit = 0;        ///< 0 = no limit
+  uint64_t timeout_ms = 0;  ///< query deadline in ms; 0 = none. Set by a
+                            ///< "SET TIMEOUT <ms>" prefix or a trailing
+                            ///< "TIMEOUT <ms>" clause (the clause wins).
 };
 
 }  // namespace hygraph::query

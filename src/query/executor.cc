@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <numeric>
+#include <optional>
 #include <set>
 
+#include "common/governor.h"
 #include "obs/clock.h"
 #include "obs/slow_query.h"
 #include "query/functions.h"
@@ -77,10 +79,20 @@ Result<QueryResult> ExecutePlan(const QueryBackend& backend,
   return RunPlan(backend, plan, nullptr);
 }
 
-Result<QueryResult> RunPlan(const QueryBackend& backend, const Plan& plan,
-                            obs::Tracer* tracer) {
-  obs::ScopedSpan execute_span(tracer, "execute");
+namespace {
 
+// The PROFILE cut marker stamped on the execute span when a governance
+// interruption stops the query partway through.
+const char* CutMarkerName(const Status& s) {
+  if (s.IsDeadlineExceeded()) return "cut:deadline_exceeded";
+  if (s.IsCancelled()) return "cut:cancelled";
+  if (s.IsResourceExhausted()) return "cut:resource_exhausted";
+  return nullptr;
+}
+
+Result<QueryResult> RunPlanImpl(const QueryBackend& backend, const Plan& plan,
+                                obs::Tracer* tracer, QueryContext* context,
+                                obs::ScopedSpan& execute_span) {
   // Pin one read view for the whole statement: every operator then sees a
   // single point-in-time state no matter what writers do concurrently.
   // Backends without snapshot support return null and are read live. The
@@ -97,6 +109,7 @@ Result<QueryResult> RunPlan(const QueryBackend& backend, const Plan& plan,
   // Only short-circuit on the limit during matching when no post-match
   // work can change which rows survive.
   graph::MatchOptions match_options;
+  match_options.context = context;
   const bool can_limit_early = plan.order_by.empty() &&
                                plan.residual_where == nullptr &&
                                !plan.distinct;
@@ -145,6 +158,12 @@ Result<QueryResult> RunPlan(const QueryBackend& backend, const Plan& plan,
   {
     obs::ScopedSpan scan_span(tracer, "scan");
     for (const graph::PatternMatch& match : *matches) {
+      // One governance unit per row; the deep scans the evaluator triggers
+      // (hypertable decode, property sweeps) charge their own samples via
+      // QueryContext::Current().
+      if (context != nullptr) {
+        HYGRAPH_RETURN_IF_ERROR(context->Charge());
+      }
       Bindings bindings;
       for (const auto& [var, vertex] : match.vertices) {
         bindings[var] = Binding{false, vertex};
@@ -192,6 +211,13 @@ Result<QueryResult> RunPlan(const QueryBackend& backend, const Plan& plan,
 
   if (plan.distinct) {
     obs::ScopedSpan distinct_span(tracer, "distinct");
+    // The de-dup set + staging vector roughly double the pending rows'
+    // footprint; reserve the staging share against the memory budget.
+    uint64_t distinct_staging = 0;
+    if (context != nullptr) {
+      distinct_staging = pending.size() * sizeof(PendingRow);
+      HYGRAPH_RETURN_IF_ERROR(context->ReserveMemory(distinct_staging));
+    }
     // Keep the first occurrence of each projected row (DISTINCT applies to
     // the RETURN columns, before ordering).
     auto row_less = [](const std::vector<Value>& a,
@@ -209,10 +235,17 @@ Result<QueryResult> RunPlan(const QueryBackend& backend, const Plan& plan,
       if (seen.insert(row.cells).second) unique.push_back(std::move(row));
     }
     pending = std::move(unique);
+    if (context != nullptr) context->ReleaseMemory(distinct_staging);
   }
 
   if (!plan.order_by.empty()) {
     obs::ScopedSpan sort_span(tracer, "sort");
+    // Sort staging: the permutation index plus the reordered row vector.
+    uint64_t sort_staging = 0;
+    if (context != nullptr) {
+      sort_staging = pending.size() * (sizeof(size_t) + sizeof(PendingRow));
+      HYGRAPH_RETURN_IF_ERROR(context->ReserveMemory(sort_staging));
+    }
     std::vector<size_t> order(pending.size());
     std::iota(order.begin(), order.end(), 0);
     std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
@@ -226,6 +259,7 @@ Result<QueryResult> RunPlan(const QueryBackend& backend, const Plan& plan,
     sorted.reserve(pending.size());
     for (size_t i : order) sorted.push_back(std::move(pending[i]));
     pending = std::move(sorted);
+    if (context != nullptr) context->ReleaseMemory(sort_staging);
   }
 
   {
@@ -249,6 +283,47 @@ Result<QueryResult> RunPlan(const QueryBackend& backend, const Plan& plan,
     registry->counter("query.rows")->Add(result.rows.size());
     registry->counter("query.memo_hits")->Add(memo.hits);
     registry->counter("query.memo_misses")->Add(memo.misses);
+  }
+  return result;
+}
+
+}  // namespace
+
+Result<QueryResult> RunPlan(const QueryBackend& backend, const Plan& plan,
+                            obs::Tracer* tracer) {
+  return RunPlan(backend, plan, tracer, nullptr);
+}
+
+Result<QueryResult> RunPlan(const QueryBackend& backend, const Plan& plan,
+                            obs::Tracer* tracer, QueryContext* context) {
+  // Admission gate: shed the statement up front when the process is
+  // already past the governor's high-water mark (no-op by default).
+  HYGRAPH_RETURN_IF_ERROR(ResourceGovernor::Global()->Admit());
+
+  // A TIMEOUT on the statement arms the caller's context, or a local one
+  // when the caller did not pass any (the Execute path).
+  QueryContext local_context;
+  if (plan.timeout_ms != 0) {
+    QueryContext* target = context != nullptr ? context : &local_context;
+    if (!target->has_deadline()) {
+      target->SetTimeout(plan.timeout_ms, [] {
+        return obs::SystemClock::Instance()->NowNanos();
+      });
+    }
+    if (context == nullptr) {
+      local_context.AttachGovernor(ResourceGovernor::Global());
+      context = &local_context;
+    }
+  }
+
+  obs::ScopedSpan execute_span(tracer, "execute");
+  std::optional<QueryContext::Scope> scope;
+  if (context != nullptr) scope.emplace(context);
+  auto result = RunPlanImpl(backend, plan, tracer, context, execute_span);
+  if (!result.ok()) {
+    if (const char* marker = CutMarkerName(result.status())) {
+      execute_span.AddCounter(marker, 1);
+    }
   }
   return result;
 }

@@ -4,6 +4,7 @@
 #include <string>
 #include <vector>
 
+#include "common/context.h"
 #include "common/status.h"
 #include "common/value.h"
 #include "obs/trace.h"
@@ -45,6 +46,19 @@ Result<QueryResult> ExecutePlan(const QueryBackend& backend, const Plan& plan);
 /// no clock reads, no span bookkeeping. Ignores plan.mode.
 Result<QueryResult> RunPlan(const QueryBackend& backend, const Plan& plan,
                             obs::Tracer* tracer);
+
+/// RunPlan under explicit governance. The context (deadline, cancel flag,
+/// points budget, memory reservations) is installed as
+/// QueryContext::Current() for the duration of the call and threaded into
+/// the matcher and every scan loop; an interrupted query returns
+/// kDeadlineExceeded / kCancelled / kResourceExhausted, and under PROFILE
+/// the execute span carries a `cut:<reason>` counter marking where it was
+/// cut. When `context` is null and plan.timeout_ms is set (SET TIMEOUT /
+/// TIMEOUT clause), a context is created internally against the real
+/// clock. Every execution path — with or without a context — first passes
+/// ResourceGovernor::Global()'s admission gate.
+Result<QueryResult> RunPlan(const QueryBackend& backend, const Plan& plan,
+                            obs::Tracer* tracer, QueryContext* context);
 
 }  // namespace hygraph::query
 

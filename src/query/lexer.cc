@@ -15,9 +15,10 @@ bool IsKeyword(const std::string& upper) {
   static const std::unordered_set<std::string>* kKeywords =
       // NOLINTNEXTLINE(hygraph-naked-new): leaked singleton
       new std::unordered_set<std::string>{
-          "MATCH", "WHERE", "RETURN",   "ORDER",   "BY",     "LIMIT",
-          "AS",    "AND",   "OR",       "NOT",     "ASC",    "DESC",
-          "TRUE",  "FALSE", "NULL",     "DISTINCT", "EXPLAIN", "PROFILE"};
+          "MATCH", "WHERE", "RETURN",   "ORDER",    "BY",      "LIMIT",
+          "AS",    "AND",   "OR",       "NOT",      "ASC",     "DESC",
+          "TRUE",  "FALSE", "NULL",     "DISTINCT", "EXPLAIN", "PROFILE",
+          "SET",   "TIMEOUT"};
   return kKeywords->count(upper) > 0;
 }
 

@@ -14,6 +14,11 @@ namespace {
 /// legitimate query while keeping worst-case stack use small.
 constexpr int kMaxParseDepth = 200;
 
+/// Largest accepted TIMEOUT, in milliseconds (24 hours). Anything beyond
+/// this is a typo or an attack, not a deadline — and capping here keeps
+/// the ms→ns conversion downstream comfortably inside uint64.
+constexpr int64_t kMaxTimeoutMs = 86'400'000;
+
 /// Recursive-descent parser over the token stream. Expression precedence
 /// (loosest to tightest): OR, AND, NOT, comparison, additive,
 /// multiplicative, unary minus, primary.
@@ -23,6 +28,14 @@ class Parser {
 
   Result<QueryAst> ParseQuery() {
     QueryAst query;
+    // Session-style prefix: "SET TIMEOUT <ms> MATCH ...". Comes before
+    // EXPLAIN/PROFILE so the governed statement can still be profiled.
+    if (AcceptKeyword("SET")) {
+      HYGRAPH_RETURN_IF_ERROR(ExpectKeyword("TIMEOUT"));
+      auto ms = ParseTimeoutMillis();
+      if (!ms.ok()) return ms.status();
+      query.timeout_ms = *ms;
+    }
     if (AcceptKeyword("EXPLAIN")) {
       query.mode = QueryMode::kExplain;
     } else if (AcceptKeyword("PROFILE")) {
@@ -79,6 +92,12 @@ class Parser {
       }
       query.limit = static_cast<size_t>(Peek().int_value);
       Advance();
+    }
+    // Per-statement clause; overrides a SET TIMEOUT prefix when both given.
+    if (AcceptKeyword("TIMEOUT")) {
+      auto ms = ParseTimeoutMillis();
+      if (!ms.ok()) return ms.status();
+      query.timeout_ms = *ms;
     }
     if (Peek().kind != TokenKind::kEnd) {
       return Fail("unexpected trailing input '" + Peek().text + "'");
@@ -137,6 +156,26 @@ class Parser {
   Status Fail(const std::string& msg) const {
     return Status::InvalidArgument(msg + " (offset " +
                                    std::to_string(Peek().position) + ")");
+  }
+
+  /// One TIMEOUT operand: a positive integer of milliseconds, capped at
+  /// kMaxTimeoutMs. The lexer already rejects literals that overflow
+  /// int64, so int_value is trustworthy here.
+  Result<uint64_t> ParseTimeoutMillis() {
+    if (Peek().kind != TokenKind::kInt) {
+      return Status(
+          Fail("TIMEOUT expects a positive integer of milliseconds"));
+    }
+    const int64_t ms = Peek().int_value;
+    if (ms <= 0) {
+      return Status(Fail("TIMEOUT must be a positive number of ms"));
+    }
+    if (ms > kMaxTimeoutMs) {
+      return Status(Fail("TIMEOUT exceeds the maximum of " +
+                         std::to_string(kMaxTimeoutMs) + " ms"));
+    }
+    Advance();
+    return static_cast<uint64_t>(ms);
   }
 
   /// Counts live recursive productions; every self-recursive entry point

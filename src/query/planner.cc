@@ -132,7 +132,11 @@ std::string Plan::ToString() const {
   out += "], edges=" + std::to_string(pattern.edges.size());
   out += ", residual=";
   out += residual_where ? residual_where->ToString() : "none";
-  out += ", limit=" + std::to_string(limit) + "}";
+  out += ", limit=" + std::to_string(limit);
+  if (timeout_ms != 0) {
+    out += ", timeout=" + std::to_string(timeout_ms) + "ms";
+  }
+  out += "}";
   return out;
 }
 
@@ -265,6 +269,7 @@ Result<Plan> CompileQuery(const QueryAst& ast, const PlannerOptions& options) {
   plan.distinct = ast.distinct;
   plan.limit = ast.limit;
   plan.mode = ast.mode;
+  plan.timeout_ms = ast.timeout_ms;
   return plan;
 }
 

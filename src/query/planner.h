@@ -29,6 +29,7 @@ struct Plan {
   std::vector<ReturnItem> returns;
   std::vector<OrderItem> order_by;
   size_t limit = 0;
+  uint64_t timeout_ms = 0;  ///< query deadline in ms; 0 = none
 
   /// Diagnostic rendering (pattern variables, pushed predicates, residual).
   std::string ToString() const;

@@ -13,7 +13,9 @@ std::string ProfiledQuery::ToString() const {
   std::snprintf(buf, sizeof(buf),
                 "PROFILE wall_ns=%" PRIu64 " rows=%zu\n", wall_nanos,
                 result.rows.size());
-  return buf + trace.ToString();
+  std::string out = buf;
+  if (!cut.ok()) out += "CUT " + cut.ToString() + "\n";
+  return out + trace.ToString();
 }
 
 QueryResult ProfiledQuery::ToResult() const {
@@ -48,8 +50,14 @@ Result<ProfiledQuery> Profile(const QueryBackend& backend,
     }();
     if (!plan.ok()) return plan.status();
     auto result = RunPlan(backend, *plan, &tracer);
-    if (!result.ok()) return result.status();
-    profiled.result = std::move(*result);
+    if (!result.ok()) {
+      // A governance cut still yields a profile: the spans that ran up to
+      // the interruption are the answer to "where did the deadline land".
+      if (!result.status().IsInterruption()) return result.status();
+      profiled.cut = result.status();
+    } else {
+      profiled.result = std::move(*result);
+    }
   }
   profiled.wall_nanos = clock->NowNanos() - start;
   // root() has a single child: the "query" span wrapping compile + execute.
@@ -64,9 +72,13 @@ Result<ProfiledQuery> ProfilePlan(const QueryBackend& backend,
   const uint64_t start = clock->NowNanos();
   auto result = RunPlan(backend, plan, &tracer);
   const uint64_t wall = clock->NowNanos() - start;
-  if (!result.ok()) return result.status();
   ProfiledQuery profiled;
-  profiled.result = std::move(*result);
+  if (!result.ok()) {
+    if (!result.status().IsInterruption()) return result.status();
+    profiled.cut = result.status();
+  } else {
+    profiled.result = std::move(*result);
+  }
   profiled.wall_nanos = wall;
   // root() has a single child: the "execute" span from RunPlan.
   profiled.trace = tracer.root().children.front();

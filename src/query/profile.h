@@ -22,6 +22,14 @@ struct ProfiledQuery {
                           ///< compiled from text, with compile + execute
                           ///< children)
   uint64_t wall_nanos = 0;
+  /// Governance interruption that cut the query short (kDeadlineExceeded /
+  /// kCancelled / kResourceExhausted), or OK for a run to completion. A cut
+  /// profile keeps its operator tree — the spans that ran up to the cut —
+  /// with `result` empty and a `cut:<reason>` counter on the execute span,
+  /// so PROFILE shows *where* the deadline landed instead of erroring out.
+  Status cut = Status::OK();
+
+  [[nodiscard]] bool was_cut() const { return !cut.ok(); }
 
   /// Header line (wall time, row count) + indented operator tree.
   std::string ToString() const;

@@ -7,6 +7,8 @@
 #include <set>
 #include <utility>
 
+#include "common/context.h"
+
 namespace hygraph::storage {
 
 namespace {
@@ -27,6 +29,12 @@ Result<ts::Series> ScanSampleProperties(const graph::PropertyMap& props,
                                         obs::Counter* samples_parsed) {
   std::vector<ts::Sample> samples;
   properties_scanned->Add(props.size());
+  // Governance checkpoint: the property sweep is this architecture's scan
+  // loop, so a deadline/cancel cuts here (mirrors the hypertable decode
+  // loop on the polyglot side).
+  if (QueryContext* ctx = QueryContext::Current()) {
+    HYGRAPH_RETURN_IF_ERROR(ctx->Charge(props.size()));
+  }
   for (const auto& [property_key, value] : props) {
     Timestamp t = 0;
     if (!AllInGraphStore::DecodeSampleKey(property_key, key, &t)) continue;

@@ -323,6 +323,10 @@ DurableStore::DurableStore(Env* env, std::string dir,
       records_logged_(metrics_->counter("durable.records_logged")),
       checkpoints_(metrics_->counter("durable.checkpoints")),
       checkpoint_nanos_(metrics_->histogram("durable.checkpoint_nanos")),
+      retries_(metrics_->counter("durable.retries")),
+      wal_rebuilds_(metrics_->counter("durable.wal_rebuilds")),
+      degraded_gauge_(metrics_->gauge("durable.degraded")),
+      retry_policy_(options_.retry, options_.retry_sleep),
       append_mu_(SyncInstruments::ForRegistry(metrics_.get())) {}
 
 DurableStore::~DurableStore() {
@@ -390,18 +394,26 @@ Status DurableStore::Open() {
   // Start the new epoch on a clean log: surviving live records are copied
   // into a fresh file which atomically replaces the old one, dropping any
   // torn tail and already-checkpointed prefix in one motion. The writer's
-  // handle survives the rename (POSIX semantics).
+  // handle survives the rename (POSIX semantics). Retried as one unit: a
+  // fresh attempt re-creates (truncates) the temp file, so a transient
+  // failure mid-copy leaves nothing partial behind.
   const std::string tmp = dir_ + "/wal.tmp";
-  auto writer = WalWriter::Create(env_, tmp, metrics_.get());
-  if (!writer.ok()) return writer.status();
-  for (const std::string* record : live_records) {
-    HYGRAPH_RETURN_IF_ERROR((*writer)->Append(*record, /*sync=*/false));
-  }
-  HYGRAPH_RETURN_IF_ERROR((*writer)->Sync());
-  HYGRAPH_RETURN_IF_ERROR(env_->RenameFile(tmp, WalPath()));
-  wal_ = std::move(*writer);
+  HYGRAPH_RETURN_IF_ERROR(retry_policy_.Run(
+      [&] {
+        auto writer = WalWriter::Create(env_, tmp, metrics_.get());
+        if (!writer.ok()) return writer.status();
+        for (const std::string* record : live_records) {
+          HYGRAPH_RETURN_IF_ERROR((*writer)->Append(*record, /*sync=*/false));
+        }
+        HYGRAPH_RETURN_IF_ERROR((*writer)->Sync());
+        HYGRAPH_RETURN_IF_ERROR(env_->RenameFile(tmp, WalPath()));
+        wal_ = std::move(*writer);
+        return Status::OK();
+      },
+      retries_));
   records_since_checkpoint_ = live_records.size();
   opened_ = true;
+  degraded_gauge_->Set(0.0);
 
   // Mirror RecoveryStats as gauges so a metrics scrape after startup shows
   // what recovery found without needing the typed struct.
@@ -426,16 +438,77 @@ Status DurableStore::Open() {
 
 Status DurableStore::RequireOpen() const {
   if (!opened_) return Status::FailedPrecondition("store is not open");
+  return Status::OK();
+}
+
+Status DurableStore::RequireWritable() const {
+  HYGRAPH_RETURN_IF_ERROR(RequireOpen());
+  if (degraded_.load(std::memory_order_relaxed)) return degraded_error_;
   if (wal_ == nullptr) {
     return Status::IOError("WAL is unavailable after a failed checkpoint");
   }
   return Status::OK();
 }
 
+void DurableStore::EnterDegraded(const Status& cause) {
+  degraded_.store(true, std::memory_order_relaxed);
+  degraded_error_ = Status::Unavailable(
+      "store is degraded read-only (mutations rejected, reads serving): " +
+      cause.ToString());
+  degraded_gauge_->Set(1.0);
+}
+
+Status DurableStore::RebuildWalAndAppend(const std::string& record) {
+  // fsyncgate: after a failed sync the kernel may have dropped the dirty
+  // pages while the handle reports clean, so the old writer must never be
+  // synced again. Abandon it (best-effort close) and build a fresh epoch
+  // from what verifiably reached the disk.
+  if (wal_ != nullptr) {
+    HYGRAPH_IGNORE_RESULT(wal_->Close());
+    wal_.reset();
+  }
+  auto scan = ReadWal(env_, WalPath());
+  if (!scan.ok()) return scan.status();
+  // A sync-only failure can leave the record fully appended; re-appending
+  // it would replay as a duplicate sequence number (= corruption). The
+  // rebuild's own Sync below is what makes it durable either way.
+  const bool already_present =
+      !scan->records.empty() && scan->records.back() == record;
+  const std::string tmp = dir_ + "/wal.tmp";
+  auto writer = WalWriter::Create(env_, tmp, metrics_.get());
+  if (!writer.ok()) return writer.status();
+  for (const std::string& salvaged : scan->records) {
+    HYGRAPH_RETURN_IF_ERROR((*writer)->Append(salvaged, /*sync=*/false));
+  }
+  if (!already_present) {
+    HYGRAPH_RETURN_IF_ERROR((*writer)->Append(record, /*sync=*/false));
+  }
+  HYGRAPH_RETURN_IF_ERROR((*writer)->Sync());
+  HYGRAPH_RETURN_IF_ERROR(env_->RenameFile(tmp, WalPath()));
+  wal_ = std::move(*writer);
+  wal_rebuilds_->Increment();
+  return Status::OK();
+}
+
 Status DurableStore::Log(const std::string& body) {
-  Status s =
-      wal_->Append(std::to_string(next_seq_) + " " + body, options_.sync_wal);
-  if (!s.ok()) return s;
+  const std::string record = std::to_string(next_seq_) + " " + body;
+  // Attempt 0 is the plain append; every retry rebuilds the WAL epoch
+  // (see RebuildWalAndAppend) after backing off. Non-retryable failures
+  // and success both exit the loop immediately.
+  bool first_attempt = true;
+  Status s = retry_policy_.Run(
+      [&] {
+        if (first_attempt) {
+          first_attempt = false;
+          return wal_->Append(record, options_.sync_wal);
+        }
+        return RebuildWalAndAppend(record);
+      },
+      retries_);
+  if (!s.ok()) {
+    if (RetryPolicy::IsRetryable(s)) EnterDegraded(s);
+    return s;
+  }
   ++next_seq_;
   ++records_since_checkpoint_;
   records_logged_->Increment();
@@ -536,7 +609,7 @@ Status DurableStore::ApplyRecord(const std::string& record) {
 Result<graph::VertexId> DurableStore::AddVertex(
     std::vector<std::string> labels, graph::PropertyMap properties) {
   MutexLock lock(append_mu_);
-  HYGRAPH_RETURN_IF_ERROR(RequireOpen());
+  HYGRAPH_RETURN_IF_ERROR(RequireWritable());
   // Encode before the move; the id is only known after application, so
   // topology adds apply first and log second. A crash in between loses an
   // unacknowledged op — exactly the contract.
@@ -559,7 +632,7 @@ Result<graph::EdgeId> DurableStore::AddEdge(graph::VertexId src,
                                             std::string label,
                                             graph::PropertyMap properties) {
   MutexLock lock(append_mu_);
-  HYGRAPH_RETURN_IF_ERROR(RequireOpen());
+  HYGRAPH_RETURN_IF_ERROR(RequireWritable());
   auto encoded_props = EncodeProperties(properties);
   if (!encoded_props.ok()) return encoded_props.status();
   const std::string encoded_label = core::EncodeField(label);
@@ -582,7 +655,7 @@ Result<graph::EdgeId> DurableStore::AddEdge(graph::VertexId src,
 Status DurableStore::SetVertexProperty(graph::VertexId v,
                                        const std::string& key, Value value) {
   MutexLock lock(append_mu_);
-  HYGRAPH_RETURN_IF_ERROR(RequireOpen());
+  HYGRAPH_RETURN_IF_ERROR(RequireWritable());
   if (value.is_series_ref()) {
     return Status::InvalidArgument(
         "backend properties cannot hold series references");
@@ -600,7 +673,7 @@ Status DurableStore::SetVertexProperty(graph::VertexId v,
 Status DurableStore::SetEdgeProperty(graph::EdgeId e, const std::string& key,
                                      Value value) {
   MutexLock lock(append_mu_);
-  HYGRAPH_RETURN_IF_ERROR(RequireOpen());
+  HYGRAPH_RETURN_IF_ERROR(RequireWritable());
   if (value.is_series_ref()) {
     return Status::InvalidArgument(
         "backend properties cannot hold series references");
@@ -617,7 +690,7 @@ Status DurableStore::SetEdgeProperty(graph::EdgeId e, const std::string& key,
 
 Status DurableStore::RemoveVertex(graph::VertexId v) {
   MutexLock lock(append_mu_);
-  HYGRAPH_RETURN_IF_ERROR(RequireOpen());
+  HYGRAPH_RETURN_IF_ERROR(RequireWritable());
   HYGRAPH_RETURN_IF_ERROR(Log("RV " + std::to_string(v)));
   Status s = inner_->MutateTopology(
       [&](graph::PropertyGraph* topo) { return topo->RemoveVertex(v); });
@@ -627,7 +700,7 @@ Status DurableStore::RemoveVertex(graph::VertexId v) {
 
 Status DurableStore::RemoveEdge(graph::EdgeId e) {
   MutexLock lock(append_mu_);
-  HYGRAPH_RETURN_IF_ERROR(RequireOpen());
+  HYGRAPH_RETURN_IF_ERROR(RequireWritable());
   HYGRAPH_RETURN_IF_ERROR(Log("RE " + std::to_string(e)));
   Status s = inner_->MutateTopology(
       [&](graph::PropertyGraph* topo) { return topo->RemoveEdge(e); });
@@ -655,22 +728,29 @@ Status DurableStore::TimedCheckpoint() {
 }
 
 Status DurableStore::CheckpointImpl() {
+  // Deliberately only RequireOpen, not RequireWritable: checkpointing must
+  // work while degraded (and with a dead wal_) — it is exactly how
+  // TryExitDegraded restores the durability contract.
   HYGRAPH_RETURN_IF_ERROR(RequireOpen());
   auto text = BuildSnapshotText(*inner_);
   if (!text.ok()) return text.status();
   const uint64_t snap_seq = next_seq_ - 1;
 
   // Write-temp + fsync + atomic rename: the snapshot either installs
-  // completely or not at all.
+  // completely or not at all. Retried as one unit — NewWritableFile
+  // truncates the temp file, so every attempt starts clean. A final
+  // failure here leaves the previous snapshot + WAL fully intact.
   const std::string tmp = dir_ + "/snapshot.tmp";
-  {
-    std::unique_ptr<WritableFile> file;
-    HYGRAPH_RETURN_IF_ERROR(env_->NewWritableFile(tmp, &file));
-    HYGRAPH_RETURN_IF_ERROR(file->Append(*text));
-    HYGRAPH_RETURN_IF_ERROR(file->Sync());
-    HYGRAPH_RETURN_IF_ERROR(file->Close());
-  }
-  HYGRAPH_RETURN_IF_ERROR(env_->RenameFile(tmp, SnapshotPath(snap_seq)));
+  HYGRAPH_RETURN_IF_ERROR(retry_policy_.Run(
+      [&] {
+        std::unique_ptr<WritableFile> file;
+        HYGRAPH_RETURN_IF_ERROR(env_->NewWritableFile(tmp, &file));
+        HYGRAPH_RETURN_IF_ERROR(file->Append(*text));
+        HYGRAPH_RETURN_IF_ERROR(file->Sync());
+        HYGRAPH_RETURN_IF_ERROR(file->Close());
+        return env_->RenameFile(tmp, SnapshotPath(snap_seq));
+      },
+      retries_));
 
   // The new snapshot is durable; everything from here is garbage
   // collection, and a crash merely leaves work for the next recovery.
@@ -686,22 +766,53 @@ Status DurableStore::CheckpointImpl() {
     }
   }
 
-  // Fresh WAL epoch. If recreation fails the store degrades to read-only
-  // (RequireOpen reports the missing WAL) rather than risking un-logged
-  // acknowledgements.
-  HYGRAPH_RETURN_IF_ERROR(wal_->Close());
-  wal_.reset();
-  auto writer = WalWriter::Create(env_, WalPath(), metrics_.get());
-  if (!writer.ok()) return writer.status();
-  wal_ = std::move(*writer);
+  // Fresh WAL epoch on top of the installed snapshot. The old writer (when
+  // still present) is abandoned best-effort — its records are all covered
+  // by the snapshot. If recreation fails even with retries, the store
+  // degrades to read-only rather than risking un-logged acknowledgements.
+  if (wal_ != nullptr) {
+    HYGRAPH_IGNORE_RESULT(wal_->Close());
+    wal_.reset();
+  }
+  Status wal_status = retry_policy_.Run(
+      [&] {
+        auto writer = WalWriter::Create(env_, WalPath(), metrics_.get());
+        if (!writer.ok()) return writer.status();
+        wal_ = std::move(*writer);
+        return Status::OK();
+      },
+      retries_);
+  if (!wal_status.ok()) {
+    if (RetryPolicy::IsRetryable(wal_status)) EnterDegraded(wal_status);
+    return wal_status;
+  }
   records_since_checkpoint_ = 0;
+
+  // Full checkpoint + fresh epoch = the durability contract holds again;
+  // a degraded store exits here (this is TryExitDegraded's whole body).
+  if (degraded_.load(std::memory_order_relaxed)) {
+    degraded_.store(false, std::memory_order_relaxed);
+    degraded_error_ = Status::OK();
+    degraded_gauge_->Set(0.0);
+  }
   return Status::OK();
 }
 
 Status DurableStore::SyncWal() {
   MutexLock lock(append_mu_);
-  HYGRAPH_RETURN_IF_ERROR(RequireOpen());
+  HYGRAPH_RETURN_IF_ERROR(RequireWritable());
   return wal_->Sync();
+}
+
+Status DurableStore::TryExitDegraded() {
+  MutexLock lock(append_mu_);
+  if (!degraded_.load(std::memory_order_relaxed)) return Status::OK();
+  // Only a full checkpoint may clear the degraded flag: apply-then-log
+  // mutations whose Log() failed can have left the in-memory state ahead
+  // of any salvageable WAL, so the fresh epoch must start from a snapshot
+  // of what the store is actually serving. CheckpointImpl clears the flag
+  // on full success.
+  return TimedCheckpoint();
 }
 
 // -- QueryBackend delegation --------------------------------------------------
@@ -732,7 +843,7 @@ Status DurableStore::AppendVertexSample(graph::VertexId v,
                                         const std::string& key, Timestamp t,
                                         double value) {
   MutexLock lock(append_mu_);
-  HYGRAPH_RETURN_IF_ERROR(RequireOpen());
+  HYGRAPH_RETURN_IF_ERROR(RequireWritable());
   HYGRAPH_RETURN_IF_ERROR(Log("AV " + std::to_string(v) + " " +
                               core::EncodeField(key) + " " +
                               std::to_string(t) + " " + FormatDouble(value)));
@@ -744,7 +855,7 @@ Status DurableStore::AppendVertexSample(graph::VertexId v,
 Status DurableStore::AppendEdgeSample(graph::EdgeId e, const std::string& key,
                                       Timestamp t, double value) {
   MutexLock lock(append_mu_);
-  HYGRAPH_RETURN_IF_ERROR(RequireOpen());
+  HYGRAPH_RETURN_IF_ERROR(RequireWritable());
   HYGRAPH_RETURN_IF_ERROR(Log("AE " + std::to_string(e) + " " +
                               core::EncodeField(key) + " " +
                               std::to_string(t) + " " + FormatDouble(value)));

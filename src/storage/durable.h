@@ -1,6 +1,7 @@
 #ifndef HYGRAPH_STORAGE_DURABLE_H_
 #define HYGRAPH_STORAGE_DURABLE_H_
 
+#include <atomic>
 #include <memory>
 #include <string>
 #include <vector>
@@ -9,6 +10,7 @@
 #include "obs/metrics.h"
 #include "query/backend.h"
 #include "storage/env.h"
+#include "storage/retry.h"
 #include "storage/wal.h"
 
 namespace hygraph::storage {
@@ -26,6 +28,15 @@ struct DurableOptions {
   /// through background_error(), not through the triggering mutation,
   /// whose WAL record is already durable.
   size_t checkpoint_every = 0;
+
+  /// Backoff schedule for retrying transient WAL-append and checkpoint-
+  /// write failures (kIOError). max_attempts = 1 disables retrying.
+  RetryOptions retry;
+
+  /// Injectable backoff sleep for tests: record the delay or advance an
+  /// obs::ManualClock instead of stalling the process. Null = real sleep
+  /// (RetryPolicy's default).
+  RetryPolicy::SleepFn retry_sleep;
 };
 
 /// What Open() found and did while recovering a directory.
@@ -62,6 +73,19 @@ struct RecoveryStats {
 /// at the next Checkpoint(). Checkpointing requires dense ids (the
 /// core::Serialize precondition); after removals the store stays recoverable
 /// through WAL replay alone until ids are dense again.
+///
+/// Fault tolerance: a transient kIOError on the WAL append/sync path is
+/// retried with capped exponential backoff (DurableOptions::retry). A
+/// failed sync poisons the writer — fsyncgate semantics: the kernel may
+/// have dropped the dirty pages, so re-issuing the sync could falsely
+/// acknowledge — therefore every retry abandons the old handle and
+/// rebuilds a fresh WAL epoch from the valid on-disk prefix before
+/// re-appending. When retries are exhausted the store enters DEGRADED
+/// READ-ONLY mode: reads and BeginSnapshot() keep serving, every mutation
+/// fails fast with kUnavailable, and the "durable.degraded" gauge flips to
+/// 1. TryExitDegraded() leaves the state via a full checkpoint (the
+/// in-memory state can be ahead of the poisoned WAL, so only a complete
+/// snapshot restores the durability contract).
 ///
 /// Thread safety (DESIGN.md §10): every logged mutation, Checkpoint() and
 /// SyncWal() serialize on one append mutex, so concurrent writers produce a
@@ -119,6 +143,17 @@ class DurableStore final : public query::QueryBackend {
   /// Makes every logged record durable (group commit with !sync_wal).
   Status SyncWal();
 
+  /// True once write-side retries were exhausted and the store flipped to
+  /// degraded read-only mode (mutations fail fast with kUnavailable while
+  /// reads keep serving). Mirrored by the "durable.degraded" gauge.
+  bool degraded() const { return degraded_.load(std::memory_order_relaxed); }
+
+  /// Attempts to leave degraded mode through a full checkpoint onto a
+  /// fresh WAL epoch. No-op (OK) when not degraded. Fails — and the store
+  /// stays degraded — if the checkpoint cannot complete, including the
+  /// dense-id precondition every checkpoint has.
+  Status TryExitDegraded();
+
   // -- QueryBackend ---------------------------------------------------------
 
   std::string name() const override;
@@ -159,6 +194,15 @@ class DurableStore final : public query::QueryBackend {
 
  private:
   Status RequireOpen() const;
+  /// RequireOpen plus the write-side gates: degraded mode and a live WAL.
+  Status RequireWritable() const;
+  /// Flips into degraded read-only mode; call with append_mu_ held.
+  void EnterDegraded(const Status& cause);
+  /// One WAL-epoch rebuild: abandon the poisoned writer, rewrite the valid
+  /// on-disk prefix to a fresh synced file, and append `record` unless the
+  /// scan shows it already persisted (a sync-only failure would otherwise
+  /// duplicate it, which replay rejects as corruption).
+  Status RebuildWalAndAppend(const std::string& record);
   /// Checkpoint body with latency recording; call with append_mu_ held.
   Status TimedCheckpoint();
   Status CheckpointImpl();
@@ -180,6 +224,10 @@ class DurableStore final : public query::QueryBackend {
   obs::Counter* records_logged_ = nullptr;
   obs::Counter* checkpoints_ = nullptr;
   obs::Histogram* checkpoint_nanos_ = nullptr;
+  obs::Counter* retries_ = nullptr;
+  obs::Counter* wal_rebuilds_ = nullptr;
+  obs::Gauge* degraded_gauge_ = nullptr;
+  RetryPolicy retry_policy_;
   /// Serializes Log()+apply, Checkpoint and SyncWal (and guards wal_,
   /// next_seq_, records_since_checkpoint_, background_error_). Top of the
   /// lock hierarchy: held while calling into the inner store, never the
@@ -191,6 +239,12 @@ class DurableStore final : public query::QueryBackend {
   size_t records_since_checkpoint_ = 0;
   RecoveryStats recovery_;
   Status background_error_;
+  /// Atomic so degraded() is readable without the append mutex; flipped
+  /// only with append_mu_ held.
+  std::atomic<bool> degraded_{false};
+  /// The kUnavailable mutations see while degraded (carries the original
+  /// cause); guarded by append_mu_.
+  Status degraded_error_;
 };
 
 /// Serializes a backend's full logical state (topology + every series)

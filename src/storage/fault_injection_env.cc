@@ -10,6 +10,10 @@ Status CrashedStatus() {
   return Status::IOError("injected fault: filesystem is down");
 }
 
+Status TransientStatus() {
+  return Status::IOError("injected fault: transient I/O error");
+}
+
 }  // namespace
 
 /// Write-through file that mirrors sizes into the env's FileState so the
@@ -65,6 +69,25 @@ Status FaultInjectionEnv::BeginOp(bool* short_write) {
     crashed_ = true;
     if (short_write != nullptr) *short_write = true;
     return CrashedStatus();
+  }
+  // Transient modes come strictly after the terminal check: a scheduled
+  // crash always wins its op, and the op counter advances identically
+  // whether or not transient faults are armed, so PR 1 crash schedules
+  // are unaffected. A transient failure has no side effect (no torn
+  // write), matching an EINTR-style hiccup rather than power loss.
+  if (transient_fail_next_ > 0) {
+    --transient_fail_next_;
+    ++transient_faults_;
+    return TransientStatus();
+  }
+  if (transient_every_n_ > 0 && op_count_ % transient_every_n_ == 0) {
+    ++transient_faults_;
+    return TransientStatus();
+  }
+  if (transient_p_ > 0.0 && transient_rng_.has_value() &&
+      transient_rng_->NextBernoulli(transient_p_)) {
+    ++transient_faults_;
+    return TransientStatus();
   }
   return Status::OK();
 }

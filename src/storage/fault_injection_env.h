@@ -4,9 +4,11 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
+#include "common/rng.h"
 #include "storage/env.h"
 
 namespace hygraph::storage {
@@ -26,9 +28,29 @@ namespace hygraph::storage {
 ///     so that DropUnsyncedData() can roll every file back to its synced
 ///     prefix — the state a real filesystem may present after power loss.
 ///
-/// Test protocol: run a workload until it hits the injected crash, call
-/// DropUnsyncedData(), Revive(), then recover and compare against an
-/// oracle of acknowledged writes.
+/// Two fault families, explicitly distinct:
+///
+///   TERMINAL (SetCrashAfter / Crash): the "device died / power lost"
+///   model. Once entered, every mutating operation fails until Revive();
+///   nothing written after the crash point is observed by the base env
+///   (beyond the deterministic torn prefix). This is what the crash-matrix
+///   recovery tests exercise.
+///
+///   TRANSIENT (SetTransientFailNext / SetTransientEveryN /
+///   SetTransientProbability): the "I/O hiccup" model — a mutating
+///   operation fails with kIOError but performs NO side effect, and the
+///   env immediately heals, so a retry of the same operation can succeed.
+///   This is what RetryPolicy and DurableStore's degraded-mode logic are
+///   tested against. Transient faults never fire while crashed, and a
+///   terminal crash scheduled for an op takes precedence over any
+///   transient mode, so arming transient faults cannot shift existing
+///   crash schedules.
+///
+/// Test protocol for terminal faults: run a workload until it hits the
+/// injected crash, call DropUnsyncedData(), Revive(), then recover and
+/// compare against an oracle of acknowledged writes. Transient faults need
+/// no revive: assert on transient_faults() and the caller's retry
+/// behavior.
 class FaultInjectionEnv final : public Env {
  public:
   /// What survives of un-synced bytes when the "power" goes out.
@@ -63,6 +85,29 @@ class FaultInjectionEnv final : public Env {
     armed_ = false;
   }
 
+  // -- transient fault control (error once, then heal) -----------------------
+
+  /// The next `count` mutating operations fail with kIOError and no side
+  /// effect; the env then heals automatically.
+  void SetTransientFailNext(uint64_t count) { transient_fail_next_ = count; }
+  /// Every n-th mutating operation (by op_count) fails transiently.
+  /// 0 disables.
+  void SetTransientEveryN(uint64_t n) { transient_every_n_ = n; }
+  /// Each mutating operation fails transiently with probability `p`,
+  /// drawn from a deterministic seeded stream. p <= 0 disables.
+  void SetTransientProbability(double p, uint64_t seed) {
+    transient_p_ = p;
+    transient_rng_.emplace(seed);
+  }
+  /// Disables all transient fault modes.
+  void ClearTransientFaults() {
+    transient_fail_next_ = 0;
+    transient_every_n_ = 0;
+    transient_p_ = 0.0;
+  }
+  /// Transient faults injected so far.
+  uint64_t transient_faults() const { return transient_faults_; }
+
   // -- Env -------------------------------------------------------------------
 
   Status NewWritableFile(const std::string& path,
@@ -96,6 +141,11 @@ class FaultInjectionEnv final : public Env {
   bool crashed_ = false;
   uint64_t op_count_ = 0;
   uint64_t crash_after_ = 0;
+  uint64_t transient_fail_next_ = 0;
+  uint64_t transient_every_n_ = 0;
+  double transient_p_ = 0.0;
+  std::optional<Rng> transient_rng_;
+  uint64_t transient_faults_ = 0;
   std::map<std::string, std::shared_ptr<FileState>> files_;
 };
 

@@ -1,0 +1,50 @@
+#include "storage/retry.h"
+
+#include <chrono>
+#include <thread>
+#include <utility>
+
+namespace hygraph::storage {
+
+RetryPolicy::RetryPolicy(RetryOptions options, SleepFn sleep)
+    : options_(options), sleep_(std::move(sleep)), rng_(options.seed) {
+  if (!sleep_) {
+    sleep_ = [](uint64_t nanos) {
+      // The one sanctioned real sleep in src/ (see the hygraph-raw-sleep
+      // lint rule); everything else injects a SleepFn through here.
+      std::this_thread::sleep_for(std::chrono::nanoseconds(nanos));
+    };
+  }
+}
+
+uint64_t RetryPolicy::BackoffNanos(int retry) {
+  uint64_t delay = options_.base_backoff_nanos;
+  // Shift with an overflow guard: past 63 doublings the cap always wins.
+  if (retry >= 63 || (delay << retry) >> retry != delay) {
+    delay = options_.max_backoff_nanos;
+  } else {
+    delay <<= retry;
+    if (delay > options_.max_backoff_nanos) delay = options_.max_backoff_nanos;
+  }
+  if (options_.jitter && delay > 1) {
+    delay = delay / 2 + rng_.NextBounded(delay / 2);
+  }
+  return delay;
+}
+
+Status RetryPolicy::Run(const std::function<Status()>& op,
+                        obs::Counter* retries) {
+  Status last = Status::OK();
+  const int attempts = options_.max_attempts < 1 ? 1 : options_.max_attempts;
+  for (int attempt = 0; attempt < attempts; ++attempt) {
+    if (attempt > 0) {
+      sleep_(BackoffNanos(attempt - 1));
+      if (retries != nullptr) retries->Increment();
+    }
+    last = op();
+    if (last.ok() || !IsRetryable(last)) return last;
+  }
+  return last;
+}
+
+}  // namespace hygraph::storage

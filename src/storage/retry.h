@@ -1,0 +1,76 @@
+#ifndef HYGRAPH_STORAGE_RETRY_H_
+#define HYGRAPH_STORAGE_RETRY_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "obs/metrics.h"
+
+namespace hygraph::storage {
+
+/// Knobs for RetryPolicy. The defaults (4 attempts, 1 ms base doubling to a
+/// 50 ms cap) bound the worst-case stall of one mutation to well under a
+/// second while still riding out short I/O hiccups.
+struct RetryOptions {
+  /// Total attempts including the first one. 1 disables retrying.
+  int max_attempts = 4;
+  /// Backoff before the first retry; doubles per subsequent retry.
+  uint64_t base_backoff_nanos = 1'000'000;  // 1 ms
+  /// Upper bound applied after doubling.
+  uint64_t max_backoff_nanos = 50'000'000;  // 50 ms
+  /// When true, each backoff is half fixed + half uniform-random, which
+  /// de-synchronizes callers that fail together ("thundering herd").
+  bool jitter = true;
+  /// Seed for the jitter stream; fixed seed => fully deterministic delays.
+  uint64_t seed = 0x9e3779b97f4a7c15ull;
+};
+
+/// Capped exponential backoff around transient I/O failures. The ONLY
+/// sanctioned retry loop around Env / WritableFile calls — the
+/// hygraph-raw-sleep lint rule rejects hand-rolled sleeps elsewhere, so all
+/// backoff behavior stays tunable and testable in one place.
+///
+/// Determinism: delays are computed from a seeded common/rng stream, and
+/// the sleep itself is injectable. Tests pass a SleepFn that advances an
+/// obs::ManualClock (or just records the delay) instead of stalling the
+/// process, making retry schedules exactly reproducible.
+///
+/// What is retryable: kIOError only — the Env contract says the operation
+/// did not take effect durably but may succeed later. Corruption, invalid
+/// arguments, and the governance codes are terminal for the wrapped op.
+class RetryPolicy {
+ public:
+  /// Receives the backoff duration before each retry. The default sleeps
+  /// for real (the lint-sanctioned home of the only raw sleep in src/).
+  using SleepFn = std::function<void(uint64_t nanos)>;
+
+  explicit RetryPolicy(RetryOptions options, SleepFn sleep = nullptr);
+
+  /// Runs `op` up to max_attempts times, sleeping BackoffNanos(i) between
+  /// attempts while the failure is retryable. Returns the first success or
+  /// the LAST error observed (so callers see what actually went wrong, not
+  /// a generic "retries exhausted"). Each retry increments `retries` when
+  /// one is supplied.
+  Status Run(const std::function<Status()>& op,
+             obs::Counter* retries = nullptr);
+
+  /// True when `s` is worth retrying (currently: kIOError).
+  static bool IsRetryable(const Status& s) {
+    return s.code() == StatusCode::kIOError;
+  }
+
+  /// The delay before retry number `retry` (0-based): min(cap, base << retry),
+  /// jittered to [d/2, d) when enabled. Exposed for tests and benches.
+  uint64_t BackoffNanos(int retry);
+
+ private:
+  RetryOptions options_;
+  SleepFn sleep_;
+  Rng rng_;
+};
+
+}  // namespace hygraph::storage
+
+#endif  // HYGRAPH_STORAGE_RETRY_H_

@@ -359,6 +359,14 @@ Result<std::vector<Sample>> HypertableStore::Scan(
   auto view = PinView(id, interval, /*want_aggregates=*/false);
   if (!view.ok()) return view.status();
   m_.chunks_total->Add(view->chunk_count);
+  // The result buffer is query-held memory: reserve it against the
+  // installed context's governor before allocating (kResourceExhausted
+  // instead of OOM). The context releases its reservations when the query
+  // ends.
+  if (QueryContext* ctx = QueryContext::Current()) {
+    HYGRAPH_RETURN_IF_ERROR(
+        ctx->ReserveMemory(view->overlap_estimate * sizeof(Sample)));
+  }
   std::vector<Sample> out;
   out.reserve(view->overlap_estimate);
   for (const PinnedChunk& chunk : view->chunks) {
@@ -375,6 +383,11 @@ Result<Series> HypertableStore::Materialize(SeriesId id,
   auto view = PinView(id, interval, /*want_aggregates=*/false);
   if (!view.ok()) return view.status();
   m_.chunks_total->Add(view->chunk_count);
+  // Same accounting as Scan: the materialized series belongs to the query.
+  if (QueryContext* ctx = QueryContext::Current()) {
+    HYGRAPH_RETURN_IF_ERROR(
+        ctx->ReserveMemory(view->overlap_estimate * sizeof(Sample)));
+  }
   Series out(view->name);
   out.Reserve(view->overlap_estimate);
   Status append = Status::OK();

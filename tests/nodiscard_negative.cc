@@ -13,6 +13,12 @@ hygraph::Result<int> MakeResult() { return 7; }
 void DiscardsBoth() {
   MakeStatus();  // discarded Status: must be a compile error
   MakeResult();  // discarded Result<T>: must be a compile error
+  // The governance codes added for deadlines / cancellation / budgets are
+  // just as easy to drop on an error path, so they get the same guard.
+  hygraph::Status::DeadlineExceeded("dropped");
+  hygraph::Status::Cancelled("dropped");
+  hygraph::Status::ResourceExhausted("dropped");
+  hygraph::Status::Unavailable("dropped");
 }
 
 }  // namespace

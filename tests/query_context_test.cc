@@ -1,0 +1,175 @@
+#include "common/context.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <functional>
+
+#include "common/governor.h"
+
+namespace hygraph {
+namespace {
+
+// A controllable time source: every call returns the current value and
+// advances by `step`. Deterministic, no real clock anywhere.
+struct FakeClock {
+  uint64_t now = 0;
+  uint64_t step = 0;
+  std::function<uint64_t()> fn() {
+    return [this] {
+      const uint64_t t = now;
+      now += step;
+      return t;
+    };
+  }
+};
+
+TEST(QueryContextTest, ChargeWithoutLimitsAlwaysOk) {
+  QueryContext ctx;
+  for (int i = 0; i < 10'000; ++i) {
+    ASSERT_TRUE(ctx.Charge().ok());
+  }
+  EXPECT_EQ(ctx.charged(), 10'000u);
+}
+
+TEST(QueryContextTest, DeadlineTripsAtTheNextClockCheck) {
+  FakeClock clock;
+  QueryContext ctx;
+  ctx.SetTimeout(10, clock.fn());  // deadline at t = 10ms
+  EXPECT_TRUE(ctx.has_deadline());
+
+  // Still before the deadline: a full check interval passes cleanly.
+  clock.now = 5'000'000;  // 5ms
+  for (uint64_t i = 0; i < QueryContext::kCheckInterval; ++i) {
+    ASSERT_TRUE(ctx.Charge().ok());
+  }
+
+  // Past the deadline: the violation surfaces at the next checkpoint, not
+  // before (amortization contract).
+  clock.now = 11'000'000;  // 11ms > 10ms
+  Status s = Status::OK();
+  for (uint64_t i = 0; i < QueryContext::kCheckInterval && s.ok(); ++i) {
+    s = ctx.Charge();
+  }
+  EXPECT_TRUE(s.IsDeadlineExceeded()) << s.ToString();
+  EXPECT_TRUE(s.IsInterruption());
+
+  // Once tripped, it stays tripped.
+  EXPECT_TRUE(ctx.CheckNow().IsDeadlineExceeded());
+}
+
+TEST(QueryContextTest, ZeroTimeoutIsIgnored) {
+  FakeClock clock;
+  QueryContext ctx;
+  ctx.SetTimeout(0, clock.fn());
+  EXPECT_FALSE(ctx.has_deadline());
+  clock.now = ~uint64_t{0} / 2;
+  EXPECT_TRUE(ctx.CheckNow().ok());
+}
+
+TEST(QueryContextTest, CancelIsObservedOnTheVeryNextCharge) {
+  QueryContext ctx;
+  ASSERT_TRUE(ctx.Charge().ok());
+  ctx.Cancel();
+  EXPECT_TRUE(ctx.cancelled());
+  // The fast path re-reads the cancel flag on every Charge, so a single
+  // unit suffices — no waiting for the check interval.
+  EXPECT_TRUE(ctx.Charge().IsCancelled());
+  EXPECT_TRUE(ctx.CheckNow().IsCancelled());
+}
+
+TEST(QueryContextTest, PointsBudgetTripsWithResourceExhausted) {
+  QueryContext ctx;
+  ctx.SetPointsBudget(100);
+  ASSERT_TRUE(ctx.Charge(100).ok());
+  EXPECT_TRUE(ctx.Charge(1).IsResourceExhausted());
+}
+
+TEST(QueryContextTest, CancelWinsOverDeadlineAndBudget) {
+  FakeClock clock;
+  clock.now = 99'000'000;
+  QueryContext ctx;
+  ctx.SetTimeout(1, clock.fn());
+  ctx.SetPointsBudget(1);
+  ctx.Cancel();
+  EXPECT_TRUE(ctx.Charge(10).IsCancelled());
+}
+
+TEST(QueryContextTest, CurrentScopeInstallsAndRestoresNested) {
+  EXPECT_EQ(QueryContext::Current(), nullptr);
+  QueryContext outer;
+  {
+    QueryContext::Scope outer_scope(&outer);
+    EXPECT_EQ(QueryContext::Current(), &outer);
+    QueryContext inner;
+    {
+      QueryContext::Scope inner_scope(&inner);
+      EXPECT_EQ(QueryContext::Current(), &inner);
+    }
+    EXPECT_EQ(QueryContext::Current(), &outer);
+  }
+  EXPECT_EQ(QueryContext::Current(), nullptr);
+}
+
+TEST(QueryContextTest, ReserveMemoryWithoutGovernorIsANoOp) {
+  QueryContext ctx;
+  EXPECT_TRUE(ctx.ReserveMemory(1 << 30).ok());
+  EXPECT_EQ(ctx.reserved_bytes(), 0u);
+}
+
+TEST(QueryContextTest, ReservationsGoThroughTheGovernorAndReleaseOnDeath) {
+  ResourceGovernor governor;
+  governor.SetBudget(1000);
+  {
+    QueryContext ctx;
+    ctx.AttachGovernor(&governor);
+    ASSERT_TRUE(ctx.ReserveMemory(600).ok());
+    EXPECT_EQ(ctx.reserved_bytes(), 600u);
+    EXPECT_EQ(governor.reserved(), 600u);
+    // Over budget: rejected, accounting unchanged.
+    Status over = ctx.ReserveMemory(500);
+    EXPECT_TRUE(over.IsResourceExhausted()) << over.ToString();
+    EXPECT_EQ(governor.reserved(), 600u);
+    ctx.ReleaseMemory(100);
+    EXPECT_EQ(governor.reserved(), 500u);
+    // The rest releases in the destructor.
+  }
+  EXPECT_EQ(governor.reserved(), 0u);
+}
+
+TEST(ResourceGovernorTest, UnconfiguredGovernorGrantsEverything) {
+  ResourceGovernor governor;
+  EXPECT_TRUE(governor.Reserve(~uint64_t{0} / 2).ok());
+  EXPECT_TRUE(governor.Admit().ok());
+  governor.Release(~uint64_t{0} / 2);
+  EXPECT_EQ(governor.reserved(), 0u);
+}
+
+TEST(ResourceGovernorTest, BudgetRejectsAndReleaseClampsToZero) {
+  ResourceGovernor governor;
+  governor.SetBudget(100);
+  EXPECT_TRUE(governor.Reserve(100).ok());
+  EXPECT_TRUE(governor.Reserve(1).IsResourceExhausted());
+  governor.Release(500);  // defensive clamp, never underflows
+  EXPECT_EQ(governor.reserved(), 0u);
+}
+
+TEST(ResourceGovernorTest, AdmissionShedsAtTheHighWaterMark) {
+  ResourceGovernor governor;
+  governor.SetAdmissionHighWater(50);
+  EXPECT_TRUE(governor.Admit().ok());
+  ASSERT_TRUE(governor.Reserve(49).ok());
+  EXPECT_TRUE(governor.Admit().ok());
+  ASSERT_TRUE(governor.Reserve(1).ok());
+  EXPECT_TRUE(governor.Admit().IsResourceExhausted());
+  governor.Release(1);
+  EXPECT_TRUE(governor.Admit().ok());
+}
+
+TEST(ResourceGovernorTest, GlobalIsASingleton) {
+  EXPECT_NE(ResourceGovernor::Global(), nullptr);
+  EXPECT_EQ(ResourceGovernor::Global(), ResourceGovernor::Global());
+}
+
+}  // namespace
+}  // namespace hygraph

@@ -1,0 +1,139 @@
+#include "storage/retry.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace hygraph::storage {
+namespace {
+
+// Records requested backoffs instead of sleeping — tests run in
+// microseconds and the schedule is fully observable.
+struct SleepRecorder {
+  std::vector<uint64_t> naps;
+  RetryPolicy::SleepFn fn() {
+    return [this](uint64_t nanos) { naps.push_back(nanos); };
+  }
+};
+
+TEST(RetryPolicyTest, FirstAttemptSuccessNeverSleeps) {
+  SleepRecorder sleeps;
+  RetryPolicy policy(RetryOptions{}, sleeps.fn());
+  int calls = 0;
+  Status s = policy.Run([&] {
+    ++calls;
+    return Status::OK();
+  });
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(calls, 1);
+  EXPECT_TRUE(sleeps.naps.empty());
+}
+
+TEST(RetryPolicyTest, TransientFailuresAreRetriedUntilSuccess) {
+  SleepRecorder sleeps;
+  obs::MetricsRegistry metrics;
+  obs::Counter* retries = metrics.counter("durable.retries");
+  RetryPolicy policy(RetryOptions{}, sleeps.fn());
+  int calls = 0;
+  Status s = policy.Run(
+      [&]() -> Status {
+        ++calls;
+        if (calls < 3) return Status::IOError("flaky disk");
+        return Status::OK();
+      },
+      retries);
+  EXPECT_TRUE(s.ok()) << s.ToString();
+  EXPECT_EQ(calls, 3);
+  EXPECT_EQ(sleeps.naps.size(), 2u);  // one backoff before each re-attempt
+  EXPECT_EQ(retries->value(), 2u);
+}
+
+TEST(RetryPolicyTest, ExhaustionReturnsTheLastError) {
+  SleepRecorder sleeps;
+  RetryOptions options;
+  options.max_attempts = 4;
+  RetryPolicy policy(options, sleeps.fn());
+  int calls = 0;
+  Status s = policy.Run([&] {
+    ++calls;
+    return Status::IOError("still broken #" + std::to_string(calls));
+  });
+  EXPECT_EQ(s.code(), StatusCode::kIOError);
+  EXPECT_NE(s.message().find("#4"), std::string::npos) << s.ToString();
+  EXPECT_EQ(calls, 4);
+  EXPECT_EQ(sleeps.naps.size(), 3u);
+}
+
+TEST(RetryPolicyTest, TerminalErrorsAreNotRetried) {
+  SleepRecorder sleeps;
+  RetryPolicy policy(RetryOptions{}, sleeps.fn());
+  int calls = 0;
+  Status s = policy.Run([&] {
+    ++calls;
+    return Status::Corruption("checksum mismatch");
+  });
+  EXPECT_EQ(s.code(), StatusCode::kCorruption);
+  EXPECT_EQ(calls, 1);
+  EXPECT_TRUE(sleeps.naps.empty());
+}
+
+TEST(RetryPolicyTest, OnlyIOErrorIsRetryable) {
+  EXPECT_TRUE(RetryPolicy::IsRetryable(Status::IOError("x")));
+  EXPECT_FALSE(RetryPolicy::IsRetryable(Status::OK()));
+  EXPECT_FALSE(RetryPolicy::IsRetryable(Status::Corruption("x")));
+  EXPECT_FALSE(RetryPolicy::IsRetryable(Status::Unavailable("x")));
+  EXPECT_FALSE(RetryPolicy::IsRetryable(Status::DeadlineExceeded("x")));
+}
+
+TEST(RetryPolicyTest, BackoffDoublesAndCapsWithoutJitter) {
+  RetryOptions options;
+  options.base_backoff_nanos = 1'000;
+  options.max_backoff_nanos = 6'000;
+  options.jitter = false;
+  RetryPolicy policy(options, [](uint64_t) {});
+  EXPECT_EQ(policy.BackoffNanos(0), 1'000u);
+  EXPECT_EQ(policy.BackoffNanos(1), 2'000u);
+  EXPECT_EQ(policy.BackoffNanos(2), 4'000u);
+  EXPECT_EQ(policy.BackoffNanos(3), 6'000u);  // capped
+  EXPECT_EQ(policy.BackoffNanos(62), 6'000u);
+  EXPECT_EQ(policy.BackoffNanos(63), 6'000u);  // overflow guard
+}
+
+TEST(RetryPolicyTest, JitterIsBoundedAndDeterministicPerSeed) {
+  RetryOptions options;
+  options.base_backoff_nanos = 1'000'000;
+  options.max_backoff_nanos = 64'000'000;
+  options.seed = 42;
+  RetryPolicy a(options, [](uint64_t) {});
+  RetryPolicy b(options, [](uint64_t) {});
+  for (int retry = 0; retry < 6; ++retry) {
+    const uint64_t nominal = std::min(options.max_backoff_nanos,
+                                      options.base_backoff_nanos << retry);
+    const uint64_t got = a.BackoffNanos(retry);
+    // Half fixed + half jitter: always within [nominal/2, nominal).
+    EXPECT_GE(got, nominal / 2);
+    EXPECT_LT(got, nominal);
+    // Same seed, same call sequence → identical schedule.
+    EXPECT_EQ(got, b.BackoffNanos(retry));
+  }
+}
+
+TEST(RetryPolicyTest, MaxAttemptsBelowOneStillRunsTheOpOnce) {
+  RetryOptions options;
+  options.max_attempts = 0;
+  RetryPolicy policy(options, [](uint64_t) {});
+  int calls = 0;
+  Status s = policy.Run([&] {
+    ++calls;
+    return Status::IOError("x");
+  });
+  EXPECT_EQ(s.code(), StatusCode::kIOError);
+  EXPECT_EQ(calls, 1);
+}
+
+}  // namespace
+}  // namespace hygraph::storage

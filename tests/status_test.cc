@@ -37,6 +37,12 @@ TEST(StatusTest, FactoryFunctionsSetCodeAndMessage) {
        "Unimplemented"},
       {Status::Internal("h"), StatusCode::kInternal, "Internal"},
       {Status::IOError("i"), StatusCode::kIOError, "IOError"},
+      {Status::DeadlineExceeded("j"), StatusCode::kDeadlineExceeded,
+       "DeadlineExceeded"},
+      {Status::Cancelled("k"), StatusCode::kCancelled, "Cancelled"},
+      {Status::ResourceExhausted("l"), StatusCode::kResourceExhausted,
+       "ResourceExhausted"},
+      {Status::Unavailable("m"), StatusCode::kUnavailable, "Unavailable"},
   };
   for (const Case& c : cases) {
     EXPECT_FALSE(c.status.ok());
@@ -44,6 +50,29 @@ TEST(StatusTest, FactoryFunctionsSetCodeAndMessage) {
     EXPECT_EQ(std::string(StatusCodeName(c.code)), c.name);
     EXPECT_NE(c.status.ToString().find(c.name), std::string::npos);
   }
+}
+
+TEST(StatusTest, GovernancePredicatesMatchOnlyTheirCode) {
+  EXPECT_TRUE(Status::DeadlineExceeded("x").IsDeadlineExceeded());
+  EXPECT_TRUE(Status::Cancelled("x").IsCancelled());
+  EXPECT_TRUE(Status::ResourceExhausted("x").IsResourceExhausted());
+  EXPECT_TRUE(Status::Unavailable("x").IsUnavailable());
+
+  const Status io = Status::IOError("x");
+  EXPECT_FALSE(io.IsDeadlineExceeded());
+  EXPECT_FALSE(io.IsCancelled());
+  EXPECT_FALSE(io.IsResourceExhausted());
+  EXPECT_FALSE(io.IsUnavailable());
+  EXPECT_FALSE(Status::OK().IsCancelled());
+
+  // IsInterruption covers exactly the cooperative-cut family: a query that
+  // was stopped on purpose, as opposed to failing.
+  EXPECT_TRUE(Status::DeadlineExceeded("x").IsInterruption());
+  EXPECT_TRUE(Status::Cancelled("x").IsInterruption());
+  EXPECT_TRUE(Status::ResourceExhausted("x").IsInterruption());
+  EXPECT_FALSE(Status::Unavailable("x").IsInterruption());
+  EXPECT_FALSE(io.IsInterruption());
+  EXPECT_FALSE(Status::OK().IsInterruption());
 }
 
 TEST(StatusTest, ToStringIncludesMessage) {
@@ -110,9 +139,13 @@ TEST(StatusTest, StatusCodeNameCoversEveryEnumValue) {
       {StatusCode::kUnimplemented, "Unimplemented"},
       {StatusCode::kInternal, "Internal"},
       {StatusCode::kIOError, "IOError"},
+      {StatusCode::kDeadlineExceeded, "DeadlineExceeded"},
+      {StatusCode::kCancelled, "Cancelled"},
+      {StatusCode::kResourceExhausted, "ResourceExhausted"},
+      {StatusCode::kUnavailable, "Unavailable"},
   };
-  // kIOError is the last enumerator; the table must reach it.
-  EXPECT_EQ(static_cast<size_t>(StatusCode::kIOError) + 1, names.size());
+  // kUnavailable is the last enumerator; the table must reach it.
+  EXPECT_EQ(static_cast<size_t>(StatusCode::kUnavailable) + 1, names.size());
   for (const auto& [code, name] : names) {
     EXPECT_STREQ(StatusCodeName(code), name);
   }
