@@ -1,11 +1,14 @@
 #!/usr/bin/env python3
 """HyGraph project linter: repo invariants clang-tidy cannot express.
 
-Checks (see DESIGN.md "Correctness tooling"):
+Checks are small rules in a registry (see @rule below); `--list` prints
+them. The current rules (see DESIGN.md §12 "Static analysis"):
+
   naked-new       no `new` expression in library code unless annotated with
                   `NOLINT(hygraph-naked-new)` (leaked singletons, private
-                  constructors); no `delete` expressions at all — ownership
-                  goes through smart pointers.
+                  constructors).
+  naked-delete    no `delete` expressions at all — ownership goes through
+                  smart pointers.
   raw-rand        no `rand()` / `srand()` anywhere — randomness goes through
                   common/rng.h so runs stay reproducible and seedable.
   cc-include      no `#include` of a `.cc` file.
@@ -22,24 +25,39 @@ Checks (see DESIGN.md "Correctness tooling"):
                   lock is instrumented (concurrency.* counters) and follows
                   the documented hierarchy. src/obs/ is exempt: it sits
                   beneath the sync layer (the registry mutex cannot be
-                  instrumented by the registry it guards).
+                  instrumented by the registry it guards; see obs/mutex.h).
   raw-sleep       no sleep_for / sleep_until / usleep / nanosleep in src/
                   outside storage/retry.cc — backoff waits go through
                   RetryPolicy (storage/retry.h) so they are capped, jittered,
                   deterministic under test (injectable SleepFn), and counted
-                  (durable.retries). Ad-hoc retry loops hide unbounded
-                  stalls; annotate a genuine exception with
+                  (durable.retries). Annotate a genuine exception with
                   NOLINT(hygraph-raw-sleep).
+  layering        project includes in src/ must follow the declared layer
+                  DAG (mirrors the target_link_libraries topology in
+                  src/CMakeLists.txt, with common/sync.h split into its own
+                  layer above obs). Upward or sideways includes are errors:
+                  they are cycles waiting to happen and defeat the
+                  one-direction dependency story in DESIGN.md.
+  unranked-lock   every hygraph::Mutex / SharedMutex member declaration in
+                  src/ must be constructed with a LockRank (on the
+                  declaration, or where the member is initialized in the
+                  same header or sibling .cc) so the runtime rank checker
+                  covers it — or carry NOLINT(hygraph-unranked-lock) with a
+                  justification for living outside the hierarchy.
 
 Exit status: 0 when clean, 1 with one `path:line: [check] message` per
 finding otherwise. Run via scripts/lint.sh or directly:
 
-    python3 scripts/hygraph_lint.py
+    python3 scripts/hygraph_lint.py [--root DIR] [--list]
+
+--root lints an alternate tree laid out like the repo (used by the
+tests/lint_selftest fixtures).
 """
 from __future__ import annotations
 
 import re
 import sys
+from dataclasses import dataclass, field
 from pathlib import Path
 
 REPO = Path(__file__).resolve().parent.parent
@@ -50,6 +68,10 @@ REPO = Path(__file__).resolve().parent.parent
 LIBRARY_DIRS = ("src", "fuzz")
 ALL_DIRS = ("src", "fuzz", "tests", "bench", "examples")
 
+# The lint selftest's fixture tree is linted with --root, never as part of
+# the real repo: its files violate rules on purpose.
+FIXTURE_DIR = Path("tests/lint_fixtures")
+
 RNG_HOME = Path("src/common/rng.h")
 CLOCK_HOME = Path("src/obs")
 SYNC_HOME = Path("src/common/sync.h")
@@ -57,8 +79,103 @@ SYNC_HOME = Path("src/common/sync.h")
 RETRY_HOME = Path("src/storage/retry.cc")
 
 RAW_SLEEP_ALLOW = "NOLINT(hygraph-raw-sleep)"
-
 NAKED_NEW_ALLOW = "NOLINT(hygraph-naked-new)"
+UNRANKED_ALLOW = "NOLINT(hygraph-unranked-lock)"
+
+# ---------------------------------------------------------------------------
+# Layering: direct dependencies per layer, mirroring src/CMakeLists.txt
+# (target_link_libraries). Two refinements over the CMake picture:
+#   * common/sync.h forms its own "sync" layer ABOVE obs — the instrumented
+#     mutexes report into obs::MetricsRegistry, so plain "common" must not
+#     depend on it, and obs beneath it uses the annotation-only obs/mutex.h.
+#   * common/thread_annotations.h is macro-only and stays in base "common".
+# A file may include same-layer headers and anything in the transitive
+# closure of its layer's deps.
+LAYER_DEPS: dict[str, tuple[str, ...]] = {
+    "common": (),
+    "obs": ("common",),
+    "sync": ("obs", "common"),
+    "ts": ("sync", "obs", "common"),
+    "graph": ("common",),
+    "temporal": ("graph", "ts"),
+    "core": ("temporal",),
+    "query": ("core", "obs"),
+    "storage": ("query",),
+    "analytics": ("core", "storage"),
+    "workloads": ("core", "storage"),
+}
+
+
+def layer_closure() -> dict[str, frozenset[str]]:
+    closure: dict[str, frozenset[str]] = {}
+
+    def resolve(layer: str, trail: tuple[str, ...]) -> frozenset[str]:
+        if layer in closure:
+            return closure[layer]
+        if layer in trail:
+            raise ValueError(f"LAYER_DEPS cycle through {layer!r}")
+        deps: set[str] = set()
+        for dep in LAYER_DEPS[layer]:
+            deps.add(dep)
+            deps |= resolve(dep, trail + (layer,))
+        closure[layer] = frozenset(deps)
+        return closure[layer]
+
+    for name in LAYER_DEPS:
+        resolve(name, ())
+    return closure
+
+
+LAYER_CLOSURE = layer_closure()
+
+
+def layer_of(rel: Path) -> str | None:
+    """Layer of a src/ file, None for files outside src/."""
+    if rel.parts[0] != "src" or len(rel.parts) < 3:
+        return None
+    if rel == SYNC_HOME:
+        return "sync"
+    return rel.parts[1]
+
+
+# ---------------------------------------------------------------------------
+# Rule registry
+
+
+@dataclass
+class SourceFile:
+    rel: Path                 # path relative to the linted root
+    raw: list[str]            # verbatim lines
+    code: list[str]           # comments and string contents blanked
+    library: bool             # under LIBRARY_DIRS
+
+
+@dataclass
+class Tree:
+    root: Path
+    files: list[SourceFile] = field(default_factory=list)
+
+    def get(self, rel: Path) -> SourceFile | None:
+        for f in self.files:
+            if f.rel == rel:
+                return f
+        return None
+
+
+RULES: list = []
+
+
+def rule(name: str, scope: str):
+    """Registers `fn(tree, report)` as a lint rule. `scope` is prose for
+    --list; the rule itself decides which files it visits."""
+
+    def wrap(fn):
+        fn.rule_name = name
+        fn.rule_scope = scope
+        RULES.append(fn)
+        return fn
+
+    return wrap
 
 
 def strip_comments_and_strings(lines: list[str]) -> list[str]:
@@ -105,14 +222,131 @@ def strip_comments_and_strings(lines: list[str]) -> list[str]:
     return out
 
 
-def iter_sources(dirs: tuple[str, ...]):
-    for d in dirs:
-        root = REPO / d
-        if not root.is_dir():
+def load_tree(root: Path) -> Tree:
+    tree = Tree(root=root)
+    for d in ALL_DIRS:
+        top = root / d
+        if not top.is_dir():
             continue
-        for path in sorted(root.rglob("*")):
-            if path.suffix in (".h", ".cc"):
-                yield path.relative_to(REPO)
+        for path in sorted(top.rglob("*")):
+            if path.suffix not in (".h", ".cc"):
+                continue
+            rel = path.relative_to(root)
+            if rel.is_relative_to(FIXTURE_DIR):
+                continue
+            raw = path.read_text(encoding="utf-8").splitlines()
+            tree.files.append(SourceFile(
+                rel=rel,
+                raw=raw,
+                code=strip_comments_and_strings(raw),
+                library=rel.parts[0] in LIBRARY_DIRS,
+            ))
+    return tree
+
+
+# ---------------------------------------------------------------------------
+# Rules
+
+
+@rule("raw-rand", "all dirs")
+def check_raw_rand(tree: Tree, report) -> None:
+    for f in tree.files:
+        if f.rel == RNG_HOME:
+            continue
+        for lineno, code_line in enumerate(f.code, 1):
+            if re.search(r"\b(s?rand)\s*\(", code_line):
+                report(f.rel, lineno, "raw-rand",
+                       "use common/rng.h instead of rand()/srand()")
+
+
+@rule("cc-include", "all dirs")
+def check_cc_include(tree: Tree, report) -> None:
+    for f in tree.files:
+        for lineno, raw_line in enumerate(f.raw, 1):
+            if re.search(r'#\s*include\s*"[^"]+\.cc"', raw_line):
+                report(f.rel, lineno, "cc-include",
+                       "never #include a .cc file; link it instead")
+
+
+@rule("raw-clock", "everywhere outside src/obs/")
+def check_raw_clock(tree: Tree, report) -> None:
+    for f in tree.files:
+        if f.rel.is_relative_to(CLOCK_HOME):
+            continue
+        for lineno, code_line in enumerate(f.code, 1):
+            if re.search(r"\bsteady_clock\s*::\s*now\b", code_line):
+                report(f.rel, lineno, "raw-clock",
+                       "read time through obs::Clock (obs/clock.h), not "
+                       "std::chrono::steady_clock::now()")
+
+
+@rule("raw-mutex", "src/ outside common/sync.h and src/obs/")
+def check_raw_mutex(tree: Tree, report) -> None:
+    for f in tree.files:
+        if (f.rel.parts[0] != "src" or f.rel == SYNC_HOME
+                or f.rel.is_relative_to(CLOCK_HOME)):
+            continue
+        for lineno, code_line in enumerate(f.code, 1):
+            if re.search(r"\bstd\s*::\s*(recursive_|timed_|shared_)?mutex\b",
+                         code_line):
+                report(f.rel, lineno, "raw-mutex",
+                       "lock through hygraph::Mutex/SharedMutex "
+                       "(common/sync.h), not raw std mutexes")
+
+
+@rule("raw-sleep", "src/ outside storage/retry.cc")
+def check_raw_sleep(tree: Tree, report) -> None:
+    for f in tree.files:
+        if f.rel.parts[0] != "src" or f.rel == RETRY_HOME:
+            continue
+        for lineno, (raw_line, code_line) in enumerate(zip(f.raw, f.code), 1):
+            if RAW_SLEEP_ALLOW in raw_line:
+                continue
+            if re.search(r"\b(sleep_for|sleep_until|usleep|nanosleep)\s*\(",
+                         code_line):
+                report(f.rel, lineno, "raw-sleep",
+                       "sleep/backoff in library code goes through "
+                       "RetryPolicy (storage/retry.h); annotate a genuine "
+                       f"exception with {RAW_SLEEP_ALLOW}")
+
+
+@rule("naked-new", "library code (src/, fuzz/)")
+def check_naked_new(tree: Tree, report) -> None:
+    for f in tree.files:
+        if not f.library:
+            continue
+        for lineno, (raw_line, code_line) in enumerate(zip(f.raw, f.code), 1):
+            prev_line = f.raw[lineno - 2] if lineno >= 2 else ""
+            allowed = (NAKED_NEW_ALLOW in raw_line
+                       or "NOLINTNEXTLINE(hygraph-naked-new)" in prev_line)
+            if re.search(r"\bnew\b", code_line) and not allowed:
+                report(f.rel, lineno, "naked-new",
+                       "naked new in library code; use make_unique or "
+                       f"annotate with {NAKED_NEW_ALLOW}")
+
+
+@rule("naked-delete", "library code (src/, fuzz/)")
+def check_naked_delete(tree: Tree, report) -> None:
+    for f in tree.files:
+        if not f.library:
+            continue
+        for lineno, code_line in enumerate(f.code, 1):
+            if re.search(r"(?<!=)\s\bdelete\b(?!;)", " " + code_line):
+                report(f.rel, lineno, "naked-delete",
+                       "naked delete in library code; ownership belongs "
+                       "in a smart pointer")
+
+
+@rule("no-cout", "src/")
+def check_no_cout(tree: Tree, report) -> None:
+    for f in tree.files:
+        if f.rel.parts[0] != "src":
+            continue
+        for lineno, code_line in enumerate(f.code, 1):
+            if "std::cout" in code_line:
+                report(f.rel, lineno, "no-cout",
+                       "library code must not write to std::cout; report "
+                       "through Status/Result")
 
 
 def expected_guard(rel: Path) -> str:
@@ -121,70 +355,132 @@ def expected_guard(rel: Path) -> str:
     return f"HYGRAPH_{token}_"
 
 
-def main() -> int:
+@rule("include-guard", "headers everywhere")
+def check_include_guard(tree: Tree, report) -> None:
+    for f in tree.files:
+        if f.rel.suffix != ".h":
+            continue
+        guard = expected_guard(f.rel)
+        text = "\n".join(f.raw)
+        if f"#ifndef {guard}" not in text or f"#define {guard}" not in text:
+            report(f.rel, 1, "include-guard",
+                   f"expected include guard {guard}")
+
+
+INCLUDE_RE = re.compile(r'#\s*include\s*"([^"]+)"')
+
+
+@rule("layering", "src/ project includes")
+def check_layering(tree: Tree, report) -> None:
+    for f in tree.files:
+        source_layer = layer_of(f.rel)
+        if source_layer is None:
+            continue
+        if source_layer not in LAYER_DEPS:
+            report(f.rel, 1, "layering",
+                   f"directory src/{source_layer}/ is not in the layer map; "
+                   "add it (and its dependencies) to LAYER_DEPS in "
+                   "scripts/hygraph_lint.py")
+            continue
+        allowed = LAYER_CLOSURE[source_layer]
+        # Raw lines: comment/string stripping blanks out the include path.
+        for lineno, raw_line in enumerate(f.raw, 1):
+            m = INCLUDE_RE.search(raw_line)
+            if m is None:
+                continue
+            target = layer_of(Path("src") / m.group(1))
+            if target is None or target == source_layer:
+                continue
+            if target not in LAYER_DEPS:
+                report(f.rel, lineno, "layering",
+                       f'include "{m.group(1)}" targets unknown layer '
+                       f"{target!r}; add it to LAYER_DEPS in "
+                       "scripts/hygraph_lint.py")
+                continue
+            if target not in allowed:
+                report(f.rel, lineno, "layering",
+                       f'layer "{source_layer}" may not include '
+                       f'"{m.group(1)}" (layer "{target}"); allowed: '
+                       f'{", ".join(sorted(allowed)) or "none"}')
+
+
+# Member (or local) declarations of the instrumented lock types, directly
+# or behind unique_ptr. References and the class definitions themselves do
+# not match (no identifier follows `Mutex&` / `Mutex(`).
+LOCK_DECL_RE = re.compile(
+    r"\b(?:hygraph::)?(?:Mutex|SharedMutex)\s+(\w+)\s*[;{=(]")
+LOCK_UPTR_RE = re.compile(
+    r"\bunique_ptr<\s*(?:hygraph::)?(?:Shared)?Mutex\s*>\s+(\w+)")
+
+
+@rule("unranked-lock", "src/ outside common/sync.h")
+def check_unranked_lock(tree: Tree, report) -> None:
+    for f in tree.files:
+        if f.rel.parts[0] != "src" or f.rel == SYNC_HOME:
+            continue
+        sibling = None
+        if f.rel.suffix == ".h":
+            sibling = tree.get(f.rel.with_suffix(".cc"))
+        for lineno, code_line in enumerate(f.code, 1):
+            m = LOCK_DECL_RE.search(code_line) or LOCK_UPTR_RE.search(
+                code_line)
+            if m is None:
+                continue
+            name = m.group(1)
+            raw_line = f.raw[lineno - 1]
+            prev_line = f.raw[lineno - 2] if lineno >= 2 else ""
+            if UNRANKED_ALLOW in raw_line or UNRANKED_ALLOW in prev_line:
+                continue
+            if "LockRank::" in code_line:  # ranked right on the declaration
+                continue
+            if has_rank_init(f, name, lineno) or (
+                    sibling is not None and has_rank_init(sibling, name, 0)):
+                continue
+            report(f.rel, lineno, "unranked-lock",
+                   f"lock member {name!r} is never constructed with a "
+                   "LockRank, so the runtime rank checker cannot see it; "
+                   "pass a rank (common/sync.h) or annotate with "
+                   f"{UNRANKED_ALLOW} and a justification")
+
+
+def has_rank_init(f: SourceFile, name: str, decl_lineno: int) -> bool:
+    """True when `name` is mentioned next to a LockRank:: value somewhere in
+    `f` other than the declaration itself — constructor init lists,
+    make_unique calls, or brace initializers (which may wrap, so the line
+    after a mention also counts)."""
+    name_re = re.compile(rf"\b{re.escape(name)}\b")
+    for lineno, code_line in enumerate(f.code, 1):
+        if lineno == decl_lineno or not name_re.search(code_line):
+            continue
+        if "LockRank::" in code_line:
+            return True
+        if lineno < len(f.code) and "LockRank::" in f.code[lineno]:
+            return True
+    return False
+
+
+# ---------------------------------------------------------------------------
+
+
+def main(argv: list[str]) -> int:
+    root = REPO
+    if "--list" in argv:
+        for fn in RULES:
+            print(f"{fn.rule_name:15} {fn.rule_scope}")
+        return 0
+    if "--root" in argv:
+        root = Path(argv[argv.index("--root") + 1]).resolve()
+
+    tree = load_tree(root)
     findings: list[str] = []
 
     def report(rel: Path, lineno: int, check: str, message: str) -> None:
         findings.append(f"{rel}:{lineno}: [{check}] {message}")
 
-    for rel in iter_sources(ALL_DIRS):
-        raw = (REPO / rel).read_text(encoding="utf-8").splitlines()
-        code = strip_comments_and_strings(raw)
-        library = rel.parts[0] in LIBRARY_DIRS
+    for fn in RULES:
+        fn(tree, report)
 
-        for lineno, (raw_line, code_line) in enumerate(zip(raw, code), 1):
-            if rel != RNG_HOME and re.search(r"\b(s?rand)\s*\(", code_line):
-                report(rel, lineno, "raw-rand",
-                       "use common/rng.h instead of rand()/srand()")
-            if re.search(r'#\s*include\s*"[^"]+\.cc"', raw_line):
-                report(rel, lineno, "cc-include",
-                       "never #include a .cc file; link it instead")
-            if (not rel.is_relative_to(CLOCK_HOME)
-                    and re.search(r"\bsteady_clock\s*::\s*now\b", code_line)):
-                report(rel, lineno, "raw-clock",
-                       "read time through obs::Clock (obs/clock.h), not "
-                       "std::chrono::steady_clock::now()")
-            if (rel.parts[0] == "src" and rel != SYNC_HOME
-                    and not rel.is_relative_to(CLOCK_HOME)
-                    and re.search(
-                        r"\bstd\s*::\s*(recursive_|timed_|shared_)?mutex\b",
-                        code_line)):
-                report(rel, lineno, "raw-mutex",
-                       "lock through hygraph::Mutex/SharedMutex "
-                       "(common/sync.h), not raw std mutexes")
-            if (rel.parts[0] == "src" and rel != RETRY_HOME
-                    and RAW_SLEEP_ALLOW not in raw_line
-                    and re.search(
-                        r"\b(sleep_for|sleep_until|usleep|nanosleep)\s*\(",
-                        code_line)):
-                report(rel, lineno, "raw-sleep",
-                       "sleep/backoff in library code goes through "
-                       "RetryPolicy (storage/retry.h); annotate a genuine "
-                       f"exception with {RAW_SLEEP_ALLOW}")
-            if library:
-                prev_line = raw[lineno - 2] if lineno >= 2 else ""
-                allowed = (NAKED_NEW_ALLOW in raw_line
-                           or "NOLINTNEXTLINE(hygraph-naked-new)" in prev_line)
-                if re.search(r"\bnew\b", code_line) and not allowed:
-                    report(rel, lineno, "naked-new",
-                           "naked new in library code; use make_unique or "
-                           f"annotate with {NAKED_NEW_ALLOW}")
-                if re.search(r"(?<!=)\s\bdelete\b(?!;)", " " + code_line):
-                    report(rel, lineno, "naked-delete",
-                           "naked delete in library code; ownership belongs "
-                           "in a smart pointer")
-            if rel.parts[0] == "src" and "std::cout" in code_line:
-                report(rel, lineno, "no-cout",
-                       "library code must not write to std::cout; report "
-                       "through Status/Result")
-
-        if rel.suffix == ".h":
-            guard = expected_guard(rel)
-            text = "\n".join(raw)
-            if f"#ifndef {guard}" not in text or f"#define {guard}" not in text:
-                report(rel, 1, "include-guard",
-                       f"expected include guard {guard}")
-
+    findings.sort(key=lambda s: (s.split(":", 1)[0], int(s.split(":", 2)[1])))
     if findings:
         print("\n".join(findings))
         print(f"\nhygraph_lint: {len(findings)} finding(s)", file=sys.stderr)
@@ -194,4 +490,4 @@ def main() -> int:
 
 
 if __name__ == "__main__":
-    sys.exit(main())
+    sys.exit(main(sys.argv[1:]))

@@ -4,8 +4,13 @@
 #   1. static analysis  — scripts/lint.sh (project linter + clang-tidy when
 #                         installed)
 #   2. standard build   — warnings-as-errors, full ctest suite (includes the
-#                         fuzz-corpus replay and the [[nodiscard]]
-#                         negative-compile check)
+#                         fuzz-corpus replay and the [[nodiscard]] and
+#                         thread-safety negative-compile checks) with the
+#                         runtime lock-rank checker force-enabled, so every
+#                         test doubles as a lock-ordering assertion
+#   2b. thread safety   — when Clang is installed, the whole tree compiles
+#                         under -Wthread-safety -Werror (skipped with a
+#                         notice otherwise; CI always runs it)
 #   3. sanitized build  — the FULL ctest suite again under ASan+UBSan, not
 #                         just the durability tests: parser, serializer, and
 #                         corpus-replay paths are exactly where memory bugs
@@ -22,10 +27,21 @@ echo "=== tier 1: static analysis (scripts/lint.sh) ==="
 scripts/lint.sh
 
 echo
-echo "=== tier 1: standard build + ctest (HYGRAPH_WERROR=ON) ==="
-cmake -B build -S . -DHYGRAPH_WERROR=ON >/dev/null
+echo "=== tier 1: standard build + ctest (HYGRAPH_WERROR=ON, lock-rank checks) ==="
+cmake -B build -S . -DHYGRAPH_WERROR=ON -DHYGRAPH_LOCK_RANK_CHECKS=ON >/dev/null
 cmake --build build -j
 (cd build && ctest --output-on-failure -j)
+
+echo
+echo "=== tier 1: Clang -Wthread-safety analysis ==="
+if command -v clang++ >/dev/null 2>&1; then
+  cmake -B build-tsa -S . -DCMAKE_CXX_COMPILER=clang++ \
+    -DHYGRAPH_THREAD_SAFETY=ON >/dev/null
+  cmake --build build-tsa -j
+  (cd build-tsa && ctest -R thread_safety_negative --output-on-failure)
+else
+  echo "clang++ not installed — skipping (CI runs this pass unconditionally)"
+fi
 
 echo
 echo "=== tier 1: full ctest suite under ASan+UBSan ==="

@@ -1,0 +1,106 @@
+#ifndef HYGRAPH_COMMON_THREAD_ANNOTATIONS_H_
+#define HYGRAPH_COMMON_THREAD_ANNOTATIONS_H_
+
+/// Clang thread-safety-analysis (capability analysis) macros, following the
+/// attribute vocabulary of https://clang.llvm.org/docs/ThreadSafetyAnalysis.html
+/// and the naming style of abseil's thread_annotations.h.
+///
+/// Under Clang these expand to the `capability` attribute family, which lets
+/// `-Wthread-safety` prove at compile time that every access to a
+/// `HYGRAPH_GUARDED_BY(mu)` field happens with `mu` held (shared for reads,
+/// exclusive for writes) and that functions declared `HYGRAPH_REQUIRES(mu)`
+/// are only called with the lock held. Under any other compiler they expand
+/// to nothing, so annotated code builds everywhere; the analysis is enforced
+/// by the HYGRAPH_THREAD_SAFETY CMake option (Clang + -Wthread-safety
+/// -Werror) and by the thread-safety CI job.
+///
+/// What the analysis cannot see — cross-translation-unit lock *ordering* —
+/// is covered at runtime by the LockRank checker in common/sync.h.
+///
+/// This header is deliberately dependency-free (macros only) so it can be
+/// included from every layer, including src/obs/ which sits beneath the
+/// sync layer.
+
+#if defined(__clang__)
+#define HYGRAPH_THREAD_ANNOTATION_ATTRIBUTE__(x) __attribute__((x))
+#else
+#define HYGRAPH_THREAD_ANNOTATION_ATTRIBUTE__(x)  // no-op
+#endif
+
+/// Marks a class as a lockable capability ("mutex" is the conventional
+/// capability kind and shapes the diagnostic text).
+#define HYGRAPH_CAPABILITY(x) \
+  HYGRAPH_THREAD_ANNOTATION_ATTRIBUTE__(capability(x))
+
+/// Marks an RAII class whose constructor acquires and destructor releases a
+/// capability (std::lock_guard-style scoped locks).
+#define HYGRAPH_SCOPED_CAPABILITY \
+  HYGRAPH_THREAD_ANNOTATION_ATTRIBUTE__(scoped_lockable)
+
+/// Declares that a data member may only be accessed while holding the given
+/// capability: shared for reads, exclusive for writes.
+#define HYGRAPH_GUARDED_BY(x) \
+  HYGRAPH_THREAD_ANNOTATION_ATTRIBUTE__(guarded_by(x))
+
+/// Like GUARDED_BY, but guards the data a pointer/smart pointer points to
+/// rather than the pointer itself.
+#define HYGRAPH_PT_GUARDED_BY(x) \
+  HYGRAPH_THREAD_ANNOTATION_ATTRIBUTE__(pt_guarded_by(x))
+
+/// Function attribute: the caller must hold the given capabilities
+/// exclusively (…_SHARED: at least shared).
+#define HYGRAPH_REQUIRES(...) \
+  HYGRAPH_THREAD_ANNOTATION_ATTRIBUTE__(requires_capability(__VA_ARGS__))
+#define HYGRAPH_REQUIRES_SHARED(...) \
+  HYGRAPH_THREAD_ANNOTATION_ATTRIBUTE__(requires_shared_capability(__VA_ARGS__))
+
+/// Function attribute: acquires the capability (exclusively / shared) and
+/// holds it on return. On a SCOPED_CAPABILITY constructor the argument names
+/// the lock the scope manages.
+#define HYGRAPH_ACQUIRE(...) \
+  HYGRAPH_THREAD_ANNOTATION_ATTRIBUTE__(acquire_capability(__VA_ARGS__))
+#define HYGRAPH_ACQUIRE_SHARED(...) \
+  HYGRAPH_THREAD_ANNOTATION_ATTRIBUTE__(acquire_shared_capability(__VA_ARGS__))
+
+/// Function attribute: releases the capability. A SCOPED_CAPABILITY
+/// destructor uses the no-argument form, which releases in whatever mode the
+/// scope acquired.
+#define HYGRAPH_RELEASE(...) \
+  HYGRAPH_THREAD_ANNOTATION_ATTRIBUTE__(release_capability(__VA_ARGS__))
+#define HYGRAPH_RELEASE_SHARED(...) \
+  HYGRAPH_THREAD_ANNOTATION_ATTRIBUTE__(release_shared_capability(__VA_ARGS__))
+
+/// Function attribute: attempts the acquisition and returns `ret` on
+/// success (first macro argument), e.g. HYGRAPH_TRY_ACQUIRE(true).
+#define HYGRAPH_TRY_ACQUIRE(...) \
+  HYGRAPH_THREAD_ANNOTATION_ATTRIBUTE__(try_acquire_capability(__VA_ARGS__))
+#define HYGRAPH_TRY_ACQUIRE_SHARED(...)                 \
+  HYGRAPH_THREAD_ANNOTATION_ATTRIBUTE__(                \
+      try_acquire_shared_capability(__VA_ARGS__))
+
+/// Function attribute: the caller must NOT hold the given capabilities
+/// (deadlock guard for functions that acquire them internally).
+#define HYGRAPH_EXCLUDES(...) \
+  HYGRAPH_THREAD_ANNOTATION_ATTRIBUTE__(locks_excluded(__VA_ARGS__))
+
+/// Declares that a function returns a reference to the given capability
+/// (lets callers write HYGRAPH_GUARDED_BY(obj.mu()) through an accessor).
+#define HYGRAPH_RETURN_CAPABILITY(x) \
+  HYGRAPH_THREAD_ANNOTATION_ATTRIBUTE__(lock_returned(x))
+
+/// Runtime assertion that the capability is held; teaches the analysis
+/// about holds it cannot see (e.g. a lock taken by the caller's caller).
+#define HYGRAPH_ASSERT_CAPABILITY(x) \
+  HYGRAPH_THREAD_ANNOTATION_ATTRIBUTE__(assert_capability(x))
+#define HYGRAPH_ASSERT_SHARED_CAPABILITY(x) \
+  HYGRAPH_THREAD_ANNOTATION_ATTRIBUTE__(assert_shared_capability(x))
+
+/// Escape hatch: turns the analysis off for one function body. Every use
+/// must carry a comment explaining why the unguarded access is safe —
+/// the established reasons in this tree are lock-free publication through
+/// an atomic flag (double-checked caches), objects provably not yet shared
+/// (freshly constructed forks), and quiescent-state test accessors.
+#define HYGRAPH_NO_THREAD_SAFETY_ANALYSIS \
+  HYGRAPH_THREAD_ANNOTATION_ATTRIBUTE__(no_thread_safety_analysis)
+
+#endif  // HYGRAPH_COMMON_THREAD_ANNOTATIONS_H_

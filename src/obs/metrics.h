@@ -6,8 +6,9 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
+
+#include "obs/mutex.h"
 
 namespace hygraph::obs {
 
@@ -153,10 +154,15 @@ class MetricsRegistry {
   static MetricsRegistry& Global();
 
  private:
-  mutable std::mutex mu_;
-  std::map<std::string, std::unique_ptr<Counter>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
-  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  // Unranked by design: obs sits beneath the lock hierarchy (see
+  // obs/mutex.h). NOLINT(hygraph-unranked-lock)
+  mutable Mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_
+      HYGRAPH_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_
+      HYGRAPH_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_
+      HYGRAPH_GUARDED_BY(mu_);
 };
 
 }  // namespace hygraph::obs

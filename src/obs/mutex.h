@@ -1,0 +1,47 @@
+#ifndef HYGRAPH_OBS_MUTEX_H_
+#define HYGRAPH_OBS_MUTEX_H_
+
+#include <mutex>
+
+#include "common/thread_annotations.h"
+
+namespace hygraph::obs {
+
+/// Capability-annotated plain mutex for the obs layer.
+///
+/// obs sits BENEATH the instrumented sync layer (common/sync.h): the
+/// metrics-registry mutex cannot be instrumented by the registry it guards,
+/// and obs code must not include common/sync.h (the layering check in
+/// scripts/hygraph_lint.py enforces this). This wrapper adds only the Clang
+/// capability annotations — no instrumentation, and deliberately no
+/// LockRank: obs locks are leaves that guard pure bookkeeping and are never
+/// held while acquiring a ranked hygraph lock.
+class HYGRAPH_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() HYGRAPH_ACQUIRE() { mu_.lock(); }
+  bool try_lock() HYGRAPH_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+  void unlock() HYGRAPH_RELEASE() { mu_.unlock(); }
+
+ private:
+  std::mutex mu_;
+};
+
+/// std::lock_guard equivalent the capability analysis understands.
+class HYGRAPH_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) HYGRAPH_ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+  ~MutexLock() HYGRAPH_RELEASE() { mu_.unlock(); }
+
+ private:
+  Mutex& mu_;
+};
+
+}  // namespace hygraph::obs
+
+#endif  // HYGRAPH_OBS_MUTEX_H_

@@ -6,18 +6,18 @@ void SlowQueryLog::MaybeRecord(const std::string& query,
                                const std::string& backend, uint64_t nanos) {
   const uint64_t threshold = threshold_nanos();
   if (threshold == 0 || nanos < threshold) return;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (entries_.size() >= kCapacity) entries_.pop_front();
   entries_.push_back(SlowQueryEntry{query, backend, nanos});
 }
 
 std::vector<SlowQueryEntry> SlowQueryLog::Entries() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return {entries_.begin(), entries_.end()};
 }
 
 void SlowQueryLog::Clear() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   entries_.clear();
 }
 

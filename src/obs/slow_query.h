@@ -4,9 +4,10 @@
 #include <atomic>
 #include <cstdint>
 #include <deque>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "obs/mutex.h"
 
 namespace hygraph::obs {
 
@@ -48,8 +49,10 @@ class SlowQueryLog {
   static constexpr size_t kCapacity = 128;
 
   std::atomic<uint64_t> threshold_nanos_{0};
-  mutable std::mutex mu_;
-  std::deque<SlowQueryEntry> entries_;
+  // Unranked by design: obs sits beneath the lock hierarchy (see
+  // obs/mutex.h). NOLINT(hygraph-unranked-lock)
+  mutable Mutex mu_;
+  std::deque<SlowQueryEntry> entries_ HYGRAPH_GUARDED_BY(mu_);
 };
 
 }  // namespace hygraph::obs

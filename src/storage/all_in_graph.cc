@@ -170,7 +170,7 @@ AllInGraphStore::AllInGraphStore()
       topology_cow_copies_(
           metrics_->counter("concurrency.topology_cow_copies")),
       sync_(SyncInstruments::ForRegistry(metrics_.get())),
-      topo_mu_(std::make_unique<SharedMutex>(sync_)) {}
+      topo_mu_(std::make_unique<SharedMutex>(LockRank::kStoreCoarse, sync_)) {}
 
 query::BackendWork AllInGraphStore::Work() const {
   query::BackendWork w;

@@ -96,9 +96,9 @@ class AllInGraphStore final : public query::QueryBackend {
   /// Copy-on-write detach; call under exclusive topo_mu_. When a snapshot
   /// has the graph pinned, replaces it with a private copy so the pinned
   /// view keeps the pre-mutation state.
-  graph::PropertyGraph* Detach();
+  graph::PropertyGraph* Detach() HYGRAPH_REQUIRES(*topo_mu_);
 
-  std::shared_ptr<graph::PropertyGraph> graph_;
+  std::shared_ptr<graph::PropertyGraph> graph_ HYGRAPH_GUARDED_BY(*topo_mu_);
   // Heap-held so the cached counter pointers survive moves of the store.
   std::unique_ptr<obs::MetricsRegistry> metrics_;
   obs::Counter* properties_scanned_ = nullptr;
@@ -106,7 +106,7 @@ class AllInGraphStore final : public query::QueryBackend {
   obs::Counter* snapshot_pins_ = nullptr;
   obs::Counter* topology_cow_copies_ = nullptr;
   SyncInstruments sync_;
-  // Heap-held: SharedMutex is not movable, the store is.
+  // Heap-held: SharedMutex is not movable, the store is. Rank kStoreCoarse.
   std::unique_ptr<SharedMutex> topo_mu_;
 };
 

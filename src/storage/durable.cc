@@ -327,13 +327,21 @@ DurableStore::DurableStore(Env* env, std::string dir,
       wal_rebuilds_(metrics_->counter("durable.wal_rebuilds")),
       degraded_gauge_(metrics_->gauge("durable.degraded")),
       retry_policy_(options_.retry, options_.retry_sleep),
-      append_mu_(SyncInstruments::ForRegistry(metrics_.get())) {}
+      append_mu_(LockRank::kDurableAppend,
+                 SyncInstruments::ForRegistry(metrics_.get())) {}
 
 DurableStore::~DurableStore() {
   if (wal_ != nullptr) HYGRAPH_IGNORE_RESULT(wal_->Close());
 }
 
 Status DurableStore::Open() {
+  // The contract says Open() completes before the store is shared, but the
+  // append mutex is taken anyway: it makes the guarded-field writes below
+  // provable and costs one uncontended acquisition. Safe against
+  // self-deadlock — Open() never calls the public Checkpoint()/Log() paths,
+  // and the inner-store guards it reaches sit strictly below
+  // kDurableAppend in the hierarchy.
+  MutexLock lock(append_mu_);
   if (opened_) return Status::FailedPrecondition("store is already open");
   recovery_ = RecoveryStats{};
   HYGRAPH_RETURN_IF_ERROR(env_->CreateDirIfMissing(dir_));

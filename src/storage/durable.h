@@ -118,10 +118,16 @@ class DurableStore final : public query::QueryBackend {
 
   query::QueryBackend* inner() { return inner_.get(); }
   const query::QueryBackend* inner() const { return inner_.get(); }
-  /// Next WAL sequence number (exposed for tests).
-  uint64_t next_seq() const { return next_seq_; }
+  /// Next WAL sequence number (exposed for tests). Analysis off: quiescent
+  /// test accessor — callers read it with no writer running.
+  uint64_t next_seq() const HYGRAPH_NO_THREAD_SAFETY_ANALYSIS {
+    return next_seq_;
+  }
   /// First error hit by an automatic background checkpoint, if any.
-  const Status& background_error() const { return background_error_; }
+  /// Analysis off: quiescent test accessor, like next_seq().
+  const Status& background_error() const HYGRAPH_NO_THREAD_SAFETY_ANALYSIS {
+    return background_error_;
+  }
 
   // -- logged topology mutations --------------------------------------------
 
@@ -195,20 +201,21 @@ class DurableStore final : public query::QueryBackend {
  private:
   Status RequireOpen() const;
   /// RequireOpen plus the write-side gates: degraded mode and a live WAL.
-  Status RequireWritable() const;
-  /// Flips into degraded read-only mode; call with append_mu_ held.
-  void EnterDegraded(const Status& cause);
+  Status RequireWritable() const HYGRAPH_REQUIRES(append_mu_);
+  /// Flips into degraded read-only mode.
+  void EnterDegraded(const Status& cause) HYGRAPH_REQUIRES(append_mu_);
   /// One WAL-epoch rebuild: abandon the poisoned writer, rewrite the valid
   /// on-disk prefix to a fresh synced file, and append `record` unless the
   /// scan shows it already persisted (a sync-only failure would otherwise
   /// duplicate it, which replay rejects as corruption).
-  Status RebuildWalAndAppend(const std::string& record);
-  /// Checkpoint body with latency recording; call with append_mu_ held.
-  Status TimedCheckpoint();
-  Status CheckpointImpl();
-  Status Log(const std::string& body);
+  Status RebuildWalAndAppend(const std::string& record)
+      HYGRAPH_REQUIRES(append_mu_);
+  /// Checkpoint body with latency recording.
+  Status TimedCheckpoint() HYGRAPH_REQUIRES(append_mu_);
+  Status CheckpointImpl() HYGRAPH_REQUIRES(append_mu_);
+  Status Log(const std::string& body) HYGRAPH_REQUIRES(append_mu_);
   Status ApplyRecord(const std::string& record);
-  void MaybeAutoCheckpoint();
+  void MaybeAutoCheckpoint() HYGRAPH_REQUIRES(append_mu_);
   std::string WalPath() const { return dir_ + "/wal.log"; }
   std::string SnapshotPath(uint64_t seq) const {
     return dir_ + "/snapshot-" + std::to_string(seq) + ".hyg";
@@ -228,23 +235,26 @@ class DurableStore final : public query::QueryBackend {
   obs::Counter* wal_rebuilds_ = nullptr;
   obs::Gauge* degraded_gauge_ = nullptr;
   RetryPolicy retry_policy_;
-  /// Serializes Log()+apply, Checkpoint and SyncWal (and guards wal_,
-  /// next_seq_, records_since_checkpoint_, background_error_). Top of the
-  /// lock hierarchy: held while calling into the inner store, never the
-  /// other way around.
+  /// Serializes Log()+apply, Checkpoint and SyncWal. Top of the lock
+  /// hierarchy (rank kDurableAppend): held while calling into the inner
+  /// store, never the other way around.
   Mutex append_mu_;
-  std::unique_ptr<WalWriter> wal_;
+  /// The WAL itself carries no lock; it is guarded externally by this
+  /// annotation (the writer is only ever touched on the append path).
+  std::unique_ptr<WalWriter> wal_ HYGRAPH_GUARDED_BY(append_mu_);
+  /// Written once by Open() (under the mutex) before the store is shared;
+  /// read lock-free afterwards. Same story for recovery_.
   bool opened_ = false;
-  uint64_t next_seq_ = 1;
-  size_t records_since_checkpoint_ = 0;
+  uint64_t next_seq_ HYGRAPH_GUARDED_BY(append_mu_) = 1;
+  size_t records_since_checkpoint_ HYGRAPH_GUARDED_BY(append_mu_) = 0;
   RecoveryStats recovery_;
-  Status background_error_;
+  Status background_error_ HYGRAPH_GUARDED_BY(append_mu_);
   /// Atomic so degraded() is readable without the append mutex; flipped
   /// only with append_mu_ held.
   std::atomic<bool> degraded_{false};
   /// The kUnavailable mutations see while degraded (carries the original
-  /// cause); guarded by append_mu_.
-  Status degraded_error_;
+  /// cause).
+  Status degraded_error_ HYGRAPH_GUARDED_BY(append_mu_);
 };
 
 /// Serializes a backend's full logical state (topology + every series)

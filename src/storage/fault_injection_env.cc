@@ -63,6 +63,7 @@ class TrackedWritableFile final : public WritableFile {
 };
 
 Status FaultInjectionEnv::BeginOp(bool* short_write) {
+  MutexLock lock(mu_);
   if (crashed_) return CrashedStatus();
   ++op_count_;
   if (armed_ && op_count_ > crash_after_) {
@@ -93,6 +94,9 @@ Status FaultInjectionEnv::BeginOp(bool* short_write) {
 }
 
 Status FaultInjectionEnv::DropUnsyncedData(UnsyncedLoss loss) {
+  // mu_ is a leaf rank, so holding it across the base env's truncates is
+  // safe — the base env takes no hygraph locks.
+  MutexLock lock(mu_);
   for (auto& [path, state] : files_) {
     if (state->size <= state->synced_size) continue;
     uint64_t keep = state->synced_size;
@@ -115,7 +119,10 @@ Status FaultInjectionEnv::NewWritableFile(const std::string& path,
   std::unique_ptr<WritableFile> base_file;
   HYGRAPH_RETURN_IF_ERROR(base_->NewWritableFile(path, &base_file));
   auto state = std::make_shared<FileState>();  // created == truncated
-  files_[path] = state;
+  {
+    MutexLock lock(mu_);
+    files_[path] = state;
+  }
   *file = std::make_unique<TrackedWritableFile>(this, std::move(base_file),
                                                 std::move(state));
   return Status::OK();
@@ -138,6 +145,7 @@ Status FaultInjectionEnv::RenameFile(const std::string& from,
                                      const std::string& to) {
   HYGRAPH_RETURN_IF_ERROR(BeginOp());
   HYGRAPH_RETURN_IF_ERROR(base_->RenameFile(from, to));
+  MutexLock lock(mu_);
   auto it = files_.find(from);
   if (it != files_.end()) {
     files_[to] = it->second;  // open handles keep writing the same state
@@ -151,6 +159,7 @@ Status FaultInjectionEnv::RenameFile(const std::string& from,
 Status FaultInjectionEnv::RemoveFile(const std::string& path) {
   HYGRAPH_RETURN_IF_ERROR(BeginOp());
   HYGRAPH_RETURN_IF_ERROR(base_->RemoveFile(path));
+  MutexLock lock(mu_);
   files_.erase(path);
   return Status::OK();
 }
@@ -158,6 +167,7 @@ Status FaultInjectionEnv::RemoveFile(const std::string& path) {
 Status FaultInjectionEnv::TruncateFile(const std::string& path, uint64_t size) {
   HYGRAPH_RETURN_IF_ERROR(BeginOp());
   HYGRAPH_RETURN_IF_ERROR(base_->TruncateFile(path, size));
+  MutexLock lock(mu_);
   auto it = files_.find(path);
   if (it != files_.end()) {
     if (it->second->size > size) it->second->size = size;

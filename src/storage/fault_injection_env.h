@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "common/sync.h"
 #include "storage/env.h"
 
 namespace hygraph::storage {
@@ -66,14 +67,24 @@ class FaultInjectionEnv final : public Env {
   /// Crashes once `ops` more mutating operations have been attempted
   /// (the (ops+1)-th fails). Pass no limit by never calling this.
   void SetCrashAfter(uint64_t ops) {
+    MutexLock lock(mu_);
     crash_after_ = op_count_ + ops;
     armed_ = true;
   }
   /// Immediately enters the crashed state.
-  void Crash() { crashed_ = true; }
-  bool crashed() const { return crashed_; }
+  void Crash() {
+    MutexLock lock(mu_);
+    crashed_ = true;
+  }
+  bool crashed() const {
+    MutexLock lock(mu_);
+    return crashed_;
+  }
   /// Mutating operations attempted so far (failed ones included).
-  uint64_t op_count() const { return op_count_; }
+  uint64_t op_count() const {
+    MutexLock lock(mu_);
+    return op_count_;
+  }
 
   /// Rolls every tracked file back to its synced prefix (see UnsyncedLoss).
   /// Call while "crashed", before Revive(); uses the base env directly.
@@ -81,6 +92,7 @@ class FaultInjectionEnv final : public Env {
 
   /// Clears the crashed state — the "process restart" before recovery.
   void Revive() {
+    MutexLock lock(mu_);
     crashed_ = false;
     armed_ = false;
   }
@@ -89,24 +101,35 @@ class FaultInjectionEnv final : public Env {
 
   /// The next `count` mutating operations fail with kIOError and no side
   /// effect; the env then heals automatically.
-  void SetTransientFailNext(uint64_t count) { transient_fail_next_ = count; }
+  void SetTransientFailNext(uint64_t count) {
+    MutexLock lock(mu_);
+    transient_fail_next_ = count;
+  }
   /// Every n-th mutating operation (by op_count) fails transiently.
   /// 0 disables.
-  void SetTransientEveryN(uint64_t n) { transient_every_n_ = n; }
+  void SetTransientEveryN(uint64_t n) {
+    MutexLock lock(mu_);
+    transient_every_n_ = n;
+  }
   /// Each mutating operation fails transiently with probability `p`,
   /// drawn from a deterministic seeded stream. p <= 0 disables.
   void SetTransientProbability(double p, uint64_t seed) {
+    MutexLock lock(mu_);
     transient_p_ = p;
     transient_rng_.emplace(seed);
   }
   /// Disables all transient fault modes.
   void ClearTransientFaults() {
+    MutexLock lock(mu_);
     transient_fail_next_ = 0;
     transient_every_n_ = 0;
     transient_p_ = 0.0;
   }
   /// Transient faults injected so far.
-  uint64_t transient_faults() const { return transient_faults_; }
+  uint64_t transient_faults() const {
+    MutexLock lock(mu_);
+    return transient_faults_;
+  }
 
   // -- Env -------------------------------------------------------------------
 
@@ -125,6 +148,9 @@ class FaultInjectionEnv final : public Env {
  private:
   friend class TrackedWritableFile;
 
+  /// Per-file durability bookkeeping. Shared with the TrackedWritableFile
+  /// that writes it; not annotated (nested value type) — each file handle
+  /// has one writer, matching the base env's WritableFile contract.
   struct FileState {
     uint64_t size = 0;         ///< bytes appended so far
     uint64_t synced_size = 0;  ///< bytes guaranteed durable
@@ -133,20 +159,26 @@ class FaultInjectionEnv final : public Env {
   /// Returns OK if the operation may proceed; advances the op counter and
   /// flips into the crashed state at the configured point. When the crash
   /// lands on this very op, `*short_write` (if non-null) is set so an
-  /// Append can persist a torn prefix before failing.
+  /// Append can persist a torn prefix before failing. Takes mu_ itself.
   Status BeginOp(bool* short_write = nullptr);
 
   Env* base_;
-  bool armed_ = false;
-  bool crashed_ = false;
-  uint64_t op_count_ = 0;
-  uint64_t crash_after_ = 0;
-  uint64_t transient_fail_next_ = 0;
-  uint64_t transient_every_n_ = 0;
-  double transient_p_ = 0.0;
-  std::optional<Rng> transient_rng_;
-  uint64_t transient_faults_ = 0;
-  std::map<std::string, std::shared_ptr<FileState>> files_;
+  /// Guards all fault bookkeeping below (rank kEnvState, a leaf):
+  /// DurableStore drives this env with its append mutex held, so the env's
+  /// own lock must rank at the very bottom of the hierarchy. Uninstrumented
+  /// — the env predates any registry.
+  mutable Mutex mu_{LockRank::kEnvState};
+  bool armed_ HYGRAPH_GUARDED_BY(mu_) = false;
+  bool crashed_ HYGRAPH_GUARDED_BY(mu_) = false;
+  uint64_t op_count_ HYGRAPH_GUARDED_BY(mu_) = 0;
+  uint64_t crash_after_ HYGRAPH_GUARDED_BY(mu_) = 0;
+  uint64_t transient_fail_next_ HYGRAPH_GUARDED_BY(mu_) = 0;
+  uint64_t transient_every_n_ HYGRAPH_GUARDED_BY(mu_) = 0;
+  double transient_p_ HYGRAPH_GUARDED_BY(mu_) = 0.0;
+  std::optional<Rng> transient_rng_ HYGRAPH_GUARDED_BY(mu_);
+  uint64_t transient_faults_ HYGRAPH_GUARDED_BY(mu_) = 0;
+  std::map<std::string, std::shared_ptr<FileState>> files_
+      HYGRAPH_GUARDED_BY(mu_);
 };
 
 }  // namespace hygraph::storage

@@ -175,7 +175,8 @@ PolyglotStore::PolyglotStore(ts::HypertableOptions ts_options)
       topology_cow_copies_(
           series_.metrics()->counter("concurrency.topology_cow_copies")),
       sync_(SyncInstruments::ForRegistry(series_.metrics())),
-      store_mu_(std::make_unique<SharedMutex>(sync_)) {}
+      store_mu_(std::make_unique<SharedMutex>(LockRank::kStoreCoarse, sync_)) {
+}
 
 query::BackendWork PolyglotStore::Work() const {
   return WorkFromStats(series_.stats());
@@ -215,11 +216,10 @@ std::shared_ptr<const query::QueryBackend> PolyglotStore::BeginSnapshot()
                                             edge_series_, series_.Fork());
 }
 
-Result<SeriesId> PolyglotStore::ResolveLocked(const SeriesMap& map,
-                                              uint64_t id,
+Result<SeriesId> PolyglotStore::ResolveLocked(bool vertex, uint64_t id,
                                               const std::string& key) const {
   SharedLock lock(*store_mu_);
-  return ResolveIn(map, id, key);
+  return ResolveIn(vertex ? vertex_series_ : edge_series_, id, key);
 }
 
 SeriesId PolyglotStore::ResolveOrCreate(SeriesMap* map, uint64_t id,
@@ -300,14 +300,14 @@ std::vector<std::string> PolyglotStore::EdgeSeriesKeys(graph::EdgeId e) const {
 Result<ts::Series> PolyglotStore::VertexSeriesRange(
     graph::VertexId v, const std::string& key,
     const Interval& interval) const {
-  auto sid = ResolveLocked(vertex_series_, v, key);
+  auto sid = ResolveLocked(/*vertex=*/true, v, key);
   if (!sid.ok()) return ts::Series(key);
   return series_.Materialize(*sid, interval);
 }
 
 Result<ts::Series> PolyglotStore::EdgeSeriesRange(
     graph::EdgeId e, const std::string& key, const Interval& interval) const {
-  auto sid = ResolveLocked(edge_series_, e, key);
+  auto sid = ResolveLocked(/*vertex=*/false, e, key);
   if (!sid.ok()) return ts::Series(key);
   return series_.Materialize(*sid, interval);
 }
@@ -316,7 +316,7 @@ Result<double> PolyglotStore::VertexSeriesAggregate(graph::VertexId v,
                                                     const std::string& key,
                                                     const Interval& interval,
                                                     ts::AggKind kind) const {
-  auto sid = ResolveLocked(vertex_series_, v, key);
+  auto sid = ResolveLocked(/*vertex=*/true, v, key);
   if (!sid.ok()) return EmptyAggregate(kind);
   return series_.Aggregate(*sid, interval, kind);
 }
@@ -325,7 +325,7 @@ Result<double> PolyglotStore::EdgeSeriesAggregate(graph::EdgeId e,
                                                   const std::string& key,
                                                   const Interval& interval,
                                                   ts::AggKind kind) const {
-  auto sid = ResolveLocked(edge_series_, e, key);
+  auto sid = ResolveLocked(/*vertex=*/false, e, key);
   if (!sid.ok()) return EmptyAggregate(kind);
   return series_.Aggregate(*sid, interval, kind);
 }
@@ -333,7 +333,7 @@ Result<double> PolyglotStore::EdgeSeriesAggregate(graph::EdgeId e,
 Result<size_t> PolyglotStore::VertexSeriesCountInRange(
     graph::VertexId v, const std::string& key, const Interval& interval,
     double min_value, double max_value) const {
-  auto sid = ResolveLocked(vertex_series_, v, key);
+  auto sid = ResolveLocked(/*vertex=*/true, v, key);
   if (!sid.ok()) return size_t{0};  // missing series counts like an empty one
   return series_.CountMatching(*sid, interval,
                                ts::ScanPredicate{min_value, max_value});
@@ -342,7 +342,7 @@ Result<size_t> PolyglotStore::VertexSeriesCountInRange(
 Result<size_t> PolyglotStore::EdgeSeriesCountInRange(
     graph::EdgeId e, const std::string& key, const Interval& interval,
     double min_value, double max_value) const {
-  auto sid = ResolveLocked(edge_series_, e, key);
+  auto sid = ResolveLocked(/*vertex=*/false, e, key);
   if (!sid.ok()) return size_t{0};
   return series_.CountMatching(*sid, interval,
                                ts::ScanPredicate{min_value, max_value});
@@ -351,7 +351,7 @@ Result<size_t> PolyglotStore::EdgeSeriesCountInRange(
 Result<ts::Series> PolyglotStore::VertexSeriesWindowAggregate(
     graph::VertexId v, const std::string& key, const Interval& interval,
     Duration width, ts::AggKind kind) const {
-  auto sid = ResolveLocked(vertex_series_, v, key);
+  auto sid = ResolveLocked(/*vertex=*/true, v, key);
   if (!sid.ok()) return ts::Series(key);
   return series_.WindowAggregate(*sid, interval, width, kind);
 }
@@ -359,7 +359,7 @@ Result<ts::Series> PolyglotStore::VertexSeriesWindowAggregate(
 Result<ts::Series> PolyglotStore::EdgeSeriesWindowAggregate(
     graph::EdgeId e, const std::string& key, const Interval& interval,
     Duration width, ts::AggKind kind) const {
-  auto sid = ResolveLocked(edge_series_, e, key);
+  auto sid = ResolveLocked(/*vertex=*/false, e, key);
   if (!sid.ok()) return ts::Series(key);
   return series_.WindowAggregate(*sid, interval, width, kind);
 }

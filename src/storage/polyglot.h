@@ -133,28 +133,30 @@ class PolyglotStore final : public query::QueryBackend {
   using SeriesMap = std::unordered_map<EntityKey, SeriesId, EntityKeyHash>;
 
  private:
-  /// Map lookup under the shared guard.
-  Result<SeriesId> ResolveLocked(const SeriesMap& map, uint64_t id,
+  /// Looks (id, key) up in the vertex or edge series map under a shared
+  /// hold of the guard (a selector rather than a map reference so callers
+  /// never touch the guarded maps outside the lock).
+  Result<SeriesId> ResolveLocked(bool vertex, uint64_t id,
                                  const std::string& key) const;
   /// Creates the hypertable series on first use; call under the exclusive
   /// guard.
-  SeriesId ResolveOrCreate(SeriesMap* map, uint64_t id,
-                           const std::string& key, const char* scope);
+  SeriesId ResolveOrCreate(SeriesMap* map, uint64_t id, const std::string& key,
+                           const char* scope) HYGRAPH_REQUIRES(*store_mu_);
   /// Copy-on-write detach of the graph; call under the exclusive guard.
-  graph::PropertyGraph* Detach();
+  graph::PropertyGraph* Detach() HYGRAPH_REQUIRES(*store_mu_);
 
-  std::shared_ptr<graph::PropertyGraph> graph_;
+  std::shared_ptr<graph::PropertyGraph> graph_ HYGRAPH_GUARDED_BY(*store_mu_);
   // Declared before series_ so the hypertable can adopt it at
   // construction (when the caller did not inject a registry of their own).
   std::unique_ptr<obs::MetricsRegistry> metrics_;
   ts::HypertableStore series_;
-  SeriesMap vertex_series_;
-  SeriesMap edge_series_;
+  SeriesMap vertex_series_ HYGRAPH_GUARDED_BY(*store_mu_);
+  SeriesMap edge_series_ HYGRAPH_GUARDED_BY(*store_mu_);
   // "concurrency.snapshot_pins" is incremented by series_.Fork() on the
   // shared registry — one pin event per snapshot, not counted twice here.
   obs::Counter* topology_cow_copies_ = nullptr;
   SyncInstruments sync_;
-  // Heap-held: SharedMutex is not movable, the store is.
+  // Heap-held: SharedMutex is not movable, the store is. Rank kStoreCoarse.
   std::unique_ptr<SharedMutex> store_mu_;
 };
 

@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <cmath>
 #include <memory>
-#include <mutex>
 
 namespace hygraph::ts {
 
@@ -36,7 +35,7 @@ HypertableStore::HypertableStore(HypertableOptions options)
   m_.unseal_conflicts = metrics_->counter("concurrency.chunk_unseal_conflicts");
   m_.series_cow_copies = metrics_->counter("concurrency.series_cow_copies");
   sync_ = SyncInstruments::ForRegistry(metrics_);
-  map_mu_ = std::make_unique<SharedMutex>(sync_);
+  map_mu_ = std::make_unique<SharedMutex>(LockRank::kSeriesMap, sync_);
 }
 
 SeriesId HypertableStore::Create(std::string name) {
@@ -71,12 +70,15 @@ Timestamp HypertableStore::ChunkStartFor(Timestamp t) const {
 
 std::vector<HypertableStore::Chunk>& HypertableStore::MutableChunks(
     StoredSeries& s) const {
-  if (s.chunks.use_count() > 1) {
-    // A Fork() pinned this vector: detach. Sealed chunks share their
+  if (s.pins->load(std::memory_order_acquire) > 0) {
+    // A live Fork() pinned this vector: detach. Sealed chunks share their
     // immutable payload by refcount; only hot vectors actually copy. The
     // old vector (and its caches) stays alive for the snapshot, which may
     // still be filling a cache concurrently — hence the fresh-flag
-    // acquire before trusting a copied aggregate.
+    // acquire before trusting a copied aggregate. Zero pins means every
+    // snapshot of this incarnation is destroyed, and the acquire pairs
+    // with the release decrement in ~StoredSeries, ordering all of a dead
+    // snapshot's reads before this writer mutates the buffers in place.
     auto fresh = std::make_shared<std::vector<Chunk>>();
     fresh->reserve(s.chunks->size());
     for (const Chunk& chunk : *s.chunks) {
@@ -94,6 +96,7 @@ std::vector<HypertableStore::Chunk>& HypertableStore::MutableChunks(
       fresh->push_back(std::move(copy));
     }
     s.chunks = std::move(fresh);
+    s.pins = std::make_shared<std::atomic<uint64_t>>(0);
     m_.series_cow_copies->Increment();
   }
   return *s.chunks;
@@ -181,9 +184,13 @@ Status HypertableStore::Unseal(Chunk& chunk) const {
   }
   chunk.samples = std::move(*samples);
   chunk.cache = std::make_unique<AggCache>();
-  // The sealed aggregate covered exactly these samples; seed the hot cache
-  // with it (the caller's insert will invalidate as needed).
-  chunk.cache->agg = chunk.sealed->agg;
+  {
+    // The sealed aggregate covered exactly these samples; seed the hot
+    // cache with it (the caller's insert will invalidate as needed). The
+    // cache is brand new, so the fill lock is uncontended by construction.
+    MutexLock fill_lock(chunk.cache->mu);
+    chunk.cache->agg = chunk.sealed->agg;
+  }
   chunk.cache->fresh.store(true, std::memory_order_release);
   chunk.sealed = nullptr;
   m_.chunks_unsealed->Increment();
@@ -201,7 +208,7 @@ void HypertableStore::SealColdChunks(std::vector<Chunk>& chunks) const {
 const AggState& HypertableStore::HotAggregate(const Chunk& chunk) {
   AggCache& cache = *chunk.cache;
   if (!cache.fresh.load(std::memory_order_acquire)) {
-    std::lock_guard<Mutex> fill_lock(cache.mu);
+    MutexLock fill_lock(cache.mu);
     if (!cache.fresh.load(std::memory_order_relaxed)) {
       AggState agg;
       for (const Sample& s : chunk.samples) agg.Add(s);
@@ -580,6 +587,11 @@ std::shared_ptr<const HypertableStore> HypertableStore::Fork() const {
     auto copy = std::make_unique<StoredSeries>(stored->name, sync_);
     SharedLock lock(stored->mu);
     copy->chunks = stored->chunks;  // O(1) pin; origin detaches on write
+    copy->pins = stored->pins;
+    // Relaxed is enough for the increment: the shared hold of stored->mu
+    // orders it before any writer's pin check (the exclusive hold).
+    copy->pins->fetch_add(1, std::memory_order_relaxed);
+    copy->holds_pin = true;
     fork->series_.emplace(id, std::move(copy));
   }
   m_.snapshot_pins->Increment();

@@ -250,7 +250,12 @@ class HypertableStore {
   /// only hot vectors detach lazily on the origin's next write). The fork
   /// shares this store's metrics registry, so work done reading it still
   /// attributes to the origin; it must not outlive the origin.
-  std::shared_ptr<const HypertableStore> Fork() const;
+  /// Analysis off inside: the fork is freshly constructed and not yet
+  /// shared, so its map and shard locks are not taken (taking them would
+  /// also trip the runtime rank checker: same rank as the origin's locks
+  /// already held).
+  std::shared_ptr<const HypertableStore> Fork() const
+      HYGRAPH_NO_THREAD_SAFETY_ANALYSIS;
 
   /// Work counters accumulated since the last ResetStats(), assembled
   /// from the registry. Returned by value; binding to a const reference
@@ -284,11 +289,14 @@ class HypertableStore {
   /// Lazily-filled whole-chunk aggregate of a hot chunk. Readers holding
   /// the shard lock *shared* may race to fill it, so the fill is
   /// double-checked under its own leaf mutex; `fresh` is the publication
-  /// flag (release on fill, acquire on read).
+  /// flag (release on fill, acquire on read). Per-chunk, so uninstrumented
+  /// — but ranked: the fill may run while the shard lock is held.
   struct AggCache {
-    Mutex mu;
+    Mutex mu{LockRank::kAggCache};
     std::atomic<bool> fresh{false};
-    AggState agg;
+    // Written under mu; read lock-free after observing `fresh` with acquire
+    // order (readers doing so are NO_THREAD_SAFETY_ANALYSIS escapes).
+    AggState agg HYGRAPH_GUARDED_BY(mu);
   };
 
   struct Chunk {
@@ -306,15 +314,32 @@ class HypertableStore {
   struct StoredSeries {
     StoredSeries(std::string series_name, const SyncInstruments& instruments)
         : name(std::move(series_name)),
-          mu(instruments),
-          chunks(std::make_shared<std::vector<Chunk>>()) {}
+          mu(LockRank::kSeriesShard, instruments),
+          chunks(std::make_shared<std::vector<Chunk>>()),
+          pins(std::make_shared<std::atomic<uint64_t>>(0)) {}
+    ~StoredSeries() {
+      // Release order pairs with the acquire load in MutableChunks: every
+      // read this snapshot made of *chunks is ordered before the origin
+      // writer sees the pin drop and reuses the buffers in place.
+      if (holds_pin) pins->fetch_sub(1, std::memory_order_release);
+    }
 
     const std::string name;  // immutable after Create — readable lock-free
-    mutable SharedMutex mu;  // shard lock guarding `chunks`
+    mutable SharedMutex mu;  // shard lock (rank kSeriesShard)
     // Sorted by start, non-overlapping. Held by shared_ptr so Fork() can
     // pin the whole vector in O(1); a writer finding it pinned
-    // (use_count > 1) detaches first (MutableChunks).
-    std::shared_ptr<std::vector<Chunk>> chunks;
+    // (pins > 0) detaches first (MutableChunks).
+    std::shared_ptr<std::vector<Chunk>> chunks HYGRAPH_GUARDED_BY(mu);
+    // Live Fork() snapshots sharing this `chunks` incarnation. The counter
+    // travels with the incarnation: a detach gives the origin a fresh one,
+    // so old snapshots keep pinning only the vector they hold. This exists
+    // because shared_ptr::use_count() cannot decide "safe to mutate in
+    // place": its load is relaxed, so a writer observing use_count()==1
+    // after a snapshot died gets no happens-before edge over the dead
+    // reader's accesses (the reason unique() was deprecated). Written under
+    // mu except in the destructor, where exclusivity is structural.
+    std::shared_ptr<std::atomic<uint64_t>> pins;
+    bool holds_pin = false;  // fork copies drop one pin on destruction
   };
 
   /// One chunk as pinned by a reader: either a refcounted reference to the
@@ -358,7 +383,11 @@ class HypertableStore {
 
   /// The series' chunk vector for mutation; requires the shard lock held
   /// exclusively. Detaches (copies) first when a Fork() pinned it.
-  std::vector<Chunk>& MutableChunks(StoredSeries& s) const;
+  /// Analysis off inside: the detach copy reads the origin's AggCache::agg
+  /// through the lock-free `fresh` acquire and seeds the fresh copy's
+  /// cache before it is shared.
+  std::vector<Chunk>& MutableChunks(StoredSeries& s) const
+      HYGRAPH_REQUIRES(s.mu) HYGRAPH_NO_THREAD_SAFETY_ANALYSIS;
 
   Interval ChunkSpan(const Chunk& chunk) const {
     return Interval{chunk.start, chunk.start + options_.chunk_duration};
@@ -382,8 +411,11 @@ class HypertableStore {
   void SealColdChunks(std::vector<Chunk>& chunks) const;
 
   /// Whole-chunk aggregate of a hot chunk via its AggCache; safe under a
-  /// shared hold of the shard lock (double-checked fill).
-  static const AggState& HotAggregate(const Chunk& chunk);
+  /// shared hold of the shard lock (double-checked fill). Analysis off:
+  /// the fast path reads AggCache::agg lock-free after the `fresh`
+  /// acquire-load (the fill itself runs under the cache mutex).
+  static const AggState& HotAggregate(const Chunk& chunk)
+      HYGRAPH_NO_THREAD_SAFETY_ANALYSIS;
 
   /// Streams one pinned chunk's samples in `interval` matching `predicate`
   /// into `fn`; decodes sealed chunks without materializing. Lock-free.
@@ -466,11 +498,13 @@ class HypertableStore {
   // Guards series_ and next_id_; exclusive only in Create(). Heap-held so
   // the store stays movable (single-threaded construction pattern; moving
   // a store with live readers is undefined, like any std container).
+  // Rank kSeriesMap.
   std::unique_ptr<SharedMutex> map_mu_;
   // Heap nodes so StoredSeries (non-movable: owns a mutex) has a stable
   // address readers can hold across the map lock release.
-  std::unordered_map<SeriesId, std::unique_ptr<StoredSeries>> series_;
-  SeriesId next_id_ = 0;
+  std::unordered_map<SeriesId, std::unique_ptr<StoredSeries>> series_
+      HYGRAPH_GUARDED_BY(*map_mu_);
+  SeriesId next_id_ HYGRAPH_GUARDED_BY(*map_mu_) = 0;
   // Owned when options.metrics was null; metrics_ and the cached
   // instrument pointers stay valid across moves because the registry is
   // heap-allocated.

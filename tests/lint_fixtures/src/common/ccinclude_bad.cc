@@ -1,0 +1,1 @@
+#include "common/rand_clean.cc"

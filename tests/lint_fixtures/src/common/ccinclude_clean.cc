@@ -1,0 +1,1 @@
+#include "common/guard_clean.h"

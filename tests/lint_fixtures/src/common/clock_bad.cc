@@ -1,0 +1,4 @@
+#include <chrono>
+long ClockBad() {
+  return std::chrono::steady_clock::now().time_since_epoch().count();
+}

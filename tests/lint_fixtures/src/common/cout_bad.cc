@@ -1,0 +1,2 @@
+#include <iostream>
+void CoutBad() { std::cout << "x"; }

@@ -1,0 +1,2 @@
+#include <cstdio>
+void CoutClean() { std::fprintf(stderr, "x"); }

@@ -1,0 +1,3 @@
+void DeleteBad(int* p) {
+  delete p;
+}

@@ -1,0 +1,2 @@
+#include <memory>
+void DeleteClean(std::unique_ptr<int> p) { p.reset(); }

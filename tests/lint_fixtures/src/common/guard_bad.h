@@ -1,0 +1,3 @@
+#ifndef WRONG_GUARD_H_
+#define WRONG_GUARD_H_
+#endif

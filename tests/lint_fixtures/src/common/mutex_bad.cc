@@ -1,0 +1,2 @@
+#include <mutex>
+std::mutex bad_mu;

@@ -1,0 +1,1 @@
+int* NewBad() { return new int(7); }

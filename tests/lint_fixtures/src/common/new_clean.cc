@@ -1,0 +1,1 @@
+int* NewClean() { return new int(7); }  // NOLINT(hygraph-naked-new)

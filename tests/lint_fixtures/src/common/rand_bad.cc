@@ -1,0 +1,2 @@
+#include <cstdlib>
+int RandBad() { return rand(); }

@@ -1,0 +1,1 @@
+int RandClean() { return 4; }

@@ -1,0 +1,5 @@
+#include <chrono>
+#include <thread>
+void SleepBad() {
+  std::this_thread::sleep_for(std::chrono::milliseconds(1));
+}

@@ -1,0 +1,6 @@
+#include <chrono>
+#include <thread>
+void SleepClean() {
+  std::this_thread::sleep_for(  // NOLINT(hygraph-raw-sleep)
+      std::chrono::milliseconds(1));
+}

@@ -1,0 +1,6 @@
+#ifndef HYGRAPH_OBS_LAYERING_BAD_H_
+#define HYGRAPH_OBS_LAYERING_BAD_H_
+
+#include "ts/series_stub.h"
+
+#endif  // HYGRAPH_OBS_LAYERING_BAD_H_

@@ -1,0 +1,15 @@
+#ifndef HYGRAPH_STORAGE_RANKED_CLEAN_H_
+#define HYGRAPH_STORAGE_RANKED_CLEAN_H_
+
+#include "common/sync.h"
+
+namespace hygraph::storage {
+
+class RankedClean {
+ private:
+  Mutex mu_{LockRank::kEnvState};
+};
+
+}  // namespace hygraph::storage
+
+#endif  // HYGRAPH_STORAGE_RANKED_CLEAN_H_

@@ -1,0 +1,15 @@
+#ifndef HYGRAPH_STORAGE_UNRANKED_BAD_H_
+#define HYGRAPH_STORAGE_UNRANKED_BAD_H_
+
+#include "common/sync.h"
+
+namespace hygraph::storage {
+
+class UnrankedBad {
+ private:
+  Mutex mu_;
+};
+
+}  // namespace hygraph::storage
+
+#endif  // HYGRAPH_STORAGE_UNRANKED_BAD_H_

@@ -1,0 +1,6 @@
+#ifndef HYGRAPH_TS_LAYERING_CLEAN_H_
+#define HYGRAPH_TS_LAYERING_CLEAN_H_
+
+#include "common/guard_clean.h"
+
+#endif  // HYGRAPH_TS_LAYERING_CLEAN_H_

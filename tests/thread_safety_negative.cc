@@ -1,0 +1,37 @@
+// Negative-compile probe for the thread-safety annotations: this file must
+// NOT compile under Clang -Werror=thread-safety. tests/CMakeLists.txt
+// registers it (only when HYGRAPH_THREAD_SAFETY is ON) as a ctest case with
+// WILL_FAIL, invoking the compiler directly — if the capability annotations
+// on hygraph::Mutex or HYGRAPH_GUARDED_BY ever stop expanding, the snippet
+// starts compiling and the test turns red. It is never linked into
+// anything.
+#include <cstdint>
+
+#include "common/sync.h"
+
+namespace {
+
+class Account {
+ public:
+  void Deposit(uint64_t amount) {
+    hygraph::MutexLock lock(mu_);
+    balance_ += amount;
+  }
+
+  // Reads the guarded field WITHOUT holding mu_: the whole point of this
+  // file. Under -Wthread-safety this is an error; anywhere else it is a
+  // garden-variety data race the compiler cannot see.
+  uint64_t UnguardedRead() const { return balance_; }
+
+ private:
+  mutable hygraph::Mutex mu_;
+  uint64_t balance_ HYGRAPH_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Account account;
+  account.Deposit(1);
+  return static_cast<int>(account.UnguardedRead());
+}
