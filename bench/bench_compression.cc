@@ -1,23 +1,30 @@
 // Compression ablation: the cost and payoff of Gorilla-sealing cold chunks
-// (ISSUE 3). Four sections, all emitted to BENCH_compression.json:
+// (ISSUE 3). Five sections, all emitted to BENCH_compression.json:
 //
 //   1. Codec microbench — encode/decode throughput and bytes/sample on
 //      integral random-walk chunks (the bike-sharing value shape).
-//   2. Storage footprint — the bike-sharing workload (150 stations x 14
+//   2. Decode path — the streaming scalar decoder vs the wide columnar
+//      decoder (DecodeChunkWide) on identical sealed payloads, reported
+//      as GB/s of decoded sample data. Outputs are cross-checked
+//      bit-for-bit, and the full (non-smoke) run exits non-zero if the
+//      wide path loses its >=1.5x single-thread advantage.
+//   3. Storage footprint — the bike-sharing workload (150 stations x 14
 //      days @ 5 min) loaded into a PolyglotStore with sealing on vs off:
 //      sealed bytes/sample, compression ratio vs the raw 16 B/sample
 //      layout, and load time.
-//   3. Table 1 query family — the eight polyglot timings with compression
+//   4. Table 1 query family — the eight polyglot timings with compression
 //      on vs off, answers cross-checked. The acceptance bar is "within
 //      noise": aggregates answer from per-chunk caches either way, and
 //      scans decode at memory speed.
-//   4. Zone-map pruning — a value-predicated count (the Q8 shape) showing
+//   5. Zone-map pruning — a value-predicated count (the Q8 shape) showing
 //      sealed chunks skipped without decoding.
 //
 // `--smoke` shrinks the workload and repetition count for CI.
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
+#include <cstdint>
 #include <cstdio>
 #include <cstring>
 #include <string>
@@ -104,7 +111,101 @@ void BenchCodec(size_t chunks) {
 }
 
 // ---------------------------------------------------------------------------
-// 2-4. Workload footprint + Table 1 on/off + zone-map pruning.
+// 2. Decode path: the streaming scalar decoder vs the wide columnar decoder
+//    on identical sealed payloads. The scalar path is the fuzz-hardened
+//    reference; the wide path is what the morsel-driven parallel scan runs
+//    per chunk, so its single-thread advantage is the floor every parallel
+//    speedup multiplies.
+
+int BenchDecodePath(size_t chunks, bool smoke) {
+  PrintHeader("Decode path: scalar streaming vs wide columnar");
+  constexpr size_t kSamplesPerChunk = 3600;  // one sealed hour @ 1s cadence
+  Rng rng(11);
+  std::vector<std::string> encoded(chunks);
+  double level = 20.0;
+  {
+    std::vector<ts::Sample> raw;
+    raw.reserve(kSamplesPerChunk);
+    for (size_t c = 0; c < chunks; ++c) {
+      raw.clear();
+      for (size_t i = 0; i < kSamplesPerChunk; ++i) {
+        level = std::clamp(level + static_cast<double>(rng.NextInRange(-2, 2)),
+                           0.0, 60.0);
+        raw.push_back({static_cast<Timestamp>(
+                           (c * kSamplesPerChunk + i) * 1000),
+                       level});
+      }
+      encoded[c] = ts::EncodeChunk(raw);
+    }
+  }
+
+  // Bit-identity cross-check: both decoders must produce the exact same
+  // samples (timestamps and value bit patterns) from every payload.
+  std::vector<ts::Sample> wide_out;
+  for (size_t c = 0; c < chunks; ++c) {
+    auto scalar = ts::DecodeChunk(encoded[c]);
+    auto wide = ts::DecodeChunkWide(encoded[c], &wide_out);
+    if (!scalar.ok() || !wide.ok() || scalar->size() != wide_out.size()) {
+      std::fprintf(stderr, "FAIL: decoder disagreement on chunk %zu\n", c);
+      return 1;
+    }
+    for (size_t i = 0; i < wide_out.size(); ++i) {
+      if ((*scalar)[i].t != wide_out[i].t ||
+          std::bit_cast<uint64_t>((*scalar)[i].value) !=
+              std::bit_cast<uint64_t>(wide_out[i].value)) {
+        std::fprintf(stderr, "FAIL: decoders differ at chunk %zu sample %zu\n",
+                     c, i);
+        return 1;
+      }
+    }
+  }
+
+  const double raw_gb =
+      static_cast<double>(chunks * kSamplesPerChunk * sizeof(ts::Sample)) /
+      1e9;
+  const size_t repetitions = smoke ? 3 : 7;
+  double sink = 0.0;  // consumed below so the decode loops cannot fold away
+
+  const RunningStats scalar = Repeat(repetitions, [&] {
+    for (size_t c = 0; c < chunks; ++c) {
+      ts::ChunkDecoder decoder(encoded[c]);
+      ts::Sample s;
+      while (decoder.Next(&s)) sink += s.value;
+      if (!decoder.done()) std::exit(1);
+    }
+  });
+  const RunningStats wide = Repeat(repetitions, [&] {
+    for (size_t c = 0; c < chunks; ++c) {
+      if (!ts::DecodeChunkWide(encoded[c], &wide_out).ok()) std::exit(1);
+      sink += wide_out.back().value;
+    }
+  });
+
+  const double scalar_gbps = raw_gb / (scalar.mean() / 1e3);
+  const double wide_gbps = raw_gb / (wide.mean() / 1e3);
+  const double speedup = scalar.mean() / wide.mean();
+  std::printf("%zu chunks x %zu samples (%.2f GB decoded/pass, sink %.1f)\n",
+              chunks, kSamplesPerChunk, raw_gb, sink);
+  std::printf("scalar: %6.2f GB/s   wide: %6.2f GB/s   speedup: %.2fx\n",
+              scalar_gbps, wide_gbps, speedup);
+  Record("decode_scalar_gbps", scalar_gbps, "GB/s");
+  Record("decode_wide_gbps", wide_gbps, "GB/s");
+  Record("decode_wide_speedup", speedup, "x");
+
+  // Regression guard (full runs only; smoke timings are too short to be
+  // stable, and sanitizer builds distort the ratio): the wide decoder must
+  // keep its 1.5x single-thread advantage over the streaming decoder.
+  if (!smoke && speedup < 1.5) {
+    std::fprintf(stderr,
+                 "FAIL: wide decode speedup %.2fx below the 1.5x floor\n",
+                 speedup);
+    return 1;
+  }
+  return 0;
+}
+
+// ---------------------------------------------------------------------------
+// 3-5. Workload footprint + Table 1 on/off + zone-map pruning.
 
 std::vector<std::string> BuildQueries(
     const workloads::BikeSharingDataset& d) {
@@ -288,6 +389,10 @@ void WriteJson() {
 int main(int argc, char** argv) {
   const bool smoke = argc > 1 && std::strcmp(argv[1], "--smoke") == 0;
   hygraph::bench::BenchCodec(smoke ? 50 : 500);
+  if (const int rc = hygraph::bench::BenchDecodePath(smoke ? 40 : 400, smoke);
+      rc != 0) {
+    return rc;
+  }
   if (const int rc = hygraph::bench::BenchWorkload(smoke); rc != 0) return rc;
   hygraph::bench::WriteJson();
   return 0;

@@ -33,6 +33,28 @@ Result<double> QueryBackend::EdgeSeriesAggregate(graph::EdgeId e,
   return ts::Aggregate(*series, Interval::All(), kind);
 }
 
+std::vector<Result<double>> QueryBackend::VertexSeriesAggregateBatch(
+    const std::vector<graph::VertexId>& vertices, const std::string& key,
+    const Interval& interval, ts::AggKind kind) const {
+  std::vector<Result<double>> out;
+  out.reserve(vertices.size());
+  for (graph::VertexId v : vertices) {
+    out.push_back(VertexSeriesAggregate(v, key, interval, kind));
+  }
+  return out;
+}
+
+std::vector<Result<double>> QueryBackend::EdgeSeriesAggregateBatch(
+    const std::vector<graph::EdgeId>& edges, const std::string& key,
+    const Interval& interval, ts::AggKind kind) const {
+  std::vector<Result<double>> out;
+  out.reserve(edges.size());
+  for (graph::EdgeId e : edges) {
+    out.push_back(EdgeSeriesAggregate(e, key, interval, kind));
+  }
+  return out;
+}
+
 Result<ts::Series> QueryBackend::VertexSeriesWindowAggregate(
     graph::VertexId v, const std::string& key, const Interval& interval,
     Duration width, ts::AggKind kind) const {

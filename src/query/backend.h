@@ -152,6 +152,20 @@ class QueryBackend {
                                              const Interval& interval,
                                              ts::AggKind kind) const;
 
+  /// Batch range aggregate: one result per entity, all over the same
+  /// (key, interval, kind). Multi-entity HGQL aggregate queries funnel
+  /// through here so engines can fan the batch out across a worker pool
+  /// (the hypertable runs one morsel per series). Per-entity failures are
+  /// reported in that entity's slot; the call itself only fails on
+  /// batch-wide conditions (cancellation, deadline, budget). The default
+  /// loops over the single-entity virtuals.
+  virtual std::vector<Result<double>> VertexSeriesAggregateBatch(
+      const std::vector<graph::VertexId>& vertices, const std::string& key,
+      const Interval& interval, ts::AggKind kind) const;
+  virtual std::vector<Result<double>> EdgeSeriesAggregateBatch(
+      const std::vector<graph::EdgeId>& edges, const std::string& key,
+      const Interval& interval, ts::AggKind kind) const;
+
   /// Tumbling-window aggregate series over (vertex, key): one sample per
   /// non-empty window of `width` ms. Default materializes then windows;
   /// the hypertable overrides with its native single-pass time_bucket.

@@ -1,5 +1,6 @@
 #include "query/functions.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/stats.h"
@@ -14,6 +15,25 @@
 namespace hygraph::query {
 
 namespace {
+
+// Range aggregates: ts_<agg>(x.key, t1, t2). Shared by EvalCall and the
+// executor's prefetch detection (CollectAggregateCallSites).
+constexpr struct {
+  const char* fn;
+  ts::AggKind kind;
+} kAggFns[] = {
+    {"ts_avg", ts::AggKind::kAvg},       {"ts_sum", ts::AggKind::kSum},
+    {"ts_min", ts::AggKind::kMin},       {"ts_max", ts::AggKind::kMax},
+    {"ts_count", ts::AggKind::kCount},   {"ts_stddev", ts::AggKind::kStdDev},
+    {"ts_first", ts::AggKind::kFirst},   {"ts_last", ts::AggKind::kLast},
+};
+
+const ts::AggKind* AggKindForName(const std::string& lowered) {
+  for (const auto& fn : kAggFns) {
+    if (lowered == fn.fn) return &fn.kind;
+  }
+  return nullptr;
+}
 
 Status ArityError(const std::string& name, size_t expected, size_t got) {
   return Status::InvalidArgument(name + " expects " +
@@ -214,12 +234,84 @@ Result<double> Evaluator::SeriesAggregateArg(const Expr& prop_ref,
   if (bound == bindings.end()) {
     return Status::InvalidArgument("unbound variable '" + prop_ref.var + "'");
   }
-  if (bound->second.is_edge) {
-    return backend_->EdgeSeriesAggregate(bound->second.id, prop_ref.key,
-                                         interval, kind);
+  const AggKey cache_key{bound->second.is_edge, bound->second.id,
+                         prop_ref.key,          interval.start,
+                         interval.end,          static_cast<int>(kind)};
+  auto hit = agg_cache_.find(cache_key);
+  if (hit != agg_cache_.end()) {
+    ++memo_stats_.hits;
+    return hit->second;
   }
-  return backend_->VertexSeriesAggregate(bound->second.id, prop_ref.key,
-                                         interval, kind);
+  ++memo_stats_.misses;
+  auto result =
+      bound->second.is_edge
+          ? backend_->EdgeSeriesAggregate(bound->second.id, prop_ref.key,
+                                          interval, kind)
+          : backend_->VertexSeriesAggregate(bound->second.id, prop_ref.key,
+                                            interval, kind);
+  // A prefetched batch holds one entry per matched entity, so the cap is
+  // sized for multi-entity scans rather than the range memo's 64.
+  constexpr size_t kAggCacheCap = 4096;
+  if (agg_cache_.size() >= kAggCacheCap) agg_cache_.clear();
+  agg_cache_.emplace(cache_key, result);
+  return result;
+}
+
+void Evaluator::PrefetchAggregates(const std::vector<Binding>& entities,
+                                   const std::string& key,
+                                   const Interval& interval,
+                                   ts::AggKind kind) const {
+  std::vector<uint64_t> vertices;
+  std::vector<uint64_t> edges;
+  for (const Binding& b : entities) {
+    const AggKey cache_key{b.is_edge,     b.id,         key,
+                           interval.start, interval.end, static_cast<int>(kind)};
+    if (agg_cache_.find(cache_key) != agg_cache_.end()) continue;
+    (b.is_edge ? edges : vertices).push_back(b.id);
+  }
+  auto seed = [&](bool is_edge, std::vector<uint64_t>* ids) {
+    std::sort(ids->begin(), ids->end());
+    ids->erase(std::unique(ids->begin(), ids->end()), ids->end());
+    if (ids->empty()) return;
+    auto results = is_edge
+                       ? backend_->EdgeSeriesAggregateBatch(*ids, key,
+                                                            interval, kind)
+                       : backend_->VertexSeriesAggregateBatch(*ids, key,
+                                                              interval, kind);
+    for (size_t i = 0; i < ids->size() && i < results.size(); ++i) {
+      agg_cache_.emplace(AggKey{is_edge, (*ids)[i], key, interval.start,
+                                interval.end, static_cast<int>(kind)},
+                         std::move(results[i]));
+    }
+  };
+  seed(false, &vertices);
+  seed(true, &edges);
+}
+
+void CollectAggregateCallSites(const Expr& expr,
+                               std::vector<AggregateCallSite>* out) {
+  if (expr.lhs) CollectAggregateCallSites(*expr.lhs, out);
+  if (expr.rhs) CollectAggregateCallSites(*expr.rhs, out);
+  for (const ExprPtr& arg : expr.args) {
+    if (arg) CollectAggregateCallSites(*arg, out);
+  }
+  if (expr.kind != Expr::Kind::kCall || expr.args.size() != 3) return;
+  const ts::AggKind* kind = AggKindForName(ToLower(expr.call_name));
+  if (kind == nullptr) return;
+  const Expr& series = *expr.args[0];
+  const Expr& t1 = *expr.args[1];
+  const Expr& t2 = *expr.args[2];
+  if (series.kind != Expr::Kind::kPropertyRef) return;
+  if (t1.kind != Expr::Kind::kLiteral || t2.kind != Expr::Kind::kLiteral) {
+    return;  // row-dependent bounds cannot be hoisted across rows
+  }
+  auto lo = t1.literal.ToDouble();
+  auto hi = t2.literal.ToDouble();
+  if (!lo.ok() || !hi.ok()) return;
+  out->push_back(AggregateCallSite{
+      series.var, series.key,
+      Interval{static_cast<Timestamp>(*lo), static_cast<Timestamp>(*hi)},
+      *kind});
 }
 
 Result<Value> Evaluator::EvalCall(
@@ -239,23 +331,12 @@ Result<Value> Evaluator::EvalCall(
     return Interval{static_cast<Timestamp>(*d1), static_cast<Timestamp>(*d2)};
   };
 
-  // Range aggregates: ts_<agg>(x.key, t1, t2).
-  static constexpr struct {
-    const char* fn;
-    ts::AggKind kind;
-  } kAggFns[] = {
-      {"ts_avg", ts::AggKind::kAvg},       {"ts_sum", ts::AggKind::kSum},
-      {"ts_min", ts::AggKind::kMin},       {"ts_max", ts::AggKind::kMax},
-      {"ts_count", ts::AggKind::kCount},   {"ts_stddev", ts::AggKind::kStdDev},
-      {"ts_first", ts::AggKind::kFirst},   {"ts_last", ts::AggKind::kLast},
-  };
-  for (const auto& fn : kAggFns) {
-    if (name != fn.fn) continue;
+  if (const ts::AggKind* agg_kind = AggKindForName(name)) {
     if (expr.args.size() != 3) return Status(ArityError(name, 3, expr.args.size()));
     auto interval = interval_from_args(1);
     if (!interval.ok()) return interval.status();
     auto result =
-        SeriesAggregateArg(*expr.args[0], bindings, *interval, fn.kind);
+        SeriesAggregateArg(*expr.args[0], bindings, *interval, *agg_kind);
     if (!result.ok()) {
       // Aggregate over an empty/missing range is null, not an error, so
       // WHERE predicates degrade gracefully.

@@ -5,6 +5,7 @@
 #include <map>
 #include <string>
 #include <tuple>
+#include <vector>
 
 #include "common/status.h"
 #include "common/value.h"
@@ -61,6 +62,16 @@ class Evaluator {
 
   const MemoStats& memo_stats() const { return memo_stats_; }
 
+  /// Computes `kind` over (entity, key, interval) for many entities in one
+  /// backend batch call and memoizes the answers, so subsequent per-row
+  /// ts_* calls on those entities hit the memo instead of issuing one
+  /// backend aggregate each. The hypertable backend fans the batch out
+  /// across the worker pool — one morsel per series. Entities may mix
+  /// vertices and edges; already-memoized entries are skipped.
+  void PrefetchAggregates(const std::vector<Binding>& entities,
+                          const std::string& key, const Interval& interval,
+                          ts::AggKind kind) const;
+
   /// Evaluates `expr` under `bindings`. `aliases` (optional) resolves bare
   /// variables that are not pattern bindings — used for ORDER BY on RETURN
   /// aliases.
@@ -91,8 +102,32 @@ class Evaluator {
   using RangeKey =
       std::tuple<bool, uint64_t, std::string, Timestamp, Timestamp>;
   mutable std::map<RangeKey, ts::Series> range_cache_;
+
+  /// Memo for SeriesAggregateArg, keyed (is_edge, id, key, start, end,
+  /// kind). Seeded in bulk by PrefetchAggregates; also fills lazily so a
+  /// repeated per-row aggregate (same entity pinned across rows) is
+  /// computed once. Larger cap than the range memo — a prefetched batch
+  /// holds one entry per matched entity.
+  using AggKey =
+      std::tuple<bool, uint64_t, std::string, Timestamp, Timestamp, int>;
+  mutable std::map<AggKey, Result<double>> agg_cache_;
   mutable MemoStats memo_stats_;
 };
+
+/// One batchable aggregate call found in an expression:
+/// ts_<agg>(var.key, t1, t2) with literal interval bounds — the shape
+/// whose value per entity is row-invariant, so the executor can compute
+/// it for every matched entity up front via PrefetchAggregates.
+struct AggregateCallSite {
+  std::string var;
+  std::string key;
+  Interval interval;
+  ts::AggKind kind;
+};
+
+/// Collects every batchable aggregate call in `expr` (recursively).
+void CollectAggregateCallSites(const Expr& expr,
+                               std::vector<AggregateCallSite>* out);
 
 }  // namespace hygraph::query
 

@@ -44,6 +44,50 @@ Result<double> EmptyAggregate(ts::AggKind kind) {
   return Status::NotFound("aggregate over empty range");
 }
 
+// Resolves each entity's series under `key` and pre-fills the answer
+// vector with EmptyAggregate placeholders; absent entities keep the
+// placeholder (matching the single-entity overrides). Present entities are
+// recorded as (series, output slot) pairs for the batch call.
+std::vector<Result<double>> PlanAggregateBatch(
+    const PolyglotStore::SeriesMap& map, const std::vector<uint64_t>& ids,
+    const std::string& key, ts::AggKind kind, std::vector<SeriesId>* present,
+    std::vector<size_t>* slot) {
+  std::vector<Result<double>> out;
+  out.reserve(ids.size());
+  present->reserve(ids.size());
+  slot->reserve(ids.size());
+  for (size_t i = 0; i < ids.size(); ++i) {
+    auto sid = ResolveIn(map, ids[i], key);
+    if (sid.ok()) {
+      present->push_back(*sid);
+      slot->push_back(i);
+    }
+    out.push_back(EmptyAggregate(kind));
+  }
+  return out;
+}
+
+// Runs the resolved series through the hypertable's batch aggregate (one
+// morsel per series) and scatters the answers into their slots. A
+// batch-wide failure (cancellation, deadline, budget) overwrites every
+// slot; per-series errors come back inside the results themselves.
+void ScatterAggregateBatch(const ts::HypertableStore& store,
+                           const Interval& interval, ts::AggKind kind,
+                           const std::vector<SeriesId>& present,
+                           const std::vector<size_t>& slot,
+                           std::vector<Result<double>>* out) {
+  if (present.empty()) return;
+  std::vector<Result<double>> results;
+  const Status batch = store.AggregateMany(present, interval, kind, &results);
+  if (!batch.ok()) {
+    for (auto& r : *out) r = batch;
+    return;
+  }
+  for (size_t i = 0; i < present.size(); ++i) {
+    (*out)[slot[i]] = std::move(results[i]);
+  }
+}
+
 query::BackendWork WorkFromStats(const ts::HypertableStats& stats) {
   query::BackendWork w;
   w.series_points_scanned = stats.samples_scanned;
@@ -114,6 +158,27 @@ class PolyglotSnapshot final : public query::QueryBackend {
     auto sid = ResolveIn(edge_series_, e, key);
     if (!sid.ok()) return EmptyAggregate(kind);
     return series_->Aggregate(*sid, interval, kind);
+  }
+
+  std::vector<Result<double>> VertexSeriesAggregateBatch(
+      const std::vector<graph::VertexId>& vertices, const std::string& key,
+      const Interval& interval, ts::AggKind kind) const override {
+    std::vector<SeriesId> present;
+    std::vector<size_t> slot;
+    auto out = PlanAggregateBatch(vertex_series_, vertices, key, kind,
+                                  &present, &slot);
+    ScatterAggregateBatch(*series_, interval, kind, present, slot, &out);
+    return out;
+  }
+  std::vector<Result<double>> EdgeSeriesAggregateBatch(
+      const std::vector<graph::EdgeId>& edges, const std::string& key,
+      const Interval& interval, ts::AggKind kind) const override {
+    std::vector<SeriesId> present;
+    std::vector<size_t> slot;
+    auto out = PlanAggregateBatch(edge_series_, edges, key, kind, &present,
+                                  &slot);
+    ScatterAggregateBatch(*series_, interval, kind, present, slot, &out);
+    return out;
   }
 
   Result<ts::Series> VertexSeriesWindowAggregate(
@@ -328,6 +393,37 @@ Result<double> PolyglotStore::EdgeSeriesAggregate(graph::EdgeId e,
   auto sid = ResolveLocked(/*vertex=*/false, e, key);
   if (!sid.ok()) return EmptyAggregate(kind);
   return series_.Aggregate(*sid, interval, kind);
+}
+
+std::vector<Result<double>> PolyglotStore::VertexSeriesAggregateBatch(
+    const std::vector<graph::VertexId>& vertices, const std::string& key,
+    const Interval& interval, ts::AggKind kind) const {
+  std::vector<SeriesId> present;
+  std::vector<size_t> slot;
+  std::vector<Result<double>> out;
+  {
+    // Resolve under one brief shared hold instead of per-entity locking;
+    // the aggregate itself runs unlocked against the per-series shards.
+    SharedLock lock(*store_mu_);
+    out = PlanAggregateBatch(vertex_series_, vertices, key, kind, &present,
+                             &slot);
+  }
+  ScatterAggregateBatch(series_, interval, kind, present, slot, &out);
+  return out;
+}
+
+std::vector<Result<double>> PolyglotStore::EdgeSeriesAggregateBatch(
+    const std::vector<graph::EdgeId>& edges, const std::string& key,
+    const Interval& interval, ts::AggKind kind) const {
+  std::vector<SeriesId> present;
+  std::vector<size_t> slot;
+  std::vector<Result<double>> out;
+  {
+    SharedLock lock(*store_mu_);
+    out = PlanAggregateBatch(edge_series_, edges, key, kind, &present, &slot);
+  }
+  ScatterAggregateBatch(series_, interval, kind, present, slot, &out);
+  return out;
 }
 
 Result<size_t> PolyglotStore::VertexSeriesCountInRange(

@@ -79,6 +79,16 @@ class PolyglotStore final : public query::QueryBackend {
                                      const Interval& interval,
                                      ts::AggKind kind) const override;
 
+  /// Batch aggregates fan out across the worker pool — one morsel per
+  /// series via HypertableStore::AggregateMany (the multi-entity Table 1
+  /// query shape: one aggregate per matched station/account).
+  std::vector<Result<double>> VertexSeriesAggregateBatch(
+      const std::vector<graph::VertexId>& vertices, const std::string& key,
+      const Interval& interval, ts::AggKind kind) const override;
+  std::vector<Result<double>> EdgeSeriesAggregateBatch(
+      const std::vector<graph::EdgeId>& edges, const std::string& key,
+      const Interval& interval, ts::AggKind kind) const override;
+
   /// Native tumbling windows: the hypertable's single-pass time_bucket,
   /// chunk-cache assisted when windows align with chunks.
   Result<ts::Series> VertexSeriesWindowAggregate(

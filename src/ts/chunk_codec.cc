@@ -336,4 +336,226 @@ Result<std::vector<Sample>> DecodeChunk(std::string_view bytes) {
   return samples;
 }
 
+namespace {
+
+Status WideFail(std::vector<Sample>* out, const char* msg) {
+  out->clear();
+  return Status::Corruption(std::string("chunk codec: ") + msg);
+}
+
+}  // namespace
+
+Status DecodeChunkWide(std::string_view bytes, std::vector<Sample>* out) {
+  out->clear();
+  size_t pos = 0;
+  uint64_t count = 0;
+  if (!ParseVarint(bytes, &pos, bytes.size(), &count)) {
+    return WideFail(out, "truncated sample count");
+  }
+  if (count == 0) {
+    if (pos != bytes.size()) {
+      return WideFail(out, "trailing bytes after empty chunk");
+    }
+    return Status::OK();
+  }
+  uint64_t ts_len = 0;
+  if (!ParseVarint(bytes, &pos, bytes.size(), &ts_len)) {
+    return WideFail(out, "truncated timestamp column length");
+  }
+  if (ts_len > bytes.size() - pos) {
+    return WideFail(out, "timestamp column length exceeds input");
+  }
+  // Same allocation bound as ChunkDecoder: one timestamp byte and (beyond
+  // the first sample's raw 64 bits) one value bit per declared sample.
+  if (count > ts_len) {
+    return WideFail(out, "sample count exceeds timestamp column capacity");
+  }
+  const size_t ts_end = pos + static_cast<size_t>(ts_len);
+  const size_t total_bits = bytes.size() * 8;
+  if (total_bits - ts_end * 8 < 64 + (static_cast<size_t>(count) - 1)) {
+    return WideFail(out, "value column shorter than declared sample count");
+  }
+  out->resize(static_cast<size_t>(count));
+  Sample* samples = out->data();
+
+  // Pass 1 — timestamp column: contiguous byte-aligned varints, decoded in
+  // one tight loop (the 1-byte delta-of-delta of a regular grid is the
+  // branch-predicted fast case).
+  {
+    size_t ts_pos = pos;
+    uint64_t prev_t = 0;
+    uint64_t prev_delta = 0;
+    for (size_t i = 0; i < count; ++i) {
+      uint64_t z;
+      if (ts_pos < ts_end &&
+          static_cast<uint8_t>(bytes[ts_pos]) < 0x80) {
+        z = static_cast<uint8_t>(bytes[ts_pos++]);
+      } else if (!ParseVarint(bytes, &ts_pos, ts_end, &z)) {
+        return WideFail(out, "truncated timestamp column");
+      }
+      if (i == 0) {
+        prev_t = UnZigZag(z);
+      } else if (i == 1) {
+        prev_delta = UnZigZag(z);
+        prev_t += prev_delta;
+      } else {
+        prev_delta += UnZigZag(z);
+        prev_t += prev_delta;
+      }
+      samples[i].t = static_cast<Timestamp>(prev_t);
+    }
+    if (ts_pos != ts_end) return WideFail(out, "trailing timestamp bytes");
+  }
+
+  // Pass 2 — value column: Gorilla XOR bitstream. While ≥18 bytes of input
+  // remain past the cursor's byte, a worst-case token ('11' + 6b + 6b +
+  // 64b payload = 78 bits) fits entirely inside two unaligned 64-bit loads
+  // (the wide-payload load starts ≤2 bytes past the cursor's byte and
+  // spans 16 more), so the hot loop runs with no per-token bounds checks;
+  // the tail — and any input corrupt enough to escape the guard — falls
+  // back to the fully-checked path below, which mirrors
+  // ChunkDecoder::DecodeValueToken token for token.
+  const char* data = bytes.data();
+  const size_t size = bytes.size();
+  // The next ≥57 bits at `bit`, MSB-first, left-aligned, with zeros
+  // shifted in at the bottom. Caller guarantees (bit >> 3) + 8 <= size.
+  auto load64 = [data](size_t bit) {
+    uint64_t w;
+    std::memcpy(&w, data + (bit >> 3), 8);
+    return __builtin_bswap64(w) << (bit & 7);
+  };
+  // The n (<= 64) bits at `bit` via a two-load 128-bit window; used for
+  // payloads too wide for load64's 57 guaranteed bits. Caller guarantees
+  // (bit >> 3) + 16 <= size.
+  auto load_bits = [data](size_t bit, int n) {
+    const size_t byte = bit >> 3;
+    const int off = static_cast<int>(bit & 7);
+    uint64_t hi;
+    uint64_t lo;
+    std::memcpy(&hi, data + byte, 8);
+    std::memcpy(&lo, data + byte + 8, 8);
+    hi = __builtin_bswap64(hi);
+    lo = __builtin_bswap64(lo);
+    const uint64_t window = off == 0 ? hi : (hi << off) | (lo >> (64 - off));
+    return window >> (64 - n);
+  };
+  // Zero-padded peek for the checked tail: like load64 but never reads
+  // past the buffer, mirroring ChunkDecoder::Peek64.
+  auto peek = [data, size](size_t bit) {
+    const size_t first_byte = bit >> 3;
+    uint64_t w = 0;
+    if (size - first_byte >= 8) {
+      std::memcpy(&w, data + first_byte, 8);
+      w = __builtin_bswap64(w);
+    } else {
+      for (size_t b = first_byte; b < size; ++b) {
+        w |= static_cast<uint64_t>(static_cast<uint8_t>(data[b]))
+             << (56 - 8 * (b - first_byte));
+      }
+    }
+    return w << (bit & 7);
+  };
+  // ChunkDecoder::ReadBits equivalent for the tail: n <= 64, availability
+  // already verified by the caller.
+  auto read_checked = [&peek](size_t bit, size_t n) -> uint64_t {
+    if (n <= 57) return peek(bit) >> (64 - n);
+    const uint64_t hi = peek(bit) >> (64 - (n - 32));
+    const uint64_t lo = peek(bit + (n - 32)) >> 32;
+    return (hi << 32) | lo;
+  };
+
+  // The value column starts byte-aligned at ts_end; the header check above
+  // guarantees its first 64 bits (sample 0's raw bit pattern) exist.
+  size_t bit_pos = ts_end * 8;
+  uint64_t first_word;
+  std::memcpy(&first_word, data + ts_end, 8);
+  uint64_t prev_bits = __builtin_bswap64(first_word);
+  bit_pos += 64;
+  samples[0].value = std::bit_cast<double>(prev_bits);
+  int window_lead = -1;
+  int window_sig = 0;
+
+  size_t i = 1;
+  while (i < count && (bit_pos >> 3) + 18 <= size) {
+    const uint64_t w = load64(bit_pos);
+    if ((w >> 63) == 0) {  // '0': repeat previous value
+      ++bit_pos;
+    } else if (((w >> 62) & 1) != 0) {  // '11': explicit window
+      const int lead = static_cast<int>((w >> 56) & 0x3f);
+      const int sig = static_cast<int>((w >> 50) & 0x3f) + 1;
+      if (lead + sig > 64) {
+        return WideFail(out, "value window wider than 64 bits");
+      }
+      const uint64_t payload = 14 + sig <= 57
+                                   ? (w << 14) >> (64 - sig)
+                                   : load_bits(bit_pos + 14, sig);
+      bit_pos += 14 + static_cast<size_t>(sig);
+      window_lead = lead;
+      window_sig = sig;
+      prev_bits ^= payload << (64 - lead - sig);
+    } else {  // '10': reuse the previous window
+      if (window_lead < 0) {
+        return WideFail(out, "window reuse before a window was defined");
+      }
+      const uint64_t payload = 2 + window_sig <= 57
+                                   ? (w << 2) >> (64 - window_sig)
+                                   : load_bits(bit_pos + 2, window_sig);
+      bit_pos += 2 + static_cast<size_t>(window_sig);
+      prev_bits ^= payload << (64 - window_lead - window_sig);
+    }
+    samples[i++].value = std::bit_cast<double>(prev_bits);
+  }
+
+  // Checked tail: the same grammar with ChunkDecoder::DecodeValueToken's
+  // explicit availability checks against the true end of input.
+  while (i < count) {
+    const size_t avail = total_bits - bit_pos;
+    if (avail < 1) return WideFail(out, "truncated value column");
+    const uint64_t w = peek(bit_pos);
+    if ((w >> 63) == 0) {
+      ++bit_pos;
+    } else {
+      if (avail < 2) return WideFail(out, "truncated value column");
+      if (((w >> 62) & 1) != 0) {
+        if (avail < 14) return WideFail(out, "truncated value window header");
+        const int lead = static_cast<int>((w >> 56) & 0x3f);
+        const int sig = static_cast<int>((w >> 50) & 0x3f) + 1;
+        if (lead + sig > 64) {
+          return WideFail(out, "value window wider than 64 bits");
+        }
+        if (avail < 14 + static_cast<size_t>(sig)) {
+          return WideFail(out, "truncated value column");
+        }
+        const uint64_t payload =
+            read_checked(bit_pos + 14, static_cast<size_t>(sig));
+        bit_pos += 14 + static_cast<size_t>(sig);
+        window_lead = lead;
+        window_sig = sig;
+        prev_bits ^= payload << (64 - lead - sig);
+      } else {
+        if (window_lead < 0) {
+          return WideFail(out, "window reuse before a window was defined");
+        }
+        if (avail < 2 + static_cast<size_t>(window_sig)) {
+          return WideFail(out, "truncated value column");
+        }
+        const uint64_t payload =
+            read_checked(bit_pos + 2, static_cast<size_t>(window_sig));
+        bit_pos += 2 + static_cast<size_t>(window_sig);
+        prev_bits ^= payload << (64 - window_lead - window_sig);
+      }
+    }
+    samples[i++].value = std::bit_cast<double>(prev_bits);
+  }
+
+  // The value column must end exactly where the samples do (mirrors
+  // ChunkDecoder::Next's final-sample verification).
+  if (total_bits - bit_pos >= 8) return WideFail(out, "trailing value bytes");
+  const size_t pad_bits = total_bits - bit_pos;
+  if (pad_bits > 0 && (peek(bit_pos) >> (64 - pad_bits)) != 0) {
+    return WideFail(out, "non-zero padding bits");
+  }
+  return Status::OK();
+}
+
 }  // namespace hygraph::ts

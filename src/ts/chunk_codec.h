@@ -93,6 +93,20 @@ class ChunkDecoder {
 /// Decodes a whole chunk; rejects trailing garbage and non-zero padding.
 Result<std::vector<Sample>> DecodeChunk(std::string_view bytes);
 
+/// Wide fast-path decoder: bit-exactly the same accept/reject set and
+/// output as DecodeChunk, at roughly twice the throughput. Instead of the
+/// streaming decoder's per-sample cursor checks it runs two columnar
+/// passes — byte-aligned timestamp varints first, then the value bitstream
+/// through unchecked 64-bit unaligned loads while at least 16 bytes of
+/// input remain (a worst-case token is 78 bits, so every load stays in
+/// bounds), falling back to the fully-checked token path for the tail.
+/// `out` is cleared first and its capacity reused (the parallel scan path
+/// decodes every morsel into a reusable scratch buffer); on failure `out`
+/// is left empty. Totality over untrusted bytes is preserved: any input is
+/// either accepted or rejected with kCorruption, with allocations bounded
+/// by the declared count (itself bounded by the input size).
+Status DecodeChunkWide(std::string_view bytes, std::vector<Sample>* out);
+
 }  // namespace hygraph::ts
 
 #endif  // HYGRAPH_TS_CHUNK_CODEC_H_

@@ -42,6 +42,19 @@ struct HypertableOptions {
   /// containing engine (PolyglotStore) passes its own registry so one
   /// snapshot covers the whole backend.
   obs::MetricsRegistry* metrics = nullptr;
+  /// When true (default), multi-chunk reads (ScanVisit / Aggregate /
+  /// WindowAggregate / CountMatching / Scan / Materialize) fan their
+  /// per-chunk work out over the process-wide worker pool, morsel-driven:
+  /// one pinned chunk is one morsel, the caller participates, and partial
+  /// results merge in chunk order so the answer is bit-identical to the
+  /// serial path. Setting HYGRAPH_THREADS=1 disables the pool process-wide,
+  /// which is the EXPERIMENTS.md parallelism kill switch.
+  bool parallel_scan = true;
+  /// Caps the threads (caller included) one fan-out of this store may use;
+  /// 0 means "no cap beyond the pool size". The pool is process-wide and
+  /// grow-only, so this per-store cap is what lets the scaling bench
+  /// measure 1→N-thread points deterministically on any machine.
+  size_t parallel_scan_cap = 0;
 };
 
 /// Counters describing the work a query did — used by tests and by the
@@ -64,6 +77,9 @@ struct HypertableStats {
   /// Sealed chunks skipped wholesale because their value zone map cannot
   /// intersect a pushed-down value predicate (the Q8 query shape).
   size_t chunks_zonemap_skipped = 0;
+  // Morsel-driven parallel read path (cumulative since ResetStats()).
+  size_t morsels_dispatched = 0;  ///< per-chunk / per-series morsels fanned out
+  size_t morsels_stolen = 0;      ///< morsels executed by pool workers
 };
 
 /// Current memory footprint of a HypertableStore's sample data, split by
@@ -189,12 +205,27 @@ class HypertableStore {
   /// ScanVisit with a pushed-down value predicate: only matching samples
   /// are visited, and sealed chunks whose value zone map cannot intersect
   /// the bounds are skipped without decoding (stats().chunks_zonemap_skipped).
+  ///
+  /// With options().parallel_scan and ≥2 overlapping chunks, the per-chunk
+  /// decode + filter fans out over the worker pool (one chunk = one
+  /// morsel); the matched samples land in per-chunk buffers and `fn` is
+  /// replayed over them in chunk order on the calling thread, so callbacks
+  /// observe exactly the serial visit order and never run concurrently.
   template <typename Fn>
   Status ScanVisit(SeriesId id, const Interval& interval,
                    const ScanPredicate& predicate, Fn&& fn) const {
     auto view = PinView(id, interval, /*want_aggregates=*/false);
     if (!view.ok()) return view.status();
     m_.chunks_total->Add(view->chunk_count);
+    if (ShouldParallelize(*view)) {
+      std::vector<std::vector<Sample>> buffers;
+      HYGRAPH_RETURN_IF_ERROR(
+          ParallelScanChunks(*view, interval, predicate, &buffers));
+      for (std::vector<Sample>& buffer : buffers) {
+        for (const Sample& s : buffer) fn(s);
+      }
+      return Status::OK();
+    }
     for (const PinnedChunk& chunk : view->chunks) {
       if (chunk.sealed() && !predicate.unbounded() &&
           !(chunk.sealed_ref->min_v <= predicate.max_value &&
@@ -223,8 +254,21 @@ class HypertableStore {
   Result<Series> Materialize(SeriesId id, const Interval& interval) const;
 
   /// Range aggregate using chunk pruning + the per-chunk aggregate cache.
+  /// Serial and parallel runs produce bit-identical doubles: both reduce
+  /// the same per-chunk AggState partials in chunk order (boundary chunks
+  /// fold their clipped samples into a chunk-local partial first).
   Result<double> Aggregate(SeriesId id, const Interval& interval,
                            AggKind kind) const;
+
+  /// Batch form of Aggregate for multi-entity queries: one result slot per
+  /// id, in input order (per-series failures — e.g. an unknown id — land
+  /// in their slot without failing the batch). With parallel_scan the
+  /// batch fans out one morsel per series; each slot is bit-identical to
+  /// what Aggregate(ids[i], ...) returns. Returns non-OK only for
+  /// batch-wide governance violations (deadline, cancel, budget).
+  Status AggregateMany(const std::vector<SeriesId>& ids,
+                       const Interval& interval, AggKind kind,
+                       std::vector<Result<double>>* out) const;
 
   /// Native tumbling-window aggregation (TimescaleDB's time_bucket): one
   /// output sample per non-empty window of `width` ms anchored at
@@ -417,41 +461,81 @@ class HypertableStore {
   static const AggState& HotAggregate(const Chunk& chunk)
       HYGRAPH_NO_THREAD_SAFETY_ANALYSIS;
 
-  /// Streams one pinned chunk's samples in `interval` matching `predicate`
-  /// into `fn`; decodes sealed chunks without materializing. Lock-free.
-  /// Governance checkpoints: when a QueryContext is installed on the
-  /// calling thread, decoded samples are charged in batches of 1024 (one
-  /// amortized branch per sample, one clock read per ~1M samples) and the
-  /// hot fast path charges its whole clipped range at once, so a scan cut
-  /// by a deadline or Cancel() unwinds with the context's status instead
-  /// of running to completion.
+  /// Per-thread reusable decode buffers for the sealed read path: Acquire
+  /// pops (or creates) a cleared vector, Release returns it. A stack
+  /// rather than a single slot because a visit callback may re-enter the
+  /// store on the same thread (nested reads must not clobber the buffer
+  /// the outer scan is iterating).
+  static std::vector<Sample> AcquireScratch();
+  static void ReleaseScratch(std::vector<Sample> scratch);
+
+  /// True when a multi-chunk read should fan out over the worker pool:
+  /// parallel_scan is on, at least two chunks overlap, and the process
+  /// pool has at least one worker (HYGRAPH_THREADS=1 disables it).
+  bool ShouldParallelize(const SeriesReadView& view) const;
+
+  /// The morsel-driven sealed/hot chunk scan: one morsel per pinned chunk,
+  /// decoded + clipped + predicate-filtered into buffers[i] (chunk order
+  /// preserved; zone-map-skipped chunks leave their buffer empty). Workers
+  /// observe deadline/cancel via CheckCrossThread per morsel; the decoded
+  /// sample total is charged on the calling thread at the join barrier.
+  Status ParallelScanChunks(const SeriesReadView& view,
+                            const Interval& interval,
+                            const ScanPredicate& predicate,
+                            std::vector<std::vector<Sample>>* buffers) const;
+
+  /// Runs `morsel(0..n-1)`, fanned over the worker pool when `parallel`
+  /// (first error wins) or in index order inline otherwise. Either way
+  /// every morsel is preceded by a CheckCrossThread deadline/cancel probe
+  /// against `ctx` (when set), which is the thread-safe subset of the
+  /// context — charging stays with the caller.
+  Status RunChunkMorsels(size_t n, bool parallel, const QueryContext* ctx,
+                         const std::function<Status(size_t)>& morsel) const;
+
+  /// Aggregate's engine, reusable from worker threads: pins the view, runs
+  /// one morsel per chunk (cached partial or clipped scan into a
+  /// chunk-local AggState), merges the partials in chunk order, and
+  /// finalizes. Never touches QueryContext::Current() — deadline/cancel
+  /// probes go through `ctx`, and work units accumulate into `*work` for
+  /// the caller to charge.
+  Result<double> AggregateWithContext(SeriesId id, const Interval& interval,
+                                      AggKind kind, const QueryContext* ctx,
+                                      uint64_t* work) const;
+
+  /// The shared per-chunk visit primitive every read path (serial or
+  /// morsel) rides on: decodes a sealed chunk through the wide columnar
+  /// decoder (DecodeChunkWide) into a reused per-thread scratch buffer —
+  /// or takes the hot samples as-is — clips to `interval` by binary
+  /// search, and evaluates `predicate` over the decoded column in one
+  /// branch-light loop, calling `fn` per match. Thread-safe (instruments
+  /// are relaxed atomics; the scratch is per-thread) and charge-free:
+  /// decoded-sample units accumulate into `*work` for the caller to settle
+  /// against its QueryContext — on the owning thread for serial scans, at
+  /// the join barrier for parallel ones.
   template <typename Fn>
-  Status VisitPinned(const PinnedChunk& chunk, const Interval& interval,
-                     const ScanPredicate& predicate, Fn&& fn) const {
-    QueryContext* ctx = QueryContext::Current();
+  Status ForEachChunkSample(const PinnedChunk& chunk, const Interval& interval,
+                            const ScanPredicate& predicate, uint64_t* work,
+                            Fn&& fn) const {
     if (chunk.sealed()) {
       m_.chunks_decoded->Increment();
-      ChunkDecoder decoder(chunk.sealed_ref->encoded);
-      Sample s;
-      size_t visited = 0;
-      size_t decoded = 0;
-      while (decoder.Next(&s)) {
-        if (ctx != nullptr && (++decoded & 1023u) == 0) {
-          HYGRAPH_RETURN_IF_ERROR(ctx->Charge(1024));
-        }
-        if (s.t >= interval.end) break;
-        if (s.t < interval.start) continue;
-        ++visited;
-        if (predicate.Matches(s.value)) fn(s);
-      }
-      m_.samples_scanned->Add(visited);
-      if (ctx != nullptr && (decoded & 1023u) != 0) {
-        HYGRAPH_RETURN_IF_ERROR(ctx->Charge(decoded & 1023u));
-      }
-      if (!decoder.status().ok()) {
+      std::vector<Sample> scratch = AcquireScratch();
+      Status decode = DecodeChunkWide(chunk.sealed_ref->encoded, &scratch);
+      if (!decode.ok()) {
         return Status::Internal("sealed chunk failed to decode: " +
-                                decoder.status().message());
+                                decode.message());
       }
+      auto lo = std::lower_bound(
+          scratch.begin(), scratch.end(), interval.start,
+          [](const Sample& s, Timestamp t) { return s.t < t; });
+      auto hi = std::lower_bound(
+          lo, scratch.end(), interval.end,
+          [](const Sample& s, Timestamp t) { return s.t < t; });
+      m_.samples_scanned->Add(static_cast<size_t>(hi - lo));
+      *work += scratch.size();
+      for (auto s = lo; s != hi; ++s) {
+        if (predicate.Matches(s->value)) fn(*s);
+      }
+      ReleaseScratch(std::move(scratch));
       return Status::OK();
     }
     // Hot samples were already clipped to the pin interval; `interval` is
@@ -463,12 +547,26 @@ class HypertableStore {
         lo, chunk.hot.end(), interval.end,
         [](const Sample& s, Timestamp t) { return s.t < t; });
     m_.samples_scanned->Add(static_cast<size_t>(hi - lo));
-    if (ctx != nullptr) {
-      HYGRAPH_RETURN_IF_ERROR(ctx->Charge(static_cast<uint64_t>(hi - lo)));
-    }
+    *work += static_cast<uint64_t>(hi - lo);
     for (auto sample = lo; sample != hi; ++sample) {
       if (predicate.Matches(sample->value)) fn(*sample);
     }
+    return Status::OK();
+  }
+
+  /// ForEachChunkSample plus governance settlement for single-threaded
+  /// callers: the chunk's work is charged to the calling thread's
+  /// QueryContext after the visit, so a scan cut by a deadline, Cancel(),
+  /// or the points budget unwinds with the context's status at chunk
+  /// granularity instead of running to completion.
+  template <typename Fn>
+  Status VisitPinned(const PinnedChunk& chunk, const Interval& interval,
+                     const ScanPredicate& predicate, Fn&& fn) const {
+    uint64_t work = 0;
+    HYGRAPH_RETURN_IF_ERROR(ForEachChunkSample(chunk, interval, predicate,
+                                               &work, std::forward<Fn>(fn)));
+    QueryContext* ctx = QueryContext::Current();
+    if (ctx != nullptr && work > 0) return ctx->Charge(work);
     return Status::OK();
   }
 
@@ -492,6 +590,11 @@ class HypertableStore {
     obs::Counter* snapshot_pins = nullptr;      ///< Fork() calls
     obs::Counter* unseal_conflicts = nullptr;   ///< unseals while readers pinned
     obs::Counter* series_cow_copies = nullptr;  ///< writer detaches after Fork
+    // Morsel-driven parallel read path.
+    obs::Counter* morsels_dispatched = nullptr;  ///< morsels fanned out
+    obs::Counter* morsels_stolen = nullptr;      ///< morsels run by pool workers
+    obs::Counter* pool_busy_nanos = nullptr;     ///< worker time on this store
+    obs::Counter* pool_threads = nullptr;        ///< pool size, set once
   };
 
   HypertableOptions options_;

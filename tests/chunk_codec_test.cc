@@ -26,6 +26,41 @@ void ExpectBitExactRoundTrip(const std::vector<Sample>& samples) {
               std::bit_cast<uint64_t>(samples[i].value))
         << "sample " << i;
   }
+  // The wide fast-path decoder must agree bit for bit with the streaming
+  // reference on every accepted input.
+  std::vector<Sample> wide;
+  Status ws = DecodeChunkWide(bytes, &wide);
+  ASSERT_TRUE(ws.ok()) << ws.ToString();
+  ASSERT_EQ(wide.size(), samples.size());
+  for (size_t i = 0; i < samples.size(); ++i) {
+    EXPECT_EQ(wide[i].t, samples[i].t) << "wide sample " << i;
+    EXPECT_EQ(std::bit_cast<uint64_t>(wide[i].value),
+              std::bit_cast<uint64_t>(samples[i].value))
+        << "wide sample " << i;
+  }
+}
+
+// Both decoders over the same (possibly corrupt) bytes: identical
+// accept/reject verdicts, and bit-identical samples on accept.
+void ExpectWideMatchesScalar(std::string_view bytes) {
+  auto scalar = DecodeChunk(bytes);
+  std::vector<Sample> wide;
+  const Status ws = DecodeChunkWide(bytes, &wide);
+  ASSERT_EQ(scalar.ok(), ws.ok())
+      << "scalar: " << scalar.status().ToString()
+      << " wide: " << ws.ToString();
+  if (!scalar.ok()) {
+    EXPECT_EQ(ws.code(), StatusCode::kCorruption);
+    EXPECT_TRUE(wide.empty());
+    return;
+  }
+  ASSERT_EQ(wide.size(), scalar->size());
+  for (size_t i = 0; i < wide.size(); ++i) {
+    EXPECT_EQ(wide[i].t, (*scalar)[i].t) << "sample " << i;
+    EXPECT_EQ(std::bit_cast<uint64_t>(wide[i].value),
+              std::bit_cast<uint64_t>((*scalar)[i].value))
+        << "sample " << i;
+  }
 }
 
 TEST(ChunkCodecTest, EmptyChunk) {
@@ -155,6 +190,7 @@ TEST(ChunkCodecTest, EveryStrictPrefixIsRejected) {
   for (size_t len = 0; len < bytes.size(); ++len) {
     auto decoded = DecodeChunk(bytes.substr(0, len));
     EXPECT_FALSE(decoded.ok()) << "prefix of length " << len << " accepted";
+    ExpectWideMatchesScalar(bytes.substr(0, len));
   }
 }
 
@@ -204,8 +240,39 @@ TEST(ChunkCodecTest, DecoderIsTotalOverMutatedBytes) {
       } else {
         EXPECT_EQ(decoder.status().code(), StatusCode::kCorruption);
       }
+      // The wide decoder shares the exact accept/reject frontier.
+      ExpectWideMatchesScalar(mutated);
     }
   }
+}
+
+TEST(ChunkCodecTest, WideDecoderMatchesScalarOnRandomBytes) {
+  // Pure-noise inputs: totality and verdict parity with no valid framing
+  // anywhere in sight.
+  Rng rng(99);
+  for (int round = 0; round < 2000; ++round) {
+    std::string junk(rng.NextBounded(64), '\0');
+    for (char& c : junk) c = static_cast<char>(rng.Next() & 0xff);
+    ExpectWideMatchesScalar(junk);
+  }
+}
+
+TEST(ChunkCodecTest, WideDecoderReusesScratchCapacity) {
+  std::vector<Sample> big;
+  for (int i = 0; i < 300; ++i) big.push_back({i * 1000, i * 0.5});
+  const std::string big_bytes = EncodeChunk(big);
+  const std::string small_bytes = EncodeChunk({{7, 7.0}});
+
+  std::vector<Sample> scratch;
+  ASSERT_TRUE(DecodeChunkWide(big_bytes, &scratch).ok());
+  const size_t cap = scratch.capacity();
+  ASSERT_TRUE(DecodeChunkWide(small_bytes, &scratch).ok());
+  EXPECT_EQ(scratch.size(), 1u);
+  EXPECT_EQ(scratch.capacity(), cap);  // no shrink, no realloc
+
+  // Failure leaves the scratch empty.
+  ASSERT_FALSE(DecodeChunkWide("\x05junk", &scratch).ok());
+  EXPECT_TRUE(scratch.empty());
 }
 
 }  // namespace

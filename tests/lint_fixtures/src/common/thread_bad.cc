@@ -1,0 +1,5 @@
+#include <thread>
+void ThreadBad() {
+  std::thread t([] {});
+  t.join();
+}

@@ -1,0 +1,5 @@
+#include <thread>
+void ThreadClean() {
+  std::thread t([] {});  // NOLINT(hygraph-raw-thread): fixture escape
+  t.join();
+}

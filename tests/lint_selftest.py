@@ -31,6 +31,7 @@ EXPECTED = {
     ("src/common/new_bad.cc", 1, "naked-new"),
     ("src/common/rand_bad.cc", 2, "raw-rand"),
     ("src/common/sleep_bad.cc", 4, "raw-sleep"),
+    ("src/common/thread_bad.cc", 3, "raw-thread"),
     ("src/obs/layering_bad.h", 4, "layering"),
     ("src/storage/unranked_bad.h", 10, "unranked-lock"),
 }

@@ -147,19 +147,23 @@ TEST(ProfileTest, BackendWorkIsAttributedToSpans) {
   ASSERT_NE(execute, nullptr);
   const obs::TraceNode* scan = execute->FindChild("scan");
   ASSERT_NE(scan, nullptr);
-  const obs::TraceNode* where = scan->FindChild("where");
-  ASSERT_NE(where, nullptr);
-  // The ts_avg in WHERE hit the series store. Which counter moved depends
-  // on the path taken — a raw scan counts points, a fully-covered chunk is
-  // answered from the aggregate cache — but the delta lands on the span
-  // either way.
+  // kAggQuery's ts_avg/ts_sum have literal bounds over several matched
+  // stations, so the executor batches them up front: the storage work
+  // lands on the "prefetch" span, and the per-row WHERE evaluations are
+  // answered from the aggregate memo without touching the series store.
+  const obs::TraceNode* prefetch = execute->FindChild("prefetch");
+  ASSERT_NE(prefetch, nullptr);
+  // Which counter moved depends on the path taken — a raw scan counts
+  // points, a fully-covered chunk is answered from the aggregate cache —
+  // but the delta lands on the span either way.
   uint64_t storage_work = 0;
   for (const char* name :
        {"points_scanned", "chunks_decoded", "chunks_cache_hits"}) {
-    auto it = where->counters.find(name);
-    if (it != where->counters.end()) storage_work += it->second;
+    auto it = prefetch->counters.find(name);
+    if (it != prefetch->counters.end()) storage_work += it->second;
   }
   EXPECT_GT(storage_work, 0u);
+  EXPECT_EQ(prefetch->counters.at("sites"), 2u);  // ts_avg + ts_sum
 }
 
 TEST(ProfileTest, MemoHitsAppearInTraceCounters) {
