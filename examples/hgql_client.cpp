@@ -1,0 +1,110 @@
+// An interactive HGQL shell over the wire protocol: connects to a running
+// hgql_server (see examples/hgql_server.cpp), sends each input line as a
+// query, and pretty-prints the result table. Lines starting with ':' are
+// admin verbs (e.g. ':server.info', ':stats', ':slowlog', ':snapshot.begin').
+//
+//   build:  cmake -B build && cmake --build build --target hgql_client
+//   run:    ./build/examples/hgql_client [port] [host]
+//   one-shot: echo "MATCH (s:Station) RETURN s.city AS c" | hgql_client 4217
+//
+// Exits on EOF, 'quit', or 'exit'.
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "query/executor.h"
+#include "server/client.h"
+
+using namespace hygraph;
+
+namespace {
+
+std::string Render(const Value& v) {
+  if (v.is_null()) return "null";
+  return v.ToString();
+}
+
+void PrintTable(const query::QueryResult& table) {
+  // Column-width layout: measure, then print.
+  std::vector<size_t> width(table.columns.size());
+  for (size_t c = 0; c < table.columns.size(); ++c) {
+    width[c] = table.columns[c].size();
+  }
+  std::vector<std::vector<std::string>> cells;
+  cells.reserve(table.rows.size());
+  for (const auto& row : table.rows) {
+    std::vector<std::string> line;
+    line.reserve(row.size());
+    for (size_t c = 0; c < row.size(); ++c) {
+      line.push_back(Render(row[c]));
+      if (c < width.size() && line.back().size() > width[c]) {
+        width[c] = line.back().size();
+      }
+    }
+    cells.push_back(std::move(line));
+  }
+  for (size_t c = 0; c < table.columns.size(); ++c) {
+    std::printf("%-*s%s", static_cast<int>(width[c]),
+                table.columns[c].c_str(),
+                c + 1 < table.columns.size() ? "  " : "\n");
+  }
+  for (size_t c = 0; c < table.columns.size(); ++c) {
+    std::printf("%s%s", std::string(width[c], '-').c_str(),
+                c + 1 < table.columns.size() ? "  " : "\n");
+  }
+  for (const auto& line : cells) {
+    for (size_t c = 0; c < line.size(); ++c) {
+      std::printf("%-*s%s", static_cast<int>(c < width.size() ? width[c] : 0),
+                  line[c].c_str(), c + 1 < line.size() ? "  " : "\n");
+    }
+  }
+  std::printf("(%zu row%s)\n", table.rows.size(),
+              table.rows.size() == 1 ? "" : "s");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int port = argc > 1 ? std::atoi(argv[1]) : 4217;
+  const std::string host = argc > 2 ? argv[2] : "127.0.0.1";
+
+  auto client = server::HgqlClient::Connect(host, static_cast<uint16_t>(port),
+                                            "hgql_client");
+  if (!client.ok()) {
+    std::fprintf(stderr, "connect %s:%d failed: %s\n", host.c_str(), port,
+                 client.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("connected to %s:%d (session %llu)\n", host.c_str(), port,
+              static_cast<unsigned long long>(client->session_id()));
+  std::printf("HGQL> ");
+  std::fflush(stdout);
+
+  char buf[4096];
+  while (std::fgets(buf, sizeof(buf), stdin) != nullptr) {
+    std::string line(buf);
+    while (!line.empty() && (line.back() == '\n' || line.back() == '\r')) {
+      line.pop_back();
+    }
+    if (line == "quit" || line == "exit") break;
+    if (!line.empty()) {
+      const bool admin = line[0] == ':';
+      auto result =
+          admin ? client->Admin(line.substr(1)) : client->Query(line);
+      if (!result.ok()) {
+        std::printf("error: %s\n", result.status().ToString().c_str());
+      } else if (result->columns.empty()) {
+        std::printf("ok\n");
+      } else {
+        PrintTable(*result);
+      }
+    }
+    std::printf("HGQL> ");
+    std::fflush(stdout);
+  }
+  std::printf("\n");
+  client->Close();
+  return 0;
+}

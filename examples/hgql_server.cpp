@@ -1,0 +1,112 @@
+// A standalone HGQL server daemon: builds a small bike-sharing dataset in a
+// durable store (group-commit WAL mode), serves it over the wire protocol,
+// and exposes Prometheus metrics — the server half of the client/server
+// pair (see examples/hgql_client.cpp and docs/PROTOCOL.md).
+//
+//   build:  cmake -B build && cmake --build build --target hgql_server
+//   run:    ./build/examples/hgql_server [port] [data_dir]
+//
+// Prints the bound query and metrics ports on stdout, then serves until
+// stdin closes (or EOF/newline arrives), so scripts can drive it as
+// `./hgql_server & ... ; kill` or interactively. Port 0 (the default)
+// picks a free ephemeral port.
+
+#include <unistd.h>
+
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+
+#include "server/server.h"
+#include "storage/durable.h"
+#include "storage/env.h"
+#include "storage/polyglot.h"
+#include "workloads/bike_sharing.h"
+
+using namespace hygraph;
+
+namespace {
+volatile std::sig_atomic_t g_stop = 0;
+void HandleStop(int) { g_stop = 1; }
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int port = argc > 1 ? std::atoi(argv[1]) : 0;
+  std::string dir;
+  if (argc > 2) {
+    dir = argv[2];
+  } else {
+    char tmpl[] = "/tmp/hygraph_hgql_server_XXXXXX";
+    if (mkdtemp(tmpl) == nullptr) {
+      std::fprintf(stderr, "cannot create data dir\n");
+      return 1;
+    }
+    dir = tmpl;
+  }
+
+  storage::DurableOptions durable_options;
+  durable_options.sync_wal = false;  // group commit: fsync per batch
+  storage::DurableStore store(storage::Env::Default(), dir,
+                              std::make_unique<storage::PolyglotStore>(),
+                              durable_options);
+  if (!store.Open().ok()) {
+    std::fprintf(stderr, "cannot open durable store at %s\n", dir.c_str());
+    return 1;
+  }
+
+  // Seed the store with the paper's bike-sharing workload so clients have
+  // something to query right away (a reopened data_dir keeps its data and
+  // gets a fresh copy appended at later timestamps — fine for a demo).
+  workloads::BikeSharingConfig config;
+  config.stations = 20;
+  config.districts = 4;
+  config.days = 2;
+  config.sample_interval = 15 * kMinute;
+  auto dataset = workloads::GenerateBikeSharing(config);
+  if (!dataset.ok()) return 1;
+  if (!workloads::LoadIntoBackend(*dataset, &store).ok()) return 1;
+
+  server::ServerOptions options;
+  options.port = static_cast<uint16_t>(port);
+  options.slow_query_threshold_ms = 100;
+  server::HgqlServer server(&store, &store, options);
+  const Status started = server.Start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "server failed to start: %s\n",
+                 started.ToString().c_str());
+    return 1;
+  }
+  std::printf("hgql_server listening on 127.0.0.1:%d\n", server.port());
+  std::printf("metrics at http://127.0.0.1:%d/metrics\n",
+              server.metrics_port());
+  std::printf("data dir: %s\n", dir.c_str());
+  std::printf("try: ./build/examples/hgql_client %d\n", server.port());
+  std::fflush(stdout);
+
+  // Serve until SIGTERM/SIGINT; an interactive run can also press Enter.
+  // A daemonized run (stdin = /dev/null) ignores stdin so an immediate EOF
+  // does not shut the server down.
+  std::signal(SIGINT, HandleStop);
+  std::signal(SIGTERM, HandleStop);
+  std::thread stdin_watcher;
+  if (isatty(STDIN_FILENO)) {
+    stdin_watcher = std::thread([] {
+      char line[16];
+      const char* got = std::fgets(line, sizeof(line), stdin);
+      (void)got;
+      g_stop = 1;  // a line or EOF: either way, shut down
+    });
+    stdin_watcher.detach();
+  }
+  while (g_stop == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+  server.Stop();
+  std::printf("bye\n");
+  return 0;
+}

@@ -14,7 +14,7 @@ namespace hygraph::fuzz {
 /// sanitizer report, or failed HYGRAPH_FUZZ_CHECK is a bug.
 ///
 /// The same functions back both the libFuzzer targets (fuzz_wal_reader,
-/// fuzz_serialize_load, fuzz_hgql_parse, fuzz_chunk_codec; built under
+/// fuzz_serialize_load, fuzz_hgql_parse, fuzz_chunk_codec, fuzz_wire_frame; built under
 /// -DHYGRAPH_FUZZ=ON) and
 /// the deterministic corpus replay in tests/fuzz_corpus_test.cc, so the
 /// harnesses cannot rot independently of the test suite.
@@ -32,6 +32,10 @@ void FuzzHgqlParse(const uint8_t* data, size_t size);
 /// ts::DecodeChunk / ChunkDecoder over the sealed-chunk codec bytes, plus
 /// an encode/decode fixed-point check on accepted inputs.
 void FuzzChunkCodec(const uint8_t* data, size_t size);
+
+/// server::DecodeFrame / DecodeRequest / DecodeResponse over the HGQL wire
+/// protocol, plus a decode/encode fixed-point check on accepted frames.
+void FuzzWireFrame(const uint8_t* data, size_t size);
 
 }  // namespace hygraph::fuzz
 

@@ -1,0 +1,97 @@
+#include <string>
+
+#include "fuzz/harness.h"
+#include "server/wire.h"
+
+namespace hygraph::fuzz {
+
+namespace {
+
+using server::DecodeFrame;
+using server::DecodeProgress;
+using server::DecodeResult;
+using server::FrameType;
+
+/// Re-encodes a decoded request through its typed encoder. Valid payloads
+/// have exactly one encoding (little-endian integers, length-prefixed
+/// strings, bit-pattern doubles, 0/1 booleans, no trailing bytes), so this
+/// must reproduce the frame the request was decoded from.
+std::string ReencodeRequest(const server::Request& req) {
+  switch (req.type) {
+    case FrameType::kHello:
+      return server::EncodeHelloFrame(req.hello);
+    case FrameType::kQuery:
+      return server::EncodeQueryFrame(req.query);
+    case FrameType::kAppend:
+      return server::EncodeAppendFrame(req.append);
+    case FrameType::kAdmin:
+      return server::EncodeAdminFrame(req.admin);
+    case FrameType::kGoodbye:
+      return server::EncodeGoodbyeFrame();
+    case FrameType::kResult:
+      break;  // DecodeRequest never returns a kResult request
+  }
+  HYGRAPH_FUZZ_CHECK(false);
+  return {};
+}
+
+}  // namespace
+
+/// Feeds arbitrary bytes to the HGQL wire-frame decoder. The decoder's
+/// contract: total over any input (frame, need-more, or a Status — never a
+/// crash, hang, out-of-bounds read, or count-driven allocation), kNeedMore
+/// always asks beyond what it was given, and every accepted frame reaches a
+/// decode/encode fixed point bit-exactly. The payload parsers inherit the
+/// same totality: an accepted request or response re-encodes to the very
+/// frame it came from.
+void FuzzWireFrame(const uint8_t* data, size_t size) {
+  const DecodeResult r = DecodeFrame(data, size);
+  switch (r.progress) {
+    case DecodeProgress::kNeedMore:
+      // The decoder must make progress: it may only ask for bytes it does
+      // not have, and never more than one maximal frame's worth.
+      HYGRAPH_FUZZ_CHECK(r.need > size);
+      HYGRAPH_FUZZ_CHECK(r.need <=
+                         server::kWireHeaderSize + server::kWireMaxPayload);
+      return;
+    case DecodeProgress::kError:
+      HYGRAPH_FUZZ_CHECK(!r.error.ok());
+      return;
+    case DecodeProgress::kFrame:
+      break;
+  }
+
+  // Framing fixed point: re-encoding the frame reproduces the consumed
+  // prefix byte-for-byte (header, CRC, payload).
+  HYGRAPH_FUZZ_CHECK(r.consumed >= server::kWireHeaderSize);
+  HYGRAPH_FUZZ_CHECK(r.consumed <= size);
+  const std::string reframed = server::EncodeFrame(r.frame.type,
+                                                   r.frame.payload);
+  HYGRAPH_FUZZ_CHECK(reframed.size() == r.consumed);
+  HYGRAPH_FUZZ_CHECK(
+      std::string_view(reframed) ==
+      std::string_view(reinterpret_cast<const char*>(data), r.consumed));
+
+  // Payload parsers are total too, and strict enough to be canonical.
+  if (r.frame.type == FrameType::kResult) {
+    auto resp = server::DecodeResponse(r.frame);
+    if (resp.ok()) {
+      const std::string reencoded = server::EncodeResultFrame(*resp);
+      HYGRAPH_FUZZ_CHECK(reencoded == reframed);
+    }
+    return;
+  }
+  auto req = server::DecodeRequest(r.frame);
+  if (req.ok()) {
+    HYGRAPH_FUZZ_CHECK(req->type == r.frame.type);
+    HYGRAPH_FUZZ_CHECK(ReencodeRequest(*req) == reframed);
+  }
+
+  // A tighter server-side ceiling must stay total as well and can only
+  // tighten the verdict, never loosen it.
+  const DecodeResult tight = DecodeFrame(data, size, /*max_payload=*/64);
+  HYGRAPH_FUZZ_CHECK(tight.progress == DecodeProgress::kError ||
+                     r.frame.payload.size() <= 64);
+}
+
+}  // namespace hygraph::fuzz

@@ -44,6 +44,12 @@ them. The current rules (see DESIGN.md §12 "Static analysis"):
                   layer above obs). Upward or sideways includes are errors:
                   they are cycles waiting to happen and defeat the
                   one-direction dependency story in DESIGN.md.
+  raw-socket      no socket/poll syscalls (socket, bind, listen, accept,
+                  connect, recv, send, poll, setsockopt, shutdown, ...) in
+                  src/ outside src/server/net.{h,cc} — the server's RAII
+                  Socket/Listener wrappers own every fd, EINTR loop, and
+                  SIGPIPE suppression exactly once. Annotate a genuine
+                  exception with NOLINT(hygraph-raw-socket).
   unranked-lock   every hygraph::Mutex / SharedMutex member declaration in
                   src/ must be constructed with a LockRank (on the
                   declaration, or where the member is initialized in the
@@ -87,9 +93,13 @@ RETRY_HOME = Path("src/storage/retry.cc")
 # Its header declares the worker vector and carries the NOLINT escape there.
 POOL_HOME = Path("src/common/thread_pool.cc")
 POOL_FILES = (POOL_HOME, Path("src/common/thread_pool.h"))
+# The one sanctioned home of socket/poll syscalls: the server's RAII
+# net::Socket / net::Listener wrappers.
+NET_FILES = (Path("src/server/net.h"), Path("src/server/net.cc"))
 
 RAW_SLEEP_ALLOW = "NOLINT(hygraph-raw-sleep)"
 RAW_THREAD_ALLOW = "NOLINT(hygraph-raw-thread)"
+RAW_SOCKET_ALLOW = "NOLINT(hygraph-raw-socket)"
 NAKED_NEW_ALLOW = "NOLINT(hygraph-naked-new)"
 UNRANKED_ALLOW = "NOLINT(hygraph-unranked-lock)"
 
@@ -114,6 +124,7 @@ LAYER_DEPS: dict[str, tuple[str, ...]] = {
     "storage": ("query",),
     "analytics": ("core", "storage"),
     "workloads": ("core", "storage"),
+    "server": ("storage",),
 }
 
 
@@ -338,6 +349,30 @@ def check_raw_thread(tree: Tree, report) -> None:
                        "(common/thread_pool.h), not raw std::thread; "
                        "annotate a genuine exception with "
                        f"{RAW_THREAD_ALLOW}")
+
+
+SOCKET_CALL_RE = re.compile(
+    r"(?:^|[^\w.:>])(?:::\s*)?"
+    r"(socket|bind|listen|accept4?|connect|recv(?:from|msg)?|"
+    r"send(?:to|msg)?|p?poll|select|epoll_\w+|setsockopt|getsockopt|"
+    r"getsockname|getpeername|shutdown|inet_pton|inet_ntop)\s*\(")
+
+
+@rule("raw-socket", "src/ outside server/net.{h,cc}")
+def check_raw_socket(tree: Tree, report) -> None:
+    for f in tree.files:
+        if f.rel.parts[0] != "src" or f.rel in NET_FILES:
+            continue
+        for lineno, (raw_line, code_line) in enumerate(zip(f.raw, f.code), 1):
+            if RAW_SOCKET_ALLOW in raw_line:
+                continue
+            m = SOCKET_CALL_RE.search(code_line)
+            if m is not None:
+                report(f.rel, lineno, "raw-socket",
+                       f"raw socket/poll syscall {m.group(1)}() belongs in "
+                       "net::Socket/net::Listener (src/server/net.h); "
+                       "annotate a genuine exception with "
+                       f"{RAW_SOCKET_ALLOW}")
 
 
 @rule("naked-new", "library code (src/, fuzz/)")

@@ -1,0 +1,88 @@
+#!/usr/bin/env bash
+# End-to-end smoke of the HGQL network server: launch examples/hgql_server,
+# drive queries through examples/hgql_client over loopback, scrape the
+# Prometheus /metrics endpoint and require the server.* counters to have
+# moved, then shut the daemon down with SIGTERM and require a clean exit.
+#
+#   usage: scripts/server_smoke.sh [build_dir]   (default: build)
+#
+# Run from the repo root (CI: the server-smoke job).
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+SERVER="$BUILD_DIR/examples/hgql_server"
+CLIENT="$BUILD_DIR/examples/hgql_client"
+OUT="$(mktemp /tmp/hgql_smoke_XXXXXX.log)"
+
+[ -x "$SERVER" ] || { echo "missing $SERVER (build hgql_server first)"; exit 1; }
+[ -x "$CLIENT" ] || { echo "missing $CLIENT (build hgql_client first)"; exit 1; }
+
+"$SERVER" </dev/null >"$OUT" 2>&1 &
+SERVER_PID=$!
+cleanup() { kill "$SERVER_PID" 2>/dev/null || true; }
+trap cleanup EXIT
+
+# Wait for the daemon to print its ephemeral ports.
+PORT=""
+for _ in $(seq 1 50); do
+  PORT=$(grep -oP 'listening on 127\.0\.0\.1:\K[0-9]+' "$OUT" || true)
+  [ -n "$PORT" ] && break
+  sleep 0.1
+done
+[ -n "$PORT" ] || { echo "server never printed its port"; cat "$OUT"; exit 1; }
+METRICS_PORT=$(grep -oP 'metrics at http://127\.0\.0\.1:\K[0-9]+' "$OUT")
+echo "server up: query port $PORT, metrics port $METRICS_PORT"
+
+# Drive real queries and admin verbs through the wire client.
+REPL_OUT=$(printf '%s\n' \
+    "MATCH (s:Station) RETURN s.district AS d LIMIT 3" \
+    "MATCH (s:Station) RETURN ts_avg(s.bikes, 0, 99999999999999) AS b LIMIT 1" \
+    ":server.info" \
+    ":stats" \
+    "quit" | "$CLIENT" "$PORT")
+echo "$REPL_OUT"
+echo "$REPL_OUT" | grep -q "connected to 127.0.0.1:$PORT" \
+  || { echo "FAIL: client never connected"; exit 1; }
+echo "$REPL_OUT" | grep -q "session.queries" \
+  || { echo "FAIL: :stats did not report session tallies"; exit 1; }
+if echo "$REPL_OUT" | grep -q "^error:"; then
+  echo "FAIL: a smoke query errored"; exit 1
+fi
+
+# Scrape Prometheus metrics and require the request counters to have moved.
+python3 - "$METRICS_PORT" <<'EOF'
+import sys, urllib.request
+
+port = sys.argv[1]
+text = urllib.request.urlopen(f"http://127.0.0.1:{port}/metrics",
+                              timeout=10).read().decode()
+metrics = {}
+for line in text.splitlines():
+    if line and not line.startswith("#"):
+        name, _, value = line.partition(" ")
+        try:
+            metrics[name] = float(value)
+        except ValueError:
+            pass
+for name in ("hygraph_server_requests", "hygraph_server_queries",
+             "hygraph_server_connections_accepted"):
+    if metrics.get(name, 0) <= 0:
+        sys.exit(f"FAIL: {name} did not move (got {metrics.get(name)})")
+print(f"metrics ok: requests={metrics['hygraph_server_requests']:.0f} "
+      f"queries={metrics['hygraph_server_queries']:.0f}")
+EOF
+
+# Clean shutdown: SIGTERM must make the daemon stop and say goodbye.
+kill -TERM "$SERVER_PID"
+for _ in $(seq 1 50); do
+  kill -0 "$SERVER_PID" 2>/dev/null || break
+  sleep 0.1
+done
+if kill -0 "$SERVER_PID" 2>/dev/null; then
+  echo "FAIL: server still running after SIGTERM"; exit 1
+fi
+wait "$SERVER_PID" && RC=0 || RC=$?
+[ "$RC" -eq 0 ] || { echo "FAIL: server exit code $RC"; cat "$OUT"; exit 1; }
+grep -q "bye" "$OUT" || { echo "FAIL: no clean shutdown message"; exit 1; }
+trap - EXIT
+echo "server_smoke: OK"

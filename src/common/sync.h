@@ -43,8 +43,24 @@ namespace hygraph {
 /// NOLINT(hygraph-unranked-lock) (enforced by scripts/hygraph_lint.py).
 enum class LockRank : int {
   kUnranked = 0,
+  /// HgqlServer connection/session registry (src/server/server.cc). The
+  /// server is the top entry layer, so its locks rank above (numerically
+  /// below) everything it can call into.
+  kServerState = 2,
+  /// Group-commit ticket mutex (src/server/group_commit.cc). Never held
+  /// across the WAL append or sync itself — the leader releases it before
+  /// calling DurableStore::SyncWal() — but parked followers block on it,
+  /// so it must sit above kDurableAppend in the hierarchy.
+  kServerCommit = 4,
   /// DurableStore append mutex (serializes WAL append + apply).
   kDurableAppend = 10,
+  /// DurableStore WAL fsync mutex. SyncWal acquires append_mu_ ->
+  /// wal_sync_mu_, then RELEASES append_mu_ and fsyncs holding only this
+  /// lock, so mutators keep appending while a group-commit leader waits on
+  /// the disk. Rotation sites (checkpoint, WAL rebuild) take it while
+  /// holding append_mu_ — the same acquisition order — to drain an
+  /// in-flight fsync before closing the old writer.
+  kDurableWalSync = 12,
   /// Store coarse guard (AllInGraphStore / PolyglotStore reader-writer
   /// lock over graph + series maps).
   kStoreCoarse = 20,
@@ -68,8 +84,14 @@ constexpr const char* LockRankName(LockRank rank) {
   switch (rank) {
     case LockRank::kUnranked:
       return "unranked";
+    case LockRank::kServerState:
+      return "server.state_mu";
+    case LockRank::kServerCommit:
+      return "server.commit_mu";
     case LockRank::kDurableAppend:
       return "durable.append_mu";
+    case LockRank::kDurableWalSync:
+      return "durable.wal_sync_mu";
     case LockRank::kStoreCoarse:
       return "store.coarse_guard";
     case LockRank::kSeriesMap:

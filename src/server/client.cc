@@ -1,0 +1,96 @@
+#include "server/client.h"
+
+namespace hygraph::server {
+
+Result<HgqlClient> HgqlClient::Connect(const std::string& host, uint16_t port,
+                                       const std::string& client_name) {
+  auto sock = net::Socket::Connect(host, port);
+  if (!sock.ok()) return sock.status();
+  HgqlClient client;
+  client.sock_ = std::move(*sock);
+
+  HelloRequest hello;
+  hello.client_name = client_name;
+  auto resp = client.RoundTrip(EncodeHelloFrame(hello));
+  if (!resp.ok()) return resp.status();
+  if (resp->code != StatusCode::kOk) {
+    return StatusFromWire(resp->code, resp->message);
+  }
+  for (size_t i = 0; i < resp->table.rows.size(); ++i) {
+    if (resp->table.rows[i].size() == 2 &&
+        resp->table.rows[i][0] == Value("session_id")) {
+      client.session_id_ =
+          static_cast<uint64_t>(resp->table.rows[i][1].AsInt());
+    }
+  }
+  return client;
+}
+
+Result<WireResponse> HgqlClient::RoundTrip(const std::string& frame) {
+  if (!sock_.valid()) {
+    return Status::FailedPrecondition("client not connected");
+  }
+  HYGRAPH_RETURN_IF_ERROR(sock_.WriteAll(frame.data(), frame.size()));
+
+  uint8_t header[kWireHeaderSize];
+  HYGRAPH_RETURN_IF_ERROR(sock_.ReadFull(header, sizeof(header)));
+  DecodeResult scan = DecodeFrame(header, sizeof(header));
+  if (scan.progress == DecodeProgress::kError) return scan.error;
+  std::string buf(reinterpret_cast<const char*>(header), sizeof(header));
+  if (scan.need > buf.size()) {
+    buf.resize(scan.need);
+    HYGRAPH_RETURN_IF_ERROR(
+        sock_.ReadFull(buf.data() + kWireHeaderSize,
+                       buf.size() - kWireHeaderSize));
+  }
+  DecodeResult full = DecodeFrame(
+      reinterpret_cast<const uint8_t*>(buf.data()), buf.size());
+  if (full.progress != DecodeProgress::kFrame) {
+    return full.progress == DecodeProgress::kError
+               ? full.error
+               : Status::Internal("client: short frame after full read");
+  }
+  return DecodeResponse(full.frame);
+}
+
+Result<query::QueryResult> HgqlClient::Query(const std::string& text,
+                                             uint64_t timeout_ms) {
+  QueryRequest req;
+  req.text = text;
+  req.timeout_ms = timeout_ms;
+  auto resp = RoundTrip(EncodeQueryFrame(req));
+  if (!resp.ok()) return resp.status();
+  if (resp->code != StatusCode::kOk) {
+    return StatusFromWire(resp->code, resp->message);
+  }
+  return std::move(resp->table);
+}
+
+Status HgqlClient::Append(const std::vector<SampleUpdate>& samples,
+                          bool no_sync) {
+  AppendRequest req;
+  req.no_sync = no_sync;
+  req.samples = samples;
+  auto resp = RoundTrip(EncodeAppendFrame(req));
+  if (!resp.ok()) return resp.status();
+  return StatusFromWire(resp->code, resp->message);
+}
+
+Result<query::QueryResult> HgqlClient::Admin(const std::string& command) {
+  AdminRequest req;
+  req.command = command;
+  auto resp = RoundTrip(EncodeAdminFrame(req));
+  if (!resp.ok()) return resp.status();
+  if (resp->code != StatusCode::kOk) {
+    return StatusFromWire(resp->code, resp->message);
+  }
+  return std::move(resp->table);
+}
+
+void HgqlClient::Close() {
+  if (!sock_.valid()) return;
+  HYGRAPH_IGNORE_RESULT(RoundTrip(EncodeGoodbyeFrame()));
+  sock_.Close();
+}
+
+}  // namespace hygraph::server

@@ -1,0 +1,57 @@
+#ifndef HYGRAPH_SERVER_CLIENT_H_
+#define HYGRAPH_SERVER_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "query/executor.h"
+#include "server/net.h"
+#include "server/wire.h"
+
+namespace hygraph::server {
+
+/// Minimal blocking HGQL client: one TCP connection, one request in
+/// flight. Used by examples/hgql_client (the REPL), bench_server's load
+/// workers, and the CI loopback smoke. Not thread-safe — one HgqlClient
+/// per thread.
+class HgqlClient {
+ public:
+  HgqlClient() = default;
+
+  /// Connects and performs the HELLO handshake.
+  static Result<HgqlClient> Connect(const std::string& host, uint16_t port,
+                                    const std::string& client_name = "cpp");
+
+  bool connected() const { return sock_.valid(); }
+  uint64_t session_id() const { return session_id_; }
+
+  /// Runs one HGQL query; the result table, or the server's error status.
+  Result<query::QueryResult> Query(const std::string& text,
+                                   uint64_t timeout_ms = 0);
+
+  /// Appends a batch of samples. With `no_sync` the server acks before the
+  /// batch is fsynced (it is still WAL-appended and crash-recoverable up
+  /// to the last sync).
+  Status Append(const std::vector<SampleUpdate>& samples,
+                bool no_sync = false);
+
+  /// Runs an admin verb ("ping", "stats", "slowlog", "snapshot.begin",
+  /// ...); returns the response table (possibly empty).
+  Result<query::QueryResult> Admin(const std::string& command);
+
+  /// Sends GOODBYE and closes. Safe on an already-closed client.
+  void Close();
+
+ private:
+  /// One request/response round trip on the wire.
+  Result<WireResponse> RoundTrip(const std::string& frame);
+
+  net::Socket sock_;
+  uint64_t session_id_ = 0;
+};
+
+}  // namespace hygraph::server
+
+#endif  // HYGRAPH_SERVER_CLIENT_H_

@@ -1,0 +1,74 @@
+#include "server/group_commit.h"
+
+namespace hygraph::server {
+
+GroupCommitter::GroupCommitter(storage::DurableStore* durable,
+                               obs::MetricsRegistry* registry)
+    : durable_(durable) {
+  if (registry != nullptr) {
+    commit_batches_ = registry->counter("server.commit_batches");
+    batch_size_ = registry->histogram("server.commit_batch_size");
+    commits_ = registry->counter("server.commits");
+  }
+}
+
+Status GroupCommitter::CommitNoSync(const std::function<Status()>& append) {
+  if (commits_ != nullptr) commits_->Increment();
+  return append();
+}
+
+Status GroupCommitter::Commit(const std::function<Status()>& append) {
+  if (commits_ != nullptr) commits_->Increment();
+  // Step 1: the append itself, serialized by the store's append mutex.
+  // A failed append never enters the ticket protocol — there is nothing
+  // durable to wait for.
+  HYGRAPH_RETURN_IF_ERROR(append());
+
+  // Step 2: take a ticket. The append above finished before the ticket
+  // exists, so any sync started after this point covers it.
+  uint64_t my = 0;
+  {
+    MutexLock lock(mu_);
+    my = ++appended_;
+  }
+
+  // Step 3: park until a sync covers the ticket; lead when nobody else is.
+  // The leader runs SyncWal() with the ticket mutex RELEASED, so followers
+  // keep appending and taking tickets while the fsync is in flight — the
+  // next leader's batch is exactly those stragglers.
+  for (;;) {
+    uint64_t target = 0;
+    {
+      MutexLock lock(mu_);
+      while (synced_ < my && failed_through_ < my && sync_inflight_) {
+        cv_.wait(mu_);
+      }
+      if (synced_ >= my) return Status::OK();
+      if (failed_through_ >= my) return fail_status_;
+      sync_inflight_ = true;  // this thread leads the next round
+      target = appended_;
+    }
+    const Status sync = durable_->SyncWal();
+    MutexLock lock(mu_);
+    sync_inflight_ = false;
+    if (sync.ok()) {
+      if (commit_batches_ != nullptr) commit_batches_->Increment();
+      if (batch_size_ != nullptr) batch_size_->Record(target - synced_);
+      ++batches_;
+      synced_ = target;
+    } else {
+      // Tickets the failed sync was meant to cover must not ack; they may
+      // or may not be on disk. Later tickets elect a new leader and retry.
+      failed_through_ = target;
+      fail_status_ = sync;
+    }
+    cv_.notify_all();
+  }
+}
+
+uint64_t GroupCommitter::batches() const {
+  MutexLock lock(mu_);
+  return batches_;
+}
+
+}  // namespace hygraph::server

@@ -1,0 +1,84 @@
+#ifndef HYGRAPH_SERVER_GROUP_COMMIT_H_
+#define HYGRAPH_SERVER_GROUP_COMMIT_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+
+#include "common/status.h"
+#include "common/sync.h"
+#include "common/thread_annotations.h"
+#include "obs/metrics.h"
+#include "storage/durable.h"
+
+namespace hygraph::server {
+
+/// Group commit over a DurableStore opened with sync_wal = false.
+///
+/// DESIGN.md §10 calls the WAL append path "group-commit friendly": every
+/// logged mutation serializes on one append mutex, so any thread's
+/// SyncWal() makes ALL earlier appends durable at once. This class turns
+/// that property into a protocol. Each committing thread:
+///
+///   1. runs its append function OUTSIDE the ticket mutex (the appends
+///      already serialize on the store's own append mutex — holding ours
+///      there would collapse every batch to size 1),
+///   2. takes a ticket `my = ++appended_` under the ticket mutex,
+///   3. parks until `synced_ >= my`. The first parked thread to find no
+///      sync in flight becomes the LEADER: it snapshots
+///      `target = appended_`, releases the mutex, runs one SyncWal(), and
+///      wakes everyone with `synced_ = target`.
+///
+/// Any ticket <= target finished its WAL append before the leader's sync
+/// started (the ticket is taken after the append returns), so the single
+/// fsync durably covers the whole batch: under N concurrent writers,
+/// wal.syncs grows per BATCH while wal.appends grows per record. A failed
+/// sync fails every ticket it was supposed to cover (no false acks); later
+/// tickets elect a fresh leader and retry with a new sync.
+///
+/// Lock order: commit_mu (rank kServerCommit) is never held while calling
+/// into the store, so it composes with the append mutex (kDurableAppend)
+/// without nesting in the sync-covering direction.
+class GroupCommitter {
+ public:
+  /// `durable` must outlive the committer. `registry` (optional) receives
+  /// the server.commit_* instruments.
+  explicit GroupCommitter(storage::DurableStore* durable,
+                          obs::MetricsRegistry* registry = nullptr);
+
+  /// Runs `append` (which must route its mutations through the store's
+  /// logged API) and, when it succeeds, parks until a WAL sync covering it
+  /// has completed. Returns the append's own error unchanged, or the
+  /// covering sync's error if that sync failed.
+  Status Commit(const std::function<Status()>& append);
+
+  /// Appends without waiting for durability (fire-and-forget writes).
+  Status CommitNoSync(const std::function<Status()>& append);
+
+  /// Sync rounds completed so far (== wal.syncs this committer issued).
+  uint64_t batches() const;
+
+ private:
+  storage::DurableStore* durable_;
+
+  mutable Mutex mu_{LockRank::kServerCommit};
+  std::condition_variable_any cv_;
+  /// Tickets issued: count of appends that completed their WAL write.
+  uint64_t appended_ HYGRAPH_GUARDED_BY(mu_) = 0;
+  /// Highest ticket covered by a completed, successful sync.
+  uint64_t synced_ HYGRAPH_GUARDED_BY(mu_) = 0;
+  /// Highest ticket covered by a FAILED sync (those commits must not ack).
+  uint64_t failed_through_ HYGRAPH_GUARDED_BY(mu_) = 0;
+  Status fail_status_ HYGRAPH_GUARDED_BY(mu_);
+  bool sync_inflight_ HYGRAPH_GUARDED_BY(mu_) = false;
+  uint64_t batches_ HYGRAPH_GUARDED_BY(mu_) = 0;
+
+  // Optional instruments (null when no registry was given).
+  obs::Counter* commit_batches_ = nullptr;
+  obs::Histogram* batch_size_ = nullptr;
+  obs::Counter* commits_ = nullptr;
+};
+
+}  // namespace hygraph::server
+
+#endif  // HYGRAPH_SERVER_GROUP_COMMIT_H_

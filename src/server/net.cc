@@ -1,0 +1,187 @@
+#include "server/net.h"
+
+#include <atomic>
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <cstring>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace hygraph::server::net {
+
+namespace {
+
+Status Errno(const char* what) {
+  return Status::IOError(std::string(what) + ": " + std::strerror(errno));
+}
+
+Result<sockaddr_in> ParseAddr(const std::string& host, uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    return Status::InvalidArgument("net: not a numeric IPv4 address: " + host);
+  }
+  return addr;
+}
+
+}  // namespace
+
+Socket& Socket::operator=(Socket&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+Result<Socket> Socket::Connect(const std::string& host, uint16_t port) {
+  auto addr = ParseAddr(host, port);
+  if (!addr.ok()) return addr.status();
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Errno("net: socket");
+  Socket sock(fd);
+  int rc;
+  do {
+    rc = ::connect(fd, reinterpret_cast<const sockaddr*>(&*addr),
+                   sizeof(*addr));
+  } while (rc != 0 && errno == EINTR);
+  if (rc != 0) return Errno("net: connect");
+  const int one = 1;
+  // Best effort: request-response traffic wants Nagle off.
+  (void)::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return sock;
+}
+
+Result<size_t> Socket::ReadSome(void* buf, size_t n) {
+  if (!valid()) return Status::FailedPrecondition("net: socket closed");
+  ssize_t rc;
+  do {
+    rc = ::recv(fd_, buf, n, 0);
+  } while (rc < 0 && errno == EINTR);
+  if (rc < 0) return Errno("net: recv");
+  return static_cast<size_t>(rc);
+}
+
+Status Socket::ReadFull(void* buf, size_t n) {
+  char* p = static_cast<char*>(buf);
+  size_t got = 0;
+  while (got < n) {
+    auto rc = ReadSome(p + got, n - got);
+    if (!rc.ok()) return rc.status();
+    if (*rc == 0) {
+      return Status::Unavailable("net: connection closed by peer");
+    }
+    got += *rc;
+  }
+  return Status::OK();
+}
+
+Status Socket::WriteAll(const void* buf, size_t n) {
+  if (!valid()) return Status::FailedPrecondition("net: socket closed");
+  const char* p = static_cast<const char*>(buf);
+  size_t sent = 0;
+  while (sent < n) {
+    ssize_t rc;
+    do {
+      rc = ::send(fd_, p + sent, n - sent, MSG_NOSIGNAL);
+    } while (rc < 0 && errno == EINTR);
+    if (rc < 0) return Errno("net: send");
+    sent += static_cast<size_t>(rc);
+  }
+  return Status::OK();
+}
+
+void Socket::ShutdownRead() {
+  if (valid()) (void)::shutdown(fd_, SHUT_RD);
+}
+
+void Socket::ShutdownBoth() {
+  if (valid()) (void)::shutdown(fd_, SHUT_RDWR);
+}
+
+void Socket::Close() {
+  if (valid()) {
+    (void)::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Listener& Listener::operator=(Listener&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_.store(other.fd_.exchange(-1));
+    port_ = other.port_;
+  }
+  return *this;
+}
+
+Result<Listener> Listener::Listen(const std::string& host, uint16_t port,
+                                  int backlog) {
+  auto addr = ParseAddr(host, port);
+  if (!addr.ok()) return addr.status();
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Errno("net: socket");
+  Listener lst;
+  lst.fd_ = fd;
+  const int one = 1;
+  (void)::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&*addr), sizeof(*addr)) !=
+      0) {
+    return Errno("net: bind");
+  }
+  if (::listen(fd, backlog) != 0) return Errno("net: listen");
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) != 0) {
+    return Errno("net: getsockname");
+  }
+  lst.port_ = ntohs(bound.sin_port);
+  return lst;
+}
+
+Result<Socket> Listener::AcceptWithTimeout(int timeout_ms) {
+  // One load up front: a concurrent Close() (Stop() unblocking this loop)
+  // makes the poll/accept below fail with EBADF, which is handled.
+  const int lfd = fd_.load(std::memory_order_acquire);
+  if (lfd < 0) return Status::FailedPrecondition("net: listener closed");
+  pollfd pfd{};
+  pfd.fd = lfd;
+  pfd.events = POLLIN;
+  int rc;
+  do {
+    rc = ::poll(&pfd, 1, timeout_ms);
+  } while (rc < 0 && errno == EINTR);
+  if (rc < 0) {
+    if (errno == EBADF) return Status::Unavailable("net: listener closed");
+    return Errno("net: poll");
+  }
+  if (rc == 0) return Socket();  // timeout: caller re-checks its stop flag
+  int conn;
+  do {
+    conn = ::accept(lfd, nullptr, nullptr);
+  } while (conn < 0 && errno == EINTR);
+  if (conn < 0) {
+    // The listener was closed under us (Stop()) or the connection vanished
+    // between poll and accept; both are quiet "try again / shut down" cases.
+    if (errno == EBADF || errno == EINVAL) {
+      return Status::Unavailable("net: listener closed");
+    }
+    return Socket();
+  }
+  const int one = 1;
+  (void)::setsockopt(conn, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return Socket(conn);
+}
+
+void Listener::Close() {
+  const int fd = fd_.exchange(-1, std::memory_order_acq_rel);
+  if (fd >= 0) (void)::close(fd);
+}
+
+}  // namespace hygraph::server::net

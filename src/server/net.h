@@ -1,0 +1,88 @@
+#ifndef HYGRAPH_SERVER_NET_H_
+#define HYGRAPH_SERVER_NET_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+
+namespace hygraph::server::net {
+
+/// Thin RAII wrappers over blocking TCP sockets. This file (with net.cc)
+/// is the ONLY place in src/ allowed to touch socket/poll syscalls — the
+/// hygraph-raw-socket lint rule confines them here so transport concerns
+/// (EINTR retries, partial reads, SIGPIPE suppression) cannot leak into
+/// protocol or server logic.
+
+/// A connected stream socket. Move-only; closes on destruction.
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) : fd_(fd) {}
+  ~Socket() { Close(); }
+  Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Socket& operator=(Socket&& other) noexcept;
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+
+  bool valid() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+
+  /// Connects to host:port (numeric IPv4 host, e.g. "127.0.0.1").
+  static Result<Socket> Connect(const std::string& host, uint16_t port);
+
+  /// One recv(); returns the byte count, 0 on orderly peer shutdown.
+  Result<size_t> ReadSome(void* buf, size_t n);
+  /// Reads exactly n bytes; kUnavailable if the peer closes early.
+  Status ReadFull(void* buf, size_t n);
+  /// Writes all n bytes (send with SIGPIPE suppressed).
+  Status WriteAll(const void* buf, size_t n);
+
+  /// Half-closes the read side: a blocked reader on this socket wakes up
+  /// with EOF. Used by Stop() to nudge connection threads out of recv().
+  void ShutdownRead();
+  void ShutdownBoth();
+  void Close();
+
+ private:
+  int fd_ = -1;
+};
+
+/// A listening TCP socket bound to host:port (port 0 picks an ephemeral
+/// port; port() reports the resolved one).
+class Listener {
+ public:
+  Listener() = default;
+  ~Listener() { Close(); }
+  Listener(Listener&& other) noexcept
+      : fd_(other.fd_.exchange(-1)), port_(other.port_) {}
+  Listener& operator=(Listener&& other) noexcept;
+  Listener(const Listener&) = delete;
+  Listener& operator=(const Listener&) = delete;
+
+  static Result<Listener> Listen(const std::string& host, uint16_t port,
+                                 int backlog = 64);
+
+  bool valid() const { return fd_.load(std::memory_order_acquire) >= 0; }
+  uint16_t port() const { return port_; }
+
+  /// Polls up to timeout_ms for a connection. Returns an invalid Socket on
+  /// timeout (so accept loops can observe a stop flag), an error once the
+  /// listener is closed.
+  Result<Socket> AcceptWithTimeout(int timeout_ms);
+
+  void Close();
+
+ private:
+  /// Atomic because Close() races with a concurrent AcceptWithTimeout() by
+  /// design: Stop() closes the fd to make the accept thread's poll fail
+  /// with EBADF and exit its loop.
+  std::atomic<int> fd_{-1};
+  uint16_t port_ = 0;
+};
+
+}  // namespace hygraph::server::net
+
+#endif  // HYGRAPH_SERVER_NET_H_

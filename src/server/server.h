@@ -1,0 +1,190 @@
+#ifndef HYGRAPH_SERVER_SERVER_H_
+#define HYGRAPH_SERVER_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+#include "common/sync.h"
+#include "common/thread_annotations.h"
+#include "obs/metrics.h"
+#include "query/backend.h"
+#include "server/group_commit.h"
+#include "server/net.h"
+#include "server/session.h"
+#include "server/wire.h"
+#include "storage/durable.h"
+
+namespace hygraph::server {
+
+struct ServerOptions {
+  /// Numeric IPv4 bind address.
+  std::string host = "127.0.0.1";
+  /// 0 picks an ephemeral port; HgqlServer::port() reports the real one.
+  uint16_t port = 0;
+
+  /// Serve GET /metrics (Prometheus text), /metrics.json and /healthz on a
+  /// second listener. Port 0 = ephemeral (metrics_port() reports it).
+  bool enable_metrics_http = true;
+  uint16_t metrics_port = 0;
+
+  /// Accepted connections beyond this are turned away with
+  /// kResourceExhausted before a session starts. 0 = unlimited.
+  size_t max_connections = 64;
+
+  /// Admission control: requests executing at once across all connections.
+  /// Arrivals beyond the limit are SHED with kResourceExhausted rather than
+  /// queued (open-loop clients would otherwise build an unbounded backlog —
+  /// the client owns the retry policy). 0 = unlimited.
+  size_t max_inflight = 32;
+
+  /// Deadline applied to queries that do not carry their own TIMEOUT
+  /// clause or wire timeout. 0 = none.
+  uint64_t default_timeout_ms = 0;
+  /// Points budget installed on every query context. 0 = unlimited.
+  uint64_t points_budget = 0;
+
+  /// > 0 arms the global obs::SlowQueryLog at this threshold when the
+  /// server starts (the PR 4 log is otherwise unreachable from the wire);
+  /// entries are served by the `slowlog` admin command.
+  uint64_t slow_query_threshold_ms = 0;
+
+  /// Per-frame payload ceiling for this server (clamped to kWireMaxPayload).
+  uint32_t max_frame_bytes = kWireMaxPayload;
+
+  /// Enables the `debug.*` admin commands tests use to hold an in-flight
+  /// slot deterministically. Never enable in production.
+  bool enable_debug_commands = false;
+};
+
+/// Multi-threaded TCP front door for one backend (DESIGN.md §14).
+///
+/// Threading model: one accept thread, one thread per live connection
+/// (sessions are connection-scoped and single-threaded by construction),
+/// plus one thread for the metrics HTTP listener. Cross-thread state is
+/// confined to the connection registry (state_mu_, rank kServerState), the
+/// atomic in-flight/stop counters, and the group committer's ticket lock.
+///
+/// Request flow: length-prefixed CRC frames (server/wire.h) carry HGQL
+/// text in, tabular results out. Every query runs against a pinned
+/// snapshot (server/session.h) under a governed QueryContext (deadline +
+/// points budget); mutating APPEND frames ride the group committer so one
+/// fsync acks many concurrent writers. Overload sheds with
+/// kResourceExhausted at two gates: connection admission and request
+/// admission.
+///
+/// Shutdown: Stop() closes the listener, half-closes every live
+/// connection's read side (in-flight requests complete and their responses
+/// flush before the connection thread observes EOF), then joins every
+/// thread. Destruction stops implicitly.
+class HgqlServer {
+ public:
+  /// `backend` must outlive the server. `durable` (nullable) enables the
+  /// write path: APPEND frames and the group-commit protocol; typically
+  /// `backend == durable`. Neither is owned.
+  HgqlServer(const query::QueryBackend* backend,
+             storage::DurableStore* durable, ServerOptions options = {});
+  ~HgqlServer();
+
+  HgqlServer(const HgqlServer&) = delete;
+  HgqlServer& operator=(const HgqlServer&) = delete;
+
+  /// Binds, listens, and launches the accept/metrics threads.
+  Status Start();
+  /// Clean shutdown (see class comment). Idempotent.
+  void Stop();
+
+  bool running() const { return started_ && !stopped_.load(); }
+  uint16_t port() const { return port_; }
+  uint16_t metrics_port() const { return metrics_port_; }
+
+  /// The server's own registry ("server.*" instruments).
+  obs::MetricsRegistry* metrics() { return &metrics_; }
+  /// Server + durable + wrapped-backend + process-global registries merged
+  /// (what /metrics exports).
+  obs::MetricsSnapshot MergedMetrics() const;
+
+  /// Sessions ever opened / currently live (tests + `stats` admin verb).
+  uint64_t sessions_opened() const;
+  size_t connections_active() const;
+
+ private:
+  struct Conn {
+    net::Socket sock;
+    std::thread thread;  // NOLINT(hygraph-raw-thread): joined by reaper/Stop
+    std::atomic<bool> done{false};
+  };
+
+  void AcceptLoop();
+  void MetricsLoop();
+  void ServeConnection(Conn* conn);
+  void ServeMetricsConnection(net::Socket sock);
+
+  /// Joins and erases finished connections; `all` waits for every one.
+  void ReapConnections(bool all);
+
+  /// Reads one frame (header, then payload) off the socket. OK with
+  /// has_frame=false means orderly EOF before a new frame started.
+  struct ReadFrameResult {
+    Status status;
+    bool has_frame = false;
+    WireFrame frame;
+  };
+  ReadFrameResult ReadFrame(net::Socket& sock);
+
+  WireResponse HandleRequest(Session& session, const Request& req);
+  WireResponse HandleQuery(Session& session, const QueryRequest& req);
+  WireResponse HandleAppend(Session& session, const AppendRequest& req);
+  WireResponse HandleAdmin(Session& session, const AdminRequest& req);
+
+  const query::QueryBackend* backend_;
+  storage::DurableStore* durable_;
+  ServerOptions options_;
+
+  obs::MetricsRegistry metrics_;
+  std::unique_ptr<GroupCommitter> committer_;
+
+  net::Listener listener_;
+  net::Listener metrics_listener_;
+  uint16_t port_ = 0;
+  uint16_t metrics_port_ = 0;
+
+  bool started_ = false;
+  std::atomic<bool> stopped_{false};
+  std::thread accept_thread_;   // NOLINT(hygraph-raw-thread): joined in Stop
+  std::thread metrics_thread_;  // NOLINT(hygraph-raw-thread): joined in Stop
+
+  mutable Mutex state_mu_{LockRank::kServerState};
+  std::vector<std::unique_ptr<Conn>> conns_ HYGRAPH_GUARDED_BY(state_mu_);
+  uint64_t next_session_id_ HYGRAPH_GUARDED_BY(state_mu_) = 1;
+  uint64_t sessions_opened_ HYGRAPH_GUARDED_BY(state_mu_) = 0;
+
+  std::atomic<size_t> in_flight_{0};
+  std::atomic<size_t> active_conns_{0};
+
+  // Cached instruments (resolved once; see obs/metrics.h cost model).
+  obs::Counter* connections_accepted_ = nullptr;
+  obs::Counter* connections_rejected_ = nullptr;
+  obs::Gauge* connections_active_gauge_ = nullptr;
+  obs::Counter* requests_ = nullptr;
+  obs::Counter* requests_shed_ = nullptr;
+  obs::Counter* request_errors_ = nullptr;
+  obs::Gauge* inflight_gauge_ = nullptr;
+  obs::Histogram* request_nanos_ = nullptr;
+  obs::Counter* queries_ = nullptr;
+  obs::Counter* appends_ = nullptr;
+  obs::Counter* samples_appended_ = nullptr;
+  obs::Counter* admin_requests_ = nullptr;
+  obs::Counter* frames_rejected_ = nullptr;
+  obs::Counter* bytes_read_ = nullptr;
+  obs::Counter* bytes_written_ = nullptr;
+  obs::Counter* snapshots_pinned_ = nullptr;
+};
+
+}  // namespace hygraph::server
+
+#endif  // HYGRAPH_SERVER_SERVER_H_

@@ -1,0 +1,80 @@
+#ifndef HYGRAPH_SERVER_SESSION_H_
+#define HYGRAPH_SERVER_SESSION_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+#include "query/backend.h"
+
+namespace hygraph::server {
+
+/// Per-connection session state. A session is owned by exactly one
+/// connection thread — nothing here needs a lock; the server's registry
+/// (creation, teardown, counting) carries its own mutex.
+///
+/// Read views (DESIGN.md §8 snapshot semantics, lifted to the wire):
+///   * Default: every QUERY pins a FRESH snapshot via BeginSnapshot(), so
+///     one request sees one immutable state while concurrent appends
+///     proceed — snapshot-per-request isolation.
+///   * Pinned: `snapshot.begin` parks one snapshot on the session; every
+///     later query reuses it (a client-controlled repeatable-read scope,
+///     e.g. a dashboard rendering many panels from one instant) until
+///     `snapshot.release` lets it go.
+/// Backends whose BeginSnapshot() returns null (no snapshot support) fall
+/// back to the live backend, preserving the pre-snapshot behavior.
+class Session {
+ public:
+  Session(uint64_t id, const query::QueryBackend* backend)
+      : id_(id), backend_(backend) {}
+
+  uint64_t id() const { return id_; }
+
+  const std::string& client_name() const { return client_name_; }
+  void set_client_name(std::string name) { client_name_ = std::move(name); }
+
+  /// The read view for one request: the session-pinned snapshot if one is
+  /// active, else a fresh per-request snapshot, else the live backend.
+  const query::QueryBackend& ViewForRequest(
+      std::shared_ptr<const query::QueryBackend>* hold) const {
+    if (pinned_ != nullptr) {
+      *hold = pinned_;
+    } else {
+      *hold = backend_->BeginSnapshot();
+    }
+    return *hold != nullptr ? **hold : *backend_;
+  }
+
+  /// Pins the current state as the session snapshot (replacing any prior
+  /// pin). Fails when the backend cannot snapshot.
+  Status PinSnapshot() {
+    auto snap = backend_->BeginSnapshot();
+    if (snap == nullptr) {
+      return Status::Unimplemented(
+          "session: backend does not support snapshots");
+    }
+    pinned_ = std::move(snap);
+    return Status::OK();
+  }
+
+  /// Releases the session snapshot; queries see fresh state again.
+  void ReleaseSnapshot() { pinned_.reset(); }
+
+  bool has_pinned_snapshot() const { return pinned_ != nullptr; }
+
+  // Per-session request tallies (reported by the `stats` admin command).
+  uint64_t queries = 0;
+  uint64_t appends = 0;
+  uint64_t errors = 0;
+
+ private:
+  uint64_t id_;
+  const query::QueryBackend* backend_;
+  std::shared_ptr<const query::QueryBackend> pinned_;
+  std::string client_name_;
+};
+
+}  // namespace hygraph::server
+
+#endif  // HYGRAPH_SERVER_SESSION_H_

@@ -1,0 +1,476 @@
+#include "server/wire.h"
+
+#include <bit>
+#include <cstring>
+
+#include "common/crc32.h"
+
+namespace hygraph::server {
+
+namespace {
+
+void PutU32(std::string* out, uint32_t v) {
+  out->push_back(static_cast<char>(v & 0xff));
+  out->push_back(static_cast<char>((v >> 8) & 0xff));
+  out->push_back(static_cast<char>((v >> 16) & 0xff));
+  out->push_back(static_cast<char>((v >> 24) & 0xff));
+}
+
+uint32_t GetU32(const uint8_t* p) {
+  return static_cast<uint32_t>(p[0]) | (static_cast<uint32_t>(p[1]) << 8) |
+         (static_cast<uint32_t>(p[2]) << 16) |
+         (static_cast<uint32_t>(p[3]) << 24);
+}
+
+}  // namespace
+
+bool IsKnownFrameType(uint8_t type) {
+  switch (static_cast<FrameType>(type)) {
+    case FrameType::kHello:
+    case FrameType::kQuery:
+    case FrameType::kAppend:
+    case FrameType::kAdmin:
+    case FrameType::kGoodbye:
+    case FrameType::kResult:
+      return true;
+  }
+  return false;
+}
+
+// ---------------------------------------------------------------------------
+// ByteWriter / ByteReader
+// ---------------------------------------------------------------------------
+
+void ByteWriter::U32(uint32_t v) { PutU32(&out_, v); }
+
+void ByteWriter::U64(uint64_t v) {
+  U32(static_cast<uint32_t>(v & 0xffffffffu));
+  U32(static_cast<uint32_t>(v >> 32));
+}
+
+void ByteWriter::F64(double v) { U64(std::bit_cast<uint64_t>(v)); }
+
+void ByteWriter::Str(std::string_view s) {
+  U32(static_cast<uint32_t>(s.size()));
+  out_.append(s.data(), s.size());
+}
+
+bool ByteReader::U8(uint8_t* v) {
+  if (remaining() < 1) return false;
+  *v = data_[pos_++];
+  return true;
+}
+
+bool ByteReader::U32(uint32_t* v) {
+  if (remaining() < 4) return false;
+  *v = GetU32(data_ + pos_);
+  pos_ += 4;
+  return true;
+}
+
+bool ByteReader::U64(uint64_t* v) {
+  uint32_t lo = 0;
+  uint32_t hi = 0;
+  if (remaining() < 8) return false;
+  if (!U32(&lo) || !U32(&hi)) return false;
+  *v = static_cast<uint64_t>(lo) | (static_cast<uint64_t>(hi) << 32);
+  return true;
+}
+
+bool ByteReader::I64(int64_t* v) {
+  uint64_t u = 0;
+  if (!U64(&u)) return false;
+  *v = static_cast<int64_t>(u);
+  return true;
+}
+
+bool ByteReader::F64(double* v) {
+  uint64_t u = 0;
+  if (!U64(&u)) return false;
+  *v = std::bit_cast<double>(u);
+  return true;
+}
+
+bool ByteReader::Str(std::string* v) {
+  uint32_t len = 0;
+  const size_t start = pos_;
+  if (!U32(&len)) return false;
+  if (len > remaining()) {
+    pos_ = start;  // leave the cursor where it was
+    return false;
+  }
+  v->assign(reinterpret_cast<const char*>(data_ + pos_), len);
+  pos_ += len;
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Frame codec
+// ---------------------------------------------------------------------------
+
+std::string EncodeFrame(FrameType type, std::string_view payload) {
+  std::string out;
+  out.reserve(kWireHeaderSize + payload.size());
+  out.push_back(static_cast<char>(kWireMagic0));
+  out.push_back(static_cast<char>(kWireMagic1));
+  out.push_back(static_cast<char>(kWireVersion));
+  out.push_back(static_cast<char>(type));
+  PutU32(&out, static_cast<uint32_t>(payload.size()));
+  PutU32(&out, Crc32(payload));
+  out.append(payload.data(), payload.size());
+  return out;
+}
+
+DecodeResult DecodeFrame(const uint8_t* data, size_t size,
+                         uint32_t max_payload) {
+  DecodeResult r;
+  if (max_payload > kWireMaxPayload) max_payload = kWireMaxPayload;
+  if (size < kWireHeaderSize) {
+    // Reject garbage as soon as the bytes that have arrived prove it.
+    if (size >= 1 && data[0] != kWireMagic0) {
+      r.error = Status::InvalidArgument("wire: bad magic");
+      return r;
+    }
+    if (size >= 2 && data[1] != kWireMagic1) {
+      r.error = Status::InvalidArgument("wire: bad magic");
+      return r;
+    }
+    if (size >= 3 && data[2] != kWireVersion) {
+      r.error = Status::InvalidArgument("wire: unsupported version");
+      return r;
+    }
+    if (size >= 4 && !IsKnownFrameType(data[3])) {
+      r.error = Status::InvalidArgument("wire: unknown frame type");
+      return r;
+    }
+    r.progress = DecodeProgress::kNeedMore;
+    r.need = kWireHeaderSize;
+    return r;
+  }
+  if (data[0] != kWireMagic0 || data[1] != kWireMagic1) {
+    r.error = Status::InvalidArgument("wire: bad magic");
+    return r;
+  }
+  if (data[2] != kWireVersion) {
+    r.error = Status::InvalidArgument("wire: unsupported version");
+    return r;
+  }
+  if (!IsKnownFrameType(data[3])) {
+    r.error = Status::InvalidArgument("wire: unknown frame type");
+    return r;
+  }
+  const uint32_t len = GetU32(data + 4);
+  if (len > max_payload) {
+    r.error = Status::ResourceExhausted("wire: frame payload exceeds limit");
+    return r;
+  }
+  const size_t total = kWireHeaderSize + len;
+  if (size < total) {
+    r.progress = DecodeProgress::kNeedMore;
+    r.need = total;
+    return r;
+  }
+  const uint32_t want_crc = GetU32(data + 8);
+  const std::string_view payload(
+      reinterpret_cast<const char*>(data + kWireHeaderSize), len);
+  if (Crc32(payload) != want_crc) {
+    r.error = Status::Corruption("wire: payload CRC mismatch");
+    return r;
+  }
+  r.progress = DecodeProgress::kFrame;
+  r.frame.type = static_cast<FrameType>(data[3]);
+  r.frame.payload.assign(payload);
+  r.consumed = total;
+  r.need = total;
+  return r;
+}
+
+// ---------------------------------------------------------------------------
+// Requests
+// ---------------------------------------------------------------------------
+
+std::string EncodeHelloFrame(const HelloRequest& req) {
+  ByteWriter w;
+  w.U32(req.protocol_version);
+  w.Str(req.client_name);
+  return EncodeFrame(FrameType::kHello, w.str());
+}
+
+std::string EncodeQueryFrame(const QueryRequest& req) {
+  ByteWriter w;
+  w.U64(req.timeout_ms);
+  w.Str(req.text);
+  return EncodeFrame(FrameType::kQuery, w.str());
+}
+
+std::string EncodeAppendFrame(const AppendRequest& req) {
+  ByteWriter w;
+  w.U8(req.no_sync ? 1 : 0);
+  w.U32(static_cast<uint32_t>(req.samples.size()));
+  for (const SampleUpdate& s : req.samples) {
+    w.U8(s.kind);
+    w.U64(s.id);
+    w.I64(s.timestamp);
+    w.F64(s.value);
+    w.Str(s.key);
+  }
+  return EncodeFrame(FrameType::kAppend, w.str());
+}
+
+std::string EncodeAdminFrame(const AdminRequest& req) {
+  ByteWriter w;
+  w.Str(req.command);
+  return EncodeFrame(FrameType::kAdmin, w.str());
+}
+
+std::string EncodeGoodbyeFrame() {
+  return EncodeFrame(FrameType::kGoodbye, {});
+}
+
+namespace {
+
+Status Malformed(const char* what) {
+  return Status::InvalidArgument(std::string("wire: malformed ") + what);
+}
+
+Result<Request> DecodeHello(ByteReader& r) {
+  Request req;
+  req.type = FrameType::kHello;
+  if (!r.U32(&req.hello.protocol_version) || !r.Str(&req.hello.client_name)) {
+    return Malformed("hello payload");
+  }
+  return req;
+}
+
+Result<Request> DecodeQuery(ByteReader& r) {
+  Request req;
+  req.type = FrameType::kQuery;
+  if (!r.U64(&req.query.timeout_ms) || !r.Str(&req.query.text)) {
+    return Malformed("query payload");
+  }
+  return req;
+}
+
+Result<Request> DecodeAppend(ByteReader& r) {
+  Request req;
+  req.type = FrameType::kAppend;
+  uint8_t no_sync = 0;
+  uint32_t count = 0;
+  if (!r.U8(&no_sync) || no_sync > 1 || !r.U32(&count)) {
+    return Malformed("append header");
+  }
+  req.append.no_sync = no_sync == 1;
+  // Parse entry by entry: the vector grows only as real bytes are consumed,
+  // so a hostile count cannot drive a large allocation.
+  for (uint32_t i = 0; i < count; ++i) {
+    SampleUpdate s;
+    if (!r.U8(&s.kind) || s.kind > SampleUpdate::kEdge || !r.U64(&s.id) ||
+        !r.I64(&s.timestamp) || !r.F64(&s.value) || !r.Str(&s.key)) {
+      return Malformed("append entry");
+    }
+    req.append.samples.push_back(std::move(s));
+  }
+  return req;
+}
+
+Result<Request> DecodeAdmin(ByteReader& r) {
+  Request req;
+  req.type = FrameType::kAdmin;
+  if (!r.Str(&req.admin.command)) return Malformed("admin payload");
+  return req;
+}
+
+}  // namespace
+
+Result<Request> DecodeRequest(const WireFrame& frame) {
+  ByteReader r(frame.payload);
+  Result<Request> out = Status::InvalidArgument("wire: not a request frame");
+  switch (frame.type) {
+    case FrameType::kHello:
+      out = DecodeHello(r);
+      break;
+    case FrameType::kQuery:
+      out = DecodeQuery(r);
+      break;
+    case FrameType::kAppend:
+      out = DecodeAppend(r);
+      break;
+    case FrameType::kAdmin:
+      out = DecodeAdmin(r);
+      break;
+    case FrameType::kGoodbye: {
+      Request req;
+      req.type = FrameType::kGoodbye;
+      out = req;
+      break;
+    }
+    case FrameType::kResult:
+      return out;
+  }
+  if (out.ok() && !r.done()) return Malformed("request (trailing bytes)");
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Responses
+// ---------------------------------------------------------------------------
+
+namespace {
+
+void EncodeValue(ByteWriter& w, const Value& v) {
+  w.U8(static_cast<uint8_t>(v.type()));
+  switch (v.type()) {
+    case ValueType::kNull:
+      break;
+    case ValueType::kBool:
+      w.U8(v.AsBool() ? 1 : 0);
+      break;
+    case ValueType::kInt:
+      w.I64(v.AsInt());
+      break;
+    case ValueType::kDouble:
+      w.F64(v.AsDouble());
+      break;
+    case ValueType::kString:
+      w.Str(v.AsString());
+      break;
+    case ValueType::kSeriesRef:
+      w.U64(v.AsSeriesId());
+      break;
+  }
+}
+
+bool DecodeValue(ByteReader& r, Value* out) {
+  uint8_t tag = 0;
+  if (!r.U8(&tag)) return false;
+  switch (static_cast<ValueType>(tag)) {
+    case ValueType::kNull:
+      *out = Value();
+      return true;
+    case ValueType::kBool: {
+      uint8_t b = 0;
+      if (!r.U8(&b) || b > 1) return false;
+      *out = Value(b == 1);
+      return true;
+    }
+    case ValueType::kInt: {
+      int64_t i = 0;
+      if (!r.I64(&i)) return false;
+      *out = Value(i);
+      return true;
+    }
+    case ValueType::kDouble: {
+      double d = 0;
+      if (!r.F64(&d)) return false;
+      *out = Value(d);
+      return true;
+    }
+    case ValueType::kString: {
+      std::string s;
+      if (!r.Str(&s)) return false;
+      *out = Value(std::move(s));
+      return true;
+    }
+    case ValueType::kSeriesRef: {
+      uint64_t id = 0;
+      if (!r.U64(&id)) return false;
+      *out = Value::SeriesRef(id);
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+std::string EncodeResultFrame(const WireResponse& resp) {
+  ByteWriter w;
+  w.U32(static_cast<uint32_t>(resp.code));
+  w.Str(resp.message);
+  w.U8(resp.has_table ? 1 : 0);
+  if (resp.has_table) {
+    w.U32(static_cast<uint32_t>(resp.table.columns.size()));
+    for (const std::string& c : resp.table.columns) w.Str(c);
+    w.U32(static_cast<uint32_t>(resp.table.rows.size()));
+    for (const std::vector<Value>& row : resp.table.rows) {
+      for (const Value& v : row) EncodeValue(w, v);
+    }
+  }
+  return EncodeFrame(FrameType::kResult, std::move(w).str());
+}
+
+Result<WireResponse> DecodeResponse(const WireFrame& frame) {
+  if (frame.type != FrameType::kResult) {
+    return Status::InvalidArgument("wire: not a result frame");
+  }
+  ByteReader r(frame.payload);
+  WireResponse resp;
+  uint32_t code = 0;
+  uint8_t has_table = 0;
+  if (!r.U32(&code) ||
+      code > static_cast<uint32_t>(StatusCode::kUnavailable) ||
+      !r.Str(&resp.message) || !r.U8(&has_table) || has_table > 1) {
+    return Malformed("result header");
+  }
+  resp.code = static_cast<StatusCode>(code);
+  resp.has_table = has_table == 1;
+  if (resp.has_table) {
+    uint32_t ncols = 0;
+    if (!r.U32(&ncols)) return Malformed("result columns");
+    for (uint32_t i = 0; i < ncols; ++i) {
+      std::string name;
+      if (!r.Str(&name)) return Malformed("result column name");
+      resp.table.columns.push_back(std::move(name));
+    }
+    uint32_t nrows = 0;
+    if (!r.U32(&nrows)) return Malformed("result rows");
+    for (uint32_t i = 0; i < nrows; ++i) {
+      std::vector<Value> row;
+      row.reserve(ncols);
+      for (uint32_t j = 0; j < ncols; ++j) {
+        Value v;
+        if (!DecodeValue(r, &v)) return Malformed("result value");
+        row.push_back(std::move(v));
+      }
+      resp.table.rows.push_back(std::move(row));
+    }
+  }
+  if (!r.done()) return Malformed("result (trailing bytes)");
+  return resp;
+}
+
+Status StatusFromWire(StatusCode code, const std::string& message) {
+  switch (code) {
+    case StatusCode::kOk:
+      return Status::OK();
+    case StatusCode::kInvalidArgument:
+      return Status::InvalidArgument(message);
+    case StatusCode::kNotFound:
+      return Status::NotFound(message);
+    case StatusCode::kAlreadyExists:
+      return Status::AlreadyExists(message);
+    case StatusCode::kOutOfRange:
+      return Status::OutOfRange(message);
+    case StatusCode::kFailedPrecondition:
+      return Status::FailedPrecondition(message);
+    case StatusCode::kCorruption:
+      return Status::Corruption(message);
+    case StatusCode::kUnimplemented:
+      return Status::Unimplemented(message);
+    case StatusCode::kInternal:
+      return Status::Internal(message);
+    case StatusCode::kIOError:
+      return Status::IOError(message);
+    case StatusCode::kDeadlineExceeded:
+      return Status::DeadlineExceeded(message);
+    case StatusCode::kCancelled:
+      return Status::Cancelled(message);
+    case StatusCode::kResourceExhausted:
+      return Status::ResourceExhausted(message);
+    case StatusCode::kUnavailable:
+      return Status::Unavailable(message);
+  }
+  return Status::Internal("wire: unknown status code");
+}
+
+}  // namespace hygraph::server

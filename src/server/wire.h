@@ -1,0 +1,206 @@
+#ifndef HYGRAPH_SERVER_WIRE_H_
+#define HYGRAPH_SERVER_WIRE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "common/time.h"
+#include "common/value.h"
+#include "query/executor.h"
+
+namespace hygraph::server {
+
+/// HGQL wire protocol v1 (docs/PROTOCOL.md is the normative spec).
+///
+/// Every message is one frame:
+///
+///   offset  size  field
+///   0       2     magic "HG"
+///   2       1     protocol version (kWireVersion)
+///   3       1     frame type (FrameType)
+///   4       4     payload length, u32 little-endian
+///   8       4     CRC-32 (IEEE) of the payload bytes, u32 little-endian
+///   12      len   payload
+///
+/// All integers are little-endian; strings are a u32 length prefix followed
+/// by raw bytes; doubles travel as their IEEE-754 bit pattern in a u64.
+/// The decoder is TOTAL over arbitrary bytes: any input either yields a
+/// frame, asks for more bytes, or is rejected with a Status — it never
+/// reads out of bounds, never allocates proportionally to a claimed count
+/// it has not yet seen bytes for, and never crashes (fuzz_wire_frame).
+
+inline constexpr uint8_t kWireMagic0 = 'H';
+inline constexpr uint8_t kWireMagic1 = 'G';
+inline constexpr uint8_t kWireVersion = 1;
+inline constexpr size_t kWireHeaderSize = 12;
+/// Hard ceiling on one frame's payload. Large enough for any sane result
+/// table, small enough that a hostile length field cannot balloon memory.
+inline constexpr uint32_t kWireMaxPayload = 8u << 20;
+
+enum class FrameType : uint8_t {
+  // Client -> server.
+  kHello = 1,    ///< open a session: {u32 version, str client_name}
+  kQuery = 2,    ///< run HGQL: {u64 timeout_ms, str text}
+  kAppend = 3,   ///< batched samples: {u8 flags, u32 n, n * SampleUpdate}
+  kAdmin = 4,    ///< admin verb: {str command}
+  kGoodbye = 5,  ///< close the session: {}
+  // Server -> client.
+  kResult = 16,  ///< {u32 status, str message, u8 has_table, [table]}
+};
+
+/// True for the frame types a decoder accepts at all.
+bool IsKnownFrameType(uint8_t type);
+
+struct WireFrame {
+  FrameType type = FrameType::kGoodbye;
+  std::string payload;
+};
+
+/// Serializes a complete frame (header + payload).
+std::string EncodeFrame(FrameType type, std::string_view payload);
+
+enum class DecodeProgress {
+  kFrame,     ///< a complete valid frame was consumed
+  kNeedMore,  ///< the prefix is valid but the frame is incomplete
+  kError,     ///< the bytes can never become a valid frame
+};
+
+struct DecodeResult {
+  DecodeProgress progress = DecodeProgress::kError;
+  WireFrame frame;      ///< valid when progress == kFrame
+  size_t consumed = 0;  ///< bytes eaten when progress == kFrame
+  /// Total frame size once the header is readable (kNeedMore with
+  /// size >= kWireHeaderSize); kWireHeaderSize before that.
+  size_t need = 0;
+  Status error = Status::OK();  ///< non-OK when progress == kError
+};
+
+/// Decodes one frame from the front of `data`. `max_payload` lets servers
+/// tighten the ceiling below kWireMaxPayload (ServerOptions::max_frame_bytes).
+DecodeResult DecodeFrame(const uint8_t* data, size_t size,
+                         uint32_t max_payload = kWireMaxPayload);
+
+// ---------------------------------------------------------------------------
+// Request payloads
+// ---------------------------------------------------------------------------
+
+struct HelloRequest {
+  uint32_t protocol_version = kWireVersion;
+  std::string client_name;
+};
+
+struct QueryRequest {
+  /// 0 = server default. Milliseconds.
+  uint64_t timeout_ms = 0;
+  std::string text;
+};
+
+/// One logged sample append; kind selects the id space.
+struct SampleUpdate {
+  enum Kind : uint8_t { kVertex = 0, kEdge = 1 };
+  uint8_t kind = kVertex;
+  uint64_t id = 0;
+  Timestamp timestamp = 0;
+  double value = 0;
+  std::string key;
+};
+
+struct AppendRequest {
+  /// Ack without waiting for the group-commit fsync (flag bit 0).
+  bool no_sync = false;
+  std::vector<SampleUpdate> samples;
+};
+
+struct AdminRequest {
+  std::string command;
+};
+
+/// A decoded client request; `type` selects which member is meaningful.
+struct Request {
+  FrameType type = FrameType::kGoodbye;
+  HelloRequest hello;
+  QueryRequest query;
+  AppendRequest append;
+  AdminRequest admin;
+};
+
+std::string EncodeHelloFrame(const HelloRequest& req);
+std::string EncodeQueryFrame(const QueryRequest& req);
+std::string EncodeAppendFrame(const AppendRequest& req);
+std::string EncodeAdminFrame(const AdminRequest& req);
+std::string EncodeGoodbyeFrame();
+
+/// Parses a client frame's payload. Strict: unknown sample kinds, non-0/1
+/// booleans, and trailing bytes are all rejected, so decode∘encode is the
+/// identity on valid frames (the fuzz harness checks this round-trip).
+Result<Request> DecodeRequest(const WireFrame& frame);
+
+// ---------------------------------------------------------------------------
+// Response payload
+// ---------------------------------------------------------------------------
+
+struct WireResponse {
+  StatusCode code = StatusCode::kOk;
+  std::string message;
+  bool has_table = false;
+  query::QueryResult table;
+};
+
+std::string EncodeResultFrame(const WireResponse& resp);
+Result<WireResponse> DecodeResponse(const WireFrame& frame);
+
+/// Rebuilds a Status from its wire code + message ("OK" ignores message).
+Status StatusFromWire(StatusCode code, const std::string& message);
+
+// ---------------------------------------------------------------------------
+// Bounds-checked primitive codecs (exposed for tests/fuzzers)
+// ---------------------------------------------------------------------------
+
+class ByteWriter {
+ public:
+  void U8(uint8_t v) { out_.push_back(static_cast<char>(v)); }
+  void U32(uint32_t v);
+  void U64(uint64_t v);
+  void I64(int64_t v) { U64(static_cast<uint64_t>(v)); }
+  void F64(double v);
+  void Str(std::string_view s);
+
+  const std::string& str() const& { return out_; }
+  std::string str() && { return std::move(out_); }
+
+ private:
+  std::string out_;
+};
+
+/// Every getter returns false (leaving the cursor untouched) when the
+/// remaining bytes cannot satisfy it; Str additionally bounds the length
+/// prefix by the remaining byte count before allocating.
+class ByteReader {
+ public:
+  ByteReader(const uint8_t* data, size_t size) : data_(data), size_(size) {}
+  explicit ByteReader(std::string_view s)
+      : ByteReader(reinterpret_cast<const uint8_t*>(s.data()), s.size()) {}
+
+  bool U8(uint8_t* v);
+  bool U32(uint32_t* v);
+  bool U64(uint64_t* v);
+  bool I64(int64_t* v);
+  bool F64(double* v);
+  bool Str(std::string* v);
+
+  size_t remaining() const { return size_ - pos_; }
+  bool done() const { return pos_ == size_; }
+
+ private:
+  const uint8_t* data_;
+  size_t size_;
+  size_t pos_ = 0;
+};
+
+}  // namespace hygraph::server
+
+#endif  // HYGRAPH_SERVER_WIRE_H_

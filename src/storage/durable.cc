@@ -472,6 +472,9 @@ Status DurableStore::RebuildWalAndAppend(const std::string& record) {
   // synced again. Abandon it (best-effort close) and build a fresh epoch
   // from what verifiably reached the disk.
   if (wal_ != nullptr) {
+    // Drain any in-flight SyncWal fsync (which runs outside append_mu_)
+    // before the old writer is destroyed.
+    MutexLock sync_lock(wal_sync_mu_);
     HYGRAPH_IGNORE_RESULT(wal_->Close());
     wal_.reset();
   }
@@ -779,6 +782,9 @@ Status DurableStore::CheckpointImpl() {
   // by the snapshot. If recreation fails even with retries, the store
   // degrades to read-only rather than risking un-logged acknowledgements.
   if (wal_ != nullptr) {
+    // Drain any in-flight SyncWal fsync (which runs outside append_mu_)
+    // before the old writer is destroyed.
+    MutexLock sync_lock(wal_sync_mu_);
     HYGRAPH_IGNORE_RESULT(wal_->Close());
     wal_.reset();
   }
@@ -807,9 +813,20 @@ Status DurableStore::CheckpointImpl() {
 }
 
 Status DurableStore::SyncWal() {
-  MutexLock lock(append_mu_);
-  HYGRAPH_RETURN_IF_ERROR(RequireWritable());
-  return wal_->Sync();
+  WalWriter* wal = nullptr;
+  {
+    MutexLock lock(append_mu_);
+    HYGRAPH_RETURN_IF_ERROR(RequireWritable());
+    wal = wal_.get();
+    // Pinned while still under append_mu_, so no rotation can slip in
+    // between reading wal_ and taking the sync lock; append_mu_ is then
+    // RELEASED so the fsync below never blocks concurrent appends — group
+    // commit depends on writers piling up behind an in-flight sync.
+    wal_sync_mu_.lock();
+  }
+  const Status status = wal->Sync();
+  wal_sync_mu_.unlock();
+  return status;
 }
 
 Status DurableStore::TryExitDegraded() {

@@ -235,12 +235,24 @@ class DurableStore final : public query::QueryBackend {
   obs::Counter* wal_rebuilds_ = nullptr;
   obs::Gauge* degraded_gauge_ = nullptr;
   RetryPolicy retry_policy_;
-  /// Serializes Log()+apply, Checkpoint and SyncWal. Top of the lock
-  /// hierarchy (rank kDurableAppend): held while calling into the inner
-  /// store, never the other way around.
+  /// Serializes Log()+apply, Checkpoint and SyncWal's writer lookup. Top
+  /// of the store's lock hierarchy (rank kDurableAppend): held while
+  /// calling into the inner store, never the other way around.
   Mutex append_mu_;
+  /// Serializes the WAL fsync against writer ROTATION, not against
+  /// appends: SyncWal acquires append_mu_ -> wal_sync_mu_, then releases
+  /// append_mu_ and fsyncs holding only this lock, so concurrent mutators
+  /// keep appending while a group-commit leader waits on the disk.
+  /// Rotation sites (CheckpointImpl, RebuildWalAndAppend) take it while
+  /// already holding append_mu_ — the same acquisition order — to drain
+  /// any in-flight fsync before closing the old writer.
+  mutable Mutex wal_sync_mu_{LockRank::kDurableWalSync};
   /// The WAL itself carries no lock; it is guarded externally by this
   /// annotation (the writer is only ever touched on the append path).
+  /// Exception: SyncWal calls Sync() through a raw pointer pinned under
+  /// wal_sync_mu_ — safe against rotation per the order above, and safe
+  /// against concurrent Append because WritableFile implementations must
+  /// tolerate Sync racing Append (see storage/env.h).
   std::unique_ptr<WalWriter> wal_ HYGRAPH_GUARDED_BY(append_mu_);
   /// Written once by Open() (under the mutex) before the store is shared;
   /// read lock-free afterwards. Same story for recovery_.

@@ -14,6 +14,13 @@ namespace hygraph::storage {
 /// appended bytes durable (fsync), Close flushes and releases the handle.
 /// Data that was appended but never synced may be lost on a crash — the
 /// FaultInjectionEnv models exactly that window.
+///
+/// Concurrency contract: implementations must tolerate ONE Sync() running
+/// concurrently with Append() calls (the group-commit leader fsyncs the
+/// WAL while other writers keep appending — DurableStore::SyncWal).
+/// Bytes appended while such a Sync is in flight are not covered by it.
+/// Close() is never concurrent with either (rotation drains the in-flight
+/// sync first).
 class WritableFile {
  public:
   virtual ~WritableFile();

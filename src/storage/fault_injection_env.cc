@@ -44,8 +44,11 @@ class TrackedWritableFile final : public WritableFile {
 
   Status Sync() override {
     HYGRAPH_RETURN_IF_ERROR(env_->BeginOp());
+    // Snapshot before the fsync: bytes appended while the sync is in
+    // flight are not covered by it.
+    const uint64_t covered = state_->size.load();
     HYGRAPH_RETURN_IF_ERROR(base_->Sync());
-    state_->synced_size = state_->size;
+    state_->synced_size.store(covered);
     return Status::OK();
   }
 
@@ -99,11 +102,11 @@ Status FaultInjectionEnv::DropUnsyncedData(UnsyncedLoss loss) {
   MutexLock lock(mu_);
   for (auto& [path, state] : files_) {
     if (state->size <= state->synced_size) continue;
-    uint64_t keep = state->synced_size;
+    uint64_t keep = state->synced_size.load();
     if (loss == UnsyncedLoss::kKeepPrefix) {
       // Half of the un-synced tail survives — rounded up so a torn record
       // is actually present, which is what the WAL reader must salvage.
-      keep += (state->size - state->synced_size + 1) / 2;
+      keep += (state->size.load() - keep + 1) / 2;
     }
     if (!base_->FileExists(path)) continue;
     HYGRAPH_RETURN_IF_ERROR(base_->TruncateFile(path, keep));

@@ -1,6 +1,7 @@
 #ifndef HYGRAPH_STORAGE_FAULT_INJECTION_ENV_H_
 #define HYGRAPH_STORAGE_FAULT_INJECTION_ENV_H_
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -152,8 +153,11 @@ class FaultInjectionEnv final : public Env {
   /// that writes it; not annotated (nested value type) — each file handle
   /// has one writer, matching the base env's WritableFile contract.
   struct FileState {
-    uint64_t size = 0;         ///< bytes appended so far
-    uint64_t synced_size = 0;  ///< bytes guaranteed durable
+    // Atomic because a WAL fsync may run concurrently with appends (see
+    // DurableStore::SyncWal): Sync snapshots size before the fsync and
+    // publishes synced_size after it, while Append keeps advancing size.
+    std::atomic<uint64_t> size{0};         ///< bytes appended so far
+    std::atomic<uint64_t> synced_size{0};  ///< bytes guaranteed durable
   };
 
   /// Returns OK if the operation may proceed; advances the op counter and

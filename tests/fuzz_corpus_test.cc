@@ -60,5 +60,9 @@ TEST(FuzzCorpusTest, ChunkCodec) {
   ReplayCorpus("chunk_codec", FuzzChunkCodec);
 }
 
+TEST(FuzzCorpusTest, WireFrame) {
+  ReplayCorpus("wire_frame", FuzzWireFrame);
+}
+
 }  // namespace
 }  // namespace hygraph::fuzz

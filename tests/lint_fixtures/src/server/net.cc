@@ -1,0 +1,5 @@
+// Mirrors src/server/net.cc: the one location exempt from raw-socket.
+#include <sys/socket.h>
+int NetHome() {
+  return socket(2, 1, 0);
+}

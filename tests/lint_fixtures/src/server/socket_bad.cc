@@ -1,0 +1,4 @@
+#include <sys/socket.h>
+int SocketBad() {
+  return socket(2, 1, 0);
+}

@@ -1,0 +1,4 @@
+#include <sys/socket.h>
+int SocketClean() {
+  return socket(2, 1, 0);  // NOLINT(hygraph-raw-socket)
+}

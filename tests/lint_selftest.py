@@ -33,6 +33,7 @@ EXPECTED = {
     ("src/common/sleep_bad.cc", 4, "raw-sleep"),
     ("src/common/thread_bad.cc", 3, "raw-thread"),
     ("src/obs/layering_bad.h", 4, "layering"),
+    ("src/server/socket_bad.cc", 3, "raw-socket"),
     ("src/storage/unranked_bad.h", 10, "unranked-lock"),
 }
 

@@ -1,0 +1,244 @@
+// Hostile-input and round-trip tests for the HGQL wire codec
+// (src/server/wire.h). The decoder must be total: every byte string either
+// yields a frame, asks for more bytes, or is rejected with a Status —
+// truncation at EVERY prefix length, flipped CRCs, bad magic, unknown
+// types and oversized length fields are all exercised here (the fuzz
+// harness fuzz_wire_frame covers the rest of the input space).
+
+#include "server/wire.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+
+namespace hygraph::server {
+namespace {
+
+const uint8_t* Bytes(const std::string& s) {
+  return reinterpret_cast<const uint8_t*>(s.data());
+}
+
+TEST(WireFrameTest, HelloRoundTrip) {
+  HelloRequest hello;
+  hello.client_name = "wire_test";
+  const std::string frame = EncodeHelloFrame(hello);
+
+  DecodeResult r = DecodeFrame(Bytes(frame), frame.size());
+  ASSERT_EQ(r.progress, DecodeProgress::kFrame);
+  EXPECT_EQ(r.consumed, frame.size());
+  EXPECT_EQ(r.frame.type, FrameType::kHello);
+
+  auto req = DecodeRequest(r.frame);
+  ASSERT_TRUE(req.ok()) << req.status().ToString();
+  EXPECT_EQ(req->type, FrameType::kHello);
+  EXPECT_EQ(req->hello.protocol_version, kWireVersion);
+  EXPECT_EQ(req->hello.client_name, "wire_test");
+}
+
+TEST(WireFrameTest, QueryRoundTrip) {
+  QueryRequest query;
+  query.timeout_ms = 2500;
+  query.text = "MATCH (v) RETURN v LIMIT 3";
+  const std::string frame = EncodeQueryFrame(query);
+
+  DecodeResult r = DecodeFrame(Bytes(frame), frame.size());
+  ASSERT_EQ(r.progress, DecodeProgress::kFrame);
+  auto req = DecodeRequest(r.frame);
+  ASSERT_TRUE(req.ok());
+  EXPECT_EQ(req->query.timeout_ms, 2500u);
+  EXPECT_EQ(req->query.text, "MATCH (v) RETURN v LIMIT 3");
+}
+
+TEST(WireFrameTest, AppendRoundTrip) {
+  AppendRequest append;
+  append.no_sync = true;
+  for (int i = 0; i < 5; ++i) {
+    SampleUpdate s;
+    s.kind = i % 2 == 0 ? SampleUpdate::kVertex : SampleUpdate::kEdge;
+    s.id = static_cast<uint64_t>(i);
+    s.timestamp = 1000 * i;
+    s.value = 0.5 * i;
+    s.key = "load";
+    append.samples.push_back(s);
+  }
+  const std::string frame = EncodeAppendFrame(append);
+
+  DecodeResult r = DecodeFrame(Bytes(frame), frame.size());
+  ASSERT_EQ(r.progress, DecodeProgress::kFrame);
+  auto req = DecodeRequest(r.frame);
+  ASSERT_TRUE(req.ok());
+  EXPECT_TRUE(req->append.no_sync);
+  ASSERT_EQ(req->append.samples.size(), 5u);
+  EXPECT_EQ(req->append.samples[1].kind, SampleUpdate::kEdge);
+  EXPECT_EQ(req->append.samples[4].timestamp, 4000);
+  EXPECT_DOUBLE_EQ(req->append.samples[4].value, 2.0);
+  EXPECT_EQ(req->append.samples[4].key, "load");
+}
+
+TEST(WireFrameTest, ResponseRoundTripAllValueTypes) {
+  WireResponse resp;
+  resp.code = StatusCode::kOk;
+  resp.message = "done";
+  resp.has_table = true;
+  resp.table.columns = {"null", "bool", "int", "double", "string", "series"};
+  resp.table.rows.push_back({Value(), Value(true), Value(int64_t{-7}),
+                             Value(2.75), Value("text"),
+                             Value::SeriesRef(42)});
+
+  const std::string frame = EncodeResultFrame(resp);
+  DecodeResult r = DecodeFrame(Bytes(frame), frame.size());
+  ASSERT_EQ(r.progress, DecodeProgress::kFrame);
+  auto decoded = DecodeResponse(r.frame);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->message, "done");
+  ASSERT_EQ(decoded->table.rows.size(), 1u);
+  const auto& row = decoded->table.rows[0];
+  EXPECT_TRUE(row[0].is_null());
+  EXPECT_EQ(row[1], Value(true));
+  EXPECT_EQ(row[2], Value(int64_t{-7}));
+  EXPECT_EQ(row[3], Value(2.75));
+  EXPECT_EQ(row[4], Value("text"));
+  EXPECT_EQ(row[5].AsSeriesId(), 42u);
+}
+
+TEST(WireFrameTest, ErrorResponseCarriesStatus) {
+  WireResponse resp;
+  resp.code = StatusCode::kResourceExhausted;
+  resp.message = "shed";
+  const std::string frame = EncodeResultFrame(resp);
+  DecodeResult r = DecodeFrame(Bytes(frame), frame.size());
+  ASSERT_EQ(r.progress, DecodeProgress::kFrame);
+  auto decoded = DecodeResponse(r.frame);
+  ASSERT_TRUE(decoded.ok());
+  const Status status = StatusFromWire(decoded->code, decoded->message);
+  EXPECT_TRUE(status.IsResourceExhausted());
+  EXPECT_EQ(status.message(), "shed");
+}
+
+TEST(WireFrameTest, TruncationAtEveryPrefixNeverYieldsAFrame) {
+  QueryRequest query;
+  query.text = "MATCH (v) RETURN v";
+  const std::string frame = EncodeQueryFrame(query);
+  for (size_t len = 0; len < frame.size(); ++len) {
+    DecodeResult r = DecodeFrame(Bytes(frame), len);
+    EXPECT_NE(r.progress, DecodeProgress::kFrame) << "prefix length " << len;
+    // A valid frame's prefix is never an error either — the decoder must
+    // keep asking for more bytes.
+    EXPECT_EQ(r.progress, DecodeProgress::kNeedMore)
+        << "prefix length " << len << ": " << r.error.ToString();
+    EXPECT_GT(r.need, len);
+  }
+}
+
+TEST(WireFrameTest, BadMagicRejectedEarly) {
+  std::string frame = EncodeGoodbyeFrame();
+  frame[0] = 'X';
+  DecodeResult r = DecodeFrame(Bytes(frame), frame.size());
+  EXPECT_EQ(r.progress, DecodeProgress::kError);
+  // Detected from the very first byte, before a full header arrives.
+  DecodeResult early = DecodeFrame(Bytes(frame), 1);
+  EXPECT_EQ(early.progress, DecodeProgress::kError);
+}
+
+TEST(WireFrameTest, BadVersionRejected) {
+  std::string frame = EncodeGoodbyeFrame();
+  frame[2] = 9;
+  EXPECT_EQ(DecodeFrame(Bytes(frame), frame.size()).progress,
+            DecodeProgress::kError);
+}
+
+TEST(WireFrameTest, UnknownFrameTypeRejected) {
+  std::string frame = EncodeGoodbyeFrame();
+  frame[3] = 0x7f;
+  EXPECT_EQ(DecodeFrame(Bytes(frame), frame.size()).progress,
+            DecodeProgress::kError);
+}
+
+TEST(WireFrameTest, CorruptPayloadCrcRejected) {
+  QueryRequest query;
+  query.text = "MATCH (v) RETURN v";
+  std::string frame = EncodeQueryFrame(query);
+  frame[frame.size() - 1] ^= 0x01;  // flip one payload bit
+  DecodeResult r = DecodeFrame(Bytes(frame), frame.size());
+  ASSERT_EQ(r.progress, DecodeProgress::kError);
+  EXPECT_EQ(r.error.code(), StatusCode::kCorruption);
+}
+
+TEST(WireFrameTest, OversizedLengthFieldRejectedWithoutAllocating) {
+  std::string frame = EncodeGoodbyeFrame();
+  // Claim a ~4 GiB payload; the decoder must reject from the 12 header
+  // bytes alone instead of waiting for (or allocating) that much.
+  frame[4] = static_cast<char>(0xff);
+  frame[5] = static_cast<char>(0xff);
+  frame[6] = static_cast<char>(0xff);
+  frame[7] = static_cast<char>(0xfe);
+  DecodeResult r = DecodeFrame(Bytes(frame), kWireHeaderSize);
+  ASSERT_EQ(r.progress, DecodeProgress::kError);
+  EXPECT_TRUE(r.error.IsResourceExhausted());
+}
+
+TEST(WireFrameTest, ServerFrameLimitTighterThanProtocolLimit) {
+  QueryRequest query;
+  query.text = std::string(1024, 'q');
+  const std::string frame = EncodeQueryFrame(query);
+  EXPECT_EQ(DecodeFrame(Bytes(frame), frame.size()).progress,
+            DecodeProgress::kFrame);
+  DecodeResult tight = DecodeFrame(Bytes(frame), frame.size(), 256);
+  ASSERT_EQ(tight.progress, DecodeProgress::kError);
+  EXPECT_TRUE(tight.error.IsResourceExhausted());
+}
+
+TEST(WireFrameTest, TrailingBytesInRequestPayloadRejected) {
+  ByteWriter w;
+  w.U64(0);        // timeout
+  w.Str("RETURN 1");
+  w.U8(0xab);      // trailing garbage
+  const std::string frame = EncodeFrame(FrameType::kQuery, w.str());
+  DecodeResult r = DecodeFrame(Bytes(frame), frame.size());
+  ASSERT_EQ(r.progress, DecodeProgress::kFrame);  // framing is fine
+  EXPECT_FALSE(DecodeRequest(r.frame).ok());      // payload is not
+}
+
+TEST(WireFrameTest, AppendCountBeyondBytesRejected) {
+  ByteWriter w;
+  w.U8(0);
+  w.U32(1000000);  // claims a million samples with no bytes behind them
+  const std::string frame = EncodeFrame(FrameType::kAppend, w.str());
+  DecodeResult r = DecodeFrame(Bytes(frame), frame.size());
+  ASSERT_EQ(r.progress, DecodeProgress::kFrame);
+  EXPECT_FALSE(DecodeRequest(r.frame).ok());
+}
+
+TEST(WireFrameTest, StringLengthBeyondBytesRejected) {
+  ByteWriter w;
+  w.U64(0);
+  w.U32(0xffffffffu);  // string length prefix with no body
+  const std::string frame = EncodeFrame(FrameType::kQuery, w.str());
+  DecodeResult r = DecodeFrame(Bytes(frame), frame.size());
+  ASSERT_EQ(r.progress, DecodeProgress::kFrame);
+  EXPECT_FALSE(DecodeRequest(r.frame).ok());
+}
+
+TEST(WireFrameTest, ResultFrameIsNotARequest) {
+  const std::string frame = EncodeResultFrame(WireResponse{});
+  DecodeResult r = DecodeFrame(Bytes(frame), frame.size());
+  ASSERT_EQ(r.progress, DecodeProgress::kFrame);
+  EXPECT_FALSE(DecodeRequest(r.frame).ok());
+}
+
+TEST(WireByteReaderTest, ReaderLeavesCursorOnFailedReads) {
+  ByteWriter w;
+  w.U32(7);
+  const std::string buf = w.str();
+  ByteReader r(buf);
+  uint64_t u64 = 0;
+  EXPECT_FALSE(r.U64(&u64));  // only 4 bytes available
+  uint32_t u32 = 0;
+  EXPECT_TRUE(r.U32(&u32));  // the failed read consumed nothing
+  EXPECT_EQ(u32, 7u);
+  EXPECT_TRUE(r.done());
+}
+
+}  // namespace
+}  // namespace hygraph::server
