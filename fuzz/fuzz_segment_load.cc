@@ -1,0 +1,9 @@
+#include <cstddef>
+#include <cstdint>
+
+#include "fuzz/harness.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  hygraph::fuzz::FuzzSegmentLoad(data, size);
+  return 0;
+}

@@ -37,6 +37,11 @@ void FuzzChunkCodec(const uint8_t* data, size_t size);
 /// protocol, plus a decode/encode fixed-point check on accepted frames.
 void FuzzWireFrame(const uint8_t* data, size_t size);
 
+/// storage::ParseColdCatalog over untrusted catalog bytes, then
+/// SegmentStore::LoadCatalog + Pin + ts::DecodeChunk with the same bytes
+/// planted as segment files — the full cold-chunk adoption frontier.
+void FuzzSegmentLoad(const uint8_t* data, size_t size);
+
 }  // namespace hygraph::fuzz
 
 /// Invariant check that stays fatal in release builds (fuzzers run

@@ -75,6 +75,11 @@ enum class LockRank : int {
   kThreadPool = 45,
   /// Per-chunk aggregate-cache mutex (double-checked fill).
   kAggCache = 50,
+  /// Cold-tier segment/cache state (storage/segment). Acquirable under a
+  /// series shard lock (spill writes and lazy pins happen while the shard
+  /// is held or while decoding pinned chunks) and under durable.append_mu_
+  /// (checkpoint catalog writes); only the env leaf sits below it.
+  kColdTier = 55,
   /// FaultInjectionEnv bookkeeping (leaf: taken around fault-state reads
   /// and writes, never while calling back into the engine).
   kEnvState = 60,
@@ -102,6 +107,8 @@ constexpr const char* LockRankName(LockRank rank) {
       return "thread_pool.queue_mu";
     case LockRank::kAggCache:
       return "hypertable.agg_cache_mu";
+    case LockRank::kColdTier:
+      return "segment_store.state_mu";
     case LockRank::kEnvState:
       return "fault_injection_env.state_mu";
   }

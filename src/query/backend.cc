@@ -6,6 +6,37 @@ namespace hygraph::query {
 
 QueryBackend::~QueryBackend() = default;
 
+std::string SeriesSlotName(bool vertex, uint64_t entity,
+                           const std::string& key) {
+  return (vertex ? "v" : "e") + std::to_string(entity) + "." + key;
+}
+
+bool ParseSeriesSlotName(const std::string& name, bool* vertex,
+                         uint64_t* entity, std::string* key) {
+  if (name.size() < 3 || (name[0] != 'v' && name[0] != 'e')) return false;
+  const size_t dot = name.find('.');
+  if (dot == std::string::npos || dot < 2 || dot + 1 >= name.size()) {
+    return false;
+  }
+  uint64_t id = 0;
+  for (size_t i = 1; i < dot; ++i) {
+    const char c = name[i];
+    if (c < '0' || c > '9') return false;
+    if (id > (UINT64_MAX - static_cast<uint64_t>(c - '0')) / 10) return false;
+    id = id * 10 + static_cast<uint64_t>(c - '0');
+  }
+  *vertex = name[0] == 'v';
+  *entity = id;
+  *key = name.substr(dot + 1);
+  return true;
+}
+
+Result<SeriesId> QueryBackend::EnsureSeries(bool /*vertex*/,
+                                            uint64_t /*entity*/,
+                                            const std::string& /*key*/) {
+  return Status::Unimplemented(name() + " does not bind catalogued series");
+}
+
 Status QueryBackend::MutateTopology(
     const std::function<Status(graph::PropertyGraph*)>& fn) {
   graph::PropertyGraph* g = mutable_topology();

@@ -13,6 +13,10 @@
 #include "ts/aggregate.h"
 #include "ts/series.h"
 
+namespace hygraph::ts {
+class HypertableStore;
+}  // namespace hygraph::ts
+
 namespace hygraph::query {
 
 /// A cheap snapshot of a backend's cumulative work counters, used by
@@ -25,6 +29,8 @@ struct BackendWork {
   uint64_t chunks_decoded = 0;         ///< sealed chunks Gorilla-decoded
   uint64_t chunks_cache_hits = 0;      ///< chunks answered from AggState cache
   uint64_t chunks_zonemap_skipped = 0; ///< chunks skipped via zone maps
+  uint64_t cold_chunks_loaded = 0;     ///< chunk payloads pinned from the
+                                       ///< cold tier (SPILL in PROFILE)
   uint64_t properties_scanned = 0;     ///< property-map entries examined
 
   BackendWork Delta(const BackendWork& earlier) const {
@@ -36,10 +42,23 @@ struct BackendWork {
     d.chunks_cache_hits = sub(chunks_cache_hits, earlier.chunks_cache_hits);
     d.chunks_zonemap_skipped =
         sub(chunks_zonemap_skipped, earlier.chunks_zonemap_skipped);
+    d.cold_chunks_loaded = sub(cold_chunks_loaded, earlier.cold_chunks_loaded);
     d.properties_scanned = sub(properties_scanned, earlier.properties_scanned);
     return d;
   }
 };
+
+/// The canonical hypertable series name for (entity, key): "v12.temp" for
+/// vertex 12's "temp", "e3.load" for edge 3's. This is the contract between
+/// the polyglot backend (which names series this way) and the cold-tier
+/// catalog (which persists series by name and must map them back to
+/// entities on recovery).
+std::string SeriesSlotName(bool vertex, uint64_t entity,
+                           const std::string& key);
+/// Inverse of SeriesSlotName. False when `name` is not of that shape (the
+/// key may itself contain dots; the split is at the FIRST dot).
+bool ParseSeriesSlotName(const std::string& name, bool* vertex,
+                         uint64_t* entity, std::string* key);
 
 /// The storage abstraction HGQL executes against. Both architectures of
 /// Figure 1 implement it:
@@ -129,6 +148,19 @@ class QueryBackend {
   /// already persists every sample, and a snapshotter must not duplicate
   /// them as separate series records.
   virtual bool SeriesEmbeddedInTopology() const { return false; }
+
+  /// The chunked hypertable holding this backend's series, or nullptr when
+  /// series are not chunk-organized (the default; true for all-in-graph).
+  /// The durability layer uses it for storage tiering — spilling sealed
+  /// chunks cold at checkpoint and adopting catalogued chunks on recovery.
+  virtual ts::HypertableStore* series_hypertable() { return nullptr; }
+
+  /// Resolves (or creates empty) the series stored under the entity slot,
+  /// returning its hypertable id. Recovery uses this to re-bind catalogued
+  /// cold chunks to their (entity, key) before WAL replay. Unimplemented
+  /// by default — only meaningful for backends with a series_hypertable().
+  virtual Result<SeriesId> EnsureSeries(bool vertex, uint64_t entity,
+                                        const std::string& key);
 
   // -- series access ------------------------------------------------------------
 

@@ -136,6 +136,12 @@ Result<QueryResult> RunPlanImpl(const QueryBackend& backend, const Plan& plan,
     span.AddCounter("chunks_decoded", d.chunks_decoded);
     span.AddCounter("chunks_cache_hits", d.chunks_cache_hits);
     span.AddCounter("chunks_zonemap_skipped", d.chunks_zonemap_skipped);
+    // SPILL: chunk payloads that had to come back from the cold tier.
+    // Zero on an all-in-RAM store, so the counter only appears when the
+    // query actually paid for tiering.
+    if (d.cold_chunks_loaded > 0) {
+      span.AddCounter("cold_chunks_loaded", d.cold_chunks_loaded);
+    }
     span.AddCounter("properties_scanned", d.properties_scanned);
   };
   // Parallel-scan attribution: the worker pool's busy time cannot Begin/End

@@ -2,6 +2,7 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <unordered_map>
 #include <utility>
 
 #include "common/strings.h"
@@ -9,6 +10,7 @@
 #include "obs/clock.h"
 #include "core/hygraph.h"
 #include "core/serialize.h"
+#include "ts/hypertable.h"
 #include "ts/multiseries.h"
 
 namespace hygraph::storage {
@@ -197,17 +199,50 @@ Status CheckDenseIds(const graph::PropertyGraph& graph) {
 
 // -- snapshot text ------------------------------------------------------------
 
-Result<std::string> BuildSnapshotText(const query::QueryBackend& backend) {
+namespace {
+
+/// Shared body of the full and the resident-only snapshot builders. With
+/// `resident_only == nullptr` every sample of every series is serialized
+/// (the canonical full-state text). With a hypertable, only samples whose
+/// chunks are NOT cold-covered are written — the cold tier's segment files
+/// plus the paired catalog own the rest, which is what makes a tiered
+/// snapshot (and recovery) O(hot data).
+Result<std::string> BuildSnapshotTextImpl(const query::QueryBackend& backend,
+                                          const ts::HypertableStore* resident_only) {
   HYGRAPH_RETURN_IF_ERROR(CheckDenseIds(backend.topology()));
   auto hg = core::FromPropertyGraph(backend.topology());
   if (!hg.ok()) return hg.status();
+  std::unordered_map<std::string, SeriesId> sid_by_name;
+  if (resident_only != nullptr) {
+    for (SeriesId sid : resident_only->Ids()) {
+      auto name = resident_only->Name(sid);
+      if (name.ok()) sid_by_name.emplace(*name, sid);
+    }
+  }
+  auto collect = [&](bool vertex, uint64_t entity,
+                     const std::string& key) -> Result<std::vector<ts::Sample>> {
+    if (resident_only != nullptr) {
+      auto it = sid_by_name.find(query::SeriesSlotName(vertex, entity, key));
+      if (it != sid_by_name.end()) {
+        return resident_only->MaterializeResident(it->second);
+      }
+      // A key the hypertable does not know by slot name (a foreign naming
+      // scheme): fall through to the full materialization below.
+    }
+    auto series = vertex
+                      ? backend.VertexSeriesRange(entity, key, Interval::All())
+                      : backend.EdgeSeriesRange(entity, key, Interval::All());
+    if (!series.ok()) return series.status();
+    return std::vector<ts::Sample>(series->samples().begin(),
+                                   series->samples().end());
+  };
   if (!backend.SeriesEmbeddedInTopology()) {
     for (graph::VertexId v : backend.topology().VertexIds()) {
       for (const std::string& key : backend.VertexSeriesKeys(v)) {
-        auto series = backend.VertexSeriesRange(v, key, Interval::All());
-        if (!series.ok()) return series.status();
+        auto samples = collect(/*vertex=*/true, v, key);
+        if (!samples.ok()) return samples.status();
         ts::MultiSeries ms(key, {"value"});
-        for (const ts::Sample& s : series->samples()) {
+        for (const ts::Sample& s : *samples) {
           HYGRAPH_RETURN_IF_ERROR(ms.AppendRow(s.t, {s.value}));
         }
         auto sid = hg->SetVertexSeriesProperty(
@@ -217,10 +252,10 @@ Result<std::string> BuildSnapshotText(const query::QueryBackend& backend) {
     }
     for (graph::EdgeId e : backend.topology().EdgeIds()) {
       for (const std::string& key : backend.EdgeSeriesKeys(e)) {
-        auto series = backend.EdgeSeriesRange(e, key, Interval::All());
-        if (!series.ok()) return series.status();
+        auto samples = collect(/*vertex=*/false, e, key);
+        if (!samples.ok()) return samples.status();
         ts::MultiSeries ms(key, {"value"});
-        for (const ts::Sample& s : series->samples()) {
+        for (const ts::Sample& s : *samples) {
           HYGRAPH_RETURN_IF_ERROR(ms.AppendRow(s.t, {s.value}));
         }
         auto sid = hg->SetEdgeSeriesProperty(e, kSnapshotSeriesPrefix + key,
@@ -230,6 +265,12 @@ Result<std::string> BuildSnapshotText(const query::QueryBackend& backend) {
     }
   }
   return core::Serialize(*hg);
+}
+
+}  // namespace
+
+Result<std::string> BuildSnapshotText(const query::QueryBackend& backend) {
+  return BuildSnapshotTextImpl(backend, nullptr);
 }
 
 Status RestoreFromSnapshotText(const std::string& text,
@@ -371,6 +412,45 @@ Status DurableStore::Open() {
     recovery_.snapshot_seq = snap_seq;
   }
 
+  // Storage tiering: open the cold tier, attach it to the hypertable, and
+  // re-bind every chunk of the catalog paired with the restored snapshot —
+  // zone maps and aggregates become resident, the bytes stay on disk. This
+  // must happen BEFORE WAL replay: a replayed out-of-order write into a
+  // cold chunk has to find (and unseal) the adopted chunk, not open a
+  // conflicting hot one.
+  ts::HypertableStore* tiered_ht =
+      options_.tiering.enabled ? inner_->series_hypertable() : nullptr;
+  if (tiered_ht != nullptr) {
+    SegmentStoreOptions seg;
+    seg.env = env_;
+    seg.dir = dir_ + "/cold";
+    seg.cache_budget_bytes = options_.tiering.cache_budget_bytes;
+    seg.metrics = metrics_.get();
+    auto tier = SegmentStore::Open(seg);
+    if (!tier.ok()) return tier.status();
+    cold_tier_ = std::move(*tier);
+    tiered_ht->AttachColdTier(cold_tier_.get());
+    if (have_snapshot) {
+      auto catalog = cold_tier_->LoadCatalog(snap_seq);
+      if (!catalog.ok()) return catalog.status();
+      for (const ColdCatalogEntry& entry : *catalog) {
+        bool vertex = false;
+        uint64_t entity = 0;
+        std::string key;
+        if (!query::ParseSeriesSlotName(entry.series, &vertex, &entity,
+                                        &key)) {
+          return Status::Corruption("cold catalog series '" + entry.series +
+                                    "' is not an entity slot name");
+        }
+        auto sid = inner_->EnsureSeries(vertex, entity, key);
+        if (!sid.ok()) return sid.status();
+        HYGRAPH_RETURN_IF_ERROR(tiered_ht->AdoptColdChunk(
+            *sid, entry.chunk_start, entry.id, entry.meta));
+        ++recovery_.cold_chunks_adopted;
+      }
+    }
+  }
+
   // Salvage and replay the WAL tail.
   auto scan = ReadWal(env_, WalPath());
   if (!scan.ok()) return scan.status();
@@ -441,6 +521,8 @@ Status DurableStore::Open() {
       ->Set(static_cast<double>(recovery_.wal_bytes_dropped));
   metrics_->gauge("recovery.wal_torn_tail")
       ->Set(recovery_.wal_torn_tail ? 1.0 : 0.0);
+  metrics_->gauge("recovery.cold_chunks_adopted")
+      ->Set(static_cast<double>(recovery_.cold_chunks_adopted));
   return Status::OK();
 }
 
@@ -743,9 +825,46 @@ Status DurableStore::CheckpointImpl() {
   // work while degraded (and with a dead wal_) — it is exactly how
   // TryExitDegraded restores the durability contract.
   HYGRAPH_RETURN_IF_ERROR(RequireOpen());
-  auto text = BuildSnapshotText(*inner_);
+
+  // Tiered checkpoint prologue (DESIGN.md §15): spill every sealed chunk
+  // into the cold tier and make the segment bytes durable, so the snapshot
+  // below only has to carry hot data. Order matters — segment sync, then
+  // catalog, then snapshot install — so any state a crash can leave behind
+  // is recoverable: a catalog only ever references synced bytes, and a
+  // snapshot only ever pairs with an already-durable catalog.
+  ts::HypertableStore* tiered_ht =
+      cold_tier_ != nullptr ? inner_->series_hypertable() : nullptr;
+  if (tiered_ht != nullptr) {
+    // Both steps absorb transient I/O hiccups like the snapshot write
+    // below does. Re-running a partial spill is safe (already-cold chunks
+    // are skipped; a failed Put has no effect on the chunk), and so is
+    // re-running the segment fsync: until the WAL epoch rotates at the
+    // very end of this function, every spilled sample is still covered by
+    // snapshot + WAL, so a sync lost to fsyncgate can only orphan
+    // unreferenced segment bytes, never acknowledged data.
+    HYGRAPH_RETURN_IF_ERROR(retry_policy_.Run(
+        [&] {
+          auto spilled = tiered_ht->SpillSealed();
+          return spilled.ok() ? Status::OK() : spilled.status();
+        },
+        retries_));
+    HYGRAPH_RETURN_IF_ERROR(
+        retry_policy_.Run([&] { return cold_tier_->SyncSegments(); },
+                          retries_));
+  }
+
+  auto text = BuildSnapshotTextImpl(*inner_, tiered_ht);
   if (!text.ok()) return text.status();
   const uint64_t snap_seq = next_seq_ - 1;
+  if (tiered_ht != nullptr) {
+    // Publish the live cold set under the same sequence the snapshot will
+    // install as. A crash between here and the rename leaves an orphan
+    // catalog that recovery never reads and the next checkpoint GCs.
+    // Retried as one unit — each attempt rewrites the temp file from
+    // scratch before the atomic rename.
+    HYGRAPH_RETURN_IF_ERROR(retry_policy_.Run(
+        [&] { return cold_tier_->WriteCatalog(snap_seq); }, retries_));
+  }
 
   // Write-temp + fsync + atomic rename: the snapshot either installs
   // completely or not at all. Retried as one unit — NewWritableFile
@@ -765,16 +884,28 @@ Status DurableStore::CheckpointImpl() {
 
   // The new snapshot is durable; everything from here is garbage
   // collection, and a crash merely leaves work for the next recovery.
-  std::vector<std::string> children;
-  HYGRAPH_RETURN_IF_ERROR(env_->GetChildren(dir_, &children));
-  for (const std::string& child : children) {
-    unsigned long long seq = 0;
-    int consumed = 0;
-    if (std::sscanf(child.c_str(), "snapshot-%llu.hyg%n", &seq, &consumed) ==
-            1 &&
-        consumed == static_cast<int>(child.size()) && seq != snap_seq) {
-      HYGRAPH_RETURN_IF_ERROR(env_->RemoveFile(dir_ + "/" + child));
-    }
+  // Both sweeps are idempotent, so they retry as whole units.
+  HYGRAPH_RETURN_IF_ERROR(retry_policy_.Run(
+      [&] {
+        std::vector<std::string> children;
+        HYGRAPH_RETURN_IF_ERROR(env_->GetChildren(dir_, &children));
+        for (const std::string& child : children) {
+          unsigned long long seq = 0;
+          int consumed = 0;
+          if (std::sscanf(child.c_str(), "snapshot-%llu.hyg%n", &seq,
+                          &consumed) == 1 &&
+              consumed == static_cast<int>(child.size()) && seq != snap_seq) {
+            HYGRAPH_RETURN_IF_ERROR(env_->RemoveFile(dir_ + "/" + child));
+          }
+        }
+        return Status::OK();
+      },
+      retries_));
+  if (cold_tier_ != nullptr) {
+    // Stale catalogs (including orphans from crashed checkpoints) go the
+    // same way as stale snapshots.
+    HYGRAPH_RETURN_IF_ERROR(retry_policy_.Run(
+        [&] { return cold_tier_->GcCatalogs(snap_seq); }, retries_));
   }
 
   // Fresh WAL epoch on top of the installed snapshot. The old writer (when

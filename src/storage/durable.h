@@ -11,9 +11,21 @@
 #include "query/backend.h"
 #include "storage/env.h"
 #include "storage/retry.h"
+#include "storage/segment/segment_store.h"
 #include "storage/wal.h"
 
 namespace hygraph::storage {
+
+/// Storage tiering: spill sealed chunks to a disk-backed cold tier at
+/// checkpoint time, so snapshots (and therefore recovery) scale with the
+/// HOT data only. Requires a backend whose series are chunk-organized
+/// (series_hypertable() != nullptr — the polyglot store); on any other
+/// backend the options are ignored and checkpoints stay full-state.
+struct TieringOptions {
+  bool enabled = false;
+  /// Budget of the cold tier's in-RAM chunk cache (see SegmentStore).
+  size_t cache_budget_bytes = 64u << 20;
+};
 
 /// Tuning knobs for a DurableStore.
 struct DurableOptions {
@@ -37,6 +49,9 @@ struct DurableOptions {
   /// obs::ManualClock instead of stalling the process. Null = real sleep
   /// (RetryPolicy's default).
   RetryPolicy::SleepFn retry_sleep;
+
+  /// Cold-tier storage tiering (DESIGN.md §15).
+  TieringOptions tiering;
 };
 
 /// What Open() found and did while recovering a directory.
@@ -50,6 +65,8 @@ struct RecoveryStats {
                                      ///< failed identically when first logged)
   uint64_t wal_bytes_dropped = 0;    ///< torn tail truncated away
   bool wal_torn_tail = false;
+  size_t cold_chunks_adopted = 0;    ///< catalogued cold chunks re-bound
+                                     ///< without touching their bytes
 };
 
 /// Durability wrapper for either storage architecture of Figure 1: wraps
@@ -118,6 +135,9 @@ class DurableStore final : public query::QueryBackend {
 
   query::QueryBackend* inner() { return inner_.get(); }
   const query::QueryBackend* inner() const { return inner_.get(); }
+  /// The cold tier, when tiering is enabled on a chunk-organized backend
+  /// (cache stats for tests/benches); nullptr otherwise.
+  SegmentStore* cold_tier() { return cold_tier_.get(); }
   /// Next WAL sequence number (exposed for tests). Analysis off: quiescent
   /// test accessor — callers read it with no writer running.
   uint64_t next_seq() const HYGRAPH_NO_THREAD_SAFETY_ANALYSIS {
@@ -197,6 +217,13 @@ class DurableStore final : public query::QueryBackend {
   std::vector<std::string> VertexSeriesKeys(graph::VertexId v) const override;
   std::vector<std::string> EdgeSeriesKeys(graph::EdgeId e) const override;
   bool SeriesEmbeddedInTopology() const override;
+  ts::HypertableStore* series_hypertable() override {
+    return inner_->series_hypertable();
+  }
+  Result<SeriesId> EnsureSeries(bool vertex, uint64_t entity,
+                                const std::string& key) override {
+    return inner_->EnsureSeries(vertex, entity, key);
+  }
 
  private:
   Status RequireOpen() const;
@@ -225,6 +252,11 @@ class DurableStore final : public query::QueryBackend {
   std::string dir_;
   std::unique_ptr<query::QueryBackend> inner_;
   DurableOptions options_;
+  /// Created by Open() when tiering is enabled and the inner backend is
+  /// chunk-organized; attached to the hypertable for the store's lifetime.
+  /// Torn down before inner_ (declared after it) — safe because no query
+  /// runs during destruction and chunk teardown never calls the tier.
+  std::unique_ptr<SegmentStore> cold_tier_;
   // Heap-held so the cached instrument pointers stay valid; declared before
   // wal_ so the registry outlives the writer that registers into it.
   std::unique_ptr<obs::MetricsRegistry> metrics_;

@@ -13,6 +13,19 @@ namespace hygraph::storage {
 WritableFile::~WritableFile() = default;
 Env::~Env() = default;
 
+Status Env::ReadFileRange(const std::string& path, uint64_t offset,
+                          uint64_t length, std::string* out) {
+  std::string whole;
+  Status s = ReadFileToString(path, &whole);
+  if (!s.ok()) return s;
+  if (offset > whole.size() || whole.size() - offset < length) {
+    return Status::OutOfRange("short read " + path + ": file has " +
+                              std::to_string(whole.size()) + " bytes");
+  }
+  out->assign(whole, offset, length);
+  return Status::OK();
+}
+
 namespace {
 
 Status ErrnoStatus(const std::string& context, int err) {
@@ -32,6 +45,11 @@ class PosixWritableFile final : public WritableFile {
     if (std::fwrite(data.data(), 1, data.size(), file_) != data.size()) {
       return ErrnoStatus("write " + path_, errno);
     }
+    // The contract says appended bytes live in the OS (visible to any
+    // reader, lost only on power failure) — stdio's userspace buffer
+    // would hide a just-spilled segment frame from a positioned read
+    // until the next Sync, so hand the bytes to the kernel here.
+    if (std::fflush(file_) != 0) return ErrnoStatus("flush " + path_, errno);
     return Status::OK();
   }
 
@@ -96,6 +114,29 @@ class PosixEnv final : public Env {
       return ErrnoStatus("stat " + path, errno);
     }
     return static_cast<uint64_t>(st.st_size);
+  }
+
+  Status ReadFileRange(const std::string& path, uint64_t offset,
+                       uint64_t length, std::string* out) override {
+    std::FILE* f = std::fopen(path.c_str(), "rb");
+    if (f == nullptr) {
+      if (errno == ENOENT) return Status::NotFound("no such file: " + path);
+      return ErrnoStatus("open " + path, errno);
+    }
+    out->clear();
+    out->resize(length);
+    size_t got = 0;
+    if (std::fseek(f, static_cast<long>(offset), SEEK_SET) == 0) {
+      got = std::fread(out->data(), 1, length, f);
+    }
+    const bool failed = std::ferror(f) != 0;
+    std::fclose(f);
+    if (failed) return Status::IOError("read " + path + " failed");
+    if (got != length) {
+      return Status::OutOfRange("short read " + path + " at offset " +
+                                std::to_string(offset));
+    }
+    return Status::OK();
   }
 
   Status RenameFile(const std::string& from, const std::string& to) override {

@@ -48,6 +48,13 @@ class Env {
   /// Reads the entire file into `*out`. NotFound when absent.
   virtual Status ReadFileToString(const std::string& path,
                                   std::string* out) = 0;
+  /// Reads `length` bytes at `offset` into `*out`. OutOfRange when the file
+  /// ends before `offset + length` (a torn or truncated record). The default
+  /// implementation reads the whole file through ReadFileToString and
+  /// slices, so fault-injection wrappers inherit correct crash semantics;
+  /// Env::Default() overrides it with a positioned read.
+  virtual Status ReadFileRange(const std::string& path, uint64_t offset,
+                               uint64_t length, std::string* out);
   virtual bool FileExists(const std::string& path) = 0;
   virtual Result<uint64_t> GetFileSize(const std::string& path) = 0;
   /// Atomically replaces `to` with `from` (POSIX rename semantics).

@@ -94,6 +94,7 @@ query::BackendWork WorkFromStats(const ts::HypertableStats& stats) {
   w.chunks_decoded = stats.chunks_decoded;
   w.chunks_cache_hits = stats.chunks_from_cache;
   w.chunks_zonemap_skipped = stats.chunks_zonemap_skipped;
+  w.cold_chunks_loaded = stats.cold_pins;
   return w;
 }
 
@@ -292,10 +293,19 @@ SeriesId PolyglotStore::ResolveOrCreate(SeriesMap* map, uint64_t id,
                                         const char* scope) {
   auto it = map->find(EntityKey{id, key});
   if (it != map->end()) return it->second;
+  // The slot-name contract (query::SeriesSlotName) is what lets the cold
+  // tier's catalog map persisted series back to (entity, key) on recovery.
   const SeriesId sid =
-      series_.Create(std::string(scope) + std::to_string(id) + "." + key);
+      series_.Create(query::SeriesSlotName(scope[0] == 'v', id, key));
   map->emplace(EntityKey{id, key}, sid);
   return sid;
+}
+
+Result<SeriesId> PolyglotStore::EnsureSeries(bool vertex, uint64_t entity,
+                                             const std::string& key) {
+  ExclusiveLock lock(*store_mu_);
+  return ResolveOrCreate(vertex ? &vertex_series_ : &edge_series_, entity, key,
+                         vertex ? "v" : "e");
 }
 
 Status PolyglotStore::AppendVertexSample(graph::VertexId v,

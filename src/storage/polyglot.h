@@ -127,6 +127,13 @@ class PolyglotStore final : public query::QueryBackend {
   const ts::HypertableStore& series_store() const { return series_; }
   ts::HypertableStore* mutable_series_store() { return &series_; }
 
+  /// Storage tiering hooks (see query/backend.h): the durability layer
+  /// spills this hypertable's sealed chunks cold at checkpoint and
+  /// re-binds catalogued chunks through EnsureSeries on recovery.
+  ts::HypertableStore* series_hypertable() override { return &series_; }
+  Result<SeriesId> EnsureSeries(bool vertex, uint64_t entity,
+                                const std::string& key) override;
+
   // Cross-store glue types. Internal, but public so the pinned snapshot
   // implementation (file-local in polyglot.cc) can hold map copies.
   struct EntityKey {

@@ -1,0 +1,8 @@
+#include "ts/cold_tier.h"
+
+namespace hygraph::ts {
+
+// Out-of-line so the interface has one home for its vtable.
+ColdTier::~ColdTier() = default;
+
+}  // namespace hygraph::ts

@@ -67,9 +67,9 @@ Status HypertableStore::ParallelScanChunks(
   const Status run =
       RunChunkMorsels(n, /*parallel=*/true, ctx, [&](size_t i) -> Status {
         const PinnedChunk& chunk = view.chunks[i];
-        if (chunk.sealed() && !predicate.unbounded() &&
-            !(chunk.sealed_ref->min_v <= predicate.max_value &&
-              chunk.sealed_ref->max_v >= predicate.min_value)) {
+        if (chunk.has_zone && !predicate.unbounded() &&
+            !(chunk.min_v <= predicate.max_value &&
+              chunk.max_v >= predicate.min_value)) {
           m_.chunks_zonemap_skipped->Increment();
           return Status::OK();
         }
@@ -116,6 +116,10 @@ HypertableStore::HypertableStore(HypertableOptions options)
   m_.series_cow_copies = metrics_->counter("concurrency.series_cow_copies");
   m_.morsels_dispatched = metrics_->counter("hypertable.morsels_dispatched");
   m_.morsels_stolen = metrics_->counter("hypertable.morsels_stolen");
+  m_.cold_chunks_spilled = metrics_->counter("hypertable.cold_chunks_spilled");
+  m_.cold_bytes_spilled = metrics_->counter("hypertable.cold_bytes_spilled");
+  m_.cold_chunks_adopted = metrics_->counter("hypertable.cold_chunks_adopted");
+  m_.cold_pins = metrics_->counter("hypertable.cold_pins");
   m_.pool_busy_nanos = metrics_->counter("concurrency.pool_busy_nanos");
   m_.pool_threads = metrics_->counter("concurrency.pool_threads");
   // A gauge in counter clothing, set once per registry: the pool's helper
@@ -176,6 +180,8 @@ std::vector<HypertableStore::Chunk>& HypertableStore::MutableChunks(
       copy.start = chunk.start;
       copy.samples = chunk.samples;
       copy.sealed = chunk.sealed;
+      copy.cold = chunk.cold;
+      copy.cold_meta = chunk.cold_meta;
       if (chunk.cache != nullptr) {
         copy.cache = std::make_unique<AggCache>();
         if (chunk.cache->fresh.load(std::memory_order_acquire)) {
@@ -262,16 +268,46 @@ void HypertableStore::Seal(Chunk& chunk) const {
 
 Status HypertableStore::Unseal(Chunk& chunk) const {
   if (!chunk.is_sealed()) return Status::OK();
-  if (chunk.sealed.use_count() > 1) {
-    // Readers are pinned to this sealed object; they keep the old bytes
-    // (and see the pre-write state) while this series moves on.
-    m_.unseal_conflicts->Increment();
-  }
+  AggState sealed_agg;
   std::vector<Sample> samples;
-  const Status decode = DecodeChunkWide(chunk.sealed->encoded, &samples);
-  if (!decode.ok()) {
-    return Status::Internal("sealed chunk failed to decode: " +
-                            decode.message());
+  if (chunk.sealed != nullptr) {
+    if (chunk.sealed.use_count() > 1) {
+      // Readers are pinned to this sealed object; they keep the old bytes
+      // (and see the pre-write state) while this series moves on.
+      m_.unseal_conflicts->Increment();
+    }
+    const Status decode = DecodeChunkWide(chunk.sealed->encoded, &samples);
+    if (!decode.ok()) {
+      return Status::Internal("sealed chunk failed to decode: " +
+                              decode.message());
+    }
+    sealed_agg = chunk.sealed->agg;
+  } else {
+    // Cold chunk: pin the bytes back out of the tier, decode, and forget
+    // the record — it drops out of the next catalog, but stays pinnable so
+    // readers holding it keep their snapshot. The on-disk record also
+    // keeps a crash before the next checkpoint consistent: recovery
+    // re-adopts it and replays the triggering write from the WAL.
+    if (options_.cold_tier == nullptr) {
+      return Status::Internal("cold chunk without an attached cold tier");
+    }
+    m_.cold_pins->Increment();
+    auto pinned = options_.cold_tier->Pin(chunk.cold);
+    if (!pinned.ok()) {
+      // The tier's status already carries the chunk id and failure class
+      // (kCorruption for CRC/frame damage) — propagate it unwrapped so
+      // callers can tell media corruption from logic errors.
+      return pinned.status();
+    }
+    const Status decode = DecodeChunkWide(**pinned, &samples);
+    if (!decode.ok()) {
+      return Status::Internal("cold chunk failed to decode: " +
+                              decode.message());
+    }
+    sealed_agg = chunk.cold_meta->agg;
+    options_.cold_tier->Forget(chunk.cold);
+    chunk.cold = kInvalidColdChunk;
+    chunk.cold_meta.reset();
   }
   chunk.samples = std::move(samples);
   chunk.cache = std::make_unique<AggCache>();
@@ -280,7 +316,7 @@ Status HypertableStore::Unseal(Chunk& chunk) const {
     // cache with it (the caller's insert will invalidate as needed). The
     // cache is brand new, so the fill lock is uncontended by construction.
     MutexLock fill_lock(chunk.cache->mu);
-    chunk.cache->agg = chunk.sealed->agg;
+    chunk.cache->agg = sealed_agg;
   }
   chunk.cache->fresh.store(true, std::memory_order_release);
   chunk.sealed = nullptr;
@@ -322,20 +358,47 @@ Result<HypertableStore::SeriesReadView> HypertableStore::PinView(
   for (const Chunk& chunk : chunks) {
     if (chunk.start >= interval.end) break;  // chunks sorted by start
     if (!ChunkSpan(chunk).Overlaps(interval) || chunk.size() == 0) continue;
-    if (chunk.is_sealed() &&
+    if (chunk.sealed != nullptr &&
         (chunk.sealed->max_t < interval.start ||
          chunk.sealed->min_t >= interval.end)) {
       continue;  // exact data bounds beat the nominal chunk span
     }
+    if (chunk.is_cold() &&
+        (chunk.cold_meta->max_t < interval.start ||
+         chunk.cold_meta->min_t >= interval.end)) {
+      continue;  // cold zone map, same pruning without touching the tier
+    }
     PinnedChunk p;
     p.start = chunk.start;
     p.size = chunk.size();
-    if (chunk.is_sealed()) {
+    if (chunk.sealed != nullptr) {
       p.sealed_ref = chunk.sealed;  // refcount pin; decoded outside the lock
       p.first_t = chunk.sealed->min_t;
       p.last_t = chunk.sealed->max_t;
+      p.min_v = chunk.sealed->min_v;
+      p.max_v = chunk.sealed->max_v;
+      p.all_finite = chunk.sealed->all_finite;
+      p.has_zone = true;
       if (want_aggregates) {
         p.agg = chunk.sealed->agg;
+        p.agg_valid = true;
+      }
+      m_.chunk_pins->Increment();
+    } else if (chunk.is_cold()) {
+      // Only the handle + metadata are pinned here; the bytes are pinned
+      // lazily by ForEachChunkSample, so zone-map-skipped and
+      // aggregate-covered cold chunks never touch the tier.
+      p.cold_id = chunk.cold;
+      p.cold_meta = chunk.cold_meta;
+      p.tier = options_.cold_tier;
+      p.first_t = chunk.cold_meta->min_t;
+      p.last_t = chunk.cold_meta->max_t;
+      p.min_v = chunk.cold_meta->min_v;
+      p.max_v = chunk.cold_meta->max_v;
+      p.all_finite = chunk.cold_meta->all_finite;
+      p.has_zone = true;
+      if (want_aggregates) {
+        p.agg = chunk.cold_meta->agg;
         p.agg_valid = true;
       }
       m_.chunk_pins->Increment();
@@ -407,10 +470,18 @@ Result<size_t> HypertableStore::Retain(SeriesId id, const Interval& keep) {
   size_t removed = 0;
   std::vector<Chunk> kept;
   kept.reserve(chunks.size());
+  // A cold chunk dropped wholesale releases its tier record (the next
+  // catalog omits it); pinned readers keep the bytes they pinned.
+  auto drop_cold_record = [this](Chunk& chunk) {
+    if (chunk.is_cold() && options_.cold_tier != nullptr) {
+      options_.cold_tier->Forget(chunk.cold);
+    }
+  };
   for (Chunk& chunk : chunks) {
     const Interval chunk_span = ChunkSpan(chunk);
     if (!chunk_span.Overlaps(keep)) {
       removed += chunk.size();  // drop the whole chunk, sealed or hot
+      drop_cold_record(chunk);
       continue;
     }
     if (keep.ContainsInterval(chunk_span)) {
@@ -418,15 +489,20 @@ Result<size_t> HypertableStore::Retain(SeriesId id, const Interval& keep) {
       continue;  // fully inside, untouched
     }
     if (chunk.is_sealed()) {
-      // The zone map resolves boundary chunks without decoding: all data
-      // inside `keep` keeps the chunk intact, all data outside drops it.
-      if (chunk.sealed->min_t >= keep.start && chunk.sealed->max_t < keep.end) {
+      // The zone map resolves boundary chunks without decoding (cold
+      // chunks included — their zone map is resident): all data inside
+      // `keep` keeps the chunk intact, all data outside drops it.
+      const Timestamp data_min =
+          chunk.sealed != nullptr ? chunk.sealed->min_t : chunk.cold_meta->min_t;
+      const Timestamp data_max =
+          chunk.sealed != nullptr ? chunk.sealed->max_t : chunk.cold_meta->max_t;
+      if (data_min >= keep.start && data_max < keep.end) {
         kept.push_back(std::move(chunk));
         continue;
       }
-      if (chunk.sealed->max_t < keep.start ||
-          chunk.sealed->min_t >= keep.end) {
-        removed += chunk.sealed->count;
+      if (data_max < keep.start || data_min >= keep.end) {
+        removed += chunk.size();
+        drop_cold_record(chunk);
         continue;
       }
       HYGRAPH_RETURN_IF_ERROR(Unseal(chunk));
@@ -441,6 +517,95 @@ Result<size_t> HypertableStore::Retain(SeriesId id, const Interval& keep) {
   chunks = std::move(kept);
   SealColdChunks(chunks);
   return removed;
+}
+
+Result<size_t> HypertableStore::SpillSealed() {
+  if (options_.cold_tier == nullptr) return size_t{0};
+  size_t spilled = 0;
+  for (SeriesId id : Ids()) {
+    StoredSeries* s = FindSeries(id);
+    if (s == nullptr) continue;  // raced with nothing today, but stay safe
+    ExclusiveLock lock(s->mu);
+    std::vector<Chunk>& chunks = MutableChunks(*s);
+    for (Chunk& chunk : chunks) {
+      if (chunk.sealed == nullptr) continue;  // hot or already cold
+      const SealedChunk& sealed = *chunk.sealed;
+      auto meta = std::make_shared<ColdChunkMeta>();
+      meta->count = sealed.count;
+      meta->min_t = sealed.min_t;
+      meta->max_t = sealed.max_t;
+      meta->min_v = sealed.min_v;
+      meta->max_v = sealed.max_v;
+      meta->all_finite = sealed.all_finite;
+      meta->encoded_size = sealed.encoded.size();
+      meta->agg = sealed.agg;
+      // Disk write under the exclusive shard lock: acceptable at
+      // checkpoint frequency, and it keeps spill atomic against readers
+      // (a PinView sees either the sealed ref or the cold handle, never
+      // a gap).
+      auto put = options_.cold_tier->Put(s->name, chunk.start, *meta,
+                                         sealed.encoded);
+      if (!put.ok()) return put.status();
+      m_.cold_chunks_spilled->Increment();
+      m_.cold_bytes_spilled->Add(meta->encoded_size);
+      chunk.cold = *put;
+      chunk.cold_meta = std::move(meta);
+      chunk.sealed.reset();  // the RAM copy of the bytes drops here
+      ++spilled;
+    }
+  }
+  return spilled;
+}
+
+Status HypertableStore::AdoptColdChunk(SeriesId id, Timestamp chunk_start,
+                                       ColdChunkId cold,
+                                       const ColdChunkMeta& meta) {
+  if (cold == kInvalidColdChunk) {
+    return Status::InvalidArgument("adopting an invalid cold chunk handle");
+  }
+  StoredSeries* s = FindSeries(id);
+  if (s == nullptr) return NoSuchSeries(id);
+  ExclusiveLock lock(s->mu);
+  std::vector<Chunk>& chunks = MutableChunks(*s);
+  auto it = std::lower_bound(
+      chunks.begin(), chunks.end(), chunk_start,
+      [](const Chunk& c, Timestamp st) { return c.start < st; });
+  if (it != chunks.end() && it->start == chunk_start) {
+    // Recovery adopts the catalog before replaying the WAL, so the slot
+    // must be empty; an occupied slot means the catalog and snapshot
+    // disagree about who owns this chunk.
+    return Status::Corruption("cold chunk overlaps a resident chunk");
+  }
+  Chunk chunk;
+  chunk.start = chunk_start;
+  chunk.cold = cold;
+  chunk.cold_meta = std::make_shared<ColdChunkMeta>(meta);
+  chunks.insert(it, std::move(chunk));
+  m_.cold_chunks_adopted->Increment();
+  return Status::OK();
+}
+
+Result<std::vector<Sample>> HypertableStore::MaterializeResident(
+    SeriesId id) const {
+  const StoredSeries* s = FindSeries(id);
+  if (s == nullptr) return Status(NoSuchSeries(id));
+  SharedLock lock(s->mu);
+  std::vector<Sample> out;
+  for (const Chunk& chunk : *s->chunks) {
+    if (chunk.is_cold()) continue;  // durability owned by the cold tier
+    if (chunk.sealed != nullptr) {
+      std::vector<Sample> scratch;
+      const Status decode = DecodeChunkWide(chunk.sealed->encoded, &scratch);
+      if (!decode.ok()) {
+        return Status::Internal("sealed chunk failed to decode: " +
+                                decode.message());
+      }
+      out.insert(out.end(), scratch.begin(), scratch.end());
+    } else {
+      out.insert(out.end(), chunk.samples.begin(), chunk.samples.end());
+    }
+  }
+  return out;  // chunk order == time order, so this is sorted
 }
 
 Result<size_t> HypertableStore::SampleCount(SeriesId id) const {
@@ -534,21 +699,22 @@ Result<size_t> HypertableStore::CountMatching(
   const Status run = RunChunkMorsels(
       chunks, ShouldParallelize(*view), ctx, [&](size_t i) -> Status {
         const PinnedChunk& chunk = view->chunks[i];
-        if (chunk.sealed()) {
-          const SealedChunk& sealed = *chunk.sealed_ref;
+        if (chunk.has_zone) {
           if (!predicate.unbounded() &&
-              !(sealed.min_v <= predicate.max_value &&
-                sealed.max_v >= predicate.min_value)) {
+              !(chunk.min_v <= predicate.max_value &&
+                chunk.max_v >= predicate.min_value)) {
             m_.chunks_zonemap_skipped->Increment();
             return Status::OK();
           }
           // Whole-chunk match: every sample is inside the interval and the
-          // zone's value range satisfies the predicate end to end.
-          if (interval.Contains(sealed.min_t) &&
-              interval.Contains(sealed.max_t) && sealed.all_finite &&
-              predicate.Matches(sealed.min_v) &&
-              predicate.Matches(sealed.max_v)) {
-            counts[i] = sealed.count;
+          // zone's value range satisfies the predicate end to end. Works
+          // for cold chunks too — the zone map is resident, so this path
+          // never pins the bytes.
+          if (interval.Contains(chunk.first_t) &&
+              interval.Contains(chunk.last_t) && chunk.all_finite &&
+              predicate.Matches(chunk.min_v) &&
+              predicate.Matches(chunk.max_v)) {
+            counts[i] = chunk.size;
             m_.chunks_from_cache->Increment();
             return Status::OK();
           }
@@ -792,9 +958,13 @@ HypertableMemory HypertableStore::MemoryUsage() const {
     (void)id;
     SharedLock lock(stored->mu);
     for (const Chunk& chunk : *stored->chunks) {
-      if (chunk.is_sealed()) {
+      if (chunk.sealed != nullptr) {
         m.sealed_samples += chunk.sealed->count;
         m.sealed_bytes += chunk.sealed->encoded.size();
+      } else if (chunk.is_cold()) {
+        // Bytes live in the cold tier, not this store's RAM.
+        m.cold_samples += chunk.cold_meta->count;
+        m.cold_bytes += chunk.cold_meta->encoded_size;
       } else {
         m.hot_samples += chunk.samples.size();
         m.hot_bytes += chunk.samples.capacity() * sizeof(Sample);
@@ -840,6 +1010,10 @@ HypertableStats HypertableStore::stats() const {
   s.chunks_zonemap_skipped = m_.chunks_zonemap_skipped->value();
   s.morsels_dispatched = m_.morsels_dispatched->value();
   s.morsels_stolen = m_.morsels_stolen->value();
+  s.cold_chunks_spilled = m_.cold_chunks_spilled->value();
+  s.cold_bytes_spilled = m_.cold_bytes_spilled->value();
+  s.cold_chunks_adopted = m_.cold_chunks_adopted->value();
+  s.cold_pins = m_.cold_pins->value();
   return s;
 }
 
@@ -858,6 +1032,10 @@ void HypertableStore::ResetStats() {
   m_.chunks_zonemap_skipped->Reset();
   m_.morsels_dispatched->Reset();
   m_.morsels_stolen->Reset();
+  m_.cold_chunks_spilled->Reset();
+  m_.cold_bytes_spilled->Reset();
+  m_.cold_chunks_adopted->Reset();
+  m_.cold_pins->Reset();
 }
 
 }  // namespace hygraph::ts

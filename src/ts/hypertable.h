@@ -18,6 +18,7 @@
 #include "obs/metrics.h"
 #include "ts/aggregate.h"
 #include "ts/chunk_codec.h"
+#include "ts/cold_tier.h"
 #include "ts/series.h"
 
 namespace hygraph::ts {
@@ -55,6 +56,11 @@ struct HypertableOptions {
   /// grow-only, so this per-store cap is what lets the scaling bench
   /// measure 1→N-thread points deterministically on any machine.
   size_t parallel_scan_cap = 0;
+  /// Cold tier sealed chunks spill to (null = everything stays in RAM).
+  /// Not owned; set post-construction via AttachColdTier (single-threaded
+  /// setup, before the store is shared). Lives in the options so Fork()
+  /// snapshots keep reading the same tier.
+  ColdTier* cold_tier = nullptr;
 };
 
 /// Counters describing the work a query did — used by tests and by the
@@ -80,6 +86,12 @@ struct HypertableStats {
   // Morsel-driven parallel read path (cumulative since ResetStats()).
   size_t morsels_dispatched = 0;  ///< per-chunk / per-series morsels fanned out
   size_t morsels_stolen = 0;      ///< morsels executed by pool workers
+  // Cold tier (cumulative since ResetStats()).
+  size_t cold_chunks_spilled = 0;  ///< sealed chunks written to the tier
+  size_t cold_bytes_spilled = 0;   ///< encoded bytes across those spills
+  size_t cold_chunks_adopted = 0;  ///< chunks re-attached at recovery
+  size_t cold_pins = 0;            ///< scans that pinned cold bytes (hit or
+                                   ///< miss — the tier counts those apart)
 };
 
 /// Current memory footprint of a HypertableStore's sample data, split by
@@ -89,7 +101,10 @@ struct HypertableMemory {
   size_t hot_samples = 0;
   size_t hot_bytes = 0;  ///< vector capacity, i.e. real footprint
   size_t sealed_samples = 0;
-  size_t sealed_bytes = 0;  ///< encoded bytes
+  size_t sealed_bytes = 0;  ///< encoded bytes resident in RAM
+  size_t cold_samples = 0;  ///< samples whose bytes live only in the tier
+  size_t cold_bytes = 0;    ///< their on-disk encoded size (not RAM)
+  /// RAM footprint: cold bytes live in the tier's bounded cache, not here.
   size_t total_bytes() const { return hot_bytes + sealed_bytes; }
   double sealed_bytes_per_sample() const {
     return sealed_samples == 0
@@ -227,9 +242,9 @@ class HypertableStore {
       return Status::OK();
     }
     for (const PinnedChunk& chunk : view->chunks) {
-      if (chunk.sealed() && !predicate.unbounded() &&
-          !(chunk.sealed_ref->min_v <= predicate.max_value &&
-            chunk.sealed_ref->max_v >= predicate.min_value)) {
+      if (chunk.has_zone && !predicate.unbounded() &&
+          !(chunk.min_v <= predicate.max_value &&
+            chunk.max_v >= predicate.min_value)) {
         m_.chunks_zonemap_skipped->Increment();
         continue;
       }
@@ -312,6 +327,36 @@ class HypertableStore {
   /// injected one, or the privately owned default). Never null.
   obs::MetricsRegistry* metrics() const { return metrics_; }
 
+  // -- cold tier (DESIGN.md §15) ---------------------------------------------
+
+  /// Injects the cold tier sealed chunks spill to. Single-threaded setup:
+  /// call before the store is shared (the pointer is read lock-free by
+  /// every reader thereafter). Later Fork() snapshots see the same tier.
+  void AttachColdTier(ColdTier* tier) { options_.cold_tier = tier; }
+
+  /// Writes every RAM-resident sealed chunk to the attached tier and drops
+  /// its encoded bytes (the zone map + aggregate stay resident, so pruning
+  /// and covered aggregates never touch disk). Returns the number of
+  /// chunks spilled. Holds each series' shard lock exclusively across that
+  /// series' tier writes — acceptable because spilling happens at
+  /// checkpoint frequency, not on the ingest path. No-op without a tier
+  /// (or with compression off: nothing is ever sealed then).
+  Result<size_t> SpillSealed();
+
+  /// Re-attaches one spilled chunk at recovery: inserts a cold chunk with
+  /// the given handle + metadata into `id`'s chunk list. Fails with
+  /// kCorruption when a chunk with the same start already exists (the
+  /// catalog and the snapshot disagree about who owns the range).
+  Status AdoptColdChunk(SeriesId id, Timestamp chunk_start, ColdChunkId cold,
+                        const ColdChunkMeta& meta);
+
+  /// All samples of `id` that are NOT covered by a cold chunk (hot vectors
+  /// plus RAM-resident sealed chunks), time-ordered. This is what a tiered
+  /// checkpoint persists in the snapshot — cold chunks are persisted by
+  /// the tier's segment files + catalog instead, which is what makes
+  /// recovery O(hot data). Call after SpillSealed() for a minimal result.
+  Result<std::vector<Sample>> MaterializeResident(SeriesId id) const;
+
  private:
   /// The immutable sealed form of a chunk. Published via shared_ptr and
   /// never mutated afterwards: readers that pinned it decode without locks
@@ -343,15 +388,26 @@ class HypertableStore {
     AggState agg HYGRAPH_GUARDED_BY(mu);
   };
 
+  /// Chunk lifecycle: hot (mutable samples) -> sealed (immutable Gorilla
+  /// bytes in RAM) -> cold (bytes only in the tier; RAM keeps the zone map
+  /// + aggregate in cold_meta). Out-of-order writes walk the whole ladder
+  /// back down: a cold chunk is pinned, decoded hot, and its tier record
+  /// forgotten (the next checkpoint spills the merged result as a fresh
+  /// record). Exactly one of {samples, sealed, cold} describes the data.
   struct Chunk {
     Timestamp start = 0;          // covers [start, start + chunk_duration)
-    std::vector<Sample> samples;  // hot form; empty while sealed
-    std::shared_ptr<const SealedChunk> sealed;  // sealed form
+    std::vector<Sample> samples;  // hot form; empty while sealed or cold
+    std::shared_ptr<const SealedChunk> sealed;  // sealed form (resident)
+    ColdChunkId cold = kInvalidColdChunk;       // cold form (spilled)
+    std::shared_ptr<const ColdChunkMeta> cold_meta;  // set exactly when cold
     std::unique_ptr<AggCache> cache;  // present exactly while hot
 
-    bool is_sealed() const { return sealed != nullptr; }
+    bool is_cold() const { return cold != kInvalidColdChunk; }
+    bool is_sealed() const { return sealed != nullptr || is_cold(); }
     size_t size() const {
-      return sealed != nullptr ? sealed->count : samples.size();
+      if (sealed != nullptr) return sealed->count;
+      if (is_cold()) return cold_meta->count;
+      return samples.size();
     }
   };
 
@@ -386,20 +442,33 @@ class HypertableStore {
     bool holds_pin = false;  // fork copies drop one pin on destruction
   };
 
-  /// One chunk as pinned by a reader: either a refcounted reference to the
-  /// immutable sealed object, or a copy of the hot samples overlapping the
-  /// pin interval. Safe to read with no lock held.
+  /// One chunk as pinned by a reader: a refcounted reference to the
+  /// immutable sealed object, a cold handle + metadata (the bytes are
+  /// pinned lazily, only if the scan actually decodes — zone-map skips and
+  /// covered-aggregate answers never touch the tier), or a copy of the hot
+  /// samples overlapping the pin interval. Safe to read with no lock held.
   struct PinnedChunk {
     Timestamp start = 0;
-    std::shared_ptr<const SealedChunk> sealed_ref;  // null while hot
+    std::shared_ptr<const SealedChunk> sealed_ref;  // null unless sealed
+    ColdChunkId cold_id = kInvalidColdChunk;        // non-zero when cold
+    std::shared_ptr<const ColdChunkMeta> cold_meta; // set when cold
+    const ColdTier* tier = nullptr;                 // for the lazy pin
     std::vector<Sample> hot;  // hot samples inside the pin interval
     size_t size = 0;          // total samples in the chunk
     Timestamp first_t = 0;    // true first/last sample time of the chunk
     Timestamp last_t = 0;
+    // Value zone map, unified across sealed and cold (has_zone false for
+    // hot chunks, whose samples are already materialized anyway).
+    double min_v = 0.0;
+    double max_v = 0.0;
+    bool all_finite = false;
+    bool has_zone = false;
     AggState agg;             // whole-chunk aggregate (when requested)
     bool agg_valid = false;
 
-    bool sealed() const { return sealed_ref != nullptr; }
+    bool sealed() const {
+      return sealed_ref != nullptr || cold_id != kInvalidColdChunk;
+    }
   };
 
   /// A consistent view of one series' chunks overlapping an interval,
@@ -517,9 +586,29 @@ class HypertableStore {
                             const ScanPredicate& predicate, uint64_t* work,
                             Fn&& fn) const {
     if (chunk.sealed()) {
+      // Cold chunks pin their bytes here — at decode time, not at PinView
+      // time — so chunks answered from zone maps or cached aggregates
+      // never touch the tier. Each morsel worker pins independently; the
+      // tier's cache makes that concurrency-safe and eviction only drops
+      // the cache's own reference (the shared_ptr below stays valid).
+      std::shared_ptr<const std::string> cold_bytes;
+      const std::string* encoded = nullptr;
+      if (chunk.sealed_ref != nullptr) {
+        encoded = &chunk.sealed_ref->encoded;
+      } else {
+        m_.cold_pins->Increment();
+        auto pinned = chunk.tier->Pin(chunk.cold_id);
+        if (!pinned.ok()) {
+          // Propagate unwrapped: the tier's status carries the chunk id
+          // and the failure class (kCorruption for CRC/frame damage).
+          return pinned.status();
+        }
+        cold_bytes = std::move(*pinned);
+        encoded = cold_bytes.get();
+      }
       m_.chunks_decoded->Increment();
       std::vector<Sample> scratch = AcquireScratch();
-      Status decode = DecodeChunkWide(chunk.sealed_ref->encoded, &scratch);
+      Status decode = DecodeChunkWide(*encoded, &scratch);
       if (!decode.ok()) {
         return Status::Internal("sealed chunk failed to decode: " +
                                 decode.message());
@@ -595,6 +684,11 @@ class HypertableStore {
     obs::Counter* morsels_stolen = nullptr;      ///< morsels run by pool workers
     obs::Counter* pool_busy_nanos = nullptr;     ///< worker time on this store
     obs::Counter* pool_threads = nullptr;        ///< pool size, set once
+    // Cold tier.
+    obs::Counter* cold_chunks_spilled = nullptr;  ///< chunks written to tier
+    obs::Counter* cold_bytes_spilled = nullptr;   ///< encoded bytes spilled
+    obs::Counter* cold_chunks_adopted = nullptr;  ///< recovery re-attachments
+    obs::Counter* cold_pins = nullptr;            ///< lazy pins on scan paths
   };
 
   HypertableOptions options_;

@@ -64,5 +64,9 @@ TEST(FuzzCorpusTest, WireFrame) {
   ReplayCorpus("wire_frame", FuzzWireFrame);
 }
 
+TEST(FuzzCorpusTest, SegmentLoad) {
+  ReplayCorpus("segment_load", FuzzSegmentLoad);
+}
+
 }  // namespace
 }  // namespace hygraph::fuzz

@@ -22,6 +22,7 @@
 #include "storage/durable.h"
 #include "storage/env.h"
 #include "storage/polyglot.h"
+#include "ts/hypertable.h"
 
 namespace hygraph::server {
 namespace {
@@ -196,6 +197,86 @@ TEST_F(ServerTest, PinnedSessionSnapshotIsolatesFromConcurrentAppends) {
   ASSERT_TRUE(baseline_n.ok());
   EXPECT_EQ(*fresh_n, *baseline_n + 5);
   client->Close();
+}
+
+TEST_F(ServerTest, PinnedSessionStaysRepeatableAcrossCheckpointColdSpill) {
+  // A tiered store of its own: narrow chunks so the short ingest seals
+  // eleven chunks for the checkpoint to spill cold.
+  char tmpl[] = "/tmp/hygraph_server_tier_XXXXXX";
+  ASSERT_NE(mkdtemp(tmpl), nullptr);
+  const std::string dir = tmpl;
+  DurableOptions options;
+  options.sync_wal = false;
+  options.tiering.enabled = true;
+  ts::HypertableOptions narrow;
+  narrow.chunk_duration = 16;
+  auto tiered = std::make_unique<DurableStore>(
+      storage::Env::Default(), dir,
+      std::make_unique<storage::PolyglotStore>(narrow), options);
+  ASSERT_TRUE(tiered->Open().ok());
+  auto v = tiered->AddVertex({"Station"}, {{"city", Value("berlin")}});
+  ASSERT_TRUE(v.ok());
+  for (int i = 0; i < 48; ++i) {
+    ASSERT_TRUE(tiered->AppendVertexSample(*v, "load", i * 4, 0.5 * i).ok());
+  }
+
+  HgqlServer server(tiered.get(), tiered.get(), ServerOptions{});
+  ASSERT_TRUE(server.Start().ok());
+  auto client = Connect(server);
+  ASSERT_TRUE(client.ok());
+
+  // The sub-interval average cuts across chunk boundaries, so answering it
+  // needs the sample bytes themselves — after the spill they can only come
+  // from pinned cold chunks, exactly the path the session must keep
+  // repeatable.
+  const std::string query =
+      "MATCH (s:Station) WHERE s.city = 'berlin' "
+      "RETURN ts_avg(s.load, 6, 90) AS a, ts_count(s.load, 0, 1000) AS n";
+  ASSERT_TRUE(client->Admin("snapshot.begin").ok());
+  auto before = client->Query(query);
+  ASSERT_TRUE(before.ok()) << before.status().ToString();
+
+  // Checkpoint under the pinned session: every sealed chunk leaves RAM for
+  // the cold tier while the session still holds its fork.
+  ASSERT_TRUE(tiered->Checkpoint().ok());
+  ts::HypertableStore* ht = tiered->inner()->series_hypertable();
+  ASSERT_NE(ht, nullptr);
+  EXPECT_GT(ht->stats().cold_chunks_spilled, 0u);
+  EXPECT_EQ(ht->MemoryUsage().sealed_samples, 0u);
+
+  // A second connection writes INTO the spilled range, forcing cold chunks
+  // to unseal (pin + decode + forget) underneath the pinned session.
+  {
+    auto writer = Connect(server);
+    ASSERT_TRUE(writer.ok());
+    std::vector<SampleUpdate> batch;
+    for (int i = 0; i < 4; ++i) {
+      SampleUpdate s;
+      s.id = *v;
+      s.timestamp = 7 + i * 16;  // inside the pinned aggregate window
+      s.value = 1000.0;
+      s.key = "load";
+      batch.push_back(s);
+    }
+    ASSERT_TRUE(writer->Append(batch).ok());
+    writer->Close();
+  }
+
+  // The pinned session's reads stay repeatable across spill and unseal...
+  auto after = client->Query(query);
+  ASSERT_TRUE(after.ok()) << after.status().ToString();
+  EXPECT_EQ(after->rows[0][0], before->rows[0][0]);
+  EXPECT_EQ(after->rows[0][1], before->rows[0][1]);
+
+  // ...and releasing the pin reveals the writer's samples.
+  ASSERT_TRUE(client->Admin("snapshot.release").ok());
+  auto fresh = client->Query(query);
+  ASSERT_TRUE(fresh.ok());
+  EXPECT_NE(fresh->rows[0][0], before->rows[0][0]);
+  EXPECT_NE(fresh->rows[0][1], before->rows[0][1]);
+  client->Close();
+  server.Stop();
+  std::system(("rm -rf " + dir).c_str());
 }
 
 TEST_F(ServerTest, AdmissionControlShedsBeyondMaxInflight) {
